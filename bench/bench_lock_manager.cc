@@ -1,0 +1,138 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment M1: lock manager micro-benchmarks — the substrate cost the
+// detection algorithms sit on (grants, FIFO queueing, conversions with UPR
+// repositioning, release cascades).
+
+#include <benchmark/benchmark.h>
+
+#include "lock/lock_manager.h"
+
+namespace twbg {
+namespace {
+
+using lock::LockManager;
+using lock::LockMode;
+
+// Grant + full release of a single exclusive lock.
+void BM_AcquireReleaseUncontended(benchmark::State& state) {
+  LockManager manager;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.Acquire(1, 1, LockMode::kX));
+    benchmark::DoNotOptimize(manager.ReleaseAll(1));
+  }
+}
+BENCHMARK(BM_AcquireReleaseUncontended);
+
+// N transactions sharing one resource in IS (holder list growth).
+void BM_SharedGrants(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LockManager manager;
+    for (size_t i = 1; i <= n; ++i) {
+      benchmark::DoNotOptimize(
+          manager.Acquire(static_cast<lock::TransactionId>(i), 1,
+                          LockMode::kIS));
+    }
+    state.PauseTiming();
+    for (size_t i = 1; i <= n; ++i) {
+      manager.ReleaseAll(static_cast<lock::TransactionId>(i));
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SharedGrants)->Arg(4)->Arg(16)->Arg(64);
+
+// FIFO queue growth behind an X holder.
+void BM_QueueAppend(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LockManager manager;
+    benchmark::DoNotOptimize(manager.Acquire(1, 1, LockMode::kX));
+    for (size_t i = 2; i <= n + 1; ++i) {
+      benchmark::DoNotOptimize(
+          manager.Acquire(static_cast<lock::TransactionId>(i), 1,
+                          LockMode::kS));
+    }
+    state.PauseTiming();
+    for (size_t i = 1; i <= n + 1; ++i) {
+      manager.ReleaseAll(static_cast<lock::TransactionId>(i));
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_QueueAppend)->Arg(8)->Arg(64)->Arg(256);
+
+// Lock conversion granted in place (IS -> IX among IS friends).
+void BM_ConversionGranted(benchmark::State& state) {
+  LockManager manager;
+  benchmark::DoNotOptimize(manager.Acquire(2, 1, LockMode::kIS));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.Acquire(1, 1, LockMode::kIS));
+    benchmark::DoNotOptimize(manager.Acquire(1, 1, LockMode::kIX));
+    state.PauseTiming();
+    manager.ReleaseAll(1);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ConversionGranted);
+
+// Blocked conversion: UPR repositioning among n blocked upgraders.
+void BM_ConversionBlockedUpr(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LockManager manager;
+    for (size_t i = 1; i <= n; ++i) {
+      benchmark::DoNotOptimize(
+          manager.Acquire(static_cast<lock::TransactionId>(i), 1,
+                          LockMode::kIS));
+    }
+    for (size_t i = 1; i <= n; ++i) {
+      benchmark::DoNotOptimize(
+          manager.Acquire(static_cast<lock::TransactionId>(i), 1,
+                          LockMode::kX));
+    }
+    state.PauseTiming();
+    for (size_t i = 1; i <= n; ++i) {
+      manager.ReleaseAll(static_cast<lock::TransactionId>(i));
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ConversionBlockedUpr)->Arg(4)->Arg(16)->Arg(64);
+
+// Release that cascades grants down a queue of compatible waiters.
+void BM_ReleaseCascade(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    LockManager manager;
+    benchmark::DoNotOptimize(manager.Acquire(1, 1, LockMode::kX));
+    for (size_t i = 2; i <= n + 1; ++i) {
+      benchmark::DoNotOptimize(
+          manager.Acquire(static_cast<lock::TransactionId>(i), 1,
+                          LockMode::kS));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(manager.ReleaseAll(1));  // grants all n
+    state.PauseTiming();
+    for (size_t i = 2; i <= n + 1; ++i) {
+      manager.ReleaseAll(static_cast<lock::TransactionId>(i));
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ReleaseCascade)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace twbg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment A1: ablations over the resolver's policy knobs that the
+// paper leaves open — abortion-list processing order (its Example 5.1
+// exploits order to spare a victim), the TDR-2 cost divisor, and the ST
+// cost bump (livelock avoidance).
+
+#include <cstdio>
+
+#include "baselines/hwtwbg_strategy.h"
+#include "sim/simulator.h"
+
+using namespace twbg;
+
+namespace {
+
+sim::SimConfig MakeConfig(uint64_t seed) {
+  sim::SimConfig config;
+  config.workload.seed = seed;
+  config.workload.num_transactions = 400;
+  config.workload.concurrency = 10;
+  config.workload.num_resources = 12;
+  config.workload.zipf_theta = 0.9;
+  config.workload.min_ops = 4;
+  config.workload.max_ops = 9;
+  config.workload.conversion_prob = 0.3;
+  config.workload.mode_weights = {0.25, 0.2, 0.3, 0.05, 0.2};
+  config.detection_period = 8;
+  config.max_ticks = 500'000;
+  return config;
+}
+
+void RunRow(const char* label, const core::DetectorOptions& options) {
+  sim::SimMetrics total;
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    sim::Simulator simulator(
+        MakeConfig(seed),
+        std::make_unique<baselines::HwTwbgPeriodicStrategy>(options));
+    sim::SimMetrics m = simulator.Run();
+    total.ticks += m.ticks;
+    total.deadlock_aborts += m.deadlock_aborts;
+    total.no_abort_resolutions += m.no_abort_resolutions;
+    total.wasted_ops += m.wasted_ops;
+    total.cycles_found += m.cycles_found;
+    total.blocked_ticks += m.blocked_ticks;
+  }
+  std::printf("%-38s %8zu %8zu %7zu %7zu %8zu %9zu\n", label, total.ticks,
+              total.cycles_found, total.deadlock_aborts,
+              total.no_abort_resolutions, total.wasted_ops,
+              total.blocked_ticks);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Resolver policy ablations (3 seeds x 400 txns per row)\n\n");
+  std::printf("%-38s %8s %8s %7s %7s %8s %9s\n", "configuration", "ticks",
+              "cycles", "aborts", "tdr2", "wasted", "blocked");
+
+  std::printf("\n-- abortion-list processing order (Step 3) --\n");
+  for (auto [label, order] :
+       {std::pair{"reverse-insertion (paper's example)",
+                  core::AbortOrder::kReverseInsertion},
+        std::pair{"insertion", core::AbortOrder::kInsertion},
+        std::pair{"cost-descending", core::AbortOrder::kCostDescending},
+        std::pair{"cost-ascending", core::AbortOrder::kCostAscending}}) {
+    core::DetectorOptions options;
+    options.abort_order = order;
+    RunRow(label, options);
+  }
+
+  std::printf("\n-- TDR-2 availability and pricing --\n");
+  {
+    core::DetectorOptions options;
+    RunRow("tdr2 on, divisor 2 (paper)", options);
+  }
+  {
+    core::DetectorOptions options;
+    options.enable_tdr2 = false;
+    RunRow("tdr2 off (abort-only)", options);
+  }
+  {
+    core::DetectorOptions options;
+    options.tdr2_cost_divisor = 1.0;
+    RunRow("tdr2 on, divisor 1 (pricier)", options);
+  }
+  {
+    core::DetectorOptions options;
+    options.tdr2_cost_divisor = 8.0;
+    RunRow("tdr2 on, divisor 8 (cheaper)", options);
+  }
+
+  std::printf("\n-- ST cost bump after TDR-2 (livelock avoidance) --\n");
+  {
+    core::DetectorOptions options;
+    RunRow("double on each delay (paper-style)", options);
+  }
+  {
+    core::DetectorOptions options;
+    options.st_cost_multiplier = 1.0;
+    options.st_cost_increment = 0.0;
+    RunRow("no bump (repeated delays possible)", options);
+  }
+  {
+    core::DetectorOptions options;
+    options.st_cost_multiplier = 1.0;
+    options.st_cost_increment = 5.0;
+    RunRow("additive bump +5", options);
+  }
+
+  std::printf("\nReading: tdr2 resolutions avoid aborts (wasted work falls);\n"
+              "the Step 3 order mainly shifts which victims get spared.\n");
+  return 0;
+}

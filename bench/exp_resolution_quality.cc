@@ -1,0 +1,92 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment R1: the headline claim — "some deadlocks can be resolved
+// without aborting any transaction."  Sweeps the lock-conversion
+// probability (TDR-2 opportunities come from queue repositioning, which
+// conversions and mixed modes create) and reports the fraction of
+// detected deadlock resolutions that aborted nobody, plus the wasted-work
+// saving against the abort-only ablation.
+
+#include <cstdio>
+
+#include "baselines/hwtwbg_strategy.h"
+#include "sim/simulator.h"
+
+using namespace twbg;
+
+namespace {
+
+sim::SimConfig MakeConfig(uint64_t seed, double conversion_prob) {
+  sim::SimConfig config;
+  config.workload.seed = seed;
+  config.workload.num_transactions = 400;
+  config.workload.concurrency = 10;
+  config.workload.num_resources = 16;
+  config.workload.zipf_theta = 0.8;
+  config.workload.min_ops = 4;
+  config.workload.max_ops = 9;
+  config.workload.conversion_prob = conversion_prob;
+  config.workload.mode_weights = {0.3, 0.2, 0.25, 0.05, 0.2};
+  config.detection_period = 8;
+  config.max_ticks = 500'000;
+  return config;
+}
+
+struct Row {
+  size_t cycles = 0;
+  size_t tdr2 = 0;
+  size_t aborts = 0;
+  size_t wasted = 0;
+  size_t ticks = 0;
+};
+
+Row RunCell(double conversion_prob, bool enable_tdr2) {
+  Row row;
+  core::DetectorOptions options;
+  options.enable_tdr2 = enable_tdr2;
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    sim::SimConfig config = MakeConfig(seed, conversion_prob);
+    sim::Simulator simulator(
+        config,
+        std::make_unique<baselines::HwTwbgPeriodicStrategy>(options));
+    sim::SimMetrics m = simulator.Run();
+    row.cycles += m.cycles_found;
+    row.tdr2 += m.no_abort_resolutions;
+    row.aborts += m.deadlock_aborts;
+    row.wasted += m.wasted_ops;
+    row.ticks += m.ticks;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TDR-2 resolution quality vs conversion probability\n");
+  std::printf("(3 seeds x 400 transactions per cell)\n\n");
+  std::printf("%8s | %8s %6s %7s %8s %8s | %7s %8s %8s\n", "conv_p", "cycles",
+              "tdr2", "tdr2%%", "aborts", "wasted", "aborts'", "wasted'",
+              "saved%%");
+  std::printf("%8s | %40s | %25s\n", "", "TDR-2 enabled (paper)",
+              "TDR-2 disabled (ablation)");
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    Row with = RunCell(p, /*enable_tdr2=*/true);
+    Row without = RunCell(p, /*enable_tdr2=*/false);
+    const double tdr2_pct =
+        with.cycles == 0 ? 0.0
+                         : 100.0 * static_cast<double>(with.tdr2) /
+                               static_cast<double>(with.cycles);
+    const double saved_pct =
+        without.wasted == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(with.wasted) /
+                                 static_cast<double>(without.wasted));
+    std::printf("%8.1f | %8zu %6zu %6.1f%% %8zu %8zu | %7zu %8zu %7.1f%%\n",
+                p, with.cycles, with.tdr2, tdr2_pct, with.aborts, with.wasted,
+                without.aborts, without.wasted, saved_pct);
+  }
+  std::printf(
+      "\ntdr2%% = detected deadlocks resolved without any abort.\n"
+      "saved%% = wasted-work reduction versus the abort-only ablation.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment T1: regenerates Table 1 (the lock compatibility matrix) and
+// verifies the properties the paper relies on, including the Comp(S,S)
+// OCR correction justified by Example 5.1 (see DESIGN.md).
+
+#include <cstdio>
+
+#include <string>
+
+#include "lock/lock_mode.h"
+
+int main() {
+  using namespace twbg::lock;
+
+  std::printf("Table 1 — compatibility matrix Comp(row, column)\n");
+  std::printf("(t: grantable concurrently, f: conflict)\n\n      ");
+  for (LockMode col : kAllModes) {
+    std::printf("%-5s", std::string(ToString(col)).c_str());
+  }
+  std::printf("\n");
+  for (LockMode row : kAllModes) {
+    std::printf("%-6s", std::string(ToString(row)).c_str());
+    for (LockMode col : kAllModes) {
+      std::printf("%-5s", Compatible(row, col) ? "t" : "f");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nChecks:\n");
+  bool symmetric = true;
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      symmetric &= Compatible(a, b) == Compatible(b, a);
+    }
+  }
+  std::printf("  symmetric:                       %s\n",
+              symmetric ? "yes" : "NO");
+  std::printf("  paper example Comp(S, IS) = t:   %s\n",
+              Compatible(LockMode::kS, LockMode::kIS) ? "yes" : "NO");
+  std::printf("  paper example Comp(IX, SIX) = f: %s\n",
+              !Compatible(LockMode::kIX, LockMode::kSIX) ? "yes" : "NO");
+  std::printf(
+      "  Comp(S, S) = t (OCR fix; required by Example 5.1 where T2 and T3\n"
+      "  hold S on R2 concurrently): %s\n",
+      Compatible(LockMode::kS, LockMode::kS) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment A2: total mode vs group mode (§2).  The paper introduces the
+// total mode (Conv over granted AND pending modes) and claims it is more
+// efficient than Gray's group mode.  This experiment quantifies why: under
+// group-mode admission, newcomers that conflict only with *pending*
+// upgrades are admitted, so blocked upgraders wait longer (they can be
+// starved by a stream of compatible-with-granted arrivals), which shows up
+// in the wait tail and in lost throughput on conversion-heavy workloads.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "sim/simulator.h"
+
+using namespace twbg;
+
+namespace {
+
+sim::SimConfig MakeConfig(uint64_t seed, double conversion_prob,
+                          lock::AdmissionPolicy policy) {
+  sim::SimConfig config;
+  config.workload.seed = seed;
+  config.workload.num_transactions = 400;
+  config.workload.concurrency = 10;
+  config.workload.num_resources = 16;
+  config.workload.zipf_theta = 0.8;
+  config.workload.min_ops = 4;
+  config.workload.max_ops = 9;
+  config.workload.conversion_prob = conversion_prob;
+  // Intention-heavy mix: lots of IS/IX grants for upgrades to fight.
+  config.workload.mode_weights = {0.35, 0.25, 0.2, 0.05, 0.15};
+  config.detection_period = 8;
+  config.max_ticks = 250'000;
+  config.admission = policy;
+  return config;
+}
+
+struct Row {
+  size_t ticks = 0;
+  size_t aborts = 0;
+  size_t cycles = 0;
+  sim::SampleStats waits;
+  bool timed_out = false;
+};
+
+Row RunCell(double conversion_prob, lock::AdmissionPolicy policy) {
+  Row row;
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    sim::SimConfig config = MakeConfig(seed, conversion_prob, policy);
+    sim::Simulator simulator(config,
+                             baselines::MakeStrategy("hwtwbg-periodic"));
+    sim::SimMetrics m = simulator.Run();
+    row.ticks += m.ticks;
+    row.aborts += m.deadlock_aborts;
+    row.cycles += m.cycles_found;
+    row.timed_out |= m.timed_out;
+    row.waits.Add(m.wait_ticks.Percentile(95));  // one p95 per run
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Total-mode vs group-mode admission (3 seeds x 400 txns)\n");
+  std::printf("p95 column = mean of per-run p95 lock waits (ticks)\n\n");
+  std::printf("%8s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "conv_p", "ticks",
+              "cycles", "aborts", "p95", "ticks'", "cycles'", "aborts'",
+              "p95'");
+  std::printf("%8s | %35s | %35s\n", "", "total mode (paper)",
+              "group mode (Gray, ablation)");
+  for (double p : {0.1, 0.2, 0.3, 0.4}) {
+    Row total = RunCell(p, lock::AdmissionPolicy::kTotalMode);
+    Row group = RunCell(p, lock::AdmissionPolicy::kGroupMode);
+    std::printf("%8.1f | %8zu %8zu %8zu %8.1f | %8zu %8zu %8zu %8.1f%s\n", p,
+                total.ticks, total.cycles, total.aborts, total.waits.mean(),
+                group.ticks, group.cycles, group.aborts, group.waits.mean(),
+                group.timed_out || total.timed_out ? "  TIMED-OUT" : "");
+  }
+  std::printf(
+      "\nReading: the system-level sweep shows modest differences (Zipf\n"
+      "access dilutes the effect).  The microbenchmark below isolates it.\n");
+
+  // Part 2 — upgrade starvation on one hot resource.  T1 holds IS and
+  // requests S.  A fresh IX reader arrives every tick and holds its lock
+  // for 3 ticks.  Under total-mode admission the arrivals queue behind
+  // T1's pending S and the upgrade completes as soon as the initial
+  // holders drain; under group-mode admission every arrival is compatible
+  // with the granted group {IS, IX}, so there is never a moment without
+  // an IX holder and the upgrade starves forever.
+  std::printf("\n== upgrade starvation microbenchmark ==\n");
+  std::printf("(IX arrival every tick, 3-tick holds; horizon 10000 ticks)\n");
+  for (lock::AdmissionPolicy policy :
+       {lock::AdmissionPolicy::kTotalMode, lock::AdmissionPolicy::kGroupMode}) {
+    lock::ResourceState r(1, policy);
+    (void)r.Request(1, lock::LockMode::kIS);
+    (void)r.Request(2, lock::LockMode::kIX);  // the initial blocker
+    (void)r.Request(1, lock::LockMode::kS);   // pending upgrade
+    std::vector<std::pair<lock::TransactionId, size_t>> expiry{{2, 3}};
+    lock::TransactionId next = 100;
+    size_t granted_at = 0;
+    size_t admitted_over_upgrade = 0;
+    for (size_t tick = 1; tick <= 10'000 && granted_at == 0; ++tick) {
+      // Expire holders.
+      for (auto it = expiry.begin(); it != expiry.end();) {
+        if (it->second <= tick) {
+          r.Remove(it->first);
+          it = expiry.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!r.FindHolder(1)->IsBlocked()) {
+        granted_at = tick;
+        break;
+      }
+      // One IX arrival per tick.
+      lock::TransactionId tid = next++;
+      Result<lock::RequestOutcome> outcome =
+          r.Request(tid, lock::LockMode::kIX);
+      if (outcome.ok() && *outcome == lock::RequestOutcome::kGranted) {
+        ++admitted_over_upgrade;
+        expiry.emplace_back(tid, tick + 3);
+      }
+    }
+    std::printf("  %-11s: upgrade %s%s (newcomers admitted ahead of it: "
+                "%zu)\n",
+                policy == lock::AdmissionPolicy::kTotalMode ? "total mode"
+                                                            : "group mode",
+                granted_at != 0 ? "granted at tick " : "STARVED",
+                granted_at != 0
+                    ? std::to_string(granted_at).c_str()
+                    : "",
+                admitted_over_upgrade);
+  }
+  std::printf(
+      "\nReading: total mode shields the pending upgrade (arrivals queue\n"
+      "behind it); group mode starves it behind an endless reader stream —\n"
+      "the §2 efficiency claim, made concrete.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment W1: lock-wait-time distributions per scheme.  Deadlock
+// handling quality shows up in the tail of the wait distribution — a
+// detector that leaves deadlocks lingering (long periods, misses) or
+// aborts eagerly (timeouts) reshapes p95/max waits.  Complements the
+// throughput comparison with a latency view.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/factory.h"
+#include "sim/simulator.h"
+
+using namespace twbg;
+
+namespace {
+
+sim::SimConfig MakeConfig(uint64_t seed) {
+  sim::SimConfig config;
+  config.workload.seed = seed;
+  config.workload.num_transactions = 400;
+  config.workload.concurrency = 10;
+  config.workload.num_resources = 20;
+  config.workload.zipf_theta = 0.8;
+  config.workload.min_ops = 4;
+  config.workload.max_ops = 9;
+  config.workload.conversion_prob = 0.2;
+  config.workload.mode_weights = {0.25, 0.2, 0.3, 0.05, 0.2};
+  config.detection_period = 8;
+  config.max_ticks = 250'000;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Lock-wait distributions (ticks), one seed, 400 txns/run\n\n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s\n", "scheme", "waits", "mean",
+              "p50", "p95", "p99", "max");
+  for (std::string_view name : baselines::AllStrategyNames()) {
+    sim::SimConfig config = MakeConfig(42);
+    sim::Simulator simulator(config, baselines::MakeStrategy(name));
+    sim::SimMetrics m = simulator.Run();
+    const sim::SampleStats& w = m.wait_ticks;
+    std::printf("%-22s %8zu %8.1f %8.1f %8.1f %8.1f %8.1f%s\n",
+                std::string(name).c_str(), w.count(), w.mean(),
+                w.Percentile(50), w.Percentile(95), w.Percentile(99),
+                w.max(), m.timed_out ? "  TIMED-OUT" : "");
+  }
+  std::printf(
+      "\nReading: continuous schemes cut the tail (deadlocks die at the\n"
+      "blocking request); long-period or miss-prone schemes stretch it;\n"
+      "timeouts truncate waits by killing the waiters instead.\n");
+  return 0;
+}

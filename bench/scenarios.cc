@@ -1,0 +1,79 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "bench/scenarios.h"
+
+#include "common/macros.h"
+
+namespace twbg::bench {
+
+using lock::LockMode;
+
+namespace {
+
+void MustAcquire(lock::LockManager& manager, lock::TransactionId tid,
+                 lock::ResourceId rid, LockMode mode) {
+  Result<lock::RequestOutcome> outcome = manager.Acquire(tid, rid, mode);
+  TWBG_CHECK(outcome.ok());
+}
+
+}  // namespace
+
+void BuildChain(lock::LockManager& manager, size_t n) {
+  TWBG_CHECK(n >= 1);
+  for (size_t i = 1; i <= n; ++i) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(i),
+                static_cast<lock::ResourceId>(i), LockMode::kX);
+  }
+  for (size_t i = 2; i <= n; ++i) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(i),
+                static_cast<lock::ResourceId>(i - 1), LockMode::kX);
+  }
+}
+
+void BuildRing(lock::LockManager& manager, size_t n) {
+  BuildChain(manager, n);
+  MustAcquire(manager, 1, static_cast<lock::ResourceId>(n), LockMode::kX);
+}
+
+void BuildRings(lock::LockManager& manager, size_t k, size_t m) {
+  TWBG_CHECK(m >= 2);
+  for (size_t ring = 0; ring < k; ++ring) {
+    const size_t txn_base = ring * m;
+    const size_t rid_base = ring * m;
+    for (size_t i = 1; i <= m; ++i) {
+      MustAcquire(manager, static_cast<lock::TransactionId>(txn_base + i),
+                  static_cast<lock::ResourceId>(rid_base + i), LockMode::kX);
+    }
+    for (size_t i = 2; i <= m; ++i) {
+      MustAcquire(manager, static_cast<lock::TransactionId>(txn_base + i),
+                  static_cast<lock::ResourceId>(rid_base + i - 1),
+                  LockMode::kX);
+    }
+    MustAcquire(manager, static_cast<lock::TransactionId>(txn_base + 1),
+                static_cast<lock::ResourceId>(rid_base + m), LockMode::kX);
+  }
+}
+
+void BuildUpgradeCrowd(lock::LockManager& manager, size_t k,
+                       lock::ResourceId rid) {
+  TWBG_CHECK(k >= 2);
+  for (size_t i = 1; i <= k; ++i) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(i), rid,
+                LockMode::kIS);
+  }
+  for (size_t i = 1; i <= k; ++i) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(i), rid,
+                LockMode::kX);
+  }
+}
+
+void BuildQueueTail(lock::LockManager& manager, size_t q,
+                    lock::ResourceId rid) {
+  MustAcquire(manager, 1, rid, LockMode::kX);
+  for (size_t i = 2; i <= q + 1; ++i) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(i), rid,
+                LockMode::kX);
+  }
+}
+
+}  // namespace twbg::bench

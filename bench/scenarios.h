@@ -1,0 +1,43 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Synthetic lock-table generators with controlled size and cycle
+// structure, shared by the benchmark and experiment binaries.  All states
+// are produced through the public LockManager API, so every scenario is a
+// reachable system state.
+
+#ifndef TWBG_BENCH_SCENARIOS_H_
+#define TWBG_BENCH_SCENARIOS_H_
+
+#include <cstddef>
+
+#include "lock/lock_manager.h"
+
+namespace twbg::bench {
+
+/// Wait chain, no deadlock: T_i holds R_i (X) and waits for R_{i-1}
+/// (i = 2..n).  n transactions, n resources, n-1 waits.
+void BuildChain(lock::LockManager& manager, size_t n);
+
+/// Single deadlock ring of length n: the chain plus T_1 waiting for R_n.
+void BuildRing(lock::LockManager& manager, size_t n);
+
+/// k disjoint deadlock rings of m transactions each (ids are globally
+/// unique across rings).
+void BuildRings(lock::LockManager& manager, size_t k, size_t m);
+
+/// The exponential-cycle stress: k IS holders of one resource all request
+/// an upgrade to X.  Every pair blocks each other (ECR-1 both ways), so
+/// the H/W-TWBG restricted to these k vertices is the complete digraph —
+/// its elementary-cycle count grows like 3^(k/3), which is what sinks
+/// enumeration-based schemes while the paper's walk stays O(n + e(c'+1)).
+void BuildUpgradeCrowd(lock::LockManager& manager, size_t k,
+                       lock::ResourceId rid = 1);
+
+/// One X holder with q queued waiters — a pure W-edge tail (no deadlock);
+/// scales e without adding cycles.
+void BuildQueueTail(lock::LockManager& manager, size_t q,
+                    lock::ResourceId rid = 1);
+
+}  // namespace twbg::bench
+
+#endif  // TWBG_BENCH_SCENARIOS_H_

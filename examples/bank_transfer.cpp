@@ -1,0 +1,138 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Bank-transfer demo: the classic application-level deadlock.  Transfers
+// lock the debit account then the credit account; two opposite transfers
+// interleave and deadlock.  The transaction manager (continuous detection
+// mode) resolves the cycle at block time; the aborted transfer retries
+// and the books balance.
+//
+//   $ ./bank_transfer
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "txn/transaction_manager.h"
+
+namespace {
+
+using namespace twbg;
+using txn::AcquireStatus;
+
+struct Bank {
+  std::map<lock::ResourceId, long> balances;  // account id -> cents
+};
+
+// One transfer attempt: X-lock both accounts (debit first), then move the
+// money and commit.  Returns false when this transaction was chosen as a
+// deadlock victim and must be retried.
+bool TryTransfer(txn::TransactionManager& tm, Bank& bank,
+                 lock::ResourceId from, lock::ResourceId to, long cents) {
+  lock::TransactionId t = tm.Begin();
+  for (lock::ResourceId account : {from, to}) {
+    Result<AcquireStatus> outcome =
+        tm.Acquire(t, account, lock::LockMode::kX);
+    if (!outcome.ok()) {
+      std::printf("  T%u: %s\n", t, outcome.status().ToString().c_str());
+      return false;
+    }
+    if (*outcome == AcquireStatus::kAbortedAsVictim) {
+      std::printf("  T%u chosen as deadlock victim while locking %u\n", t,
+                  account);
+      return false;
+    }
+    if (*outcome == AcquireStatus::kBlocked) {
+      // In this single-threaded demo a block that survives continuous
+      // detection means we wait on a transaction that will never finish
+      // here; the driver below never lets that happen.
+      std::printf("  T%u blocked on account %u\n", t, account);
+      return false;
+    }
+  }
+  bank.balances[from] -= cents;
+  bank.balances[to] += cents;
+  return tm.Commit(t).ok();
+}
+
+}  // namespace
+
+int main() {
+  using namespace twbg;
+
+  txn::TransactionManagerOptions options;
+  options.detection_mode = txn::DetectionMode::kContinuous;
+  options.cost_policy = txn::CostPolicy::kLocksHeld;
+  txn::TransactionManager tm(options);
+
+  Bank bank;
+  bank.balances[101] = 10'000;
+  bank.balances[102] = 5'000;
+
+  std::printf("Initial balances: A=%ld B=%ld\n", bank.balances[101],
+              bank.balances[102]);
+
+  // Interleave two opposite transfers by hand to force the deadlock:
+  // T_a locks A, T_b locks B, then each requests the other's account.
+  lock::TransactionId ta = tm.Begin();
+  lock::TransactionId tb = tm.Begin();
+  std::printf("\nT%u transfers A->B, T%u transfers B->A, interleaved:\n", ta,
+              tb);
+  (void)tm.Acquire(ta, 101, lock::LockMode::kX);
+  (void)tm.Acquire(tb, 102, lock::LockMode::kX);
+  Result<AcquireStatus> a_wait = tm.Acquire(ta, 102, lock::LockMode::kX);
+  std::printf("  T%u requests B: %s\n", ta,
+              *a_wait == AcquireStatus::kBlocked ? "blocked" : "granted");
+  Result<AcquireStatus> b_wait = tm.Acquire(tb, 101, lock::LockMode::kX);
+  // tb's request closes the cycle; continuous detection fires here.
+  const char* verdict = "granted";
+  if (*b_wait == AcquireStatus::kBlocked) verdict = "blocked";
+  if (*b_wait == AcquireStatus::kAbortedAsVictim) verdict = "ABORTED (victim)";
+  std::printf("  T%u requests A: %s\n", tb, verdict);
+
+  auto report_state = [&](lock::TransactionId t) {
+    std::printf("  T%u is %s\n", t,
+                std::string(txn::ToString(*tm.State(t))).c_str());
+  };
+  report_state(ta);
+  report_state(tb);
+
+  // Finish whichever survived, retry the victim, then run a burst of
+  // random-ish transfers to show steady-state behaviour.
+  lock::TransactionId survivor = *tm.State(ta) == txn::TxnState::kActive
+                                     ? ta
+                                     : tb;
+  if (survivor == ta) {
+    bank.balances[101] -= 100;
+    bank.balances[102] += 100;
+  } else {
+    bank.balances[102] -= 100;
+    bank.balances[101] += 100;
+  }
+  (void)tm.Commit(survivor);
+  std::printf("\nSurvivor T%u committed; retrying the victim...\n", survivor);
+
+  int retries = 0;
+  while (!TryTransfer(tm, bank, survivor == ta ? 102 : 101,
+                      survivor == ta ? 101 : 102, 100)) {
+    ++retries;
+    if (retries > 3) break;
+  }
+  std::printf("Victim retried successfully after %d retr%s.\n", retries,
+              retries == 1 ? "y" : "ies");
+
+  std::printf("\nRunning 200 alternating transfers...\n");
+  size_t committed = 0;
+  size_t victim_retries = 0;
+  for (int i = 0; i < 200; ++i) {
+    lock::ResourceId from = (i % 2 == 0) ? 101 : 102;
+    lock::ResourceId to = (i % 2 == 0) ? 102 : 101;
+    while (!TryTransfer(tm, bank, from, to, 25)) ++victim_retries;
+    ++committed;
+  }
+  std::printf("Committed %zu transfers (%zu deadlock retries).\n", committed,
+              victim_retries);
+  std::printf("Final balances: A=%ld B=%ld (conserved total %ld)\n",
+              bank.balances[101], bank.balances[102],
+              bank.balances[101] + bank.balances[102]);
+  return 0;
+}

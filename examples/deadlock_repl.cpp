@@ -1,0 +1,78 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Interactive / scripted deadlock explorer.  Reads the scenario language
+// of core/script.h from a file or stdin:
+//
+//   $ ./deadlock_repl                        # interactive REPL
+//   $ ./deadlock_repl scenario.twbg          # run a script file
+//   $ echo "acquire 1 1 X" | ./deadlock_repl -
+//
+// With no arguments and a TTY, type `help` for the command list.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/script.h"
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  acquire <txn> <resource> <mode>   mode: IS IX S SIX X
+  release <txn>
+  cost <txn> <value>
+  detect
+  table | graph | tst | dot | cycles | oracle | costs
+  expect granted|blocked|alreadyheld
+  expect-deadlock yes|no
+  expect-aborted <txn> ...
+  reset
+  help | quit
+)";
+
+int RunStream(std::istream& in, bool interactive) {
+  twbg::core::ScriptOptions options;
+  options.echo = !interactive;
+  twbg::core::ScriptRunner runner(options);
+  std::string line;
+  if (interactive) {
+    std::printf("twbg deadlock explorer — type 'help'\n");
+  }
+  while (true) {
+    if (interactive) {
+      std::printf("twbg> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(in, line)) break;
+    if (line == "quit" || line == "exit") break;
+    if (line == "help") {
+      std::printf("%s", kHelp);
+      continue;
+    }
+    std::string out;
+    twbg::Status status = runner.ExecuteLine(line, &out);
+    std::printf("%s", out.c_str());
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      if (!interactive) return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "-") != 0) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return RunStream(file, /*interactive=*/false);
+  }
+  return RunStream(std::cin, /*interactive=*/argc <= 1);
+}

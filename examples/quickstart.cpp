@@ -1,0 +1,49 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Quickstart: build the paper's Example 5.1 deadlock through the lock
+// manager, inspect the H/W-TWBG, and resolve it with one periodic
+// detection-resolution pass.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/examples_catalog.h"
+#include "core/periodic_detector.h"
+#include "core/twbg.h"
+#include "lock/lock_manager.h"
+
+int main() {
+  using namespace twbg;
+
+  // 1. Drive the lock manager into the Example 5.1 state: T1, T2, T3
+  //    deadlock across two resources (two overlapping cycles).
+  lock::LockManager manager;
+  core::BuildExample51(manager);
+
+  std::printf("Lock table before detection:\n%s\n",
+              manager.table().ToString().c_str());
+
+  // 2. The H/W-TWBG captures the precise wait state, including the FIFO
+  //    wait T2 -> T3 a classic wait-for graph would miss.
+  core::HwTwbg graph = core::HwTwbg::Build(manager.table());
+  std::printf("H/W-TWBG edges:\n%s\n", graph.ToString().c_str());
+  std::printf("Deadlocked? %s\n\n", graph.HasCycle() ? "yes" : "no");
+
+  // 3. Costs drive victim selection (the paper's run: 6 / 4 / 1).
+  core::CostTable costs;
+  costs.Set(1, 6.0);
+  costs.Set(2, 4.0);
+  costs.Set(3, 1.0);
+
+  // 4. One periodic pass detects both cycles, aborts T2 and spares T3.
+  core::PeriodicDetector detector;
+  core::ResolutionReport report = detector.RunPass(manager, costs);
+  std::printf("Resolution report:\n%s\n", report.ToString().c_str());
+
+  std::printf("Lock table after resolution:\n%s\n",
+              manager.table().ToString().c_str());
+  std::printf("Deadlocked now? %s\n",
+              core::HwTwbg::Build(manager.table()).HasCycle() ? "yes" : "no");
+  return 0;
+}

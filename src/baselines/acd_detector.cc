@@ -1,0 +1,98 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/acd_detector.h"
+
+#include <map>
+#include <optional>
+
+namespace twbg::baselines {
+
+namespace {
+
+// One representative wait-for edge per blocked transaction: the first
+// holder (in holder-list order) whose granted mode conflicts with the
+// blocked mode.  FIFO-only waiters (no conflicting holder) get no edge —
+// the compression the paper criticizes.
+std::map<lock::TransactionId, lock::TransactionId> BuildRepresentativeEdges(
+    const lock::LockTable& table, size_t* work) {
+  std::map<lock::TransactionId, lock::TransactionId> waits_for;
+  for (const auto& [rid, state] : table) {
+    auto representative =
+        [&](lock::TransactionId waiter,
+            lock::LockMode bm) -> std::optional<lock::TransactionId> {
+      for (const lock::HolderEntry& h : state.holders()) {
+        ++*work;
+        if (h.tid != waiter && !lock::Compatible(bm, h.granted)) {
+          return h.tid;
+        }
+      }
+      return std::nullopt;
+    };
+    for (const lock::HolderEntry& h : state.holders()) {
+      if (!h.IsBlocked()) continue;
+      if (auto rep = representative(h.tid, h.blocked)) {
+        waits_for[h.tid] = *rep;
+      }
+    }
+    for (const lock::QueueEntry& q : state.queue()) {
+      if (auto rep = representative(q.tid, q.blocked)) {
+        waits_for[q.tid] = *rep;
+      }
+    }
+  }
+  return waits_for;
+}
+
+}  // namespace
+
+StrategyOutcome AcdStrategy::OnPeriodic(lock::LockManager& manager,
+                                        core::CostTable& costs) {
+  StrategyOutcome outcome;
+  // In a functional graph every node has out-degree <= 1, so cycles are
+  // found by pointer chasing with visit stamps (the O(n) time bound of the
+  // original paper).
+  for (;;) {
+    std::map<lock::TransactionId, lock::TransactionId> waits_for =
+        BuildRepresentativeEdges(manager.table(), &outcome.work);
+    std::map<lock::TransactionId, int> stamp;  // 0 unvisited
+    int round = 0;
+    std::optional<std::vector<lock::TransactionId>> cycle;
+    for (const auto& [start, ignored] : waits_for) {
+      if (cycle.has_value()) break;
+      if (stamp[start] != 0) continue;
+      ++round;
+      std::vector<lock::TransactionId> path;
+      lock::TransactionId walk = start;
+      while (true) {
+        ++outcome.work;
+        auto st = stamp.find(walk);
+        if (st != stamp.end() && st->second != 0) {
+          if (st->second == round) {
+            // Found a cycle: the path suffix from `walk`.
+            auto begin = path.begin();
+            while (*begin != walk) ++begin;
+            cycle.emplace(begin, path.end());
+          }
+          break;
+        }
+        stamp[walk] = round;
+        path.push_back(walk);
+        auto next = waits_for.find(walk);
+        if (next == waits_for.end()) break;  // runnable or edge-less waiter
+        walk = next->second;
+      }
+    }
+    if (!cycle.has_value()) break;
+    ++outcome.cycles_found;
+    lock::TransactionId victim = (*cycle)[0];
+    for (lock::TransactionId tid : *cycle) {
+      if (costs.Get(tid) < costs.Get(victim)) victim = tid;
+    }
+    manager.ReleaseAll(victim);
+    costs.Erase(victim);
+    outcome.aborted.push_back(victim);
+  }
+  return outcome;
+}
+
+}  // namespace twbg::baselines

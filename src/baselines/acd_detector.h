@@ -1,0 +1,38 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Agrawal, Carey & DeWitt, "Deadlock Detection is Cheap" (SIGMOD Record
+// 1983), with Chin's correction: a periodic detector using O(n) storage by
+// keeping a SINGLE wait-for edge per blocked transaction — when a request
+// is blocked by several holders, one representative (here: the first
+// conflicting holder in list order) stands in for all of them.
+//
+// The paper under reproduction criticizes exactly this compression:
+// "detection of some deadlocks can be delayed and some transactions may
+// hold resources or wait for other transactions unnecessarily".  With one
+// out-edge per node the wait graph is functional, so detection is a
+// pointer chase; the price is deadlocks whose cycle runs through a
+// non-representative blocker stay invisible until earlier aborts happen to
+// re-route the representatives.
+
+#ifndef TWBG_BASELINES_ACD_DETECTOR_H_
+#define TWBG_BASELINES_ACD_DETECTOR_H_
+
+#include "baselines/strategy.h"
+
+namespace twbg::baselines {
+
+/// Periodic single-representative-edge detection (O(n) space).
+class AcdStrategy : public DetectionStrategy {
+ public:
+  AcdStrategy() = default;
+
+  std::string_view name() const override { return "acd-periodic"; }
+  bool is_continuous() const override { return false; }
+
+  StrategyOutcome OnPeriodic(lock::LockManager& manager,
+                             core::CostTable& costs) override;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_ACD_DETECTOR_H_

@@ -1,0 +1,50 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/elmagarmid_detector.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/twbg.h"
+
+namespace twbg::baselines {
+
+StrategyOutcome ElmagarmidStrategy::OnBlock(lock::LockManager& manager,
+                                            core::CostTable& costs,
+                                            lock::TransactionId blocked) {
+  StrategyOutcome outcome;
+  // Is `blocked` on a cycle?  Equivalently: reachable from itself in the
+  // waited-by relation.  One DFS, O(n + e).
+  core::HwTwbg graph = core::HwTwbg::Build(manager.table());
+  std::map<lock::TransactionId, std::vector<lock::TransactionId>> adjacency;
+  for (const core::TwbgEdge& e : graph.edges()) {
+    adjacency[e.from].push_back(e.to);
+  }
+  std::set<lock::TransactionId> visited;
+  std::vector<lock::TransactionId> stack{blocked};
+  bool on_cycle = false;
+  while (!stack.empty() && !on_cycle) {
+    lock::TransactionId node = stack.back();
+    stack.pop_back();
+    auto it = adjacency.find(node);
+    if (it == adjacency.end()) continue;
+    for (lock::TransactionId next : it->second) {
+      ++outcome.work;
+      if (next == blocked) {
+        on_cycle = true;
+        break;
+      }
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  if (on_cycle) {
+    ++outcome.cycles_found;
+    manager.ReleaseAll(blocked);  // always abort the current blocker
+    costs.Erase(blocked);
+    outcome.aborted.push_back(blocked);
+  }
+  return outcome;
+}
+
+}  // namespace twbg::baselines

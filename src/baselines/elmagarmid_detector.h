@@ -1,0 +1,35 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Elmagarmid (Ph.D. dissertation, Ohio State 1985): continuous detection
+// over T-table/R-table structures whose "resolution scheme always aborts
+// the current blocker whenever there is a deadlock" — simple, O(n+e), but
+// "far from being optimal": the victim is whichever request completed the
+// cycle, regardless of how much work it carries.
+//
+// We run it over our lock table (a strict superset of the T/R tables) and
+// interpret "current blocker" as the transaction whose freshly blocked
+// request closed the cycle.
+
+#ifndef TWBG_BASELINES_ELMAGARMID_DETECTOR_H_
+#define TWBG_BASELINES_ELMAGARMID_DETECTOR_H_
+
+#include "baselines/strategy.h"
+
+namespace twbg::baselines {
+
+/// Continuous detection; the victim is always the requester that closed
+/// the cycle (cost-blind).
+class ElmagarmidStrategy : public DetectionStrategy {
+ public:
+  ElmagarmidStrategy() = default;
+
+  std::string_view name() const override { return "elmagarmid-continuous"; }
+  bool is_continuous() const override { return true; }
+
+  StrategyOutcome OnBlock(lock::LockManager& manager, core::CostTable& costs,
+                          lock::TransactionId blocked) override;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_ELMAGARMID_DETECTOR_H_

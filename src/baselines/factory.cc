@@ -1,0 +1,47 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/factory.h"
+
+#include "baselines/acd_detector.h"
+#include "baselines/elmagarmid_detector.h"
+#include "baselines/hwtwbg_strategy.h"
+#include "baselines/jiang_detector.h"
+#include "baselines/prevention.h"
+#include "baselines/timeout_resolver.h"
+#include "baselines/wfg_detector.h"
+
+namespace twbg::baselines {
+
+std::vector<std::string_view> AllStrategyNames() {
+  return {"hwtwbg-periodic", "hwtwbg-continuous",    "wfg-periodic",
+          "acd-periodic",    "jiang-continuous",     "elmagarmid-continuous",
+          "wait-die",        "wound-wait",           "timeout",
+          "none"};
+}
+
+std::unique_ptr<DetectionStrategy> MakeStrategy(
+    std::string_view name, const core::DetectorOptions& options) {
+  if (name == "hwtwbg-periodic") {
+    return std::make_unique<HwTwbgPeriodicStrategy>(options);
+  }
+  if (name == "hwtwbg-continuous") {
+    return std::make_unique<HwTwbgContinuousStrategy>(options);
+  }
+  if (name == "wfg-periodic") return std::make_unique<WfgStrategy>();
+  if (name == "acd-periodic") return std::make_unique<AcdStrategy>();
+  if (name == "jiang-continuous") return std::make_unique<JiangStrategy>();
+  if (name == "elmagarmid-continuous") {
+    return std::make_unique<ElmagarmidStrategy>();
+  }
+  if (name == "wait-die") return std::make_unique<WaitDieStrategy>();
+  if (name == "wound-wait") return std::make_unique<WoundWaitStrategy>();
+  if (name == "timeout") {
+    // 10 periods: long enough that ordinary queue waits usually survive,
+    // short enough that deadlocks clear without driver intervention.
+    return std::make_unique<TimeoutStrategy>(10);
+  }
+  if (name == "none") return std::make_unique<NullStrategy>();
+  return nullptr;
+}
+
+}  // namespace twbg::baselines

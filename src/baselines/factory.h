@@ -1,0 +1,30 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Factory over every detection strategy, for experiments that sweep all
+// schemes by name.
+
+#ifndef TWBG_BASELINES_FACTORY_H_
+#define TWBG_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "core/detector.h"
+
+namespace twbg::baselines {
+
+/// Names understood by MakeStrategy, in presentation order.
+std::vector<std::string_view> AllStrategyNames();
+
+/// Creates a strategy by name ("hwtwbg-periodic", "hwtwbg-continuous",
+/// "wfg-periodic", "acd-periodic", "jiang-continuous",
+/// "elmagarmid-continuous", "timeout", "none"); nullptr for unknown names.
+/// `options` configures the H/W-TWBG strategies only.
+std::unique_ptr<DetectionStrategy> MakeStrategy(
+    std::string_view name, const core::DetectorOptions& options = {});
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_FACTORY_H_

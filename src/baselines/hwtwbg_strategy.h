@@ -1,0 +1,66 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Strategy adapters exposing the paper's periodic and continuous H/W-TWBG
+// detectors through the DetectionStrategy interface.
+
+#ifndef TWBG_BASELINES_HWTWBG_STRATEGY_H_
+#define TWBG_BASELINES_HWTWBG_STRATEGY_H_
+
+#include "baselines/strategy.h"
+#include "core/continuous_detector.h"
+#include "core/periodic_detector.h"
+
+namespace twbg::baselines {
+
+/// The paper's §5 periodic detection-resolution algorithm.
+class HwTwbgPeriodicStrategy : public DetectionStrategy {
+ public:
+  explicit HwTwbgPeriodicStrategy(core::DetectorOptions options = {})
+      : detector_(options) {}
+
+  std::string_view name() const override { return "hwtwbg-periodic"; }
+  bool is_continuous() const override { return false; }
+
+  StrategyOutcome OnPeriodic(lock::LockManager& manager,
+                             core::CostTable& costs) override {
+    core::ResolutionReport report = detector_.RunPass(manager, costs);
+    StrategyOutcome outcome;
+    outcome.aborted = report.aborted;
+    outcome.cycles_found = report.cycles_detected;
+    outcome.work = report.steps;
+    outcome.repositioned = report.repositioned.size();
+    return outcome;
+  }
+
+ private:
+  core::PeriodicDetector detector_;
+};
+
+/// The continuous companion (detect on every block).
+class HwTwbgContinuousStrategy : public DetectionStrategy {
+ public:
+  explicit HwTwbgContinuousStrategy(core::DetectorOptions options = {})
+      : detector_(options) {}
+
+  std::string_view name() const override { return "hwtwbg-continuous"; }
+  bool is_continuous() const override { return true; }
+
+  StrategyOutcome OnBlock(lock::LockManager& manager, core::CostTable& costs,
+                          lock::TransactionId blocked) override {
+    core::ResolutionReport report =
+        detector_.OnBlock(manager, costs, blocked);
+    StrategyOutcome outcome;
+    outcome.aborted = report.aborted;
+    outcome.cycles_found = report.cycles_detected;
+    outcome.work = report.steps;
+    outcome.repositioned = report.repositioned.size();
+    return outcome;
+  }
+
+ private:
+  core::ContinuousDetector detector_;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_HWTWBG_STRATEGY_H_

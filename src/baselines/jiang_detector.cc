@@ -1,0 +1,102 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/jiang_detector.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/twbg.h"
+
+namespace twbg::baselines {
+
+namespace {
+
+// Exhaustive DFS enumerating every simple cycle through `origin` in the
+// waited-by relation.  Returns the union of participators; `work` counts
+// every path extension (the exponential blow-up the paper critiques).
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const std::map<lock::TransactionId,
+                                 std::vector<lock::TransactionId>>& adjacency,
+                  lock::TransactionId origin, size_t max_paths, size_t* work)
+      : adjacency_(adjacency),
+        origin_(origin),
+        max_paths_(max_paths),
+        work_(work) {}
+
+  // Returns participators of all cycles through origin; count in cycles_.
+  std::set<lock::TransactionId> Run() {
+    Dfs(origin_);
+    return participators_;
+  }
+
+  size_t cycles() const { return cycles_; }
+
+ private:
+  void Dfs(lock::TransactionId node) {
+    if (paths_ >= max_paths_) return;
+    on_path_.insert(node);
+    path_.push_back(node);
+    auto it = adjacency_.find(node);
+    if (it != adjacency_.end()) {
+      for (lock::TransactionId next : it->second) {
+        ++*work_;
+        ++paths_;
+        if (next == origin_) {
+          ++cycles_;
+          participators_.insert(path_.begin(), path_.end());
+        } else if (on_path_.find(next) == on_path_.end()) {
+          Dfs(next);
+        }
+        if (paths_ >= max_paths_) break;
+      }
+    }
+    path_.pop_back();
+    on_path_.erase(node);
+  }
+
+  const std::map<lock::TransactionId, std::vector<lock::TransactionId>>&
+      adjacency_;
+  const lock::TransactionId origin_;
+  const size_t max_paths_;
+  size_t* work_;
+  size_t paths_ = 0;
+  size_t cycles_ = 0;
+  std::set<lock::TransactionId> on_path_;
+  std::vector<lock::TransactionId> path_;
+  std::set<lock::TransactionId> participators_;
+};
+
+}  // namespace
+
+StrategyOutcome JiangStrategy::OnBlock(lock::LockManager& manager,
+                                       core::CostTable& costs,
+                                       lock::TransactionId blocked) {
+  StrategyOutcome outcome;
+  // Loop because aborting one participator can leave further cycles
+  // through the (still blocked) requester.
+  for (;;) {
+    core::HwTwbg graph = core::HwTwbg::Build(manager.table());
+    outcome.work += graph.edges().size();
+    std::map<lock::TransactionId, std::vector<lock::TransactionId>> adjacency;
+    for (const core::TwbgEdge& e : graph.edges()) {
+      adjacency[e.from].push_back(e.to);
+    }
+    CycleEnumerator enumerator(adjacency, blocked, max_paths_, &outcome.work);
+    std::set<lock::TransactionId> participators = enumerator.Run();
+    if (participators.empty()) break;
+    outcome.cycles_found += enumerator.cycles();
+    lock::TransactionId victim = *participators.begin();
+    for (lock::TransactionId tid : participators) {
+      if (costs.Get(tid) < costs.Get(victim)) victim = tid;
+    }
+    manager.ReleaseAll(victim);
+    costs.Erase(victim);
+    outcome.aborted.push_back(victim);
+    if (victim == blocked) break;  // the requester itself died
+  }
+  return outcome;
+}
+
+}  // namespace twbg::baselines

@@ -1,0 +1,139 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/prevention.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace twbg::baselines {
+
+bool PreventionStrategy::Older(lock::TransactionId a,
+                               lock::TransactionId b) const {
+  auto ts = [this](lock::TransactionId tid) {
+    auto it = timestamps_.find(tid);
+    return it == timestamps_.end() ? static_cast<size_t>(tid) : it->second;
+  };
+  const size_t ta = ts(a);
+  const size_t tb = ts(b);
+  if (ta != tb) return ta < tb;
+  return a < b;  // deterministic tie-break for equal ages
+}
+
+StrategyOutcome PreventionStrategy::OnBlock(lock::LockManager& manager,
+                                            core::CostTable& costs,
+                                            lock::TransactionId blocked) {
+  StrategyOutcome outcome;
+  const lock::TxnLockInfo* info = manager.Info(blocked);
+  if (info == nullptr || !info->blocked_on.has_value()) return outcome;
+  const lock::ResourceState* state = manager.table().Find(*info->blocked_on);
+  if (state == nullptr) return outcome;
+  const lock::LockMode bm = info->blocked_mode;
+  const lock::HolderEntry* own_entry = state->FindHolder(blocked);
+  const bool is_converter = own_entry != nullptr;
+
+  // Outgoing wait edges: conflicting holders (by effective mode) plus,
+  // for queue members, EVERY queue member ahead of us.  The whole
+  // ahead-set must be policed at block time: an ahead member granted
+  // later becomes a holder we wait on, and that edge gets no block event
+  // of its own.
+  std::vector<lock::TransactionId> waits_for;
+  for (const lock::HolderEntry& h : state->holders()) {
+    ++outcome.work;
+    if (h.tid == blocked) continue;
+    if (!lock::Compatible(bm, h.EffectiveMode())) waits_for.push_back(h.tid);
+  }
+  if (!is_converter) {
+    for (const lock::QueueEntry& q : state->queue()) {
+      ++outcome.work;
+      if (q.tid == blocked) break;
+      if (std::find(waits_for.begin(), waits_for.end(), q.tid) ==
+          waits_for.end()) {
+        waits_for.push_back(q.tid);
+      }
+    }
+  }
+
+  // Incoming wait edges created by a blocking conversion: parties whose
+  // pending requests now also conflict with our pending mode.
+  std::vector<lock::TransactionId> waited_by;
+  if (is_converter) {
+    for (const lock::HolderEntry& h : state->holders()) {
+      ++outcome.work;
+      if (h.tid == blocked || !h.IsBlocked()) continue;
+      if (!lock::Compatible(h.blocked, bm)) waited_by.push_back(h.tid);
+    }
+    for (const lock::QueueEntry& q : state->queue()) {
+      ++outcome.work;
+      if (!lock::Compatible(q.blocked, own_entry->granted) ||
+          !lock::Compatible(q.blocked, bm)) {
+        // First queue member conflicting with us; only the edge created
+        // by the NEW pending mode needs policing here.
+        if (lock::Compatible(q.blocked, own_entry->granted)) {
+          waited_by.push_back(q.tid);
+        }
+        break;
+      }
+    }
+  }
+
+  if (waits_for.empty() && waited_by.empty()) return outcome;
+  React(manager, costs, blocked, waits_for, waited_by, outcome);
+  return outcome;
+}
+
+void WaitDieStrategy::React(
+    lock::LockManager& manager, core::CostTable& costs,
+    lock::TransactionId blocked,
+    const std::vector<lock::TransactionId>& waits_for,
+    const std::vector<lock::TransactionId>& waited_by,
+    StrategyOutcome& outcome) {
+  // Wait-die invariant: every wait edge runs old -> young.
+  // Outgoing: we may wait only if older than everyone we wait for.
+  const bool may_wait =
+      std::all_of(waits_for.begin(), waits_for.end(),
+                  [&](lock::TransactionId other) {
+                    return Older(blocked, other);
+                  });
+  if (!may_wait) {
+    manager.ReleaseAll(blocked);
+    costs.Erase(blocked);
+    outcome.aborted.push_back(blocked);
+    return;  // we are gone; the incoming edges died with us
+  }
+  // Incoming: younger parties now waiting on us must die.
+  for (lock::TransactionId waiter : waited_by) {
+    if (!Older(waiter, blocked)) {
+      manager.ReleaseAll(waiter);
+      costs.Erase(waiter);
+      outcome.aborted.push_back(waiter);
+    }
+  }
+}
+
+void WoundWaitStrategy::React(
+    lock::LockManager& manager, core::CostTable& costs,
+    lock::TransactionId blocked,
+    const std::vector<lock::TransactionId>& waits_for,
+    const std::vector<lock::TransactionId>& waited_by,
+    StrategyOutcome& outcome) {
+  // Wound-wait invariant: every wait edge runs young -> old.
+  // Incoming: an OLDER party now waiting on us wounds us.
+  for (lock::TransactionId waiter : waited_by) {
+    if (Older(waiter, blocked)) {
+      manager.ReleaseAll(blocked);
+      costs.Erase(blocked);
+      outcome.aborted.push_back(blocked);
+      return;
+    }
+  }
+  // Outgoing: wound every younger party we would otherwise wait for.
+  for (lock::TransactionId other : waits_for) {
+    if (Older(blocked, other)) {
+      manager.ReleaseAll(other);
+      costs.Erase(other);
+      outcome.aborted.push_back(other);
+    }
+  }
+}
+
+}  // namespace twbg::baselines

@@ -1,0 +1,106 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Timestamp-based deadlock PREVENTION (Rosenkrantz et al.), the
+// alternative strategy family the paper's reference [2] (Agrawal, Carey &
+// McVoy) benchmarks detection against:
+//
+//   * wait-die  — an older requester may wait for a younger holder, but a
+//                 younger requester "dies" (aborts itself) rather than
+//                 wait for an older one;
+//   * wound-wait — an older requester "wounds" (aborts) younger
+//                 conflicting holders; a younger requester waits.
+//
+// Both order waits by age, so no wait cycle can form — deadlock freedom
+// without any graph, paid for with aborts of transactions that were never
+// deadlocked.  Timestamps must survive restarts (a re-executed
+// transaction keeps its original age) or the schemes livelock; the
+// simulator feeds that through the OnSpawn hook using the logical
+// transaction id, which is exactly spawn order.
+//
+// Adaptation to this lock model (FIFO queues + conversions): at block
+// time we police every wait edge the block creates, in both directions:
+//
+//   * outgoing — the requester waits for all holders whose effective
+//     (granted-or-pending) mode conflicts with its blocked mode, and for
+//     its queue predecessor (FIFO order is a wait edge too);
+//   * incoming — a blocking CONVERSION also makes existing waiters wait
+//     for the converter's new pending mode (other blocked converters and
+//     the first conflicting queue member); those edges are policed
+//     against the age rule as well.
+//
+// With lock conversions in play a rare reschedule-time edge can still
+// slip past block-time policing; the simulator's stall recovery quantifies
+// any residue (measured ~zero on conversion-free workloads, tiny
+// otherwise).
+
+#ifndef TWBG_BASELINES_PREVENTION_H_
+#define TWBG_BASELINES_PREVENTION_H_
+
+#include <map>
+
+#include "baselines/strategy.h"
+
+namespace twbg::baselines {
+
+/// Shared machinery for the two schemes.
+class PreventionStrategy : public DetectionStrategy {
+ public:
+  bool is_continuous() const override { return true; }
+
+  void OnSpawn(lock::TransactionId tid, size_t logical) override {
+    timestamps_[tid] = logical;
+  }
+
+  StrategyOutcome OnBlock(lock::LockManager& manager, core::CostTable& costs,
+                          lock::TransactionId blocked) override;
+
+ protected:
+  /// True when `a` is older (has priority over) `b`.
+  bool Older(lock::TransactionId a, lock::TransactionId b) const;
+
+  /// Scheme-specific reaction; fills `outcome.aborted` (locks released).
+  /// `waits_for` are the requester's new outgoing wait edges; `waited_by`
+  /// are existing waiters that now wait on the requester (conversion
+  /// blocks only).
+  virtual void React(lock::LockManager& manager, core::CostTable& costs,
+                     lock::TransactionId blocked,
+                     const std::vector<lock::TransactionId>& waits_for,
+                     const std::vector<lock::TransactionId>& waited_by,
+                     StrategyOutcome& outcome) = 0;
+
+ private:
+  // Unknown transactions (driven outside the simulator) default to their
+  // tid, which is allocation order.
+  std::map<lock::TransactionId, size_t> timestamps_;
+};
+
+/// Wait-die: younger requesters abort themselves instead of waiting for
+/// older holders.
+class WaitDieStrategy : public PreventionStrategy {
+ public:
+  std::string_view name() const override { return "wait-die"; }
+
+ protected:
+  void React(lock::LockManager& manager, core::CostTable& costs,
+             lock::TransactionId blocked,
+             const std::vector<lock::TransactionId>& waits_for,
+             const std::vector<lock::TransactionId>& waited_by,
+             StrategyOutcome& outcome) override;
+};
+
+/// Wound-wait: older requesters abort younger conflicting holders.
+class WoundWaitStrategy : public PreventionStrategy {
+ public:
+  std::string_view name() const override { return "wound-wait"; }
+
+ protected:
+  void React(lock::LockManager& manager, core::CostTable& costs,
+             lock::TransactionId blocked,
+             const std::vector<lock::TransactionId>& waits_for,
+             const std::vector<lock::TransactionId>& waited_by,
+             StrategyOutcome& outcome) override;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_PREVENTION_H_

@@ -1,0 +1,88 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Common interface over deadlock handling schemes, used by the simulator
+// and the comparison experiments: the paper's periodic and continuous
+// H/W-TWBG algorithms, and the four baselines the paper's introduction
+// discusses (classic wait-for-graph detection, Agrawal/Carey/DeWitt's
+// O(n) single-edge scheme, Jiang's continuous exhaustive scheme, and
+// Elmagarmid's abort-the-blocker scheme), plus timeouts and a null
+// strategy.
+//
+// Contract: a strategy that decides to abort transactions must release
+// their locks itself (lock_manager.ReleaseAll) and report them in
+// `aborted`; the driver owns transaction state transitions.
+
+#ifndef TWBG_BASELINES_STRATEGY_H_
+#define TWBG_BASELINES_STRATEGY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/cost_table.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::baselines {
+
+/// What one detector invocation did.
+struct StrategyOutcome {
+  /// Victims aborted (their locks are already released).
+  std::vector<lock::TransactionId> aborted;
+  /// Deadlock cycles the invocation found.
+  size_t cycles_found = 0;
+  /// Algorithm-specific work units (edges walked, paths enumerated, ...)
+  /// — the cost axis of the comparison experiments.
+  size_t work = 0;
+  /// Resolutions that aborted nobody (H/W-TWBG TDR-2 only).
+  size_t repositioned = 0;
+};
+
+/// A deadlock handling scheme.
+class DetectionStrategy {
+ public:
+  virtual ~DetectionStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True when the scheme reacts to individual blocks (OnBlock); false for
+  /// purely periodic schemes (OnPeriodic).  Both hooks are always safe to
+  /// call.
+  virtual bool is_continuous() const = 0;
+
+  /// Called when an execution starts (fresh or restarted).  `logical` is
+  /// the workload-order id, stable across restarts — prevention schemes
+  /// use it as the transaction's timestamp.
+  virtual void OnSpawn(lock::TransactionId tid, size_t logical) {
+    (void)tid;
+    (void)logical;
+  }
+
+  /// Called right after `blocked` failed to acquire a lock.
+  virtual StrategyOutcome OnBlock(lock::LockManager& manager,
+                                  core::CostTable& costs,
+                                  lock::TransactionId blocked) {
+    (void)manager;
+    (void)costs;
+    (void)blocked;
+    return {};
+  }
+
+  /// Called once per detection period by the driver.
+  virtual StrategyOutcome OnPeriodic(lock::LockManager& manager,
+                                     core::CostTable& costs) {
+    (void)manager;
+    (void)costs;
+    return {};
+  }
+};
+
+/// No deadlock handling at all — the driver's stall-recovery path (and
+/// the "how bad is doing nothing" baseline).
+class NullStrategy : public DetectionStrategy {
+ public:
+  std::string_view name() const override { return "none"; }
+  bool is_continuous() const override { return false; }
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_STRATEGY_H_

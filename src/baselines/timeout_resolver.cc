@@ -1,0 +1,41 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/timeout_resolver.h"
+
+#include <vector>
+
+namespace twbg::baselines {
+
+StrategyOutcome TimeoutStrategy::OnPeriodic(lock::LockManager& manager,
+                                            core::CostTable& costs) {
+  StrategyOutcome outcome;
+  ++now_;
+  // Refresh the blocked-since table from ground truth.
+  std::vector<lock::TransactionId> blocked = manager.BlockedTransactions();
+  outcome.work = blocked.size();
+  std::map<lock::TransactionId, size_t> refreshed;
+  for (lock::TransactionId tid : blocked) {
+    auto it = blocked_since_.find(tid);
+    refreshed[tid] = it == blocked_since_.end() ? now_ : it->second;
+  }
+  blocked_since_ = std::move(refreshed);
+  // Abort the longest-blocked expired transaction (one per invocation:
+  // real timeout processing drains gradually, and a mass abort would
+  // thundering-herd the restarts).
+  auto victim = blocked_since_.end();
+  for (auto it = blocked_since_.begin(); it != blocked_since_.end(); ++it) {
+    if (now_ - it->second < timeout_periods_) continue;
+    if (victim == blocked_since_.end() || it->second < victim->second) {
+      victim = it;
+    }
+  }
+  if (victim != blocked_since_.end()) {
+    manager.ReleaseAll(victim->first);
+    costs.Erase(victim->first);
+    outcome.aborted.push_back(victim->first);
+    blocked_since_.erase(victim);
+  }
+  return outcome;
+}
+
+}  // namespace twbg::baselines

@@ -1,0 +1,40 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Timeout-based deadlock "resolution": no graph at all; any transaction
+// blocked for more than `timeout_periods` detection periods is aborted.
+// The classic cheap scheme — and the classic source of false aborts
+// (victims that were merely waiting, not deadlocked), which the simulator
+// measures against the oracle.
+
+#ifndef TWBG_BASELINES_TIMEOUT_RESOLVER_H_
+#define TWBG_BASELINES_TIMEOUT_RESOLVER_H_
+
+#include <map>
+
+#include "baselines/strategy.h"
+
+namespace twbg::baselines {
+
+/// Aborts transactions blocked for more than `timeout_periods` consecutive
+/// OnPeriodic invocations.
+class TimeoutStrategy : public DetectionStrategy {
+ public:
+  explicit TimeoutStrategy(size_t timeout_periods = 3)
+      : timeout_periods_(timeout_periods) {}
+
+  std::string_view name() const override { return "timeout"; }
+  bool is_continuous() const override { return false; }
+
+  StrategyOutcome OnPeriodic(lock::LockManager& manager,
+                             core::CostTable& costs) override;
+
+ private:
+  size_t timeout_periods_;
+  size_t now_ = 0;
+  /// tid -> period at which we first saw it blocked.
+  std::map<lock::TransactionId, size_t> blocked_since_;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_TIMEOUT_RESOLVER_H_

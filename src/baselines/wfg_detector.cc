@@ -1,0 +1,88 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "baselines/wfg_detector.h"
+
+#include <map>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace twbg::baselines {
+
+namespace {
+
+// Builds the classic TWFG over the current lock table: blocked -> holder
+// edges only.  Returns the dense graph plus the tid mapping.
+struct Twfg {
+  graph::Digraph graph{0};
+  std::vector<lock::TransactionId> tids;
+  std::map<lock::TransactionId, graph::NodeId> dense;
+};
+
+Twfg BuildTwfg(const lock::LockTable& table, size_t* work) {
+  Twfg result;
+  for (const auto& [rid, state] : table) {
+    for (const lock::HolderEntry& h : state.holders()) {
+      result.dense.emplace(h.tid, 0);
+    }
+    for (const lock::QueueEntry& q : state.queue()) {
+      result.dense.emplace(q.tid, 0);
+    }
+  }
+  graph::NodeId index = 0;
+  for (auto& [tid, node] : result.dense) {
+    node = index++;
+    result.tids.push_back(tid);
+  }
+  result.graph = graph::Digraph(result.tids.size());
+  for (const auto& [rid, state] : table) {
+    // A waiter is any blocked converter or queue member; it waits for
+    // every holder whose *granted* mode conflicts with its blocked mode.
+    auto add_waits = [&](lock::TransactionId waiter, lock::LockMode bm) {
+      for (const lock::HolderEntry& h : state.holders()) {
+        if (h.tid == waiter) continue;
+        ++*work;
+        if (!lock::Compatible(bm, h.granted)) {
+          result.graph.AddEdge(result.dense.at(waiter), result.dense.at(h.tid));
+        }
+      }
+    };
+    for (const lock::HolderEntry& h : state.holders()) {
+      if (h.IsBlocked()) add_waits(h.tid, h.blocked);
+    }
+    for (const lock::QueueEntry& q : state.queue()) {
+      add_waits(q.tid, q.blocked);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StrategyOutcome WfgStrategy::OnPeriodic(lock::LockManager& manager,
+                                        core::CostTable& costs) {
+  StrategyOutcome outcome;
+  // Abort one min-cost victim per detected cycle until acyclic.
+  for (;;) {
+    Twfg twfg = BuildTwfg(manager.table(), &outcome.work);
+    std::optional<std::vector<graph::NodeId>> cycle = twfg.graph.FindCycle();
+    outcome.work += twfg.graph.num_edges() + twfg.graph.num_nodes();
+    if (!cycle.has_value()) break;
+    ++outcome.cycles_found;
+    lock::TransactionId victim = twfg.tids[(*cycle)[0]];
+    double best = costs.Get(victim);
+    for (graph::NodeId node : *cycle) {
+      lock::TransactionId tid = twfg.tids[node];
+      if (costs.Get(tid) < best) {
+        best = costs.Get(tid);
+        victim = tid;
+      }
+    }
+    manager.ReleaseAll(victim);
+    costs.Erase(victim);
+    outcome.aborted.push_back(victim);
+  }
+  return outcome;
+}
+
+}  // namespace twbg::baselines

@@ -1,0 +1,34 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Classic transaction-wait-for-graph detector: the textbook scheme the
+// paper's graph model improves upon.  Edges run from a blocked transaction
+// to every *holder* whose granted mode conflicts with its blocked mode.
+//
+// Because the classic TWFG is blind to queue order (FIFO waits) and to
+// waiter-vs-waiter conflicts, it misses deadlocks in which a transaction
+// is stalled purely behind another waiter — the FIFO deadlock of the
+// examples catalog is invisible to it.  The simulator's stall recovery
+// quantifies those misses.
+
+#ifndef TWBG_BASELINES_WFG_DETECTOR_H_
+#define TWBG_BASELINES_WFG_DETECTOR_H_
+
+#include "baselines/strategy.h"
+
+namespace twbg::baselines {
+
+/// Periodic classic-WFG detection with min-cost victim aborts.
+class WfgStrategy : public DetectionStrategy {
+ public:
+  WfgStrategy() = default;
+
+  std::string_view name() const override { return "wfg-periodic"; }
+  bool is_continuous() const override { return false; }
+
+  StrategyOutcome OnPeriodic(lock::LockManager& manager,
+                             core::CostTable& costs) override;
+};
+
+}  // namespace twbg::baselines
+
+#endif  // TWBG_BASELINES_WFG_DETECTOR_H_

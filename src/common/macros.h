@@ -1,0 +1,47 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Assertion and utility macros used across the library.
+//
+// The library does not use exceptions (see DESIGN.md).  Programming errors
+// (broken invariants, misuse of internal APIs) are reported through
+// TWBG_CHECK / TWBG_DCHECK which abort the process with a diagnostic;
+// recoverable errors travel through twbg::Status / twbg::Result.
+
+#ifndef TWBG_COMMON_MACROS_H_
+#define TWBG_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a source location and message when `condition`
+// evaluates to false.  Enabled in all build modes: the checks guard lock
+// table and graph invariants whose violation would silently corrupt
+// detection results.
+#define TWBG_CHECK(condition)                                               \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "TWBG_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Like TWBG_CHECK but compiled out in NDEBUG builds.  Use for checks on hot
+// paths (per-edge, per-request work).
+#ifdef NDEBUG
+#define TWBG_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#else
+#define TWBG_DCHECK(condition) TWBG_CHECK(condition)
+#endif
+
+// Marks a code path that must be unreachable.
+#define TWBG_UNREACHABLE()                                                   \
+  do {                                                                       \
+    std::fprintf(stderr, "TWBG_UNREACHABLE hit at %s:%d\n", __FILE__,        \
+                 __LINE__);                                                  \
+    std::abort();                                                            \
+  } while (0)
+
+#endif  // TWBG_COMMON_MACROS_H_

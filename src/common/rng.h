@@ -1,0 +1,67 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (workload generation, property tests,
+// failure injection) flows through Rng so that every run is reproducible
+// from a single 64-bit seed.  The generator is xoshiro256++ seeded through
+// SplitMix64, which is fast, has a 2^256-1 period and passes BigCrush.
+
+#ifndef TWBG_COMMON_RNG_H_
+#define TWBG_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace twbg::common {
+
+/// Stateless SplitMix64 step; used for seeding and hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Deterministic xoshiro256++ generator.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element.  Requires non-empty input.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    TWBG_CHECK(!items.empty());
+    return items[NextBelow(items.size())];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_RNG_H_

@@ -1,0 +1,158 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Error model: twbg::Status and twbg::Result<T>.
+//
+// The library reports recoverable errors by value (RocksDB / Arrow style)
+// instead of throwing exceptions.  A Status is cheap to copy when OK (no
+// allocation) and carries a code plus a human-readable message otherwise.
+
+#ifndef TWBG_COMMON_STATUS_H_
+#define TWBG_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace twbg {
+
+/// Category of a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller passed an argument outside the documented domain.
+  kInvalidArgument = 1,
+  /// A named entity (transaction, resource) does not exist.
+  kNotFound = 2,
+  /// The operation conflicts with current state (e.g. duplicate begin,
+  /// request while already blocked — Axiom 1 violation).
+  kFailedPrecondition = 3,
+  /// The request was not granted immediately; the requester is blocked.
+  /// Not an error: surfaced via LockManager::AcquireOutcome instead.
+  kBlocked = 4,
+  /// The transaction was chosen as a deadlock victim and aborted.
+  kAborted = 5,
+  /// An internal invariant failed in a recoverable context.
+  kInternal = 6,
+};
+
+/// Returns the canonical spelling ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value.  OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message for non-OK status; empty for OK.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+/// A value or an error Status.  Dereferencing a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` from Result-returning
+  /// functions (mirrors absl::StatusOr ergonomics).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    TWBG_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    TWBG_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    TWBG_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    TWBG_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TWBG_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::twbg::Status _twbg_status = (expr);      \
+    if (!_twbg_status.ok()) return _twbg_status; \
+  } while (0)
+
+}  // namespace twbg
+
+#endif  // TWBG_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Monotonic wall-clock stopwatch for experiment binaries.  Benchmarks
+// proper use google-benchmark; the exp_* binaries use this for coarse
+// per-configuration timing.
+
+#ifndef TWBG_COMMON_STOPWATCH_H_
+#define TWBG_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace twbg::common {
+
+/// Measures elapsed time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since start.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_STOPWATCH_H_

@@ -1,0 +1,55 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace twbg::common {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(start, end - start);
+    if (!piece.empty() || !skip_empty) out.emplace_back(piece);
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string PadRight(std::string_view text, size_t width) {
+  std::string out(text.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+}  // namespace twbg::common

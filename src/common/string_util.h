@@ -1,0 +1,31 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Small string helpers shared by diagnostics, experiment binaries and
+// tests.  Nothing here is performance critical.
+
+#ifndef TWBG_COMMON_STRING_UTIL_H_
+#define TWBG_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace twbg::common {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, dropping empty fields when `skip_empty`.
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool skip_empty = false);
+
+/// Left-pads or truncates `text` to exactly `width` columns.
+std::string PadRight(std::string_view text, size_t width);
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_STRING_UTIL_H_

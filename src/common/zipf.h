@@ -1,0 +1,39 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Zipfian sampler over {0, ..., n-1} used by the workload generator to
+// model hot-spot resource access (a small set of rows receives most lock
+// traffic, which is what produces interesting deadlock rates).
+
+#ifndef TWBG_COMMON_ZIPF_H_
+#define TWBG_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace twbg::common {
+
+/// Samples from a Zipf(theta) distribution over [0, n) by inverting the
+/// precomputed CDF with binary search.  theta == 0 degenerates to uniform;
+/// larger theta concentrates mass on small indices.
+class ZipfSampler {
+ public:
+  /// Builds the CDF.  Requires n >= 1 and theta >= 0.
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws one sample in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_ZIPF_H_

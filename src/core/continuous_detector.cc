@@ -1,0 +1,30 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/continuous_detector.h"
+
+#include "core/scoped_tst.h"
+#include "core/tst.h"
+
+namespace twbg::core {
+
+ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
+                                             CostTable& costs,
+                                             lock::TransactionId blocked) {
+  Tst tst = options_.scoped_continuous_build
+                ? BuildReachableTst(manager, blocked).tst
+                : Tst::Build(manager.table());
+  const size_t num_transactions = tst.size();
+  const size_t num_edges = tst.NumEdges();
+
+  // Every new edge created by this block is incident to `blocked`, so any
+  // newly formed cycle passes through it; a walk rooted there finds it.
+  WalkOutcome walk = RunWalk(tst, {blocked}, manager, costs, options_);
+
+  ResolutionReport report =
+      ApplyResolution(std::move(walk), manager, costs, options_);
+  report.num_transactions = num_transactions;
+  report.num_edges = num_edges;
+  return report;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,212 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/detection_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/victim.h"
+
+namespace twbg::core {
+
+namespace {
+
+// Resolves the cycle closed by the edge v -> w (w has a non-zero ancestor,
+// i.e. lies on the active walk path).  Implements the paper's
+// victim-selection: backtrack from v to w recovering the cycle, enumerate
+// TDR candidates, apply the cheapest, clear the backtracked ancestors
+// (except w's).
+void HandleCycle(lock::TransactionId v, lock::TransactionId w, Tst& tst,
+                 lock::LockManager& manager, CostTable& costs,
+                 const DetectorOptions& options, WalkOutcome& outcome) {
+  // Recover the cycle vertices in walk order w .. v.
+  std::vector<lock::TransactionId> reversed;
+  int64_t u = v;
+  while (u != static_cast<int64_t>(w)) {
+    reversed.push_back(static_cast<lock::TransactionId>(u));
+    u = tst.At(static_cast<lock::TransactionId>(u)).ancestor;
+    // w lies on the active path, so we must reach it before running off
+    // the root of the walk.
+    TWBG_CHECK(u > 0);
+  }
+  reversed.push_back(w);
+  std::vector<lock::TransactionId> cycle(reversed.rbegin(), reversed.rend());
+
+  // Each on-path vertex's `current` points at the edge the walk took from
+  // it; for v that is the closing edge v -> w.
+  std::vector<CycleEdgeView> views;
+  views.reserve(cycle.size());
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    const TstEntry& entry = tst.At(cycle[i]);
+    TWBG_CHECK(!entry.CurrentIsNil());
+    views.push_back(CycleEdgeView{cycle[i], entry.CurrentEdge()});
+    TWBG_CHECK(views.back().out.to == cycle[(i + 1) % cycle.size()]);
+  }
+
+  std::vector<VictimCandidate> candidates =
+      EnumerateCandidates(views, manager.table(), costs, options);
+  TWBG_CHECK(!candidates.empty());  // Lemma 3: >= 2 junctions per cycle
+  const size_t chosen = SelectVictim(candidates);
+  const VictimCandidate& victim = candidates[chosen];
+
+  if (victim.kind == VictimKind::kAbort) {
+    tst.At(victim.junction).SetCurrentNil();
+    // A victim's nil current shields it from every later cycle, so it can
+    // never be selected twice.
+    TWBG_DCHECK(std::find(outcome.abortion_list.begin(),
+                          outcome.abortion_list.end(),
+                          victim.junction) == outcome.abortion_list.end());
+    outcome.abortion_list.push_back(victim.junction);
+  } else {
+    // TDR-2: reposition the live queue now; grants happen at Step 3.
+    Status status = manager.ApplyTdr2(victim.resource, victim.junction);
+    TWBG_CHECK(status.ok());
+    for (lock::TransactionId tid : victim.st) {
+      costs.Bump(tid, options.st_cost_multiplier, options.st_cost_increment);
+    }
+    if (std::find(outcome.change_list.begin(), outcome.change_list.end(),
+                  victim.resource) == outcome.change_list.end()) {
+      outcome.change_list.push_back(victim.resource);
+    }
+    // Lemma 4.1: AV members cannot be in any deadlock cycle any more.
+    for (lock::TransactionId tid : victim.av) {
+      if (tst.Contains(tid)) tst.At(tid).SetCurrentNil();
+    }
+  }
+
+  // Clear the backtracked ancestors; w stays marked (walk resumes there).
+  for (lock::TransactionId tid : cycle) {
+    if (tid != w) tst.At(tid).ancestor = 0;
+  }
+
+  VictimDecision decision;
+  decision.cycle = std::move(cycle);
+  decision.candidates = std::move(candidates);
+  decision.chosen = chosen;
+  outcome.decisions.push_back(std::move(decision));
+  ++outcome.cycles;
+}
+
+}  // namespace
+
+WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
+                    lock::LockManager& manager, CostTable& costs,
+                    const DetectorOptions& options) {
+  WalkOutcome outcome;
+  for (lock::TransactionId root : roots) {
+    if (!tst.Contains(root)) continue;
+    tst.At(root).ancestor = TstEntry::kRoot;
+    int64_t v = root;
+    while (v != TstEntry::kRoot) {
+      ++outcome.steps;
+      TstEntry& entry = tst.At(static_cast<lock::TransactionId>(v));
+      if (entry.CurrentIsNil()) {
+        // Dead end: everything reachable is resolved; backtrack.
+        const int64_t up = entry.ancestor;
+        entry.ancestor = 0;
+        v = up;
+        continue;
+      }
+      const TwbgEdge& edge = entry.CurrentEdge();
+      if (edge.IsSentinel() || tst.At(edge.to).CurrentIsNil()) {
+        ++entry.current;  // skip: sentinel, finished or victim vertex
+        continue;
+      }
+      TstEntry& next = tst.At(edge.to);
+      if (next.ancestor != 0) {
+        // Closing edge: edge.to lies on the active path — a cycle.
+        HandleCycle(static_cast<lock::TransactionId>(v), edge.to, tst,
+                    manager, costs, options, outcome);
+        v = edge.to;  // resume at the re-entered vertex
+      } else {
+        next.ancestor = v;
+        v = edge.to;
+      }
+    }
+  }
+  return outcome;
+}
+
+ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
+                                 CostTable& costs,
+                                 const DetectorOptions& options) {
+  ResolutionReport report;
+  report.cycles_detected = walk.cycles;
+  report.decisions = std::move(walk.decisions);
+  report.steps = walk.steps;
+  report.repositioned = walk.change_list;
+
+  std::vector<lock::TransactionId> order = walk.abortion_list;
+  switch (options.abort_order) {
+    case AbortOrder::kInsertion:
+      break;
+    case AbortOrder::kReverseInsertion:
+      std::reverse(order.begin(), order.end());
+      break;
+    case AbortOrder::kCostDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](lock::TransactionId a, lock::TransactionId b) {
+                         return costs.Get(a) > costs.Get(b);
+                       });
+      break;
+    case AbortOrder::kCostAscending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](lock::TransactionId a, lock::TransactionId b) {
+                         return costs.Get(a) < costs.Get(b);
+                       });
+      break;
+  }
+
+  std::set<lock::TransactionId> granted_set;
+  for (lock::TransactionId tid : order) {
+    if (granted_set.count(tid) != 0) {
+      // An earlier abort already unblocked this victim — spare it.
+      report.spared.push_back(tid);
+      continue;
+    }
+    std::vector<lock::TransactionId> granted = manager.ReleaseAll(tid);
+    report.aborted.push_back(tid);
+    costs.Erase(tid);
+    for (lock::TransactionId g : granted) {
+      granted_set.insert(g);
+      report.granted.push_back(g);
+    }
+  }
+  for (lock::ResourceId rid : walk.change_list) {
+    for (lock::TransactionId g : manager.Reschedule(rid)) {
+      granted_set.insert(g);
+      report.granted.push_back(g);
+    }
+  }
+  return report;
+}
+
+std::string ResolutionReport::ToString() const {
+  std::string out = common::Format(
+      "cycles=%zu aborted=%zu spared=%zu granted=%zu repositioned=%zu "
+      "steps=%zu (n=%zu, e=%zu)\n",
+      cycles_detected, aborted.size(), spared.size(), granted.size(),
+      repositioned.size(), steps, num_transactions, num_edges);
+  for (const VictimDecision& d : decisions) {
+    out += "  ";
+    out += d.ToString();
+    out += "\n";
+  }
+  auto list = [&out](const char* name,
+                     const std::vector<lock::TransactionId>& tids) {
+    out += common::Format("  %s: {", name);
+    std::vector<std::string> parts;
+    for (lock::TransactionId tid : tids) {
+      parts.push_back(common::Format("T%u", tid));
+    }
+    out += common::Join(parts, ", ");
+    out += "}\n";
+  };
+  list("abortion-list", aborted);
+  list("spared", spared);
+  list("grant-list", granted);
+  return out;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,50 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The shared detection-resolution engine behind the periodic and
+// continuous detectors: the Step 2 directed walk over a TST with
+// ancestor/current bookkeeping, in-walk victim selection and application,
+// and the Step 3 abortion-list / change-list reconciliation.
+
+#ifndef TWBG_CORE_DETECTION_ENGINE_H_
+#define TWBG_CORE_DETECTION_ENGINE_H_
+
+#include <vector>
+
+#include "core/cost_table.h"
+#include "core/detector.h"
+#include "core/tst.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+
+/// Intermediate result of the Step 2 walk.
+struct WalkOutcome {
+  std::vector<VictimDecision> decisions;
+  /// TDR-1 victims in selection order (pre-sparing).
+  std::vector<lock::TransactionId> abortion_list;
+  /// Resources repositioned by TDR-2, in application order (change list).
+  std::vector<lock::ResourceId> change_list;
+  size_t cycles = 0;
+  size_t steps = 0;
+};
+
+/// Runs the Step 2 directed walk from each root in order.  Detected cycles
+/// are resolved on the spot: TDR-1 victims get their `current` forced to
+/// nil and join the abortion list; TDR-2 repositions the live queue in
+/// `manager` (grants deferred to Step 3), bumps ST costs and nils the AV
+/// members' currents (Lemma 4.1).
+WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
+                    lock::LockManager& manager, CostTable& costs,
+                    const DetectorOptions& options);
+
+/// Step 3: processes the abortion list in the configured order (sparing
+/// victims an earlier abort already unblocked), releases victims' locks,
+/// and reschedules every change-list resource.  Returns the full report.
+ResolutionReport ApplyResolution(WalkOutcome walk,
+                                 lock::LockManager& manager,
+                                 CostTable& costs,
+                                 const DetectorOptions& options);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_DETECTION_ENGINE_H_

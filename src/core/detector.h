@@ -1,0 +1,117 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Shared option and report types for the periodic and continuous
+// detection-resolution algorithms.
+
+#ifndef TWBG_CORE_DETECTOR_H_
+#define TWBG_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "lock/types.h"
+
+namespace twbg::core {
+
+/// How the resolver breaks a cycle (§4, Definition 4.1).
+enum class VictimKind {
+  /// TDR-1: abort the junction transaction.
+  kAbort,
+  /// TDR-2: reposition the incompatible queue prefix (ST) after the
+  /// compatible one (AV) — no transaction is aborted.
+  kReposition,
+};
+
+/// One victim candidate of a detected cycle, with the paper's cost model:
+/// TDR-1 candidates cost Cost(T); TDR-2 candidates cost sum(Cost(ST))/2
+/// (ST members are merely delayed, not aborted).
+struct VictimCandidate {
+  VictimKind kind = VictimKind::kAbort;
+  /// The TRRP junction this candidate acts at; for TDR-1 also the
+  /// transaction to abort.
+  lock::TransactionId junction = lock::kInvalidTransaction;
+  double cost = 0.0;
+  /// TDR-2 only: the resource whose queue is repositioned and the split.
+  lock::ResourceId resource = 0;
+  std::vector<lock::TransactionId> st;
+  std::vector<lock::TransactionId> av;
+
+  std::string ToString() const;
+};
+
+/// The resolution decided for one detected cycle.
+struct VictimDecision {
+  /// Cycle vertices in walk order (starts at the vertex the closing edge
+  /// re-entered).
+  std::vector<lock::TransactionId> cycle;
+  /// Every candidate that was considered, in enumeration order.
+  std::vector<VictimCandidate> candidates;
+  /// Index into `candidates` of the chosen victim.
+  size_t chosen = 0;
+
+  const VictimCandidate& victim() const { return candidates[chosen]; }
+  std::string ToString() const;
+};
+
+/// Order in which Step 3 processes the abortion list.  The paper leaves
+/// this open; its Example 5.1 walks the list in an order that lets an
+/// earlier abort spare a later victim, which kReverseInsertion maximizes
+/// (victims of inner cycles are examined first).
+enum class AbortOrder {
+  kReverseInsertion,
+  kInsertion,
+  kCostDescending,
+  kCostAscending,
+};
+
+/// Tuning knobs of the detection-resolution algorithm.
+struct DetectorOptions {
+  /// Offer TDR-2 (resolution without abort).  Disabling yields a pure
+  /// TDR-1 resolver — the ablation baseline.
+  bool enable_tdr2 = true;
+  /// TDR-2 candidate cost = sum(Cost(ST)) / divisor (paper uses 2).
+  double tdr2_cost_divisor = 2.0;
+  /// Step 3 abortion-list processing order.
+  AbortOrder abort_order = AbortOrder::kReverseInsertion;
+  /// After a TDR-2, each ST member's cost := cost * multiplier + increment
+  /// ("incremented by some value", §5) so it is not postponed forever.
+  double st_cost_multiplier = 2.0;
+  double st_cost_increment = 0.0;
+  /// Continuous detector only: build the TST scoped to the blocked
+  /// transaction's reachable region (the COMPSAC '91 companion
+  /// optimization) instead of the whole table.  Observably identical;
+  /// cost scales with the wait neighbourhood.
+  bool scoped_continuous_build = true;
+};
+
+/// Outcome of one detection-resolution pass.
+struct ResolutionReport {
+  /// Cycles the walk actually detected and resolved (the paper's c').
+  size_t cycles_detected = 0;
+  /// Per-cycle resolution decisions in detection order.
+  std::vector<VictimDecision> decisions;
+  /// Transactions aborted at Step 3 (after sparing) — their locks are
+  /// already released; the caller must terminate/restart them.
+  std::vector<lock::TransactionId> aborted;
+  /// Victims removed from the abortion list because an earlier abort
+  /// already unblocked them (Step 3 grant-list check).
+  std::vector<lock::TransactionId> spared;
+  /// Transactions whose blocked request was granted during Step 3.
+  std::vector<lock::TransactionId> granted;
+  /// Resources whose queues were repositioned by TDR-2 (change list).
+  std::vector<lock::ResourceId> repositioned;
+  /// Walk loop iterations — proxy for the O(n + e(c'+1)) time bound.
+  size_t steps = 0;
+  /// Vertices and edges of the TST the pass ran over (n and e).
+  size_t num_transactions = 0;
+  size_t num_edges = 0;
+
+  /// True when the pass found any deadlock.
+  bool found_deadlock() const { return cycles_detected > 0; }
+
+  std::string ToString() const;
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_DETECTOR_H_

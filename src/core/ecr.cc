@@ -1,0 +1,92 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/ecr.h"
+
+#include "common/string_util.h"
+
+namespace twbg::core {
+
+using lock::Compatible;
+using lock::HolderEntry;
+using lock::LockMode;
+using lock::QueueEntry;
+using lock::ResourceState;
+
+std::string TwbgEdge::ToString() const {
+  const char* label = IsH() ? "H" : "W";
+  if (IsSentinel()) {
+    return common::Format("T%u -%s(R%u)-> (end)", from, label, rid);
+  }
+  return common::Format("T%u -%s(R%u)-> T%u", from, label, rid, to);
+}
+
+namespace {
+
+// ECR-1: H-labeled edges among holder-list entries of one resource.
+void BuildEcr1(const ResourceState& state, std::vector<TwbgEdge>& edges) {
+  const auto& holders = state.holders();
+  for (size_t i = 0; i < holders.size(); ++i) {
+    for (size_t j = i + 1; j < holders.size(); ++j) {
+      const HolderEntry& hi = holders[i];
+      const HolderEntry& hj = holders[j];
+      // Tj (later) waits for Ti (earlier) when Ti's granted or pending
+      // mode conflicts with Tj's pending mode.
+      if (!Compatible(hi.granted, hj.blocked) ||
+          !Compatible(hi.blocked, hj.blocked)) {
+        edges.push_back(TwbgEdge{hi.tid, hj.tid, LockMode::kNL, state.rid()});
+      }
+      // Ti (earlier) waits for Tj (later) only through Tj's granted mode.
+      if (!Compatible(hj.granted, hi.blocked)) {
+        edges.push_back(TwbgEdge{hj.tid, hi.tid, LockMode::kNL, state.rid()});
+      }
+    }
+  }
+}
+
+// ECR-2: each holder -> first conflicting queue member.
+void BuildEcr2(const ResourceState& state, std::vector<TwbgEdge>& edges) {
+  for (const HolderEntry& h : state.holders()) {
+    for (const QueueEntry& q : state.queue()) {
+      if (!Compatible(q.blocked, h.granted) ||
+          !Compatible(q.blocked, h.blocked)) {
+        edges.push_back(TwbgEdge{h.tid, q.tid, LockMode::kNL, state.rid()});
+        break;  // only the first such member
+      }
+    }
+  }
+}
+
+// ECR-3: W-labeled edges along the queue, optionally with the sentinel
+// edge (bm, 0) for the last member.
+void BuildEcr3(const ResourceState& state, bool include_sentinels,
+               std::vector<TwbgEdge>& edges) {
+  const auto& queue = state.queue();
+  for (size_t i = 0; i < queue.size(); ++i) {
+    const bool last = (i + 1 == queue.size());
+    if (last && !include_sentinels) break;
+    const lock::TransactionId to =
+        last ? lock::kInvalidTransaction : queue[i + 1].tid;
+    edges.push_back(TwbgEdge{queue[i].tid, to, queue[i].blocked, state.rid()});
+  }
+}
+
+}  // namespace
+
+void AppendEcrEdgesForResource(const lock::ResourceState& state,
+                               bool include_sentinels,
+                               std::vector<TwbgEdge>& edges) {
+  BuildEcr1(state, edges);
+  BuildEcr2(state, edges);
+  BuildEcr3(state, include_sentinels, edges);
+}
+
+std::vector<TwbgEdge> BuildEcrEdges(const lock::LockTable& table,
+                                    bool include_sentinels) {
+  std::vector<TwbgEdge> edges;
+  for (const auto& [rid, state] : table) {
+    AppendEcrEdgesForResource(state, include_sentinels, edges);
+  }
+  return edges;
+}
+
+}  // namespace twbg::core

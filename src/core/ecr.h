@@ -1,0 +1,68 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Edge Construction Rules (ECR 1-3, §4) for the Holder/Waiter-Transaction
+// Waited-By Graph.  An edge Ti -> Tj means "the completion of Ti is waited
+// by Tj" (Tj waits for Ti):
+//
+//   ECR-1 (H): for holder-list entries (Ti,gmi,bmi) preceding (Tj,gmj,bmj):
+//          !Comp(gmi,bmj) or !Comp(bmi,bmj)  =>  Ti -> Tj
+//          !Comp(gmj,bmi)                    =>  Tj -> Ti
+//          (UPR ordering makes the rule asymmetric: the earlier entry is
+//          never delayed by a later entry's *pending* mode.)
+//   ECR-2 (H): each holder points to the FIRST queue member whose blocked
+//          mode conflicts with the holder's granted or blocked mode.
+//   ECR-3 (W): adjacent queue members Ti before Tj give Ti -> Tj.
+//
+// The paper encodes the label in the edge record's `lock` field: an
+// H-labeled edge carries NL; a W-labeled edge carries the *source's*
+// blocked mode.  We keep that encoding.
+
+#ifndef TWBG_CORE_ECR_H_
+#define TWBG_CORE_ECR_H_
+
+#include <string>
+#include <vector>
+
+#include "lock/lock_table.h"
+#include "lock/types.h"
+
+namespace twbg::core {
+
+/// One H/W-TWBG edge.  `to == 0` marks the paper's sentinel W-edge for the
+/// last queue member (present only when requested); it is not a real edge.
+struct TwbgEdge {
+  lock::TransactionId from = lock::kInvalidTransaction;
+  lock::TransactionId to = lock::kInvalidTransaction;
+  /// kNL for H-labeled edges; the source's blocked mode for W-labeled ones.
+  lock::LockMode lock = lock::LockMode::kNL;
+  /// Resource whose holder list / queue induced the edge.
+  lock::ResourceId rid = 0;
+
+  bool IsH() const { return lock == lock::LockMode::kNL; }
+  bool IsW() const { return !IsH(); }
+  bool IsSentinel() const { return to == lock::kInvalidTransaction; }
+
+  /// "T1 -H(R1)-> T2" / "T5 -W(R1)-> T6".
+  std::string ToString() const;
+
+  friend bool operator==(const TwbgEdge&, const TwbgEdge&) = default;
+};
+
+/// Applies ECR 1-3 to every resource (ascending rid) and returns the edge
+/// list in deterministic construction order: per resource, ECR-1 pairs,
+/// then ECR-2, then ECR-3.  Sentinel W-edges (to == 0) are emitted only
+/// when `include_sentinels`.
+std::vector<TwbgEdge> BuildEcrEdges(const lock::LockTable& table,
+                                    bool include_sentinels);
+
+/// Applies ECR 1-3 to a single resource, appending to `edges` in the same
+/// deterministic order.  Building every resource in ascending rid order
+/// reproduces BuildEcrEdges exactly (the scoped TST construction relies
+/// on this).
+void AppendEcrEdgesForResource(const lock::ResourceState& state,
+                               bool include_sentinels,
+                               std::vector<TwbgEdge>& edges);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_ECR_H_

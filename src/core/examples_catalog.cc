@@ -1,0 +1,64 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/examples_catalog.h"
+
+#include "common/macros.h"
+
+namespace twbg::core {
+
+namespace {
+
+using lock::LockMode;
+using lock::RequestOutcome;
+
+// Issues a request and asserts the scheduler's verdict matches the paper.
+void Expect(lock::LockManager& manager, lock::TransactionId tid,
+            lock::ResourceId rid, LockMode mode, RequestOutcome expected) {
+  Result<RequestOutcome> outcome = manager.Acquire(tid, rid, mode);
+  TWBG_CHECK(outcome.ok());
+  TWBG_CHECK(*outcome == expected);
+}
+
+}  // namespace
+
+void BuildExample41(lock::LockManager& manager) {
+  // Initial grants on R1.
+  Expect(manager, 1, kR1, LockMode::kIX, RequestOutcome::kGranted);
+  Expect(manager, 2, kR1, LockMode::kIS, RequestOutcome::kGranted);
+  Expect(manager, 3, kR1, LockMode::kIX, RequestOutcome::kGranted);
+  Expect(manager, 4, kR1, LockMode::kIS, RequestOutcome::kGranted);
+  // T2 upgrades IS->S first (blocked by T1's and T3's IX), then T1
+  // upgrades IX->SIX (blocked by T3's IX).  UPR-2 places T1 before T2.
+  Expect(manager, 2, kR1, LockMode::kS, RequestOutcome::kBlocked);
+  Expect(manager, 1, kR1, LockMode::kS, RequestOutcome::kBlocked);
+  // New requestors queue FIFO on R1.
+  Expect(manager, 5, kR1, LockMode::kIX, RequestOutcome::kBlocked);
+  Expect(manager, 6, kR1, LockMode::kS, RequestOutcome::kBlocked);
+  // T7 holds R2 in IS, then queues on R1.
+  Expect(manager, 7, kR2, LockMode::kIS, RequestOutcome::kGranted);
+  Expect(manager, 7, kR1, LockMode::kIX, RequestOutcome::kBlocked);
+  // R2's queue: T8, T9, then T3 (holder of R1) and T4 (holder of R1).
+  Expect(manager, 8, kR2, LockMode::kX, RequestOutcome::kBlocked);
+  Expect(manager, 9, kR2, LockMode::kIX, RequestOutcome::kBlocked);
+  Expect(manager, 3, kR2, LockMode::kS, RequestOutcome::kBlocked);
+  Expect(manager, 4, kR2, LockMode::kX, RequestOutcome::kBlocked);
+}
+
+void BuildExample51(lock::LockManager& manager) {
+  Expect(manager, 1, kR1, LockMode::kS, RequestOutcome::kGranted);
+  Expect(manager, 2, kR2, LockMode::kS, RequestOutcome::kGranted);
+  Expect(manager, 3, kR2, LockMode::kS, RequestOutcome::kGranted);
+  Expect(manager, 2, kR1, LockMode::kX, RequestOutcome::kBlocked);
+  Expect(manager, 3, kR1, LockMode::kS, RequestOutcome::kBlocked);
+  Expect(manager, 1, kR2, LockMode::kX, RequestOutcome::kBlocked);
+}
+
+void BuildFifoDeadlock(lock::LockManager& manager) {
+  Expect(manager, 1, kR1, LockMode::kS, RequestOutcome::kGranted);
+  Expect(manager, 3, kR2, LockMode::kS, RequestOutcome::kGranted);
+  Expect(manager, 2, kR1, LockMode::kX, RequestOutcome::kBlocked);
+  Expect(manager, 3, kR1, LockMode::kS, RequestOutcome::kBlocked);
+  Expect(manager, 1, kR2, LockMode::kX, RequestOutcome::kBlocked);
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,89 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/mds.h"
+
+#include <algorithm>
+
+#include "core/twbg.h"
+
+namespace twbg::core {
+
+std::set<lock::TransactionId> ShrinkToMinimal(
+    const lock::LockTable& table, std::set<lock::TransactionId> set) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (lock::TransactionId member :
+         std::vector<lock::TransactionId>(set.begin(), set.end())) {
+      std::set<lock::TransactionId> candidate = set;
+      candidate.erase(member);
+      if (IsDeadlockSet(table, candidate)) {
+        set = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return set;
+}
+
+std::vector<std::set<lock::TransactionId>> FindMinimalDeadlockSets(
+    const lock::LockTable& table, size_t max_cycles) {
+  HwTwbg graph = HwTwbg::Build(table);
+  std::vector<std::set<lock::TransactionId>> minimal;
+  for (const auto& cycle : graph.ElementaryCycles(max_cycles)) {
+    std::set<lock::TransactionId> shrunk =
+        ShrinkToMinimal(table, {cycle.begin(), cycle.end()});
+    if (std::find(minimal.begin(), minimal.end(), shrunk) == minimal.end()) {
+      minimal.push_back(std::move(shrunk));
+    }
+  }
+  std::sort(minimal.begin(), minimal.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return minimal;
+}
+
+bool IsDeadlockSet(const lock::LockTable& table,
+                   const std::set<lock::TransactionId>& candidate) {
+  if (candidate.empty()) return false;
+  lock::LockTable copy = table;
+  // Force-complete everything outside the candidate, repeatedly (releases
+  // can cascade grants to outsiders that then also complete).
+  for (;;) {
+    std::vector<lock::TransactionId> outsiders;
+    for (const auto& [rid, state] : copy) {
+      for (const lock::HolderEntry& h : state.holders()) {
+        if (candidate.count(h.tid) == 0) outsiders.push_back(h.tid);
+      }
+      for (const lock::QueueEntry& q : state.queue()) {
+        if (candidate.count(q.tid) == 0) outsiders.push_back(q.tid);
+      }
+    }
+    if (outsiders.empty()) break;
+    for (lock::TransactionId tid : outsiders) {
+      std::vector<lock::ResourceId> rids;
+      for (const auto& [rid, state] : copy) {
+        if (state.Involves(tid)) rids.push_back(rid);
+      }
+      for (lock::ResourceId rid : rids) {
+        copy.FindMutable(rid)->Remove(tid);
+        copy.EraseIfFree(rid);
+      }
+    }
+  }
+  // Deadlock set: every member still blocked.
+  for (lock::TransactionId tid : candidate) {
+    bool blocked = false;
+    bool present = false;
+    for (const auto& [rid, state] : copy) {
+      if (state.Involves(tid)) present = true;
+      if (state.IsBlockedHere(tid)) blocked = true;
+    }
+    if (!present || !blocked) return false;
+  }
+  return true;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,54 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Minimal deadlock sets (Definitions 1-3 of the paper's appendix).  A
+// deadlock set is a group of transactions none of which can proceed even
+// if everything outside the group finished; it is minimal when no proper
+// subset is itself a deadlock set.
+//
+// Every elementary cycle's vertex set is a deadlock set (each member
+// keeps waiting on its cycle predecessor), but — a subtlety the graph
+// view hides — it is not necessarily MINIMAL: completing a mid-queue
+// W-chain member merely re-links the queue around it, so such members can
+// sometimes be dropped while the rest stays stuck (e.g. T9 in the paper's
+// Example 4.1).  We therefore shrink each cycle set against the literal
+// Definition 1 check until no single member can be removed, and report
+// the deduplicated locally-minimal sets.
+//
+// Analysis-side tooling (not used by the detector, which resolves cycles
+// online): lets experiments and tests reason about the structure of a
+// deadlocked state.
+
+#ifndef TWBG_CORE_MDS_H_
+#define TWBG_CORE_MDS_H_
+
+#include <set>
+#include <vector>
+
+#include "lock/lock_table.h"
+
+namespace twbg::core {
+
+/// Locally-minimal deadlock sets of the current state (each obtained by
+/// shrinking an elementary cycle's vertex set until no single member can
+/// be dropped), deduplicated and ordered by size then lexicographically.
+/// `max_cycles` caps the underlying cycle enumeration.  Empty iff the
+/// system is deadlock-free.
+std::vector<std::set<lock::TransactionId>> FindMinimalDeadlockSets(
+    const lock::LockTable& table, size_t max_cycles = 1u << 16);
+
+/// Greedily removes members of `set` (ascending id, to fixpoint) while
+/// the remainder is still a deadlock set.  Requires `set` to be a
+/// deadlock set.
+std::set<lock::TransactionId> ShrinkToMinimal(
+    const lock::LockTable& table, std::set<lock::TransactionId> set);
+
+/// Verifies the defining property directly against the scheduler: with
+/// every transaction OUTSIDE `candidate` force-completed (locks released),
+/// every member of `candidate` is still blocked.  This is the literal
+/// Definition 1 check, independent of the graph model.
+bool IsDeadlockSet(const lock::LockTable& table,
+                   const std::set<lock::TransactionId>& candidate);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_MDS_H_

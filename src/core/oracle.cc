@@ -1,0 +1,71 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace twbg::core {
+
+OracleResult AnalyzeByReduction(const lock::LockTable& table,
+                                common::Rng* rng) {
+  lock::LockTable copy = table;
+
+  // Gather every transaction and its blocked state.
+  std::set<lock::TransactionId> all;
+  std::set<lock::TransactionId> blocked;
+  for (const auto& [rid, state] : copy) {
+    for (const lock::HolderEntry& h : state.holders()) {
+      all.insert(h.tid);
+      if (h.IsBlocked()) blocked.insert(h.tid);
+    }
+    for (const lock::QueueEntry& q : state.queue()) {
+      all.insert(q.tid);
+      blocked.insert(q.tid);
+    }
+  }
+
+  std::vector<lock::TransactionId> runnable;
+  for (lock::TransactionId tid : all) {
+    if (blocked.count(tid) == 0) runnable.push_back(tid);
+  }
+  if (rng != nullptr) rng->Shuffle(runnable);
+
+  std::set<lock::TransactionId> retired;
+  while (!runnable.empty()) {
+    lock::TransactionId tid = runnable.back();
+    runnable.pop_back();
+    if (!retired.insert(tid).second) continue;
+    // Complete `tid`: release all of its locks everywhere.
+    std::vector<lock::TransactionId> granted;
+    std::vector<lock::ResourceId> rids;
+    for (const auto& [rid, state] : copy) {
+      if (state.Involves(tid)) rids.push_back(rid);
+    }
+    for (lock::ResourceId rid : rids) {
+      lock::ResourceState* state = copy.FindMutable(rid);
+      std::vector<lock::TransactionId> g = state->Remove(tid);
+      granted.insert(granted.end(), g.begin(), g.end());
+      copy.EraseIfFree(rid);
+    }
+    for (lock::TransactionId g : granted) {
+      // A granted transaction may still be blocked elsewhere?  No: a
+      // transaction waits on at most one resource (Axiom 1), so a grant
+      // makes it runnable.
+      blocked.erase(g);
+      runnable.push_back(g);
+    }
+    if (rng != nullptr && !runnable.empty()) rng->Shuffle(runnable);
+  }
+
+  OracleResult result;
+  for (lock::TransactionId tid : blocked) {
+    if (retired.count(tid) == 0) result.stuck.push_back(tid);
+  }
+  std::sort(result.stuck.begin(), result.stuck.end());
+  result.deadlocked = !result.stuck.empty();
+  return result;
+}
+
+}  // namespace twbg::core

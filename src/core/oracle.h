@@ -1,0 +1,42 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Graph-free deadlock oracle implementing Definition 1 of the paper's
+// appendix directly: the system is deadlocked iff, after repeatedly
+// completing every transaction that can currently run (releasing its locks
+// and letting the scheduler grant whatever becomes grantable), some
+// blocked transaction remains.
+//
+// This is the ground truth that Theorem 1 (cycle in H/W-TWBG <=> deadlock)
+// is property-tested against.  It is exponential in neither time nor
+// space — each reduction step removes one transaction — but it is far too
+// destructive to use online (it simulates completing transactions), which
+// is exactly why the paper builds a graph model instead.
+
+#ifndef TWBG_CORE_ORACLE_H_
+#define TWBG_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/lock_table.h"
+
+namespace twbg::core {
+
+/// Result of the reduction analysis.
+struct OracleResult {
+  /// True when some transaction can never proceed without intervention.
+  bool deadlocked = false;
+  /// Every transaction blocked forever (cycle members plus transactions
+  /// queued behind them), ascending by id.
+  std::vector<lock::TransactionId> stuck;
+};
+
+/// Runs the reduction on a copy of `table`.  When `rng` is non-null the
+/// order in which runnable transactions are retired is randomized (used to
+/// property-test order independence of the residue); otherwise ascending.
+OracleResult AnalyzeByReduction(const lock::LockTable& table,
+                                common::Rng* rng = nullptr);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_ORACLE_H_

@@ -1,0 +1,28 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/periodic_detector.h"
+
+#include "core/tst.h"
+
+namespace twbg::core {
+
+ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
+                                           CostTable& costs) {
+  // Step 1: construct the TST (W + H edges) and initialize the walk state.
+  Tst tst = Tst::Build(manager.table());
+  const size_t num_transactions = tst.size();
+  const size_t num_edges = tst.NumEdges();
+
+  // Step 2: directed walk from every vertex in id order.
+  WalkOutcome walk =
+      RunWalk(tst, tst.Transactions(), manager, costs, options_);
+
+  // Step 3: confirm aborts and grants.
+  ResolutionReport report =
+      ApplyResolution(std::move(walk), manager, costs, options_);
+  report.num_transactions = num_transactions;
+  report.num_edges = num_edges;
+  return report;
+}
+
+}  // namespace twbg::core

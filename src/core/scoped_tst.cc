@@ -1,0 +1,61 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/scoped_tst.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace twbg::core {
+
+ScopedTst BuildReachableTst(const lock::LockManager& manager,
+                            lock::TransactionId root) {
+  ScopedTst result;
+  if (manager.Info(root) == nullptr) return result;
+
+  // Phase 1: expand the reachable region.  Out-edges of a transaction all
+  // come from resources it touches; process each resource once.
+  std::map<lock::ResourceId, std::vector<TwbgEdge>> edges_by_resource;
+  std::map<lock::TransactionId, std::vector<lock::TransactionId>> successors;
+  std::set<lock::TransactionId> discovered{root};
+  std::vector<lock::TransactionId> frontier{root};
+  while (!frontier.empty()) {
+    lock::TransactionId tid = frontier.back();
+    frontier.pop_back();
+    const lock::TxnLockInfo* info = manager.Info(tid);
+    if (info == nullptr) continue;
+    for (lock::ResourceId rid : info->touched) {
+      if (edges_by_resource.count(rid) != 0) continue;
+      const lock::ResourceState* state = manager.table().Find(rid);
+      if (state == nullptr) continue;
+      std::vector<TwbgEdge>& edges = edges_by_resource[rid];
+      AppendEcrEdgesForResource(*state, /*include_sentinels=*/true, edges);
+      for (const TwbgEdge& e : edges) {
+        if (!e.IsSentinel()) successors[e.from].push_back(e.to);
+      }
+    }
+    auto it = successors.find(tid);
+    if (it == successors.end()) continue;
+    for (lock::TransactionId next : it->second) {
+      if (discovered.insert(next).second) frontier.push_back(next);
+    }
+  }
+  result.resources_expanded = edges_by_resource.size();
+
+  // Phase 2: assemble deterministically — ascending resource order, every
+  // transaction appearing on an expanded resource gets an entry (targets
+  // of skip-checked edges must resolve).
+  std::vector<TwbgEdge> ordered;
+  std::vector<lock::TransactionId> txns;
+  for (const auto& [rid, edges] : edges_by_resource) {
+    ordered.insert(ordered.end(), edges.begin(), edges.end());
+    const lock::ResourceState* state = manager.table().Find(rid);
+    for (const lock::HolderEntry& h : state->holders()) txns.push_back(h.tid);
+    for (const lock::QueueEntry& q : state->queue()) txns.push_back(q.tid);
+  }
+  txns.push_back(root);
+  result.tst = Tst::FromEdges(ordered, txns);
+  return result;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,40 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Scoped TST construction for continuous detection: build only the region
+// of the H/W-TWBG reachable from one transaction, instead of the whole
+// table.  This is the practical optimization behind the continuous
+// companion algorithm (Park & Scheuermann, COMPSAC '91): a freshly blocked
+// transaction can only be part of cycles in its own wait neighbourhood,
+// so detection cost should scale with the size of that neighbourhood, not
+// with the whole system.
+//
+// The construction expands resources breadth-first: out-edges of a
+// transaction come exclusively from the resources it touches, so a
+// transaction is fully expanded once those resources' ECR edges are in.
+// The final TST emits edges in ascending-resource order, making the walk
+// behave identically to one over a full Tst::Build (verified by tests).
+
+#ifndef TWBG_CORE_SCOPED_TST_H_
+#define TWBG_CORE_SCOPED_TST_H_
+
+#include "core/tst.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+
+/// Result of a scoped construction, with the region size for reporting.
+struct ScopedTst {
+  Tst tst;
+  /// Resources whose ECR edges were materialized.
+  size_t resources_expanded = 0;
+};
+
+/// Builds the TST restricted to the waited-by closure of `root` (every
+/// transaction that transitively waits on it or that it waits on through
+/// shared resources).  Returns an empty TST when `root` is unknown.
+ScopedTst BuildReachableTst(const lock::LockManager& manager,
+                            lock::TransactionId root);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_SCOPED_TST_H_

@@ -1,0 +1,236 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/script.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+#include "core/oracle.h"
+#include "core/tst.h"
+#include "core/twbg.h"
+
+namespace twbg::core {
+
+namespace {
+
+std::optional<uint32_t> ParseId(std::string_view text) {
+  uint32_t value = 0;
+  // Allow a leading 'T' or 'R' for readability ("acquire T1 R10 X").
+  if (!text.empty() && (text[0] == 'T' || text[0] == 'R')) {
+    text.remove_prefix(1);
+  }
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string OutcomeName(lock::RequestOutcome outcome) {
+  switch (outcome) {
+    case lock::RequestOutcome::kGranted:
+      return "granted";
+    case lock::RequestOutcome::kAlreadyHeld:
+      return "alreadyheld";
+    case lock::RequestOutcome::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ScriptRunner::ScriptRunner(ScriptOptions options)
+    : options_(options), detector_(options.detector) {}
+
+Status ScriptRunner::DoAcquire(const std::vector<std::string>& args,
+                               std::string* out) {
+  if (args.size() != 4) {
+    return Status::InvalidArgument("usage: acquire <txn> <resource> <mode>");
+  }
+  std::optional<uint32_t> tid = ParseId(args[1]);
+  std::optional<uint32_t> rid = ParseId(args[2]);
+  std::optional<lock::LockMode> mode = lock::LockModeFromString(args[3]);
+  if (!tid || !rid || !mode) {
+    return Status::InvalidArgument(
+        common::Format("cannot parse acquire arguments '%s %s %s'",
+                       args[1].c_str(), args[2].c_str(), args[3].c_str()));
+  }
+  Result<lock::RequestOutcome> outcome = manager_.Acquire(*tid, *rid, *mode);
+  if (!outcome.ok()) return outcome.status();
+  last_outcome_ = *outcome;
+  *out += common::Format("T%u <- %s on R%u: %s\n", *tid, args[3].c_str(),
+                         *rid, OutcomeName(*outcome).c_str());
+  return Status::OK();
+}
+
+Status ScriptRunner::DoExpect(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument(
+        "usage: expect granted|blocked|alreadyheld");
+  }
+  if (!last_outcome_.has_value()) {
+    return Status::FailedPrecondition("no acquire to check");
+  }
+  const std::string actual = OutcomeName(*last_outcome_);
+  if (actual != args[1]) {
+    return Status::Internal(common::Format(
+        "expectation failed: wanted %s, got %s", args[1].c_str(),
+        actual.c_str()));
+  }
+  return Status::OK();
+}
+
+Status ScriptRunner::DoExpectAborted(const std::vector<std::string>& args) {
+  if (!last_report_.has_value()) {
+    return Status::FailedPrecondition("no detect to check");
+  }
+  std::vector<lock::TransactionId> wanted;
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::optional<uint32_t> tid = ParseId(args[i]);
+    if (!tid) {
+      return Status::InvalidArgument(
+          common::Format("bad transaction id '%s'", args[i].c_str()));
+    }
+    wanted.push_back(*tid);
+  }
+  if (wanted != last_report_->aborted) {
+    std::vector<std::string> got;
+    for (lock::TransactionId tid : last_report_->aborted) {
+      got.push_back(common::Format("T%u", tid));
+    }
+    return Status::Internal(common::Format(
+        "expectation failed: aborted = {%s}",
+        common::Join(got, ", ").c_str()));
+  }
+  return Status::OK();
+}
+
+Status ScriptRunner::ExecuteLine(std::string_view line, std::string* out) {
+  // Strip comments and whitespace.
+  size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> args;
+  for (std::string& token : common::Split(std::string(line), ' ',
+                                          /*skip_empty=*/true)) {
+    args.push_back(std::move(token));
+  }
+  if (args.empty()) return Status::OK();
+  if (options_.echo) {
+    *out += "> ";
+    *out += common::Join(args, " ");
+    *out += "\n";
+  }
+
+  const std::string& cmd = args[0];
+  if (cmd == "acquire") return DoAcquire(args, out);
+  if (cmd == "release") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: release <txn>");
+    }
+    std::optional<uint32_t> tid = ParseId(args[1]);
+    if (!tid) return Status::InvalidArgument("bad transaction id");
+    std::vector<lock::TransactionId> granted = manager_.ReleaseAll(*tid);
+    costs_.Erase(*tid);
+    *out += common::Format("released T%u; granted %zu waiter(s)\n", *tid,
+                           granted.size());
+    return Status::OK();
+  }
+  if (cmd == "cost") {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("usage: cost <txn> <value>");
+    }
+    std::optional<uint32_t> tid = ParseId(args[1]);
+    if (!tid) return Status::InvalidArgument("bad transaction id");
+    costs_.Set(*tid, std::strtod(args[2].c_str(), nullptr));
+    return Status::OK();
+  }
+  if (cmd == "detect") {
+    last_report_ = detector_.RunPass(manager_, costs_);
+    *out += last_report_->ToString();
+    return Status::OK();
+  }
+  if (cmd == "table") {
+    *out += manager_.table().ToString();
+    return Status::OK();
+  }
+  if (cmd == "graph") {
+    *out += HwTwbg::Build(manager_.table()).ToString();
+    return Status::OK();
+  }
+  if (cmd == "dot") {
+    *out += HwTwbg::Build(manager_.table()).ToDot();
+    return Status::OK();
+  }
+  if (cmd == "tst") {
+    *out += Tst::Build(manager_.table()).ToString();
+    return Status::OK();
+  }
+  if (cmd == "cycles") {
+    HwTwbg graph = HwTwbg::Build(manager_.table());
+    for (const auto& cycle : graph.ElementaryCycles()) {
+      std::vector<std::string> names;
+      for (lock::TransactionId tid : cycle) {
+        names.push_back(common::Format("T%u", tid));
+      }
+      *out += common::Format("cycle {%s}\n",
+                             common::Join(names, ", ").c_str());
+    }
+    return Status::OK();
+  }
+  if (cmd == "oracle") {
+    OracleResult oracle = AnalyzeByReduction(manager_.table());
+    std::vector<std::string> names;
+    for (lock::TransactionId tid : oracle.stuck) {
+      names.push_back(common::Format("T%u", tid));
+    }
+    *out += common::Format("deadlocked=%s stuck={%s}\n",
+                           oracle.deadlocked ? "yes" : "no",
+                           common::Join(names, ", ").c_str());
+    return Status::OK();
+  }
+  if (cmd == "costs") {
+    for (lock::TransactionId tid : manager_.KnownTransactions()) {
+      *out += common::Format("T%u: %.2f\n", tid, costs_.Get(tid));
+    }
+    return Status::OK();
+  }
+  if (cmd == "expect") return DoExpect(args);
+  if (cmd == "expect-deadlock") {
+    if (args.size() != 2 || (args[1] != "yes" && args[1] != "no")) {
+      return Status::InvalidArgument("usage: expect-deadlock yes|no");
+    }
+    const bool actual = HwTwbg::Build(manager_.table()).HasCycle();
+    if (actual != (args[1] == "yes")) {
+      return Status::Internal(common::Format(
+          "expectation failed: deadlock = %s", actual ? "yes" : "no"));
+    }
+    return Status::OK();
+  }
+  if (cmd == "expect-aborted") return DoExpectAborted(args);
+  if (cmd == "reset") {
+    manager_ = lock::LockManager();
+    costs_ = CostTable();
+    last_outcome_.reset();
+    last_report_.reset();
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      common::Format("unknown command '%s'", cmd.c_str()));
+}
+
+Status ScriptRunner::ExecuteScript(std::string_view text, std::string* out) {
+  size_t line_number = 0;
+  for (const std::string& line : common::Split(text, '\n')) {
+    ++line_number;
+    Status status = ExecuteLine(line, out);
+    if (!status.ok()) {
+      return Status::Internal(common::Format(
+          "line %zu: %s", line_number, std::string(status.message()).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,81 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// A tiny textual command language for driving a lock manager and the
+// periodic detector — reproducible deadlock scenarios as plain text files,
+// used by the interactive example (examples/deadlock_repl) and by tests.
+//
+// Commands, one per line ('#' starts a comment):
+//
+//   acquire <txn> <resource> <mode>   issue a lock request (mode: IS, IX,
+//                                     S, SIX, X)
+//   release <txn>                     commit/abort: release everything
+//   cost <txn> <value>                set the abort cost
+//   detect                            one periodic detection-resolution
+//                                     pass
+//   table | graph | tst | dot | cycles | oracle | costs
+//                                     print the respective view
+//   expect granted|blocked|alreadyheld
+//                                     assert the outcome of the last
+//                                     acquire
+//   expect-deadlock yes|no            assert cycle existence
+//   expect-aborted <txn> [...]        assert the last detect's abortees
+//   reset                             fresh lock manager and cost table
+
+#ifndef TWBG_CORE_SCRIPT_H_
+#define TWBG_CORE_SCRIPT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/cost_table.h"
+#include "core/detector.h"
+#include "core/periodic_detector.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+
+/// Options for a script run.
+struct ScriptOptions {
+  DetectorOptions detector;
+  /// Echo each command before its output.
+  bool echo = false;
+};
+
+/// Stateful interpreter.  Not thread-safe.
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(ScriptOptions options = {});
+
+  /// Executes one line, appending any output to `*out`.  Unknown commands
+  /// and failed expectations return errors; the state is left as-is.
+  Status ExecuteLine(std::string_view line, std::string* out);
+
+  /// Executes a whole script, stopping at the first error (reported with
+  /// its 1-based line number).
+  Status ExecuteScript(std::string_view text, std::string* out);
+
+  lock::LockManager& manager() { return manager_; }
+  CostTable& costs() { return costs_; }
+
+  /// Report of the most recent `detect`, if any.
+  const std::optional<ResolutionReport>& last_report() const {
+    return last_report_;
+  }
+
+ private:
+  Status DoAcquire(const std::vector<std::string>& args, std::string* out);
+  Status DoExpect(const std::vector<std::string>& args);
+  Status DoExpectAborted(const std::vector<std::string>& args);
+
+  ScriptOptions options_;
+  lock::LockManager manager_;
+  CostTable costs_;
+  PeriodicDetector detector_;
+  std::optional<lock::RequestOutcome> last_outcome_;
+  std::optional<ResolutionReport> last_report_;
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_SCRIPT_H_

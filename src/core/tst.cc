@@ -1,0 +1,89 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/tst.h"
+
+#include "common/string_util.h"
+
+namespace twbg::core {
+
+Tst Tst::Build(const lock::LockTable& table) {
+  std::vector<lock::TransactionId> txns;
+  for (const auto& [rid, state] : table) {
+    for (const lock::HolderEntry& h : state.holders()) txns.push_back(h.tid);
+    for (const lock::QueueEntry& q : state.queue()) txns.push_back(q.tid);
+  }
+  return FromEdges(BuildEcrEdges(table, /*include_sentinels=*/true), txns);
+}
+
+Tst Tst::FromEdges(const std::vector<TwbgEdge>& edges,
+                   const std::vector<lock::TransactionId>& txns) {
+  Tst tst;
+  for (lock::TransactionId tid : txns) tst.entries_[tid];
+  // W edges first (each queue member has exactly one, so "first" is
+  // well-defined), then H edges in construction order.
+  for (const TwbgEdge& e : edges) {
+    if (e.IsW()) {
+      TstEntry& entry = tst.entries_[e.from];
+      TWBG_CHECK(entry.waited.empty());  // at most one W edge per vertex
+      entry.waited.push_back(e);
+      entry.pr = e.rid;
+    }
+  }
+  for (const TwbgEdge& e : edges) {
+    if (e.IsH()) tst.entries_[e.from].waited.push_back(e);
+  }
+  return tst;
+}
+
+TstEntry& Tst::At(lock::TransactionId tid) {
+  auto it = entries_.find(tid);
+  TWBG_CHECK(it != entries_.end());
+  return it->second;
+}
+
+const TstEntry& Tst::At(lock::TransactionId tid) const {
+  auto it = entries_.find(tid);
+  TWBG_CHECK(it != entries_.end());
+  return it->second;
+}
+
+bool Tst::Contains(lock::TransactionId tid) const {
+  return entries_.find(tid) != entries_.end();
+}
+
+std::vector<lock::TransactionId> Tst::Transactions() const {
+  std::vector<lock::TransactionId> out;
+  out.reserve(entries_.size());
+  for (const auto& [tid, entry] : entries_) out.push_back(tid);
+  return out;
+}
+
+size_t Tst::NumEdges() const {
+  size_t n = 0;
+  for (const auto& [tid, entry] : entries_) n += entry.waited.size();
+  return n;
+}
+
+std::string Tst::ToString() const {
+  std::string out;
+  for (const auto& [tid, entry] : entries_) {
+    out += common::Format("T%u: pr=", tid);
+    out += entry.pr.has_value() ? common::Format("R%u", *entry.pr) : "-";
+    out += " waited=[";
+    std::vector<std::string> parts;
+    for (const TwbgEdge& e : entry.waited) {
+      if (e.IsSentinel()) {
+        parts.push_back(common::Format(
+            "(%s, end)", std::string(lock::ToString(e.lock)).c_str()));
+      } else {
+        parts.push_back(common::Format(
+            "(%s, T%u)", std::string(lock::ToString(e.lock)).c_str(), e.to));
+      }
+    }
+    out += common::Join(parts, " ");
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,91 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The Transaction Status Table (TST) of §5 — the internal structure the
+// periodic detection-resolution algorithm walks.  One entry per known
+// transaction with:
+//
+//   * waited  — the outgoing H/W-TWBG edges (who waits on this
+//               transaction).  The W-labeled edge, if any, is kept at the
+//               front of the list (the paper requires it so that longer
+//               cycles through queues are detected before the inner ones,
+//               see Example 5.1), followed by H-labeled edges;
+//   * pr      — the resource in whose queue the transaction is blocked;
+//   * ancestor/current — the directed-walk bookkeeping of Step 2.
+//
+// The paper encodes "nil" currents as a null pointer; we use an index one
+// past the end of `waited`.
+
+#ifndef TWBG_CORE_TST_H_
+#define TWBG_CORE_TST_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ecr.h"
+#include "lock/lock_table.h"
+
+namespace twbg::core {
+
+/// One TST entry.
+struct TstEntry {
+  /// 0 = unvisited, kRoot = walk root, otherwise the tid of the vertex we
+  /// descended from.
+  int64_t ancestor = 0;
+  /// Index of the next edge to explore in `waited`; >= waited.size()
+  /// means "nil" (exhausted, or forced nil for victims / AV members).
+  size_t current = 0;
+  /// Resource in whose queue this transaction waits, if any.
+  std::optional<lock::ResourceId> pr;
+  /// Outgoing edges: at most one W edge first (possibly the sentinel with
+  /// to == 0), then H edges in ECR construction order.
+  std::vector<TwbgEdge> waited;
+
+  static constexpr int64_t kRoot = -1;
+
+  bool CurrentIsNil() const { return current >= waited.size(); }
+  void SetCurrentNil() { current = waited.size(); }
+  const TwbgEdge& CurrentEdge() const { return waited[current]; }
+};
+
+/// The TST.  Built fresh at the start of every periodic pass (Step 1); the
+/// paper materializes only the H edges then (W edges live in its lock
+/// table), which is observationally identical.
+class Tst {
+ public:
+  /// Builds the complete TST (W edges with sentinels + H edges via ECR)
+  /// for every transaction appearing in `table`.
+  static Tst Build(const lock::LockTable& table);
+
+  /// Assembles a TST from a pre-built edge list (which must include
+  /// sentinel W edges) plus the full vertex set — used by the scoped
+  /// builder.  Edge order must follow the ascending-rid ECR construction
+  /// order for walk behaviour to match Build().
+  static Tst FromEdges(const std::vector<TwbgEdge>& edges,
+                       const std::vector<lock::TransactionId>& txns);
+
+  TstEntry& At(lock::TransactionId tid);
+  const TstEntry& At(lock::TransactionId tid) const;
+  bool Contains(lock::TransactionId tid) const;
+
+  /// Transaction ids ascending — the Step 2 outer loop order.
+  std::vector<lock::TransactionId> Transactions() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Total number of edges (including sentinels).
+  size_t NumEdges() const;
+
+  /// Figure 5.1-style dump: one line per transaction with pr and the
+  /// waited list.
+  std::string ToString() const;
+
+ private:
+  std::map<lock::TransactionId, TstEntry> entries_;
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_TST_H_

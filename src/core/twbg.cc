@@ -1,0 +1,145 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/twbg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "graph/digraph.h"
+#include "graph/johnson.h"
+
+namespace twbg::core {
+
+std::string Trrp::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(nodes.size());
+  for (lock::TransactionId tid : nodes) {
+    parts.push_back(common::Format("T%u", tid));
+  }
+  return common::Format("(%s) on R%u", common::Join(parts, ", ").c_str(),
+                        rid);
+}
+
+HwTwbg HwTwbg::Build(const lock::LockTable& table) {
+  HwTwbg graph;
+  graph.edges_ = BuildEcrEdges(table, /*include_sentinels=*/false);
+  std::set<lock::TransactionId> nodes;
+  for (const auto& [rid, state] : table) {
+    for (const lock::HolderEntry& h : state.holders()) nodes.insert(h.tid);
+    for (const lock::QueueEntry& q : state.queue()) nodes.insert(q.tid);
+  }
+  graph.nodes_.assign(nodes.begin(), nodes.end());
+  uint32_t index = 0;
+  for (lock::TransactionId tid : graph.nodes_) graph.dense_[tid] = index++;
+  return graph;
+}
+
+std::vector<TwbgEdge> HwTwbg::OutEdges(lock::TransactionId tid) const {
+  std::vector<TwbgEdge> out;
+  for (const TwbgEdge& e : edges_) {
+    if (e.from == tid) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+graph::Digraph ToDigraph(const std::vector<TwbgEdge>& edges,
+                         const std::map<lock::TransactionId, uint32_t>& dense,
+                         size_t num_nodes) {
+  graph::Digraph dg(num_nodes);
+  for (const TwbgEdge& e : edges) {
+    dg.AddEdge(dense.at(e.from), dense.at(e.to));
+  }
+  return dg;
+}
+
+}  // namespace
+
+bool HwTwbg::HasCycle() const {
+  return ToDigraph(edges_, dense_, nodes_.size()).HasCycle();
+}
+
+std::vector<std::vector<lock::TransactionId>> HwTwbg::ElementaryCycles(
+    size_t max_cycles) const {
+  graph::Digraph dg = ToDigraph(edges_, dense_, nodes_.size());
+  std::vector<std::vector<lock::TransactionId>> out;
+  for (const auto& circuit : graph::ElementaryCircuits(dg, max_cycles)) {
+    std::vector<lock::TransactionId> cycle;
+    cycle.reserve(circuit.size());
+    for (graph::NodeId node : circuit) cycle.push_back(nodes_[node]);
+    out.push_back(std::move(cycle));
+  }
+  return out;
+}
+
+const TwbgEdge* HwTwbg::FindEdge(lock::TransactionId from,
+                                 lock::TransactionId to) const {
+  for (const TwbgEdge& e : edges_) {
+    if (e.from == from && e.to == to) return &e;
+  }
+  return nullptr;
+}
+
+Result<std::vector<Trrp>> HwTwbg::DecomposeCycle(
+    const std::vector<lock::TransactionId>& cycle) const {
+  if (cycle.size() < 2) {
+    return Status::InvalidArgument("a cycle has at least two vertices");
+  }
+  const size_t n = cycle.size();
+  // Validate edges and find the first H-edge tail to rotate to.
+  std::vector<const TwbgEdge*> cycle_edges(n);
+  size_t first_h = n;
+  for (size_t i = 0; i < n; ++i) {
+    const TwbgEdge* e = FindEdge(cycle[i], cycle[(i + 1) % n]);
+    if (e == nullptr) {
+      return Status::InvalidArgument(common::Format(
+          "no edge T%u -> T%u in the graph", cycle[i], cycle[(i + 1) % n]));
+    }
+    cycle_edges[i] = e;
+    if (e->IsH() && first_h == n) first_h = i;
+  }
+  if (first_h == n) {
+    return Status::Internal("all-W cycle: contradicts Lemma 1");
+  }
+  // Walk from the first H edge, cutting a new TRRP at each H edge.
+  std::vector<Trrp> trrps;
+  for (size_t step = 0; step < n; ++step) {
+    const size_t i = (first_h + step) % n;
+    const TwbgEdge* e = cycle_edges[i];
+    if (e->IsH()) {
+      Trrp trrp;
+      trrp.rid = e->rid;
+      trrp.nodes.push_back(e->from);
+      trrps.push_back(std::move(trrp));
+    }
+    trrps.back().nodes.push_back(e->to);
+  }
+  return trrps;
+}
+
+std::string HwTwbg::ToDot() const {
+  std::string out = "digraph hwtwbg {\n  rankdir=LR;\n";
+  for (lock::TransactionId tid : nodes_) {
+    out += common::Format("  T%u;\n", tid);
+  }
+  for (const TwbgEdge& e : edges_) {
+    out += common::Format("  T%u -> T%u [label=\"%s R%u\"%s];\n", e.from,
+                          e.to, e.IsH() ? "H" : "W", e.rid,
+                          e.IsH() ? "" : ", style=dashed");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string HwTwbg::ToString() const {
+  std::string out;
+  for (const TwbgEdge& e : edges_) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,85 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The Holder/Waiter-Transaction Waited-By Graph (H/W-TWBG, §4) as an
+// analyzable labeled digraph: cycle existence, elementary-cycle
+// enumeration (via Johnson, for analysis and tests — the detector itself
+// never enumerates), TRRP decomposition of cycles, and DOT export.
+//
+// Properties established by the paper and checked by our property tests:
+//   P1 no cycle consists of W edges only (Lemma 1);
+//   P2 no cycle is a single TRRP (Lemma 2);
+//   P3 every cycle has >= 2 TRRPs (Lemma 3);
+//   P4 cycle exists <=> the system is deadlocked (Theorem 1).
+
+#ifndef TWBG_CORE_TWBG_H_
+#define TWBG_CORE_TWBG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ecr.h"
+#include "lock/lock_table.h"
+
+namespace twbg::core {
+
+/// A Transaction Resource Request Path: one H-labeled edge followed by the
+/// (possibly empty) run of W-labeled edges after it.  `nodes` lists the
+/// vertices in order (nodes[0] is the H-edge tail, the holder side);
+/// `rid` is the resource whose holder list / queue induced the path.
+struct Trrp {
+  std::vector<lock::TransactionId> nodes;
+  lock::ResourceId rid = 0;
+
+  /// "(T7, T8, T9, T3) on R2" — the paper's notation.
+  std::string ToString() const;
+};
+
+/// Immutable snapshot of the H/W-TWBG for a lock table.
+class HwTwbg {
+ public:
+  /// Builds the graph by ECR 1-3 (no sentinel edges).
+  static HwTwbg Build(const lock::LockTable& table);
+
+  /// All real edges in construction order.
+  const std::vector<TwbgEdge>& edges() const { return edges_; }
+
+  /// All vertices (transactions appearing in the lock table), ascending.
+  const std::vector<lock::TransactionId>& nodes() const { return nodes_; }
+
+  /// Outgoing edges of `tid` (possibly empty).
+  std::vector<TwbgEdge> OutEdges(lock::TransactionId tid) const;
+
+  /// True when the graph has a directed cycle (i.e. the system is
+  /// deadlocked, by Theorem 1).
+  bool HasCycle() const;
+
+  /// All elementary cycles as vertex sequences, capped at `max_cycles`.
+  std::vector<std::vector<lock::TransactionId>> ElementaryCycles(
+      size_t max_cycles = 1u << 20) const;
+
+  /// Decomposes a cycle into its TRRPs.  The cycle is rotated so the first
+  /// TRRP starts at the cycle's first H-edge tail (one exists by Lemma 1).
+  /// Returns an error when `cycle` is not a cycle of this graph.
+  Result<std::vector<Trrp>> DecomposeCycle(
+      const std::vector<lock::TransactionId>& cycle) const;
+
+  /// Label lookup: the unique edge from -> to, if present.
+  const TwbgEdge* FindEdge(lock::TransactionId from,
+                           lock::TransactionId to) const;
+
+  /// Graphviz DOT (H edges solid, W edges dashed, annotated with rids).
+  std::string ToDot() const;
+
+  /// One edge per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<TwbgEdge> edges_;
+  std::vector<lock::TransactionId> nodes_;
+  std::map<lock::TransactionId, uint32_t> dense_;  // tid -> dense index
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_TWBG_H_

@@ -1,0 +1,64 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/digraph.h"
+
+#include "common/macros.h"
+
+namespace twbg::graph {
+
+void Digraph::AddEdge(NodeId from, NodeId to) {
+  TWBG_CHECK(from < adjacency_.size());
+  TWBG_CHECK(to < adjacency_.size());
+  adjacency_[from].push_back(to);
+  ++num_edges_;
+}
+
+namespace {
+
+enum class Color : uint8_t { kWhite, kGray, kBlack };
+
+}  // namespace
+
+bool Digraph::HasCycle() const { return FindCycle().has_value(); }
+
+std::optional<std::vector<NodeId>> Digraph::FindCycle() const {
+  const size_t n = adjacency_.size();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeId> parent(n, 0);
+  // Iterative DFS with an explicit (node, edge-index) stack.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, edge_index] = stack.back();
+      if (edge_index < adjacency_[node].size()) {
+        NodeId next = adjacency_[node][edge_index++];
+        if (color[next] == Color::kGray) {
+          // Back edge: recover the cycle next -> ... -> node -> next.
+          std::vector<NodeId> cycle;
+          NodeId walk = node;
+          cycle.push_back(walk);
+          while (walk != next) {
+            walk = parent[walk];
+            cycle.push_back(walk);
+          }
+          std::vector<NodeId> ordered(cycle.rbegin(), cycle.rend());
+          return ordered;
+        }
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace twbg::graph

@@ -1,0 +1,50 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Minimal directed-graph container over dense node indices, plus iterative
+// cycle detection.  Used by the test oracles, the baselines and the
+// complexity experiments; the H/W-TWBG itself lives in core/ with labeled
+// edges and its own TST-style representation.
+
+#ifndef TWBG_GRAPH_DIGRAPH_H_
+#define TWBG_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace twbg::graph {
+
+using NodeId = uint32_t;
+
+/// Adjacency-list digraph with nodes 0..n-1.  Parallel edges are allowed;
+/// algorithms treat them as a single relation.
+class Digraph {
+ public:
+  explicit Digraph(size_t num_nodes) : adjacency_(num_nodes) {}
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds edge from -> to.  Both ids must be < num_nodes().
+  void AddEdge(NodeId from, NodeId to);
+
+  const std::vector<NodeId>& OutEdges(NodeId node) const {
+    return adjacency_[node];
+  }
+
+  /// True when the graph contains a directed cycle (iterative
+  /// three-color DFS).
+  bool HasCycle() const;
+
+  /// Returns the nodes of some directed cycle in order (first node is
+  /// repeated implicitly), or nullopt when acyclic.
+  std::optional<std::vector<NodeId>> FindCycle() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace twbg::graph
+
+#endif  // TWBG_GRAPH_DIGRAPH_H_

@@ -1,0 +1,135 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/johnson.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/tarjan.h"
+
+namespace twbg::graph {
+
+namespace {
+
+// State for one run of Johnson's circuit enumeration.
+class JohnsonState {
+ public:
+  JohnsonState(const Digraph& graph, size_t max_circuits)
+      : graph_(graph),
+        max_circuits_(max_circuits),
+        blocked_(graph.num_nodes(), false),
+        block_map_(graph.num_nodes()) {}
+
+  std::vector<std::vector<NodeId>> Run() {
+    const size_t n = graph_.num_nodes();
+    // Process SCCs in increasing least-vertex order, per Johnson.
+    for (NodeId start = 0; start < n && circuits_.size() < max_circuits_;
+         ++start) {
+      // Subgraph induced by nodes >= start; find the SCC containing the
+      // least vertex.
+      std::vector<NodeId> component = LeastScc(start);
+      if (component.empty()) continue;
+      start_ = *std::min_element(component.begin(), component.end());
+      in_component_.assign(n, false);
+      for (NodeId v : component) in_component_[v] = true;
+      for (NodeId v : component) {
+        blocked_[v] = false;
+        block_map_[v].clear();
+      }
+      Circuit(start_);
+      start = start_;  // outer loop increments past it
+    }
+    return std::move(circuits_);
+  }
+
+ private:
+  // SCC with >= 2 nodes (or self-loop) containing the smallest possible
+  // least vertex >= `from`; empty when none.
+  std::vector<NodeId> LeastScc(NodeId from) {
+    const size_t n = graph_.num_nodes();
+    Digraph sub(n);
+    for (NodeId u = from; u < n; ++u) {
+      for (NodeId v : graph_.OutEdges(u)) {
+        if (v >= from) sub.AddEdge(u, v);
+      }
+    }
+    std::vector<std::vector<NodeId>> cyclic = CyclicComponents(sub);
+    std::vector<NodeId> best;
+    NodeId best_min = UINT32_MAX;
+    for (auto& component : cyclic) {
+      NodeId least = *std::min_element(component.begin(), component.end());
+      if (least < best_min) {
+        best_min = least;
+        best = std::move(component);
+      }
+    }
+    return best;
+  }
+
+  void Unblock(NodeId u) {
+    blocked_[u] = false;
+    for (NodeId w : block_map_[u]) {
+      if (blocked_[w]) Unblock(w);
+    }
+    block_map_[u].clear();
+  }
+
+  bool Circuit(NodeId v) {
+    if (circuits_.size() >= max_circuits_) return true;
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    for (NodeId w : graph_.OutEdges(v)) {
+      if (!in_component_[w]) continue;
+      if (w == start_) {
+        circuits_.push_back(path_);
+        found = true;
+        if (circuits_.size() >= max_circuits_) break;
+      } else if (!blocked_[w]) {
+        if (Circuit(w)) found = true;
+        if (circuits_.size() >= max_circuits_) break;
+      }
+    }
+    if (found) {
+      Unblock(v);
+    } else {
+      for (NodeId w : graph_.OutEdges(v)) {
+        if (!in_component_[w]) continue;
+        block_map_[w].insert(v);
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  const Digraph& graph_;
+  const size_t max_circuits_;
+  NodeId start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<bool> in_component_;
+  std::vector<std::set<NodeId>> block_map_;
+  std::vector<NodeId> path_;
+  std::vector<std::vector<NodeId>> circuits_;
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> ElementaryCircuits(const Digraph& graph,
+                                                    size_t max_circuits) {
+  // Deduplicate parallel edges first: circuits are node sequences.
+  Digraph dedup(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    std::set<NodeId> seen;
+    for (NodeId v : graph.OutEdges(u)) {
+      if (seen.insert(v).second) dedup.AddEdge(u, v);
+    }
+  }
+  JohnsonState state(dedup, max_circuits);
+  return state.Run();
+}
+
+size_t CountElementaryCircuits(const Digraph& graph, size_t max_circuits) {
+  return ElementaryCircuits(graph, max_circuits).size();
+}
+
+}  // namespace twbg::graph

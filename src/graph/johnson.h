@@ -1,0 +1,35 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Johnson's algorithm for listing all elementary circuits of a directed
+// graph (SIAM J. Computing 4(1), 1975 — the paper's reference [15]).
+//
+// The periodic detector deliberately does NOT enumerate all circuits (its
+// cycle count c' is bounded by min(c, n)); Johnson's enumeration serves as
+//   * the ground-truth oracle for cycle counts in tests, and
+//   * the baseline quantifying what full enumeration costs (the paper's
+//     critique of Jiang's participator listing, which is exponential in
+//     the worst case).
+
+#ifndef TWBG_GRAPH_JOHNSON_H_
+#define TWBG_GRAPH_JOHNSON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace twbg::graph {
+
+/// Enumerates elementary circuits (no repeated node except first == last;
+/// reported without the repeat).  Stops after `max_circuits` to bound the
+/// worst case (3^(n/3) circuits exist for complete graphs).
+std::vector<std::vector<NodeId>> ElementaryCircuits(
+    const Digraph& graph, size_t max_circuits = 1u << 20);
+
+/// Number of elementary circuits, capped at `max_circuits`.
+size_t CountElementaryCircuits(const Digraph& graph,
+                               size_t max_circuits = 1u << 20);
+
+}  // namespace twbg::graph
+
+#endif  // TWBG_GRAPH_JOHNSON_H_

@@ -1,0 +1,82 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/tarjan.h"
+
+#include <algorithm>
+
+namespace twbg::graph {
+
+std::vector<std::vector<NodeId>> StronglyConnectedComponents(
+    const Digraph& graph) {
+  const size_t n = graph.num_nodes();
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  std::vector<std::vector<NodeId>> components;
+  uint32_t next_index = 0;
+
+  // Iterative Tarjan: frames of (node, edge cursor).
+  std::vector<std::pair<NodeId, size_t>> frames;
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      auto& [node, cursor] = frames.back();
+      if (cursor < graph.OutEdges(node).size()) {
+        NodeId next = graph.OutEdges(node)[cursor++];
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          scc_stack.push_back(next);
+          on_stack[next] = true;
+          frames.emplace_back(next, 0);
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+      } else {
+        if (lowlink[node] == index[node]) {
+          std::vector<NodeId> component;
+          for (;;) {
+            NodeId member = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[member] = false;
+            component.push_back(member);
+            if (member == node) break;
+          }
+          components.push_back(std::move(component));
+        }
+        NodeId finished = node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          NodeId parent = frames.back().first;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<std::vector<NodeId>> CyclicComponents(const Digraph& graph) {
+  std::vector<std::vector<NodeId>> cyclic;
+  for (auto& component : StronglyConnectedComponents(graph)) {
+    if (component.size() > 1) {
+      cyclic.push_back(std::move(component));
+      continue;
+    }
+    NodeId node = component[0];
+    for (NodeId next : graph.OutEdges(node)) {
+      if (next == node) {
+        cyclic.push_back(std::move(component));
+        break;
+      }
+    }
+  }
+  return cyclic;
+}
+
+}  // namespace twbg::graph

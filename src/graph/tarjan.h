@@ -1,0 +1,27 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tarjan's strongly-connected-components algorithm (iterative).  SCCs of
+// size > 1 (or with a self loop) are exactly the cycle-carrying regions of
+// a wait graph; baselines and oracles use this to find deadlocked groups.
+
+#ifndef TWBG_GRAPH_TARJAN_H_
+#define TWBG_GRAPH_TARJAN_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace twbg::graph {
+
+/// Returns all strongly connected components; each component lists its
+/// nodes.  Components are emitted in reverse topological order.
+std::vector<std::vector<NodeId>> StronglyConnectedComponents(
+    const Digraph& graph);
+
+/// Components that contain at least one cycle: size > 1, or a single node
+/// with a self loop.
+std::vector<std::vector<NodeId>> CyclicComponents(const Digraph& graph);
+
+}  // namespace twbg::graph
+
+#endif  // TWBG_GRAPH_TARJAN_H_

@@ -1,0 +1,152 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "lock/lock_manager.h"
+
+#include "common/string_util.h"
+
+namespace twbg::lock {
+
+Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
+                                            LockMode mode) {
+  if (tid == kInvalidTransaction) {
+    return Status::InvalidArgument("invalid transaction id 0");
+  }
+  TxnLockInfo& info = txns_[tid];
+  if (info.blocked_on.has_value()) {
+    return Status::FailedPrecondition(common::Format(
+        "T%u is blocked on R%u and cannot request R%u", tid,
+        *info.blocked_on, rid));
+  }
+  ResourceState& state = table_.GetOrCreate(rid);
+  Result<RequestOutcome> outcome = state.Request(tid, mode);
+  if (!outcome.ok()) {
+    table_.EraseIfFree(rid);
+    return outcome;
+  }
+  info.touched.insert(rid);
+  if (*outcome == RequestOutcome::kBlocked) {
+    info.blocked_on = rid;
+    const HolderEntry* h = state.FindHolder(tid);
+    info.blocked_mode = h != nullptr ? h->blocked : mode;
+  }
+  return outcome;
+}
+
+std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return {};
+  std::vector<TransactionId> granted;
+  for (ResourceId rid : it->second.touched) {
+    ResourceState* state = table_.FindMutable(rid);
+    if (state == nullptr) continue;
+    std::vector<TransactionId> g = state->Remove(tid);
+    granted.insert(granted.end(), g.begin(), g.end());
+    table_.EraseIfFree(rid);
+  }
+  txns_.erase(it);
+  NoteGranted(granted);
+  return granted;
+}
+
+std::vector<TransactionId> LockManager::Reschedule(ResourceId rid) {
+  ResourceState* state = table_.FindMutable(rid);
+  if (state == nullptr) return {};
+  std::vector<TransactionId> granted = state->Reschedule();
+  NoteGranted(granted);
+  return granted;
+}
+
+Status LockManager::ApplyTdr2(ResourceId rid, TransactionId junction) {
+  ResourceState* state = table_.FindMutable(rid);
+  if (state == nullptr) {
+    return Status::NotFound(common::Format("R%u is not locked", rid));
+  }
+  return state->ApplyTdr2(junction);
+}
+
+bool LockManager::IsBlocked(TransactionId tid) const {
+  const TxnLockInfo* info = Info(tid);
+  return info != nullptr && info->blocked_on.has_value();
+}
+
+std::optional<ResourceId> LockManager::BlockedOn(TransactionId tid) const {
+  const TxnLockInfo* info = Info(tid);
+  return info != nullptr ? info->blocked_on : std::nullopt;
+}
+
+const TxnLockInfo* LockManager::Info(TransactionId tid) const {
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::vector<TransactionId> LockManager::KnownTransactions() const {
+  std::vector<TransactionId> out;
+  out.reserve(txns_.size());
+  for (const auto& [tid, info] : txns_) out.push_back(tid);
+  return out;
+}
+
+std::vector<TransactionId> LockManager::BlockedTransactions() const {
+  std::vector<TransactionId> out;
+  for (const auto& [tid, info] : txns_) {
+    if (info.blocked_on.has_value()) out.push_back(tid);
+  }
+  return out;
+}
+
+void LockManager::NoteGranted(const std::vector<TransactionId>& granted) {
+  for (TransactionId tid : granted) {
+    auto it = txns_.find(tid);
+    if (it != txns_.end()) {
+      it->second.blocked_on.reset();
+      it->second.blocked_mode = LockMode::kNL;
+    }
+  }
+}
+
+Status LockManager::CheckInvariants() const {
+  TWBG_RETURN_IF_ERROR(table_.CheckInvariants());
+  for (const auto& [tid, info] : txns_) {
+    // blocked_on matches the table.
+    if (info.blocked_on.has_value()) {
+      const ResourceState* state = table_.Find(*info.blocked_on);
+      if (state == nullptr || !state->IsBlockedHere(tid)) {
+        return Status::Internal(common::Format(
+            "T%u claims blocked on R%u but the table disagrees", tid,
+            info.blocked_on.value_or(0)));
+      }
+    }
+    // No blocked appearance outside blocked_on; touched covers appearances.
+    for (const auto& [rid, state] : table_) {
+      const bool involved = state.Involves(tid);
+      if (involved && info.touched.count(rid) == 0) {
+        return Status::Internal(common::Format(
+            "T%u appears on R%u but it is not in its touched set", tid, rid));
+      }
+      if (state.IsBlockedHere(tid) &&
+          (!info.blocked_on.has_value() || *info.blocked_on != rid)) {
+        return Status::Internal(common::Format(
+            "T%u is blocked on R%u but bookkeeping says otherwise", tid, rid));
+      }
+    }
+  }
+  // Every table appearance belongs to a known transaction (Axiom 1 global:
+  // a transaction waits on at most one resource).
+  for (const auto& [rid, state] : table_) {
+    for (const HolderEntry& h : state.holders()) {
+      if (txns_.find(h.tid) == txns_.end()) {
+        return Status::Internal(
+            common::Format("unknown holder T%u on R%u", h.tid, rid));
+      }
+    }
+    for (const QueueEntry& q : state.queue()) {
+      if (txns_.find(q.tid) == txns_.end()) {
+        return Status::Internal(
+            common::Format("unknown waiter T%u on R%u", q.tid, rid));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace twbg::lock

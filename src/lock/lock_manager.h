@@ -1,0 +1,94 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Transaction-facing lock manager.  Wraps the LockTable with per-transaction
+// bookkeeping (which resources a transaction touches, where it is blocked)
+// and enforces the sequential-transaction-processing model: a blocked
+// transaction cannot issue further requests (Axiom 1 of the paper).
+//
+// The lock manager does not detect deadlocks itself; detectors (core/ and
+// baselines/) read and, for resolution, mutate it through this interface.
+
+#ifndef TWBG_LOCK_LOCK_MANAGER_H_
+#define TWBG_LOCK_LOCK_MANAGER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "lock/lock_table.h"
+
+namespace twbg::lock {
+
+/// Per-transaction view kept by the lock manager.
+struct TxnLockInfo {
+  /// Resource on which the transaction is blocked (queue member or blocked
+  /// converter), or nullopt when runnable.
+  std::optional<ResourceId> blocked_on;
+  /// Mode the transaction is blocked for (post-Conv for conversions);
+  /// kNL when runnable.
+  LockMode blocked_mode = LockMode::kNL;
+  /// Every resource where the transaction currently appears.
+  std::set<ResourceId> touched;
+};
+
+/// Single-threaded lock manager for sequential transaction processing.
+class LockManager {
+ public:
+  explicit LockManager(
+      AdmissionPolicy policy = AdmissionPolicy::kTotalMode)
+      : table_(policy) {}
+
+  /// Requests `mode` on `rid` for `tid`.  On kBlocked the transaction must
+  /// not issue further requests until granted or aborted.  Transactions are
+  /// registered implicitly on first use.
+  Result<RequestOutcome> Acquire(TransactionId tid, ResourceId rid,
+                                 LockMode mode);
+
+  /// Releases all locks and queue positions of `tid` (commit or abort under
+  /// strict 2PL) and forgets the transaction.  Returns transactions whose
+  /// blocked requests became granted, in grant order.
+  std::vector<TransactionId> ReleaseAll(TransactionId tid);
+
+  /// Re-runs the grant passes on `rid` (used by detector Step 3 for
+  /// change-list resources) and updates blocked bookkeeping.
+  std::vector<TransactionId> Reschedule(ResourceId rid);
+
+  /// Applies the TDR-2 queue repositioning on `rid` at `junction`.  Grants
+  /// are NOT performed here; call Reschedule(rid) afterwards (Step 3).
+  Status ApplyTdr2(ResourceId rid, TransactionId junction);
+
+  /// True when `tid` is currently blocked.
+  bool IsBlocked(TransactionId tid) const;
+
+  /// Resource `tid` is blocked on, or nullopt.
+  std::optional<ResourceId> BlockedOn(TransactionId tid) const;
+
+  /// Full info for `tid`, or nullptr if unknown.
+  const TxnLockInfo* Info(TransactionId tid) const;
+
+  /// All transactions known to the lock manager, ascending by id.
+  std::vector<TransactionId> KnownTransactions() const;
+
+  /// All currently blocked transactions, ascending by id.
+  std::vector<TransactionId> BlockedTransactions() const;
+
+  const LockTable& table() const { return table_; }
+  LockTable& mutable_table() { return table_; }
+
+  /// Checks lock-table invariants plus bookkeeping consistency (blocked_on
+  /// matches the table; touched sets match appearances).
+  Status CheckInvariants() const;
+
+ private:
+  // Clears blocked state for every granted transaction.
+  void NoteGranted(const std::vector<TransactionId>& granted);
+
+  LockTable table_;
+  std::map<TransactionId, TxnLockInfo> txns_;
+};
+
+}  // namespace twbg::lock
+
+#endif  // TWBG_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,32 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "lock/lock_mode.h"
+
+namespace twbg::lock {
+
+std::string_view ToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNL:
+      return "NL";
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+std::optional<LockMode> LockModeFromString(std::string_view text) {
+  for (LockMode mode : kAllModes) {
+    if (ToString(mode) == text) return mode;
+  }
+  return std::nullopt;
+}
+
+}  // namespace twbg::lock

@@ -1,0 +1,106 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Multiple-granularity lock modes and the two matrices that define their
+// semantics (Park 1991, Tables 1 and 2; Gray's MGL protocol):
+//
+//   * the compatibility matrix `Comp` — whether two locks on the same
+//     resource may be granted concurrently, and
+//   * the conversion matrix `Conv` — the least upper bound of two modes,
+//     used both for lock conversions and for the *total mode* of a
+//     resource's holder list.
+//
+// Note on Table 1: the paper's printed row for S contains an OCR defect
+// (it would make Comp(S, S) false, contradicting the paper's own
+// Example 5.1 where two transactions hold S concurrently).  We use the
+// standard Gray matrix with Comp(S, S) = true; see DESIGN.md.
+
+#ifndef TWBG_LOCK_LOCK_MODE_H_
+#define TWBG_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace twbg::lock {
+
+/// The five MGL lock modes plus NL ("no lock").  Enumerator order follows
+/// the paper's tables: NL, IS, IX, SIX, S, X.
+enum class LockMode : uint8_t {
+  kNL = 0,   ///< no lock
+  kIS = 1,   ///< intention shared
+  kIX = 2,   ///< intention exclusive
+  kSIX = 3,  ///< shared + intention exclusive
+  kS = 4,    ///< shared
+  kX = 5,    ///< exclusive
+};
+
+inline constexpr int kNumLockModes = 6;
+
+namespace internal_lock_mode {
+
+// Table 1 (compatibility), row = one lock, column = the other; symmetric.
+inline constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
+    //        NL     IS     IX     SIX    S      X
+    /*NL*/ {true, true, true, true, true, true},
+    /*IS*/ {true, true, true, true, true, false},
+    /*IX*/ {true, true, true, false, false, false},
+    /*SIX*/ {true, true, false, false, false, false},
+    /*S*/ {true, true, false, false, true, false},
+    /*X*/ {true, false, false, false, false, false},
+};
+
+// Table 2 (conversion): Conv(row, column) = least upper bound in the MGL
+// mode lattice NL < IS < {IX, S} < SIX < X.
+inline constexpr LockMode kConv[kNumLockModes][kNumLockModes] = {
+    //        NL            IS            IX             SIX            S              X
+    /*NL*/ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kSIX,
+            LockMode::kS, LockMode::kX},
+    /*IS*/ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kSIX,
+            LockMode::kS, LockMode::kX},
+    /*IX*/ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
+            LockMode::kSIX, LockMode::kX},
+    /*SIX*/ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+             LockMode::kSIX, LockMode::kX},
+    /*S*/ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kSIX,
+           LockMode::kS, LockMode::kX},
+    /*X*/ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+           LockMode::kX, LockMode::kX},
+};
+
+}  // namespace internal_lock_mode
+
+/// True when locks `a` and `b` on the same resource can be held
+/// concurrently by two different transactions (Table 1).  Symmetric.
+constexpr bool Compatible(LockMode a, LockMode b) {
+  return internal_lock_mode::kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// The mode a transaction effectively wants when it holds `held` and
+/// re-requests `requested` (Table 2) — the least upper bound of the two.
+constexpr LockMode Convert(LockMode held, LockMode requested) {
+  return internal_lock_mode::kConv[static_cast<int>(held)]
+                                  [static_cast<int>(requested)];
+}
+
+/// True when `a` subsumes `b` in the mode lattice (Conv(a, b) == a).
+constexpr bool Covers(LockMode a, LockMode b) { return Convert(a, b) == a; }
+
+/// Canonical spelling ("NL", "IS", "IX", "SIX", "S", "X").
+std::string_view ToString(LockMode mode);
+
+/// Parses a canonical spelling; nullopt for anything else.
+std::optional<LockMode> LockModeFromString(std::string_view text);
+
+/// All grantable (non-NL) modes, in table order — handy for sweeps.
+inline constexpr LockMode kRealModes[] = {LockMode::kIS, LockMode::kIX,
+                                          LockMode::kSIX, LockMode::kS,
+                                          LockMode::kX};
+
+/// All modes including NL, in table order.
+inline constexpr LockMode kAllModes[] = {LockMode::kNL, LockMode::kIS,
+                                         LockMode::kIX, LockMode::kSIX,
+                                         LockMode::kS, LockMode::kX};
+
+}  // namespace twbg::lock
+
+#endif  // TWBG_LOCK_LOCK_MODE_H_

@@ -1,0 +1,46 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "lock/lock_table.h"
+
+namespace twbg::lock {
+
+ResourceState& LockTable::GetOrCreate(ResourceId rid) {
+  auto it = resources_.find(rid);
+  if (it == resources_.end()) {
+    it = resources_.emplace(rid, ResourceState(rid, policy_)).first;
+  }
+  return it->second;
+}
+
+const ResourceState* LockTable::Find(ResourceId rid) const {
+  auto it = resources_.find(rid);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+ResourceState* LockTable::FindMutable(ResourceId rid) {
+  auto it = resources_.find(rid);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+void LockTable::EraseIfFree(ResourceId rid) {
+  auto it = resources_.find(rid);
+  if (it != resources_.end() && it->second.IsFree()) resources_.erase(it);
+}
+
+Status LockTable::CheckInvariants() const {
+  for (const auto& [rid, state] : resources_) {
+    TWBG_RETURN_IF_ERROR(state.CheckInvariants());
+  }
+  return Status::OK();
+}
+
+std::string LockTable::ToString() const {
+  std::string out;
+  for (const auto& [rid, state] : resources_) {
+    out += state.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace twbg::lock

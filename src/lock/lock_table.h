@@ -1,0 +1,62 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The resource status table (RST of the paper's §5): one ResourceState per
+// currently locked resource.  Iteration order is deterministic (ordered by
+// ResourceId) so that detection passes and experiments are reproducible.
+
+#ifndef TWBG_LOCK_LOCK_TABLE_H_
+#define TWBG_LOCK_LOCK_TABLE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "lock/resource_state.h"
+
+namespace twbg::lock {
+
+/// Owning collection of per-resource lock state.
+class LockTable {
+ public:
+  /// All resources created through this table use `policy` for admission
+  /// checks (kGroupMode is the §2 ablation; see resource_state.h).
+  explicit LockTable(AdmissionPolicy policy = AdmissionPolicy::kTotalMode)
+      : policy_(policy) {}
+  LockTable(const LockTable&) = default;
+  LockTable& operator=(const LockTable&) = default;
+
+  AdmissionPolicy policy() const { return policy_; }
+
+  /// Returns the state for `rid`, creating a free entry if absent.
+  ResourceState& GetOrCreate(ResourceId rid);
+
+  /// Returns the state for `rid` or nullptr.
+  const ResourceState* Find(ResourceId rid) const;
+  ResourceState* FindMutable(ResourceId rid);
+
+  /// Drops the entry for `rid` if it is free (no holders, no queue).
+  void EraseIfFree(ResourceId rid);
+
+  size_t size() const { return resources_.size(); }
+  bool empty() const { return resources_.empty(); }
+
+  /// Ordered iteration over (rid, state).
+  auto begin() const { return resources_.begin(); }
+  auto end() const { return resources_.end(); }
+  auto begin() { return resources_.begin(); }
+  auto end() { return resources_.end(); }
+
+  /// Checks every resource's invariants.
+  Status CheckInvariants() const;
+
+  /// Multi-line dump in the paper's notation.
+  std::string ToString() const;
+
+ private:
+  AdmissionPolicy policy_ = AdmissionPolicy::kTotalMode;
+  std::map<ResourceId, ResourceState> resources_;
+};
+
+}  // namespace twbg::lock
+
+#endif  // TWBG_LOCK_LOCK_TABLE_H_

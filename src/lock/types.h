@@ -1,0 +1,59 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Basic identifier types and lock-table entry records shared across the
+// lock manager, the H/W-TWBG builder and the detectors.
+
+#ifndef TWBG_LOCK_TYPES_H_
+#define TWBG_LOCK_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lock/lock_mode.h"
+
+namespace twbg::lock {
+
+/// Transaction identifier.  The paper assigns 1..N; 0 is reserved as the
+/// invalid / sentinel id (also used by the paper's TST W-edge terminator).
+using TransactionId = uint32_t;
+
+/// Resource identifier (a lockable object: table, page, record, ...).
+using ResourceId = uint32_t;
+
+inline constexpr TransactionId kInvalidTransaction = 0;
+
+/// One member of a resource's holder list: `(tid, gm, bm)` in the paper.
+/// `blocked == kNL` means the holder is not waiting; otherwise the holder
+/// has a pending lock conversion to mode `blocked` (already folded through
+/// Conv with the granted mode).
+struct HolderEntry {
+  TransactionId tid = kInvalidTransaction;
+  LockMode granted = LockMode::kNL;
+  LockMode blocked = LockMode::kNL;
+
+  bool IsBlocked() const { return blocked != LockMode::kNL; }
+
+  /// The mode this entry contributes to the resource's total mode:
+  /// Conv(gm, bm).
+  LockMode EffectiveMode() const { return Convert(granted, blocked); }
+
+  /// "(T3, IX, NL)" — the paper's notation.
+  std::string ToString() const;
+
+  friend bool operator==(const HolderEntry&, const HolderEntry&) = default;
+};
+
+/// One member of a resource's FIFO queue: `(tid, bm)` in the paper.
+struct QueueEntry {
+  TransactionId tid = kInvalidTransaction;
+  LockMode blocked = LockMode::kNL;
+
+  /// "(T5, IX)" — the paper's notation.
+  std::string ToString() const;
+
+  friend bool operator==(const QueueEntry&, const QueueEntry&) = default;
+};
+
+}  // namespace twbg::lock
+
+#endif  // TWBG_LOCK_TYPES_H_

@@ -1,0 +1,21 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/metrics.h"
+
+#include "common/string_util.h"
+
+namespace twbg::sim {
+
+std::string SimMetrics::ToString() const {
+  return common::Format(
+      "committed=%zu ticks=%zu thrpt=%.2f/ktick aborts=%zu restarts=%zu "
+      "cycles=%zu tdr2=%zu missed=%zu false=%zu wasted_ops=%zu "
+      "blocked_ticks=%zu det_calls=%zu det_work=%zu det_ms=%.2f wait[%s]%s",
+      committed, ticks, Throughput(), deadlock_aborts, restarts, cycles_found,
+      no_abort_resolutions, missed_deadlocks, false_aborts, wasted_ops,
+      blocked_ticks, detector_invocations, detector_work,
+      detector_seconds * 1e3, wait_ticks.Summary().c_str(),
+      timed_out ? " TIMED-OUT" : "");
+}
+
+}  // namespace twbg::sim

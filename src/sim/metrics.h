@@ -1,0 +1,67 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Metrics collected by one simulator run — the columns of the comparison
+// experiments.
+
+#ifndef TWBG_SIM_METRICS_H_
+#define TWBG_SIM_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace twbg::sim {
+
+/// Aggregate outcome of a Simulator::Run.
+struct SimMetrics {
+  /// Logical transactions committed.
+  size_t committed = 0;
+  /// Transaction executions killed by the detection strategy.
+  size_t deadlock_aborts = 0;
+  /// Executions killed by the driver's stall recovery because the
+  /// strategy missed a real deadlock (0 for complete detectors).
+  size_t missed_deadlocks = 0;
+  /// Strategy aborts of transactions the oracle says were NOT stuck
+  /// (timeouts produce these); only counted when the config enables the
+  /// oracle cross-check.
+  size_t false_aborts = 0;
+  /// Re-executions scheduled after aborts.
+  size_t restarts = 0;
+  /// Deadlock cycles the strategy reported.
+  size_t cycles_found = 0;
+  /// Resolutions that aborted nobody (H/W-TWBG TDR-2) — the paper's
+  /// headline feature.
+  size_t no_abort_resolutions = 0;
+  /// Lock requests whose work was thrown away by aborts.
+  size_t wasted_ops = 0;
+  /// Simulated ticks consumed.
+  size_t ticks = 0;
+  /// Strategy invocations (OnBlock + OnPeriodic).
+  size_t detector_invocations = 0;
+  /// Strategy-reported work units.
+  size_t detector_work = 0;
+  /// Wall-clock seconds inside the strategy.
+  double detector_seconds = 0.0;
+  /// Sum over ticks of the number of blocked transactions (lost
+  /// concurrency integral).
+  size_t blocked_ticks = 0;
+  /// True when the run hit max_ticks before committing everything.
+  bool timed_out = false;
+  /// Distribution of completed lock waits, in ticks (block -> grant; waits
+  /// ended by abort are not counted).
+  SampleStats wait_ticks;
+
+  /// Committed transactions per 1000 ticks.
+  double Throughput() const {
+    return ticks == 0 ? 0.0 : 1000.0 * static_cast<double>(committed) /
+                                  static_cast<double>(ticks);
+  }
+
+  /// One-line summary.
+  std::string ToString() const;
+};
+
+}  // namespace twbg::sim
+
+#endif  // TWBG_SIM_METRICS_H_

@@ -1,0 +1,217 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/oracle.h"
+#include "core/twbg.h"
+
+namespace twbg::sim {
+
+Simulator::Simulator(const SimConfig& config,
+                     std::unique_ptr<baselines::DetectionStrategy> strategy)
+    : config_(config),
+      strategy_(std::move(strategy)),
+      generator_(config.workload),
+      lock_manager_(config.admission),
+      trace_(config.record_trace ? config.trace_capacity : 0) {
+  TWBG_CHECK(strategy_ != nullptr);
+  TWBG_CHECK(config_.workload.concurrency >= 1);
+}
+
+void Simulator::Trace(TraceEventKind kind, lock::TransactionId tid,
+                      lock::ResourceId rid, lock::LockMode mode,
+                      size_t detail) {
+  if (!config_.record_trace) return;
+  trace_.Record(TraceEvent{metrics_.ticks, kind, tid, rid, mode, detail});
+}
+
+void Simulator::SpawnUpToConcurrency() {
+  while (live_.size() < config_.workload.concurrency) {
+    size_t logical;
+    auto eligible = restart_queue_.end();
+    for (auto it = restart_queue_.begin(); it != restart_queue_.end(); ++it) {
+      if (it->not_before_tick <= metrics_.ticks) {
+        eligible = it;
+        break;
+      }
+    }
+    if (eligible != restart_queue_.end()) {
+      logical = eligible->logical;
+      restart_queue_.erase(eligible);
+    } else if (spawned_ < config_.workload.num_transactions) {
+      logical = spawned_++;
+      scripts_[logical] = generator_.NextScript();
+    } else {
+      return;
+    }
+    Execution e;
+    e.logical = logical;
+    e.tid = next_tid_++;
+    e.script = scripts_[logical];
+    const lock::TransactionId tid = e.tid;
+    live_[tid] = std::move(e);
+    costs_.Set(tid, 1.0);
+    // Prevention schemes key their timestamps off the logical id, which
+    // is stable across restarts (required for their progress guarantee).
+    strategy_->OnSpawn(tid, logical);
+    Trace(TraceEventKind::kSpawn, tid, 0, lock::LockMode::kNL,
+          restart_counts_[logical]);
+  }
+}
+
+void Simulator::KillAndRestart(lock::TransactionId tid) {
+  auto it = live_.find(tid);
+  if (it == live_.end()) return;
+  metrics_.wasted_ops += it->second.ops_done;
+  ++metrics_.restarts;
+  Trace(TraceEventKind::kAbort, tid);
+  const size_t logical = it->second.logical;
+  const size_t count = ++restart_counts_[logical];
+  const size_t backoff =
+      std::min(count, config_.restart_backoff_cap) * config_.restart_backoff;
+  restart_queue_.push_back(PendingRestart{logical, metrics_.ticks + backoff});
+  costs_.Erase(tid);
+  live_.erase(it);
+}
+
+void Simulator::Consume(const baselines::StrategyOutcome& outcome) {
+  metrics_.cycles_found += outcome.cycles_found;
+  metrics_.no_abort_resolutions += outcome.repositioned;
+  metrics_.detector_work += outcome.work;
+  if (!outcome.aborted.empty() || outcome.repositioned > 0) {
+    acted_this_tick_ = true;
+  }
+  for (lock::TransactionId victim : outcome.aborted) {
+    ++metrics_.deadlock_aborts;
+    if (config_.measure_false_aborts && pre_stuck_.count(victim) == 0) {
+      ++metrics_.false_aborts;
+    }
+    KillAndRestart(victim);
+  }
+}
+
+void Simulator::InvokeStrategy(bool periodic, lock::TransactionId blocked) {
+  if (config_.measure_false_aborts) {
+    pre_stuck_.clear();
+    for (lock::TransactionId tid :
+         core::AnalyzeByReduction(lock_manager_.table()).stuck) {
+      pre_stuck_.insert(tid);
+    }
+  }
+  common::Stopwatch watch;
+  baselines::StrategyOutcome outcome =
+      periodic ? strategy_->OnPeriodic(lock_manager_, costs_)
+               : strategy_->OnBlock(lock_manager_, costs_, blocked);
+  metrics_.detector_seconds += watch.ElapsedSeconds();
+  ++metrics_.detector_invocations;
+  Trace(TraceEventKind::kDetect, blocked, 0, lock::LockMode::kNL,
+        outcome.cycles_found);
+  Consume(outcome);
+}
+
+bool Simulator::RecoverFromStall() {
+  // The strategy failed to resolve a real deadlock (the oracle and the
+  // H/W-TWBG agree by Theorem 1).  Break every remaining cycle by
+  // aborting its min-cost member — aborting a merely-stuck waiter queued
+  // behind the cycle would leave the deadlock intact and livelock the run.
+  bool acted = false;
+  for (;;) {
+    core::HwTwbg graph = core::HwTwbg::Build(lock_manager_.table());
+    std::vector<std::vector<lock::TransactionId>> cycles =
+        graph.ElementaryCycles(/*max_cycles=*/1);
+    if (cycles.empty()) break;
+    lock::TransactionId victim = cycles[0].front();
+    for (lock::TransactionId tid : cycles[0]) {
+      if (costs_.Get(tid) < costs_.Get(victim)) victim = tid;
+    }
+    ++metrics_.missed_deadlocks;
+    Trace(TraceEventKind::kMiss, victim);
+    lock_manager_.ReleaseAll(victim);
+    KillAndRestart(victim);
+    acted = true;
+  }
+  acted_this_tick_ |= acted;
+  return acted;
+}
+
+SimMetrics Simulator::Run() {
+  SpawnUpToConcurrency();
+  size_t stall = 0;
+  while (metrics_.committed < config_.workload.num_transactions &&
+         metrics_.ticks < config_.max_ticks) {
+    acted_this_tick_ = false;
+    bool progress = false;
+
+    std::vector<lock::TransactionId> order;
+    order.reserve(live_.size());
+    for (const auto& [tid, e] : live_) order.push_back(tid);
+    for (lock::TransactionId tid : order) {
+      auto it = live_.find(tid);
+      if (it == live_.end()) continue;  // killed by a strategy call
+      if (lock_manager_.IsBlocked(tid)) continue;
+      Execution& e = it->second;
+      if (e.blocked_at.has_value()) {
+        // The wait that began at *blocked_at ended with a grant.
+        metrics_.wait_ticks.Add(
+            static_cast<double>(metrics_.ticks - *e.blocked_at));
+        e.blocked_at.reset();
+        Trace(TraceEventKind::kWakeup, tid);
+      }
+      if (e.next_op >= e.script.ops.size()) {
+        // Strict 2PL commit: release everything at once.
+        costs_.Erase(tid);
+        lock_manager_.ReleaseAll(tid);
+        ++metrics_.committed;
+        Trace(TraceEventKind::kCommit, tid);
+        live_.erase(it);
+        progress = true;
+        SpawnUpToConcurrency();
+        continue;
+      }
+      const auto& [rid, mode] = e.script.ops[e.next_op];
+      Result<lock::RequestOutcome> outcome =
+          lock_manager_.Acquire(tid, rid, mode);
+      TWBG_CHECK(outcome.ok());
+      ++e.ops_done;
+      costs_.Set(tid, 1.0 + static_cast<double>(e.ops_done));
+      // The blocked request is granted in place later, so the op is
+      // consumed either way.
+      ++e.next_op;
+      if (*outcome == lock::RequestOutcome::kBlocked) {
+        e.blocked_at = metrics_.ticks;
+        Trace(TraceEventKind::kBlock, tid, rid, mode);
+        if (strategy_->is_continuous()) {
+          InvokeStrategy(/*periodic=*/false, tid);
+        }
+      } else {
+        Trace(TraceEventKind::kGrant, tid, rid, mode);
+        progress = true;
+      }
+    }
+
+    if (config_.detection_period > 0 &&
+        metrics_.ticks % config_.detection_period == 0) {
+      InvokeStrategy(/*periodic=*/true, lock::kInvalidTransaction);
+    }
+
+    metrics_.blocked_ticks += lock_manager_.BlockedTransactions().size();
+    if (progress || acted_this_tick_) {
+      stall = 0;
+    } else if (++stall >= config_.stall_patience) {
+      if (RecoverFromStall()) stall = 0;
+      SpawnUpToConcurrency();
+    }
+    SpawnUpToConcurrency();
+    ++metrics_.ticks;
+  }
+  metrics_.timed_out =
+      metrics_.committed < config_.workload.num_transactions;
+  return metrics_;
+}
+
+}  // namespace twbg::sim

@@ -1,0 +1,135 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Closed-system discrete-tick simulator: a fixed multiprogramming level of
+// transactions executes generated lock-request scripts against the lock
+// manager; a pluggable DetectionStrategy handles deadlocks (continuously
+// on blocks and/or periodically every `detection_period` ticks); aborted
+// executions restart until every logical transaction commits.
+//
+// The driver carries a stall-recovery safety net: when no transaction can
+// move and the strategy resolves nothing, the reduction oracle is
+// consulted and one stuck transaction is force-aborted.  For complete
+// detectors this path never fires; for the coarse baselines (classic WFG,
+// ACD) the `missed_deadlocks` counter is exactly the deadlocks their graph
+// cannot see.
+
+#ifndef TWBG_SIM_SIMULATOR_H_
+#define TWBG_SIM_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baselines/strategy.h"
+#include "core/cost_table.h"
+#include "lock/lock_manager.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "sim/workload.h"
+
+namespace twbg::sim {
+
+/// Simulator parameters beyond the workload itself.
+struct SimConfig {
+  WorkloadConfig workload;
+  /// OnPeriodic every this many ticks (0 disables periodic detection).
+  size_t detection_period = 10;
+  /// Hard tick budget; exceeded runs report timed_out.
+  size_t max_ticks = 2'000'000;
+  /// Ticks without progress or strategy action before stall recovery.
+  /// Kept larger than typical timeout horizons so timeout strategies get
+  /// to act before the driver steps in.
+  size_t stall_patience = 50;
+  /// Cross-check strategy aborts against the oracle (costly; used by the
+  /// timeout false-abort experiment).
+  bool measure_false_aborts = false;
+  /// Restart backoff: an aborted transaction waits
+  /// min(restart_count, restart_backoff_cap) * restart_backoff ticks
+  /// before re-running.  Immediate deterministic restarts re-create the
+  /// same deadlock against the same partners forever; every real system
+  /// delays retries.
+  size_t restart_backoff = 4;
+  size_t restart_backoff_cap = 16;
+  /// Record a bounded event trace (see sim/trace.h), readable through
+  /// Simulator::trace() after Run.
+  bool record_trace = false;
+  size_t trace_capacity = 16384;
+  /// Admission policy for new lock requests (kGroupMode is the §2
+  /// total-vs-group-mode ablation).
+  lock::AdmissionPolicy admission = lock::AdmissionPolicy::kTotalMode;
+};
+
+/// One simulation run.  Not reusable.
+class Simulator {
+ public:
+  Simulator(const SimConfig& config,
+            std::unique_ptr<baselines::DetectionStrategy> strategy);
+
+  /// Runs to completion (or tick budget) and returns the metrics.
+  SimMetrics Run();
+
+  /// Event trace of the run (empty unless config.record_trace).
+  const SimTrace& trace() const { return trace_; }
+
+ private:
+  struct Execution {
+    size_t logical = 0;
+    lock::TransactionId tid = lock::kInvalidTransaction;
+    TxnScript script;
+    size_t next_op = 0;
+    size_t ops_done = 0;
+    /// Tick at which the current wait began, if blocked.
+    std::optional<size_t> blocked_at;
+  };
+
+  // Starts executions until the MPL is reached or the workload is
+  // exhausted.
+  void SpawnUpToConcurrency();
+
+  // Handles a strategy outcome: accounts cycles/work, kills aborted
+  // executions and schedules their restarts.
+  void Consume(const baselines::StrategyOutcome& outcome);
+
+  // Invokes OnPeriodic (periodic=true) or OnBlock and consumes the
+  // outcome, timing the call and cross-checking the oracle if enabled.
+  void InvokeStrategy(bool periodic, lock::TransactionId blocked);
+
+  // Kills the execution running as `tid` (locks already released) and
+  // schedules a restart of its logical transaction.
+  void KillAndRestart(lock::TransactionId tid);
+
+  // Stall recovery: oracle-driven forced abort; returns true if it acted.
+  bool RecoverFromStall();
+
+  // Appends to the trace when recording is enabled.
+  void Trace(TraceEventKind kind, lock::TransactionId tid,
+             lock::ResourceId rid = 0,
+             lock::LockMode mode = lock::LockMode::kNL, size_t detail = 0);
+
+  SimConfig config_;
+  std::unique_ptr<baselines::DetectionStrategy> strategy_;
+  WorkloadGenerator generator_;
+  lock::LockManager lock_manager_;
+  core::CostTable costs_;
+  SimMetrics metrics_;
+  struct PendingRestart {
+    size_t logical = 0;
+    size_t not_before_tick = 0;
+  };
+
+  std::map<lock::TransactionId, Execution> live_;
+  std::map<size_t, TxnScript> scripts_;  // logical -> script (for restarts)
+  std::vector<PendingRestart> restart_queue_;
+  std::map<size_t, size_t> restart_counts_;  // logical -> restarts so far
+  std::set<lock::TransactionId> pre_stuck_;  // oracle snapshot (cross-check)
+  size_t spawned_ = 0;
+  lock::TransactionId next_tid_ = 1;
+  bool acted_this_tick_ = false;
+  SimTrace trace_{0};  // re-initialized from the config in the ctor
+};
+
+}  // namespace twbg::sim
+
+#endif  // TWBG_SIM_SIMULATOR_H_

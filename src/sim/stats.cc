@@ -1,0 +1,54 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace twbg::sim {
+
+void SampleStats::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+double SampleStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleStats::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleStats::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank on the sorted samples.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string SampleStats::Summary() const {
+  if (samples_.empty()) return "n=0";
+  return common::Format("n=%zu mean=%.1f p50=%.1f p95=%.1f max=%.1f",
+                        count(), mean(), Percentile(50), Percentile(95),
+                        max());
+}
+
+}  // namespace twbg::sim

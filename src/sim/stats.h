@@ -1,0 +1,41 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Exact sample statistics (mean / max / percentiles) for the simulator's
+// wait-time distributions.  Runs are bounded, so samples are stored and
+// percentiles computed by sorting on demand.
+
+#ifndef TWBG_SIM_STATS_H_
+#define TWBG_SIM_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twbg::sim {
+
+/// Accumulates nonnegative samples; cheap to copy with the run metrics.
+class SampleStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double max() const;
+  /// p in [0, 100]; empty distributions report 0.
+  double Percentile(double p) const;
+
+  /// "n=.. mean=.. p50=.. p95=.. max=.." (or "n=0").
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  // Percentile() sorts lazily, so both pieces of state are logically
+  // const-mutable (the sample multiset never changes, only its order).
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace twbg::sim
+
+#endif  // TWBG_SIM_STATS_H_

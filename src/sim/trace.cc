@@ -1,0 +1,73 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/trace.h"
+
+#include "common/string_util.h"
+
+namespace twbg::sim {
+
+std::string_view ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpawn:
+      return "spawn";
+    case TraceEventKind::kGrant:
+      return "grant";
+    case TraceEventKind::kBlock:
+      return "block";
+    case TraceEventKind::kWakeup:
+      return "wakeup";
+    case TraceEventKind::kCommit:
+      return "commit";
+    case TraceEventKind::kAbort:
+      return "abort";
+    case TraceEventKind::kDetect:
+      return "detect";
+    case TraceEventKind::kMiss:
+      return "miss";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  std::string out = common::Format(
+      "[%6zu] %-6s", tick, std::string(sim::ToString(kind)).c_str());
+  if (tid != 0) out += common::Format(" T%u", tid);
+  if (rid != 0) {
+    out += common::Format(" R%u %s", rid,
+                          std::string(lock::ToString(mode)).c_str());
+  }
+  if (kind == TraceEventKind::kDetect || kind == TraceEventKind::kSpawn) {
+    out += common::Format(" (%zu)", detail);
+  }
+  return out;
+}
+
+void SimTrace::Record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> SimTrace::Filter(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+std::string SimTrace::ToString() const {
+  std::string out;
+  if (dropped_ > 0) {
+    out += common::Format("... %zu earlier events dropped ...\n", dropped_);
+  }
+  for (const TraceEvent& event : events_) {
+    out += event.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace twbg::sim

@@ -1,0 +1,74 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Bounded event trace for simulator runs: what happened, when, to whom.
+// Used to debug workload pathologies (restart storms, convoys) and by
+// tests asserting event ordering.  The buffer is a ring: when full, the
+// oldest events are dropped and counted.
+
+#ifndef TWBG_SIM_TRACE_H_
+#define TWBG_SIM_TRACE_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "lock/types.h"
+
+namespace twbg::sim {
+
+/// What a trace event describes.
+enum class TraceEventKind : uint8_t {
+  kSpawn,    ///< execution started (fresh or restart)
+  kGrant,    ///< a lock request was granted immediately
+  kBlock,    ///< a lock request blocked
+  kWakeup,   ///< a blocked request was granted (wait ended)
+  kCommit,   ///< execution committed
+  kAbort,    ///< execution killed (deadlock victim or stall recovery)
+  kDetect,   ///< a detection invocation ran (detail = cycles found)
+  kMiss,     ///< stall recovery broke a cycle the strategy missed
+};
+
+std::string_view ToString(TraceEventKind kind);
+
+/// One event.  Fields not applicable to the kind are zero.
+struct TraceEvent {
+  size_t tick = 0;
+  TraceEventKind kind = TraceEventKind::kSpawn;
+  lock::TransactionId tid = 0;
+  lock::ResourceId rid = 0;
+  lock::LockMode mode = lock::LockMode::kNL;
+  /// kDetect: cycles found; kSpawn: restart count; otherwise 0.
+  size_t detail = 0;
+
+  std::string ToString() const;
+};
+
+/// Fixed-capacity ring of TraceEvents.
+class SimTrace {
+ public:
+  explicit SimTrace(size_t capacity = 16384) : capacity_(capacity) {}
+
+  void Record(TraceEvent event);
+
+  /// Retained events, oldest first.
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Events dropped because the ring was full.
+  size_t dropped() const { return dropped_; }
+
+  /// Events of one kind, oldest first.
+  std::vector<TraceEvent> Filter(TraceEventKind kind) const;
+
+  /// One event per line.
+  std::string ToString() const;
+
+ private:
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace twbg::sim
+
+#endif  // TWBG_SIM_TRACE_H_

@@ -1,0 +1,54 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/workload.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace twbg::sim {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_resources, config.zipf_theta),
+      weight_total_(std::accumulate(config.mode_weights.begin(),
+                                    config.mode_weights.end(), 0.0)) {
+  TWBG_CHECK(config.num_resources >= 1);
+  TWBG_CHECK(config.min_ops >= 1);
+  TWBG_CHECK(config.min_ops <= config.max_ops);
+  TWBG_CHECK(weight_total_ > 0.0);
+}
+
+lock::LockMode WorkloadGenerator::SampleMode() {
+  double pick = rng_.NextDouble() * weight_total_;
+  for (size_t i = 0; i < config_.mode_weights.size(); ++i) {
+    pick -= config_.mode_weights[i];
+    if (pick < 0.0) return lock::kRealModes[i];
+  }
+  return lock::LockMode::kX;
+}
+
+TxnScript WorkloadGenerator::NextScript() {
+  TxnScript script;
+  const size_t ops = static_cast<size_t>(rng_.NextInRange(
+      static_cast<int64_t>(config_.min_ops),
+      static_cast<int64_t>(config_.max_ops)));
+  std::vector<lock::ResourceId> planned;
+  for (size_t i = 0; i < ops; ++i) {
+    if (!planned.empty() && rng_.NextBernoulli(config_.conversion_prob)) {
+      // Conversion: revisit a planned resource with a fresh (potentially
+      // stronger) mode; the lock manager folds it via Conv.
+      lock::ResourceId rid = rng_.Pick(planned);
+      script.ops.emplace_back(rid, SampleMode());
+      continue;
+    }
+    lock::ResourceId rid =
+        static_cast<lock::ResourceId>(zipf_.Sample(rng_) + 1);
+    planned.push_back(rid);
+    script.ops.emplace_back(rid, SampleMode());
+  }
+  return script;
+}
+
+}  // namespace twbg::sim

@@ -1,0 +1,51 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Umbrella header: the public API of the twbg library in one include.
+//
+//   #include "twbg.h"
+//
+// Layers (see README.md and DESIGN.md):
+//   * lock      — MGL lock modes, per-resource scheduling (FIFO + UPR),
+//                 lock manager;
+//   * core      — the paper's contribution: H/W-TWBG, TST, TDR victim
+//                 selection, periodic & continuous detectors, oracle;
+//   * txn       — strict-2PL transactions, MGL hierarchies, thread-safe
+//                 service wrapper;
+//   * baselines — comparison schemes behind DetectionStrategy;
+//   * sim       — workload generator and simulator.
+
+#ifndef TWBG_TWBG_H_
+#define TWBG_TWBG_H_
+
+#include "common/status.h"
+
+#include "lock/lock_manager.h"
+#include "lock/lock_mode.h"
+#include "lock/lock_table.h"
+#include "lock/resource_state.h"
+#include "lock/types.h"
+
+#include "core/continuous_detector.h"
+#include "core/cost_table.h"
+#include "core/detector.h"
+#include "core/ecr.h"
+#include "core/examples_catalog.h"
+#include "core/oracle.h"
+#include "core/periodic_detector.h"
+#include "core/scoped_tst.h"
+#include "core/script.h"
+#include "core/tst.h"
+#include "core/twbg.h"
+#include "core/victim.h"
+
+#include "txn/concurrent_service.h"
+#include "txn/mgl.h"
+#include "txn/transaction_manager.h"
+
+#include "baselines/factory.h"
+#include "baselines/strategy.h"
+
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+#endif  // TWBG_TWBG_H_

@@ -1,0 +1,86 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/concurrent_service.h"
+
+#include "common/string_util.h"
+
+namespace twbg::txn {
+
+namespace {
+
+TransactionManagerOptions ForceContinuous(TransactionManagerOptions options) {
+  options.detection_mode = DetectionMode::kContinuous;
+  return options;
+}
+
+}  // namespace
+
+ConcurrentLockService::ConcurrentLockService(
+    TransactionManagerOptions options)
+    : tm_(ForceContinuous(options)) {}
+
+lock::TransactionId ConcurrentLockService::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tm_.Begin();
+}
+
+Status ConcurrentLockService::AcquireBlocking(lock::TransactionId tid,
+                                              lock::ResourceId rid,
+                                              lock::LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Result<AcquireStatus> outcome = tm_.Acquire(tid, rid, mode);
+  if (!outcome.ok()) return outcome.status();
+  // The continuous detector may have resolved a deadlock inside Acquire:
+  // wake anyone it granted or aborted.
+  cv_.notify_all();
+  switch (*outcome) {
+    case AcquireStatus::kGranted:
+      return Status::OK();
+    case AcquireStatus::kAbortedAsVictim:
+      ++deadlock_victims_;
+      return Status::Aborted(
+          common::Format("T%u aborted as deadlock victim", tid));
+    case AcquireStatus::kBlocked:
+      break;
+  }
+  // Park until the lock manager grants us (state back to Active) or a
+  // later resolution kills us.  Progress is guaranteed: continuous
+  // detection leaves no deadlock behind, so every wait ends with some
+  // transaction's commit/abort.
+  cv_.wait(lock, [&] {
+    Result<TxnState> state = tm_.State(tid);
+    return state.ok() && *state != TxnState::kBlocked;
+  });
+  Result<TxnState> state = tm_.State(tid);
+  if (state.ok() && *state == TxnState::kActive) return Status::OK();
+  ++deadlock_victims_;
+  return Status::Aborted(
+      common::Format("T%u aborted as deadlock victim while waiting", tid));
+}
+
+Status ConcurrentLockService::Commit(lock::TransactionId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = tm_.Commit(tid);
+  cv_.notify_all();
+  return status;
+}
+
+Status ConcurrentLockService::Abort(lock::TransactionId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = tm_.Abort(tid);
+  cv_.notify_all();
+  return status;
+}
+
+Result<TxnState> ConcurrentLockService::State(
+    lock::TransactionId tid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tm_.State(tid);
+}
+
+size_t ConcurrentLockService::deadlock_victims() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deadlock_victims_;
+}
+
+}  // namespace twbg::txn

@@ -1,0 +1,64 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Thread-safe facade over the transaction manager.  The paper's model —
+// and this library's core — is sequential transaction processing; this
+// wrapper serializes all operations under one mutex and turns "blocked"
+// into a real thread wait: AcquireBlocking parks the calling thread on a
+// condition variable until the lock is granted (some other transaction's
+// commit/abort, or a TDR-2 repositioning, unblocks it) or until a deadlock
+// resolution aborts it.
+//
+// Detection runs in continuous mode, so every deadlock is resolved inside
+// the request that would have completed the cycle — no watcher thread is
+// needed and no wait can hang.
+
+#ifndef TWBG_TXN_CONCURRENT_SERVICE_H_
+#define TWBG_TXN_CONCURRENT_SERVICE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "txn/transaction_manager.h"
+
+namespace twbg::txn {
+
+/// Thread-safe strict-2PL lock service with inline deadlock resolution.
+class ConcurrentLockService {
+ public:
+  /// `options.detection_mode` is forced to kContinuous.
+  explicit ConcurrentLockService(TransactionManagerOptions options = {});
+
+  ConcurrentLockService(const ConcurrentLockService&) = delete;
+  ConcurrentLockService& operator=(const ConcurrentLockService&) = delete;
+
+  /// Starts a transaction.
+  lock::TransactionId Begin();
+
+  /// Acquires `mode` on `rid`, blocking the calling thread until granted.
+  /// Returns Aborted when this transaction was chosen as a deadlock
+  /// victim (its locks are gone; Begin a new transaction to retry).
+  Status AcquireBlocking(lock::TransactionId tid, lock::ResourceId rid,
+                         lock::LockMode mode);
+
+  /// Commits and releases; wakes any waiter this unblocks.
+  Status Commit(lock::TransactionId tid);
+
+  /// Aborts voluntarily and releases; wakes any waiter this unblocks.
+  Status Abort(lock::TransactionId tid);
+
+  /// Snapshot of a transaction's state.
+  Result<TxnState> State(lock::TransactionId tid) const;
+
+  /// Number of deadlock victims so far.
+  size_t deadlock_victims() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TransactionManager tm_;
+  size_t deadlock_victims_ = 0;
+};
+
+}  // namespace twbg::txn
+
+#endif  // TWBG_TXN_CONCURRENT_SERVICE_H_

@@ -1,0 +1,125 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/mgl.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace twbg::txn {
+
+Status ResourceHierarchy::DeclareChild(lock::ResourceId parent,
+                                       lock::ResourceId child) {
+  if (parent == child) {
+    return Status::InvalidArgument("a resource cannot parent itself");
+  }
+  auto it = parent_.find(child);
+  if (it != parent_.end() && it->second.has_value()) {
+    return Status::FailedPrecondition(
+        common::Format("R%u already has a parent", child));
+  }
+  // Reject cycles: parent must not be a descendant of child.
+  std::optional<lock::ResourceId> walk = parent;
+  while (walk.has_value()) {
+    if (*walk == child) {
+      return Status::InvalidArgument("hierarchy cycle");
+    }
+    auto pit = parent_.find(*walk);
+    walk = pit == parent_.end() ? std::nullopt : pit->second;
+  }
+  parent_.try_emplace(parent, std::nullopt);
+  parent_[child] = parent;
+  return Status::OK();
+}
+
+std::optional<lock::ResourceId> ResourceHierarchy::Parent(
+    lock::ResourceId rid) const {
+  auto it = parent_.find(rid);
+  return it == parent_.end() ? std::nullopt : it->second;
+}
+
+std::vector<lock::ResourceId> ResourceHierarchy::PathFromRoot(
+    lock::ResourceId rid) const {
+  std::vector<lock::ResourceId> path;
+  std::optional<lock::ResourceId> walk = rid;
+  while (walk.has_value()) {
+    path.push_back(*walk);
+    walk = Parent(*walk);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+lock::LockMode IntentionFor(lock::LockMode mode) {
+  switch (mode) {
+    case lock::LockMode::kIS:
+    case lock::LockMode::kS:
+      return lock::LockMode::kIS;
+    case lock::LockMode::kIX:
+    case lock::LockMode::kSIX:
+    case lock::LockMode::kX:
+      return lock::LockMode::kIX;
+    case lock::LockMode::kNL:
+      break;
+  }
+  return lock::LockMode::kNL;
+}
+
+Result<AcquireStatus> MglAcquirer::Lock(lock::TransactionId tid,
+                                        lock::ResourceId target,
+                                        lock::LockMode mode) {
+  if (HasPendingPlan(tid)) {
+    return Status::FailedPrecondition(common::Format(
+        "T%u has a suspended MGL plan; call Advance first", tid));
+  }
+  if (mode == lock::LockMode::kNL) {
+    return Status::InvalidArgument("cannot lock NL");
+  }
+  Plan plan;
+  std::vector<lock::ResourceId> path = hierarchy_->PathFromRoot(target);
+  const lock::LockMode intention = IntentionFor(mode);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    plan.steps.emplace_back(path[i], intention);
+  }
+  plan.steps.emplace_back(target, mode);
+  return Drive(tid, std::move(plan));
+}
+
+Result<AcquireStatus> MglAcquirer::Advance(lock::TransactionId tid) {
+  auto it = plans_.find(tid);
+  if (it == plans_.end()) {
+    return Status::NotFound(common::Format("no suspended plan for T%u", tid));
+  }
+  Plan plan = std::move(it->second);
+  plans_.erase(it);
+  return Drive(tid, std::move(plan));
+}
+
+bool MglAcquirer::HasPendingPlan(lock::TransactionId tid) const {
+  return plans_.find(tid) != plans_.end();
+}
+
+void MglAcquirer::CancelPlan(lock::TransactionId tid) { plans_.erase(tid); }
+
+Result<AcquireStatus> MglAcquirer::Drive(lock::TransactionId tid, Plan plan) {
+  while (plan.next < plan.steps.size()) {
+    const auto& [rid, mode] = plan.steps[plan.next];
+    Result<AcquireStatus> outcome = tm_->Acquire(tid, rid, mode);
+    if (!outcome.ok()) return outcome.status();
+    switch (*outcome) {
+      case AcquireStatus::kGranted:
+        ++plan.next;
+        continue;
+      case AcquireStatus::kBlocked:
+        // The blocked request will be granted in place; resume after it.
+        ++plan.next;
+        plans_[tid] = std::move(plan);
+        return AcquireStatus::kBlocked;
+      case AcquireStatus::kAbortedAsVictim:
+        return AcquireStatus::kAbortedAsVictim;
+    }
+  }
+  return AcquireStatus::kGranted;
+}
+
+}  // namespace twbg::txn

@@ -1,0 +1,85 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Multiple-granularity locking on a resource hierarchy (Gray [10, 11]).
+// The paper's model "integrates without changes into a system that
+// supports a resource hierarchy"; this module is that integration: a
+// hierarchy registry plus a helper that acquires intention locks top-down
+// before the target lock.
+//
+// Because a blocked transaction may not issue further requests (Axiom 1),
+// a hierarchical acquisition is a resumable plan: it may suspend at any
+// ancestor and continues via Advance() once the transaction is granted.
+
+#ifndef TWBG_TXN_MGL_H_
+#define TWBG_TXN_MGL_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "txn/transaction_manager.h"
+
+namespace twbg::txn {
+
+/// Forest of resources: each resource has at most one parent.
+class ResourceHierarchy {
+ public:
+  /// Declares `child` under `parent`.  Both are registered implicitly.
+  /// Fails on self-parenting, re-parenting or cycles.
+  Status DeclareChild(lock::ResourceId parent, lock::ResourceId child);
+
+  /// Parent of `rid`, or nullopt for roots / unknown resources.
+  std::optional<lock::ResourceId> Parent(lock::ResourceId rid) const;
+
+  /// Path root .. rid (inclusive).  Unknown resources are their own root.
+  std::vector<lock::ResourceId> PathFromRoot(lock::ResourceId rid) const;
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::map<lock::ResourceId, std::optional<lock::ResourceId>> parent_;
+};
+
+/// The intention mode ancestors must carry before locking a node in
+/// `mode`: IS for IS/S, IX for IX/SIX/X (Gray's MGL rules).
+lock::LockMode IntentionFor(lock::LockMode mode);
+
+/// Resumable top-down hierarchical lock acquisition.
+class MglAcquirer {
+ public:
+  /// Both pointers must outlive the acquirer.
+  MglAcquirer(const ResourceHierarchy* hierarchy, TransactionManager* tm)
+      : hierarchy_(hierarchy), tm_(tm) {}
+
+  /// Starts acquiring `mode` on `target`, taking intention locks on every
+  /// ancestor first.  kBlocked means the plan is suspended; call
+  /// Advance(tid) after the transaction manager reports it active again.
+  Result<AcquireStatus> Lock(lock::TransactionId tid, lock::ResourceId target,
+                             lock::LockMode mode);
+
+  /// Resumes a suspended plan.  kGranted when the full path is now held.
+  Result<AcquireStatus> Advance(lock::TransactionId tid);
+
+  /// True when `tid` has a suspended plan.
+  bool HasPendingPlan(lock::TransactionId tid) const;
+
+  /// Drops any pending plan (call on abort/restart).
+  void CancelPlan(lock::TransactionId tid);
+
+ private:
+  struct Plan {
+    std::vector<std::pair<lock::ResourceId, lock::LockMode>> steps;
+    size_t next = 0;
+  };
+
+  Result<AcquireStatus> Drive(lock::TransactionId tid, Plan plan);
+
+  const ResourceHierarchy* hierarchy_;
+  TransactionManager* tm_;
+  std::map<lock::TransactionId, Plan> plans_;
+};
+
+}  // namespace twbg::txn
+
+#endif  // TWBG_TXN_MGL_H_

@@ -1,0 +1,21 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/transaction.h"
+
+namespace twbg::txn {
+
+std::string_view ToString(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "Active";
+    case TxnState::kBlocked:
+      return "Blocked";
+    case TxnState::kCommitted:
+      return "Committed";
+    case TxnState::kAborted:
+      return "Aborted";
+  }
+  return "?";
+}
+
+}  // namespace twbg::txn

@@ -1,0 +1,55 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Transaction record: the strict-2PL lifecycle state machine plus the
+// accounting (locks taken, operations executed, restarts) that feeds the
+// victim-selection cost metrics of §5.
+
+#ifndef TWBG_TXN_TRANSACTION_H_
+#define TWBG_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lock/types.h"
+
+namespace twbg::txn {
+
+/// Lifecycle of a transaction under strict two-phase locking.
+enum class TxnState : uint8_t {
+  /// Running; may issue lock requests.
+  kActive,
+  /// Waiting for a lock; may not issue requests (Axiom 1).
+  kBlocked,
+  /// Committed; all locks released.
+  kCommitted,
+  /// Aborted (voluntarily or as a deadlock victim); all locks released.
+  kAborted,
+};
+
+std::string_view ToString(TxnState state);
+
+/// Bookkeeping for one transaction execution.
+struct Transaction {
+  lock::TransactionId tid = lock::kInvalidTransaction;
+  TxnState state = TxnState::kActive;
+  /// Logical begin timestamp (monotone per TransactionManager).
+  uint64_t begin_ts = 0;
+  /// Number of lock requests granted so far (locks currently held under
+  /// strict 2PL, since nothing is released before the end).
+  uint64_t locks_granted = 0;
+  /// Operations executed (a proxy for CPU/IO work done).
+  uint64_t ops_executed = 0;
+  /// How many times this logical transaction has been restarted after a
+  /// deadlock abort (maintained by the simulator / caller).
+  uint32_t restarts = 0;
+  /// True when the abort was decided by a deadlock detector.
+  bool deadlock_victim = false;
+
+  bool terminated() const {
+    return state == TxnState::kCommitted || state == TxnState::kAborted;
+  }
+};
+
+}  // namespace twbg::txn
+
+#endif  // TWBG_TXN_TRANSACTION_H_

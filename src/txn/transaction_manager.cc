@@ -1,0 +1,210 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/transaction_manager.h"
+
+#include "common/string_util.h"
+
+namespace twbg::txn {
+
+TransactionManager::TransactionManager(TransactionManagerOptions options)
+    : options_(options),
+      periodic_(options.detector),
+      continuous_(options.detector) {}
+
+lock::TransactionId TransactionManager::Begin() {
+  const lock::TransactionId tid = next_tid_++;
+  Transaction txn;
+  txn.tid = tid;
+  txn.state = TxnState::kActive;
+  txn.begin_ts = next_ts_++;
+  txns_[tid] = txn;
+  RefreshCost(tid);
+  return tid;
+}
+
+Result<AcquireStatus> TransactionManager::Acquire(lock::TransactionId tid,
+                                                  lock::ResourceId rid,
+                                                  lock::LockMode mode) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  Transaction& txn = it->second;
+  if (txn.state != TxnState::kActive) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is %s and cannot request locks", tid,
+                       std::string(ToString(txn.state)).c_str()));
+  }
+  Result<lock::RequestOutcome> outcome = lock_manager_.Acquire(tid, rid, mode);
+  if (!outcome.ok()) return outcome.status();
+  txn.ops_executed++;
+  RefreshCost(tid);
+  switch (*outcome) {
+    case lock::RequestOutcome::kGranted:
+      txn.locks_granted++;
+      RefreshCost(tid);
+      return AcquireStatus::kGranted;
+    case lock::RequestOutcome::kAlreadyHeld:
+      return AcquireStatus::kGranted;
+    case lock::RequestOutcome::kBlocked:
+      break;
+  }
+  txn.state = TxnState::kBlocked;
+  if (options_.detection_mode == DetectionMode::kContinuous) {
+    core::ResolutionReport report =
+        continuous_.OnBlock(lock_manager_, costs_, tid);
+    ApplyReport(report);
+    if (txn.state == TxnState::kAborted) {
+      return AcquireStatus::kAbortedAsVictim;
+    }
+    if (txn.state == TxnState::kActive) {
+      // The resolution unblocked us and the lock is now held.
+      return AcquireStatus::kGranted;
+    }
+  }
+  return AcquireStatus::kBlocked;
+}
+
+Status TransactionManager::Commit(lock::TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  Transaction& txn = it->second;
+  if (txn.state != TxnState::kActive) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is %s and cannot commit", tid,
+                       std::string(ToString(txn.state)).c_str()));
+  }
+  txn.state = TxnState::kCommitted;
+  costs_.Erase(tid);
+  std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
+  for (lock::TransactionId g : granted) {
+    auto git = txns_.find(g);
+    if (git != txns_.end() && git->second.state == TxnState::kBlocked) {
+      git->second.state = TxnState::kActive;
+      git->second.locks_granted++;
+      RefreshCost(g);
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(lock::TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  Transaction& txn = it->second;
+  if (txn.terminated()) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is already %s", tid,
+                       std::string(ToString(txn.state)).c_str()));
+  }
+  txn.state = TxnState::kAborted;
+  costs_.Erase(tid);
+  std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
+  for (lock::TransactionId g : granted) {
+    auto git = txns_.find(g);
+    if (git != txns_.end() && git->second.state == TxnState::kBlocked) {
+      git->second.state = TxnState::kActive;
+      git->second.locks_granted++;
+      RefreshCost(g);
+    }
+  }
+  return Status::OK();
+}
+
+core::ResolutionReport TransactionManager::RunDetection() {
+  core::ResolutionReport report = periodic_.RunPass(lock_manager_, costs_);
+  ApplyReport(report);
+  return report;
+}
+
+void TransactionManager::ApplyReport(const core::ResolutionReport& report) {
+  for (lock::TransactionId victim : report.aborted) {
+    auto it = txns_.find(victim);
+    if (it == txns_.end()) continue;
+    it->second.state = TxnState::kAborted;
+    it->second.deadlock_victim = true;
+    costs_.Erase(victim);
+  }
+  for (lock::TransactionId g : report.granted) {
+    auto it = txns_.find(g);
+    if (it != txns_.end() && it->second.state == TxnState::kBlocked) {
+      it->second.state = TxnState::kActive;
+      it->second.locks_granted++;
+      RefreshCost(g);
+    }
+  }
+}
+
+void TransactionManager::RefreshCost(lock::TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end() || it->second.terminated()) return;
+  const Transaction& txn = it->second;
+  double cost = 1.0;
+  switch (options_.cost_policy) {
+    case CostPolicy::kUnit:
+      cost = 1.0;
+      break;
+    case CostPolicy::kLocksHeld:
+      cost = 1.0 + static_cast<double>(txn.locks_granted);
+      break;
+    case CostPolicy::kAge:
+      // Older transactions (smaller ts) represent more lost work; make
+      // them expensive to abort.  next_ts_ grows, so this stays positive.
+      cost = 1.0 + static_cast<double>(next_ts_ - txn.begin_ts);
+      break;
+    case CostPolicy::kOpsDone:
+      cost = 1.0 + static_cast<double>(txn.ops_executed);
+      break;
+  }
+  costs_.Set(tid, cost);
+}
+
+Result<TxnState> TransactionManager::State(lock::TransactionId tid) const {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  return it->second.state;
+}
+
+const Transaction* TransactionManager::Find(lock::TransactionId tid) const {
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::vector<lock::TransactionId> TransactionManager::Blocked() const {
+  std::vector<lock::TransactionId> out;
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.state == TxnState::kBlocked) out.push_back(tid);
+  }
+  return out;
+}
+
+size_t TransactionManager::NumLive() const {
+  size_t n = 0;
+  for (const auto& [tid, txn] : txns_) n += !txn.terminated();
+  return n;
+}
+
+Status TransactionManager::CheckInvariants() const {
+  TWBG_RETURN_IF_ERROR(lock_manager_.CheckInvariants());
+  for (const auto& [tid, txn] : txns_) {
+    const bool lm_blocked = lock_manager_.IsBlocked(tid);
+    if ((txn.state == TxnState::kBlocked) != lm_blocked) {
+      return Status::Internal(common::Format(
+          "T%u state %s disagrees with lock manager (blocked=%d)", tid,
+          std::string(ToString(txn.state)).c_str(), lm_blocked ? 1 : 0));
+    }
+    if (txn.terminated() && lock_manager_.Info(tid) != nullptr) {
+      return Status::Internal(
+          common::Format("terminated T%u still owns locks", tid));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace twbg::txn

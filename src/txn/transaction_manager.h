@@ -1,0 +1,131 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Transaction manager: ties the lock manager, the cost table and a
+// deadlock detector into a strict-2PL transaction service.
+//
+//   * Begin / Acquire / Commit / Abort lifecycle with state tracking;
+//   * automatic cost maintenance per the configured CostPolicy (§5 lists
+//     locks held, start time, work done as candidate metrics);
+//   * detection either continuously (on every block) or periodically
+//     (caller invokes RunDetection on its schedule);
+//   * deadlock victims are transitioned to kAborted and flagged, and every
+//     transaction unblocked by a resolution is transitioned back to
+//     kActive.
+
+#ifndef TWBG_TXN_TRANSACTION_MANAGER_H_
+#define TWBG_TXN_TRANSACTION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/continuous_detector.h"
+#include "core/cost_table.h"
+#include "core/periodic_detector.h"
+#include "lock/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace twbg::txn {
+
+/// How transaction abort costs are derived (§5's example metrics).
+enum class CostPolicy {
+  /// Every transaction costs 1 — victim selection degrades to position.
+  kUnit,
+  /// Locks currently granted (cheap proxy for work that would be redone).
+  kLocksHeld,
+  /// Age: older transactions (smaller begin timestamp) cost more.
+  kAge,
+  /// Operations executed so far.
+  kOpsDone,
+};
+
+/// When deadlock detection runs.
+enum class DetectionMode {
+  /// Detect on every blocked request (continuous companion algorithm).
+  kContinuous,
+  /// Detect only when the caller invokes RunDetection (periodic).
+  kPeriodic,
+};
+
+struct TransactionManagerOptions {
+  DetectionMode detection_mode = DetectionMode::kPeriodic;
+  CostPolicy cost_policy = CostPolicy::kLocksHeld;
+  core::DetectorOptions detector;
+};
+
+/// Outcome of an Acquire call at the transaction level.
+enum class AcquireStatus {
+  kGranted,
+  /// The caller must wait; it will transition back to kActive when
+  /// granted (possibly by a detector resolution).
+  kBlocked,
+  /// The request closed a deadlock cycle and this transaction was chosen
+  /// as the victim (continuous mode only); it is already aborted.
+  kAbortedAsVictim,
+};
+
+/// Single-threaded transaction service for sequential transaction
+/// processing.
+class TransactionManager {
+ public:
+  explicit TransactionManager(TransactionManagerOptions options = {});
+
+  /// Starts a new transaction and returns its id (ids are never reused).
+  lock::TransactionId Begin();
+
+  /// Requests `mode` on `rid`.  In continuous mode a block triggers
+  /// detection immediately.
+  Result<AcquireStatus> Acquire(lock::TransactionId tid, lock::ResourceId rid,
+                                lock::LockMode mode);
+
+  /// Commits `tid` (must be active, not blocked) and releases its locks.
+  Status Commit(lock::TransactionId tid);
+
+  /// Aborts `tid` voluntarily and releases its locks / queue positions.
+  Status Abort(lock::TransactionId tid);
+
+  /// Runs one periodic detection-resolution pass (periodic mode; legal in
+  /// continuous mode too, e.g. as a safety net).
+  core::ResolutionReport RunDetection();
+
+  /// Current state of `tid`; kAborted for unknown ids that were never
+  /// begun is reported as an error.
+  Result<TxnState> State(lock::TransactionId tid) const;
+
+  /// Full record (nullptr when unknown).
+  const Transaction* Find(lock::TransactionId tid) const;
+
+  /// Ids of transactions currently blocked, ascending.
+  std::vector<lock::TransactionId> Blocked() const;
+
+  /// Number of transactions in kActive or kBlocked state.
+  size_t NumLive() const;
+
+  const lock::LockManager& lock_manager() const { return lock_manager_; }
+  lock::LockManager& mutable_lock_manager() { return lock_manager_; }
+  const core::CostTable& costs() const { return costs_; }
+
+  /// Consistency between transaction states and the lock manager.
+  Status CheckInvariants() const;
+
+ private:
+  // Applies a resolution report: marks victims aborted, reactivates
+  // granted transactions.
+  void ApplyReport(const core::ResolutionReport& report);
+
+  // Recomputes the cost of `tid` per the policy.
+  void RefreshCost(lock::TransactionId tid);
+
+  TransactionManagerOptions options_;
+  lock::LockManager lock_manager_;
+  core::CostTable costs_;
+  core::PeriodicDetector periodic_;
+  core::ContinuousDetector continuous_;
+  std::map<lock::TransactionId, Transaction> txns_;
+  lock::TransactionId next_tid_ = 1;
+  uint64_t next_ts_ = 1;
+};
+
+}  // namespace twbg::txn
+
+#endif  // TWBG_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,125 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the total-mode vs group-mode admission ablation (§2).  The
+// paper's total mode folds pending conversion modes into the admission
+// check; Gray's group mode uses granted modes only, so newcomers slip in
+// ahead of blocked upgraders and delay them arbitrarily — the
+// inefficiency §2 alludes to ("the reader shall understand why the total
+// mode is more efficient than the group mode after reading Section 3").
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::lock {
+namespace {
+
+using enum LockMode;
+
+TEST(AdmissionPolicyTest, GroupModeFoldsGrantedOnly) {
+  ResourceState r(1);
+  ASSERT_TRUE(r.Request(1, kIS).ok());
+  ASSERT_TRUE(r.Request(2, kIX).ok());
+  ASSERT_TRUE(r.Request(1, kS).ok());  // blocked upgrade to S
+  EXPECT_EQ(r.GroupMode(), kIX);       // granted modes only
+  EXPECT_EQ(r.total_mode(), kSIX);     // pending S folded in
+  EXPECT_EQ(r.AdmissionMode(), kSIX);  // default policy: total mode
+}
+
+TEST(AdmissionPolicyTest, TotalModeShieldsPendingUpgrade) {
+  // Holder (T1, IS, S) pending; a new IX requestor conflicts with the
+  // pending S, so total-mode admission queues it.
+  ResourceState r(1, AdmissionPolicy::kTotalMode);
+  ASSERT_TRUE(r.Request(1, kIS).ok());
+  ASSERT_TRUE(r.Request(2, kIX).ok());
+  ASSERT_TRUE(r.Request(1, kS).ok());      // T1 upgrade blocked by T2
+  Result<RequestOutcome> newcomer = r.Request(3, kIX);
+  ASSERT_TRUE(newcomer.ok());
+  EXPECT_EQ(*newcomer, RequestOutcome::kBlocked);  // queued behind upgrade
+  // When T2 leaves, the upgrade is granted FIRST; T3's IX stays queued
+  // behind the now-granted S.
+  std::vector<TransactionId> granted = r.Remove(2);
+  EXPECT_EQ(granted, (std::vector<TransactionId>{1}));
+  EXPECT_EQ(r.FindHolder(1)->granted, kS);
+  EXPECT_TRUE(r.InQueue(3));
+}
+
+TEST(AdmissionPolicyTest, GroupModeAdmitsOverPendingUpgrade) {
+  // Same scenario under group-mode admission: T3's IX is compatible with
+  // the granted {IS, IX} group, so it is granted immediately — and T1's
+  // pending upgrade now has one more blocker.
+  ResourceState r(1, AdmissionPolicy::kGroupMode);
+  ASSERT_TRUE(r.Request(1, kIS).ok());
+  ASSERT_TRUE(r.Request(2, kIX).ok());
+  ASSERT_TRUE(r.Request(1, kS).ok());
+  Result<RequestOutcome> newcomer = r.Request(3, kIX);
+  ASSERT_TRUE(newcomer.ok());
+  EXPECT_EQ(*newcomer, RequestOutcome::kGranted);
+  EXPECT_TRUE(r.CheckInvariants().ok());
+  // T2 leaving is no longer enough: T3's IX still blocks the S upgrade.
+  EXPECT_TRUE(r.Remove(2).empty());
+  EXPECT_TRUE(r.FindHolder(1)->IsBlocked());
+  // A stream of IX newcomers can starve the upgrader indefinitely.
+  ASSERT_TRUE(r.Request(4, kIX).ok());
+  EXPECT_EQ(r.FindHolder(4)->granted, kIX);
+  EXPECT_TRUE(r.Remove(3).empty());
+  EXPECT_TRUE(r.FindHolder(1)->IsBlocked());  // still starved
+}
+
+TEST(AdmissionPolicyTest, PoliciesAgreeWithoutPendingConversions) {
+  // With no blocked conversions, tm == group mode and the policies are
+  // observationally identical.
+  common::Rng rng(555);
+  for (int round = 0; round < 60; ++round) {
+    LockManager total(AdmissionPolicy::kTotalMode);
+    LockManager group(AdmissionPolicy::kGroupMode);
+    for (int op = 0; op < 50; ++op) {
+      TransactionId tid = static_cast<TransactionId>(rng.NextInRange(1, 6));
+      ResourceId rid = static_cast<ResourceId>(rng.NextInRange(1, 3));
+      // No conversions: each transaction uses one fixed mode per resource.
+      LockMode mode = kRealModes[(tid + rid) % 5];
+      if (rng.NextBernoulli(0.15)) {
+        std::vector<TransactionId> a = total.ReleaseAll(tid);
+        std::vector<TransactionId> b = group.ReleaseAll(tid);
+        ASSERT_EQ(a, b);
+        continue;
+      }
+      Result<RequestOutcome> a = total.Acquire(tid, rid, mode);
+      Result<RequestOutcome> b = group.Acquire(tid, rid, mode);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok()) {
+        ASSERT_EQ(*a, *b);
+      }
+    }
+    ASSERT_EQ(total.table().ToString(), group.table().ToString());
+  }
+}
+
+TEST(AdmissionPolicyTest, GroupModeKeepsInvariantsUnderRandomLoad) {
+  common::Rng rng(777);
+  for (int round = 0; round < 60; ++round) {
+    LockManager lm(AdmissionPolicy::kGroupMode);
+    for (int op = 0; op < 80; ++op) {
+      TransactionId tid = static_cast<TransactionId>(rng.NextInRange(1, 8));
+      if (rng.NextBernoulli(0.15)) {
+        lm.ReleaseAll(tid);
+        continue;
+      }
+      (void)lm.Acquire(tid,
+                       static_cast<ResourceId>(rng.NextInRange(1, 3)),
+                       kRealModes[rng.NextBelow(5)]);
+      Status invariants = lm.CheckInvariants();
+      ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+    }
+  }
+}
+
+TEST(AdmissionPolicyTest, TablePolicyPropagates) {
+  LockTable table(AdmissionPolicy::kGroupMode);
+  EXPECT_EQ(table.policy(), AdmissionPolicy::kGroupMode);
+  EXPECT_EQ(table.GetOrCreate(5).policy(), AdmissionPolicy::kGroupMode);
+}
+
+}  // namespace
+}  // namespace twbg::lock

@@ -1,0 +1,235 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the comparison detectors: each resolves what its model can
+// see, and — crucially for the reproduction — the classic WFG and the
+// single-edge ACD scheme demonstrably MISS the FIFO deadlock that
+// H/W-TWBG was designed to capture.
+
+#include <gtest/gtest.h>
+
+#include "baselines/acd_detector.h"
+#include "baselines/elmagarmid_detector.h"
+#include "baselines/factory.h"
+#include "baselines/hwtwbg_strategy.h"
+#include "baselines/jiang_detector.h"
+#include "baselines/timeout_resolver.h"
+#include "baselines/wfg_detector.h"
+#include "core/examples_catalog.h"
+#include "core/oracle.h"
+
+namespace twbg::baselines {
+namespace {
+
+using enum lock::LockMode;
+
+void BuildClassicDeadlock(lock::LockManager& lm) {
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+}
+
+TEST(WfgStrategyTest, ResolvesClassicDeadlock) {
+  lock::LockManager lm;
+  BuildClassicDeadlock(lm);
+  core::CostTable costs;
+  costs.Set(1, 5.0);
+  costs.Set(2, 2.0);
+  WfgStrategy wfg;
+  StrategyOutcome outcome = wfg.OnPeriodic(lm, costs);
+  EXPECT_EQ(outcome.cycles_found, 1u);
+  EXPECT_EQ(outcome.aborted, (std::vector<lock::TransactionId>{2}));
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(WfgStrategyTest, MissesTheFifoDeadlock) {
+  // The motivating scenario: holder-only wait-for edges cannot see T3's
+  // FIFO wait behind T2 — WFG reports nothing, the oracle disagrees.
+  lock::LockManager lm;
+  core::BuildFifoDeadlock(lm);
+  ASSERT_TRUE(core::AnalyzeByReduction(lm.table()).deadlocked);
+  core::CostTable costs;
+  WfgStrategy wfg;
+  StrategyOutcome outcome = wfg.OnPeriodic(lm, costs);
+  EXPECT_EQ(outcome.cycles_found, 0u);
+  EXPECT_TRUE(outcome.aborted.empty());
+  EXPECT_TRUE(core::AnalyzeByReduction(lm.table()).deadlocked);  // still!
+  // ... while the paper's detector resolves it.
+  HwTwbgPeriodicStrategy ours;
+  StrategyOutcome resolved = ours.OnPeriodic(lm, costs);
+  EXPECT_GE(resolved.cycles_found, 1u);
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(WfgStrategyTest, DetectsConversionDeadlockViaBlockedModes) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  core::CostTable costs;
+  WfgStrategy wfg;
+  StrategyOutcome outcome = wfg.OnPeriodic(lm, costs);
+  EXPECT_EQ(outcome.cycles_found, 1u);
+  EXPECT_EQ(outcome.aborted.size(), 1u);
+}
+
+TEST(AcdStrategyTest, ResolvesClassicDeadlock) {
+  lock::LockManager lm;
+  BuildClassicDeadlock(lm);
+  core::CostTable costs;
+  costs.Set(1, 1.0);
+  costs.Set(2, 9.0);
+  AcdStrategy acd;
+  StrategyOutcome outcome = acd.OnPeriodic(lm, costs);
+  EXPECT_EQ(outcome.cycles_found, 1u);
+  EXPECT_EQ(outcome.aborted, (std::vector<lock::TransactionId>{1}));
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(AcdStrategyTest, MissesTheFifoDeadlock) {
+  lock::LockManager lm;
+  core::BuildFifoDeadlock(lm);
+  core::CostTable costs;
+  AcdStrategy acd;
+  StrategyOutcome outcome = acd.OnPeriodic(lm, costs);
+  EXPECT_TRUE(outcome.aborted.empty());
+  EXPECT_TRUE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(AcdStrategyTest, RepresentativeCompressionCanDelayDetection) {
+  // A deadlock through the SECOND conflicting holder: T3 waits on both T1
+  // and T2; the representative edge points at T1 (first holder), but the
+  // actual cycle runs T3 -> T2 -> T3.  ACD sees nothing; H/W-TWBG (which
+  // keeps all edges) resolves it.
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  ASSERT_TRUE(lm.Acquire(3, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, 1, kX).ok());  // waits on holders T1 and T2
+  ASSERT_TRUE(lm.Acquire(2, 2, kS).ok());  // T2 waits on T3 -> cycle
+  ASSERT_TRUE(core::AnalyzeByReduction(lm.table()).deadlocked);
+  core::CostTable costs;
+  AcdStrategy acd;
+  StrategyOutcome outcome = acd.OnPeriodic(lm, costs);
+  EXPECT_TRUE(outcome.aborted.empty());  // representative edge misleads
+  HwTwbgPeriodicStrategy ours;
+  StrategyOutcome resolved = ours.OnPeriodic(lm, costs);
+  EXPECT_GE(resolved.cycles_found, 1u);
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(JiangStrategyTest, ResolvesOnBlockAndListsParticipators) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  core::CostTable costs;
+  costs.Set(1, 3.0);
+  costs.Set(2, 8.0);
+  JiangStrategy jiang;
+  StrategyOutcome outcome = jiang.OnBlock(lm, costs, 2);
+  EXPECT_EQ(outcome.cycles_found, 1u);
+  EXPECT_EQ(outcome.aborted, (std::vector<lock::TransactionId>{1}));
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(JiangStrategyTest, SeesTheFifoDeadlock) {
+  // Jiang keeps the full relation (we grant it our ECR edges), so unlike
+  // WFG/ACD it does catch queue-order deadlocks — at enumeration cost.
+  lock::LockManager lm;
+  core::BuildFifoDeadlock(lm);
+  core::CostTable costs;
+  JiangStrategy jiang;
+  StrategyOutcome outcome = jiang.OnBlock(lm, costs, 1);
+  EXPECT_GE(outcome.cycles_found, 1u);
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(JiangStrategyTest, EnumerationWorkExplodesOnDenseCycles) {
+  // Example 4.1 has 4 overlapping cycles; enumeration touches many paths.
+  lock::LockManager lm;
+  core::BuildExample41(lm);
+  core::CostTable costs;
+  JiangStrategy jiang;
+  StrategyOutcome outcome = jiang.OnBlock(lm, costs, 3);
+  EXPECT_GE(outcome.cycles_found, 1u);
+  EXPECT_GT(outcome.work, 0u);
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(ElmagarmidStrategyTest, AlwaysAbortsTheCurrentBlocker) {
+  lock::LockManager lm;
+  BuildClassicDeadlock(lm);
+  core::CostTable costs;
+  costs.Set(2, 1000.0);  // expensive — a cost-aware scheme would spare it
+  ElmagarmidStrategy elmagarmid;
+  StrategyOutcome outcome = elmagarmid.OnBlock(lm, costs, 2);
+  EXPECT_EQ(outcome.aborted, (std::vector<lock::TransactionId>{2}));
+  EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(ElmagarmidStrategyTest, NoCycleNoAbort) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  core::CostTable costs;
+  ElmagarmidStrategy elmagarmid;
+  StrategyOutcome outcome = elmagarmid.OnBlock(lm, costs, 2);
+  EXPECT_TRUE(outcome.aborted.empty());
+  EXPECT_TRUE(lm.IsBlocked(2));
+}
+
+TEST(TimeoutStrategyTest, AbortsAfterTimeoutEvenWithoutDeadlock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());  // merely waiting
+  core::CostTable costs;
+  TimeoutStrategy timeout(/*timeout_periods=*/2);
+  EXPECT_TRUE(timeout.OnPeriodic(lm, costs).aborted.empty());
+  EXPECT_TRUE(timeout.OnPeriodic(lm, costs).aborted.empty());
+  StrategyOutcome third = timeout.OnPeriodic(lm, costs);
+  EXPECT_EQ(third.aborted, (std::vector<lock::TransactionId>{2}));  // false!
+}
+
+TEST(TimeoutStrategyTest, GrantResetsTheClock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  core::CostTable costs;
+  TimeoutStrategy timeout(/*timeout_periods=*/2);
+  timeout.OnPeriodic(lm, costs);
+  lm.ReleaseAll(1);  // grants T2
+  EXPECT_TRUE(timeout.OnPeriodic(lm, costs).aborted.empty());
+  EXPECT_TRUE(timeout.OnPeriodic(lm, costs).aborted.empty());
+  EXPECT_TRUE(timeout.OnPeriodic(lm, costs).aborted.empty());
+}
+
+TEST(FactoryTest, MakesEveryStrategy) {
+  for (std::string_view name : AllStrategyNames()) {
+    std::unique_ptr<DetectionStrategy> strategy = MakeStrategy(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+  }
+  EXPECT_EQ(MakeStrategy("bogus"), nullptr);
+}
+
+TEST(FactoryTest, HwTwbgStrategiesResolveExample41) {
+  for (std::string_view name : {"hwtwbg-periodic", "hwtwbg-continuous"}) {
+    lock::LockManager lm;
+    core::BuildExample41(lm);
+    core::CostTable costs;
+    std::unique_ptr<DetectionStrategy> strategy = MakeStrategy(name);
+    StrategyOutcome outcome =
+        strategy->is_continuous() ? strategy->OnBlock(lm, costs, 3)
+                                  : strategy->OnPeriodic(lm, costs);
+    EXPECT_GE(outcome.cycles_found, 1u) << name;
+    EXPECT_EQ(outcome.repositioned, 1u) << name;  // TDR-2, nobody aborted
+    EXPECT_TRUE(outcome.aborted.empty()) << name;
+    EXPECT_FALSE(core::AnalyzeByReduction(lm.table()).deadlocked) << name;
+  }
+}
+
+}  // namespace
+}  // namespace twbg::baselines

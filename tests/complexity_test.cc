@@ -1,0 +1,131 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests of the §5 complexity claims as checkable invariants:
+//   * steps of a pass are O(n + e*(c'+1)) — verified with an explicit
+//     constant against random and structured tables;
+//   * c' (cycles actually searched) never exceeds n, nor the number of
+//     elementary cycles c.
+
+#include <gtest/gtest.h>
+
+#include "bench/scenarios.h"
+#include "common/rng.h"
+#include "core/periodic_detector.h"
+#include "core/twbg.h"
+#include "core/tst.h"
+#include "lock/lock_manager.h"
+
+namespace twbg {
+namespace {
+
+struct PassFacts {
+  size_t n = 0;
+  size_t e = 0;
+  size_t elementary_cycles = 0;
+  core::ResolutionReport report;
+};
+
+PassFacts RunPassWithFacts(lock::LockManager& lm) {
+  PassFacts facts;
+  core::Tst tst = core::Tst::Build(lm.table());
+  facts.n = tst.size();
+  facts.e = tst.NumEdges();
+  facts.elementary_cycles =
+      core::HwTwbg::Build(lm.table()).ElementaryCycles(100000).size();
+  core::CostTable costs;
+  core::PeriodicDetector detector;
+  facts.report = detector.RunPass(lm, costs);
+  return facts;
+}
+
+void CheckBounds(const PassFacts& facts, const char* what) {
+  const size_t c_prime = facts.report.cycles_detected;
+  // c' <= n and c' <= c (the paper's bound on cycles actually searched).
+  EXPECT_LE(c_prime, facts.n) << what;
+  EXPECT_LE(c_prime, facts.elementary_cycles) << what;
+  // steps = O(n + e*(c'+1)); every loop iteration advances a cursor,
+  // descends an edge, or backtracks a node, so 3x the bound is generous.
+  const size_t bound = 3 * (facts.n + facts.e * (c_prime + 1)) + 3;
+  EXPECT_LE(facts.report.steps, bound) << what;
+}
+
+TEST(ComplexityTest, AcyclicChainIsLinear) {
+  for (size_t n : {10u, 100u, 1000u}) {
+    lock::LockManager lm;
+    bench::BuildChain(lm, n);
+    PassFacts facts = RunPassWithFacts(lm);
+    EXPECT_EQ(facts.report.cycles_detected, 0u);
+    // No cycle: steps must be O(n + e) with no c' term at all.
+    EXPECT_LE(facts.report.steps, 3 * (facts.n + facts.e));
+    CheckBounds(facts, "chain");
+  }
+}
+
+TEST(ComplexityTest, SingleRing) {
+  for (size_t n : {2u, 8u, 64u, 512u}) {
+    lock::LockManager lm;
+    bench::BuildRing(lm, n);
+    PassFacts facts = RunPassWithFacts(lm);
+    EXPECT_EQ(facts.report.cycles_detected, 1u);
+    EXPECT_EQ(facts.report.aborted.size(), 1u);
+    CheckBounds(facts, "ring");
+  }
+}
+
+TEST(ComplexityTest, ManyRingsSearchOneCycleEach) {
+  lock::LockManager lm;
+  bench::BuildRings(lm, 32, 6);
+  PassFacts facts = RunPassWithFacts(lm);
+  EXPECT_EQ(facts.report.cycles_detected, 32u);
+  EXPECT_EQ(facts.report.aborted.size(), 32u);
+  CheckBounds(facts, "rings");
+}
+
+TEST(ComplexityTest, UpgradeCrowdStaysPolynomialDespiteCycleExplosion) {
+  for (size_t k : {4u, 6u, 8u, 10u}) {
+    lock::LockManager lm;
+    bench::BuildUpgradeCrowd(lm, k);
+    PassFacts facts = RunPassWithFacts(lm);
+    // c' is at most k-1 (one resolution frees the rest) while the
+    // elementary cycle count explodes combinatorially.
+    EXPECT_LE(facts.report.cycles_detected, k - 1) << k;
+    if (k >= 8) {
+      EXPECT_GT(facts.elementary_cycles, 1000u);
+    }
+    CheckBounds(facts, "crowd");
+    // One holder survives with the X lock.
+    const lock::ResourceState* state = lm.table().Find(1);
+    ASSERT_NE(state, nullptr);
+    ASSERT_EQ(state->holders().size(), 1u);
+    EXPECT_EQ(state->holders()[0].granted, lock::LockMode::kX);
+  }
+}
+
+TEST(ComplexityTest, QueueTailCostsNothingExtra) {
+  lock::LockManager lm;
+  bench::BuildQueueTail(lm, 500);
+  PassFacts facts = RunPassWithFacts(lm);
+  EXPECT_EQ(facts.report.cycles_detected, 0u);
+  EXPECT_LE(facts.report.steps, 3 * (facts.n + facts.e));
+}
+
+TEST(ComplexityTest, RandomTablesRespectTheBound) {
+  common::Rng rng(987654);
+  for (int round = 0; round < 150; ++round) {
+    lock::LockManager lm;
+    const int txns = 2 + static_cast<int>(rng.NextBelow(14));
+    const int resources = 1 + static_cast<int>(rng.NextBelow(5));
+    const int ops = 20 + static_cast<int>(rng.NextBelow(120));
+    for (int op = 0; op < ops; ++op) {
+      (void)lm.Acquire(
+          static_cast<lock::TransactionId>(rng.NextInRange(1, txns)),
+          static_cast<lock::ResourceId>(rng.NextInRange(1, resources)),
+          lock::kRealModes[rng.NextBelow(5)]);
+    }
+    PassFacts facts = RunPassWithFacts(lm);
+    CheckBounds(facts, "random");
+  }
+}
+
+}  // namespace
+}  // namespace twbg

@@ -1,0 +1,170 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// White-box tests of the Step 2 walk mechanics (§5): ancestor/current
+// bookkeeping, skip semantics, resume-at-w after a resolution, victim
+// application, and Step 3 ordering effects.
+
+#include "core/detection_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/examples_catalog.h"
+#include "core/oracle.h"
+#include "core/tst.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using enum lock::LockMode;
+
+TEST(DetectionEngineTest, EmptyTstWalksNothing) {
+  lock::LockManager lm;
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  WalkOutcome outcome = RunWalk(tst, {}, lm, costs, {});
+  EXPECT_EQ(outcome.cycles, 0u);
+  EXPECT_EQ(outcome.steps, 0u);
+}
+
+TEST(DetectionEngineTest, UnknownRootsAreSkipped) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  WalkOutcome outcome = RunWalk(tst, {99, 1}, lm, costs, {});
+  EXPECT_EQ(outcome.cycles, 0u);
+}
+
+TEST(DetectionEngineTest, WalkLeavesAncestorsClean) {
+  // After any complete walk every ancestor must be back to 0 (the paper's
+  // loop relies on this across outer iterations).
+  lock::LockManager lm;
+  BuildExample41(lm);
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  RunWalk(tst, tst.Transactions(), lm, costs, {});
+  for (lock::TransactionId tid : tst.Transactions()) {
+    EXPECT_EQ(tst.At(tid).ancestor, 0) << "T" << tid;
+  }
+}
+
+TEST(DetectionEngineTest, VictimCurrentIsNilAfterWalk) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  costs.Set(1, 9.0);
+  costs.Set(2, 1.0);
+  WalkOutcome outcome = RunWalk(tst, tst.Transactions(), lm, costs, {});
+  ASSERT_EQ(outcome.abortion_list,
+            (std::vector<lock::TransactionId>{2}));
+  EXPECT_TRUE(tst.At(2).CurrentIsNil());
+}
+
+TEST(DetectionEngineTest, RootInsideCycleDetectsIt) {
+  // Roots are tried in the given order; starting at each vertex of the
+  // cycle must find it.
+  for (lock::TransactionId root : {1u, 2u}) {
+    lock::LockManager lm;
+    ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+    ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+    ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());
+    ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+    Tst tst = Tst::Build(lm.table());
+    CostTable costs;
+    WalkOutcome outcome = RunWalk(tst, {root}, lm, costs, {});
+    EXPECT_EQ(outcome.cycles, 1u) << "root " << root;
+  }
+}
+
+TEST(DetectionEngineTest, Tdr2DuringWalkRepositionsImmediately) {
+  // The queue mutation of a TDR-2 happens during Step 2 (the paper's
+  // victim-selection), before ApplyResolution runs.
+  lock::LockManager lm;
+  BuildExample41(lm);
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;  // uniform: TDR-2 (cost 0.5) wins
+  WalkOutcome outcome = RunWalk(tst, tst.Transactions(), lm, costs, {});
+  ASSERT_EQ(outcome.change_list, (std::vector<lock::ResourceId>{kR2}));
+  const lock::ResourceState* r2 = lm.table().Find(kR2);
+  ASSERT_NE(r2, nullptr);
+  // Repositioned but not yet rescheduled: T9 leads the queue, ungran ted.
+  ASSERT_EQ(r2->queue().size(), 4u);
+  EXPECT_EQ(r2->queue()[0].tid, 9u);
+  EXPECT_EQ(r2->queue()[1].tid, 3u);
+  EXPECT_EQ(r2->queue()[2].tid, 8u);
+  // ST costs were bumped during the walk.
+  EXPECT_DOUBLE_EQ(costs.Get(8), 2.0);
+  // Step 3 performs the grant.
+  ResolutionReport report =
+      ApplyResolution(std::move(outcome), lm, costs, {});
+  EXPECT_EQ(report.granted, (std::vector<lock::TransactionId>{9}));
+}
+
+TEST(DetectionEngineTest, AvMembersAreNiledByTdr2) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  RunWalk(tst, tst.Transactions(), lm, costs, {});
+  // AV = {T9, T3}: both pruned from further search (Lemma 4.1).
+  EXPECT_TRUE(tst.At(9).CurrentIsNil());
+  EXPECT_TRUE(tst.At(3).CurrentIsNil());
+}
+
+TEST(DetectionEngineTest, CostAscendingOrderChangesSparing) {
+  // Example 5.1 victims are T3 (cost 1) then T2 (cost 4).  Cost-ascending
+  // processes T3 first — no sparing; cost-descending processes T2 first —
+  // T3 spared.  Both end deadlock-free.
+  for (AbortOrder order :
+       {AbortOrder::kCostAscending, AbortOrder::kCostDescending}) {
+    lock::LockManager lm;
+    BuildExample51(lm);
+    CostTable costs;
+    costs.Set(1, 6.0);
+    costs.Set(2, 4.0);
+    costs.Set(3, 1.0);
+    Tst tst = Tst::Build(lm.table());
+    DetectorOptions options;
+    options.abort_order = order;
+    WalkOutcome walk = RunWalk(tst, tst.Transactions(), lm, costs, options);
+    ResolutionReport report =
+        ApplyResolution(std::move(walk), lm, costs, options);
+    if (order == AbortOrder::kCostDescending) {
+      EXPECT_EQ(report.aborted, (std::vector<lock::TransactionId>{2}));
+      EXPECT_EQ(report.spared, (std::vector<lock::TransactionId>{3}));
+    } else {
+      EXPECT_EQ(report.aborted, (std::vector<lock::TransactionId>{3, 2}));
+      EXPECT_TRUE(report.spared.empty());
+    }
+    EXPECT_FALSE(AnalyzeByReduction(lm.table()).deadlocked);
+  }
+}
+
+TEST(DetectionEngineTest, StCostBumpPolicyIsConfigurable) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;  // uniform costs keep the TDR-2 candidate cheapest
+  DetectorOptions options;
+  options.st_cost_multiplier = 1.0;
+  options.st_cost_increment = 10.0;
+  RunWalk(tst, tst.Transactions(), lm, costs, options);
+  EXPECT_DOUBLE_EQ(costs.Get(8), 11.0);  // 1 * 1 + 10
+}
+
+TEST(DetectionEngineTest, WalkStepsAreCounted) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  Tst tst = Tst::Build(lm.table());
+  CostTable costs;
+  WalkOutcome outcome = RunWalk(tst, tst.Transactions(), lm, costs, {});
+  EXPECT_GT(outcome.steps, tst.size());  // at least one step per vertex
+}
+
+}  // namespace
+}  // namespace twbg::core

@@ -1,0 +1,124 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace twbg::graph {
+namespace {
+
+TEST(DigraphTest, EmptyGraphIsAcyclic) {
+  Digraph g(0);
+  EXPECT_FALSE(g.HasCycle());
+  Digraph g5(5);
+  EXPECT_FALSE(g5.HasCycle());
+}
+
+TEST(DigraphTest, EdgeCount) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutEdges(0).size(), 2u);
+  EXPECT_EQ(g.OutEdges(2).size(), 0u);
+}
+
+TEST(DigraphTest, SelfLoopIsACycle) {
+  Digraph g(2);
+  g.AddEdge(1, 1);
+  ASSERT_TRUE(g.HasCycle());
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<NodeId>{1}));
+}
+
+TEST(DigraphTest, ChainIsAcyclic) {
+  Digraph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_FALSE(g.FindCycle().has_value());
+}
+
+TEST(DigraphTest, DiamondIsAcyclic) {
+  // Two paths converging is not a cycle (tests gray/black distinction).
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.HasCycle());
+}
+
+TEST(DigraphTest, FindCycleReturnsActualCycle) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);  // cycle 1-2-3
+  g.AddEdge(3, 4);
+  auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  // Verify it is a real cycle: consecutive edges exist.
+  const auto& c = *cycle;
+  EXPECT_EQ(std::set<NodeId>(c.begin(), c.end()),
+            (std::set<NodeId>{1, 2, 3}));
+  for (size_t i = 0; i < c.size(); ++i) {
+    NodeId from = c[i];
+    NodeId to = c[(i + 1) % c.size()];
+    const auto& out = g.OutEdges(from);
+    EXPECT_NE(std::find(out.begin(), out.end(), to), out.end())
+        << from << "->" << to;
+  }
+}
+
+TEST(DigraphTest, CycleInSecondComponent) {
+  Digraph g(6);
+  g.AddEdge(0, 1);  // acyclic component first
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 3);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, RandomGraphsAgreeWithDfsOracle) {
+  // Cross-check HasCycle against a simple recursive reference on random
+  // sparse graphs.
+  common::Rng rng(42);
+  for (int round = 0; round < 100; ++round) {
+    const size_t n = 2 + rng.NextBelow(12);
+    Digraph g(n);
+    const size_t edges = rng.NextBelow(2 * n);
+    for (size_t i = 0; i < edges; ++i) {
+      g.AddEdge(static_cast<NodeId>(rng.NextBelow(n)),
+                static_cast<NodeId>(rng.NextBelow(n)));
+    }
+    // Reference: Kahn's algorithm — cycle iff topological sort incomplete.
+    std::vector<size_t> indegree(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : g.OutEdges(u)) ++indegree[v];
+    }
+    std::vector<NodeId> ready;
+    for (NodeId u = 0; u < n; ++u) {
+      if (indegree[u] == 0) ready.push_back(u);
+    }
+    size_t removed = 0;
+    while (!ready.empty()) {
+      NodeId u = ready.back();
+      ready.pop_back();
+      ++removed;
+      for (NodeId v : g.OutEdges(u)) {
+        if (--indegree[v] == 0) ready.push_back(v);
+      }
+    }
+    EXPECT_EQ(g.HasCycle(), removed != n) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace twbg::graph

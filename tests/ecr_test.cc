@@ -1,0 +1,123 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Exact edge-set tests for the Edge Construction Rules against the
+// paper's worked examples (Figure 4.1 and Figure 5.2).
+
+#include "core/ecr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/examples_catalog.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using lock::LockMode;
+using enum lock::LockMode;
+
+TwbgEdge H(lock::TransactionId from, lock::TransactionId to,
+           lock::ResourceId rid) {
+  return TwbgEdge{from, to, kNL, rid};
+}
+
+TwbgEdge W(lock::TransactionId from, lock::TransactionId to, LockMode bm,
+           lock::ResourceId rid) {
+  return TwbgEdge{from, to, bm, rid};
+}
+
+TEST(EcrTest, Example41EdgeSetMatchesFigure41) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  std::vector<TwbgEdge> edges =
+      BuildEcrEdges(lm.table(), /*include_sentinels=*/false);
+  const std::vector<TwbgEdge> expected = {
+      // R1, ECR-1: T1's IX/SIX blocks T2's S; T3's granted IX blocks both
+      // upgraders.
+      H(1, 2, kR1), H(3, 1, kR1), H(3, 2, kR1),
+      // R1, ECR-2: first conflicting queue member per holder; T4 blocks
+      // nobody.
+      H(1, 5, kR1), H(2, 5, kR1), H(3, 6, kR1),
+      // R1, ECR-3.
+      W(5, 6, kIX, kR1), W(6, 7, kS, kR1),
+      // R2, ECR-2 and ECR-3.
+      H(7, 8, kR2), W(8, 9, kX, kR2), W(9, 3, kIX, kR2), W(3, 4, kS, kR2)};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EcrTest, Example41SentinelEdges) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  std::vector<TwbgEdge> edges =
+      BuildEcrEdges(lm.table(), /*include_sentinels=*/true);
+  // Two sentinels: T7 (last in R1's queue) and T4 (last in R2's queue).
+  std::vector<TwbgEdge> sentinels;
+  for (const TwbgEdge& e : edges) {
+    if (e.IsSentinel()) sentinels.push_back(e);
+  }
+  ASSERT_EQ(sentinels.size(), 2u);
+  EXPECT_EQ(sentinels[0], W(7, 0, kIX, kR1));
+  EXPECT_EQ(sentinels[1], W(4, 0, kX, kR2));
+  // Sentinel-free build is the same list minus the sentinels.
+  EXPECT_EQ(edges.size(),
+            BuildEcrEdges(lm.table(), /*include_sentinels=*/false).size() + 2);
+}
+
+TEST(EcrTest, Example51EdgeSetMatchesFigure52) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  std::vector<TwbgEdge> edges =
+      BuildEcrEdges(lm.table(), /*include_sentinels=*/false);
+  const std::vector<TwbgEdge> expected = {
+      H(1, 2, kR1),        // holder T1 -> first conflicting waiter T2
+      W(2, 3, kX, kR1),    // queue adjacency
+      H(2, 1, kR2),        // R2 holders -> waiter T1
+      H(3, 1, kR2),
+  };
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EcrTest, Ecr1ConversionDeadlockProducesBothEdges) {
+  // Observation 3.1(3): two IS->X upgraders in one holder list wait on
+  // each other — ECR-1 emits both directions.
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 9, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 9, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(1, 9, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 9, kX).ok());
+  std::vector<TwbgEdge> edges = BuildEcrEdges(lm.table(), false);
+  EXPECT_EQ(edges, (std::vector<TwbgEdge>{H(1, 2, 9), H(2, 1, 9)}));
+}
+
+TEST(EcrTest, Ecr2SkipsCompatibleQueuePrefix) {
+  // Holder S; queue (IS, IS, X): the first member conflicting with S is
+  // the third.
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 5, kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 5, kX).ok());   // front, conflicts
+  ASSERT_TRUE(lm.ReleaseAll(2).empty());    // leave queue empty again
+  ASSERT_TRUE(lm.Acquire(3, 5, kX).ok());   // conflicts -> queued
+  ASSERT_TRUE(lm.Acquire(4, 5, kIS).ok());  // compatible but FIFO-queued
+  ASSERT_TRUE(lm.Acquire(5, 5, kX).ok());
+  std::vector<TwbgEdge> edges = BuildEcrEdges(lm.table(), false);
+  // Holder T1 points at T3 (first conflicting), not T4.
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(edges[0], H(1, 3, 5));
+}
+
+TEST(EcrTest, NoEdgesWithoutWaiters) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kIX).ok());
+  ASSERT_TRUE(lm.Acquire(3, 2, kS).ok());
+  EXPECT_TRUE(BuildEcrEdges(lm.table(), true).empty());
+}
+
+TEST(EcrTest, EdgeToString) {
+  EXPECT_EQ(H(1, 2, 3).ToString(), "T1 -H(R3)-> T2");
+  EXPECT_EQ(W(5, 6, kIX, 1).ToString(), "T5 -W(R1)-> T6");
+  EXPECT_EQ(W(7, 0, kIX, 1).ToString(), "T7 -W(R1)-> (end)");
+}
+
+}  // namespace
+}  // namespace twbg::core

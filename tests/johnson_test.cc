@@ -1,0 +1,128 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/johnson.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace twbg::graph {
+namespace {
+
+// Canonical form: rotate so the smallest node leads; set-of-cycles compare.
+std::set<std::vector<NodeId>> Canonical(
+    const std::vector<std::vector<NodeId>>& cycles) {
+  std::set<std::vector<NodeId>> out;
+  for (const auto& cycle : cycles) {
+    auto it = std::min_element(cycle.begin(), cycle.end());
+    std::vector<NodeId> rotated(it, cycle.end());
+    rotated.insert(rotated.end(), cycle.begin(), it);
+    out.insert(std::move(rotated));
+  }
+  return out;
+}
+
+TEST(JohnsonTest, AcyclicGraphHasNoCircuits) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(ElementaryCircuits(g).empty());
+}
+
+TEST(JohnsonTest, SingleCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  auto circuits = ElementaryCircuits(g);
+  ASSERT_EQ(circuits.size(), 1u);
+  EXPECT_EQ(Canonical(circuits),
+            (std::set<std::vector<NodeId>>{{0, 1, 2}}));
+}
+
+TEST(JohnsonTest, SelfLoop) {
+  Digraph g(2);
+  g.AddEdge(1, 1);
+  auto circuits = ElementaryCircuits(g);
+  ASSERT_EQ(circuits.size(), 1u);
+  EXPECT_EQ(circuits[0], (std::vector<NodeId>{1}));
+}
+
+TEST(JohnsonTest, TwoNodeAndThreeNodeSharedCycles) {
+  // 0<->1 plus 0->1->2->0: two elementary circuits.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  auto canon = Canonical(ElementaryCircuits(g));
+  EXPECT_EQ(canon, (std::set<std::vector<NodeId>>{{0, 1}, {0, 1, 2}}));
+}
+
+TEST(JohnsonTest, CompleteDigraphCounts) {
+  // Complete digraph on n vertices has sum_{k=2..n} C(n,k)(k-1)! circuits:
+  // n=2 -> 1, n=3 -> 5, n=4 -> 20, n=5 -> 84.
+  const size_t expected[] = {0, 0, 1, 5, 20, 84};
+  for (size_t n = 2; n <= 5; ++n) {
+    Digraph g(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v) g.AddEdge(u, v);
+      }
+    }
+    EXPECT_EQ(CountElementaryCircuits(g), expected[n]) << "n=" << n;
+  }
+}
+
+TEST(JohnsonTest, ParallelEdgesDoNotDuplicateCircuits) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_EQ(CountElementaryCircuits(g), 1u);
+}
+
+TEST(JohnsonTest, MaxCircuitsCapIsHonored) {
+  Digraph g(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  EXPECT_EQ(CountElementaryCircuits(g, 10), 10u);
+}
+
+TEST(JohnsonTest, EveryReportedCircuitIsElementaryAndReal) {
+  common::Rng rng(1234);
+  for (int round = 0; round < 30; ++round) {
+    const size_t n = 2 + rng.NextBelow(7);
+    Digraph g(n);
+    const size_t edges = rng.NextBelow(2 * n + 2);
+    for (size_t i = 0; i < edges; ++i) {
+      g.AddEdge(static_cast<NodeId>(rng.NextBelow(n)),
+                static_cast<NodeId>(rng.NextBelow(n)));
+    }
+    auto circuits = ElementaryCircuits(g);
+    // No duplicates under rotation.
+    EXPECT_EQ(Canonical(circuits).size(), circuits.size());
+    for (const auto& c : circuits) {
+      // Elementary: no repeated vertex.
+      EXPECT_EQ(std::set<NodeId>(c.begin(), c.end()).size(), c.size());
+      // Real: all edges present.
+      for (size_t i = 0; i < c.size(); ++i) {
+        const auto& out = g.OutEdges(c[i]);
+        EXPECT_NE(std::find(out.begin(), out.end(), c[(i + 1) % c.size()]),
+                  out.end());
+      }
+    }
+    // Existence agrees with plain cycle detection.
+    EXPECT_EQ(!circuits.empty(), g.HasCycle());
+  }
+}
+
+}  // namespace
+}  // namespace twbg::graph

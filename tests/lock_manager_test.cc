@@ -1,0 +1,147 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace twbg::lock {
+namespace {
+
+using enum LockMode;
+
+RequestOutcome MustAcquire(LockManager& lm, TransactionId tid, ResourceId rid,
+                           LockMode mode) {
+  Result<RequestOutcome> outcome = lm.Acquire(tid, rid, mode);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return *outcome;
+}
+
+TEST(LockManagerTest, GrantAndBlockBookkeeping) {
+  LockManager lm;
+  EXPECT_EQ(MustAcquire(lm, 1, 10, kX), RequestOutcome::kGranted);
+  EXPECT_FALSE(lm.IsBlocked(1));
+  EXPECT_EQ(MustAcquire(lm, 2, 10, kS), RequestOutcome::kBlocked);
+  EXPECT_TRUE(lm.IsBlocked(2));
+  EXPECT_EQ(lm.BlockedOn(2), std::optional<ResourceId>(10));
+  EXPECT_TRUE(lm.CheckInvariants().ok());
+}
+
+TEST(LockManagerTest, BlockedTransactionCannotRequest) {
+  LockManager lm;
+  MustAcquire(lm, 1, 10, kX);
+  MustAcquire(lm, 2, 10, kS);  // blocks
+  // Axiom 1: a blocked transaction waits on at most one resource.
+  EXPECT_TRUE(lm.Acquire(2, 11, kS).status().IsFailedPrecondition());
+  EXPECT_TRUE(lm.Acquire(2, 10, kS).status().IsFailedPrecondition());
+}
+
+TEST(LockManagerTest, ReleaseAllGrantsWaiters) {
+  LockManager lm;
+  MustAcquire(lm, 1, 10, kX);
+  MustAcquire(lm, 2, 10, kS);
+  MustAcquire(lm, 3, 10, kS);
+  std::vector<TransactionId> granted = lm.ReleaseAll(1);
+  EXPECT_EQ(granted, (std::vector<TransactionId>{2, 3}));
+  EXPECT_FALSE(lm.IsBlocked(2));
+  EXPECT_FALSE(lm.IsBlocked(3));
+  EXPECT_EQ(lm.Info(1), nullptr);  // forgotten
+  EXPECT_TRUE(lm.CheckInvariants().ok());
+}
+
+TEST(LockManagerTest, ReleaseAllCoversMultipleResources) {
+  LockManager lm;
+  MustAcquire(lm, 1, 10, kX);
+  MustAcquire(lm, 1, 11, kX);
+  MustAcquire(lm, 2, 10, kS);
+  MustAcquire(lm, 3, 11, kS);
+  std::vector<TransactionId> granted = lm.ReleaseAll(1);
+  EXPECT_EQ(granted.size(), 2u);
+  EXPECT_EQ(lm.BlockedTransactions().size(), 0u);
+  // Freed resources are reclaimed once nobody uses them.
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(3);
+  EXPECT_TRUE(lm.table().empty());
+}
+
+TEST(LockManagerTest, ReleaseBlockedTransactionRemovesQueueEntry) {
+  LockManager lm;
+  MustAcquire(lm, 1, 10, kX);
+  MustAcquire(lm, 2, 10, kX);  // queued
+  MustAcquire(lm, 3, 10, kS);  // queued
+  EXPECT_TRUE(lm.ReleaseAll(2).empty());  // aborting a mid-queue waiter
+  EXPECT_EQ(lm.table().Find(10)->queue().size(), 1u);
+  EXPECT_TRUE(lm.CheckInvariants().ok());
+}
+
+TEST(LockManagerTest, ReleaseUnknownTransactionIsNoop) {
+  LockManager lm;
+  EXPECT_TRUE(lm.ReleaseAll(99).empty());
+}
+
+TEST(LockManagerTest, ConversionTracksBlockedMode) {
+  LockManager lm;
+  MustAcquire(lm, 1, 10, kIS);
+  MustAcquire(lm, 2, 10, kIX);
+  EXPECT_EQ(MustAcquire(lm, 1, 10, kS), RequestOutcome::kBlocked);
+  const TxnLockInfo* info = lm.Info(1);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->blocked_mode, kS);  // Conv(IS, S)
+  EXPECT_EQ(info->blocked_on, std::optional<ResourceId>(10));
+}
+
+TEST(LockManagerTest, RescheduleAfterTdr2GrantsAndUnblocks) {
+  LockManager lm;
+  MustAcquire(lm, 7, 2, kIS);
+  MustAcquire(lm, 8, 2, kX);
+  MustAcquire(lm, 9, 2, kIX);
+  MustAcquire(lm, 3, 2, kS);
+  ASSERT_TRUE(lm.ApplyTdr2(2, 3).ok());
+  std::vector<TransactionId> granted = lm.Reschedule(2);
+  EXPECT_EQ(granted, (std::vector<TransactionId>{9}));
+  EXPECT_FALSE(lm.IsBlocked(9));
+  EXPECT_TRUE(lm.IsBlocked(3));
+  EXPECT_TRUE(lm.CheckInvariants().ok());
+}
+
+TEST(LockManagerTest, ApplyTdr2OnUnknownResourceFails) {
+  LockManager lm;
+  EXPECT_TRUE(lm.ApplyTdr2(5, 1).IsNotFound());
+}
+
+TEST(LockManagerTest, KnownAndBlockedTransactionLists) {
+  LockManager lm;
+  MustAcquire(lm, 2, 10, kX);
+  MustAcquire(lm, 1, 10, kS);
+  MustAcquire(lm, 3, 11, kS);
+  EXPECT_EQ(lm.KnownTransactions(), (std::vector<TransactionId>{1, 2, 3}));
+  EXPECT_EQ(lm.BlockedTransactions(), (std::vector<TransactionId>{1}));
+}
+
+TEST(LockManagerTest, InvalidTransactionIdRejected) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(0, 1, kS).status().IsInvalidArgument());
+}
+
+TEST(LockManagerTest, RandomizedBookkeepingConsistency) {
+  common::Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    LockManager lm;
+    for (int op = 0; op < 120; ++op) {
+      TransactionId tid = static_cast<TransactionId>(rng.NextInRange(1, 10));
+      if (rng.NextBernoulli(0.2)) {
+        lm.ReleaseAll(tid);
+      } else {
+        ResourceId rid = static_cast<ResourceId>(rng.NextInRange(1, 5));
+        LockMode mode = kRealModes[rng.NextBelow(5)];
+        (void)lm.Acquire(tid, rid, mode);  // may fail if blocked: fine
+      }
+      Status invariants = lm.CheckInvariants();
+      ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twbg::lock

@@ -1,0 +1,138 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the compatibility (Table 1) and conversion (Table 2) matrices.
+
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg::lock {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrixMatchesTable1) {
+  using enum LockMode;
+  // Row-by-row transcription of Table 1 (with the Comp(S,S)=true OCR fix
+  // justified by Example 5.1; see DESIGN.md).
+  const bool expected[6][6] = {
+      /*NL*/ {true, true, true, true, true, true},
+      /*IS*/ {true, true, true, true, true, false},
+      /*IX*/ {true, true, true, false, false, false},
+      /*SIX*/ {true, true, false, false, false, false},
+      /*S*/ {true, true, false, false, true, false},
+      /*X*/ {true, false, false, false, false, false},
+  };
+  for (int i = 0; i < kNumLockModes; ++i) {
+    for (int j = 0; j < kNumLockModes; ++j) {
+      EXPECT_EQ(Compatible(kAllModes[i], kAllModes[j]), expected[i][j])
+          << ToString(kAllModes[i]) << " vs " << ToString(kAllModes[j]);
+    }
+  }
+}
+
+TEST(LockModeTest, ConversionMatrixMatchesTable2) {
+  using enum LockMode;
+  const LockMode expected[6][6] = {
+      /*NL*/ {kNL, kIS, kIX, kSIX, kS, kX},
+      /*IS*/ {kIS, kIS, kIX, kSIX, kS, kX},
+      /*IX*/ {kIX, kIX, kIX, kSIX, kSIX, kX},
+      /*SIX*/ {kSIX, kSIX, kSIX, kSIX, kSIX, kX},
+      /*S*/ {kS, kS, kSIX, kSIX, kS, kX},
+      /*X*/ {kX, kX, kX, kX, kX, kX},
+  };
+  for (int i = 0; i < kNumLockModes; ++i) {
+    for (int j = 0; j < kNumLockModes; ++j) {
+      EXPECT_EQ(Convert(kAllModes[i], kAllModes[j]), expected[i][j])
+          << ToString(kAllModes[i]) << " + " << ToString(kAllModes[j]);
+    }
+  }
+}
+
+TEST(LockModeTest, PaperExamplesFromSection2) {
+  // "Comp(S, IS) is true but Comp(IX, SIX) is false."
+  EXPECT_TRUE(Compatible(LockMode::kS, LockMode::kIS));
+  EXPECT_FALSE(Compatible(LockMode::kIX, LockMode::kSIX));
+  // "when a transaction holds an IX lock ... and re-requests an S lock,
+  // the transaction eventually wants to hold an SIX lock."
+  EXPECT_EQ(Convert(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+}
+
+TEST(LockModeTest, CompatibilityIsSymmetric) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a));
+    }
+  }
+}
+
+TEST(LockModeTest, NlIsCompatibleWithEverything) {
+  for (LockMode a : kAllModes) {
+    EXPECT_TRUE(Compatible(LockMode::kNL, a));
+  }
+}
+
+TEST(LockModeTest, ConversionIsALeastUpperBound) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      LockMode lub = Convert(a, b);
+      // Upper bound of both.
+      EXPECT_TRUE(Covers(lub, a));
+      EXPECT_TRUE(Covers(lub, b));
+      // Least: any common upper bound covers it.
+      for (LockMode c : kAllModes) {
+        if (Covers(c, a) && Covers(c, b)) {
+          EXPECT_TRUE(Covers(c, lub))
+              << ToString(c) << " above " << ToString(a) << "," << ToString(b);
+        }
+      }
+    }
+  }
+}
+
+TEST(LockModeTest, ConversionIsCommutativeAssociativeIdempotent) {
+  for (LockMode a : kAllModes) {
+    EXPECT_EQ(Convert(a, a), a);
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(Convert(a, b), Convert(b, a));
+      for (LockMode c : kAllModes) {
+        EXPECT_EQ(Convert(Convert(a, b), c), Convert(a, Convert(b, c)));
+      }
+    }
+  }
+}
+
+TEST(LockModeTest, StrongerModesConflictMore) {
+  // Monotonicity: if a covers b, anything compatible with a is compatible
+  // with b.
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      if (!Covers(a, b)) continue;
+      for (LockMode c : kAllModes) {
+        if (Compatible(a, c)) {
+          EXPECT_TRUE(Compatible(b, c))
+              << ToString(b) << " under " << ToString(a) << " vs "
+              << ToString(c);
+        }
+      }
+    }
+  }
+}
+
+TEST(LockModeTest, StringRoundTrip) {
+  for (LockMode mode : kAllModes) {
+    auto parsed = LockModeFromString(ToString(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(LockModeFromString("U").has_value());
+  EXPECT_FALSE(LockModeFromString("").has_value());
+  EXPECT_FALSE(LockModeFromString("is").has_value());
+}
+
+TEST(LockModeTest, XConflictsWithEverythingReal) {
+  for (LockMode mode : kRealModes) {
+    EXPECT_FALSE(Compatible(LockMode::kX, mode));
+  }
+}
+
+}  // namespace
+}  // namespace twbg::lock

@@ -1,0 +1,74 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "lock/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg::lock {
+namespace {
+
+using enum LockMode;
+
+TEST(LockTableTest, GetOrCreateIsIdempotent) {
+  LockTable table;
+  ResourceState& a = table.GetOrCreate(7);
+  ResourceState& b = table.GetOrCreate(7);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(a.rid(), 7u);
+}
+
+TEST(LockTableTest, FindReturnsNullForUnknown) {
+  LockTable table;
+  EXPECT_EQ(table.Find(3), nullptr);
+  table.GetOrCreate(3);
+  EXPECT_NE(table.Find(3), nullptr);
+  EXPECT_NE(table.FindMutable(3), nullptr);
+}
+
+TEST(LockTableTest, EraseIfFreeDropsOnlyFreeResources) {
+  LockTable table;
+  ResourceState& r = table.GetOrCreate(1);
+  ASSERT_TRUE(r.Request(1, kS).ok());
+  table.EraseIfFree(1);
+  EXPECT_NE(table.Find(1), nullptr);  // held: kept
+  table.GetOrCreate(2);
+  table.EraseIfFree(2);
+  EXPECT_EQ(table.Find(2), nullptr);  // free: dropped
+}
+
+TEST(LockTableTest, IterationIsOrderedByResourceId) {
+  LockTable table;
+  table.GetOrCreate(5);
+  table.GetOrCreate(1);
+  table.GetOrCreate(3);
+  std::vector<ResourceId> seen;
+  for (const auto& [rid, state] : table) seen.push_back(rid);
+  EXPECT_EQ(seen, (std::vector<ResourceId>{1, 3, 5}));
+}
+
+TEST(LockTableTest, CopyIsDeep) {
+  LockTable table;
+  ASSERT_TRUE(table.GetOrCreate(1).Request(1, kX).ok());
+  LockTable copy = table;
+  copy.FindMutable(1)->Remove(1);
+  EXPECT_TRUE(copy.Find(1)->IsFree());
+  EXPECT_FALSE(table.Find(1)->IsFree());
+}
+
+TEST(LockTableTest, CheckInvariantsAggregates) {
+  LockTable table;
+  ASSERT_TRUE(table.GetOrCreate(1).Request(1, kS).ok());
+  ASSERT_TRUE(table.GetOrCreate(2).Request(2, kX).ok());
+  EXPECT_TRUE(table.CheckInvariants().ok());
+}
+
+TEST(LockTableTest, ToStringListsResources) {
+  LockTable table;
+  ASSERT_TRUE(table.GetOrCreate(1).Request(1, kS).ok());
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("R1(S)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twbg::lock

@@ -1,0 +1,129 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for minimal-deadlock-set analysis (Definitions 1-3).
+
+#include "core/mds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/examples_catalog.h"
+#include "core/twbg.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using enum lock::LockMode;
+
+TEST(MdsTest, DeadlockFreeTableHasNone) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  EXPECT_TRUE(FindMinimalDeadlockSets(lm.table()).empty());
+}
+
+TEST(MdsTest, Example51MinimalSetIsTheInnerCycle) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  auto sets = FindMinimalDeadlockSets(lm.table());
+  // {T1,T2} is contained in {T1,T2,T3}, so only the inner cycle remains.
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (std::set<lock::TransactionId>{1, 2}));
+}
+
+TEST(MdsTest, Example41MinimalSetIsSmallerThanTheInnermostCycle) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  auto sets = FindMinimalDeadlockSets(lm.table());
+  // The graph cycles all route through the W-chain members T5/T6/T9, but
+  // mid-queue members are droppable (completing them re-links the queue),
+  // so the minimal sets are smaller than any cycle: T7 stays blocked by
+  // T1's pending SIX, T2's pending S, or T6's queued S respectively, and
+  // T3 -> T8 -> T7 closes each loop on R2.
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::set<lock::TransactionId>{1, 3, 7, 8}));
+  EXPECT_EQ(sets[1], (std::set<lock::TransactionId>{2, 3, 7, 8}));
+  EXPECT_EQ(sets[2], (std::set<lock::TransactionId>{3, 6, 7, 8}));
+  for (const auto& set : sets) {
+    EXPECT_TRUE(IsDeadlockSet(lm.table(), set));
+  }
+  // The innermost cycle set itself is a (non-minimal) deadlock set: T9 is
+  // a droppable mid-queue member.
+  EXPECT_TRUE(IsDeadlockSet(lm.table(), {3, 6, 7, 8, 9}));
+}
+
+TEST(MdsTest, DisjointDeadlocksYieldOneSetEach) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, 3, kX).ok());
+  ASSERT_TRUE(lm.Acquire(4, 4, kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, 4, kX).ok());
+  ASSERT_TRUE(lm.Acquire(4, 3, kX).ok());
+  auto sets = FindMinimalDeadlockSets(lm.table());
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::set<lock::TransactionId>{1, 2}));
+  EXPECT_EQ(sets[1], (std::set<lock::TransactionId>{3, 4}));
+}
+
+TEST(MdsTest, IsDeadlockSetAgreesWithDefinition1) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  // Both cycles are deadlock sets.
+  EXPECT_TRUE(IsDeadlockSet(lm.table(), {1, 2}));
+  EXPECT_TRUE(IsDeadlockSet(lm.table(), {1, 2, 3}));
+  // Proper subsets of the minimal set are not.
+  EXPECT_FALSE(IsDeadlockSet(lm.table(), {1}));
+  EXPECT_FALSE(IsDeadlockSet(lm.table(), {2}));
+  // T3 alone: once T1/T2 complete, T3 gets R1 — not a deadlock set.
+  EXPECT_FALSE(IsDeadlockSet(lm.table(), {3}));
+  // And the empty set never is.
+  EXPECT_FALSE(IsDeadlockSet(lm.table(), {}));
+}
+
+TEST(MdsTest, ContagionVictimsAreNotDeadlockSets) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  // T4 is stuck behind the deadlock but {T4} can run once others finish.
+  EXPECT_FALSE(IsDeadlockSet(lm.table(), {4}));
+  // The innermost cycle is.
+  EXPECT_TRUE(IsDeadlockSet(lm.table(), {3, 6, 7, 8, 9}));
+}
+
+TEST(MdsTest, RandomizedMinimalSetsSatisfyDefinitionAndMinimality) {
+  common::Rng rng(20260704);
+  int verified = 0;
+  for (int round = 0; round < 120 && verified < 30; ++round) {
+    lock::LockManager lm;
+    for (int op = 0; op < 70; ++op) {
+      (void)lm.Acquire(
+          static_cast<lock::TransactionId>(rng.NextInRange(1, 8)),
+          static_cast<lock::ResourceId>(rng.NextInRange(1, 3)),
+          lock::kRealModes[rng.NextBelow(5)]);
+    }
+    auto sets = FindMinimalDeadlockSets(lm.table());
+    if (sets.empty()) continue;
+    for (const auto& mds : sets) {
+      // The definition holds...
+      ASSERT_TRUE(IsDeadlockSet(lm.table(), mds)) << lm.table().ToString();
+      // ...and dropping any single member breaks it (necessary condition
+      // of minimality).
+      for (lock::TransactionId member : mds) {
+        std::set<lock::TransactionId> smaller = mds;
+        smaller.erase(member);
+        ASSERT_FALSE(IsDeadlockSet(lm.table(), smaller))
+            << "dropping T" << member << " of a 'minimal' set kept it "
+            << "deadlocked\n"
+            << lm.table().ToString();
+      }
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0);
+}
+
+}  // namespace
+}  // namespace twbg::core

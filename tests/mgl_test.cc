@@ -1,0 +1,136 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/mgl.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg::txn {
+namespace {
+
+using enum lock::LockMode;
+
+// db(1) -> area(10) -> file(100) -> records(1000, 1001)
+ResourceHierarchy MakeHierarchy() {
+  ResourceHierarchy h;
+  EXPECT_TRUE(h.DeclareChild(1, 10).ok());
+  EXPECT_TRUE(h.DeclareChild(10, 100).ok());
+  EXPECT_TRUE(h.DeclareChild(100, 1000).ok());
+  EXPECT_TRUE(h.DeclareChild(100, 1001).ok());
+  return h;
+}
+
+TEST(ResourceHierarchyTest, PathFromRoot) {
+  ResourceHierarchy h = MakeHierarchy();
+  EXPECT_EQ(h.PathFromRoot(1000),
+            (std::vector<lock::ResourceId>{1, 10, 100, 1000}));
+  EXPECT_EQ(h.PathFromRoot(1), (std::vector<lock::ResourceId>{1}));
+  // Unknown resources are their own root.
+  EXPECT_EQ(h.PathFromRoot(777), (std::vector<lock::ResourceId>{777}));
+}
+
+TEST(ResourceHierarchyTest, RejectsBadEdges) {
+  ResourceHierarchy h = MakeHierarchy();
+  EXPECT_TRUE(h.DeclareChild(5, 5).IsInvalidArgument());
+  EXPECT_TRUE(h.DeclareChild(2, 10).IsFailedPrecondition());
+  EXPECT_TRUE(h.DeclareChild(1000, 1).IsInvalidArgument());  // cycle
+}
+
+TEST(MglTest, IntentionModes) {
+  EXPECT_EQ(IntentionFor(kIS), kIS);
+  EXPECT_EQ(IntentionFor(kS), kIS);
+  EXPECT_EQ(IntentionFor(kIX), kIX);
+  EXPECT_EQ(IntentionFor(kSIX), kIX);
+  EXPECT_EQ(IntentionFor(kX), kIX);
+}
+
+TEST(MglTest, LeafLockTakesIntentionPath) {
+  ResourceHierarchy h = MakeHierarchy();
+  TransactionManager tm;
+  MglAcquirer mgl(&h, &tm);
+  lock::TransactionId t = tm.Begin();
+  Result<AcquireStatus> outcome = mgl.Lock(t, 1000, kX);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, AcquireStatus::kGranted);
+  // IX on db, area, file; X on the record.
+  const lock::LockTable& table = tm.lock_manager().table();
+  EXPECT_EQ(table.Find(1)->FindHolder(t)->granted, kIX);
+  EXPECT_EQ(table.Find(10)->FindHolder(t)->granted, kIX);
+  EXPECT_EQ(table.Find(100)->FindHolder(t)->granted, kIX);
+  EXPECT_EQ(table.Find(1000)->FindHolder(t)->granted, kX);
+}
+
+TEST(MglTest, ConcurrentRecordLocksShareIntentions) {
+  ResourceHierarchy h = MakeHierarchy();
+  TransactionManager tm;
+  MglAcquirer mgl(&h, &tm);
+  lock::TransactionId a = tm.Begin();
+  lock::TransactionId b = tm.Begin();
+  EXPECT_EQ(*mgl.Lock(a, 1000, kX), AcquireStatus::kGranted);
+  // Different record: intentions are compatible, both proceed.
+  EXPECT_EQ(*mgl.Lock(b, 1001, kX), AcquireStatus::kGranted);
+  // Same record conflicts at the leaf only.
+  lock::TransactionId c = tm.Begin();
+  EXPECT_EQ(*mgl.Lock(c, 1000, kS), AcquireStatus::kBlocked);
+  EXPECT_EQ(*tm.State(c), TxnState::kBlocked);
+}
+
+TEST(MglTest, CoarseLockBlocksFineLock) {
+  ResourceHierarchy h = MakeHierarchy();
+  TransactionManager tm;
+  MglAcquirer mgl(&h, &tm);
+  lock::TransactionId a = tm.Begin();
+  lock::TransactionId b = tm.Begin();
+  // S on the whole file blocks an X on a record (IX vs S at the file).
+  EXPECT_EQ(*mgl.Lock(a, 100, kS), AcquireStatus::kGranted);
+  EXPECT_EQ(*mgl.Lock(b, 1000, kX), AcquireStatus::kBlocked);
+  EXPECT_TRUE(mgl.HasPendingPlan(b));
+  // When a commits, b's plan resumes and completes.
+  ASSERT_TRUE(tm.Commit(a).ok());
+  EXPECT_EQ(*tm.State(b), TxnState::kActive);
+  Result<AcquireStatus> resumed = mgl.Advance(b);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(*resumed, AcquireStatus::kGranted);
+  EXPECT_FALSE(mgl.HasPendingPlan(b));
+  EXPECT_EQ(tm.lock_manager().table().Find(1000)->FindHolder(b)->granted, kX);
+}
+
+TEST(MglTest, SuspendedPlanBlocksNewPlans) {
+  ResourceHierarchy h = MakeHierarchy();
+  TransactionManager tm;
+  MglAcquirer mgl(&h, &tm);
+  lock::TransactionId a = tm.Begin();
+  lock::TransactionId b = tm.Begin();
+  EXPECT_EQ(*mgl.Lock(a, 100, kX), AcquireStatus::kGranted);
+  EXPECT_EQ(*mgl.Lock(b, 1000, kS), AcquireStatus::kBlocked);
+  EXPECT_TRUE(mgl.Lock(b, 1001, kS).status().IsFailedPrecondition());
+  EXPECT_TRUE(mgl.Advance(a).status().IsNotFound());
+  mgl.CancelPlan(b);
+  EXPECT_FALSE(mgl.HasPendingPlan(b));
+}
+
+TEST(MglTest, HierarchicalDeadlockIsDetected) {
+  // Two transactions lock sibling records then try to upgrade across:
+  // a classic MGL deadlock resolved by the detector.
+  ResourceHierarchy h = MakeHierarchy();
+  TransactionManagerOptions options;
+  options.detection_mode = DetectionMode::kContinuous;
+  TransactionManager tm(options);
+  MglAcquirer mgl(&h, &tm);
+  lock::TransactionId a = tm.Begin();
+  lock::TransactionId b = tm.Begin();
+  EXPECT_EQ(*mgl.Lock(a, 1000, kX), AcquireStatus::kGranted);
+  EXPECT_EQ(*mgl.Lock(b, 1001, kX), AcquireStatus::kGranted);
+  EXPECT_EQ(*mgl.Lock(a, 1001, kS), AcquireStatus::kBlocked);
+  Result<AcquireStatus> closing = mgl.Lock(b, 1000, kS);
+  ASSERT_TRUE(closing.ok());
+  // Continuous detection resolved the cycle at block time: either b died,
+  // or another victim freed it.
+  const bool a_dead = *tm.State(a) == TxnState::kAborted;
+  const bool b_dead = *tm.State(b) == TxnState::kAborted;
+  EXPECT_TRUE(a_dead || b_dead);
+  EXPECT_FALSE(a_dead && b_dead);
+  EXPECT_TRUE(tm.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace twbg::txn

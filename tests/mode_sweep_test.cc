@@ -1,0 +1,119 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Exhaustive parameterized sweeps over lock-mode pairs: the §3 scheduling
+// decisions (grant vs queue, conversion grant vs block) must agree with
+// the Table 1 / Table 2 algebra for every combination.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lock/resource_state.h"
+
+namespace twbg::lock {
+namespace {
+
+using ModePair = std::tuple<LockMode, LockMode>;
+
+class NewRequestSweep : public ::testing::TestWithParam<ModePair> {};
+
+// A new request against a single granted holder is granted iff the modes
+// are compatible (queue empty, tm == holder's granted mode).
+TEST_P(NewRequestSweep, GrantIffCompatible) {
+  auto [held, requested] = GetParam();
+  ResourceState r(1);
+  ASSERT_TRUE(r.Request(1, held).ok());
+  Result<RequestOutcome> outcome = r.Request(2, requested);
+  ASSERT_TRUE(outcome.ok());
+  if (Compatible(requested, held)) {
+    EXPECT_EQ(*outcome, RequestOutcome::kGranted);
+    EXPECT_EQ(r.total_mode(), Convert(held, requested));
+  } else {
+    EXPECT_EQ(*outcome, RequestOutcome::kBlocked);
+    EXPECT_TRUE(r.InQueue(2));
+    EXPECT_EQ(r.total_mode(), held);  // queue members don't contribute
+  }
+  EXPECT_TRUE(r.CheckInvariants().ok());
+}
+
+// Releasing the holder always grants the queued request afterwards.
+TEST_P(NewRequestSweep, ReleaseGrantsTheWaiter) {
+  auto [held, requested] = GetParam();
+  if (Compatible(requested, held)) GTEST_SKIP() << "not queued";
+  ResourceState r(1);
+  ASSERT_TRUE(r.Request(1, held).ok());
+  ASSERT_TRUE(r.Request(2, requested).ok());
+  EXPECT_EQ(r.Remove(1), (std::vector<TransactionId>{2}));
+  EXPECT_EQ(r.FindHolder(2)->granted, requested);
+}
+
+class ConversionSweep : public ::testing::TestWithParam<ModePair> {};
+
+// A conversion against one other holder: computed via Conv, granted iff
+// the converted mode is compatible with the other granted mode.
+TEST_P(ConversionSweep, ConversionSemantics) {
+  auto [own, other] = GetParam();
+  if (!Compatible(own, other)) GTEST_SKIP() << "cannot coexist";
+  for (LockMode requested : kRealModes) {
+    ResourceState r(1);
+    ASSERT_TRUE(r.Request(1, own).ok());
+    ASSERT_TRUE(r.Request(2, other).ok());
+    const LockMode converted = Convert(own, requested);
+    Result<RequestOutcome> outcome = r.Request(1, requested);
+    ASSERT_TRUE(outcome.ok());
+    if (converted == own) {
+      EXPECT_EQ(*outcome, RequestOutcome::kAlreadyHeld)
+          << ToString(own) << "+" << ToString(requested);
+      continue;
+    }
+    if (Compatible(converted, other)) {
+      EXPECT_EQ(*outcome, RequestOutcome::kGranted);
+      EXPECT_EQ(r.FindHolder(1)->granted, converted);
+    } else {
+      EXPECT_EQ(*outcome, RequestOutcome::kBlocked);
+      EXPECT_EQ(r.FindHolder(1)->blocked, converted);
+      // tm folds the pending mode in.
+      EXPECT_EQ(r.total_mode(), Convert(Convert(own, requested), other));
+    }
+    EXPECT_TRUE(r.CheckInvariants().ok()) << r.ToString();
+  }
+}
+
+// A blocked conversion is granted once the other holder leaves.
+TEST_P(ConversionSweep, BlockedConversionGrantedOnRelease) {
+  auto [own, other] = GetParam();
+  if (!Compatible(own, other)) GTEST_SKIP();
+  for (LockMode requested : kRealModes) {
+    const LockMode converted = Convert(own, requested);
+    if (converted == own || Compatible(converted, other)) continue;
+    ResourceState r(1);
+    ASSERT_TRUE(r.Request(1, own).ok());
+    ASSERT_TRUE(r.Request(2, other).ok());
+    ASSERT_TRUE(r.Request(1, requested).ok());
+    EXPECT_EQ(r.Remove(2), (std::vector<TransactionId>{1}));
+    EXPECT_EQ(r.FindHolder(1)->granted, converted);
+    EXPECT_EQ(r.FindHolder(1)->blocked, LockMode::kNL);
+    EXPECT_TRUE(r.CheckInvariants().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, NewRequestSweep,
+    ::testing::Combine(::testing::ValuesIn(kRealModes),
+                       ::testing::ValuesIn(kRealModes)),
+    [](const ::testing::TestParamInfo<ModePair>& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             std::string(ToString(std::get<1>(info.param)));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ConversionSweep,
+    ::testing::Combine(::testing::ValuesIn(kRealModes),
+                       ::testing::ValuesIn(kRealModes)),
+    [](const ::testing::TestParamInfo<ModePair>& info) {
+      return std::string(ToString(std::get<0>(info.param))) + "_" +
+             std::string(ToString(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace twbg::lock

@@ -1,0 +1,141 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the reduction-based deadlock oracle (Definition 1), including
+// the headline Theorem 1 property: cycle in H/W-TWBG <=> deadlock.
+
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/examples_catalog.h"
+#include "core/twbg.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using enum lock::LockMode;
+
+TEST(OracleTest, EmptyTableIsNotDeadlocked) {
+  lock::LockTable table;
+  OracleResult r = AnalyzeByReduction(table);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.stuck.empty());
+}
+
+TEST(OracleTest, SimpleWaitIsNotDeadlock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  ASSERT_TRUE(lm.Acquire(3, 1, kS).ok());
+  EXPECT_FALSE(AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(OracleTest, WaitChainAcrossResourcesIsNotDeadlock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());  // T2 waits on T1
+  ASSERT_TRUE(lm.Acquire(3, 2, kX).ok());  // T3 waits on T2
+  EXPECT_FALSE(AnalyzeByReduction(lm.table()).deadlocked);
+}
+
+TEST(OracleTest, ClassicTwoTransactionDeadlock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(1, 2, kX).ok());  // T1 waits on T2
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());  // T2 waits on T1 -> deadlock
+  OracleResult r = AnalyzeByReduction(lm.table());
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.stuck, (std::vector<lock::TransactionId>{1, 2}));
+}
+
+TEST(OracleTest, ConversionDeadlockDetected) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kIS).ok());
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  OracleResult r = AnalyzeByReduction(lm.table());
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.stuck, (std::vector<lock::TransactionId>{1, 2}));
+}
+
+TEST(OracleTest, Example41StuckSetIncludesContagion) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  OracleResult r = AnalyzeByReduction(lm.table());
+  EXPECT_TRUE(r.deadlocked);
+  // Every blocked transaction is stuck: the cycle members plus T4 queued
+  // behind the deadlock.
+  EXPECT_EQ(r.stuck, (std::vector<lock::TransactionId>{1, 2, 3, 4, 5, 6, 7,
+                                                       8, 9}));
+}
+
+TEST(OracleTest, Example51StuckSet) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  OracleResult r = AnalyzeByReduction(lm.table());
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.stuck, (std::vector<lock::TransactionId>{1, 2, 3}));
+}
+
+TEST(OracleTest, ReductionOrderDoesNotChangeTheResidue) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  // Add some resolvable load around the deadlock.
+  ASSERT_TRUE(lm.Acquire(10, 5, kX).ok());
+  ASSERT_TRUE(lm.Acquire(11, 5, kS).ok());
+  ASSERT_TRUE(lm.Acquire(12, 5, kS).ok());
+  OracleResult baseline = AnalyzeByReduction(lm.table());
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    common::Rng rng(seed);
+    OracleResult shuffled = AnalyzeByReduction(lm.table(), &rng);
+    EXPECT_EQ(shuffled.deadlocked, baseline.deadlocked);
+    EXPECT_EQ(shuffled.stuck, baseline.stuck);
+  }
+}
+
+TEST(OracleTest, OracleDoesNotMutateInput) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  std::string before = lm.table().ToString();
+  AnalyzeByReduction(lm.table());
+  EXPECT_EQ(lm.table().ToString(), before);
+}
+
+// Theorem 1: there is a cycle in H/W-TWBG iff the system is deadlocked.
+// Property-tested over thousands of random lock tables.
+class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Test, CycleIffDeadlock) {
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 150; ++round) {
+    lock::LockManager lm;
+    const int txns = 2 + static_cast<int>(rng.NextBelow(9));
+    const int resources = 1 + static_cast<int>(rng.NextBelow(4));
+    const int ops = 10 + static_cast<int>(rng.NextBelow(90));
+    for (int op = 0; op < ops; ++op) {
+      lock::TransactionId tid =
+          static_cast<lock::TransactionId>(rng.NextInRange(1, txns));
+      lock::ResourceId rid =
+          static_cast<lock::ResourceId>(rng.NextInRange(1, resources));
+      lock::LockMode mode = lock::kRealModes[rng.NextBelow(5)];
+      (void)lm.Acquire(tid, rid, mode);
+    }
+    const bool has_cycle = HwTwbg::Build(lm.table()).HasCycle();
+    const bool deadlocked = AnalyzeByReduction(lm.table()).deadlocked;
+    ASSERT_EQ(has_cycle, deadlocked)
+        << "seed=" << GetParam() << " round=" << round << "\n"
+        << lm.table().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace twbg::core

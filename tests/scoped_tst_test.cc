@@ -1,0 +1,134 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the scoped (reachable-region) TST construction and its
+// observable equivalence with full-table continuous detection.
+
+#include "core/scoped_tst.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/continuous_detector.h"
+#include "core/examples_catalog.h"
+#include "core/oracle.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using enum lock::LockMode;
+
+TEST(ScopedTstTest, UnknownRootYieldsEmptyTst) {
+  lock::LockManager lm;
+  ScopedTst scoped = BuildReachableTst(lm, 42);
+  EXPECT_EQ(scoped.tst.size(), 0u);
+  EXPECT_EQ(scoped.resources_expanded, 0u);
+}
+
+TEST(ScopedTstTest, IsolatedTransactionSeesOnlyItsResources) {
+  lock::LockManager lm;
+  // Cluster A: T1/T2 contend on R1.  Cluster B: T3/T4 on R2.  Disjoint.
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  ASSERT_TRUE(lm.Acquire(3, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(4, 2, kS).ok());
+  ScopedTst scoped = BuildReachableTst(lm, 2);
+  EXPECT_EQ(scoped.resources_expanded, 1u);
+  EXPECT_TRUE(scoped.tst.Contains(1));
+  EXPECT_TRUE(scoped.tst.Contains(2));
+  EXPECT_FALSE(scoped.tst.Contains(3));
+  EXPECT_FALSE(scoped.tst.Contains(4));
+}
+
+TEST(ScopedTstTest, ClosureFollowsWaitChains) {
+  lock::LockManager lm;
+  // T3 waits on T2 (R2), T2 waits on T1 (R1); rooted at T1 the closure
+  // covers everything that waits on it.
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 2, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(3, 2, kX).ok());
+  ScopedTst scoped = BuildReachableTst(lm, 1);
+  EXPECT_TRUE(scoped.tst.Contains(2));
+  EXPECT_TRUE(scoped.tst.Contains(3));
+  EXPECT_EQ(scoped.resources_expanded, 2u);
+}
+
+TEST(ScopedTstTest, Example41RegionMatchesFullBuild) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  // Everything is one wait region; the scoped build from any member must
+  // equal the full TST.
+  Tst full = Tst::Build(lm.table());
+  for (lock::TransactionId root : {3u, 7u, 8u}) {
+    ScopedTst scoped = BuildReachableTst(lm, root);
+    EXPECT_EQ(scoped.tst.size(), full.size()) << "root " << root;
+    EXPECT_EQ(scoped.tst.NumEdges(), full.NumEdges()) << "root " << root;
+    EXPECT_EQ(scoped.tst.ToString(), full.ToString()) << "root " << root;
+  }
+}
+
+TEST(ScopedTstTest, ScopedContinuousDetectionMatchesFull) {
+  // Property: on random tables, continuous OnBlock with scoped and full
+  // builds make identical resolution decisions.
+  common::Rng rng(424242);
+  for (int round = 0; round < 150; ++round) {
+    lock::LockManager scoped_lm;
+    lock::LockManager full_lm;
+    lock::TransactionId last_blocked = 0;
+    for (int op = 0; op < 60; ++op) {
+      lock::TransactionId tid =
+          static_cast<lock::TransactionId>(rng.NextInRange(1, 8));
+      lock::ResourceId rid =
+          static_cast<lock::ResourceId>(rng.NextInRange(1, 4));
+      lock::LockMode mode = lock::kRealModes[rng.NextBelow(5)];
+      Result<lock::RequestOutcome> a = scoped_lm.Acquire(tid, rid, mode);
+      Result<lock::RequestOutcome> b = full_lm.Acquire(tid, rid, mode);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (a.ok() && *a == lock::RequestOutcome::kBlocked) last_blocked = tid;
+    }
+    if (last_blocked == 0) continue;
+
+    DetectorOptions scoped_options;
+    scoped_options.scoped_continuous_build = true;
+    DetectorOptions full_options;
+    full_options.scoped_continuous_build = false;
+    CostTable scoped_costs;
+    CostTable full_costs;
+    ContinuousDetector scoped_detector(scoped_options);
+    ContinuousDetector full_detector(full_options);
+
+    ResolutionReport scoped_report =
+        scoped_detector.OnBlock(scoped_lm, scoped_costs, last_blocked);
+    ResolutionReport full_report =
+        full_detector.OnBlock(full_lm, full_costs, last_blocked);
+
+    ASSERT_EQ(scoped_report.cycles_detected, full_report.cycles_detected)
+        << "round " << round;
+    ASSERT_EQ(scoped_report.aborted, full_report.aborted);
+    ASSERT_EQ(scoped_report.granted, full_report.granted);
+    ASSERT_EQ(scoped_report.repositioned, full_report.repositioned);
+    ASSERT_EQ(scoped_lm.table().ToString(), full_lm.table().ToString());
+    // The scoped pass never sees more than the full one.
+    ASSERT_LE(scoped_report.num_transactions, full_report.num_transactions);
+    ASSERT_LE(scoped_report.num_edges, full_report.num_edges);
+  }
+}
+
+TEST(ScopedTstTest, ScopedBuildIsSmallerOnPartitionedLoad) {
+  // 30 disjoint two-transaction clusters; a scoped build from one cluster
+  // touches 1 resource, the full build all 30.
+  lock::LockManager lm;
+  for (uint32_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(lm.Acquire(2 * i + 1, i + 1, kX).ok());
+    ASSERT_TRUE(lm.Acquire(2 * i + 2, i + 1, kS).ok());
+  }
+  ScopedTst scoped = BuildReachableTst(lm, 2);
+  Tst full = Tst::Build(lm.table());
+  EXPECT_EQ(scoped.resources_expanded, 1u);
+  EXPECT_EQ(scoped.tst.size(), 2u);
+  EXPECT_EQ(full.size(), 60u);
+}
+
+}  // namespace
+}  // namespace twbg::core

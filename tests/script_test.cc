@@ -1,0 +1,153 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/script.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg::core {
+namespace {
+
+TEST(ScriptTest, AcquireAndExpect) {
+  ScriptRunner runner;
+  std::string out;
+  EXPECT_TRUE(runner.ExecuteLine("acquire 1 1 X", &out).ok());
+  EXPECT_TRUE(runner.ExecuteLine("expect granted", &out).ok());
+  EXPECT_TRUE(runner.ExecuteLine("acquire 2 1 S", &out).ok());
+  EXPECT_TRUE(runner.ExecuteLine("expect blocked", &out).ok());
+  EXPECT_FALSE(runner.ExecuteLine("expect granted", &out).ok());
+  EXPECT_NE(out.find("T1 <- X on R1: granted"), std::string::npos);
+}
+
+TEST(ScriptTest, IdsAcceptLetterPrefixes) {
+  ScriptRunner runner;
+  std::string out;
+  EXPECT_TRUE(runner.ExecuteLine("acquire T1 R10 SIX", &out).ok());
+  EXPECT_NE(runner.manager().table().Find(10), nullptr);
+}
+
+TEST(ScriptTest, CommentsAndBlanksAreIgnored) {
+  ScriptRunner runner;
+  std::string out;
+  EXPECT_TRUE(runner.ExecuteLine("", &out).ok());
+  EXPECT_TRUE(runner.ExecuteLine("   # just a comment", &out).ok());
+  EXPECT_TRUE(runner.ExecuteLine("acquire 1 1 S # trailing", &out).ok());
+  EXPECT_TRUE(out.find("granted") != std::string::npos);
+}
+
+TEST(ScriptTest, UnknownCommandAndBadArgs) {
+  ScriptRunner runner;
+  std::string out;
+  EXPECT_TRUE(runner.ExecuteLine("frobnicate", &out).IsInvalidArgument());
+  EXPECT_TRUE(runner.ExecuteLine("acquire 1 1", &out).IsInvalidArgument());
+  EXPECT_TRUE(runner.ExecuteLine("acquire x y Z", &out).IsInvalidArgument());
+  EXPECT_TRUE(runner.ExecuteLine("expect granted", &out)
+                  .IsFailedPrecondition());
+}
+
+TEST(ScriptTest, FullExample51Script) {
+  // The paper's Example 5.1, end to end, as a script with assertions.
+  constexpr const char* kScript = R"(
+# Example 5.1 of the paper
+acquire 1 1 S
+expect granted
+acquire 2 2 S
+acquire 3 2 S
+acquire 2 1 X
+expect blocked
+acquire 3 1 S
+expect blocked
+acquire 1 2 X
+expect blocked
+expect-deadlock yes
+cost 1 6
+cost 2 4
+cost 3 1
+detect
+expect-aborted 2
+expect-deadlock no
+)";
+  ScriptRunner runner;
+  std::string out;
+  Status status = runner.ExecuteScript(kScript, &out);
+  EXPECT_TRUE(status.ok()) << status.ToString() << "\n" << out;
+  EXPECT_NE(out.find("abortion-list: {T2}"), std::string::npos);
+}
+
+TEST(ScriptTest, ScriptErrorsCarryLineNumbers) {
+  ScriptRunner runner;
+  std::string out;
+  Status status = runner.ExecuteScript("acquire 1 1 X\nbogus\n", &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string_view::npos);
+}
+
+TEST(ScriptTest, ViewsProduceOutput) {
+  ScriptRunner runner;
+  std::string out;
+  ASSERT_TRUE(runner.ExecuteScript("acquire 1 1 X\nacquire 2 1 S\n", &out)
+                  .ok());
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("table", &out).ok());
+  EXPECT_NE(out.find("R1(X)"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("graph", &out).ok());
+  EXPECT_NE(out.find("T1 -H(R1)-> T2"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("tst", &out).ok());
+  EXPECT_NE(out.find("T2: pr=R1"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("dot", &out).ok());
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("oracle", &out).ok());
+  EXPECT_NE(out.find("deadlocked=no"), std::string::npos);
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("costs", &out).ok());
+  EXPECT_NE(out.find("T1: 1.00"), std::string::npos);
+}
+
+TEST(ScriptTest, CyclesView) {
+  ScriptRunner runner;
+  std::string out;
+  ASSERT_TRUE(runner
+                  .ExecuteScript(
+                      "acquire 1 1 X\nacquire 2 2 X\nacquire 1 2 X\n"
+                      "acquire 2 1 X\n",
+                      &out)
+                  .ok());
+  out.clear();
+  EXPECT_TRUE(runner.ExecuteLine("cycles", &out).ok());
+  EXPECT_NE(out.find("cycle {T1, T2}"), std::string::npos);
+}
+
+TEST(ScriptTest, ResetClearsState) {
+  ScriptRunner runner;
+  std::string out;
+  ASSERT_TRUE(runner.ExecuteLine("acquire 1 1 X", &out).ok());
+  ASSERT_TRUE(runner.ExecuteLine("reset", &out).ok());
+  EXPECT_TRUE(runner.manager().table().empty());
+  EXPECT_FALSE(runner.last_report().has_value());
+}
+
+TEST(ScriptTest, EchoMode) {
+  ScriptOptions options;
+  options.echo = true;
+  ScriptRunner runner(options);
+  std::string out;
+  ASSERT_TRUE(runner.ExecuteLine("acquire 1 1 X", &out).ok());
+  EXPECT_NE(out.find("> acquire 1 1 X"), std::string::npos);
+}
+
+TEST(ScriptTest, ReleaseGrantsWaiters) {
+  ScriptRunner runner;
+  std::string out;
+  ASSERT_TRUE(runner.ExecuteScript(
+                      "acquire 1 1 X\nacquire 2 1 S\nacquire 3 1 S\n", &out)
+                  .ok());
+  out.clear();
+  ASSERT_TRUE(runner.ExecuteLine("release 1", &out).ok());
+  EXPECT_NE(out.find("granted 2 waiter(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twbg::core

@@ -1,0 +1,163 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+
+namespace twbg::sim {
+namespace {
+
+SimConfig SmallConfig(uint64_t seed) {
+  SimConfig config;
+  config.workload.seed = seed;
+  config.workload.num_transactions = 60;
+  config.workload.concurrency = 6;
+  config.workload.num_resources = 12;
+  config.workload.zipf_theta = 0.9;
+  config.workload.min_ops = 3;
+  config.workload.max_ops = 8;
+  config.detection_period = 5;
+  config.max_ticks = 200000;
+  return config;
+}
+
+TEST(SimulatorTest, CompletesWorkloadWithPeriodicHwTwbg) {
+  SimConfig config = SmallConfig(7);
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_FALSE(metrics.timed_out);
+  EXPECT_EQ(metrics.committed, 60u);
+  EXPECT_EQ(metrics.missed_deadlocks, 0u);  // complete detector
+  EXPECT_GT(metrics.detector_invocations, 0u);
+}
+
+TEST(SimulatorTest, CompletesWorkloadWithContinuousHwTwbg) {
+  SimConfig config = SmallConfig(7);
+  config.detection_period = 0;  // purely on-block
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-continuous"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_FALSE(metrics.timed_out);
+  EXPECT_EQ(metrics.committed, 60u);
+  EXPECT_EQ(metrics.missed_deadlocks, 0u);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeedAndStrategy) {
+  SimConfig config = SmallConfig(21);
+  SimMetrics a =
+      Simulator(config, baselines::MakeStrategy("hwtwbg-periodic")).Run();
+  SimMetrics b =
+      Simulator(config, baselines::MakeStrategy("hwtwbg-periodic")).Run();
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.deadlock_aborts, b.deadlock_aborts);
+  EXPECT_EQ(a.cycles_found, b.cycles_found);
+  EXPECT_EQ(a.no_abort_resolutions, b.no_abort_resolutions);
+}
+
+TEST(SimulatorTest, EveryStrategyCompletesTheWorkload) {
+  for (std::string_view name : baselines::AllStrategyNames()) {
+    SimConfig config = SmallConfig(13);
+    Simulator sim(config, baselines::MakeStrategy(name));
+    SimMetrics metrics = sim.Run();
+    EXPECT_FALSE(metrics.timed_out) << name << ": " << metrics.ToString();
+    EXPECT_EQ(metrics.committed, 60u) << name;
+  }
+}
+
+TEST(SimulatorTest, NullStrategyLeansOnStallRecovery) {
+  SimConfig config = SmallConfig(3);
+  // Make conflicts certain so deadlocks occur.
+  config.workload.num_resources = 4;
+  config.workload.mode_weights = {0, 0, 0.3, 0, 0.7};
+  Simulator sim(config, baselines::MakeStrategy("none"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_FALSE(metrics.timed_out);
+  EXPECT_EQ(metrics.committed, 60u);
+  EXPECT_GT(metrics.missed_deadlocks, 0u);  // the driver had to step in
+  EXPECT_EQ(metrics.deadlock_aborts, 0u);   // the strategy never acted
+}
+
+TEST(SimulatorTest, TimeoutStrategyProducesFalseAborts) {
+  // Convoy workload: long scripts queue up behind hot resources, so waits
+  // routinely exceed the timeout horizon without any deadlock.  We do not
+  // require completion — blind timeouts notoriously livelock saturated
+  // systems (each victim restarts into the same convoy); the point here
+  // is that they abort transactions the oracle says were merely waiting.
+  SimConfig config = SmallConfig(5);
+  config.workload.num_resources = 20;
+  config.workload.zipf_theta = 1.1;
+  config.workload.min_ops = 10;
+  config.workload.max_ops = 14;
+  config.workload.mode_weights = {0.2, 0.1, 0.5, 0.0, 0.2};
+  config.workload.conversion_prob = 0.05;
+  config.detection_period = 2;  // timeout horizon = 2 * 10 = 20 ticks
+  config.max_ticks = 60000;
+  config.measure_false_aborts = true;
+  Simulator sim(config, baselines::MakeStrategy("timeout"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_GT(metrics.deadlock_aborts, 0u);
+  EXPECT_GT(metrics.false_aborts, 0u);  // timeouts kill innocent waiters
+}
+
+TEST(SimulatorTest, HwTwbgUsesTdr2UnderContention) {
+  SimConfig config = SmallConfig(11);
+  config.workload.num_transactions = 150;
+  config.workload.num_resources = 8;
+  config.workload.conversion_prob = 0.35;
+  config.workload.mode_weights = {0.3, 0.2, 0.25, 0.05, 0.2};
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_FALSE(metrics.timed_out);
+  EXPECT_GT(metrics.cycles_found, 0u);
+  // The headline claim: some deadlocks resolve with no abort at all.
+  EXPECT_GT(metrics.no_abort_resolutions, 0u);
+}
+
+TEST(SimulatorTest, MetricsToStringMentionsKeyFields) {
+  SimConfig config = SmallConfig(2);
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  SimMetrics metrics = sim.Run();
+  std::string s = metrics.ToString();
+  EXPECT_NE(s.find("committed=60"), std::string::npos);
+  EXPECT_NE(s.find("thrpt="), std::string::npos);
+}
+
+TEST(SimulatorTest, StressThousandTransactions) {
+  // A larger closed-system run: 1000 transactions, high contention, both
+  // detector flavors.  Guards against slow leaks in restart bookkeeping
+  // and detector state across thousands of passes.
+  for (std::string_view name : {"hwtwbg-periodic", "hwtwbg-continuous"}) {
+    SimConfig config;
+    config.workload.seed = 99;
+    config.workload.num_transactions = 1000;
+    config.workload.concurrency = 12;
+    config.workload.num_resources = 24;
+    config.workload.zipf_theta = 0.9;
+    config.workload.conversion_prob = 0.25;
+    config.detection_period = 7;
+    config.max_ticks = 2'000'000;
+    Simulator sim(config, baselines::MakeStrategy(name));
+    SimMetrics metrics = sim.Run();
+    EXPECT_FALSE(metrics.timed_out) << name << ": " << metrics.ToString();
+    EXPECT_EQ(metrics.committed, 1000u) << name;
+    EXPECT_EQ(metrics.missed_deadlocks, 0u) << name;
+    EXPECT_GT(metrics.cycles_found, 0u) << name;
+  }
+}
+
+TEST(SimulatorTest, LowContentionRunsAreCheap) {
+  SimConfig config = SmallConfig(9);
+  config.workload.num_resources = 4000;  // almost no conflicts
+  config.workload.zipf_theta = 0.0;
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.committed, 60u);
+  EXPECT_EQ(metrics.deadlock_aborts, 0u);
+  EXPECT_EQ(metrics.cycles_found, 0u);
+  EXPECT_EQ(metrics.wasted_ops, 0u);
+}
+
+}  // namespace
+}  // namespace twbg::sim

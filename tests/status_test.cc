@@ -1,0 +1,82 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("resource 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "resource 7");
+  EXPECT_EQ(s.ToString(), "NotFound: resource 7");
+}
+
+TEST(StatusTest, AllConstructorsSetTheirCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_TRUE(s.IsInternal());  // source intact after copy
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsInternal());
+  copy = moved;
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusTest, CodeToString) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kBlocked), "Blocked");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::Aborted("victim"); };
+  auto wrapper = [&]() -> Status {
+    TWBG_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsAborted());
+}
+
+}  // namespace
+}  // namespace twbg

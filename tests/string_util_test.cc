@@ -1,0 +1,44 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace twbg::common {
+namespace {
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(Format("T%u waits on R%u", 3u, 7u), "T3 waits on R7");
+  EXPECT_EQ(Format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(Format("plain"), "plain");
+  EXPECT_EQ(Format("%s", ""), "");
+}
+
+TEST(StringUtilTest, FormatLongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(Format("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " -> "), "a -> b -> c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("", ',', /*skip_empty=*/true), (std::vector<std::string>{}));
+}
+
+TEST(StringUtilTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+  EXPECT_EQ(PadRight("", 3), "   ");
+}
+
+}  // namespace
+}  // namespace twbg::common

@@ -1,0 +1,113 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "graph/tarjan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace twbg::graph {
+namespace {
+
+std::set<std::set<NodeId>> AsSets(
+    const std::vector<std::vector<NodeId>>& components) {
+  std::set<std::set<NodeId>> out;
+  for (const auto& c : components) out.insert({c.begin(), c.end()});
+  return out;
+}
+
+TEST(TarjanTest, SingletonComponents) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(StronglyConnectedComponents(g).size(), 3u);
+  EXPECT_TRUE(CyclicComponents(g).empty());
+}
+
+TEST(TarjanTest, SimpleCycle) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  auto sccs = AsSets(StronglyConnectedComponents(g));
+  EXPECT_TRUE(sccs.count({0, 1, 2}));
+  EXPECT_TRUE(sccs.count({3}));
+  auto cyclic = CyclicComponents(g);
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(std::set<NodeId>(cyclic[0].begin(), cyclic[0].end()),
+            (std::set<NodeId>{0, 1, 2}));
+}
+
+TEST(TarjanTest, SelfLoopIsCyclic) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  auto cyclic = CyclicComponents(g);
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0], (std::vector<NodeId>{0}));
+}
+
+TEST(TarjanTest, TwoIndependentCycles) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 3);
+  auto sccs = AsSets(StronglyConnectedComponents(g));
+  EXPECT_TRUE(sccs.count({0, 1}));
+  EXPECT_TRUE(sccs.count({3, 4, 5}));
+  EXPECT_EQ(CyclicComponents(g).size(), 2u);
+}
+
+TEST(TarjanTest, NestedCyclesMergeIntoOneScc) {
+  // 0->1->2->0 and 1->3->1 share vertex 1: one SCC {0,1,2,3}.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 1);
+  auto cyclic = CyclicComponents(g);
+  ASSERT_EQ(cyclic.size(), 1u);
+  EXPECT_EQ(cyclic[0].size(), 4u);
+}
+
+TEST(TarjanTest, ReverseTopologicalEmissionOrder) {
+  // SCCs are emitted callees-first: for 0 -> 1, {1} precedes {0}.
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  auto sccs = StronglyConnectedComponents(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], (std::vector<NodeId>{1}));
+  EXPECT_EQ(sccs[1], (std::vector<NodeId>{0}));
+}
+
+TEST(TarjanTest, ComponentsPartitionTheVertices) {
+  common::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.NextBelow(20);
+    Digraph g(n);
+    const size_t edges = rng.NextBelow(3 * n);
+    for (size_t i = 0; i < edges; ++i) {
+      g.AddEdge(static_cast<NodeId>(rng.NextBelow(n)),
+                static_cast<NodeId>(rng.NextBelow(n)));
+    }
+    auto sccs = StronglyConnectedComponents(g);
+    std::set<NodeId> seen;
+    size_t total = 0;
+    for (const auto& c : sccs) {
+      total += c.size();
+      seen.insert(c.begin(), c.end());
+    }
+    EXPECT_EQ(total, n);
+    EXPECT_EQ(seen.size(), n);
+    // Cross-check cycle presence with Digraph::HasCycle.
+    EXPECT_EQ(!CyclicComponents(g).empty(), g.HasCycle());
+  }
+}
+
+}  // namespace
+}  // namespace twbg::graph

@@ -1,0 +1,112 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "sim/simulator.h"
+
+namespace twbg::sim {
+namespace {
+
+TraceEvent Make(size_t tick, TraceEventKind kind,
+                lock::TransactionId tid = 1) {
+  TraceEvent event;
+  event.tick = tick;
+  event.kind = kind;
+  event.tid = tid;
+  return event;
+}
+
+TEST(SimTraceTest, RecordsInOrder) {
+  SimTrace trace(10);
+  trace.Record(Make(1, TraceEventKind::kSpawn));
+  trace.Record(Make(2, TraceEventKind::kGrant));
+  trace.Record(Make(3, TraceEventKind::kCommit));
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].kind, TraceEventKind::kSpawn);
+  EXPECT_EQ(trace.events()[2].tick, 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(SimTraceTest, RingDropsOldest) {
+  SimTrace trace(3);
+  for (size_t i = 1; i <= 5; ++i) {
+    trace.Record(Make(i, TraceEventKind::kGrant));
+  }
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(trace.events().front().tick, 3u);
+  EXPECT_NE(trace.ToString().find("2 earlier events dropped"),
+            std::string::npos);
+}
+
+TEST(SimTraceTest, FilterByKind) {
+  SimTrace trace(10);
+  trace.Record(Make(1, TraceEventKind::kBlock));
+  trace.Record(Make(2, TraceEventKind::kGrant));
+  trace.Record(Make(3, TraceEventKind::kBlock));
+  EXPECT_EQ(trace.Filter(TraceEventKind::kBlock).size(), 2u);
+  EXPECT_EQ(trace.Filter(TraceEventKind::kAbort).size(), 0u);
+}
+
+TEST(SimTraceTest, EventToString) {
+  TraceEvent event;
+  event.tick = 42;
+  event.kind = TraceEventKind::kBlock;
+  event.tid = 3;
+  event.rid = 7;
+  event.mode = lock::LockMode::kSIX;
+  EXPECT_EQ(event.ToString(), "[    42] block  T3 R7 SIX");
+}
+
+TEST(SimTraceTest, KindNames) {
+  EXPECT_EQ(ToString(TraceEventKind::kWakeup), "wakeup");
+  EXPECT_EQ(ToString(TraceEventKind::kMiss), "miss");
+  EXPECT_EQ(ToString(TraceEventKind::kDetect), "detect");
+}
+
+TEST(SimulatorTraceTest, RunProducesConsistentTrace) {
+  SimConfig config;
+  config.workload.seed = 6;
+  config.workload.num_transactions = 40;
+  config.workload.concurrency = 5;
+  config.workload.num_resources = 8;
+  config.workload.zipf_theta = 0.9;
+  config.detection_period = 5;
+  config.record_trace = true;
+  config.trace_capacity = 1u << 20;  // keep everything
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  SimMetrics metrics = sim.Run();
+  const SimTrace& trace = sim.trace();
+  EXPECT_EQ(trace.dropped(), 0u);
+  // Event counts tie out with the metrics.
+  EXPECT_EQ(trace.Filter(TraceEventKind::kCommit).size(), metrics.committed);
+  EXPECT_EQ(trace.Filter(TraceEventKind::kAbort).size(),
+            metrics.deadlock_aborts + metrics.missed_deadlocks);
+  EXPECT_EQ(trace.Filter(TraceEventKind::kDetect).size(),
+            metrics.detector_invocations);
+  EXPECT_EQ(trace.Filter(TraceEventKind::kWakeup).size(),
+            metrics.wait_ticks.count());
+  // Every commit was preceded by a spawn of the same transaction.
+  EXPECT_GE(trace.Filter(TraceEventKind::kSpawn).size(), metrics.committed);
+  // Ticks are monotone.
+  size_t last = 0;
+  for (const TraceEvent& event : trace.events()) {
+    EXPECT_GE(event.tick, last);
+    last = event.tick;
+  }
+}
+
+TEST(SimulatorTraceTest, DisabledByDefault) {
+  SimConfig config;
+  config.workload.num_transactions = 5;
+  config.workload.concurrency = 2;
+  Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  sim.Run();
+  EXPECT_TRUE(sim.trace().events().empty());
+}
+
+}  // namespace
+}  // namespace twbg::sim

@@ -1,0 +1,182 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Tests for the H/W-TWBG graph view: cycle enumeration on the paper's
+// examples, TRRP decomposition, and the Lemma 1-3 structural properties on
+// randomized lock tables.
+
+#include "core/twbg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/examples_catalog.h"
+#include "lock/lock_manager.h"
+
+namespace twbg::core {
+namespace {
+
+using enum lock::LockMode;
+
+std::set<std::set<lock::TransactionId>> CycleSets(
+    const std::vector<std::vector<lock::TransactionId>>& cycles) {
+  std::set<std::set<lock::TransactionId>> out;
+  for (const auto& c : cycles) out.insert({c.begin(), c.end()});
+  return out;
+}
+
+TEST(HwTwbgTest, Example41HasExactlyFourCycles) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  EXPECT_TRUE(graph.HasCycle());
+  auto cycles = graph.ElementaryCycles();
+  EXPECT_EQ(cycles.size(), 4u);  // "There are four cycles in Figure 4.1."
+  EXPECT_EQ(CycleSets(cycles),
+            (std::set<std::set<lock::TransactionId>>{
+                {1, 2, 3, 5, 6, 7, 8, 9},
+                {1, 3, 5, 6, 7, 8, 9},
+                {2, 3, 5, 6, 7, 8, 9},
+                {3, 6, 7, 8, 9}}));
+}
+
+TEST(HwTwbgTest, Example41NodesAndEdges) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  EXPECT_EQ(graph.nodes().size(), 9u);
+  EXPECT_EQ(graph.edges().size(), 12u);
+  // Spot-check labels.
+  const TwbgEdge* h = graph.FindEdge(3, 1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->IsH());
+  const TwbgEdge* w = graph.FindEdge(9, 3);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(w->IsW());
+  EXPECT_EQ(graph.FindEdge(4, 1), nullptr);
+}
+
+TEST(HwTwbgTest, Example41TrrpDecompositionOfMainCycle) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  // The paper's four-TRRP cycle: (T1,T2) (T2,T5,T6,T7) (T7,T8,T9,T3)
+  // (T3,T1).
+  Result<std::vector<Trrp>> trrps =
+      graph.DecomposeCycle({1, 2, 5, 6, 7, 8, 9, 3});
+  ASSERT_TRUE(trrps.ok()) << trrps.status().ToString();
+  ASSERT_EQ(trrps->size(), 4u);
+  EXPECT_EQ((*trrps)[0].nodes, (std::vector<lock::TransactionId>{1, 2}));
+  EXPECT_EQ((*trrps)[0].rid, kR1);
+  EXPECT_EQ((*trrps)[1].nodes,
+            (std::vector<lock::TransactionId>{2, 5, 6, 7}));
+  EXPECT_EQ((*trrps)[1].rid, kR1);
+  EXPECT_EQ((*trrps)[2].nodes,
+            (std::vector<lock::TransactionId>{7, 8, 9, 3}));
+  EXPECT_EQ((*trrps)[2].rid, kR2);
+  EXPECT_EQ((*trrps)[3].nodes, (std::vector<lock::TransactionId>{3, 1}));
+  EXPECT_EQ((*trrps)[3].rid, kR1);
+}
+
+TEST(HwTwbgTest, DecomposeRotatesToHEdgeStart) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  // Same cycle given starting mid-TRRP (at T5): decomposition must agree
+  // up to rotation of the TRRP list.
+  Result<std::vector<Trrp>> trrps =
+      graph.DecomposeCycle({5, 6, 7, 8, 9, 3, 1, 2});
+  ASSERT_TRUE(trrps.ok());
+  ASSERT_EQ(trrps->size(), 4u);
+  // First H edge at or after T5 is T7->T8.
+  EXPECT_EQ((*trrps)[0].nodes,
+            (std::vector<lock::TransactionId>{7, 8, 9, 3}));
+}
+
+TEST(HwTwbgTest, DecomposeRejectsNonCycle) {
+  lock::LockManager lm;
+  BuildExample41(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  EXPECT_FALSE(graph.DecomposeCycle({1, 5, 9}).ok());
+  EXPECT_FALSE(graph.DecomposeCycle({1}).ok());
+}
+
+TEST(HwTwbgTest, Example51HasTwoCycles) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  auto cycles = graph.ElementaryCycles();
+  EXPECT_EQ(CycleSets(cycles), (std::set<std::set<lock::TransactionId>>{
+                                   {1, 2}, {1, 2, 3}}));
+  // Lemma 3: both cycles decompose into >= 2 TRRPs.
+  for (const auto& cycle : cycles) {
+    auto trrps = graph.DecomposeCycle(cycle);
+    ASSERT_TRUE(trrps.ok());
+    EXPECT_GE(trrps->size(), 2u);
+  }
+}
+
+TEST(HwTwbgTest, AcyclicWhenNoDeadlock) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 1, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, kS).ok());
+  ASSERT_TRUE(lm.Acquire(3, 1, kS).ok());
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  EXPECT_FALSE(graph.HasCycle());
+  EXPECT_TRUE(graph.ElementaryCycles().empty());
+}
+
+TEST(HwTwbgTest, DotExportMentionsAllEdges) {
+  lock::LockManager lm;
+  BuildExample51(lm);
+  HwTwbg graph = HwTwbg::Build(lm.table());
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("T1 -> T2"), std::string::npos);
+  EXPECT_NE(dot.find("T2 -> T1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // W edges
+}
+
+// Structural properties (Lemmas 1-3) on randomized lock tables.
+class TwbgPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwbgPropertyTest, LemmasHoldOnRandomTables) {
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    lock::LockManager lm;
+    const int txns = 2 + static_cast<int>(rng.NextBelow(10));
+    for (int op = 0; op < 80; ++op) {
+      lock::TransactionId tid =
+          static_cast<lock::TransactionId>(rng.NextInRange(1, txns));
+      lock::ResourceId rid =
+          static_cast<lock::ResourceId>(rng.NextInRange(1, 4));
+      lock::LockMode mode = lock::kRealModes[rng.NextBelow(5)];
+      (void)lm.Acquire(tid, rid, mode);
+    }
+    HwTwbg graph = HwTwbg::Build(lm.table());
+    for (const auto& cycle : graph.ElementaryCycles()) {
+      // Lemma 1: at least one H edge.
+      size_t h_edges = 0;
+      for (size_t i = 0; i < cycle.size(); ++i) {
+        const TwbgEdge* e =
+            graph.FindEdge(cycle[i], cycle[(i + 1) % cycle.size()]);
+        ASSERT_NE(e, nullptr);
+        h_edges += e->IsH();
+      }
+      EXPECT_GE(h_edges, 1u);
+      // Lemmas 2 and 3: >= 2 TRRPs (H edges and TRRPs are in bijection).
+      EXPECT_GE(h_edges, 2u);
+      auto trrps = graph.DecomposeCycle(cycle);
+      ASSERT_TRUE(trrps.ok());
+      EXPECT_EQ(trrps->size(), h_edges);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwbgPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace twbg::core

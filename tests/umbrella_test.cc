@@ -1,0 +1,33 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Compile-and-smoke test for the umbrella header: everything a downstream
+// user needs is reachable from one include.
+
+#include "twbg.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughPublicApi) {
+  twbg::lock::LockManager manager;
+  twbg::core::BuildExample51(manager);
+  EXPECT_TRUE(twbg::core::HwTwbg::Build(manager.table()).HasCycle());
+
+  twbg::core::CostTable costs;
+  twbg::core::PeriodicDetector detector;
+  twbg::core::ResolutionReport report = detector.RunPass(manager, costs);
+  EXPECT_TRUE(report.found_deadlock());
+  EXPECT_FALSE(twbg::core::AnalyzeByReduction(manager.table()).deadlocked);
+
+  auto strategy = twbg::baselines::MakeStrategy("hwtwbg-periodic");
+  ASSERT_NE(strategy, nullptr);
+
+  twbg::sim::SimConfig config;
+  config.workload.num_transactions = 10;
+  config.workload.concurrency = 3;
+  twbg::sim::Simulator sim(config, std::move(strategy));
+  EXPECT_EQ(sim.Run().committed, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace twbg::sim {
+namespace {
+
+TEST(WorkloadTest, DeterministicFromSeed) {
+  WorkloadConfig config;
+  config.seed = 42;
+  WorkloadGenerator a(config);
+  WorkloadGenerator b(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextScript().ops, b.NextScript().ops);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig config;
+  config.seed = 1;
+  WorkloadGenerator a(config);
+  config.seed = 2;
+  WorkloadGenerator b(config);
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.NextScript().ops == b.NextScript().ops) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(WorkloadTest, OpsCountWithinBounds) {
+  WorkloadConfig config;
+  config.min_ops = 2;
+  config.max_ops = 5;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 200; ++i) {
+    size_t n = gen.NextScript().ops.size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 5u);
+  }
+}
+
+TEST(WorkloadTest, ResourceIdsWithinRange) {
+  WorkloadConfig config;
+  config.num_resources = 10;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& [rid, mode] : gen.NextScript().ops) {
+      EXPECT_GE(rid, 1u);
+      EXPECT_LE(rid, 10u);
+      EXPECT_NE(mode, lock::LockMode::kNL);
+    }
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesAccess) {
+  WorkloadConfig config;
+  config.num_resources = 100;
+  config.zipf_theta = 1.2;
+  config.conversion_prob = 0.0;
+  WorkloadGenerator gen(config);
+  std::map<lock::ResourceId, int> hits;
+  int total = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const auto& [rid, mode] : gen.NextScript().ops) {
+      ++hits[rid];
+      ++total;
+    }
+  }
+  int hot = 0;
+  for (lock::ResourceId rid = 1; rid <= 10; ++rid) hot += hits[rid];
+  EXPECT_GT(hot, total / 2);
+}
+
+TEST(WorkloadTest, ConversionsRevisitPlannedResources) {
+  WorkloadConfig config;
+  config.conversion_prob = 1.0;  // every op after the first revisits
+  config.min_ops = 5;
+  config.max_ops = 5;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 50; ++i) {
+    TxnScript script = gen.NextScript();
+    std::set<lock::ResourceId> distinct;
+    for (const auto& [rid, mode] : script.ops) distinct.insert(rid);
+    EXPECT_EQ(distinct.size(), 1u);  // first op plans, the rest revisit
+  }
+}
+
+TEST(WorkloadTest, ZeroConversionsNeverRepeatByChanceCheck) {
+  WorkloadConfig config;
+  config.conversion_prob = 0.0;
+  config.num_resources = 100000;  // collisions astronomically unlikely
+  config.min_ops = 8;
+  config.max_ops = 8;
+  WorkloadGenerator gen(config);
+  TxnScript script = gen.NextScript();
+  std::set<lock::ResourceId> distinct;
+  for (const auto& [rid, mode] : script.ops) distinct.insert(rid);
+  EXPECT_EQ(distinct.size(), script.ops.size());
+}
+
+TEST(WorkloadTest, ModeWeightsRespected) {
+  WorkloadConfig config;
+  config.mode_weights = {0, 0, 0, 0, 1.0};  // X only
+  config.conversion_prob = 0.0;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& [rid, mode] : gen.NextScript().ops) {
+      EXPECT_EQ(mode, lock::LockMode::kX);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twbg::sim
