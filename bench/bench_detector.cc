@@ -188,6 +188,42 @@ BENCHMARK(BM_ContinuousScoped)
     ->Args({8192, 0})
     ->Args({8192, 1});
 
+// Steady-state periodic pass: a large mostly-idle table where only `m`
+// of `n` resources mutated since the previous pass.  incremental=1 uses
+// the GraphBuilder edge cache (pays O(edges of m resources) + assembly);
+// incremental=0 recomputes every ECR from scratch.  Mutations happen
+// outside the timed region — the pass itself is what's measured.
+void BM_SteadyStatePass(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = static_cast<size_t>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  lock::LockManager manager;
+  bench::SteadyState steady = bench::BuildSteadyState(manager, n, /*bulk=*/16);
+  core::DetectorOptions options;
+  options.incremental_build = incremental;
+  core::PeriodicDetector detector(options);
+  core::CostTable costs;
+  detector.RunPass(manager, costs);  // warm the cache
+  size_t cursor = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (size_t i = 0; i < m; ++i) {
+      bench::MutateSteadyState(
+          manager, steady, static_cast<lock::ResourceId>(cursor % n + 1));
+      ++cursor;
+    }
+    state.ResumeTiming();
+    core::ResolutionReport report = detector.RunPass(manager, costs);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(incremental ? "incremental" : "scratch");
+}
+BENCHMARK(BM_SteadyStatePass)
+    ->Args({1024, 16, 1})
+    ->Args({1024, 16, 0})
+    ->Args({10000, 100, 1})
+    ->Args({10000, 100, 0});
+
 // Graph construction alone (Step 1): H/W-TWBG build on a chain.
 void BM_BuildHwTwbg(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -76,4 +76,41 @@ void BuildQueueTail(lock::LockManager& manager, size_t q,
   }
 }
 
+SteadyState BuildSteadyState(lock::LockManager& manager, size_t num_resources,
+                             size_t bulk) {
+  TWBG_CHECK(num_resources >= 1);
+  for (size_t b = 1; b <= bulk; ++b) {
+    for (size_t r = 1; r <= num_resources; ++r) {
+      MustAcquire(manager, static_cast<lock::TransactionId>(b),
+                  static_cast<lock::ResourceId>(r), LockMode::kIS);
+    }
+  }
+  // Blocked X waiters on every 97th resource (they wait on the IS
+  // holders forever; no cycle can form since holders never wait).
+  const size_t num_waiters = (num_resources + 96) / 97;
+  for (size_t w = 0; w < num_waiters; ++w) {
+    MustAcquire(manager, static_cast<lock::TransactionId>(bulk + 1 + w),
+                static_cast<lock::ResourceId>(w * 97 + 1), LockMode::kX);
+  }
+  SteadyState state;
+  state.churn.reserve(num_resources);
+  const size_t churn_base = bulk + num_waiters;
+  for (size_t r = 1; r <= num_resources; ++r) {
+    const auto tid = static_cast<lock::TransactionId>(churn_base + r);
+    MustAcquire(manager, tid, static_cast<lock::ResourceId>(r), LockMode::kIS);
+    state.churn.push_back(tid);
+  }
+  state.next_tid =
+      static_cast<lock::TransactionId>(churn_base + num_resources + 1);
+  return state;
+}
+
+void MutateSteadyState(lock::LockManager& manager, SteadyState& state,
+                       lock::ResourceId rid) {
+  TWBG_CHECK(rid >= 1 && rid <= state.churn.size());
+  manager.ReleaseAll(state.churn[rid - 1]);
+  MustAcquire(manager, state.next_tid, rid, LockMode::kIS);
+  state.churn[rid - 1] = state.next_tid++;
+}
+
 }  // namespace twbg::bench

@@ -9,6 +9,7 @@
 #define TWBG_BENCH_SCENARIOS_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "lock/lock_manager.h"
 
@@ -37,6 +38,28 @@ void BuildUpgradeCrowd(lock::LockManager& manager, size_t k,
 /// scales e without adding cycles.
 void BuildQueueTail(lock::LockManager& manager, size_t q,
                     lock::ResourceId rid = 1);
+
+/// Bookkeeping for the steady-state churn scenario below.
+struct SteadyState {
+  /// churn[r - 1] is the transaction currently holding the churn IS lock
+  /// on resource r.
+  std::vector<lock::TransactionId> churn;
+  /// Next unused transaction id for replacement churn holders.
+  lock::TransactionId next_tid = 0;
+};
+
+/// Large mostly-idle table for the incremental-cache benchmark: `bulk`
+/// pool transactions each hold IS on every resource (mutually compatible,
+/// so nothing blocks), plus one unique churn transaction per resource
+/// holding IS on just that resource.  Every 97th resource also gets one
+/// blocked X waiter, so passes see real W/H edges without any deadlock.
+SteadyState BuildSteadyState(lock::LockManager& manager, size_t num_resources,
+                             size_t bulk);
+
+/// Replaces the churn holder of `rid` with a fresh transaction
+/// (ReleaseAll + Acquire), dirtying exactly that one resource.
+void MutateSteadyState(lock::LockManager& manager, SteadyState& state,
+                       lock::ResourceId rid);
 
 }  // namespace twbg::bench
 

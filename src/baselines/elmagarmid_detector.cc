@@ -2,8 +2,6 @@
 
 #include "baselines/elmagarmid_detector.h"
 
-#include <map>
-#include <set>
 #include <vector>
 
 #include "core/twbg.h"
@@ -15,27 +13,29 @@ StrategyOutcome ElmagarmidStrategy::OnBlock(lock::LockManager& manager,
                                             lock::TransactionId blocked) {
   StrategyOutcome outcome;
   // Is `blocked` on a cycle?  Equivalently: reachable from itself in the
-  // waited-by relation.  One DFS, O(n + e).
-  core::HwTwbg graph = core::HwTwbg::Build(manager.table());
-  std::map<lock::TransactionId, std::vector<lock::TransactionId>> adjacency;
-  for (const core::TwbgEdge& e : graph.edges()) {
-    adjacency[e.from].push_back(e.to);
-  }
-  std::set<lock::TransactionId> visited;
-  std::vector<lock::TransactionId> stack{blocked};
+  // waited-by relation.  One DFS over the CSR adjacency, O(n + e).
+  core::HwTwbg graph = builder_.BuildGraph(manager.table());
+  const size_t n = graph.nodes().size();
+  std::vector<char> visited(n, 0);
+  std::vector<size_t> stack;
+  const size_t blocked_dense = graph.DenseIndex(blocked);
+  if (blocked_dense < n) stack.push_back(blocked_dense);
   bool on_cycle = false;
   while (!stack.empty() && !on_cycle) {
-    lock::TransactionId node = stack.back();
+    const size_t node = stack.back();
     stack.pop_back();
-    auto it = adjacency.find(node);
-    if (it == adjacency.end()) continue;
-    for (lock::TransactionId next : it->second) {
+    for (uint32_t edge_index : graph.OutEdgeIndices(node)) {
       ++outcome.work;
+      const lock::TransactionId next = graph.edges()[edge_index].to;
       if (next == blocked) {
         on_cycle = true;
         break;
       }
-      if (visited.insert(next).second) stack.push_back(next);
+      const size_t next_dense = graph.DenseIndex(next);
+      if (visited[next_dense] == 0) {
+        visited[next_dense] = 1;
+        stack.push_back(next_dense);
+      }
     }
   }
   if (on_cycle) {

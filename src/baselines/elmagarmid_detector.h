@@ -14,6 +14,7 @@
 #define TWBG_BASELINES_ELMAGARMID_DETECTOR_H_
 
 #include "baselines/strategy.h"
+#include "core/graph_builder.h"
 
 namespace twbg::baselines {
 
@@ -28,6 +29,9 @@ class ElmagarmidStrategy : public DetectionStrategy {
 
   StrategyOutcome OnBlock(lock::LockManager& manager, core::CostTable& costs,
                           lock::TransactionId blocked) override;
+
+ private:
+  core::GraphBuilder builder_;
 };
 
 }  // namespace twbg::baselines

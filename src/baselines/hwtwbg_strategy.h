@@ -29,6 +29,10 @@ class HwTwbgPeriodicStrategy : public DetectionStrategy {
     outcome.cycles_found = report.cycles_detected;
     outcome.work = report.steps;
     outcome.repositioned = report.repositioned.size();
+    outcome.num_dirty_resources = report.num_dirty_resources;
+    outcome.num_cached_resources = report.num_cached_resources;
+    outcome.edges_rebuilt = report.edges_rebuilt;
+    outcome.edges_reused = report.edges_reused;
     return outcome;
   }
 
@@ -54,6 +58,10 @@ class HwTwbgContinuousStrategy : public DetectionStrategy {
     outcome.cycles_found = report.cycles_detected;
     outcome.work = report.steps;
     outcome.repositioned = report.repositioned.size();
+    outcome.num_dirty_resources = report.num_dirty_resources;
+    outcome.num_cached_resources = report.num_cached_resources;
+    outcome.edges_rebuilt = report.edges_rebuilt;
+    outcome.edges_reused = report.edges_reused;
     return outcome;
   }
 

@@ -2,7 +2,6 @@
 
 #include "baselines/jiang_detector.h"
 
-#include <map>
 #include <set>
 #include <vector>
 
@@ -15,55 +14,56 @@ namespace {
 // Exhaustive DFS enumerating every simple cycle through `origin` in the
 // waited-by relation.  Returns the union of participators; `work` counts
 // every path extension (the exponential blow-up the paper critiques).
+// Operates directly on the graph's CSR adjacency — no per-invocation
+// adjacency map.
 class CycleEnumerator {
  public:
-  CycleEnumerator(const std::map<lock::TransactionId,
-                                 std::vector<lock::TransactionId>>& adjacency,
-                  lock::TransactionId origin, size_t max_paths, size_t* work)
-      : adjacency_(adjacency),
+  CycleEnumerator(const core::HwTwbg& graph, lock::TransactionId origin,
+                  size_t max_paths, size_t* work)
+      : graph_(graph),
         origin_(origin),
         max_paths_(max_paths),
-        work_(work) {}
+        work_(work),
+        on_path_(graph.nodes().size(), 0) {}
 
   // Returns participators of all cycles through origin; count in cycles_.
   std::set<lock::TransactionId> Run() {
-    Dfs(origin_);
+    const size_t origin_dense = graph_.DenseIndex(origin_);
+    if (origin_dense < graph_.nodes().size()) Dfs(origin_dense);
     return participators_;
   }
 
   size_t cycles() const { return cycles_; }
 
  private:
-  void Dfs(lock::TransactionId node) {
+  void Dfs(size_t dense) {
     if (paths_ >= max_paths_) return;
-    on_path_.insert(node);
-    path_.push_back(node);
-    auto it = adjacency_.find(node);
-    if (it != adjacency_.end()) {
-      for (lock::TransactionId next : it->second) {
-        ++*work_;
-        ++paths_;
-        if (next == origin_) {
-          ++cycles_;
-          participators_.insert(path_.begin(), path_.end());
-        } else if (on_path_.find(next) == on_path_.end()) {
-          Dfs(next);
-        }
-        if (paths_ >= max_paths_) break;
+    on_path_[dense] = 1;
+    path_.push_back(graph_.nodes()[dense]);
+    for (uint32_t edge_index : graph_.OutEdgeIndices(dense)) {
+      ++*work_;
+      ++paths_;
+      const lock::TransactionId next = graph_.edges()[edge_index].to;
+      if (next == origin_) {
+        ++cycles_;
+        participators_.insert(path_.begin(), path_.end());
+      } else {
+        const size_t next_dense = graph_.DenseIndex(next);
+        if (on_path_[next_dense] == 0) Dfs(next_dense);
       }
+      if (paths_ >= max_paths_) break;
     }
     path_.pop_back();
-    on_path_.erase(node);
+    on_path_[dense] = 0;
   }
 
-  const std::map<lock::TransactionId, std::vector<lock::TransactionId>>&
-      adjacency_;
+  const core::HwTwbg& graph_;
   const lock::TransactionId origin_;
   const size_t max_paths_;
   size_t* work_;
   size_t paths_ = 0;
   size_t cycles_ = 0;
-  std::set<lock::TransactionId> on_path_;
+  std::vector<char> on_path_;
   std::vector<lock::TransactionId> path_;
   std::set<lock::TransactionId> participators_;
 };
@@ -77,13 +77,9 @@ StrategyOutcome JiangStrategy::OnBlock(lock::LockManager& manager,
   // Loop because aborting one participator can leave further cycles
   // through the (still blocked) requester.
   for (;;) {
-    core::HwTwbg graph = core::HwTwbg::Build(manager.table());
+    core::HwTwbg graph = builder_.BuildGraph(manager.table());
     outcome.work += graph.edges().size();
-    std::map<lock::TransactionId, std::vector<lock::TransactionId>> adjacency;
-    for (const core::TwbgEdge& e : graph.edges()) {
-      adjacency[e.from].push_back(e.to);
-    }
-    CycleEnumerator enumerator(adjacency, blocked, max_paths_, &outcome.work);
+    CycleEnumerator enumerator(graph, blocked, max_paths_, &outcome.work);
     std::set<lock::TransactionId> participators = enumerator.Run();
     if (participators.empty()) break;
     outcome.cycles_found += enumerator.cycles();

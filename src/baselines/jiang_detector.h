@@ -16,6 +16,7 @@
 #define TWBG_BASELINES_JIANG_DETECTOR_H_
 
 #include "baselines/strategy.h"
+#include "core/graph_builder.h"
 
 namespace twbg::baselines {
 
@@ -34,6 +35,7 @@ class JiangStrategy : public DetectionStrategy {
 
  private:
   size_t max_paths_;
+  core::GraphBuilder builder_;
 };
 
 }  // namespace twbg::baselines

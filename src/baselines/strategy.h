@@ -34,6 +34,13 @@ struct StrategyOutcome {
   size_t work = 0;
   /// Resolutions that aborted nobody (H/W-TWBG TDR-2 only).
   size_t repositioned = 0;
+  /// Incremental graph-cache statistics of the invocation (zeros for
+  /// strategies or paths that build from scratch); see
+  /// core::GraphCacheStats.
+  size_t num_dirty_resources = 0;
+  size_t num_cached_resources = 0;
+  size_t edges_rebuilt = 0;
+  size_t edges_reused = 0;
 };
 
 /// A deadlock handling scheme.

@@ -2,6 +2,7 @@
 
 #include "baselines/wfg_detector.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -11,68 +12,109 @@ namespace twbg::baselines {
 
 namespace {
 
-// Builds the classic TWFG over the current lock table: blocked -> holder
-// edges only.  Returns the dense graph plus the tid mapping.
-struct Twfg {
-  graph::Digraph graph{0};
-  std::vector<lock::TransactionId> tids;
-  std::map<lock::TransactionId, graph::NodeId> dense;
-};
-
-Twfg BuildTwfg(const lock::LockTable& table, size_t* work) {
-  Twfg result;
-  for (const auto& [rid, state] : table) {
+// Recomputes one resource's (waiter, holder) conflict pairs.  A waiter is
+// any blocked converter or queue member; it waits for every holder whose
+// *granted* mode conflicts with its blocked mode.
+void ComputePairs(const lock::ResourceState& state, size_t* work,
+                  std::vector<std::pair<lock::TransactionId,
+                                        lock::TransactionId>>& waits,
+                  std::vector<lock::TransactionId>& txns) {
+  auto add_waits = [&](lock::TransactionId waiter, lock::LockMode bm) {
     for (const lock::HolderEntry& h : state.holders()) {
-      result.dense.emplace(h.tid, 0);
-    }
-    for (const lock::QueueEntry& q : state.queue()) {
-      result.dense.emplace(q.tid, 0);
-    }
-  }
-  graph::NodeId index = 0;
-  for (auto& [tid, node] : result.dense) {
-    node = index++;
-    result.tids.push_back(tid);
-  }
-  result.graph = graph::Digraph(result.tids.size());
-  for (const auto& [rid, state] : table) {
-    // A waiter is any blocked converter or queue member; it waits for
-    // every holder whose *granted* mode conflicts with its blocked mode.
-    auto add_waits = [&](lock::TransactionId waiter, lock::LockMode bm) {
-      for (const lock::HolderEntry& h : state.holders()) {
-        if (h.tid == waiter) continue;
-        ++*work;
-        if (!lock::Compatible(bm, h.granted)) {
-          result.graph.AddEdge(result.dense.at(waiter), result.dense.at(h.tid));
-        }
+      if (h.tid == waiter) continue;
+      ++*work;
+      if (!lock::Compatible(bm, h.granted)) {
+        waits.emplace_back(waiter, h.tid);
       }
-    };
-    for (const lock::HolderEntry& h : state.holders()) {
-      if (h.IsBlocked()) add_waits(h.tid, h.blocked);
     }
-    for (const lock::QueueEntry& q : state.queue()) {
-      add_waits(q.tid, q.blocked);
-    }
+  };
+  for (const lock::HolderEntry& h : state.holders()) {
+    txns.push_back(h.tid);
+    if (h.IsBlocked()) add_waits(h.tid, h.blocked);
   }
-  return result;
+  for (const lock::QueueEntry& q : state.queue()) {
+    txns.push_back(q.tid);
+    add_waits(q.tid, q.blocked);
+  }
 }
 
 }  // namespace
+
+void WfgStrategy::Sync(const lock::LockTable& table, size_t* work) {
+  std::vector<lock::ResourceId> dirty;
+  const bool journal_ok =
+      table.uid() == table_uid_ && table.DirtySince(synced_seq_, &dirty);
+  if (journal_ok) {
+    for (lock::ResourceId rid : dirty) {
+      const lock::ResourceState* state = table.Find(rid);
+      auto it = cache_.find(rid);
+      if (state == nullptr) {
+        if (it != cache_.end()) cache_.erase(it);
+        continue;
+      }
+      if (it == cache_.end()) {
+        it = cache_.emplace(rid, ResourcePairs{}).first;
+      } else if (it->second.version == state->version()) {
+        continue;
+      }
+      it->second.waits.clear();
+      it->second.txns.clear();
+      ComputePairs(*state, work, it->second.waits, it->second.txns);
+      it->second.version = state->version();
+    }
+  } else {
+    auto it = cache_.begin();
+    for (const auto& [rid, state] : table) {
+      while (it != cache_.end() && it->first < rid) it = cache_.erase(it);
+      if (it == cache_.end() || it->first != rid) {
+        it = cache_.emplace_hint(it, rid, ResourcePairs{});
+      }
+      if (it->second.version != state.version()) {
+        it->second.waits.clear();
+        it->second.txns.clear();
+        ComputePairs(state, work, it->second.waits, it->second.txns);
+        it->second.version = state.version();
+      }
+      ++it;
+    }
+    cache_.erase(it, cache_.end());
+  }
+  table_uid_ = table.uid();
+  synced_seq_ = table.mutation_seq();
+}
 
 StrategyOutcome WfgStrategy::OnPeriodic(lock::LockManager& manager,
                                         core::CostTable& costs) {
   StrategyOutcome outcome;
   // Abort one min-cost victim per detected cycle until acyclic.
   for (;;) {
-    Twfg twfg = BuildTwfg(manager.table(), &outcome.work);
-    std::optional<std::vector<graph::NodeId>> cycle = twfg.graph.FindCycle();
-    outcome.work += twfg.graph.num_edges() + twfg.graph.num_nodes();
+    Sync(manager.table(), &outcome.work);
+    // Assemble the dense graph from the cached per-resource pairs.
+    std::map<lock::TransactionId, graph::NodeId> dense;
+    for (const auto& [rid, entry] : cache_) {
+      for (lock::TransactionId tid : entry.txns) dense.emplace(tid, 0);
+    }
+    std::vector<lock::TransactionId> tids;
+    tids.reserve(dense.size());
+    graph::NodeId index = 0;
+    for (auto& [tid, node] : dense) {
+      node = index++;
+      tids.push_back(tid);
+    }
+    graph::Digraph dg(tids.size());
+    for (const auto& [rid, entry] : cache_) {
+      for (const auto& [waiter, holder] : entry.waits) {
+        dg.AddEdge(dense.at(waiter), dense.at(holder));
+      }
+    }
+    std::optional<std::vector<graph::NodeId>> cycle = dg.FindCycle();
+    outcome.work += dg.num_edges() + dg.num_nodes();
     if (!cycle.has_value()) break;
     ++outcome.cycles_found;
-    lock::TransactionId victim = twfg.tids[(*cycle)[0]];
+    lock::TransactionId victim = tids[(*cycle)[0]];
     double best = costs.Get(victim);
     for (graph::NodeId node : *cycle) {
-      lock::TransactionId tid = twfg.tids[node];
+      lock::TransactionId tid = tids[node];
       if (costs.Get(tid) < best) {
         best = costs.Get(tid);
         victim = tid;

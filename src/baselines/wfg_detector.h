@@ -9,9 +9,19 @@
 // is stalled purely behind another waiter — the FIFO deadlock of the
 // examples catalog is invisible to it.  The simulator's stall recovery
 // quantifies those misses.
+//
+// The per-resource waits-for pairs are cached keyed on the resource
+// state's version (same invalidation contract as core::GraphBuilder, see
+// docs/PERFORMANCE.md), so each detection round recomputes conflict pairs
+// only for resources mutated since the previous round.
 
 #ifndef TWBG_BASELINES_WFG_DETECTOR_H_
 #define TWBG_BASELINES_WFG_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "baselines/strategy.h"
 
@@ -27,6 +37,23 @@ class WfgStrategy : public DetectionStrategy {
 
   StrategyOutcome OnPeriodic(lock::LockManager& manager,
                              core::CostTable& costs) override;
+
+ private:
+  struct ResourcePairs {
+    uint64_t version = 0;
+    /// (waiter, holder) conflict pairs of the resource.
+    std::vector<std::pair<lock::TransactionId, lock::TransactionId>> waits;
+    /// Transactions appearing on the resource (graph vertices).
+    std::vector<lock::TransactionId> txns;
+  };
+
+  // Brings cache_ up to date; `work` counts the conflict checks actually
+  // performed (cached resources cost none).
+  void Sync(const lock::LockTable& table, size_t* work);
+
+  std::map<lock::ResourceId, ResourcePairs> cache_;
+  uint64_t table_uid_ = 0;
+  uint64_t synced_seq_ = 0;
 };
 
 }  // namespace twbg::baselines

@@ -10,20 +10,37 @@ namespace twbg::core {
 ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
                                              CostTable& costs,
                                              lock::TransactionId blocked) {
-  Tst tst = options_.scoped_continuous_build
-                ? BuildReachableTst(manager, blocked).tst
-                : Tst::Build(manager.table());
-  const size_t num_transactions = tst.size();
-  const size_t num_edges = tst.NumEdges();
+  // A scoped build is already proportional to the blocked transaction's
+  // wait neighbourhood; the incremental cache serves the full-table path.
+  Tst scratch;
+  Tst* tst;
+  if (options_.scoped_continuous_build) {
+    scratch = BuildReachableTst(manager, blocked).tst;
+    tst = &scratch;
+  } else if (options_.incremental_build) {
+    tst = &builder_.RefreshTst(manager.table());
+  } else {
+    scratch = Tst::Build(manager.table());
+    tst = &scratch;
+  }
+  const size_t num_transactions = tst->size();
+  const size_t num_edges = tst->NumEdges();
 
   // Every new edge created by this block is incident to `blocked`, so any
   // newly formed cycle passes through it; a walk rooted there finds it.
-  WalkOutcome walk = RunWalk(tst, {blocked}, manager, costs, options_);
+  WalkOutcome walk = RunWalk(*tst, {blocked}, manager, costs, options_);
 
   ResolutionReport report =
       ApplyResolution(std::move(walk), manager, costs, options_);
   report.num_transactions = num_transactions;
   report.num_edges = num_edges;
+  if (!options_.scoped_continuous_build && options_.incremental_build) {
+    const GraphCacheStats& stats = builder_.stats();
+    report.num_dirty_resources = stats.num_dirty_resources;
+    report.num_cached_resources = stats.num_cached_resources;
+    report.edges_rebuilt = stats.edges_rebuilt;
+    report.edges_reused = stats.edges_reused;
+  }
   return report;
 }
 

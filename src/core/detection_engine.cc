@@ -13,32 +13,36 @@ namespace twbg::core {
 namespace {
 
 // Resolves the cycle closed by the edge v -> w (w has a non-zero ancestor,
-// i.e. lies on the active walk path).  Implements the paper's
-// victim-selection: backtrack from v to w recovering the cycle, enumerate
-// TDR candidates, apply the cheapest, clear the backtracked ancestors
-// (except w's).
-void HandleCycle(lock::TransactionId v, lock::TransactionId w, Tst& tst,
-                 lock::LockManager& manager, CostTable& costs,
-                 const DetectorOptions& options, WalkOutcome& outcome) {
+// i.e. lies on the active walk path).  v and w are dense indices into
+// `tst`.  Implements the paper's victim-selection: backtrack from v to w
+// recovering the cycle, enumerate TDR candidates, apply the cheapest,
+// clear the backtracked ancestors (except w's).
+void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
+                 CostTable& costs, const DetectorOptions& options,
+                 WalkOutcome& outcome) {
   // Recover the cycle vertices in walk order w .. v.
-  std::vector<lock::TransactionId> reversed;
-  int64_t u = v;
-  while (u != static_cast<int64_t>(w)) {
-    reversed.push_back(static_cast<lock::TransactionId>(u));
-    u = tst.At(static_cast<lock::TransactionId>(u)).ancestor;
+  std::vector<size_t> reversed;
+  size_t u = v;
+  while (u != w) {
+    reversed.push_back(u);
+    const int64_t up = tst.EntryAt(u).ancestor;
     // w lies on the active path, so we must reach it before running off
     // the root of the walk.
-    TWBG_CHECK(u > 0);
+    TWBG_CHECK(up > 0);
+    u = static_cast<size_t>(up - 1);
   }
   reversed.push_back(w);
-  std::vector<lock::TransactionId> cycle(reversed.rbegin(), reversed.rend());
+  std::vector<size_t> cycle_index(reversed.rbegin(), reversed.rend());
+  std::vector<lock::TransactionId> cycle;
+  cycle.reserve(cycle_index.size());
+  for (size_t index : cycle_index) cycle.push_back(tst.TidAt(index));
 
   // Each on-path vertex's `current` points at the edge the walk took from
   // it; for v that is the closing edge v -> w.
   std::vector<CycleEdgeView> views;
   views.reserve(cycle.size());
   for (size_t i = 0; i < cycle.size(); ++i) {
-    const TstEntry& entry = tst.At(cycle[i]);
+    const TstEntry& entry = tst.EntryAt(cycle_index[i]);
     TWBG_CHECK(!entry.CurrentIsNil());
     views.push_back(CycleEdgeView{cycle[i], entry.CurrentEdge()});
     TWBG_CHECK(views.back().out.to == cycle[(i + 1) % cycle.size()]);
@@ -76,8 +80,8 @@ void HandleCycle(lock::TransactionId v, lock::TransactionId w, Tst& tst,
   }
 
   // Clear the backtracked ancestors; w stays marked (walk resumes there).
-  for (lock::TransactionId tid : cycle) {
-    if (tid != w) tst.At(tid).ancestor = 0;
+  for (size_t index : cycle_index) {
+    if (index != w) tst.EntryAt(index).ancestor = 0;
   }
 
   VictimDecision decision;
@@ -94,34 +98,51 @@ WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
                     lock::LockManager& manager, CostTable& costs,
                     const DetectorOptions& options) {
   WalkOutcome outcome;
+  // The periodic pass passes Transactions() verbatim, so the cursor makes
+  // every root lookup O(1); out-of-order roots fall back to binary search.
+  size_t cursor = 0;
   for (lock::TransactionId root : roots) {
-    if (!tst.Contains(root)) continue;
-    tst.At(root).ancestor = TstEntry::kRoot;
-    int64_t v = root;
+    size_t r;
+    if (cursor < tst.size() && tst.TidAt(cursor) == root) {
+      r = cursor++;
+    } else {
+      r = tst.IndexOf(root);
+      if (r >= tst.size()) continue;
+      cursor = r + 1;
+    }
+    tst.EntryAt(r).ancestor = TstEntry::kRoot;
+    int64_t v = static_cast<int64_t>(r);
     while (v != TstEntry::kRoot) {
       ++outcome.steps;
-      TstEntry& entry = tst.At(static_cast<lock::TransactionId>(v));
+      TstEntry& entry = tst.EntryAt(static_cast<size_t>(v));
       if (entry.CurrentIsNil()) {
         // Dead end: everything reachable is resolved; backtrack.
         const int64_t up = entry.ancestor;
         entry.ancestor = 0;
-        v = up;
+        v = up == TstEntry::kRoot ? TstEntry::kRoot : up - 1;
         continue;
       }
       const TwbgEdge& edge = entry.CurrentEdge();
-      if (edge.IsSentinel() || tst.At(edge.to).CurrentIsNil()) {
-        ++entry.current;  // skip: sentinel, finished or victim vertex
+      if (edge.IsSentinel()) {
+        ++entry.current;  // skip the end-of-queue sentinel
         continue;
       }
-      TstEntry& next = tst.At(edge.to);
+      const size_t t =
+          tst.EdgeTargetIndex(static_cast<size_t>(v), entry.current);
+      TWBG_CHECK(t < tst.size());
+      TstEntry& next = tst.EntryAt(t);
+      if (next.CurrentIsNil()) {
+        ++entry.current;  // skip: finished or victim vertex
+        continue;
+      }
       if (next.ancestor != 0) {
         // Closing edge: edge.to lies on the active path — a cycle.
-        HandleCycle(static_cast<lock::TransactionId>(v), edge.to, tst,
-                    manager, costs, options, outcome);
-        v = edge.to;  // resume at the re-entered vertex
+        HandleCycle(static_cast<size_t>(v), t, tst, manager, costs, options,
+                    outcome);
+        v = static_cast<int64_t>(t);  // resume at the re-entered vertex
       } else {
-        next.ancestor = v;
-        v = edge.to;
+        next.ancestor = v + 1;
+        v = static_cast<int64_t>(t);
       }
     }
   }
@@ -188,6 +209,13 @@ std::string ResolutionReport::ToString() const {
       "steps=%zu (n=%zu, e=%zu)\n",
       cycles_detected, aborted.size(), spared.size(), granted.size(),
       repositioned.size(), steps, num_transactions, num_edges);
+  if (num_dirty_resources + num_cached_resources > 0) {
+    out += common::Format(
+        "  graph-cache: dirty=%zu cached=%zu edges-rebuilt=%zu "
+        "edges-reused=%zu\n",
+        num_dirty_resources, num_cached_resources, edges_rebuilt,
+        edges_reused);
+  }
   for (const VictimDecision& d : decisions) {
     out += "  ";
     out += d.ToString();

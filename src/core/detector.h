@@ -82,6 +82,12 @@ struct DetectorOptions {
   /// optimization) instead of the whole table.  Observably identical;
   /// cost scales with the wait neighbourhood.
   bool scoped_continuous_build = true;
+  /// Build the pass's TST through the incremental per-resource ECR edge
+  /// cache (core::GraphBuilder) instead of from scratch.  Observably
+  /// identical (the differential test proves it); a pass after k
+  /// mutations recomputes edges for k resources only.  Disable to get
+  /// the from-scratch Step 1 (the benchmark's comparison baseline).
+  bool incremental_build = true;
 };
 
 /// Outcome of one detection-resolution pass.
@@ -105,6 +111,13 @@ struct ResolutionReport {
   /// Vertices and edges of the TST the pass ran over (n and e).
   size_t num_transactions = 0;
   size_t num_edges = 0;
+  /// Step 1 graph-cache statistics (all zero for from-scratch builds):
+  /// resources whose ECR edges were recomputed vs served from cache, and
+  /// the edge counts on each side.  See core::GraphCacheStats.
+  size_t num_dirty_resources = 0;
+  size_t num_cached_resources = 0;
+  size_t edges_rebuilt = 0;
+  size_t edges_reused = 0;
 
   /// True when the pass found any deadlock.
   bool found_deadlock() const { return cycles_detected > 0; }

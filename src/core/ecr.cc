@@ -2,6 +2,8 @@
 
 #include "core/ecr.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace twbg::core {
@@ -75,6 +77,16 @@ void BuildEcr3(const ResourceState& state, bool include_sentinels,
 void AppendEcrEdgesForResource(const lock::ResourceState& state,
                                bool include_sentinels,
                                std::vector<TwbgEdge>& edges) {
+  // Every ECR-2/3 edge has a distinct source (holder or queue member);
+  // ECR-1 typically adds far fewer than its h^2 bound.  Reserving one
+  // slot per participant avoids most growth reallocations; doubling when
+  // we do grow keeps repeated per-resource appends amortized-linear
+  // (plain reserve(size + k) in a loop would realloc every call).
+  const size_t want =
+      edges.size() + state.holders().size() + state.queue().size();
+  if (want > edges.capacity()) {
+    edges.reserve(std::max(want, edges.capacity() * 2));
+  }
   BuildEcr1(state, edges);
   BuildEcr2(state, edges);
   BuildEcr3(state, include_sentinels, edges);
@@ -83,6 +95,11 @@ void AppendEcrEdgesForResource(const lock::ResourceState& state,
 std::vector<TwbgEdge> BuildEcrEdges(const lock::LockTable& table,
                                     bool include_sentinels) {
   std::vector<TwbgEdge> edges;
+  size_t participants = 0;
+  for (const auto& [rid, state] : table) {
+    participants += state.holders().size() + state.queue().size();
+  }
+  edges.reserve(participants);
   for (const auto& [rid, state] : table) {
     AppendEcrEdgesForResource(state, include_sentinels, edges);
   }

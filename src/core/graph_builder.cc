@@ -1,0 +1,143 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/graph_builder.h"
+
+#include <algorithm>
+
+namespace twbg::core {
+
+void GraphBuilder::Rebuild(const lock::ResourceState& state,
+                           ResourceCache& entry) {
+  ReleaseTxns(entry.txns);
+  total_edges_ -= entry.edges.size();
+  entry.edges.clear();
+  entry.txns.clear();
+  AppendEcrEdgesForResource(state, /*include_sentinels=*/true, entry.edges);
+  for (const lock::HolderEntry& h : state.holders()) {
+    entry.txns.push_back(h.tid);
+  }
+  for (const lock::QueueEntry& q : state.queue()) {
+    entry.txns.push_back(q.tid);
+  }
+  RetainTxns(entry.txns);
+  entry.version = state.version();
+  total_edges_ += entry.edges.size();
+  ++stats_.num_dirty_resources;
+  stats_.edges_rebuilt += entry.edges.size();
+}
+
+void GraphBuilder::Drop(ResourceCache& entry) {
+  ReleaseTxns(entry.txns);
+  total_edges_ -= entry.edges.size();
+}
+
+void GraphBuilder::RetainTxns(const std::vector<lock::TransactionId>& txns) {
+  for (lock::TransactionId tid : txns) {
+    if (++txn_refs_[tid] == 1) membership_changed_ = true;
+  }
+}
+
+void GraphBuilder::ReleaseTxns(const std::vector<lock::TransactionId>& txns) {
+  for (lock::TransactionId tid : txns) {
+    auto it = txn_refs_.find(tid);
+    if (--it->second == 0) {
+      txn_refs_.erase(it);
+      membership_changed_ = true;
+    }
+  }
+}
+
+void GraphBuilder::RefreshTxns() {
+  if (!membership_changed_) return;
+  txns_.clear();
+  txns_.reserve(txn_refs_.size());
+  for (const auto& [tid, refs] : txn_refs_) txns_.push_back(tid);
+  membership_changed_ = false;
+}
+
+void GraphBuilder::Sync(const lock::LockTable& table) {
+  stats_ = {};
+  dirty_scratch_.clear();
+  const bool journal_ok =
+      table.uid() == table_uid_ &&
+      table.DirtySince(synced_seq_, &dirty_scratch_);
+  if (journal_ok) {
+    for (lock::ResourceId rid : dirty_scratch_) {
+      const lock::ResourceState* state = table.Find(rid);
+      auto it = cache_.find(rid);
+      if (state == nullptr) {
+        // Mutated away entirely (released and reclaimed).
+        if (it != cache_.end()) {
+          Drop(it->second);
+          cache_.erase(it);
+        }
+        continue;
+      }
+      if (it == cache_.end()) {
+        it = cache_.emplace(rid, ResourceCache{}).first;
+      } else if (it->second.version == state->version()) {
+        // Journal marking is conservative (FindMutable counts as a
+        // mutation); the version proves the content did not change.
+        continue;
+      }
+      Rebuild(*state, it->second);
+    }
+  } else {
+    // First refresh, a different/copied table, or the journal was trimmed
+    // past our sync point: version-compare every resource.  Unchanged
+    // entries (equal version — guaranteed identical content, versions are
+    // never reused) still serve their cached edges.
+    stats_.full_sweep = true;
+    auto it = cache_.begin();
+    for (const auto& [rid, state] : table) {
+      while (it != cache_.end() && it->first < rid) {
+        Drop(it->second);
+        it = cache_.erase(it);
+      }
+      if (it != cache_.end() && it->first == rid) {
+        if (it->second.version != state.version()) Rebuild(state, it->second);
+        ++it;
+      } else {
+        it = cache_.emplace_hint(it, rid, ResourceCache{});
+        Rebuild(state, it->second);
+        ++it;
+      }
+    }
+    while (it != cache_.end()) {
+      Drop(it->second);
+      it = cache_.erase(it);
+    }
+  }
+  table_uid_ = table.uid();
+  synced_seq_ = table.mutation_seq();
+  stats_.num_cached_resources = cache_.size() - stats_.num_dirty_resources;
+  stats_.edges_reused = total_edges_ - stats_.edges_rebuilt;
+}
+
+Tst& GraphBuilder::RefreshTst(const lock::LockTable& table) {
+  Sync(table);
+  RefreshTxns();
+  edge_scratch_.clear();
+  edge_scratch_.reserve(total_edges_);
+  for (const auto& [rid, entry] : cache_) {
+    edge_scratch_.insert(edge_scratch_.end(), entry.edges.begin(),
+                         entry.edges.end());
+  }
+  tst_.Assemble(edge_scratch_, txns_);
+  return tst_;
+}
+
+HwTwbg GraphBuilder::BuildGraph(const lock::LockTable& table) {
+  Sync(table);
+  RefreshTxns();
+  std::vector<TwbgEdge> edges;
+  edges.reserve(total_edges_);
+  for (const auto& [rid, entry] : cache_) {
+    for (const TwbgEdge& e : entry.edges) {
+      if (!e.IsSentinel()) edges.push_back(e);
+    }
+  }
+  return HwTwbg::FromParts(std::move(edges), txns_);
+}
+
+}  // namespace twbg::core

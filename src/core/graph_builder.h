@@ -1,0 +1,102 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Incremental ECR edge cache: keeps one edge vector (sentinels included)
+// per resource, keyed on lock::ResourceState::version(), and refreshes
+// only the resources the lock table's mutation journal reports dirty.
+// A detection pass after k mutations therefore recomputes ECR 1-3 for k
+// resources instead of the whole table; concatenating the cached
+// per-resource vectors in ascending rid order reproduces BuildEcrEdges
+// byte-for-byte (the differential test in tests/incremental_build_test.cc
+// proves it).  See docs/PERFORMANCE.md for the invalidation contract.
+//
+// Each observer (detector instance) owns its own GraphBuilder; the lock
+// table's journal is a shared read-only log, so any number of builders can
+// track one table independently.  A builder pointed at a different table
+// (or a copy — copies get a fresh uid) falls back to a version-compare
+// sweep that still reuses every unchanged resource's cached edges.
+
+#ifndef TWBG_CORE_GRAPH_BUILDER_H_
+#define TWBG_CORE_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/tst.h"
+#include "core/twbg.h"
+#include "lock/lock_table.h"
+
+namespace twbg::core {
+
+/// What one cache refresh did — surfaced in ResolutionReport and
+/// sim/metrics for observability.
+struct GraphCacheStats {
+  /// Resources whose ECR edges were recomputed this refresh.
+  size_t num_dirty_resources = 0;
+  /// Resources whose cached edges were reused untouched.
+  size_t num_cached_resources = 0;
+  /// Edges recomputed vs served from cache (sentinels included).
+  size_t edges_rebuilt = 0;
+  size_t edges_reused = 0;
+  /// True when the journal could not answer (first refresh, table copy,
+  /// or the reader fell behind the journal's capacity) and the refresh
+  /// fell back to a full version-compare sweep.
+  bool full_sweep = false;
+};
+
+/// Incremental builder of the detection pass's graph structures.  Not
+/// thread-safe (single-threaded core).
+class GraphBuilder {
+ public:
+  /// Refreshes the cache against `table` and reassembles the persistent
+  /// TST (W edges with sentinels + H edges, walk state reset).  The
+  /// returned reference stays valid until the next Refresh/Build call and
+  /// is identical to Tst::Build(table) in content and walk behaviour.
+  Tst& RefreshTst(const lock::LockTable& table);
+
+  /// Refreshes the cache and assembles an H/W-TWBG snapshot (no sentinel
+  /// edges) — identical to HwTwbg::Build(table).
+  HwTwbg BuildGraph(const lock::LockTable& table);
+
+  /// Statistics of the most recent refresh.
+  const GraphCacheStats& stats() const { return stats_; }
+
+ private:
+  struct ResourceCache {
+    uint64_t version = 0;
+    /// ECR 1-3 output for this resource, sentinels included.
+    std::vector<TwbgEdge> edges;
+    /// Transactions appearing on the resource (holders, then queue).
+    std::vector<lock::TransactionId> txns;
+  };
+
+  // Brings cache_ up to date with `table` (journal fast path or full
+  // version-compare sweep) and resets stats_.
+  void Sync(const lock::LockTable& table);
+  void Rebuild(const lock::ResourceState& state, ResourceCache& entry);
+  void Drop(ResourceCache& entry);
+  // Refcount maintenance for the vertex set.
+  void RetainTxns(const std::vector<lock::TransactionId>& txns);
+  void ReleaseTxns(const std::vector<lock::TransactionId>& txns);
+  // Rebuilds txns_ from txn_refs_ when membership changed.
+  void RefreshTxns();
+
+  std::map<lock::ResourceId, ResourceCache> cache_;
+  uint64_t table_uid_ = 0;
+  uint64_t synced_seq_ = 0;
+  size_t total_edges_ = 0;
+  // tid -> number of cached resources it appears on.  The key set is the
+  // graph's vertex set; txns_ mirrors it sorted, rebuilt only when
+  // membership actually changes.
+  std::map<lock::TransactionId, uint32_t> txn_refs_;
+  bool membership_changed_ = true;
+  std::vector<lock::TransactionId> txns_;
+  std::vector<TwbgEdge> edge_scratch_;
+  std::vector<lock::ResourceId> dirty_scratch_;
+  Tst tst_;
+  GraphCacheStats stats_;
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_GRAPH_BUILDER_H_

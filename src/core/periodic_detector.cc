@@ -8,20 +8,35 @@ namespace twbg::core {
 
 ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
                                            CostTable& costs) {
-  // Step 1: construct the TST (W + H edges) and initialize the walk state.
-  Tst tst = Tst::Build(manager.table());
-  const size_t num_transactions = tst.size();
-  const size_t num_edges = tst.NumEdges();
+  // Step 1: construct the TST (W + H edges) and initialize the walk state
+  // — incrementally from the per-resource edge cache, or from scratch.
+  Tst scratch;
+  Tst* tst;
+  if (options_.incremental_build) {
+    tst = &builder_.RefreshTst(manager.table());
+  } else {
+    scratch = Tst::Build(manager.table());
+    tst = &scratch;
+  }
+  const size_t num_transactions = tst->size();
+  const size_t num_edges = tst->NumEdges();
 
   // Step 2: directed walk from every vertex in id order.
   WalkOutcome walk =
-      RunWalk(tst, tst.Transactions(), manager, costs, options_);
+      RunWalk(*tst, tst->Transactions(), manager, costs, options_);
 
   // Step 3: confirm aborts and grants.
   ResolutionReport report =
       ApplyResolution(std::move(walk), manager, costs, options_);
   report.num_transactions = num_transactions;
   report.num_edges = num_edges;
+  if (options_.incremental_build) {
+    const GraphCacheStats& stats = builder_.stats();
+    report.num_dirty_resources = stats.num_dirty_resources;
+    report.num_cached_resources = stats.num_cached_resources;
+    report.edges_rebuilt = stats.edges_rebuilt;
+    report.edges_reused = stats.edges_reused;
+  }
   return report;
 }
 

@@ -2,9 +2,44 @@
 
 #include "core/tst.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace twbg::core {
+
+Tst::Tst(const Tst& other)
+    : tids_(other.tids_),
+      entries_(other.entries_),
+      edges_(other.edges_),
+      edge_targets_(other.edge_targets_),
+      offsets_(other.offsets_),
+      fill_(other.fill_) {
+  RepointSpans();
+}
+
+Tst& Tst::operator=(const Tst& other) {
+  if (this == &other) return *this;
+  tids_ = other.tids_;
+  entries_ = other.entries_;
+  edges_ = other.edges_;
+  edge_targets_ = other.edge_targets_;
+  offsets_ = other.offsets_;
+  fill_ = other.fill_;
+  RepointSpans();
+  return *this;
+}
+
+void Tst::RepointSpans() {
+  // Groups are laid out contiguously in tids_ order and cover all of
+  // edges_, so the copied span sizes determine the offsets.
+  size_t offset = 0;
+  for (TstEntry& entry : entries_) {
+    entry.waited = std::span<const TwbgEdge>(edges_.data() + offset,
+                                             entry.waited.size());
+    offset += entry.waited.size();
+  }
+}
 
 Tst Tst::Build(const lock::LockTable& table) {
   std::vector<lock::TransactionId> txns;
@@ -18,56 +53,81 @@ Tst Tst::Build(const lock::LockTable& table) {
 Tst Tst::FromEdges(const std::vector<TwbgEdge>& edges,
                    const std::vector<lock::TransactionId>& txns) {
   Tst tst;
-  for (lock::TransactionId tid : txns) tst.entries_[tid];
-  // W edges first (each queue member has exactly one, so "first" is
-  // well-defined), then H edges in construction order.
-  for (const TwbgEdge& e : edges) {
-    if (e.IsW()) {
-      TstEntry& entry = tst.entries_[e.from];
-      TWBG_CHECK(entry.waited.empty());  // at most one W edge per vertex
-      entry.waited.push_back(e);
-      entry.pr = e.rid;
-    }
-  }
-  for (const TwbgEdge& e : edges) {
-    if (e.IsH()) tst.entries_[e.from].waited.push_back(e);
-  }
+  tst.Assemble(edges, txns);
   return tst;
 }
 
+void Tst::Assemble(const std::vector<TwbgEdge>& edges,
+                   const std::vector<lock::TransactionId>& txns) {
+  tids_.clear();
+  tids_.reserve(txns.size());
+  tids_.insert(tids_.end(), txns.begin(), txns.end());
+  for (const TwbgEdge& e : edges) tids_.push_back(e.from);
+  std::sort(tids_.begin(), tids_.end());
+  tids_.erase(std::unique(tids_.begin(), tids_.end()), tids_.end());
+
+  const size_t n = tids_.size();
+  entries_.assign(n, TstEntry{});
+
+  // Counting sort of the edges into per-vertex groups.
+  offsets_.assign(n + 1, 0);
+  for (const TwbgEdge& e : edges) ++offsets_[IndexOf(e.from) + 1];
+  for (size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  edges_.resize(edges.size());
+  fill_.assign(offsets_.begin(), offsets_.end() - 1);
+
+  // W edges first (each queue member has exactly one, so "first" is
+  // well-defined), then H edges in construction order.
+  for (const TwbgEdge& e : edges) {
+    if (!e.IsW()) continue;
+    const size_t i = IndexOf(e.from);
+    TWBG_CHECK(fill_[i] == offsets_[i]);  // at most one W edge per vertex
+    edges_[fill_[i]++] = e;
+    entries_[i].pr = e.rid;
+  }
+  for (const TwbgEdge& e : edges) {
+    if (e.IsH()) edges_[fill_[IndexOf(e.from)]++] = e;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    entries_[i].waited = std::span<const TwbgEdge>(
+        edges_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  edge_targets_.resize(edges_.size());
+  for (size_t j = 0; j < edges_.size(); ++j) {
+    edge_targets_[j] =
+        edges_[j].IsSentinel() ? kNoVertex : IndexOf(edges_[j].to);
+  }
+}
+
+size_t Tst::IndexOf(lock::TransactionId tid) const {
+  auto it = std::lower_bound(tids_.begin(), tids_.end(), tid);
+  if (it == tids_.end() || *it != tid) return tids_.size();
+  return static_cast<size_t>(it - tids_.begin());
+}
+
 TstEntry& Tst::At(lock::TransactionId tid) {
-  auto it = entries_.find(tid);
-  TWBG_CHECK(it != entries_.end());
-  return it->second;
+  const size_t i = IndexOf(tid);
+  TWBG_CHECK(i < entries_.size());
+  return entries_[i];
 }
 
 const TstEntry& Tst::At(lock::TransactionId tid) const {
-  auto it = entries_.find(tid);
-  TWBG_CHECK(it != entries_.end());
-  return it->second;
+  const size_t i = IndexOf(tid);
+  TWBG_CHECK(i < entries_.size());
+  return entries_[i];
 }
 
 bool Tst::Contains(lock::TransactionId tid) const {
-  return entries_.find(tid) != entries_.end();
-}
-
-std::vector<lock::TransactionId> Tst::Transactions() const {
-  std::vector<lock::TransactionId> out;
-  out.reserve(entries_.size());
-  for (const auto& [tid, entry] : entries_) out.push_back(tid);
-  return out;
-}
-
-size_t Tst::NumEdges() const {
-  size_t n = 0;
-  for (const auto& [tid, entry] : entries_) n += entry.waited.size();
-  return n;
+  return IndexOf(tid) < tids_.size();
 }
 
 std::string Tst::ToString() const {
   std::string out;
-  for (const auto& [tid, entry] : entries_) {
-    out += common::Format("T%u: pr=", tid);
+  for (size_t i = 0; i < tids_.size(); ++i) {
+    const TstEntry& entry = entries_[i];
+    out += common::Format("T%u: pr=", tids_[i]);
     out += entry.pr.has_value() ? common::Format("R%u", *entry.pr) : "-";
     out += " waited=[";
     std::vector<std::string> parts;

@@ -3,7 +3,6 @@
 #include "core/twbg.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/string_util.h"
 #include "graph/digraph.h"
@@ -24,46 +23,77 @@ std::string Trrp::ToString() const {
 HwTwbg HwTwbg::Build(const lock::LockTable& table) {
   HwTwbg graph;
   graph.edges_ = BuildEcrEdges(table, /*include_sentinels=*/false);
-  std::set<lock::TransactionId> nodes;
   for (const auto& [rid, state] : table) {
-    for (const lock::HolderEntry& h : state.holders()) nodes.insert(h.tid);
-    for (const lock::QueueEntry& q : state.queue()) nodes.insert(q.tid);
+    for (const lock::HolderEntry& h : state.holders()) {
+      graph.nodes_.push_back(h.tid);
+    }
+    for (const lock::QueueEntry& q : state.queue()) {
+      graph.nodes_.push_back(q.tid);
+    }
   }
-  graph.nodes_.assign(nodes.begin(), nodes.end());
-  uint32_t index = 0;
-  for (lock::TransactionId tid : graph.nodes_) graph.dense_[tid] = index++;
+  graph.BuildIndex();
   return graph;
+}
+
+HwTwbg HwTwbg::FromParts(std::vector<TwbgEdge> edges,
+                         std::vector<lock::TransactionId> nodes) {
+  HwTwbg graph;
+  graph.edges_ = std::move(edges);
+  graph.nodes_ = std::move(nodes);
+  graph.BuildIndex();
+  return graph;
+}
+
+void HwTwbg::BuildIndex() {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  const size_t n = nodes_.size();
+  // Counting sort of edge indices by source vertex; stable, so each
+  // node's slice preserves construction order.
+  offsets_.assign(n + 1, 0);
+  for (const TwbgEdge& e : edges_) ++offsets_[DenseIndex(e.from) + 1];
+  for (size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  edge_index_.resize(edges_.size());
+  std::vector<uint32_t> fill(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    edge_index_[fill[DenseIndex(edges_[i].from)]++] = i;
+  }
+}
+
+size_t HwTwbg::DenseIndex(lock::TransactionId tid) const {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), tid);
+  if (it == nodes_.end() || *it != tid) return nodes_.size();
+  return static_cast<size_t>(it - nodes_.begin());
 }
 
 std::vector<TwbgEdge> HwTwbg::OutEdges(lock::TransactionId tid) const {
   std::vector<TwbgEdge> out;
-  for (const TwbgEdge& e : edges_) {
-    if (e.from == tid) out.push_back(e);
-  }
+  const size_t dense = DenseIndex(tid);
+  if (dense == nodes_.size()) return out;
+  const auto slice = OutEdgeIndices(dense);
+  out.reserve(slice.size());
+  for (uint32_t index : slice) out.push_back(edges_[index]);
   return out;
 }
 
 namespace {
 
-graph::Digraph ToDigraph(const std::vector<TwbgEdge>& edges,
-                         const std::map<lock::TransactionId, uint32_t>& dense,
-                         size_t num_nodes) {
-  graph::Digraph dg(num_nodes);
-  for (const TwbgEdge& e : edges) {
-    dg.AddEdge(dense.at(e.from), dense.at(e.to));
+graph::Digraph ToDigraph(const HwTwbg& hw) {
+  graph::Digraph dg(hw.nodes().size());
+  for (const TwbgEdge& e : hw.edges()) {
+    dg.AddEdge(static_cast<graph::NodeId>(hw.DenseIndex(e.from)),
+               static_cast<graph::NodeId>(hw.DenseIndex(e.to)));
   }
   return dg;
 }
 
 }  // namespace
 
-bool HwTwbg::HasCycle() const {
-  return ToDigraph(edges_, dense_, nodes_.size()).HasCycle();
-}
+bool HwTwbg::HasCycle() const { return ToDigraph(*this).HasCycle(); }
 
 std::vector<std::vector<lock::TransactionId>> HwTwbg::ElementaryCycles(
     size_t max_cycles) const {
-  graph::Digraph dg = ToDigraph(edges_, dense_, nodes_.size());
+  graph::Digraph dg = ToDigraph(*this);
   std::vector<std::vector<lock::TransactionId>> out;
   for (const auto& circuit : graph::ElementaryCircuits(dg, max_cycles)) {
     std::vector<lock::TransactionId> cycle;
@@ -76,8 +106,10 @@ std::vector<std::vector<lock::TransactionId>> HwTwbg::ElementaryCycles(
 
 const TwbgEdge* HwTwbg::FindEdge(lock::TransactionId from,
                                  lock::TransactionId to) const {
-  for (const TwbgEdge& e : edges_) {
-    if (e.from == from && e.to == to) return &e;
+  const size_t dense = DenseIndex(from);
+  if (dense == nodes_.size()) return nullptr;
+  for (uint32_t index : OutEdgeIndices(dense)) {
+    if (edges_[index].to == to) return &edges_[index];
   }
   return nullptr;
 }

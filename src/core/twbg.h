@@ -5,6 +5,11 @@
 // enumeration (via Johnson, for analysis and tests — the detector itself
 // never enumerates), TRRP decomposition of cycles, and DOT export.
 //
+// Adjacency is a CSR (compressed sparse row) index over the construction-
+// order edge list: nodes are sorted, looked up by binary search, and each
+// node's out-edges are a contiguous slice of edge indices — OutEdges and
+// FindEdge cost O(out-degree), not O(E).  See docs/PERFORMANCE.md.
+//
 // Properties established by the paper and checked by our property tests:
 //   P1 no cycle consists of W edges only (Lemma 1);
 //   P2 no cycle is a single TRRP (Lemma 2);
@@ -14,7 +19,8 @@
 #ifndef TWBG_CORE_TWBG_H_
 #define TWBG_CORE_TWBG_H_
 
-#include <map>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,13 +47,30 @@ class HwTwbg {
   /// Builds the graph by ECR 1-3 (no sentinel edges).
   static HwTwbg Build(const lock::LockTable& table);
 
+  /// Assembles the graph from a pre-built real-edge list (construction
+  /// order, no sentinels) and the full vertex set — used by the
+  /// incremental core::GraphBuilder.  `nodes` need not be sorted/unique.
+  static HwTwbg FromParts(std::vector<TwbgEdge> edges,
+                          std::vector<lock::TransactionId> nodes);
+
   /// All real edges in construction order.
   const std::vector<TwbgEdge>& edges() const { return edges_; }
 
   /// All vertices (transactions appearing in the lock table), ascending.
   const std::vector<lock::TransactionId>& nodes() const { return nodes_; }
 
-  /// Outgoing edges of `tid` (possibly empty).
+  /// Dense index of `tid` in nodes(), or nodes().size() when absent.
+  size_t DenseIndex(lock::TransactionId tid) const;
+
+  /// Out-edges of the node at `dense_index` as indices into edges(), in
+  /// construction order.  O(1).
+  std::span<const uint32_t> OutEdgeIndices(size_t dense_index) const {
+    return std::span<const uint32_t>(
+        edge_index_.data() + offsets_[dense_index],
+        offsets_[dense_index + 1] - offsets_[dense_index]);
+  }
+
+  /// Outgoing edges of `tid` (possibly empty).  O(out-degree).
   std::vector<TwbgEdge> OutEdges(lock::TransactionId tid) const;
 
   /// True when the graph has a directed cycle (i.e. the system is
@@ -64,7 +87,7 @@ class HwTwbg {
   Result<std::vector<Trrp>> DecomposeCycle(
       const std::vector<lock::TransactionId>& cycle) const;
 
-  /// Label lookup: the unique edge from -> to, if present.
+  /// Label lookup: the unique edge from -> to, if present.  O(out-degree).
   const TwbgEdge* FindEdge(lock::TransactionId from,
                            lock::TransactionId to) const;
 
@@ -75,9 +98,15 @@ class HwTwbg {
   std::string ToString() const;
 
  private:
+  // Sorts/uniques nodes_ and builds the CSR index from edges_.
+  void BuildIndex();
+
   std::vector<TwbgEdge> edges_;
-  std::vector<lock::TransactionId> nodes_;
-  std::map<lock::TransactionId, uint32_t> dense_;  // tid -> dense index
+  std::vector<lock::TransactionId> nodes_;  // sorted, unique
+  // CSR over dense node indices: node i's out-edges are
+  // edge_index_[offsets_[i] .. offsets_[i+1]), each an index into edges_.
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> edge_index_;
 };
 
 }  // namespace twbg::core

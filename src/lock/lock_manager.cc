@@ -104,7 +104,7 @@ void LockManager::NoteGranted(const std::vector<TransactionId>& granted) {
   }
 }
 
-Status LockManager::CheckInvariants() const {
+Status LockManager::CheckInvariants(bool deep) const {
   TWBG_RETURN_IF_ERROR(table_.CheckInvariants());
   for (const auto& [tid, info] : txns_) {
     // blocked_on matches the table.
@@ -116,7 +116,9 @@ Status LockManager::CheckInvariants() const {
             info.blocked_on.value_or(0)));
       }
     }
+    if (!deep) continue;
     // No blocked appearance outside blocked_on; touched covers appearances.
+    // O(R) per transaction — gated behind `deep`.
     for (const auto& [rid, state] : table_) {
       const bool involved = state.Involves(tid);
       if (involved && info.touched.count(rid) == 0) {
@@ -130,6 +132,7 @@ Status LockManager::CheckInvariants() const {
       }
     }
   }
+  if (!deep) return Status::OK();
   // Every table appearance belongs to a known transaction (Axiom 1 global:
   // a transaction waits on at most one resource).
   for (const auto& [rid, state] : table_) {

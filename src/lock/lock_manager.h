@@ -78,8 +78,11 @@ class LockManager {
   LockTable& mutable_table() { return table_; }
 
   /// Checks lock-table invariants plus bookkeeping consistency (blocked_on
-  /// matches the table; touched sets match appearances).
-  Status CheckInvariants() const;
+  /// matches the table; touched sets match appearances).  The cross-checks
+  /// that sweep every transaction against every resource are O(T×R); pass
+  /// `deep = false` (benchmarks, large simulations) to skip them and keep
+  /// only the per-resource and per-blocked-transaction checks.
+  Status CheckInvariants(bool deep = true) const;
 
  private:
   // Clears blocked state for every granted transaction.

@@ -2,9 +2,64 @@
 
 #include "lock/lock_table.h"
 
+#include <algorithm>
+
 namespace twbg::lock {
 
+uint64_t LockTable::NextTableUid() {
+  // Single-threaded core; a plain counter suffices (see NextStateVersion).
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
+LockTable::LockTable(const LockTable& other)
+    : policy_(other.policy_), resources_(other.resources_) {
+  // Fresh uid_, empty journal: caches synced against `other` observe a
+  // different identity here and resynchronize with a full version sweep.
+}
+
+LockTable& LockTable::operator=(const LockTable& other) {
+  if (this == &other) return *this;
+  policy_ = other.policy_;
+  resources_ = other.resources_;
+  uid_ = NextTableUid();
+  seq_ = 0;
+  trimmed_through_ = 0;
+  journal_.clear();
+  return *this;
+}
+
+void LockTable::MarkDirty(ResourceId rid) {
+  ++seq_;
+  // Coalesce: if the resource already sits in the journal, just lift its
+  // entry to the new sequence number.  Lifting (rather than leaving the
+  // old stamp) is what keeps readers correct — a reader synced between
+  // the old and new stamps must still see this resource as dirty.
+  auto it = std::find_if(journal_.rbegin(), journal_.rend(),
+                         [rid](const auto& e) { return e.second == rid; });
+  if (it != journal_.rend()) {
+    journal_.erase(std::next(it).base());
+  }
+  journal_.emplace_back(seq_, rid);
+  while (journal_.size() > kJournalCapacity) {
+    trimmed_through_ = journal_.front().first;
+    journal_.pop_front();
+  }
+}
+
+bool LockTable::DirtySince(uint64_t since, std::vector<ResourceId>* out) const {
+  if (since > seq_) return false;          // reader synced elsewhere
+  if (since < trimmed_through_) return false;  // journal trimmed past it
+  // Journal is ordered by sequence number; walk back until `since`.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->first <= since) break;
+    out->push_back(it->second);
+  }
+  return true;
+}
+
 ResourceState& LockTable::GetOrCreate(ResourceId rid) {
+  MarkDirty(rid);
   auto it = resources_.find(rid);
   if (it == resources_.end()) {
     it = resources_.emplace(rid, ResourceState(rid, policy_)).first;
@@ -19,12 +74,17 @@ const ResourceState* LockTable::Find(ResourceId rid) const {
 
 ResourceState* LockTable::FindMutable(ResourceId rid) {
   auto it = resources_.find(rid);
-  return it == resources_.end() ? nullptr : &it->second;
+  if (it == resources_.end()) return nullptr;
+  MarkDirty(rid);
+  return &it->second;
 }
 
 void LockTable::EraseIfFree(ResourceId rid) {
   auto it = resources_.find(rid);
-  if (it != resources_.end() && it->second.IsFree()) resources_.erase(it);
+  if (it != resources_.end() && it->second.IsFree()) {
+    MarkDirty(rid);
+    resources_.erase(it);
+  }
 }
 
 Status LockTable::CheckInvariants() const {

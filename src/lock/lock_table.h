@@ -3,12 +3,26 @@
 // The resource status table (RST of the paper's §5): one ResourceState per
 // currently locked resource.  Iteration order is deterministic (ordered by
 // ResourceId) so that detection passes and experiments are reproducible.
+//
+// The table also keeps a *mutation journal* for derived caches (the
+// incremental ECR edge cache of core::GraphBuilder): every path that can
+// mutate a resource — GetOrCreate, FindMutable, EraseIfFree — appends the
+// resource id under a monotone sequence number.  A reader that remembers
+// the sequence number of its last sync can ask for exactly the resources
+// touched since then (DirtySince) instead of sweeping the whole table.
+// Marking is conservative (FindMutable counts as a mutation whether or not
+// the caller writes) — a false positive only costs one redundant
+// per-resource rebuild, never a stale cache.  See docs/PERFORMANCE.md.
 
 #ifndef TWBG_LOCK_LOCK_TABLE_H_
 #define TWBG_LOCK_LOCK_TABLE_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "lock/resource_state.h"
@@ -22,15 +36,19 @@ class LockTable {
   /// checks (kGroupMode is the §2 ablation; see resource_state.h).
   explicit LockTable(AdmissionPolicy policy = AdmissionPolicy::kTotalMode)
       : policy_(policy) {}
-  LockTable(const LockTable&) = default;
-  LockTable& operator=(const LockTable&) = default;
+  /// Copies get a fresh identity: derived caches keyed on uid() treat the
+  /// copy as a brand-new table and fall back to a full sweep.
+  LockTable(const LockTable& other);
+  LockTable& operator=(const LockTable& other);
 
   AdmissionPolicy policy() const { return policy_; }
 
   /// Returns the state for `rid`, creating a free entry if absent.
+  /// Journaled as a mutation (the caller receives mutable access).
   ResourceState& GetOrCreate(ResourceId rid);
 
-  /// Returns the state for `rid` or nullptr.
+  /// Returns the state for `rid` or nullptr.  The mutable variant is
+  /// journaled as a mutation of `rid`.
   const ResourceState* Find(ResourceId rid) const;
   ResourceState* FindMutable(ResourceId rid);
 
@@ -46,6 +64,22 @@ class LockTable {
   auto begin() { return resources_.begin(); }
   auto end() { return resources_.end(); }
 
+  /// Process-unique table identity (refreshed on copy).  A cache that
+  /// observes a different uid than last time must resynchronize from
+  /// scratch.
+  uint64_t uid() const { return uid_; }
+
+  /// Sequence number of the latest journaled mutation (0 = pristine).
+  uint64_t mutation_seq() const { return seq_; }
+
+  /// Appends to `out` every resource id mutated after `since`.  Returns
+  /// false — and appends nothing — when the journal cannot answer (the
+  /// oldest retained entry is newer than `since`, or `since` lies in the
+  /// future, i.e. the reader synced against a different table); the
+  /// caller must then fall back to a full sweep keyed on
+  /// ResourceState::version().  Ids may repeat; callers dedupe.
+  bool DirtySince(uint64_t since, std::vector<ResourceId>* out) const;
+
   /// Checks every resource's invariants.
   Status CheckInvariants() const;
 
@@ -53,8 +87,21 @@ class LockTable {
   std::string ToString() const;
 
  private:
+  // Bounded journal: coalesces consecutive hits on the same resource and
+  // drops the oldest entries past the capacity (readers that fell that
+  // far behind resynchronize with a full sweep).
+  static constexpr size_t kJournalCapacity = 1u << 16;
+
+  void MarkDirty(ResourceId rid);
+  static uint64_t NextTableUid();
+
   AdmissionPolicy policy_ = AdmissionPolicy::kTotalMode;
   std::map<ResourceId, ResourceState> resources_;
+  uint64_t uid_ = NextTableUid();
+  uint64_t seq_ = 0;
+  // Sequence numbers at or below this were dropped from the journal.
+  uint64_t trimmed_through_ = 0;
+  std::deque<std::pair<uint64_t, ResourceId>> journal_;
 };
 
 }  // namespace twbg::lock

@@ -8,6 +8,13 @@
 
 namespace twbg::lock {
 
+uint64_t NextStateVersion() {
+  // Single-threaded core (sequential transaction processing); a plain
+  // counter suffices and keeps the mutation hot path branch-free.
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
 std::string HolderEntry::ToString() const {
   return common::Format("(T%u, %s, %s)", tid,
                         std::string(lock::ToString(granted)).c_str(),
@@ -126,6 +133,7 @@ Result<RequestOutcome> ResourceState::Request(TransactionId tid,
       }
     }
     total_mode_ = Convert(total_mode_, mode);
+    BumpVersion();
     if (grantable) {
       holders_[i].granted = new_mode;
       return RequestOutcome::kGranted;
@@ -146,6 +154,7 @@ Result<RequestOutcome> ResourceState::Request(TransactionId tid,
 
   // New-requestor path: FIFO — an occupied queue blocks regardless of
   // compatibility.
+  BumpVersion();
   if (queue_.empty() && Compatible(mode, AdmissionMode())) {
     holders_.push_back(HolderEntry{tid, mode, LockMode::kNL});
     total_mode_ = Convert(total_mode_, mode);
@@ -172,6 +181,7 @@ std::vector<TransactionId> ResourceState::Remove(TransactionId tid) {
     }
   }
   if (!changed) return {};
+  BumpVersion();
   RecomputeTotalMode();
   return Reschedule();
 }
@@ -204,6 +214,7 @@ std::vector<TransactionId> ResourceState::Reschedule() {
     granted.push_back(q.tid);
   }
 
+  if (!granted.empty()) BumpVersion();
   return granted;
 }
 
@@ -253,6 +264,7 @@ Status ResourceState::ApplyTdr2(TransactionId junction) {
   for (const QueueEntry& q : split->st) rebuilt.push_back(q);
   for (size_t i = end + 1; i < queue_.size(); ++i) rebuilt.push_back(queue_[i]);
   queue_ = std::move(rebuilt);
+  BumpVersion();
   return Status::OK();
 }
 

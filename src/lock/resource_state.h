@@ -54,17 +54,30 @@ enum class RequestOutcome {
   kBlocked,
 };
 
+/// Returns a fresh value from the process-wide modification counter.
+/// Values are never reused, so two states with equal versions are
+/// guaranteed to carry identical holder/queue content (one is an
+/// unmutated copy of the other).
+uint64_t NextStateVersion();
+
 /// Lock state of a single resource.  Not thread-safe; the library's core is
 /// single-threaded (sequential transaction processing).
 class ResourceState {
  public:
   explicit ResourceState(ResourceId rid,
                          AdmissionPolicy policy = AdmissionPolicy::kTotalMode)
-      : rid_(rid), policy_(policy) {}
+      : rid_(rid), policy_(policy), version_(NextStateVersion()) {}
 
   ResourceId rid() const { return rid_; }
   AdmissionPolicy policy() const { return policy_; }
   LockMode total_mode() const { return total_mode_; }
+
+  /// Modification stamp: refreshed from the process-wide counter on
+  /// construction and by every mutating call (Request, Remove,
+  /// Reschedule, ApplyTdr2) that changes holder/queue content.  Derived
+  /// caches (core::GraphBuilder) key their per-resource entries on this;
+  /// see docs/PERFORMANCE.md for the invalidation contract.
+  uint64_t version() const { return version_; }
 
   /// Gray's group mode: the Conv-fold of the *granted* modes only.
   LockMode GroupMode() const;
@@ -154,9 +167,13 @@ class ResourceState {
   // Recomputes tm as the Conv-fold of every holder's effective mode.
   void RecomputeTotalMode();
 
+  // Stamps the state as mutated (cache-invalidation contract).
+  void BumpVersion() { version_ = NextStateVersion(); }
+
   ResourceId rid_;
   AdmissionPolicy policy_ = AdmissionPolicy::kTotalMode;
   LockMode total_mode_ = LockMode::kNL;
+  uint64_t version_ = 0;
   std::vector<HolderEntry> holders_;
   std::deque<QueueEntry> queue_;
 };

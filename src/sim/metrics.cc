@@ -7,7 +7,7 @@
 namespace twbg::sim {
 
 std::string SimMetrics::ToString() const {
-  return common::Format(
+  std::string out = common::Format(
       "committed=%zu ticks=%zu thrpt=%.2f/ktick aborts=%zu restarts=%zu "
       "cycles=%zu tdr2=%zu missed=%zu false=%zu wasted_ops=%zu "
       "blocked_ticks=%zu det_calls=%zu det_work=%zu det_ms=%.2f wait[%s]%s",
@@ -16,6 +16,13 @@ std::string SimMetrics::ToString() const {
       blocked_ticks, detector_invocations, detector_work,
       detector_seconds * 1e3, wait_ticks.Summary().c_str(),
       timed_out ? " TIMED-OUT" : "");
+  if (graph_dirty_resources + graph_cached_resources > 0) {
+    out += common::Format(
+        " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",
+        graph_dirty_resources, graph_cached_resources, graph_edges_rebuilt,
+        graph_edges_reused);
+  }
+  return out;
 }
 
 }  // namespace twbg::sim

@@ -41,6 +41,13 @@ struct SimMetrics {
   size_t detector_invocations = 0;
   /// Strategy-reported work units.
   size_t detector_work = 0;
+  /// Incremental graph-cache totals across strategy invocations (zeros
+  /// when the strategy builds from scratch): resources recomputed vs
+  /// reused, and edges on each side.
+  size_t graph_dirty_resources = 0;
+  size_t graph_cached_resources = 0;
+  size_t graph_edges_rebuilt = 0;
+  size_t graph_edges_reused = 0;
   /// Wall-clock seconds inside the strategy.
   double detector_seconds = 0.0;
   /// Sum over ticks of the number of blocked transactions (lost

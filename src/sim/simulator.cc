@@ -83,6 +83,10 @@ void Simulator::Consume(const baselines::StrategyOutcome& outcome) {
   metrics_.cycles_found += outcome.cycles_found;
   metrics_.no_abort_resolutions += outcome.repositioned;
   metrics_.detector_work += outcome.work;
+  metrics_.graph_dirty_resources += outcome.num_dirty_resources;
+  metrics_.graph_cached_resources += outcome.num_cached_resources;
+  metrics_.graph_edges_rebuilt += outcome.edges_rebuilt;
+  metrics_.graph_edges_reused += outcome.edges_reused;
   if (!outcome.aborted.empty() || outcome.repositioned > 0) {
     acted_this_tick_ = true;
   }

@@ -30,6 +30,7 @@
 #include "core/detector.h"
 #include "core/ecr.h"
 #include "core/examples_catalog.h"
+#include "core/graph_builder.h"
 #include "core/oracle.h"
 #include "core/periodic_detector.h"
 #include "core/scoped_tst.h"

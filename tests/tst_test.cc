@@ -96,7 +96,8 @@ TEST(TstTest, WalkBookkeepingStartsClean) {
 TEST(TstTest, CurrentNilSemantics) {
   TstEntry entry;
   EXPECT_TRUE(entry.CurrentIsNil());  // no edges at all
-  entry.waited.push_back(TwbgEdge{1, 2, kNL, 1});
+  const TwbgEdge edges[] = {TwbgEdge{1, 2, kNL, 1}};
+  entry.waited = std::span<const TwbgEdge>(edges);
   entry.current = 0;
   EXPECT_FALSE(entry.CurrentIsNil());
   entry.SetCurrentNil();
