@@ -8,20 +8,29 @@
 // cache counters of the final incremental pass) are written as a JSON
 // object so CI can archive them.
 //
+// A third, instrumented run then re-times the incremental mode with an
+// event bus and a LatencyObserver attached, yielding the per-pass Step-1 /
+// Step-2 breakdown (and the observability overhead, which must stay small).
+//
 // Usage: bench_steady_state [resources] [mutations] [passes] [out.json]
-//   resources  table size (default 10000)
-//   mutations  resources mutated before each pass (default 100, i.e. 1%)
-//   passes     timed passes per mode (default 30)
-//   out.json   output path (default BENCH_detector.json in the cwd)
+//                           [events.jsonl]
+//   resources    table size (default 10000)
+//   mutations    resources mutated before each pass (default 100, i.e. 1%)
+//   passes       timed passes per mode (default 30)
+//   out.json     output path (default BENCH_detector.json in the cwd)
+//   events.jsonl optional: stream the instrumented run's events as JSONL
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench/scenarios.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "core/periodic_detector.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
 
 using namespace twbg;
 
@@ -31,7 +40,9 @@ namespace {
 // mutations (excluded from the timing).  Returns mean ns/pass; the last
 // pass's report lands in *last.
 double MeasureMode(bool incremental, size_t resources, size_t mutations,
-                   size_t passes, core::ResolutionReport* last) {
+                   size_t passes, core::ResolutionReport* last,
+                   obs::EventBus* bus = nullptr,
+                   obs::LatencyObserver* observer = nullptr) {
   lock::LockManager manager;
   bench::SteadyState steady =
       bench::BuildSteadyState(manager, resources, /*bulk=*/16);
@@ -40,9 +51,18 @@ double MeasureMode(bool incremental, size_t resources, size_t mutations,
   TWBG_CHECK(manager.CheckInvariants(/*deep=*/false).ok());
   core::DetectorOptions options;
   options.incremental_build = incremental;
+  options.event_bus = bus;
   core::PeriodicDetector detector(options);
+  // Attach the bus after the bulk build so the event log records the
+  // steady-state churn (grants/releases between passes), not the setup.
+  // The table never deadlocks, so no lock events fire inside the timed
+  // RunPass window and the overhead measurement stays clean.
+  manager.set_event_bus(bus);
   core::CostTable costs;
   detector.RunPass(manager, costs);  // warm the cache / allocations
+  // The warm-up pass is a full sweep; keep it out of the histograms so
+  // the reported step means describe steady-state passes only.
+  if (observer != nullptr) observer->Reset();
   size_t cursor = 0;
   int64_t total_ns = 0;
   for (size_t p = 0; p < passes; ++p) {
@@ -66,10 +86,12 @@ int main(int argc, char** argv) {
   size_t mutations = 100;
   size_t passes = 30;
   std::string out_path = "BENCH_detector.json";
+  std::string events_path;
   if (argc > 1) resources = static_cast<size_t>(std::atoll(argv[1]));
   if (argc > 2) mutations = static_cast<size_t>(std::atoll(argv[2]));
   if (argc > 3) passes = static_cast<size_t>(std::atoll(argv[3]));
   if (argc > 4) out_path = argv[4];
+  if (argc > 5) events_path = argv[5];
   TWBG_CHECK(resources >= 1 && mutations >= 1 && passes >= 1);
   TWBG_CHECK(mutations <= resources);
 
@@ -93,6 +115,32 @@ int main(int argc, char** argv) {
   TWBG_CHECK(incremental_report.cycles_detected == 0);
   TWBG_CHECK(scratch_report.cycles_detected == 0);
 
+  // Instrumented run: same incremental pass with the event bus, a
+  // LatencyObserver and (optionally) a JSONL exporter attached.  The
+  // per-pass Step-1/Step-2 breakdown comes from the observer's histograms.
+  obs::EventBus bus;
+  obs::LatencyObserver observer;
+  bus.Subscribe(&observer);
+  std::unique_ptr<obs::JsonlSink> jsonl;
+  if (!events_path.empty()) {
+    Result<std::unique_ptr<obs::JsonlSink>> sink =
+        obs::JsonlSink::Open(events_path);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   events_path.c_str());
+      return 1;
+    }
+    jsonl = std::move(*sink);
+    bus.Subscribe(jsonl.get());
+  }
+  core::ResolutionReport instrumented_report;
+  const double instrumented_ns =
+      MeasureMode(/*incremental=*/true, resources, mutations, passes,
+                  &instrumented_report, &bus, &observer);
+  const double step1_ns = observer.step1_ns().mean();
+  const double step2_ns = observer.step2_ns().mean();
+  const double obs_overhead = instrumented_ns / incremental_ns - 1.0;
+
   std::printf("  incremental: %12.0f ns/pass (dirty=%zu cached=%zu "
               "edges-rebuilt=%zu edges-reused=%zu)\n",
               incremental_ns, incremental_report.num_dirty_resources,
@@ -101,6 +149,16 @@ int main(int argc, char** argv) {
               incremental_report.edges_reused);
   std::printf("  scratch:     %12.0f ns/pass\n", scratch_ns);
   std::printf("  speedup:     %12.2fx\n", speedup);
+  std::printf("  instrumented:%12.0f ns/pass (step1=%.0f step2=%.0f, "
+              "overhead=%.1f%%, %llu events)\n",
+              instrumented_ns, step1_ns, step2_ns, obs_overhead * 100.0,
+              static_cast<unsigned long long>(observer.total()));
+  if (jsonl != nullptr) {
+    jsonl->Flush();
+    std::printf("  events:      %llu line(s) -> %s\n",
+                static_cast<unsigned long long>(jsonl->lines_written()),
+                events_path.c_str());
+  }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -120,7 +178,12 @@ int main(int argc, char** argv) {
                "  \"dirty_resources\": %zu,\n"
                "  \"cached_resources\": %zu,\n"
                "  \"edges_rebuilt\": %zu,\n"
-               "  \"edges_reused\": %zu\n"
+               "  \"edges_reused\": %zu,\n"
+               "  \"instrumented_ns_per_pass\": %.1f,\n"
+               "  \"step1_ns_per_pass\": %.1f,\n"
+               "  \"step2_ns_per_pass\": %.1f,\n"
+               "  \"observer_overhead\": %.4f,\n"
+               "  \"pass_events\": %llu\n"
                "}\n",
                resources, mutations,
                static_cast<double>(mutations) / static_cast<double>(resources),
@@ -128,7 +191,9 @@ int main(int argc, char** argv) {
                incremental_report.num_dirty_resources,
                incremental_report.num_cached_resources,
                incremental_report.edges_rebuilt,
-               incremental_report.edges_reused);
+               incremental_report.edges_reused, instrumented_ns, step1_ns,
+               step2_ns, obs_overhead,
+               static_cast<unsigned long long>(observer.total()));
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

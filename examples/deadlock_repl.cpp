@@ -6,6 +6,11 @@
 //   $ ./deadlock_repl                        # interactive REPL
 //   $ ./deadlock_repl scenario.twbg          # run a script file
 //   $ echo "acquire 1 1 X" | ./deadlock_repl -
+//   $ ./deadlock_repl --trace-out=events.jsonl scenario.twbg
+//
+// --trace-out=<file> streams every structured event (lock grants/blocks,
+// detection passes, resolutions) as JSON lines; the `obs` command prints
+// the aggregated report at any point.
 //
 // With no arguments and a TTY, type `help` for the command list.
 
@@ -29,14 +34,23 @@ constexpr const char* kHelp = R"(commands:
   expect granted|blocked|alreadyheld
   expect-deadlock yes|no
   expect-aborted <txn> ...
+  obs                               event counts + latency histograms
   reset
   help | quit
 )";
 
-int RunStream(std::istream& in, bool interactive) {
+int RunStream(std::istream& in, bool interactive,
+              const std::string& trace_out) {
   twbg::core::ScriptOptions options;
   options.echo = !interactive;
   twbg::core::ScriptRunner runner(options);
+  if (!trace_out.empty()) {
+    twbg::Status status = runner.StreamEventsTo(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   std::string line;
   if (interactive) {
     std::printf("twbg deadlock explorer — type 'help'\n");
@@ -66,13 +80,22 @@ int RunStream(std::istream& in, bool interactive) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "-") != 0) {
-    std::ifstream file(argv[1]);
+  std::string trace_out;
+  const char* script = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      script = argv[i];
+    }
+  }
+  if (script != nullptr && std::strcmp(script, "-") != 0) {
+    std::ifstream file(script);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script);
       return 1;
     }
-    return RunStream(file, /*interactive=*/false);
+    return RunStream(file, /*interactive=*/false, trace_out);
   }
-  return RunStream(std::cin, /*interactive=*/argc <= 1);
+  return RunStream(std::cin, /*interactive=*/script == nullptr, trace_out);
 }

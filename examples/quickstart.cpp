@@ -5,20 +5,46 @@
 // detection-resolution pass.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out=events.jsonl   # also stream structured
+//                                             # events as JSON lines
+//
+// See docs/OBSERVABILITY.md for the event schema.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "core/examples_catalog.h"
 #include "core/periodic_detector.h"
 #include "core/twbg.h"
 #include "lock/lock_manager.h"
+#include "obs/bus.h"
+#include "obs/sinks.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twbg;
+
+  // 0. Optional observability: with --trace-out=<file>, attach a JSONL
+  //    sink to an event bus shared by the lock manager and the detector.
+  obs::EventBus bus;
+  std::unique_ptr<obs::JsonlSink> jsonl;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      Result<std::unique_ptr<obs::JsonlSink>> sink =
+          obs::JsonlSink::Open(argv[i] + 12);
+      if (!sink.ok()) {
+        std::fprintf(stderr, "error: %s\n", sink.status().ToString().c_str());
+        return 1;
+      }
+      jsonl = std::move(*sink);
+      bus.Subscribe(jsonl.get());
+    }
+  }
 
   // 1. Drive the lock manager into the Example 5.1 state: T1, T2, T3
   //    deadlock across two resources (two overlapping cycles).
   lock::LockManager manager;
+  manager.set_event_bus(&bus);
   core::BuildExample51(manager);
 
   std::printf("Lock table before detection:\n%s\n",
@@ -37,7 +63,9 @@ int main() {
   costs.Set(3, 1.0);
 
   // 4. One periodic pass detects both cycles, aborts T2 and spares T3.
-  core::PeriodicDetector detector;
+  core::DetectorOptions options;
+  options.event_bus = &bus;
+  core::PeriodicDetector detector(options);
   core::ResolutionReport report = detector.RunPass(manager, costs);
   std::printf("Resolution report:\n%s\n", report.ToString().c_str());
 
@@ -45,5 +73,11 @@ int main() {
               manager.table().ToString().c_str());
   std::printf("Deadlocked now? %s\n",
               core::HwTwbg::Build(manager.table()).HasCycle() ? "yes" : "no");
+  if (jsonl != nullptr) {
+    jsonl->Flush();
+    std::printf("wrote %llu event(s) to %s\n",
+                static_cast<unsigned long long>(jsonl->lines_written()),
+                jsonl->path().c_str());
+  }
   return 0;
 }

@@ -79,6 +79,17 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
     }
   }
 
+  if (obs::Enabled(options.event_bus)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kCycleResolved;
+    event.tid = victim.junction;
+    event.rid = victim.kind == VictimKind::kReposition ? victim.resource : 0;
+    event.a = cycle.size();
+    event.b = victim.kind == VictimKind::kReposition;
+    event.value = victim.cost;
+    options.event_bus->Emit(event);
+  }
+
   // Clear the backtracked ancestors; w stays marked (walk resumes there).
   for (size_t index : cycle_index) {
     if (index != w) tst.EntryAt(index).ancestor = 0;

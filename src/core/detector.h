@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "lock/types.h"
+#include "obs/bus.h"
 
 namespace twbg::core {
 
@@ -88,6 +89,11 @@ struct DetectorOptions {
   /// mutations recomputes edges for k resources only.  Disable to get
   /// the from-scratch Step 1 (the benchmark's comparison baseline).
   bool incremental_build = true;
+  /// Structured-event bus the detectors emit kPassStart / kStep1 /
+  /// kStep2 / kCycleResolved / kPassEnd to.  Null (the default) disables
+  /// emission and the per-pass timing that feeds it; the only residual
+  /// cost is one pointer test per pass.  Not owned.
+  obs::EventBus* event_bus = nullptr;
 };
 
 /// Outcome of one detection-resolution pass.

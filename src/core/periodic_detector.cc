@@ -2,12 +2,23 @@
 
 #include "core/periodic_detector.h"
 
+#include "common/stopwatch.h"
 #include "core/tst.h"
 
 namespace twbg::core {
 
 ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
                                            CostTable& costs) {
+  obs::EventBus* bus = options_.event_bus;
+  const bool observing = obs::Enabled(bus);
+  common::Stopwatch pass_clock;
+  if (observing) {
+    obs::Event start;
+    start.kind = obs::EventKind::kPassStart;
+    start.a = 1;  // periodic
+    bus->Emit(start);
+  }
+
   // Step 1: construct the TST (W + H edges) and initialize the walk state
   // — incrementally from the per-resource edge cache, or from scratch.
   Tst scratch;
@@ -20,10 +31,29 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
   }
   const size_t num_transactions = tst->size();
   const size_t num_edges = tst->NumEdges();
+  const int64_t step1_ns = observing ? pass_clock.ElapsedNanos() : 0;
+  if (observing) {
+    obs::Event step1;
+    step1.kind = obs::EventKind::kStep1;
+    if (options_.incremental_build) {
+      step1.a = builder_.stats().num_dirty_resources;
+      step1.b = builder_.stats().num_cached_resources;
+    }
+    step1.value = static_cast<double>(step1_ns);
+    bus->Emit(step1);
+  }
 
   // Step 2: directed walk from every vertex in id order.
   WalkOutcome walk =
       RunWalk(*tst, tst->Transactions(), manager, costs, options_);
+  if (observing) {
+    obs::Event step2;
+    step2.kind = obs::EventKind::kStep2;
+    step2.a = walk.cycles;
+    step2.b = walk.steps;
+    step2.value = static_cast<double>(pass_clock.ElapsedNanos() - step1_ns);
+    bus->Emit(step2);
+  }
 
   // Step 3: confirm aborts and grants.
   ResolutionReport report =
@@ -36,6 +66,14 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
     report.num_cached_resources = stats.num_cached_resources;
     report.edges_rebuilt = stats.edges_rebuilt;
     report.edges_reused = stats.edges_reused;
+  }
+  if (observing) {
+    obs::Event end;
+    end.kind = obs::EventKind::kPassEnd;
+    end.a = report.cycles_detected;
+    end.b = report.aborted.size();
+    end.value = static_cast<double>(pass_clock.ElapsedNanos());
+    bus->Emit(end);
   }
   return report;
 }

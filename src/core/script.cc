@@ -39,10 +39,31 @@ std::string OutcomeName(lock::RequestOutcome outcome) {
   return "?";
 }
 
+// The runner's own bus becomes the detector's unless the caller set one.
+ScriptOptions WithBus(ScriptOptions options, obs::EventBus* bus) {
+  if (options.detector.event_bus == nullptr) {
+    options.detector.event_bus = bus;
+  }
+  return options;
+}
+
 }  // namespace
 
 ScriptRunner::ScriptRunner(ScriptOptions options)
-    : options_(options), detector_(options.detector) {}
+    : options_(WithBus(std::move(options), &bus_)),
+      detector_(options_.detector) {
+  manager_.set_event_bus(&bus_);
+  bus_.Subscribe(&observer_);
+}
+
+Status ScriptRunner::StreamEventsTo(const std::string& path) {
+  Result<std::unique_ptr<obs::JsonlSink>> sink = obs::JsonlSink::Open(path);
+  if (!sink.ok()) return sink.status();
+  if (jsonl_ != nullptr) bus_.Unsubscribe(jsonl_.get());
+  jsonl_ = std::move(*sink);
+  bus_.Subscribe(jsonl_.get());
+  return Status::OK();
+}
 
 Status ScriptRunner::DoAcquire(const std::vector<std::string>& args,
                                std::string* out) {
@@ -209,8 +230,21 @@ Status ScriptRunner::ExecuteLine(std::string_view line, std::string* out) {
     return Status::OK();
   }
   if (cmd == "expect-aborted") return DoExpectAborted(args);
+  if (cmd == "obs") {
+    *out += observer_.Report();
+    if (jsonl_ != nullptr) {
+      jsonl_->Flush();
+      *out += common::Format(
+          "jsonl: %llu line(s) -> %s\n",
+          static_cast<unsigned long long>(jsonl_->lines_written()),
+          jsonl_->path().c_str());
+    }
+    return Status::OK();
+  }
   if (cmd == "reset") {
     manager_ = lock::LockManager();
+    // Assignment wiped the bus attachment; restore it.
+    manager_.set_event_bus(&bus_);
     costs_ = CostTable();
     last_outcome_.reset();
     last_report_.reset();

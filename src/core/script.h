@@ -19,11 +19,14 @@
 //                                     acquire
 //   expect-deadlock yes|no            assert cycle existence
 //   expect-aborted <txn> [...]        assert the last detect's abortees
+//   obs                               print the observability report
+//                                     (event counts + latency histograms)
 //   reset                             fresh lock manager and cost table
 
 #ifndef TWBG_CORE_SCRIPT_H_
 #define TWBG_CORE_SCRIPT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,6 +35,8 @@
 #include "core/detector.h"
 #include "core/periodic_detector.h"
 #include "lock/lock_manager.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
 
 namespace twbg::core {
 
@@ -46,6 +51,11 @@ struct ScriptOptions {
 class ScriptRunner {
  public:
   explicit ScriptRunner(ScriptOptions options = {});
+
+  // The bus and its subscribed sinks are wired by address; moving or
+  // copying the runner would leave them pointing into the old object.
+  ScriptRunner(const ScriptRunner&) = delete;
+  ScriptRunner& operator=(const ScriptRunner&) = delete;
 
   /// Executes one line, appending any output to `*out`.  Unknown commands
   /// and failed expectations return errors; the state is left as-is.
@@ -63,11 +73,30 @@ class ScriptRunner {
     return last_report_;
   }
 
+  /// The runner's event bus — every lock-manager and detector event of
+  /// every executed command flows through it.  Subscribe additional sinks
+  /// before running commands; the built-in LatencyObserver is always
+  /// subscribed.
+  obs::EventBus& event_bus() { return bus_; }
+
+  /// Aggregates over everything executed so far (the `obs` command prints
+  /// this; `reset` does not clear it).
+  const obs::LatencyObserver& observer() const { return observer_; }
+
+  /// Streams every subsequent event as one JSON line to `path`
+  /// (truncates; replaces any previous stream target).
+  Status StreamEventsTo(const std::string& path);
+
  private:
   Status DoAcquire(const std::vector<std::string>& args, std::string* out);
   Status DoExpect(const std::vector<std::string>& args);
   Status DoExpectAborted(const std::vector<std::string>& args);
 
+  // bus_ must precede options_/detector_: the constructor points
+  // options_.detector.event_bus at it before detector_ is built.
+  obs::EventBus bus_;
+  obs::LatencyObserver observer_;
+  std::unique_ptr<obs::JsonlSink> jsonl_;
   ScriptOptions options_;
   lock::LockManager manager_;
   CostTable costs_;

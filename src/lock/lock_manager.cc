@@ -18,6 +18,10 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
         *info.blocked_on, rid));
   }
   ResourceState& state = table_.GetOrCreate(rid);
+  // Conversion must be checked before Request: afterwards a blocked
+  // requester may sit in the queue rather than the holder list.
+  const bool observing = obs::Enabled(bus_);
+  const bool conversion = observing && state.FindHolder(tid) != nullptr;
   Result<RequestOutcome> outcome = state.Request(tid, mode);
   if (!outcome.ok()) {
     table_.EraseIfFree(rid);
@@ -29,22 +33,61 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
     const HolderEntry* h = state.FindHolder(tid);
     info.blocked_mode = h != nullptr ? h->blocked : mode;
   }
+  if (observing) {
+    obs::Event event;
+    event.tid = tid;
+    event.rid = rid;
+    event.mode = mode;
+    switch (*outcome) {
+      case RequestOutcome::kGranted:
+      case RequestOutcome::kAlreadyHeld:
+        event.kind = conversion ? obs::EventKind::kLockConvert
+                                : obs::EventKind::kLockGrant;
+        event.a = conversion ? 1 : (*outcome == RequestOutcome::kAlreadyHeld);
+        break;
+      case RequestOutcome::kBlocked:
+        event.kind = conversion ? obs::EventKind::kLockConvert
+                                : obs::EventKind::kLockBlock;
+        event.a = conversion ? 0 : state.queue().size();
+        break;
+    }
+    bus_->Emit(event);
+  }
   return outcome;
 }
 
 std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return {};
+  const bool observing = obs::Enabled(bus_);
+  const size_t touched = it->second.touched.size();
   std::vector<TransactionId> granted;
   for (ResourceId rid : it->second.touched) {
     ResourceState* state = table_.FindMutable(rid);
     if (state == nullptr) continue;
     std::vector<TransactionId> g = state->Remove(tid);
+    if (observing) {
+      for (TransactionId waiter : g) {
+        obs::Event wake;
+        wake.kind = obs::EventKind::kLockWakeup;
+        wake.tid = waiter;
+        wake.rid = rid;
+        bus_->Emit(wake);
+      }
+    }
     granted.insert(granted.end(), g.begin(), g.end());
     table_.EraseIfFree(rid);
   }
   txns_.erase(it);
   NoteGranted(granted);
+  if (observing) {
+    obs::Event event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.tid = tid;
+    event.a = touched;
+    event.b = granted.size();
+    bus_->Emit(event);
+  }
   return granted;
 }
 
@@ -53,6 +96,15 @@ std::vector<TransactionId> LockManager::Reschedule(ResourceId rid) {
   if (state == nullptr) return {};
   std::vector<TransactionId> granted = state->Reschedule();
   NoteGranted(granted);
+  if (obs::Enabled(bus_)) {
+    for (TransactionId waiter : granted) {
+      obs::Event wake;
+      wake.kind = obs::EventKind::kLockWakeup;
+      wake.tid = waiter;
+      wake.rid = rid;
+      bus_->Emit(wake);
+    }
+  }
   return granted;
 }
 
@@ -61,7 +113,15 @@ Status LockManager::ApplyTdr2(ResourceId rid, TransactionId junction) {
   if (state == nullptr) {
     return Status::NotFound(common::Format("R%u is not locked", rid));
   }
-  return state->ApplyTdr2(junction);
+  Status status = state->ApplyTdr2(junction);
+  if (status.ok() && obs::Enabled(bus_)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kUprReposition;
+    event.tid = junction;
+    event.rid = rid;
+    bus_->Emit(event);
+  }
+  return status;
 }
 
 bool LockManager::IsBlocked(TransactionId tid) const {

@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "lock/lock_table.h"
+#include "obs/bus.h"
 
 namespace twbg::lock {
 
@@ -77,6 +78,15 @@ class LockManager {
   const LockTable& table() const { return table_; }
   LockTable& mutable_table() { return table_; }
 
+  /// Attaches an event bus (may be null to detach).  When attached and
+  /// active, the manager emits kLockGrant / kLockBlock / kLockConvert /
+  /// kLockRelease / kLockWakeup / kUprReposition events; when detached the
+  /// only cost is one pointer test per operation.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+
+  /// Currently attached event bus, or nullptr.
+  obs::EventBus* event_bus() const { return bus_; }
+
   /// Checks lock-table invariants plus bookkeeping consistency (blocked_on
   /// matches the table; touched sets match appearances).  The cross-checks
   /// that sweep every transaction against every resource are O(T×R); pass
@@ -90,6 +100,7 @@ class LockManager {
 
   LockTable table_;
   std::map<TransactionId, TxnLockInfo> txns_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace twbg::lock

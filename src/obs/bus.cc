@@ -1,0 +1,25 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/bus.h"
+
+#include <algorithm>
+
+namespace twbg::obs {
+
+void EventBus::Subscribe(EventSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void EventBus::Unsubscribe(EventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void EventBus::Emit(Event event) {
+  event.seq = next_seq_++;
+  event.time = time_;
+  for (EventSink* sink : sinks_) sink->OnEvent(event);
+}
+
+}  // namespace twbg::obs

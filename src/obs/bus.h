@@ -1,0 +1,85 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The structured event bus: a synchronous fan-out point connecting the
+// emitting layers (lock manager, detectors, transaction manager,
+// simulator) to any number of sinks (trace rings, latency observers,
+// JSONL exporters, test collectors).
+//
+// Zero overhead when disabled: components hold a nullable EventBus* and
+// emission sites are guarded by `Enabled(bus)` — a null/empty check — so
+// with no sinks attached (the default everywhere) the cost per potential
+// event is one predictable branch and no Event is even constructed.
+//
+// Delivery is synchronous and in emission order: Emit stamps the event
+// with the next sequence number and the bus's logical time, then calls
+// every sink in subscription order before returning.  Single-threaded
+// like the rest of the core; concurrent use must be externally serialized
+// (txn::ConcurrentLockService emits under its own mutex).
+
+#ifndef TWBG_OBS_BUS_H_
+#define TWBG_OBS_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace twbg::obs {
+
+/// Receiver interface for bus events.  Sinks are non-owning observers;
+/// they must outlive their subscription (or unsubscribe first).
+class EventSink {
+ public:
+  /// Virtual destructor for interface use; detaching is the caller's job.
+  virtual ~EventSink() = default;
+
+  /// Called synchronously for every event, in emission order.
+  virtual void OnEvent(const Event& event) = 0;
+};
+
+/// Synchronous fan-out bus.  Not thread-safe.
+class EventBus {
+ public:
+  /// True when at least one sink is attached — emission sites use this
+  /// (via Enabled) to skip event construction entirely when nobody
+  /// listens.
+  bool active() const { return !sinks_.empty(); }
+
+  /// Attaches `sink` (no-op if already attached).  Does not take
+  /// ownership.
+  void Subscribe(EventSink* sink);
+
+  /// Detaches `sink` (no-op if not attached).
+  void Unsubscribe(EventSink* sink);
+
+  /// Number of attached sinks.
+  size_t num_sinks() const { return sinks_.size(); }
+
+  /// Sets the logical timestamp stamped on subsequent events (the
+  /// simulator advances this every tick).
+  void set_time(uint64_t time) { time_ = time; }
+
+  /// Current logical timestamp.
+  uint64_t time() const { return time_; }
+
+  /// Stamps `event` with the next sequence number and the current logical
+  /// time, then delivers it to every sink in subscription order.
+  void Emit(Event event);
+
+  /// Total events emitted through this bus.
+  uint64_t emitted() const { return next_seq_ - 1; }
+
+ private:
+  std::vector<EventSink*> sinks_;
+  uint64_t next_seq_ = 1;
+  uint64_t time_ = 0;
+};
+
+/// Emission-site guard: true when `bus` is attached and has sinks.
+inline bool Enabled(const EventBus* bus) {
+  return bus != nullptr && bus->active();
+}
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_BUS_H_

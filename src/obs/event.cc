@@ -1,0 +1,94 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/event.h"
+
+#include "common/string_util.h"
+
+namespace twbg::obs {
+
+namespace {
+
+// Local mode-name table: obs may not link the lock library (layering; see
+// event.h), so it cannot use lock::ToString.  Order matches LockMode.
+constexpr std::string_view kModeNames[] = {"NL", "IS", "IX", "SIX", "S", "X"};
+
+std::string_view ModeName(lock::LockMode mode) {
+  const auto index = static_cast<size_t>(mode);
+  return index < std::size(kModeNames) ? kModeNames[index] : "?";
+}
+
+}  // namespace
+
+std::string_view ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnBegin:
+      return "txn_begin";
+    case EventKind::kTxnRestart:
+      return "txn_restart";
+    case EventKind::kTxnCommit:
+      return "txn_commit";
+    case EventKind::kTxnAbort:
+      return "txn_abort";
+    case EventKind::kLockGrant:
+      return "lock_grant";
+    case EventKind::kLockBlock:
+      return "lock_block";
+    case EventKind::kLockConvert:
+      return "lock_convert";
+    case EventKind::kLockRelease:
+      return "lock_release";
+    case EventKind::kLockWakeup:
+      return "lock_wakeup";
+    case EventKind::kWaitEnd:
+      return "wait_end";
+    case EventKind::kUprReposition:
+      return "upr_reposition";
+    case EventKind::kPassStart:
+      return "pass_start";
+    case EventKind::kStep1:
+      return "step1";
+    case EventKind::kStep2:
+      return "step2";
+    case EventKind::kPassEnd:
+      return "pass_end";
+    case EventKind::kCycleResolved:
+      return "cycle_resolved";
+    case EventKind::kDetectorMiss:
+      return "detector_miss";
+  }
+  return "?";
+}
+
+std::string Event::ToString() const {
+  std::string out = common::Format(
+      "#%llu [%llu] %-14s", static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(time),
+      std::string(obs::ToString(kind)).c_str());
+  if (tid != 0) out += common::Format(" T%u", tid);
+  if (rid != 0) out += common::Format(" R%u", rid);
+  if (mode != lock::LockMode::kNL) {
+    out += common::Format(" %s", std::string(ModeName(mode)).c_str());
+  }
+  if (a != 0 || b != 0) {
+    out += common::Format(" a=%llu b=%llu", static_cast<unsigned long long>(a),
+                          static_cast<unsigned long long>(b));
+  }
+  if (value != 0.0) out += common::Format(" value=%.1f", value);
+  return out;
+}
+
+std::string ToJson(const Event& event) {
+  // Every field is numeric or drawn from fixed internal name tables, so no
+  // string escaping is needed.
+  return common::Format(
+      "{\"seq\":%llu,\"time\":%llu,\"kind\":\"%s\",\"tid\":%u,\"rid\":%u,"
+      "\"mode\":\"%s\",\"a\":%llu,\"b\":%llu,\"value\":%.3f}",
+      static_cast<unsigned long long>(event.seq),
+      static_cast<unsigned long long>(event.time),
+      std::string(ToString(event.kind)).c_str(), event.tid, event.rid,
+      std::string(ModeName(event.mode)).c_str(),
+      static_cast<unsigned long long>(event.a),
+      static_cast<unsigned long long>(event.b), event.value);
+}
+
+}  // namespace twbg::obs

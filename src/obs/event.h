@@ -1,0 +1,134 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Typed structured events for the cross-layer observability bus.  Every
+// layer of the system — the lock manager, the detection engine, the
+// periodic/continuous detectors, the transaction manager, the simulator —
+// publishes its state changes as Event records; sinks (docs/OBSERVABILITY.md)
+// turn the stream into traces, latency histograms, JSONL logs or
+// Prometheus-style metric files.
+//
+// Layering: obs sits between common and lock.  It may include the
+// header-only identifier types of lock/types.h but must not call into the
+// lock library (the lock library links *us*), which is why mode names are
+// rendered by a local table instead of lock::ToString.
+
+#ifndef TWBG_OBS_EVENT_H_
+#define TWBG_OBS_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lock/types.h"
+
+namespace twbg::obs {
+
+/// Every event kind emitted by the system, grouped by layer.  The payload
+/// convention for each kind (which of tid/rid/mode/a/b/value is meaningful)
+/// is documented per enumerator; unused fields are zero.
+enum class EventKind : uint8_t {
+  // -- transaction layer (txn::TransactionManager, sim::Simulator) --
+  /// A transaction started.  `tid`; `a` = 0.
+  kTxnBegin = 0,
+  /// An aborted transaction's re-execution started (driver-level).
+  /// `tid` (fresh execution id); `a` = restart count so far.
+  kTxnRestart,
+  /// A transaction committed.  `tid`.
+  kTxnCommit,
+  /// A transaction aborted.  `tid`; `a` = 1 when it was a deadlock victim,
+  /// 0 for a voluntary abort.
+  kTxnAbort,
+
+  // -- lock layer (lock::LockManager) --
+  /// A lock request was granted immediately.  `tid`, `rid`, `mode`;
+  /// `a` = 1 when the mode was already covered by the held lock.
+  kLockGrant,
+  /// A fresh lock request blocked.  `tid`, `rid`, `mode`;
+  /// `a` = queue depth of the resource after enqueueing.
+  kLockBlock,
+  /// A lock conversion was requested by a holder.  `tid`, `rid`,
+  /// `mode` (the requested mode); `a` = 1 granted, 0 blocked.
+  kLockConvert,
+  /// A transaction released everything (commit/abort path).  `tid`;
+  /// `a` = resources it appeared on; `b` = waiters granted by the release.
+  kLockRelease,
+  /// A blocked request or conversion became granted.  `tid` (the waiter),
+  /// `rid` (where it was waiting).
+  kLockWakeup,
+  /// A completed lock wait, measured by the driver.  `tid`;
+  /// `value` = wait duration in simulator ticks.
+  kWaitEnd,
+  /// TDR-2 queue repositioning was applied to a resource (the no-abort
+  /// resolution).  `tid` = the junction transaction, `rid` = the resource.
+  kUprReposition,
+
+  // -- detection layer (core::PeriodicDetector, core::ContinuousDetector,
+  //    core::RunWalk, sim::Simulator strategy invocations) --
+  /// A detection-resolution pass began.  `tid` = the freshly blocked root
+  /// (0 for a periodic pass); `a` = 1 periodic, 0 continuous.
+  kPassStart,
+  /// Step 1 (graph construction) finished.  `tid` as in kPassStart;
+  /// `a` = cache misses (dirty resources), `b` = cache hits (resources
+  /// served from the PR-1 incremental edge cache); both 0 for a
+  /// from-scratch build; `value` = build time in nanoseconds.
+  kStep1,
+  /// Step 2 (the directed walk, resolutions applied on the spot)
+  /// finished.  `a` = cycles detected, `b` = walk steps;
+  /// `value` = walk time in nanoseconds.
+  kStep2,
+  /// The pass finished (after Step 3 reconciliation).  `a` = cycles
+  /// detected, `b` = transactions aborted; `value` = total pass time in
+  /// nanoseconds.
+  kPassEnd,
+  /// One detected cycle was resolved in-walk.  `tid` = the junction acted
+  /// at, `rid` = the repositioned resource (TDR-2 only, else 0);
+  /// `a` = cycle length in vertices, `b` = 1 for TDR-2 repositioning /
+  /// 0 for TDR-1 abort; `value` = the chosen candidate's cost.
+  kCycleResolved,
+  /// The driver's stall recovery broke a deadlock the strategy missed.
+  /// `tid` = the force-aborted victim.
+  kDetectorMiss,
+};
+
+/// Number of EventKind enumerators (array-sizing constant).
+inline constexpr size_t kNumEventKinds =
+    static_cast<size_t>(EventKind::kDetectorMiss) + 1;
+
+/// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
+std::string_view ToString(EventKind kind);
+
+/// One structured event.  Fixed-size POD so emission is a struct copy;
+/// fields not meaningful for the kind (see EventKind) are zero.
+struct Event {
+  /// Global emission order, assigned by the bus (1-based, 0 = unstamped).
+  uint64_t seq = 0;
+  /// Logical timestamp: the bus's current time (EventBus::set_time) at
+  /// emission — simulator ticks in sim runs, caller-defined elsewhere.
+  uint64_t time = 0;
+  /// What happened.
+  EventKind kind = EventKind::kTxnBegin;
+  /// Subject transaction (0 when not applicable).
+  lock::TransactionId tid = 0;
+  /// Subject resource (0 when not applicable).
+  lock::ResourceId rid = 0;
+  /// Lock mode involved (kNL when not applicable).
+  lock::LockMode mode = lock::LockMode::kNL;
+  /// Kind-specific counters — see the EventKind documentation.
+  uint64_t a = 0;
+  uint64_t b = 0;
+  /// Kind-specific measurement (durations in ns, waits in ticks, costs).
+  double value = 0.0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Renders `event` as one JSON object (no trailing newline), the format
+/// of the JSONL exporter: {"seq":..,"time":..,"kind":"..",...}.  Fields
+/// that are zero for the kind are still emitted so every line has an
+/// identical schema.
+std::string ToJson(const Event& event);
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_EVENT_H_

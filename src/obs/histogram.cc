@@ -1,0 +1,104 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace twbg::obs {
+
+size_t LogHistogram::BucketIndex(uint64_t value) {
+  // bit_width(0) == 0, so 0 maps to bucket 0 and any v >= 1 to
+  // bit_width(v) in [1, 64] — no clamping needed anywhere.
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t LogHistogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0;
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t LogHistogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 1;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return uint64_t{1} << index;
+}
+
+void LogHistogram::Add(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  ++count_;
+}
+
+void LogHistogram::AddDouble(double value) {
+  if (!(value > 0.0)) {  // negatives and NaN clamp to 0
+    Add(0);
+    return;
+  }
+  constexpr double kMax = 18446744073709551615.0;  // 2^64 - 1, rounded
+  if (value >= kMax) {
+    Add(std::numeric_limits<uint64_t>::max());
+    return;
+  }
+  Add(static_cast<uint64_t>(std::llround(std::min(
+      value, static_cast<double>(std::numeric_limits<int64_t>::max() - 1)))));
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile among count_ sorted samples.
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double first = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (rank >= static_cast<double>(seen)) continue;
+    // Interpolate inside the bucket, clamped to the observed extremes so
+    // single-bucket distributions report exact values.
+    const double lo =
+        std::max(static_cast<double>(BucketLowerBound(i)),
+                 static_cast<double>(min()));
+    const double hi = std::min(static_cast<double>(BucketUpperBound(i)),
+                               static_cast<double>(max_));
+    const double fraction =
+        buckets_[i] == 1
+            ? 0.0
+            : (rank - first) / static_cast<double>(buckets_[i] - 1);
+    return lo + (hi - lo) * fraction;
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void LogHistogram::Reset() { *this = LogHistogram(); }
+
+std::string LogHistogram::Summary() const {
+  if (count_ == 0) return "n=0";
+  return common::Format(
+      "n=%llu mean=%.1f p50~%.0f p95~%.0f p99~%.0f max=%llu",
+      static_cast<unsigned long long>(count_), mean(), Percentile(50.0),
+      Percentile(95.0), Percentile(99.0),
+      static_cast<unsigned long long>(max_));
+}
+
+}  // namespace twbg::obs

@@ -1,0 +1,90 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Log-bucketed (power-of-two) latency histogram.  Unlike sim::SampleStats
+// (which stores every sample and sorts for exact percentiles), this keeps
+// a fixed 65-counter array, so it is O(1) per sample, O(1) memory, safely
+// mergeable, and suitable for unbounded production streams — the standard
+// HdrHistogram-style trade: percentiles are bucket-interpolated estimates
+// with a worst-case relative error of one bucket width (2x).
+
+#ifndef TWBG_OBS_HISTOGRAM_H_
+#define TWBG_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace twbg::obs {
+
+/// Fixed-size power-of-two histogram over uint64 samples.
+///
+/// Bucket layout: bucket 0 holds exactly the value 0; bucket i (1..64)
+/// holds [2^(i-1), 2^i).  Every uint64 value maps to exactly one bucket
+/// (UINT64_MAX lands in bucket 64), so Add can never overflow the bucket
+/// index.
+class LogHistogram {
+ public:
+  /// Bucket 0 plus one bucket per bit position of a 64-bit value.
+  static constexpr size_t kNumBuckets = 65;
+
+  /// Index of the bucket holding `value`: 0 for 0, else bit_width(value).
+  static size_t BucketIndex(uint64_t value);
+
+  /// Inclusive lower bound of bucket `index` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t index);
+
+  /// Exclusive upper bound of bucket `index`; UINT64_MAX for the last
+  /// bucket (whose true bound, 2^64, is not representable).
+  static uint64_t BucketUpperBound(size_t index);
+
+  /// Records one sample.
+  void Add(uint64_t value);
+
+  /// Records a nonnegative floating-point sample (rounded to the nearest
+  /// integer; negative inputs clamp to 0) — convenience for nanosecond
+  /// durations carried as doubles.
+  void AddDouble(double value);
+
+  /// Samples recorded.
+  uint64_t count() const { return count_; }
+
+  /// Smallest / largest recorded sample (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// Sum of samples, kept in double to stay finite under extreme inputs.
+  double sum() const { return sum_; }
+
+  /// Exact mean of the recorded samples (0 when empty).
+  double mean() const;
+
+  /// Estimated p-th percentile, p in [0, 100]: finds the bucket holding
+  /// the rank and interpolates linearly inside it, clamped to the
+  /// observed min/max.  Empty histograms report 0.
+  double Percentile(double p) const;
+
+  /// Raw bucket counters.
+  const std::array<uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Adds every bucket/aggregate of `other` into this histogram.
+  void Merge(const LogHistogram& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+  /// "n=.. mean=.. p50~.. p95~.. p99~.. max=.." (or "n=0").
+  std::string Summary() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_HISTOGRAM_H_

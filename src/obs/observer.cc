@@ -1,0 +1,131 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/observer.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace twbg::obs {
+
+void LatencyObserver::OnEvent(const Event& event) {
+  ++counts_[static_cast<size_t>(event.kind)];
+  ++total_;
+  switch (event.kind) {
+    case EventKind::kWaitEnd:
+      wait_time_.AddDouble(event.value);
+      break;
+    case EventKind::kPassEnd:
+      pass_ns_.AddDouble(event.value);
+      break;
+    case EventKind::kStep1:
+      step1_ns_.AddDouble(event.value);
+      break;
+    case EventKind::kStep2:
+      step2_ns_.AddDouble(event.value);
+      break;
+    case EventKind::kLockBlock:
+      queue_depth_.Add(event.a);
+      break;
+    case EventKind::kCycleResolved:
+      cycle_len_.Add(event.a);
+      break;
+    default:
+      break;
+  }
+}
+
+void LatencyObserver::Reset() { *this = LatencyObserver(); }
+
+std::string LatencyObserver::Report() const {
+  std::string out;
+  out += common::Format("events: %llu total\n",
+                        static_cast<unsigned long long>(total_));
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    if (counts_[i] == 0) continue;
+    const std::string name(ToString(static_cast<EventKind>(i)));
+    out += common::Format("  %-16s %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(counts_[i]));
+  }
+  struct Row {
+    const char* name;
+    const LogHistogram* hist;
+  };
+  const Row rows[] = {
+      {"wait_time (ticks)", &wait_time_}, {"pass (ns)", &pass_ns_},
+      {"step1 (ns)", &step1_ns_},         {"step2 (ns)", &step2_ns_},
+      {"queue_depth", &queue_depth_},     {"cycle_len", &cycle_len_},
+  };
+  for (const Row& row : rows) {
+    if (row.hist->count() == 0) continue;
+    out += common::Format("  %-18s %s\n", row.name,
+                          row.hist->Summary().c_str());
+  }
+  return out;
+}
+
+namespace {
+
+// One Prometheus histogram block: cumulative le-buckets, _sum, _count.
+void AppendHistogram(std::string* out, const std::string& prefix,
+                     const char* name, const LogHistogram& hist) {
+  const std::string metric = prefix + "_" + name;
+  *out += common::Format("# TYPE %s histogram\n", metric.c_str());
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    if (hist.buckets()[i] == 0) continue;
+    cumulative += hist.buckets()[i];
+    *out += common::Format(
+        "%s_bucket{le=\"%llu\"} %llu\n", metric.c_str(),
+        static_cast<unsigned long long>(LogHistogram::BucketUpperBound(i)),
+        static_cast<unsigned long long>(cumulative));
+  }
+  *out += common::Format("%s_bucket{le=\"+Inf\"} %llu\n", metric.c_str(),
+                         static_cast<unsigned long long>(hist.count()));
+  *out += common::Format("%s_sum %.0f\n", metric.c_str(), hist.sum());
+  *out += common::Format("%s_count %llu\n", metric.c_str(),
+                         static_cast<unsigned long long>(hist.count()));
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const LatencyObserver& observer,
+                             const std::string& prefix) {
+  std::string out;
+  out += common::Format("# TYPE %s_events_total counter\n", prefix.c_str());
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    const uint64_t n = observer.Count(static_cast<EventKind>(i));
+    if (n == 0) continue;
+    const std::string name(ToString(static_cast<EventKind>(i)));
+    out += common::Format("%s_events_total{kind=\"%s\"} %llu\n",
+                          prefix.c_str(), name.c_str(),
+                          static_cast<unsigned long long>(n));
+  }
+  AppendHistogram(&out, prefix, "wait_time_ticks", observer.wait_time());
+  AppendHistogram(&out, prefix, "pass_duration_ns", observer.pass_ns());
+  AppendHistogram(&out, prefix, "step1_duration_ns", observer.step1_ns());
+  AppendHistogram(&out, prefix, "step2_duration_ns", observer.step2_ns());
+  AppendHistogram(&out, prefix, "queue_depth", observer.queue_depth());
+  AppendHistogram(&out, prefix, "cycle_length", observer.cycle_len());
+  return out;
+}
+
+Status WritePrometheusFile(const LatencyObserver& observer,
+                           const std::string& path,
+                           const std::string& prefix) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound(
+        common::Format("cannot open %s for writing", path.c_str()));
+  }
+  const std::string text = ToPrometheusText(observer, prefix);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Status::Internal(
+        common::Format("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace twbg::obs

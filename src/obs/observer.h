@@ -1,0 +1,92 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// In-process aggregation sink: per-kind event counters plus the latency
+// histograms the bench and REPL report on, and a Prometheus-style text
+// exposition writer for scraping the aggregates from a file.
+
+#ifndef TWBG_OBS_OBSERVER_H_
+#define TWBG_OBS_OBSERVER_H_
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "obs/bus.h"
+#include "obs/histogram.h"
+
+namespace twbg::obs {
+
+/// Aggregating sink: counts every event by kind and feeds the payloads
+/// that carry a measurement into log-bucketed histograms.
+///
+/// Histograms populated (event kind -> field):
+///  - wait_time:   kWaitEnd.value (logical ticks blocked)
+///  - pass_ns:     kPassEnd.value (whole detection pass, wall ns)
+///  - step1_ns:    kStep1.value   (graph/TST build, wall ns)
+///  - step2_ns:    kStep2.value   (cycle walk, wall ns)
+///  - queue_depth: kLockBlock.a   (waiters queued on the resource)
+///  - cycle_len:   kCycleResolved.a (transactions in the resolved cycle)
+class LatencyObserver : public EventSink {
+ public:
+  /// Counts `event` and records its measurement (if any) — see the class
+  /// docs for the kind-to-histogram mapping.
+  void OnEvent(const Event& event) override;
+
+  /// Events seen of one kind.
+  uint64_t Count(EventKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+
+  /// Total events seen across all kinds.
+  uint64_t total() const { return total_; }
+
+  /// Ticks spent blocked, one sample per completed wait.
+  const LogHistogram& wait_time() const { return wait_time_; }
+
+  /// Wall nanoseconds per detection pass (Step 1 + Step 2 + resolution).
+  const LogHistogram& pass_ns() const { return pass_ns_; }
+
+  /// Wall nanoseconds building the TST/graph (Step 1).
+  const LogHistogram& step1_ns() const { return step1_ns_; }
+
+  /// Wall nanoseconds walking for cycles (Step 2).
+  const LogHistogram& step2_ns() const { return step2_ns_; }
+
+  /// Queue depth observed at each block (waiters ahead incl. the new one).
+  const LogHistogram& queue_depth() const { return queue_depth_; }
+
+  /// Length of each resolved cycle, in transactions.
+  const LogHistogram& cycle_len() const { return cycle_len_; }
+
+  /// Forgets everything seen so far.
+  void Reset();
+
+  /// Multi-line human-readable report: non-zero event counts, then one
+  /// Summary() line per non-empty histogram.
+  std::string Report() const;
+
+ private:
+  std::array<uint64_t, kNumEventKinds> counts_{};
+  uint64_t total_ = 0;
+  LogHistogram wait_time_;
+  LogHistogram pass_ns_;
+  LogHistogram step1_ns_;
+  LogHistogram step2_ns_;
+  LogHistogram queue_depth_;
+  LogHistogram cycle_len_;
+};
+
+/// Renders the observer's aggregates in Prometheus text exposition
+/// format: one `<prefix>_events_total{kind="..."}` counter per non-zero
+/// kind and a `_sum`/`_count`/`{le=...}` bucket series per histogram.
+std::string ToPrometheusText(const LatencyObserver& observer,
+                             const std::string& prefix = "twbg");
+
+/// Writes ToPrometheusText(observer, prefix) to `path`, truncating.
+Status WritePrometheusFile(const LatencyObserver& observer,
+                           const std::string& path,
+                           const std::string& prefix = "twbg");
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_OBSERVER_H_

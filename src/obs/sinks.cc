@@ -1,0 +1,59 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/sinks.h"
+
+#include "common/string_util.h"
+
+namespace twbg::obs {
+
+void CollectorSink::OnEvent(const Event& event) {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<Event> CollectorSink::Filter(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+size_t CollectorSink::Count(EventKind kind) const {
+  size_t n = 0;
+  for (const Event& event : events_) n += event.kind == kind;
+  return n;
+}
+
+void CollectorSink::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+Result<std::unique_ptr<JsonlSink>> JsonlSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound(
+        common::Format("cannot open %s for writing", path.c_str()));
+  }
+  return std::unique_ptr<JsonlSink>(new JsonlSink(file, path));
+}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlSink::OnEvent(const Event& event) {
+  std::fputs(ToJson(event).c_str(), file_);
+  std::fputc('\n', file_);
+  ++lines_;
+}
+
+void JsonlSink::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace twbg::obs

@@ -1,0 +1,94 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Concrete event sinks: an in-memory collector for tests and ad-hoc
+// inspection, and a JSON-lines stream exporter for offline analysis
+// (one self-contained JSON object per line; see docs/OBSERVABILITY.md
+// for the schema and a jq-based diagnosis walkthrough).
+
+#ifndef TWBG_OBS_SINKS_H_
+#define TWBG_OBS_SINKS_H_
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/bus.h"
+
+namespace twbg::obs {
+
+/// Bounded in-memory event buffer.  Like sim::SimTrace it is a ring:
+/// when full, the oldest events are dropped and counted, so a truncated
+/// collection is always visible through dropped().
+class CollectorSink : public EventSink {
+ public:
+  /// `capacity` = maximum retained events (0 means unbounded).
+  explicit CollectorSink(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Appends `event`, evicting (and counting) the oldest when full.
+  void OnEvent(const Event& event) override;
+
+  /// Retained events, oldest first.
+  const std::deque<Event>& events() const { return events_; }
+
+  /// Events dropped because the ring was full.
+  size_t dropped() const { return dropped_; }
+
+  /// Retained events of one kind, oldest first.
+  std::vector<Event> Filter(EventKind kind) const;
+
+  /// Retained events of one kind (count only).
+  size_t Count(EventKind kind) const;
+
+  /// Drops all retained events and resets the dropped counter.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::deque<Event> events_;
+};
+
+/// Streams every event as one JSON line to an owned file.  Writes are
+/// line-buffered by the C runtime; Flush() or destruction finishes the
+/// file.  Never drops events.
+class JsonlSink : public EventSink {
+ public:
+  /// Opens `path` for writing (truncates).  Fails with kNotFound when the
+  /// file cannot be created.
+  static Result<std::unique_ptr<JsonlSink>> Open(const std::string& path);
+
+  /// Flushes and closes the file.
+  ~JsonlSink() override;
+
+  /// Non-copyable: the sink owns its FILE handle.
+  JsonlSink(const JsonlSink&) = delete;
+  /// Non-copyable: the sink owns its FILE handle.
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  /// Writes `event` as one JSON line.
+  void OnEvent(const Event& event) override;
+
+  /// Lines written so far.
+  uint64_t lines_written() const { return lines_; }
+
+  /// Path the sink writes to.
+  const std::string& path() const { return path_; }
+
+  /// Flushes buffered output to the file.
+  void Flush();
+
+ private:
+  JsonlSink(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_SINKS_H_

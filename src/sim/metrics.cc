@@ -16,6 +16,9 @@ std::string SimMetrics::ToString() const {
       blocked_ticks, detector_invocations, detector_work,
       detector_seconds * 1e3, wait_ticks.Summary().c_str(),
       timed_out ? " TIMED-OUT" : "");
+  if (trace_dropped > 0) {
+    out += common::Format(" trace_dropped=%zu", trace_dropped);
+  }
   if (graph_dirty_resources + graph_cached_resources > 0) {
     out += common::Format(
         " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",

@@ -58,6 +58,10 @@ struct SimMetrics {
   /// Distribution of completed lock waits, in ticks (block -> grant; waits
   /// ended by abort are not counted).
   SampleStats wait_ticks;
+  /// Trace events the bounded ring discarded (0 when tracing is off or the
+  /// capacity sufficed) — nonzero means trace-based analyses saw a suffix
+  /// of the run only.
+  size_t trace_dropped = 0;
 
   /// Committed transactions per 1000 ticks.
   double Throughput() const {

@@ -21,13 +21,13 @@ Simulator::Simulator(const SimConfig& config,
       trace_(config.record_trace ? config.trace_capacity : 0) {
   TWBG_CHECK(strategy_ != nullptr);
   TWBG_CHECK(config_.workload.concurrency >= 1);
+  lock_manager_.set_event_bus(&bus_);
+  if (config_.record_trace) bus_.Subscribe(&trace_sink_);
 }
 
-void Simulator::Trace(TraceEventKind kind, lock::TransactionId tid,
-                      lock::ResourceId rid, lock::LockMode mode,
-                      size_t detail) {
-  if (!config_.record_trace) return;
-  trace_.Record(TraceEvent{metrics_.ticks, kind, tid, rid, mode, detail});
+void Simulator::Emit(obs::Event event) {
+  if (!bus_.active()) return;
+  bus_.Emit(event);
 }
 
 void Simulator::SpawnUpToConcurrency() {
@@ -59,8 +59,13 @@ void Simulator::SpawnUpToConcurrency() {
     // Prevention schemes key their timestamps off the logical id, which
     // is stable across restarts (required for their progress guarantee).
     strategy_->OnSpawn(tid, logical);
-    Trace(TraceEventKind::kSpawn, tid, 0, lock::LockMode::kNL,
-          restart_counts_[logical]);
+    const size_t restarts = restart_counts_[logical];
+    obs::Event event;
+    event.kind = restarts > 0 ? obs::EventKind::kTxnRestart
+                              : obs::EventKind::kTxnBegin;
+    event.tid = tid;
+    event.a = restarts;
+    Emit(event);
   }
 }
 
@@ -69,7 +74,11 @@ void Simulator::KillAndRestart(lock::TransactionId tid) {
   if (it == live_.end()) return;
   metrics_.wasted_ops += it->second.ops_done;
   ++metrics_.restarts;
-  Trace(TraceEventKind::kAbort, tid);
+  obs::Event event;
+  event.kind = obs::EventKind::kTxnAbort;
+  event.tid = tid;
+  event.a = 1;  // killed, not a voluntary abort
+  Emit(event);
   const size_t logical = it->second.logical;
   const size_t count = ++restart_counts_[logical];
   const size_t backoff =
@@ -107,14 +116,29 @@ void Simulator::InvokeStrategy(bool periodic, lock::TransactionId blocked) {
       pre_stuck_.insert(tid);
     }
   }
+  if (bus_.active()) {
+    obs::Event start;
+    start.kind = obs::EventKind::kPassStart;
+    start.tid = blocked;
+    start.a = periodic ? 1 : 0;
+    bus_.Emit(start);
+  }
   common::Stopwatch watch;
   baselines::StrategyOutcome outcome =
       periodic ? strategy_->OnPeriodic(lock_manager_, costs_)
                : strategy_->OnBlock(lock_manager_, costs_, blocked);
-  metrics_.detector_seconds += watch.ElapsedSeconds();
+  const int64_t elapsed_ns = watch.ElapsedNanos();
+  metrics_.detector_seconds += static_cast<double>(elapsed_ns) / 1e9;
   ++metrics_.detector_invocations;
-  Trace(TraceEventKind::kDetect, blocked, 0, lock::LockMode::kNL,
-        outcome.cycles_found);
+  if (bus_.active()) {
+    obs::Event end;
+    end.kind = obs::EventKind::kPassEnd;
+    end.tid = blocked;
+    end.a = outcome.cycles_found;
+    end.b = outcome.aborted.size();
+    end.value = static_cast<double>(elapsed_ns);
+    bus_.Emit(end);
+  }
   Consume(outcome);
 }
 
@@ -134,7 +158,10 @@ bool Simulator::RecoverFromStall() {
       if (costs_.Get(tid) < costs_.Get(victim)) victim = tid;
     }
     ++metrics_.missed_deadlocks;
-    Trace(TraceEventKind::kMiss, victim);
+    obs::Event event;
+    event.kind = obs::EventKind::kDetectorMiss;
+    event.tid = victim;
+    Emit(event);
     lock_manager_.ReleaseAll(victim);
     KillAndRestart(victim);
     acted = true;
@@ -148,6 +175,7 @@ SimMetrics Simulator::Run() {
   size_t stall = 0;
   while (metrics_.committed < config_.workload.num_transactions &&
          metrics_.ticks < config_.max_ticks) {
+    bus_.set_time(metrics_.ticks);
     acted_this_tick_ = false;
     bool progress = false;
 
@@ -161,17 +189,25 @@ SimMetrics Simulator::Run() {
       Execution& e = it->second;
       if (e.blocked_at.has_value()) {
         // The wait that began at *blocked_at ended with a grant.
-        metrics_.wait_ticks.Add(
-            static_cast<double>(metrics_.ticks - *e.blocked_at));
+        const double waited =
+            static_cast<double>(metrics_.ticks - *e.blocked_at);
+        metrics_.wait_ticks.Add(waited);
         e.blocked_at.reset();
-        Trace(TraceEventKind::kWakeup, tid);
+        obs::Event event;
+        event.kind = obs::EventKind::kWaitEnd;
+        event.tid = tid;
+        event.value = waited;
+        Emit(event);
       }
       if (e.next_op >= e.script.ops.size()) {
         // Strict 2PL commit: release everything at once.
         costs_.Erase(tid);
         lock_manager_.ReleaseAll(tid);
         ++metrics_.committed;
-        Trace(TraceEventKind::kCommit, tid);
+        obs::Event event;
+        event.kind = obs::EventKind::kTxnCommit;
+        event.tid = tid;
+        Emit(event);
         live_.erase(it);
         progress = true;
         SpawnUpToConcurrency();
@@ -186,14 +222,14 @@ SimMetrics Simulator::Run() {
       // The blocked request is granted in place later, so the op is
       // consumed either way.
       ++e.next_op;
+      // Grant/block/convert events are emitted by the lock manager, which
+      // has this run's bus attached.
       if (*outcome == lock::RequestOutcome::kBlocked) {
         e.blocked_at = metrics_.ticks;
-        Trace(TraceEventKind::kBlock, tid, rid, mode);
         if (strategy_->is_continuous()) {
           InvokeStrategy(/*periodic=*/false, tid);
         }
       } else {
-        Trace(TraceEventKind::kGrant, tid, rid, mode);
         progress = true;
       }
     }
@@ -215,6 +251,7 @@ SimMetrics Simulator::Run() {
   }
   metrics_.timed_out =
       metrics_.committed < config_.workload.num_transactions;
+  metrics_.trace_dropped = trace_.dropped();
   return metrics_;
 }
 

@@ -73,6 +73,13 @@ class Simulator {
   /// Event trace of the run (empty unless config.record_trace).
   const SimTrace& trace() const { return trace_; }
 
+  /// The run's structured event bus.  Subscribe sinks (obs::CollectorSink,
+  /// obs::JsonlSink, obs::LatencyObserver, ...) before Run() to stream
+  /// every lifecycle / lock / wait / detection event; with no sinks the
+  /// bus is inactive and emission is skipped entirely.  The bus's logical
+  /// time is the simulator tick.
+  obs::EventBus& event_bus() { return bus_; }
+
  private:
   struct Execution {
     size_t logical = 0;
@@ -103,10 +110,8 @@ class Simulator {
   // Stall recovery: oracle-driven forced abort; returns true if it acted.
   bool RecoverFromStall();
 
-  // Appends to the trace when recording is enabled.
-  void Trace(TraceEventKind kind, lock::TransactionId tid,
-             lock::ResourceId rid = 0,
-             lock::LockMode mode = lock::LockMode::kNL, size_t detail = 0);
+  // Emits onto the bus when any sink is subscribed.
+  void Emit(obs::Event event);
 
   SimConfig config_;
   std::unique_ptr<baselines::DetectionStrategy> strategy_;
@@ -128,6 +133,8 @@ class Simulator {
   lock::TransactionId next_tid_ = 1;
   bool acted_this_tick_ = false;
   SimTrace trace_{0};  // re-initialized from the config in the ctor
+  obs::EventBus bus_;
+  TraceEventSink trace_sink_{&trace_};  // subscribed iff record_trace
 };
 
 }  // namespace twbg::sim

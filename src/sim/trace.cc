@@ -58,6 +58,54 @@ std::vector<TraceEvent> SimTrace::Filter(TraceEventKind kind) const {
   return out;
 }
 
+void TraceEventSink::OnEvent(const obs::Event& event) {
+  TraceEvent out;
+  out.tick = static_cast<size_t>(event.time);
+  out.tid = event.tid;
+  switch (event.kind) {
+    case obs::EventKind::kTxnBegin:
+    case obs::EventKind::kTxnRestart:
+      out.kind = TraceEventKind::kSpawn;
+      out.detail = static_cast<size_t>(event.a);
+      break;
+    case obs::EventKind::kTxnCommit:
+      out.kind = TraceEventKind::kCommit;
+      break;
+    case obs::EventKind::kTxnAbort:
+      out.kind = TraceEventKind::kAbort;
+      break;
+    case obs::EventKind::kLockGrant:
+      out.kind = TraceEventKind::kGrant;
+      out.rid = event.rid;
+      out.mode = event.mode;
+      break;
+    case obs::EventKind::kLockBlock:
+      out.kind = TraceEventKind::kBlock;
+      out.rid = event.rid;
+      out.mode = event.mode;
+      break;
+    case obs::EventKind::kLockConvert:
+      // a==1: the conversion was granted; a==0: the converter blocked.
+      out.kind = event.a == 1 ? TraceEventKind::kGrant : TraceEventKind::kBlock;
+      out.rid = event.rid;
+      out.mode = event.mode;
+      break;
+    case obs::EventKind::kWaitEnd:
+      out.kind = TraceEventKind::kWakeup;
+      break;
+    case obs::EventKind::kPassEnd:
+      out.kind = TraceEventKind::kDetect;
+      out.detail = static_cast<size_t>(event.a);
+      break;
+    case obs::EventKind::kDetectorMiss:
+      out.kind = TraceEventKind::kMiss;
+      break;
+    default:
+      return;  // no classic-trace equivalent
+  }
+  trace_->Record(out);
+}
+
 std::string SimTrace::ToString() const {
   std::string out;
   if (dropped_ > 0) {

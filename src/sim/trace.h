@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lock/types.h"
+#include "obs/bus.h"
 
 namespace twbg::sim {
 
@@ -67,6 +68,25 @@ class SimTrace {
   size_t capacity_;
   size_t dropped_ = 0;
   std::deque<TraceEvent> events_;
+};
+
+/// Bridges the structured event bus (obs::EventBus) onto a SimTrace so the
+/// classic trace keeps its exact shape while the simulator emits through
+/// the bus.  The mapping is a projection: lifecycle, lock, wait-end, pass
+/// and miss events become the corresponding TraceEventKind (conversions
+/// collapse to grant/block by outcome); purely observational kinds with no
+/// classic equivalent (kLockRelease, kLockWakeup, kUprReposition,
+/// kPassStart, kStep1/kStep2, kCycleResolved) are dropped.  The trace tick
+/// is the bus's logical time.
+class TraceEventSink : public obs::EventSink {
+ public:
+  /// The sink records into `trace`, which must outlive it.  Not owned.
+  explicit TraceEventSink(SimTrace* trace) : trace_(trace) {}
+
+  void OnEvent(const obs::Event& event) override;
+
+ private:
+  SimTrace* trace_;
 };
 
 }  // namespace twbg::sim

@@ -23,6 +23,12 @@
 namespace twbg::txn {
 
 /// Thread-safe strict-2PL lock service with inline deadlock resolution.
+///
+/// Observability: `options.event_bus` is forwarded to the inner
+/// TransactionManager unchanged.  Every emission happens while `mu_` is
+/// held, so sinks see a serialized, totally ordered stream even with
+/// concurrent callers — but sink callbacks must not call back into this
+/// service (that would self-deadlock on `mu_`).
 class ConcurrentLockService {
  public:
   /// `options.detection_mode` is forced to kContinuous.

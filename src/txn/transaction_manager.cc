@@ -6,10 +6,24 @@
 
 namespace twbg::txn {
 
+namespace {
+
+// Detectors inherit the manager-wide bus unless one was set explicitly.
+TransactionManagerOptions Normalize(TransactionManagerOptions options) {
+  if (options.detector.event_bus == nullptr) {
+    options.detector.event_bus = options.event_bus;
+  }
+  return options;
+}
+
+}  // namespace
+
 TransactionManager::TransactionManager(TransactionManagerOptions options)
-    : options_(options),
-      periodic_(options.detector),
-      continuous_(options.detector) {}
+    : options_(Normalize(options)),
+      periodic_(options_.detector),
+      continuous_(options_.detector) {
+  lock_manager_.set_event_bus(options_.event_bus);
+}
 
 lock::TransactionId TransactionManager::Begin() {
   const lock::TransactionId tid = next_tid_++;
@@ -19,6 +33,12 @@ lock::TransactionId TransactionManager::Begin() {
   txn.begin_ts = next_ts_++;
   txns_[tid] = txn;
   RefreshCost(tid);
+  if (obs::Enabled(options_.event_bus)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kTxnBegin;
+    event.tid = tid;
+    options_.event_bus->Emit(event);
+  }
   return tid;
 }
 
@@ -77,6 +97,12 @@ Status TransactionManager::Commit(lock::TransactionId tid) {
                        std::string(ToString(txn.state)).c_str()));
   }
   txn.state = TxnState::kCommitted;
+  if (obs::Enabled(options_.event_bus)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kTxnCommit;
+    event.tid = tid;
+    options_.event_bus->Emit(event);
+  }
   costs_.Erase(tid);
   std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
   for (lock::TransactionId g : granted) {
@@ -102,6 +128,13 @@ Status TransactionManager::Abort(lock::TransactionId tid) {
                        std::string(ToString(txn.state)).c_str()));
   }
   txn.state = TxnState::kAborted;
+  if (obs::Enabled(options_.event_bus)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kTxnAbort;
+    event.tid = tid;
+    event.a = 0;  // voluntary, not a deadlock victim
+    options_.event_bus->Emit(event);
+  }
   costs_.Erase(tid);
   std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
   for (lock::TransactionId g : granted) {
@@ -128,6 +161,13 @@ void TransactionManager::ApplyReport(const core::ResolutionReport& report) {
     it->second.state = TxnState::kAborted;
     it->second.deadlock_victim = true;
     costs_.Erase(victim);
+    if (obs::Enabled(options_.event_bus)) {
+      obs::Event event;
+      event.kind = obs::EventKind::kTxnAbort;
+      event.tid = victim;
+      event.a = 1;  // deadlock victim (TDR-1)
+      options_.event_bus->Emit(event);
+    }
   }
   for (lock::TransactionId g : report.granted) {
     auto it = txns_.find(g);

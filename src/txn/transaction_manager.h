@@ -51,6 +51,11 @@ struct TransactionManagerOptions {
   DetectionMode detection_mode = DetectionMode::kPeriodic;
   CostPolicy cost_policy = CostPolicy::kLocksHeld;
   core::DetectorOptions detector;
+  /// Structured-event bus for the whole stack (not owned; may be null).
+  /// The manager emits lifecycle events (kTxnBegin/kTxnCommit/kTxnAbort)
+  /// and attaches the bus to its lock manager; it also becomes the
+  /// detectors' bus unless `detector.event_bus` was set explicitly.
+  obs::EventBus* event_bus = nullptr;
 };
 
 /// Outcome of an Acquire call at the transaction level.

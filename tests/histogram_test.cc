@@ -1,0 +1,155 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace twbg::obs {
+namespace {
+
+constexpr uint64_t kMax64 = std::numeric_limits<uint64_t>::max();
+
+TEST(LogHistogramTest, BucketIndexEdges) {
+  EXPECT_EQ(LogHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LogHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LogHistogram::BucketIndex(7), 3u);
+  EXPECT_EQ(LogHistogram::BucketIndex(8), 4u);
+  EXPECT_EQ(LogHistogram::BucketIndex(uint64_t{1} << 63), 64u);
+  EXPECT_EQ(LogHistogram::BucketIndex(kMax64), 64u);
+  // Every index fits the fixed array — Add can never run off the end.
+  EXPECT_LT(LogHistogram::BucketIndex(kMax64), LogHistogram::kNumBuckets);
+}
+
+TEST(LogHistogramTest, BucketBoundsAreConsistent) {
+  EXPECT_EQ(LogHistogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(LogHistogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(LogHistogram::BucketLowerBound(64), uint64_t{1} << 63);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(64), kMax64);
+  // Every value lies inside its own bucket's bounds.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{5}, uint64_t{1000},
+                     uint64_t{1} << 40, kMax64}) {
+    const size_t i = LogHistogram::BucketIndex(v);
+    EXPECT_GE(v, LogHistogram::BucketLowerBound(i)) << v;
+    if (i < LogHistogram::kNumBuckets - 1) {
+      EXPECT_LT(v, LogHistogram::BucketUpperBound(i)) << v;
+    }
+  }
+}
+
+TEST(LogHistogramTest, ZeroSample) {
+  LogHistogram h;
+  h.Add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(LogHistogramTest, MaxSampleDoesNotOverflow) {
+  LogHistogram h;
+  h.Add(kMax64);
+  h.Add(kMax64);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), kMax64);
+  EXPECT_EQ(h.buckets()[64], 2u);
+  // The sum is tracked in double precision, so two max samples cannot
+  // wrap around.
+  EXPECT_NEAR(h.sum(), 2.0 * static_cast<double>(kMax64),
+              1e4 * static_cast<double>(kMax64) * 1e-15);
+  EXPECT_GT(h.mean(), static_cast<double>(kMax64) / 2.0);
+}
+
+TEST(LogHistogramTest, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Summary(), "n=0");
+}
+
+TEST(LogHistogramTest, PercentilesTrackUniformData) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 100.0);
+  // Log-bucket interpolation has at worst one-bucket (2x) error.
+  const double p50 = h.Percentile(50.0);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  const double p95 = h.Percentile(95.0);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_LE(p50, p95);
+}
+
+TEST(LogHistogramTest, SingleValueReportsExactPercentiles) {
+  LogHistogram h;
+  h.Add(42);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 42.0);
+}
+
+TEST(LogHistogramTest, AddDoubleClampsAndRounds) {
+  LogHistogram h;
+  h.AddDouble(-5.0);                  // clamps to 0
+  h.AddDouble(std::nan(""));          // clamps to 0
+  h.AddDouble(2.6);                   // rounds to 3
+  h.AddDouble(1e30);                  // clamps into the top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[LogHistogram::BucketIndex(3)], 1u);
+  EXPECT_EQ(h.buckets()[64], 1u);
+  EXPECT_EQ(h.max(), kMax64);
+}
+
+TEST(LogHistogramTest, MergeCombinesAggregates) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_DOUBLE_EQ(a.sum(), 103.0);
+  // Merging an empty histogram changes nothing.
+  LogHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+TEST(LogHistogramTest, ResetClearsEverything) {
+  LogHistogram h;
+  h.Add(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Summary(), "n=0");
+}
+
+TEST(LogHistogramTest, SummaryMentionsTheAggregates) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Add(v);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=10"), std::string::npos) << s;
+  EXPECT_NE(s.find("max=10"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace twbg::obs

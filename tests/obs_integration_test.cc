@@ -1,0 +1,168 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// End-to-end observability: every event kind in the taxonomy is actually
+// produced by some scenario, the simulator surfaces trace drops, and the
+// JSONL exporter writes one parseable object per event.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "baselines/factory.h"
+#include "core/cost_table.h"
+#include "core/examples_catalog.h"
+#include "core/periodic_detector.h"
+#include "core/script.h"
+#include "obs/bus.h"
+#include "obs/sinks.h"
+#include "sim/simulator.h"
+#include "txn/transaction_manager.h"
+
+namespace twbg {
+namespace {
+
+void InsertKinds(const obs::CollectorSink& sink,
+                 std::set<obs::EventKind>* kinds) {
+  for (const obs::Event& event : sink.events()) kinds->insert(event.kind);
+}
+
+// Three scenarios together must exercise the whole taxonomy:
+//  (a) a TransactionManager lifecycle with a periodic TDR-1 resolution,
+//  (b) Example 4.1 (conversions + a TDR-2 queue repositioning),
+//  (c) a simulator run with a deliberately blind strategy (restarts,
+//      wait-ends and detector misses).
+TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
+  std::set<obs::EventKind> kinds;
+
+  {  // (a) lifecycle + TDR-1 victim through the transaction manager.
+    obs::EventBus bus;
+    obs::CollectorSink sink;
+    bus.Subscribe(&sink);
+    txn::TransactionManagerOptions options;
+    options.event_bus = &bus;
+    txn::TransactionManager tm(options);
+    const lock::TransactionId t1 = tm.Begin();
+    const lock::TransactionId t2 = tm.Begin();
+    const lock::TransactionId t3 = tm.Begin();
+    ASSERT_TRUE(tm.Acquire(t1, 1, lock::LockMode::kX).ok());
+    ASSERT_TRUE(tm.Acquire(t2, 2, lock::LockMode::kX).ok());
+    ASSERT_TRUE(tm.Acquire(t1, 2, lock::LockMode::kX).ok());  // blocks
+    ASSERT_TRUE(tm.Acquire(t2, 1, lock::LockMode::kX).ok());  // deadlock
+    core::ResolutionReport report = tm.RunDetection();
+    EXPECT_GT(report.cycles_detected, 0u);
+    EXPECT_FALSE(report.aborted.empty());
+    ASSERT_TRUE(tm.Abort(t3).ok());  // voluntary abort
+    // Whichever of t1/t2 survived can now run to commit.
+    const lock::TransactionId survivor =
+        tm.Find(t1)->state == txn::TxnState::kAborted ? t2 : t1;
+    ASSERT_TRUE(tm.Commit(survivor).ok());
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (b) conversions and TDR-2 repositioning (Example 4.1).
+    obs::EventBus bus;
+    obs::CollectorSink sink;
+    bus.Subscribe(&sink);
+    lock::LockManager manager;
+    manager.set_event_bus(&bus);
+    core::BuildExample41(manager);
+    core::CostTable costs;
+    core::DetectorOptions options;
+    options.event_bus = &bus;
+    core::PeriodicDetector detector(options);
+    core::ResolutionReport report = detector.RunPass(manager, costs);
+    EXPECT_FALSE(report.repositioned.empty());  // the TDR-2 happened
+    EXPECT_GT(sink.Count(obs::EventKind::kLockConvert), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kUprReposition), 0u);
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (c) a blind strategy: misses, restarts and completed waits.
+    sim::SimConfig config;
+    config.workload.seed = 3;
+    config.workload.num_transactions = 60;
+    config.workload.concurrency = 6;
+    config.workload.num_resources = 4;
+    config.workload.mode_weights = {0, 0, 0.3, 0, 0.7};
+    config.detection_period = 5;
+    sim::Simulator sim(config, baselines::MakeStrategy("none"));
+    obs::CollectorSink sink;
+    sim.event_bus().Subscribe(&sink);
+    sim::SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 60u);
+    EXPECT_GT(metrics.missed_deadlocks, 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kDetectorMiss), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kTxnRestart), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kWaitEnd), 0u);
+    InsertKinds(sink, &kinds);
+  }
+
+  for (size_t i = 0; i < obs::kNumEventKinds; ++i) {
+    EXPECT_TRUE(kinds.count(static_cast<obs::EventKind>(i)))
+        << "kind never emitted: "
+        << obs::ToString(static_cast<obs::EventKind>(i));
+  }
+}
+
+TEST(ObsIntegrationTest, SimulatorSurfacesTraceDrops) {
+  sim::SimConfig config;
+  config.workload.seed = 7;
+  config.workload.num_transactions = 60;
+  config.workload.concurrency = 6;
+  config.workload.num_resources = 12;
+  config.record_trace = true;
+  config.trace_capacity = 4;  // far too small on purpose
+  sim::Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+  sim::SimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.committed, 60u);
+  EXPECT_GT(metrics.trace_dropped, 0u);
+  EXPECT_EQ(metrics.trace_dropped, sim.trace().dropped());
+  EXPECT_LE(sim.trace().events().size(), 4u);
+  // The dropped count appears in the one-line report.
+  EXPECT_NE(metrics.ToString().find("trace_dropped="), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, ScriptRunnerStreamsParseableJsonl) {
+  const std::string path = ::testing::TempDir() + "twbg_obs_events.jsonl";
+  core::ScriptRunner runner;
+  ASSERT_TRUE(runner.StreamEventsTo(path).ok());
+  std::string out;
+  ASSERT_TRUE(runner
+                  .ExecuteScript("acquire 1 1 S\n"
+                                 "acquire 2 1 X\n"
+                                 "acquire 3 2 S\n"
+                                 "acquire 1 2 X\n"
+                                 "acquire 3 1 S\n"
+                                 "detect\n"
+                                 "obs\n",
+                                 &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("jsonl:"), std::string::npos) << out;
+
+  // Flush by streaming elsewhere is not needed: `obs` flushed the sink.
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  size_t lines = 0;
+  bool saw_pass_end = false;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+    const std::string line(buffer);
+    ++lines;
+    EXPECT_EQ(line.rfind("{\"seq\":", 0), 0u) << line;
+    EXPECT_NE(line.find("\"kind\":\""), std::string::npos) << line;
+    EXPECT_EQ(line[line.size() - 2], '}') << line;  // "...}\n"
+    if (line.find("\"kind\":\"pass_end\"") != std::string::npos) {
+      saw_pass_end = true;
+    }
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_GT(lines, 5u);
+  EXPECT_TRUE(saw_pass_end);
+}
+
+}  // namespace
+}  // namespace twbg

@@ -1,0 +1,255 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Event bus, sink and observer unit tests, including the ordering
+// guarantee for events emitted by one detection pass.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_table.h"
+#include "core/examples_catalog.h"
+#include "core/periodic_detector.h"
+#include "lock/lock_manager.h"
+#include "obs/bus.h"
+#include "obs/observer.h"
+#include "obs/sinks.h"
+
+namespace twbg::obs {
+namespace {
+
+Event MakeEvent(EventKind kind, lock::TransactionId tid = 0) {
+  Event event;
+  event.kind = kind;
+  event.tid = tid;
+  return event;
+}
+
+TEST(EventBusTest, InactiveWithoutSinks) {
+  EventBus bus;
+  EXPECT_FALSE(bus.active());
+  EXPECT_FALSE(Enabled(&bus));
+  EXPECT_FALSE(Enabled(nullptr));
+  CollectorSink sink;
+  bus.Subscribe(&sink);
+  EXPECT_TRUE(bus.active());
+  EXPECT_TRUE(Enabled(&bus));
+  bus.Unsubscribe(&sink);
+  EXPECT_FALSE(bus.active());
+}
+
+TEST(EventBusTest, SubscribeIsIdempotentAndNullSafe) {
+  EventBus bus;
+  CollectorSink sink;
+  bus.Subscribe(nullptr);
+  bus.Subscribe(&sink);
+  bus.Subscribe(&sink);
+  EXPECT_EQ(bus.num_sinks(), 1u);
+  bus.Emit(MakeEvent(EventKind::kTxnBegin, 1));
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(EventBusTest, StampsMonotoneSequenceAndTime) {
+  EventBus bus;
+  CollectorSink sink;
+  bus.Subscribe(&sink);
+  bus.set_time(7);
+  bus.Emit(MakeEvent(EventKind::kTxnBegin, 1));
+  bus.set_time(9);
+  bus.Emit(MakeEvent(EventKind::kTxnCommit, 1));
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].seq, 1u);
+  EXPECT_EQ(sink.events()[1].seq, 2u);
+  EXPECT_EQ(sink.events()[0].time, 7u);
+  EXPECT_EQ(sink.events()[1].time, 9u);
+  EXPECT_EQ(bus.emitted(), 2u);
+}
+
+TEST(EventBusTest, AllSinksSeeTheSameOrder) {
+  EventBus bus;
+  CollectorSink first;
+  CollectorSink second;
+  bus.Subscribe(&first);
+  bus.Subscribe(&second);
+  for (int i = 0; i < 5; ++i) {
+    bus.Emit(MakeEvent(EventKind::kLockGrant, static_cast<uint32_t>(i + 1)));
+  }
+  ASSERT_EQ(first.events().size(), 5u);
+  ASSERT_EQ(second.events().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(first.events()[i].seq, second.events()[i].seq);
+    EXPECT_EQ(first.events()[i].tid, second.events()[i].tid);
+  }
+}
+
+TEST(CollectorSinkTest, BoundedRingDropsOldest) {
+  EventBus bus;
+  CollectorSink sink(/*capacity=*/2);
+  bus.Subscribe(&sink);
+  bus.Emit(MakeEvent(EventKind::kTxnBegin, 1));
+  bus.Emit(MakeEvent(EventKind::kTxnBegin, 2));
+  bus.Emit(MakeEvent(EventKind::kTxnBegin, 3));
+  EXPECT_EQ(sink.dropped(), 1u);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].tid, 2u);
+  EXPECT_EQ(sink.events()[1].tid, 3u);
+  sink.Clear();
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(CollectorSinkTest, FilterAndCount) {
+  EventBus bus;
+  CollectorSink sink;
+  bus.Subscribe(&sink);
+  bus.Emit(MakeEvent(EventKind::kLockGrant, 1));
+  bus.Emit(MakeEvent(EventKind::kLockBlock, 2));
+  bus.Emit(MakeEvent(EventKind::kLockGrant, 3));
+  EXPECT_EQ(sink.Count(EventKind::kLockGrant), 2u);
+  EXPECT_EQ(sink.Count(EventKind::kLockBlock), 1u);
+  EXPECT_EQ(sink.Count(EventKind::kTxnAbort), 0u);
+  std::vector<Event> grants = sink.Filter(EventKind::kLockGrant);
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].tid, 1u);
+  EXPECT_EQ(grants[1].tid, 3u);
+}
+
+TEST(EventTest, ToJsonHasStableSchema) {
+  Event event;
+  event.seq = 3;
+  event.time = 10;
+  event.kind = EventKind::kLockBlock;
+  event.tid = 4;
+  event.rid = 9;
+  event.mode = lock::LockMode::kSIX;
+  event.a = 2;
+  event.value = 1.5;
+  const std::string json = ToJson(event);
+  EXPECT_NE(json.find("\"seq\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"time\":10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"lock_block\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rid\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode\":\"SIX\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a\":2"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(EventTest, EveryKindHasAName) {
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    const std::string_view name = ToString(static_cast<EventKind>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+  }
+}
+
+// One periodic pass over Example 5.1: the pass brackets its events with
+// kPassStart/kPassEnd, Step 1 precedes Step 2, at least one cycle is
+// resolved, and sequence numbers are strictly increasing.
+TEST(PassOrderingTest, EventsOfOnePassArriveInEmissionOrder) {
+  EventBus bus;
+  CollectorSink sink;
+  bus.Subscribe(&sink);
+
+  lock::LockManager manager;
+  core::BuildExample51(manager);  // pre-bus: only the pass is recorded
+  core::CostTable costs;
+  costs.Set(1, 6.0);
+  costs.Set(2, 4.0);
+  costs.Set(3, 1.0);
+  core::DetectorOptions options;
+  options.event_bus = &bus;
+  core::PeriodicDetector detector(options);
+  manager.set_event_bus(&bus);
+  core::ResolutionReport report = detector.RunPass(manager, costs);
+  EXPECT_GT(report.cycles_detected, 0u);
+
+  const auto& events = sink.events();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front().kind, EventKind::kPassStart);
+  EXPECT_EQ(events.front().a, 1u);  // periodic
+  EXPECT_EQ(events.back().kind, EventKind::kPassEnd);
+  EXPECT_EQ(events.back().a, report.cycles_detected);
+  EXPECT_EQ(events.back().b, report.aborted.size());
+
+  size_t step1 = 0, step2 = 0, resolved = 0;
+  uint64_t prev_seq = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, prev_seq);  // strictly increasing
+    prev_seq = events[i].seq;
+    if (events[i].kind == EventKind::kStep1) step1 = i;
+    if (events[i].kind == EventKind::kStep2) step2 = i;
+    if (events[i].kind == EventKind::kCycleResolved) ++resolved;
+  }
+  EXPECT_GT(step1, 0u);
+  EXPECT_GT(step2, step1);
+  EXPECT_EQ(resolved, report.cycles_detected);
+}
+
+TEST(LatencyObserverTest, AggregatesPassAndLockEvents) {
+  EventBus bus;
+  LatencyObserver observer;
+  bus.Subscribe(&observer);
+
+  lock::LockManager manager;
+  manager.set_event_bus(&bus);
+  core::BuildExample51(manager);
+  core::CostTable costs;
+  core::DetectorOptions options;
+  options.event_bus = &bus;
+  core::PeriodicDetector detector(options);
+  detector.RunPass(manager, costs);
+
+  EXPECT_GT(observer.total(), 0u);
+  EXPECT_GT(observer.Count(EventKind::kLockBlock), 0u);
+  EXPECT_EQ(observer.Count(EventKind::kPassEnd), 1u);
+  EXPECT_EQ(observer.queue_depth().count(),
+            observer.Count(EventKind::kLockBlock));
+  EXPECT_EQ(observer.pass_ns().count(), 1u);
+  EXPECT_EQ(observer.step1_ns().count(), 1u);
+  EXPECT_EQ(observer.step2_ns().count(), 1u);
+  EXPECT_GT(observer.cycle_len().count(), 0u);
+  EXPECT_GE(observer.cycle_len().min(), 2u);  // a cycle has >= 2 members
+
+  const std::string report = observer.Report();
+  EXPECT_NE(report.find("lock_block"), std::string::npos) << report;
+  EXPECT_NE(report.find("pass (ns)"), std::string::npos) << report;
+
+  observer.Reset();
+  EXPECT_EQ(observer.total(), 0u);
+  EXPECT_EQ(observer.pass_ns().count(), 0u);
+}
+
+TEST(PrometheusExportTest, TextContainsCountersAndHistograms) {
+  LatencyObserver observer;
+  Event block = MakeEvent(EventKind::kLockBlock, 2);
+  block.a = 3;
+  observer.OnEvent(block);
+  Event wait = MakeEvent(EventKind::kWaitEnd, 2);
+  wait.value = 12.0;
+  observer.OnEvent(wait);
+
+  const std::string text = ToPrometheusText(observer);
+  EXPECT_NE(text.find("twbg_events_total{kind=\"lock_block\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE twbg_wait_time_ticks histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("twbg_wait_time_ticks_count 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("twbg_queue_depth_sum 3"), std::string::npos) << text;
+  // Custom prefix is honoured.
+  EXPECT_NE(ToPrometheusText(observer, "park92").find("park92_events_total"),
+            std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "twbg_prom_test.txt";
+  ASSERT_TRUE(WritePrometheusFile(observer, path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_FALSE(WritePrometheusFile(observer, "/nonexistent-dir/x.txt").ok());
+}
+
+}  // namespace
+}  // namespace twbg::obs
