@@ -11,6 +11,9 @@
 // A third, instrumented run then re-times the incremental mode with an
 // event bus and a LatencyObserver attached, yielding the per-pass Step-1 /
 // Step-2 breakdown (and the observability overhead, which must stay small).
+// A fourth run adds the always-on forensics flight recorder on top and
+// reports its marginal overhead (`recorder_overhead`, relative to the
+// bare incremental pass) — the CI perf-smoke job gates it at 3%.
 //
 // Usage: bench_steady_state [resources] [mutations] [passes] [out.json]
 //                           [events.jsonl]
@@ -29,6 +32,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "core/periodic_detector.h"
+#include "obs/flight_recorder.h"
 #include "obs/observer.h"
 #include "obs/sinks.h"
 
@@ -141,6 +145,18 @@ int main(int argc, char** argv) {
   const double step2_ns = observer.step2_ns().mean();
   const double obs_overhead = instrumented_ns / incremental_ns - 1.0;
 
+  // Flight-recorder run: the forensics ring alone on the bus, as it would
+  // ship in production ("always cheap").  Its overhead is measured against
+  // the bare incremental pass.
+  obs::EventBus recorder_bus;
+  obs::FlightRecorder recorder;
+  recorder_bus.Subscribe(&recorder);
+  core::ResolutionReport recorder_report;
+  const double recorder_ns =
+      MeasureMode(/*incremental=*/true, resources, mutations, passes,
+                  &recorder_report, &recorder_bus);
+  const double recorder_overhead = recorder_ns / incremental_ns - 1.0;
+
   std::printf("  incremental: %12.0f ns/pass (dirty=%zu cached=%zu "
               "edges-rebuilt=%zu edges-reused=%zu)\n",
               incremental_ns, incremental_report.num_dirty_resources,
@@ -153,6 +169,11 @@ int main(int argc, char** argv) {
               "overhead=%.1f%%, %llu events)\n",
               instrumented_ns, step1_ns, step2_ns, obs_overhead * 100.0,
               static_cast<unsigned long long>(observer.total()));
+  std::printf("  recorder:    %12.0f ns/pass (overhead=%.1f%%, %llu events "
+              "in a %zu-slot ring)\n",
+              recorder_ns, recorder_overhead * 100.0,
+              static_cast<unsigned long long>(recorder.recorded()),
+              recorder.capacity());
   if (jsonl != nullptr) {
     jsonl->Flush();
     std::printf("  events:      %llu line(s) -> %s\n",
@@ -183,7 +204,9 @@ int main(int argc, char** argv) {
                "  \"step1_ns_per_pass\": %.1f,\n"
                "  \"step2_ns_per_pass\": %.1f,\n"
                "  \"observer_overhead\": %.4f,\n"
-               "  \"pass_events\": %llu\n"
+               "  \"pass_events\": %llu,\n"
+               "  \"recorder_ns_per_pass\": %.1f,\n"
+               "  \"recorder_overhead\": %.4f\n"
                "}\n",
                resources, mutations,
                static_cast<double>(mutations) / static_cast<double>(resources),
@@ -193,7 +216,8 @@ int main(int argc, char** argv) {
                incremental_report.edges_rebuilt,
                incremental_report.edges_reused, instrumented_ns, step1_ns,
                step2_ns, obs_overhead,
-               static_cast<unsigned long long>(observer.total()));
+               static_cast<unsigned long long>(observer.total()),
+               recorder_ns, recorder_overhead);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

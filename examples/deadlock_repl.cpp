@@ -35,6 +35,7 @@ constexpr const char* kHelp = R"(commands:
   expect-deadlock yes|no
   expect-aborted <txn> ...
   obs                               event counts + latency histograms
+  postmortem                        forensics of the last detect's cycles
   reset
   help | quit
 )";

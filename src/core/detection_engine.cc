@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "core/post_mortem.h"
 #include "core/victim.h"
 
 namespace twbg::core {
@@ -79,7 +80,8 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
     }
   }
 
-  if (obs::Enabled(options.event_bus)) {
+  const bool observing = obs::Enabled(options.event_bus);
+  if (observing) {
     obs::Event event;
     event.kind = obs::EventKind::kCycleResolved;
     event.tid = victim.junction;
@@ -88,6 +90,28 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
     event.b = victim.kind == VictimKind::kReposition;
     event.value = victim.cost;
     options.event_bus->Emit(event);
+  }
+
+  if (observing || options.collect_post_mortems) {
+    // Assemble the forensic record while the evidence is live: cycle
+    // members are still blocked (TDR-1 victims release only at Step 3)
+    // and the TDR-2 repositioning, if any, is already visible.
+    const uint64_t now =
+        options.event_bus != nullptr ? options.event_bus->time() : 0;
+    CyclePostMortem pm =
+        BuildPostMortem(views, candidates, chosen, manager, now);
+    if (observing) {
+      obs::Event event;
+      event.kind = obs::EventKind::kCyclePostMortem;
+      event.tid = pm.junction;
+      event.rid = pm.resource;
+      event.a = pm.members.size();
+      event.b = pm.rule == VictimKind::kReposition;
+      event.value = pm.cost;
+      event.detail = pm.Summary();
+      options.event_bus->Emit(std::move(event));
+    }
+    outcome.post_mortems.push_back(std::move(pm));
   }
 
   // Clear the backtracked ancestors; w stays marked (walk resumes there).
@@ -166,6 +190,7 @@ ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
   ResolutionReport report;
   report.cycles_detected = walk.cycles;
   report.decisions = std::move(walk.decisions);
+  report.post_mortems = std::move(walk.post_mortems);
   report.steps = walk.steps;
   report.repositioned = walk.change_list;
 

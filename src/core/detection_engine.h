@@ -20,6 +20,9 @@ namespace twbg::core {
 /// Intermediate result of the Step 2 walk.
 struct WalkOutcome {
   std::vector<VictimDecision> decisions;
+  /// Per-cycle forensic records, parallel to `decisions`; empty unless
+  /// post-mortems are enabled (see DetectorOptions::collect_post_mortems).
+  std::vector<CyclePostMortem> post_mortems;
   /// TDR-1 victims in selection order (pre-sparing).
   std::vector<lock::TransactionId> abortion_list;
   /// Resources repositioned by TDR-2, in application order (change list).

@@ -6,9 +6,12 @@
 #ifndef TWBG_CORE_DETECTOR_H_
 #define TWBG_CORE_DETECTOR_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/ecr.h"
 #include "lock/types.h"
 #include "obs/bus.h"
 
@@ -54,6 +57,62 @@ struct VictimDecision {
   std::string ToString() const;
 };
 
+/// One transaction on a resolved cycle, with the wait state it had at
+/// resolution time (see CyclePostMortem).
+struct PostMortemMember {
+  /// The cycle vertex.
+  lock::TransactionId tid = lock::kInvalidTransaction;
+  /// The TWBG edge the walk took out of this vertex (H or W labeled).
+  TwbgEdge edge;
+  /// Resource the member was blocked on at resolution time (nullopt for
+  /// pure holders — H-edge tails that are runnable).
+  std::optional<lock::ResourceId> blocked_on;
+  /// Mode the member was blocked for (kNL when runnable).
+  lock::LockMode blocked_mode = lock::LockMode::kNL;
+  /// The member's wait-span id (0 when it never blocked).
+  uint64_t wait_span = 0;
+  /// Logical time the member had spent blocked when the cycle was
+  /// resolved (0 for runnable members or bus-less runs).
+  uint64_t time_in_queue = 0;
+
+  /// One-line rendering: "T8 -W(R2)-> T2 [blocked X on R2, span=5, ...]".
+  std::string ToString() const;
+};
+
+/// Forensic record of one resolved cycle, assembled at resolution time
+/// while the evidence is live (core::BuildPostMortem): the wait chain
+/// with per-member spans and queue ages, the TDR rule applied, the full
+/// candidate rationale, and queue snapshots of the cycle's resources.
+/// kCycleResolved says *that* a cycle was broken; the post-mortem says
+/// *why it existed* and *what it cost whom*.
+struct CyclePostMortem {
+  /// Logical bus time of the resolution (0 for bus-less runs).
+  uint64_t time = 0;
+  /// Cycle members in walk order, starting at the re-entered vertex.
+  std::vector<PostMortemMember> members;
+  /// TDR rule applied.
+  VictimKind rule = VictimKind::kAbort;
+  /// Junction the chosen candidate acted at (TDR-1: also the victim).
+  lock::TransactionId junction = lock::kInvalidTransaction;
+  /// TDR-2 only: the repositioned resource (0 for TDR-1).
+  lock::ResourceId resource = 0;
+  /// The chosen candidate's cost.
+  double cost = 0.0;
+  /// Every candidate considered, chosen one bracketed — the victim
+  /// rationale (same rendering as VictimDecision).
+  std::string rationale;
+  /// ResourceState::ToString of every distinct resource on the cycle,
+  /// captured after the resolution was applied, in edge order.
+  std::vector<std::string> queue_snapshots;
+
+  /// Multi-line human-readable report (REPL `postmortem` command).
+  std::string ToString() const;
+
+  /// Compact single-line rendering used as the kCyclePostMortem event's
+  /// `detail` payload: wait chain with spans, rule, rationale.
+  std::string Summary() const;
+};
+
 /// Order in which Step 3 processes the abortion list.  The paper leaves
 /// this open; its Example 5.1 walks the list in an order that lets an
 /// earlier abort spare a later victim, which kReverseInsertion maximizes
@@ -90,10 +149,15 @@ struct DetectorOptions {
   /// the from-scratch Step 1 (the benchmark's comparison baseline).
   bool incremental_build = true;
   /// Structured-event bus the detectors emit kPassStart / kStep1 /
-  /// kStep2 / kCycleResolved / kPassEnd to.  Null (the default) disables
-  /// emission and the per-pass timing that feeds it; the only residual
-  /// cost is one pointer test per pass.  Not owned.
+  /// kStep2 / kCycleResolved / kCyclePostMortem / kPassEnd to.  Null (the
+  /// default) disables emission and the per-pass timing that feeds it;
+  /// the only residual cost is one pointer test per pass.  Not owned.
   obs::EventBus* event_bus = nullptr;
+  /// Assemble a forensic core::CyclePostMortem for every resolved cycle
+  /// and store it in ResolutionReport::post_mortems.  Post-mortems are
+  /// also assembled — and emitted as kCyclePostMortem events — whenever
+  /// an active event_bus is attached, regardless of this flag.
+  bool collect_post_mortems = false;
 };
 
 /// Outcome of one detection-resolution pass.
@@ -102,6 +166,11 @@ struct ResolutionReport {
   size_t cycles_detected = 0;
   /// Per-cycle resolution decisions in detection order.
   std::vector<VictimDecision> decisions;
+  /// Forensic per-cycle post-mortems, parallel to `decisions`.  Populated
+  /// when DetectorOptions::collect_post_mortems is set or an active
+  /// event_bus is attached; deliberately NOT rendered by ToString() so
+  /// differential byte-for-byte report comparisons stay stable.
+  std::vector<CyclePostMortem> post_mortems;
   /// Transactions aborted at Step 3 (after sparing) — their locks are
   /// already released; the caller must terminate/restart them.
   std::vector<lock::TransactionId> aborted;

@@ -40,10 +40,14 @@ std::string OutcomeName(lock::RequestOutcome outcome) {
 }
 
 // The runner's own bus becomes the detector's unless the caller set one.
+// Post-mortems are always collected: the REPL's `postmortem` command must
+// work even when no sink is subscribed, and scripts are small enough that
+// the assembly cost never matters.
 ScriptOptions WithBus(ScriptOptions options, obs::EventBus* bus) {
   if (options.detector.event_bus == nullptr) {
     options.detector.event_bus = bus;
   }
+  options.detector.collect_post_mortems = true;
   return options;
 }
 
@@ -230,6 +234,19 @@ Status ScriptRunner::ExecuteLine(std::string_view line, std::string* out) {
     return Status::OK();
   }
   if (cmd == "expect-aborted") return DoExpectAborted(args);
+  if (cmd == "postmortem") {
+    if (!last_report_.has_value()) {
+      return Status::FailedPrecondition("no detect to report on");
+    }
+    if (last_report_->post_mortems.empty()) {
+      *out += "no cycles resolved by the last detect\n";
+      return Status::OK();
+    }
+    for (const CyclePostMortem& pm : last_report_->post_mortems) {
+      *out += pm.ToString();
+    }
+    return Status::OK();
+  }
   if (cmd == "obs") {
     *out += observer_.Report();
     if (jsonl_ != nullptr) {

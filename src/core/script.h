@@ -21,6 +21,8 @@
 //   expect-aborted <txn> [...]        assert the last detect's abortees
 //   obs                               print the observability report
 //                                     (event counts + latency histograms)
+//   postmortem                        print the forensic post-mortem of
+//                                     every cycle the last detect resolved
 //   reset                             fresh lock manager and cost table
 
 #ifndef TWBG_CORE_SCRIPT_H_

@@ -32,6 +32,10 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
     info.blocked_on = rid;
     const HolderEntry* h = state.FindHolder(tid);
     info.blocked_mode = h != nullptr ? h->blocked : mode;
+    // Every block opens a fresh wait span — even without a bus, so span
+    // ids stay comparable across runs that toggle observability.
+    info.wait_span = next_wait_span_++;
+    info.wait_started = bus_ != nullptr ? bus_->time() : 0;
   }
   if (observing) {
     obs::Event event;
@@ -49,6 +53,7 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
         event.kind = conversion ? obs::EventKind::kLockConvert
                                 : obs::EventKind::kLockBlock;
         event.a = conversion ? 0 : state.queue().size();
+        event.span = info.wait_span;
         break;
     }
     bus_->Emit(event);
@@ -72,6 +77,7 @@ std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
         wake.kind = obs::EventKind::kLockWakeup;
         wake.tid = waiter;
         wake.rid = rid;
+        wake.span = WaitSpan(waiter);
         bus_->Emit(wake);
       }
     }
@@ -102,6 +108,9 @@ std::vector<TransactionId> LockManager::Reschedule(ResourceId rid) {
       wake.kind = obs::EventKind::kLockWakeup;
       wake.tid = waiter;
       wake.rid = rid;
+      // NoteGranted already ran, but wait_span is retained past wakeup,
+      // so the span id still correlates with the waiter's kLockBlock.
+      wake.span = WaitSpan(waiter);
       bus_->Emit(wake);
     }
   }
@@ -137,6 +146,16 @@ std::optional<ResourceId> LockManager::BlockedOn(TransactionId tid) const {
 const TxnLockInfo* LockManager::Info(TransactionId tid) const {
   auto it = txns_.find(tid);
   return it == txns_.end() ? nullptr : &it->second;
+}
+
+uint64_t LockManager::WaitSpan(TransactionId tid) const {
+  const TxnLockInfo* info = Info(tid);
+  return info != nullptr ? info->wait_span : 0;
+}
+
+uint64_t LockManager::WaitStarted(TransactionId tid) const {
+  const TxnLockInfo* info = Info(tid);
+  return info != nullptr ? info->wait_started : 0;
 }
 
 std::vector<TransactionId> LockManager::KnownTransactions() const {

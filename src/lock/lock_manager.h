@@ -30,6 +30,15 @@ struct TxnLockInfo {
   /// Mode the transaction is blocked for (post-Conv for conversions);
   /// kNL when runnable.
   LockMode blocked_mode = LockMode::kNL;
+  /// Wait-span correlation id of the transaction's most recent block
+  /// (manager-wide monotonic, 0 = never blocked).  Deliberately retained
+  /// after wakeup so the driver can stamp the span onto its kWaitEnd
+  /// event after the wait is over.
+  uint64_t wait_span = 0;
+  /// Logical bus time at which the most recent block started (0 when no
+  /// bus was attached).  Retained like wait_span; post-mortems use it to
+  /// compute each cycle member's time in queue.
+  uint64_t wait_started = 0;
   /// Every resource where the transaction currently appears.
   std::set<ResourceId> touched;
 };
@@ -69,6 +78,15 @@ class LockManager {
   /// Full info for `tid`, or nullptr if unknown.
   const TxnLockInfo* Info(TransactionId tid) const;
 
+  /// Wait-span id of `tid`'s most recent block (0 = never blocked).
+  /// Valid while blocked and after wakeup, until the transaction releases
+  /// (drivers read it when emitting kWaitEnd).
+  uint64_t WaitSpan(TransactionId tid) const;
+
+  /// Logical time `tid`'s most recent block started; 0 when never blocked
+  /// or when no bus was attached at block time.
+  uint64_t WaitStarted(TransactionId tid) const;
+
   /// All transactions known to the lock manager, ascending by id.
   std::vector<TransactionId> KnownTransactions() const;
 
@@ -101,6 +119,7 @@ class LockManager {
   LockTable table_;
   std::map<TransactionId, TxnLockInfo> txns_;
   obs::EventBus* bus_ = nullptr;
+  uint64_t next_wait_span_ = 1;  // wait-span ids are manager-wide monotonic
 };
 
 }  // namespace twbg::lock

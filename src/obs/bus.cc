@@ -16,10 +16,33 @@ void EventBus::Unsubscribe(EventSink* sink) {
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
-void EventBus::Emit(Event event) {
+void EventBus::Deliver(Event& event) {
   event.seq = next_seq_++;
   event.time = time_;
-  for (EventSink* sink : sinks_) sink->OnEvent(event);
+  // Index-based: a nested Subscribe must not invalidate the sweep (newly
+  // added sinks start with the next event).
+  const size_t n = sinks_.size();
+  for (size_t i = 0; i < n && i < sinks_.size(); ++i) {
+    sinks_[i]->OnEvent(event);
+  }
+}
+
+void EventBus::Emit(Event event) {
+  if (emitting_) {
+    // Nested emission from inside a sink: queue it so every sink sees the
+    // outer event first and the stream stays identically ordered.
+    deferred_.push_back(std::move(event));
+    return;
+  }
+  emitting_ = true;
+  Deliver(event);
+  // Drain alerts (and anything they trigger) in arrival order.
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    Event nested = std::move(deferred_[i]);
+    Deliver(nested);
+  }
+  deferred_.clear();
+  emitting_ = false;
 }
 
 }  // namespace twbg::obs

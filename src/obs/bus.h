@@ -64,15 +64,26 @@ class EventBus {
 
   /// Stamps `event` with the next sequence number and the current logical
   /// time, then delivers it to every sink in subscription order.
+  ///
+  /// Re-entrancy: a sink may call Emit from inside OnEvent (the watchdog
+  /// emits synthetic alerts this way).  Such nested events are deferred
+  /// and delivered — in emission order, with later sequence numbers —
+  /// after the triggering event has reached every sink, so all sinks
+  /// still observe one identical, strictly increasing stream.
   void Emit(Event event);
 
   /// Total events emitted through this bus.
   uint64_t emitted() const { return next_seq_ - 1; }
 
  private:
+  // Stamps and fans out one event (no deferral logic).
+  void Deliver(Event& event);
+
   std::vector<EventSink*> sinks_;
+  std::vector<Event> deferred_;  // nested Emit calls, in arrival order
   uint64_t next_seq_ = 1;
   uint64_t time_ = 0;
+  bool emitting_ = false;
 };
 
 /// Emission-site guard: true when `bus` is attached and has sinks.

@@ -19,6 +19,15 @@ std::string_view ModeName(lock::LockMode mode) {
 
 }  // namespace
 
+std::string_view LockModeName(lock::LockMode mode) { return ModeName(mode); }
+
+std::optional<lock::LockMode> LockModeFromName(std::string_view name) {
+  for (size_t i = 0; i < std::size(kModeNames); ++i) {
+    if (kModeNames[i] == name) return static_cast<lock::LockMode>(i);
+  }
+  return std::nullopt;
+}
+
 std::string_view ToString(EventKind kind) {
   switch (kind) {
     case EventKind::kTxnBegin:
@@ -55,8 +64,22 @@ std::string_view ToString(EventKind kind) {
       return "cycle_resolved";
     case EventKind::kDetectorMiss:
       return "detector_miss";
+    case EventKind::kCyclePostMortem:
+      return "cycle_post_mortem";
+    case EventKind::kStarvation:
+      return "starvation";
+    case EventKind::kConvoy:
+      return "convoy";
   }
   return "?";
+}
+
+std::optional<EventKind> EventKindFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (ToString(kind) == name) return kind;
+  }
+  return std::nullopt;
 }
 
 std::string Event::ToString() const {
@@ -73,22 +96,71 @@ std::string Event::ToString() const {
     out += common::Format(" a=%llu b=%llu", static_cast<unsigned long long>(a),
                           static_cast<unsigned long long>(b));
   }
+  if (span != 0) {
+    out += common::Format(" span=%llu", static_cast<unsigned long long>(span));
+  }
   if (value != 0.0) out += common::Format(" value=%.1f", value);
+  if (!detail.empty()) {
+    out += " ";
+    out += detail;
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::Format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
   return out;
 }
 
 std::string ToJson(const Event& event) {
-  // Every field is numeric or drawn from fixed internal name tables, so no
-  // string escaping is needed.
-  return common::Format(
-      "{\"seq\":%llu,\"time\":%llu,\"kind\":\"%s\",\"tid\":%u,\"rid\":%u,"
-      "\"mode\":\"%s\",\"a\":%llu,\"b\":%llu,\"value\":%.3f}",
-      static_cast<unsigned long long>(event.seq),
+  // Numeric fields and fixed name tables need no escaping; `detail` is
+  // free-form and must be escaped.
+  std::string out = common::Format(
+      "{\"seq\":%llu,\"schema_version\":%d,\"time\":%llu,\"kind\":\"%s\","
+      "\"tid\":%u,\"rid\":%u,\"mode\":\"%s\",\"a\":%llu,\"b\":%llu,"
+      "\"span\":%llu,\"value\":%.3f,\"detail\":\"",
+      static_cast<unsigned long long>(event.seq), kJsonSchemaVersion,
       static_cast<unsigned long long>(event.time),
       std::string(ToString(event.kind)).c_str(), event.tid, event.rid,
       std::string(ModeName(event.mode)).c_str(),
       static_cast<unsigned long long>(event.a),
-      static_cast<unsigned long long>(event.b), event.value);
+      static_cast<unsigned long long>(event.b),
+      static_cast<unsigned long long>(event.span), event.value);
+  out += JsonEscape(event.detail);
+  out += "\"}";
+  return out;
 }
 
 }  // namespace twbg::obs

@@ -16,6 +16,7 @@
 #define TWBG_OBS_EVENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -88,16 +89,48 @@ enum class EventKind : uint8_t {
   /// The driver's stall recovery broke a deadlock the strategy missed.
   /// `tid` = the force-aborted victim.
   kDetectorMiss,
+
+  // -- forensics layer (core detection engine, obs::Watchdog) --
+  /// Post-mortem of one resolved cycle, emitted right after its
+  /// kCycleResolved.  `tid` = the junction acted at, `rid` = the
+  /// repositioned resource (TDR-2 only, else 0); `a` = cycle length,
+  /// `b` = 1 TDR-2 / 0 TDR-1; `value` = the chosen candidate's cost;
+  /// `detail` = the compact CyclePostMortem rendering (wait chain,
+  /// member spans and queue ages, candidate rationale, queue snapshots).
+  kCyclePostMortem,
+  /// Watchdog: a transaction is starving.  `tid`, `rid` = the resource it
+  /// waits on (0 when flagged for repeated victimization); `span` = its
+  /// wait span (0 likewise); `a` = wait-span age in ticks or restart
+  /// count; `b` = 1 for span-age starvation, 2 for repeated
+  /// victimization; `value` = `a` as a double.
+  kStarvation,
+  /// Watchdog: a resource looks convoyed.  `rid`; `a` = concurrently
+  /// blocked wait spans on the resource; `b` = 1-based rank among the
+  /// flagged hot resources this check; `value` = `a` as a double.
+  kConvoy,
 };
 
 /// Number of EventKind enumerators (array-sizing constant).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kDetectorMiss) + 1;
+    static_cast<size_t>(EventKind::kConvoy) + 1;
 
 /// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
 std::string_view ToString(EventKind kind);
 
-/// One structured event.  Fixed-size POD so emission is a struct copy;
+/// Inverse of ToString(EventKind): the kind named `name`, or nullopt for
+/// an unknown name.  Used by the offline trace reader.
+std::optional<EventKind> EventKindFromName(std::string_view name);
+
+/// Lock-mode name as emitted in events ("NL", "IS", ... — obs's local
+/// table; see the layering note above for why lock::ToString is not used).
+std::string_view LockModeName(lock::LockMode mode);
+
+/// Inverse of LockModeName, or nullopt for an unknown name.  Used by the
+/// offline trace reader.
+std::optional<lock::LockMode> LockModeFromName(std::string_view name);
+
+/// One structured event.  Fixed-size except for `detail` (empty for all
+/// hot-path kinds, so emission is still effectively a struct copy);
 /// fields not meaningful for the kind (see EventKind) are zero.
 struct Event {
   /// Global emission order, assigned by the bus (1-based, 0 = unstamped).
@@ -116,17 +149,35 @@ struct Event {
   /// Kind-specific counters — see the EventKind documentation.
   uint64_t a = 0;
   uint64_t b = 0;
+  /// Wait-span correlation id: every block (fresh request or blocked
+  /// conversion) opens a span; the matching wakeup and wait-end carry the
+  /// same id, so block -> wakeup -> wait-end causality survives
+  /// interleaving.  0 for kinds with no associated wait.
+  uint64_t span = 0;
   /// Kind-specific measurement (durations in ns, waits in ticks, costs).
   double value = 0.0;
+  /// Kind-specific string payload (post-mortem renderings); empty — and
+  /// allocation-free — for every hot-path kind.
+  std::string detail;
 
   /// One-line human-readable rendering.
   std::string ToString() const;
 };
 
+/// Version stamped as "schema_version" on every JSONL line.  Bump when a
+/// field is added/renamed/retyped; offline readers (obs::ReadTraceFile,
+/// tools/twbg-trace) reject lines with any other version.  Version 1 was
+/// the unstamped pre-forensics schema (no span/detail fields).
+inline constexpr int kJsonSchemaVersion = 2;
+
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters (as \uXXXX or the short forms).
+std::string JsonEscape(std::string_view text);
+
 /// Renders `event` as one JSON object (no trailing newline), the format
-/// of the JSONL exporter: {"seq":..,"time":..,"kind":"..",...}.  Fields
-/// that are zero for the kind are still emitted so every line has an
-/// identical schema.
+/// of the JSONL exporter: {"seq":..,"schema_version":..,"time":..,
+/// "kind":"..",...}.  Fields that are zero for the kind are still emitted
+/// so every line has an identical schema.
 std::string ToJson(const Event& event);
 
 }  // namespace twbg::obs

@@ -1,0 +1,67 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace twbg::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  capacity = std::bit_ceil(std::max<size_t>(capacity, 16));
+  slots_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+void FlightRecorder::OnEvent(const Event& event) {
+  // Assigning over a slot whose previous occupant carried a detail string
+  // reuses (or frees) that slot's buffer; an empty-detail event therefore
+  // never allocates here.
+  slots_[recorded_ & mask_] = event;
+  ++recorded_;
+}
+
+template <typename Pred>
+std::vector<Event> FlightRecorder::TailMatching(size_t max, Pred keep) const {
+  std::vector<Event> out;
+  const uint64_t retained =
+      std::min<uint64_t>(recorded_, slots_.size());
+  for (uint64_t back = 0; back < retained && out.size() < max; ++back) {
+    const Event& event = slots_[(recorded_ - 1 - back) & mask_];
+    if (keep(event)) out.push_back(event);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Event> FlightRecorder::Tail(size_t max) const {
+  return TailMatching(max, [](const Event&) { return true; });
+}
+
+std::vector<Event> FlightRecorder::TailForTxn(lock::TransactionId tid,
+                                              size_t max) const {
+  return TailMatching(max,
+                      [tid](const Event& event) { return event.tid == tid; });
+}
+
+std::vector<Event> FlightRecorder::TailForResource(lock::ResourceId rid,
+                                                   size_t max) const {
+  return TailMatching(max,
+                      [rid](const Event& event) { return event.rid == rid; });
+}
+
+std::string FlightRecorder::Dump(size_t max) const {
+  std::string out;
+  for (const Event& event : Tail(max)) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Event());
+  recorded_ = 0;
+}
+
+}  // namespace twbg::obs

@@ -1,0 +1,68 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Always-cheap bounded flight recorder: a preallocated power-of-two ring
+// of the most recent events, meant to stay attached in production so the
+// moments *before* a deadlock, convoy or starvation alert are available
+// for post-mortem queries.  The hot path is one ring-slot assignment —
+// no allocation after construction for every detail-free (hot-path)
+// event kind.  Queries (per-transaction / per-resource tails) walk the
+// ring backwards and are allowed to allocate; they are forensic, not hot.
+
+#ifndef TWBG_OBS_FLIGHT_RECORDER_H_
+#define TWBG_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/bus.h"
+
+namespace twbg::obs {
+
+/// Bounded ring of recent events with per-txn / per-resource tail views.
+class FlightRecorder : public EventSink {
+ public:
+  /// `capacity` is rounded up to a power of two (min 16) and preallocated.
+  explicit FlightRecorder(size_t capacity = 4096);
+
+  /// Records `event` into the ring, overwriting the oldest slot when
+  /// full.  Zero-allocation for events with an empty `detail`.
+  void OnEvent(const Event& event) override;
+
+  /// Ring capacity (events retained at most).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Total events ever recorded (retained = min(recorded, capacity)).
+  uint64_t recorded() const { return recorded_; }
+
+  /// The `max` most recent events, oldest first.
+  std::vector<Event> Tail(size_t max) const;
+
+  /// The `max` most recent events whose subject transaction is `tid`,
+  /// oldest first.
+  std::vector<Event> TailForTxn(lock::TransactionId tid, size_t max) const;
+
+  /// The `max` most recent events whose subject resource is `rid`,
+  /// oldest first.
+  std::vector<Event> TailForResource(lock::ResourceId rid, size_t max) const;
+
+  /// Human-readable dump of Tail(max), one event per line.
+  std::string Dump(size_t max) const;
+
+  /// Empties the ring (capacity is kept).
+  void Clear();
+
+ private:
+  // Applies `keep` to the retained events newest-first, collecting at
+  // most `max` matches, then reverses to oldest-first.
+  template <typename Pred>
+  std::vector<Event> TailMatching(size_t max, Pred keep) const;
+
+  std::vector<Event> slots_;  // fixed size, power of two
+  size_t mask_ = 0;           // slots_.size() - 1
+  uint64_t recorded_ = 0;     // next write position = recorded_ & mask_
+};
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_FLIGHT_RECORDER_H_

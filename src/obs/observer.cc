@@ -66,10 +66,13 @@ std::string LatencyObserver::Report() const {
 
 namespace {
 
-// One Prometheus histogram block: cumulative le-buckets, _sum, _count.
+// One Prometheus histogram block: HELP/TYPE header, cumulative
+// le-buckets, _sum, _count.
 void AppendHistogram(std::string* out, const std::string& prefix,
-                     const char* name, const LogHistogram& hist) {
+                     const char* name, const char* help,
+                     const LogHistogram& hist) {
   const std::string metric = prefix + "_" + name;
+  *out += common::Format("# HELP %s %s\n", metric.c_str(), help);
   *out += common::Format("# TYPE %s histogram\n", metric.c_str());
   uint64_t cumulative = 0;
   for (size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
@@ -92,6 +95,9 @@ void AppendHistogram(std::string* out, const std::string& prefix,
 std::string ToPrometheusText(const LatencyObserver& observer,
                              const std::string& prefix) {
   std::string out;
+  out += common::Format(
+      "# HELP %s_events_total Structured events observed, by kind.\n",
+      prefix.c_str());
   out += common::Format("# TYPE %s_events_total counter\n", prefix.c_str());
   for (size_t i = 0; i < kNumEventKinds; ++i) {
     const uint64_t n = observer.Count(static_cast<EventKind>(i));
@@ -101,12 +107,24 @@ std::string ToPrometheusText(const LatencyObserver& observer,
                           prefix.c_str(), name.c_str(),
                           static_cast<unsigned long long>(n));
   }
-  AppendHistogram(&out, prefix, "wait_time_ticks", observer.wait_time());
-  AppendHistogram(&out, prefix, "pass_duration_ns", observer.pass_ns());
-  AppendHistogram(&out, prefix, "step1_duration_ns", observer.step1_ns());
-  AppendHistogram(&out, prefix, "step2_duration_ns", observer.step2_ns());
-  AppendHistogram(&out, prefix, "queue_depth", observer.queue_depth());
-  AppendHistogram(&out, prefix, "cycle_length", observer.cycle_len());
+  AppendHistogram(&out, prefix, "wait_time_ticks",
+                  "Completed lock waits, in simulator ticks.",
+                  observer.wait_time());
+  AppendHistogram(&out, prefix, "pass_duration_ns",
+                  "Detection-resolution pass duration, nanoseconds.",
+                  observer.pass_ns());
+  AppendHistogram(&out, prefix, "step1_duration_ns",
+                  "Step 1 (graph construction) duration, nanoseconds.",
+                  observer.step1_ns());
+  AppendHistogram(&out, prefix, "step2_duration_ns",
+                  "Step 2 (directed walk) duration, nanoseconds.",
+                  observer.step2_ns());
+  AppendHistogram(&out, prefix, "queue_depth",
+                  "Resource queue depth observed at each lock block.",
+                  observer.queue_depth());
+  AppendHistogram(&out, prefix, "cycle_length",
+                  "Resolved deadlock cycle length, in transactions.",
+                  observer.cycle_len());
   return out;
 }
 

@@ -47,13 +47,21 @@ JsonlSink::~JsonlSink() {
 }
 
 void JsonlSink::OnEvent(const Event& event) {
-  std::fputs(ToJson(event).c_str(), file_);
-  std::fputc('\n', file_);
+  // Clear a sticky error from an earlier failed line so this line gets
+  // its own chance (and its own error count) instead of failing forever.
+  std::clearerr(file_);
+  const bool failed = std::fputs(ToJson(event).c_str(), file_) == EOF ||
+                      std::fputc('\n', file_) == EOF;
+  if (failed) ++write_errors_;
   ++lines_;
 }
 
 void JsonlSink::Flush() {
-  if (file_ != nullptr) std::fflush(file_);
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) {
+    ++write_errors_;
+    std::clearerr(file_);
+  }
 }
 
 }  // namespace twbg::obs

@@ -68,16 +68,25 @@ class JsonlSink : public EventSink {
   /// Non-copyable: the sink owns its FILE handle.
   JsonlSink& operator=(const JsonlSink&) = delete;
 
-  /// Writes `event` as one JSON line.
+  /// Writes `event` as one JSON line.  A failed write (disk full,
+  /// revoked permissions) increments write_errors() and the line is lost;
+  /// the sink keeps accepting events so one bad line cannot wedge a run.
   void OnEvent(const Event& event) override;
 
-  /// Lines written so far.
+  /// Lines written so far (attempted; lines lost to write errors are
+  /// counted in write_errors() instead).
   uint64_t lines_written() const { return lines_; }
+
+  /// Lines that could not be (fully) written — e.g. the disk filled up.
+  /// Nonzero means the file is missing events and possibly truncated
+  /// mid-line; `sim::SimMetrics::trace_write_errors` mirrors this.
+  uint64_t write_errors() const { return write_errors_; }
 
   /// Path the sink writes to.
   const std::string& path() const { return path_; }
 
-  /// Flushes buffered output to the file.
+  /// Flushes buffered output to the file; a failed flush counts as one
+  /// write error.
   void Flush();
 
  private:
@@ -87,6 +96,7 @@ class JsonlSink : public EventSink {
   std::FILE* file_;
   std::string path_;
   uint64_t lines_ = 0;
+  uint64_t write_errors_ = 0;
 };
 
 }  // namespace twbg::obs

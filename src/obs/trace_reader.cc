@@ -1,0 +1,236 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/trace_reader.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace twbg::obs {
+namespace {
+
+// Minimal cursor over one flat JSON object.  The grammar is exactly what
+// ToJson emits: {"key":value,...} with string or number values.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+};
+
+// Appends `codepoint` to `out` as UTF-8 (BMP only — what \uXXXX covers).
+void AppendUtf8(uint32_t codepoint, std::string* out) {
+  if (codepoint < 0x80) {
+    out->push_back(static_cast<char>(codepoint));
+  } else if (codepoint < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  }
+}
+
+// Parses a JSON string literal (opening quote already positioned at) and
+// unescapes it into `out`.
+Status ParseString(Cursor* cur, std::string* out) {
+  if (!cur->Consume('"')) return Status::InvalidArgument("expected '\"'");
+  out->clear();
+  while (!cur->AtEnd()) {
+    const char c = cur->text[cur->pos++];
+    if (c == '"') return Status::OK();
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur->AtEnd()) break;
+    const char esc = cur->text[cur->pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (cur->pos + 4 > cur->text.size()) {
+          return Status::InvalidArgument("truncated \\u escape");
+        }
+        uint32_t codepoint = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cur->text[cur->pos++];
+          codepoint <<= 4;
+          if (h >= '0' && h <= '9') {
+            codepoint |= static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            codepoint |= static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            codepoint |= static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            return Status::InvalidArgument("bad hex digit in \\u escape");
+          }
+        }
+        AppendUtf8(codepoint, out);
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            common::Format("unknown escape \\%c", esc));
+    }
+  }
+  return Status::InvalidArgument("unterminated string");
+}
+
+// Parses a JSON number into `out` (its raw text; the caller converts).
+Status ParseNumber(Cursor* cur, std::string* out) {
+  out->clear();
+  while (!cur->AtEnd()) {
+    const char c = cur->Peek();
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+        c == 'e' || c == 'E') {
+      out->push_back(c);
+      ++cur->pos;
+    } else {
+      break;
+    }
+  }
+  if (out->empty()) return Status::InvalidArgument("expected a number");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Event> ParseTraceLine(std::string_view line) {
+  Cursor cur{line};
+  cur.SkipSpace();
+  if (!cur.Consume('{')) {
+    return Status::InvalidArgument("line is not a JSON object");
+  }
+  Event event;
+  bool saw_version = false;
+  std::string key, text;
+  bool first = true;
+  while (true) {
+    cur.SkipSpace();
+    if (cur.Consume('}')) break;
+    if (!first && !cur.Consume(',')) {
+      return Status::InvalidArgument("expected ',' between members");
+    }
+    first = false;
+    cur.SkipSpace();
+    TWBG_RETURN_IF_ERROR(ParseString(&cur, &key));
+    cur.SkipSpace();
+    if (!cur.Consume(':')) {
+      return Status::InvalidArgument("expected ':' after member name");
+    }
+    cur.SkipSpace();
+    if (!cur.AtEnd() && cur.Peek() == '"') {
+      TWBG_RETURN_IF_ERROR(ParseString(&cur, &text));
+      if (key == "kind") {
+        const std::optional<EventKind> kind = EventKindFromName(text);
+        if (!kind) {
+          return Status::InvalidArgument(
+              common::Format("unknown event kind \"%s\"", text.c_str()));
+        }
+        event.kind = *kind;
+      } else if (key == "mode") {
+        const std::optional<lock::LockMode> mode = LockModeFromName(text);
+        if (!mode) {
+          return Status::InvalidArgument(
+              common::Format("unknown lock mode \"%s\"", text.c_str()));
+        }
+        event.mode = *mode;
+      } else if (key == "detail") {
+        event.detail = text;
+      }
+      // Unknown string members are ignored (same-version additions).
+    } else {
+      TWBG_RETURN_IF_ERROR(ParseNumber(&cur, &text));
+      if (key == "value") {
+        event.value = std::strtod(text.c_str(), nullptr);
+      } else {
+        const uint64_t n = std::strtoull(text.c_str(), nullptr, 10);
+        if (key == "seq") {
+          event.seq = n;
+        } else if (key == "schema_version") {
+          saw_version = true;
+          if (n != static_cast<uint64_t>(kJsonSchemaVersion)) {
+            return Status::InvalidArgument(common::Format(
+                "schema_version %llu, this reader understands %d",
+                static_cast<unsigned long long>(n), kJsonSchemaVersion));
+          }
+        } else if (key == "time") {
+          event.time = n;
+        } else if (key == "tid") {
+          event.tid = static_cast<lock::TransactionId>(n);
+        } else if (key == "rid") {
+          event.rid = static_cast<lock::ResourceId>(n);
+        } else if (key == "a") {
+          event.a = n;
+        } else if (key == "b") {
+          event.b = n;
+        } else if (key == "span") {
+          event.span = n;
+        }
+        // Unknown numeric members are ignored.
+      }
+    }
+  }
+  cur.SkipSpace();
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  if (!saw_version) {
+    return Status::InvalidArgument(
+        "missing schema_version (pre-forensics v1 trace?)");
+  }
+  return event;
+}
+
+Result<std::vector<Event>> ReadTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(common::Format("cannot open %s", path.c_str()));
+  }
+  std::vector<Event> events;
+  std::string line;
+  size_t line_no = 0;
+  int c;
+  while (true) {
+    line.clear();
+    while ((c = std::fgetc(file)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (line.empty() && c == EOF) break;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<Event> event = ParseTraceLine(line);
+    if (!event.ok()) {
+      std::fclose(file);
+      return Status::InvalidArgument(
+          common::Format("%s:%zu: %s", path.c_str(), line_no,
+                         std::string(event.status().message()).c_str()));
+    }
+    events.push_back(std::move(event).value());
+    if (c == EOF) break;
+  }
+  std::fclose(file);
+  return events;
+}
+
+}  // namespace twbg::obs

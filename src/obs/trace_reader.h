@@ -1,0 +1,34 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Offline trace ingestion: parses the JSONL files written by JsonlSink
+// (one flat JSON object per line, see ToJson) back into Event records so
+// the twbg-trace analyzer and tests can replay a run.  The parser only
+// accepts the exporter's own flat schema — top-level string/number
+// members, no nesting — and rejects lines whose "schema_version" is
+// missing or differs from kJsonSchemaVersion.
+
+#ifndef TWBG_OBS_TRACE_READER_H_
+#define TWBG_OBS_TRACE_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/event.h"
+
+namespace twbg::obs {
+
+/// Parses one JSONL trace line back into an Event.  Fails with
+/// kInvalidArgument on malformed JSON, an unknown event kind or lock
+/// mode, or a missing/mismatched schema_version.
+Result<Event> ParseTraceLine(std::string_view line);
+
+/// Reads a whole JSONL trace file, in emission order.  Blank lines are
+/// skipped; any malformed line fails the read (with its line number in
+/// the message) so silent truncation cannot masquerade as a short run.
+Result<std::vector<Event>> ReadTraceFile(const std::string& path);
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_TRACE_READER_H_

@@ -1,0 +1,126 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace twbg::obs {
+
+void Watchdog::OnEvent(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kLockBlock:
+      CloseSpanOf(event.tid);  // defensive: a txn has at most one wait
+      open_[event.tid] = event.span;
+      spans_[event.span] = {event.tid, event.rid, event.time, false};
+      ++blocked_[event.rid];
+      break;
+    case EventKind::kLockConvert:
+      if (event.a == 0) {  // blocked conversion opens a span too
+        CloseSpanOf(event.tid);
+        open_[event.tid] = event.span;
+        spans_[event.span] = {event.tid, event.rid, event.time, false};
+        ++blocked_[event.rid];
+      }
+      break;
+    case EventKind::kLockWakeup:
+    case EventKind::kTxnAbort:
+    case EventKind::kLockRelease:
+      // Wakeup closes the wait; abort/release also close it for victims
+      // that died while still enqueued (their wakeup never comes).
+      CloseSpanOf(event.tid);
+      break;
+    case EventKind::kTxnRestart:
+      if (event.a >= options_.starvation_restarts) {
+        Event alert;
+        alert.kind = EventKind::kStarvation;
+        alert.tid = event.tid;
+        alert.a = event.a;
+        alert.b = 2;
+        alert.value = static_cast<double>(event.a);
+        Raise(std::move(alert));
+      }
+      break;
+    case EventKind::kStarvation:
+    case EventKind::kConvoy:
+      return;  // our own synthetic events: never feed back into checks
+    default:
+      break;
+  }
+  if (event.time >= last_check_ + options_.check_interval) Check(event.time);
+}
+
+void Watchdog::CloseSpanOf(lock::TransactionId tid) {
+  auto it = open_.find(tid);
+  if (it == open_.end()) return;
+  auto span_it = spans_.find(it->second);
+  if (span_it != spans_.end()) {
+    const lock::ResourceId rid = span_it->second.rid;
+    auto depth_it = blocked_.find(rid);
+    if (depth_it != blocked_.end() && --depth_it->second == 0) {
+      blocked_.erase(depth_it);
+    }
+    // A dissolved convoy may re-alert if it forms again.
+    auto alerted_it = blocked_.find(rid);
+    if (alerted_it == blocked_.end() ||
+        alerted_it->second < options_.convoy_depth) {
+      convoy_alerted_.erase(rid);
+    }
+    spans_.erase(span_it);
+  }
+  open_.erase(it);
+}
+
+void Watchdog::Check(uint64_t now) {
+  last_check_ = now;
+  for (auto& [span_id, span] : spans_) {
+    if (span.flagged) continue;
+    const uint64_t age = now - span.started;
+    if (age < options_.starvation_age) continue;
+    span.flagged = true;
+    Event alert;
+    alert.kind = EventKind::kStarvation;
+    alert.tid = span.tid;
+    alert.rid = span.rid;
+    alert.span = span_id;
+    alert.a = age;
+    alert.b = 1;
+    alert.value = static_cast<double>(age);
+    Raise(std::move(alert));
+  }
+  std::vector<std::pair<lock::ResourceId, size_t>> hot;
+  for (const auto& [rid, depth] : blocked_) {
+    if (depth >= options_.convoy_depth) hot.emplace_back(rid, depth);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& lhs, const auto& rhs) {
+    if (lhs.second != rhs.second) return lhs.second > rhs.second;
+    return lhs.first < rhs.first;
+  });
+  if (hot.size() > options_.convoy_top_k) hot.resize(options_.convoy_top_k);
+  for (size_t rank = 0; rank < hot.size(); ++rank) {
+    const auto [rid, depth] = hot[rank];
+    auto [it, inserted] = convoy_alerted_.emplace(rid, depth);
+    if (!inserted) {
+      if (depth <= it->second) continue;  // already alerted at this depth
+      it->second = depth;
+    }
+    Event alert;
+    alert.kind = EventKind::kConvoy;
+    alert.rid = rid;
+    alert.a = depth;
+    alert.b = rank + 1;
+    alert.value = static_cast<double>(depth);
+    Raise(std::move(alert));
+  }
+}
+
+void Watchdog::Raise(Event event) {
+  if (event.kind == EventKind::kStarvation) {
+    ++starvation_alerts_;
+  } else {
+    ++convoy_alerts_;
+  }
+  if (bus_ != nullptr) bus_->Emit(std::move(event));
+}
+
+}  // namespace twbg::obs

@@ -1,0 +1,104 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Starvation / convoy watchdog: a sink that tracks the open wait spans it
+// observes on the bus and raises synthetic events when a wait grows
+// suspiciously old (starvation), a transaction keeps getting victimized
+// (starvation by repeated restarts), or one resource accumulates many
+// concurrently blocked spans (a convoy).  The periodic detector only
+// answers "is anyone deadlocked?" — the watchdog answers "who is losing?"
+// while the detector sleeps between passes.
+//
+// Alerts are emitted back onto the configured bus as kStarvation /
+// kConvoy events (the EventBus defers nested emission, so ordering stays
+// consistent for every sink) and counted on the watchdog itself for
+// bus-less consumers.
+
+#ifndef TWBG_OBS_WATCHDOG_H_
+#define TWBG_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/bus.h"
+
+namespace twbg::obs {
+
+/// Watchdog thresholds; the defaults suit simulator-tick time scales.
+struct WatchdogOptions {
+  /// A wait span older than this many logical time units is starving.
+  /// Each span is flagged once.
+  uint64_t starvation_age = 256;
+  /// A transaction restarted at least this many times (kTxnRestart's `a`)
+  /// is starving by repeated victimization.  Flagged on every restart at
+  /// or above the threshold (each restart is a fresh execution id).
+  uint64_t starvation_restarts = 8;
+  /// A resource with at least this many concurrently blocked wait spans
+  /// is convoy-suspect.
+  size_t convoy_depth = 8;
+  /// At most this many convoy-suspect resources are flagged per check,
+  /// hottest first.
+  size_t convoy_top_k = 3;
+  /// Age/convoy checks run when the bus's logical time has advanced by at
+  /// least this much since the last check (1 = every tick with events).
+  uint64_t check_interval = 16;
+};
+
+/// Bus observer that flags starvation and convoys as synthetic events.
+class Watchdog : public EventSink {
+ public:
+  /// Alerts are emitted onto `bus` (may be null: counters only).  The
+  /// watchdog must also be *subscribed* to a bus — usually the same one —
+  /// by the caller.
+  explicit Watchdog(EventBus* bus, WatchdogOptions options = {})
+      : bus_(bus), options_(options) {}
+
+  /// Updates span/convoy bookkeeping and runs the threshold checks when
+  /// the logical clock has advanced past the check interval.
+  void OnEvent(const Event& event) override;
+
+  /// Starvation alerts raised so far (span age + repeated victimization).
+  uint64_t starvation_alerts() const { return starvation_alerts_; }
+
+  /// Convoy alerts raised so far.
+  uint64_t convoy_alerts() const { return convoy_alerts_; }
+
+  /// Wait spans currently open (blocked transactions being tracked).
+  size_t open_spans() const { return spans_.size(); }
+
+  /// The watchdog's view of the configured thresholds.
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  // One open wait span.
+  struct OpenSpan {
+    lock::TransactionId tid = 0;
+    lock::ResourceId rid = 0;
+    uint64_t started = 0;  // logical time of the block
+    bool flagged = false;  // starvation already raised for this span
+  };
+
+  // Closes the span (if any) currently open for `tid`.
+  void CloseSpanOf(lock::TransactionId tid);
+
+  // Runs the age and convoy checks against logical time `now`.
+  void Check(uint64_t now);
+
+  // Emits `event` onto bus_ (if any) and bumps the matching counter.
+  void Raise(Event event);
+
+  EventBus* bus_;
+  WatchdogOptions options_;
+  std::map<uint64_t, OpenSpan> spans_;           // span id -> state
+  std::map<lock::TransactionId, uint64_t> open_; // tid -> its open span id
+  std::map<lock::ResourceId, size_t> blocked_;   // rid -> open span count
+  // Last convoy count alerted per resource — re-alert only on growth.
+  std::map<lock::ResourceId, size_t> convoy_alerted_;
+  uint64_t last_check_ = 0;
+  uint64_t starvation_alerts_ = 0;
+  uint64_t convoy_alerts_ = 0;
+};
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_WATCHDOG_H_

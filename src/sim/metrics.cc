@@ -19,6 +19,13 @@ std::string SimMetrics::ToString() const {
   if (trace_dropped > 0) {
     out += common::Format(" trace_dropped=%zu", trace_dropped);
   }
+  if (trace_write_errors > 0) {
+    out += common::Format(" trace_write_errors=%zu", trace_write_errors);
+  }
+  if (starvation_alerts + convoy_alerts > 0) {
+    out += common::Format(" watchdog[starved=%zu convoys=%zu]",
+                          starvation_alerts, convoy_alerts);
+  }
   if (graph_dirty_resources + graph_cached_resources > 0) {
     out += common::Format(
         " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",

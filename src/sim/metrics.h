@@ -62,6 +62,15 @@ struct SimMetrics {
   /// capacity sufficed) — nonzero means trace-based analyses saw a suffix
   /// of the run only.
   size_t trace_dropped = 0;
+  /// JSONL export lines lost to write failures (mirror of
+  /// obs::JsonlSink::write_errors for the Simulator::StreamEventsTo sink;
+  /// 0 when streaming is off or every write succeeded).
+  size_t trace_write_errors = 0;
+  /// Watchdog starvation alerts raised during the run (0 when
+  /// SimConfig::enable_watchdog is off).
+  size_t starvation_alerts = 0;
+  /// Watchdog convoy alerts raised during the run (0 likewise).
+  size_t convoy_alerts = 0;
 
   /// Committed transactions per 1000 ticks.
   double Throughput() const {

@@ -23,6 +23,21 @@ Simulator::Simulator(const SimConfig& config,
   TWBG_CHECK(config_.workload.concurrency >= 1);
   lock_manager_.set_event_bus(&bus_);
   if (config_.record_trace) bus_.Subscribe(&trace_sink_);
+  if (config_.enable_watchdog) {
+    watchdog_ = std::make_unique<obs::Watchdog>(&bus_, config_.watchdog);
+    bus_.Subscribe(watchdog_.get());
+  }
+}
+
+Status Simulator::StreamEventsTo(const std::string& path) {
+  if (jsonl_ != nullptr) {
+    return Status::FailedPrecondition("already streaming events");
+  }
+  Result<std::unique_ptr<obs::JsonlSink>> sink = obs::JsonlSink::Open(path);
+  if (!sink.ok()) return sink.status();
+  jsonl_ = std::move(sink).value();
+  bus_.Subscribe(jsonl_.get());
+  return Status::OK();
 }
 
 void Simulator::Emit(obs::Event event) {
@@ -196,6 +211,9 @@ SimMetrics Simulator::Run() {
         obs::Event event;
         event.kind = obs::EventKind::kWaitEnd;
         event.tid = tid;
+        // wait_span outlives the wakeup, so this correlates with the
+        // kLockBlock/kLockWakeup pair of the wait that just ended.
+        event.span = lock_manager_.WaitSpan(tid);
         event.value = waited;
         Emit(event);
       }
@@ -252,6 +270,14 @@ SimMetrics Simulator::Run() {
   metrics_.timed_out =
       metrics_.committed < config_.workload.num_transactions;
   metrics_.trace_dropped = trace_.dropped();
+  if (jsonl_ != nullptr) {
+    jsonl_->Flush();
+    metrics_.trace_write_errors = jsonl_->write_errors();
+  }
+  if (watchdog_ != nullptr) {
+    metrics_.starvation_alerts = watchdog_->starvation_alerts();
+    metrics_.convoy_alerts = watchdog_->convoy_alerts();
+  }
   return metrics_;
 }
 

@@ -25,6 +25,8 @@
 #include "baselines/strategy.h"
 #include "core/cost_table.h"
 #include "lock/lock_manager.h"
+#include "obs/sinks.h"
+#include "obs/watchdog.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
 #include "sim/workload.h"
@@ -59,6 +61,12 @@ struct SimConfig {
   /// Admission policy for new lock requests (kGroupMode is the §2
   /// total-vs-group-mode ablation).
   lock::AdmissionPolicy admission = lock::AdmissionPolicy::kTotalMode;
+  /// Attach an obs::Watchdog to the run's bus: starvation and convoy
+  /// alerts appear as kStarvation / kConvoy events and are mirrored into
+  /// SimMetrics::starvation_alerts / convoy_alerts.
+  bool enable_watchdog = false;
+  /// Thresholds for the watchdog (ignored unless enable_watchdog).
+  obs::WatchdogOptions watchdog;
 };
 
 /// One simulation run.  Not reusable.
@@ -79,6 +87,15 @@ class Simulator {
   /// bus is inactive and emission is skipped entirely.  The bus's logical
   /// time is the simulator tick.
   obs::EventBus& event_bus() { return bus_; }
+
+  /// Streams every bus event of the run to `path` as JSON lines (the
+  /// `--trace-out` format twbg-trace ingests).  Call before Run(); the
+  /// sink lives for the simulator's lifetime and its write failures are
+  /// mirrored into SimMetrics::trace_write_errors.
+  Status StreamEventsTo(const std::string& path);
+
+  /// The run's watchdog, or nullptr when config.enable_watchdog is off.
+  const obs::Watchdog* watchdog() const { return watchdog_.get(); }
 
  private:
   struct Execution {
@@ -135,6 +152,8 @@ class Simulator {
   SimTrace trace_{0};  // re-initialized from the config in the ctor
   obs::EventBus bus_;
   TraceEventSink trace_sink_{&trace_};  // subscribed iff record_trace
+  std::unique_ptr<obs::JsonlSink> jsonl_;    // StreamEventsTo
+  std::unique_ptr<obs::Watchdog> watchdog_;  // config.enable_watchdog
 };
 
 }  // namespace twbg::sim

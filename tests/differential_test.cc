@@ -13,12 +13,21 @@
 #include "core/periodic_detector.h"
 #include "core/twbg.h"
 #include "lock/lock_manager.h"
+#include "obs/bus.h"
+#include "obs/sinks.h"
 
 namespace twbg::core {
 namespace {
 
 TEST(DifferentialTest, BothDetectorsFullyResolveRandomStates) {
   common::Rng rng(13371337);
+  // The periodic side runs observed: every resolved cycle must produce
+  // exactly one kCyclePostMortem, and observing must not perturb the
+  // byte-for-byte agreement below.
+  obs::EventBus bus;
+  obs::CollectorSink sink;
+  bus.Subscribe(&sink);
+  size_t total_cycles = 0;
   for (int round = 0; round < 120; ++round) {
     // Build the same random state twice.
     lock::LockManager periodic_lm;
@@ -38,9 +47,15 @@ TEST(DifferentialTest, BothDetectorsFullyResolveRandomStates) {
         AnalyzeByReduction(periodic_lm.table()).deadlocked;
 
     CostTable periodic_costs;
-    PeriodicDetector periodic;
+    DetectorOptions periodic_options;
+    periodic_options.event_bus = &bus;
+    PeriodicDetector periodic(periodic_options);
     ResolutionReport periodic_report =
         periodic.RunPass(periodic_lm, periodic_costs);
+    ASSERT_EQ(periodic_report.post_mortems.size(),
+              periodic_report.cycles_detected)
+        << "round " << round;
+    total_cycles += periodic_report.cycles_detected;
 
     CostTable continuous_costs;
     ContinuousDetector continuous;
@@ -61,6 +76,10 @@ TEST(DifferentialTest, BothDetectorsFullyResolveRandomStates) {
     ASSERT_TRUE(periodic_lm.CheckInvariants().ok());
     ASSERT_TRUE(continuous_lm.CheckInvariants().ok());
   }
+  // One post-mortem per resolved cycle across the whole suite.
+  EXPECT_GT(total_cycles, 0u);
+  EXPECT_EQ(sink.Count(obs::EventKind::kCyclePostMortem), total_cycles);
+  EXPECT_EQ(sink.Count(obs::EventKind::kCycleResolved), total_cycles);
 }
 
 TEST(DifferentialTest, ContinuousAfterPeriodicFindsNothing) {

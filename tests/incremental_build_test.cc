@@ -22,6 +22,8 @@
 #include "core/tst.h"
 #include "core/twbg.h"
 #include "lock/lock_manager.h"
+#include "obs/bus.h"
+#include "obs/sinks.h"
 
 #ifndef TWBG_SCENARIO_DIR
 #error "TWBG_SCENARIO_DIR must be defined by the build"
@@ -123,11 +125,19 @@ TEST_P(IncrementalBuildTest, RefreshMatchesScratchOnRandomSchedules) {
 // managers in agreeing states.
 TEST_P(IncrementalBuildTest, PeriodicDetectorParityOnRandomSchedules) {
   common::Rng rng(GetParam() ^ 0xfeed);
+  // Only the incremental side is observed: post-mortem collection must
+  // neither perturb its decisions nor leak into the compared reports, and
+  // every resolved cycle must emit exactly one kCyclePostMortem.
+  obs::EventBus bus;
+  obs::CollectorSink sink;
+  bus.Subscribe(&sink);
+  size_t total_cycles = 0;
   for (int round = 0; round < 60; ++round) {
     LockManager inc_lm, scr_lm;
     CostTable inc_costs, scr_costs;
     DetectorOptions inc_opts, scr_opts;
     inc_opts.incremental_build = true;
+    inc_opts.event_bus = &bus;
     scr_opts.incremental_build = false;
     PeriodicDetector inc(inc_opts), scr(scr_opts);
     std::vector<Op> schedule = MakeSchedule(rng, 8, 4, 60);
@@ -142,8 +152,12 @@ TEST_P(IncrementalBuildTest, PeriodicDetectorParityOnRandomSchedules) {
           << "seed " << GetParam() << " round " << round << " op " << i;
       ASSERT_EQ(Tst::Build(inc_lm.table()).ToString(),
                 Tst::Build(scr_lm.table()).ToString());
+      ASSERT_EQ(inc_report.post_mortems.size(), inc_report.cycles_detected);
+      ASSERT_TRUE(scr_report.post_mortems.empty());  // no bus, no opt-in
+      total_cycles += inc_report.cycles_detected;
     }
   }
+  EXPECT_EQ(sink.Count(obs::EventKind::kCyclePostMortem), total_cycles);
 }
 
 // Same parity for the continuous detector's non-scoped incremental path.

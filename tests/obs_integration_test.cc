@@ -32,7 +32,8 @@ void InsertKinds(const obs::CollectorSink& sink,
 //  (a) a TransactionManager lifecycle with a periodic TDR-1 resolution,
 //  (b) Example 4.1 (conversions + a TDR-2 queue repositioning),
 //  (c) a simulator run with a deliberately blind strategy (restarts,
-//      wait-ends and detector misses).
+//      wait-ends, detector misses) and a hair-trigger watchdog
+//      (starvation and convoy alerts).
 TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
   std::set<obs::EventKind> kinds;
 
@@ -87,6 +88,13 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     config.workload.num_resources = 4;
     config.workload.mode_weights = {0, 0, 0.3, 0, 0.7};
     config.detection_period = 5;
+    config.enable_watchdog = true;
+    // Hair-trigger thresholds so this tiny hot-spot workload reliably
+    // produces both alert kinds.
+    config.watchdog.starvation_age = 8;
+    config.watchdog.starvation_restarts = 1;
+    config.watchdog.convoy_depth = 2;
+    config.watchdog.check_interval = 1;
     sim::Simulator sim(config, baselines::MakeStrategy("none"));
     obs::CollectorSink sink;
     sim.event_bus().Subscribe(&sink);
@@ -96,6 +104,11 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     EXPECT_GT(sink.Count(obs::EventKind::kDetectorMiss), 0u);
     EXPECT_GT(sink.Count(obs::EventKind::kTxnRestart), 0u);
     EXPECT_GT(sink.Count(obs::EventKind::kWaitEnd), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kStarvation), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kConvoy), 0u);
+    EXPECT_EQ(metrics.starvation_alerts,
+              sink.Count(obs::EventKind::kStarvation));
+    EXPECT_EQ(metrics.convoy_alerts, sink.Count(obs::EventKind::kConvoy));
     InsertKinds(sink, &kinds);
   }
 

@@ -121,17 +121,34 @@ TEST(EventTest, ToJsonHasStableSchema) {
   event.rid = 9;
   event.mode = lock::LockMode::kSIX;
   event.a = 2;
+  event.span = 77;
   event.value = 1.5;
+  event.detail = "chain T4 -> \"T9\"\n\\end";
   const std::string json = ToJson(event);
   EXPECT_NE(json.find("\"seq\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"time\":10"), std::string::npos) << json;
   EXPECT_NE(json.find("\"kind\":\"lock_block\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"tid\":4"), std::string::npos) << json;
   EXPECT_NE(json.find("\"rid\":9"), std::string::npos) << json;
   EXPECT_NE(json.find("\"mode\":\"SIX\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"a\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span\":77"), std::string::npos) << json;
+  // Free-form detail is escaped: quotes, backslashes and the newline all
+  // stay on one line.
+  EXPECT_NE(json.find("\"detail\":\"chain T4 -> \\\"T9\\\"\\n\\\\end\""),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(EventTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
 }
 
 TEST(EventTest, EveryKindHasAName) {

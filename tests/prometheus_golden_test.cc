@@ -1,0 +1,179 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Golden-style verification of the Prometheus text exposition: exact
+// output for a deterministic event feed, plus structural invariants every
+// exposition must hold — a `# HELP`/`# TYPE` pair per metric, cumulative
+// (non-decreasing) le-buckets, and a terminal `+Inf` bucket equal to
+// `_count`.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/observer.h"
+
+namespace twbg {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+
+void Feed(obs::LatencyObserver* observer, EventKind kind, double value,
+          uint64_t a = 0) {
+  Event event;
+  event.kind = kind;
+  event.value = value;
+  event.a = a;
+  observer->OnEvent(event);
+}
+
+// Deterministic feed used by both tests: three waits (1, 3, 7 ticks),
+// three blocks (queue depths 2, 2, 5), one pass with its two steps, one
+// resolved 2-cycle.
+obs::LatencyObserver MakeObserver() {
+  obs::LatencyObserver observer;
+  Feed(&observer, EventKind::kWaitEnd, 1);
+  Feed(&observer, EventKind::kWaitEnd, 3);
+  Feed(&observer, EventKind::kWaitEnd, 7);
+  Feed(&observer, EventKind::kLockBlock, 0, 2);
+  Feed(&observer, EventKind::kLockBlock, 0, 2);
+  Feed(&observer, EventKind::kLockBlock, 0, 5);
+  Feed(&observer, EventKind::kStep1, 100);
+  Feed(&observer, EventKind::kStep2, 200);
+  Feed(&observer, EventKind::kPassEnd, 1000);
+  Feed(&observer, EventKind::kCycleResolved, 0, 2);
+  return observer;
+}
+
+TEST(PrometheusGoldenTest, ExactExpositionForDeterministicFeed) {
+  const obs::LatencyObserver observer = MakeObserver();
+  const std::string text = obs::ToPrometheusText(observer);
+
+  // Counter block: non-zero kinds only, in taxonomy order.
+  const char kCounters[] =
+      "# HELP twbg_events_total Structured events observed, by kind.\n"
+      "# TYPE twbg_events_total counter\n"
+      "twbg_events_total{kind=\"lock_block\"} 3\n"
+      "twbg_events_total{kind=\"wait_end\"} 3\n"
+      "twbg_events_total{kind=\"step1\"} 1\n"
+      "twbg_events_total{kind=\"step2\"} 1\n"
+      "twbg_events_total{kind=\"pass_end\"} 1\n"
+      "twbg_events_total{kind=\"cycle_resolved\"} 1\n";
+  EXPECT_EQ(text.rfind(kCounters, 0), 0u) << text;
+
+  // Wait-time histogram: 1 -> (0,2], 3 -> (2,4], 7 -> (4,8]; buckets are
+  // cumulative and the +Inf bucket equals the count.
+  const char kWaitBlock[] =
+      "# HELP twbg_wait_time_ticks Completed lock waits, in simulator "
+      "ticks.\n"
+      "# TYPE twbg_wait_time_ticks histogram\n"
+      "twbg_wait_time_ticks_bucket{le=\"2\"} 1\n"
+      "twbg_wait_time_ticks_bucket{le=\"4\"} 2\n"
+      "twbg_wait_time_ticks_bucket{le=\"8\"} 3\n"
+      "twbg_wait_time_ticks_bucket{le=\"+Inf\"} 3\n"
+      "twbg_wait_time_ticks_sum 11\n"
+      "twbg_wait_time_ticks_count 3\n";
+  EXPECT_NE(text.find(kWaitBlock), std::string::npos) << text;
+
+  // Queue-depth histogram: two 2s share one bucket, the 5 lands above.
+  const char kDepthBlock[] =
+      "# HELP twbg_queue_depth Resource queue depth observed at each lock "
+      "block.\n"
+      "# TYPE twbg_queue_depth histogram\n"
+      "twbg_queue_depth_bucket{le=\"4\"} 2\n"
+      "twbg_queue_depth_bucket{le=\"8\"} 3\n"
+      "twbg_queue_depth_bucket{le=\"+Inf\"} 3\n"
+      "twbg_queue_depth_sum 9\n"
+      "twbg_queue_depth_count 3\n";
+  EXPECT_NE(text.find(kDepthBlock), std::string::npos) << text;
+
+  // Custom prefix is honored everywhere.
+  const std::string custom = obs::ToPrometheusText(observer, "mydb");
+  EXPECT_EQ(custom.find("twbg_"), std::string::npos);
+  EXPECT_NE(custom.find("mydb_wait_time_ticks_count 3"), std::string::npos);
+}
+
+// Structural invariants, checked by parsing the exposition line by line.
+TEST(PrometheusGoldenTest, EveryMetricIsWellFormed) {
+  const std::string text = obs::ToPrometheusText(MakeObserver());
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_FALSE(lines.empty());
+
+  const char* kHistograms[] = {
+      "twbg_wait_time_ticks", "twbg_pass_duration_ns",
+      "twbg_step1_duration_ns", "twbg_step2_duration_ns",
+      "twbg_queue_depth", "twbg_cycle_length",
+  };
+  for (const char* metric : kHistograms) {
+    const std::string help = std::string("# HELP ") + metric + " ";
+    const std::string type = std::string("# TYPE ") + metric + " histogram";
+    size_t help_at = text.npos, type_at = text.npos;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].rfind(help, 0) == 0) help_at = i;
+      if (lines[i] == type) type_at = i;
+    }
+    ASSERT_NE(help_at, text.npos) << metric;
+    ASSERT_NE(type_at, text.npos) << metric;
+    EXPECT_EQ(type_at, help_at + 1) << metric << ": TYPE must follow HELP";
+    // HELP text is non-empty and ends with a period.
+    const std::string help_text = lines[help_at].substr(help.size());
+    EXPECT_FALSE(help_text.empty()) << metric;
+    EXPECT_EQ(help_text.back(), '.') << metric;
+
+    // Walk this metric's samples: cumulative buckets, terminal +Inf,
+    // then _sum and _count.
+    const std::string bucket_prefix = std::string(metric) + "_bucket{le=\"";
+    uint64_t prev = 0, inf_value = 0, count_value = 0;
+    bool saw_inf = false, saw_sum = false, saw_count = false;
+    for (size_t i = type_at + 1; i < lines.size(); ++i) {
+      const std::string& l = lines[i];
+      if (l.rfind("# ", 0) == 0) break;  // next metric
+      const uint64_t sample_value = std::strtoull(
+          l.substr(l.find_last_of(' ') + 1).c_str(), nullptr, 10);
+      if (l.rfind(bucket_prefix, 0) == 0) {
+        EXPECT_FALSE(saw_inf) << metric << ": bucket after +Inf: " << l;
+        const bool is_inf =
+            l.find("le=\"+Inf\"") != std::string::npos;
+        EXPECT_GE(sample_value, prev) << metric << ": not cumulative: " << l;
+        prev = sample_value;
+        if (is_inf) {
+          saw_inf = true;
+          inf_value = sample_value;
+        }
+      } else if (l.rfind(std::string(metric) + "_sum ", 0) == 0) {
+        saw_sum = true;
+      } else if (l.rfind(std::string(metric) + "_count ", 0) == 0) {
+        saw_count = true;
+        count_value = sample_value;
+      }
+    }
+    EXPECT_TRUE(saw_inf) << metric << ": no terminal +Inf bucket";
+    EXPECT_TRUE(saw_sum) << metric << ": no _sum";
+    EXPECT_TRUE(saw_count) << metric << ": no _count";
+    EXPECT_EQ(inf_value, count_value)
+        << metric << ": +Inf bucket must equal _count";
+  }
+}
+
+TEST(PrometheusGoldenTest, EmptyObserverStillExposesEveryHistogram) {
+  obs::LatencyObserver observer;
+  const std::string text = obs::ToPrometheusText(observer);
+  // No samples: each histogram is just the +Inf bucket, zero sum/count.
+  EXPECT_NE(text.find("twbg_cycle_length_bucket{le=\"+Inf\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("twbg_cycle_length_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("twbg_cycle_length_count 0"), std::string::npos);
+  // And no counter samples at all (header only).
+  EXPECT_EQ(text.find("twbg_events_total{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twbg

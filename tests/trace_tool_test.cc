@@ -1,0 +1,282 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The offline trace path end to end: JSON round-trips through
+// ToJson/ParseTraceLine (including adversarial detail strings), the
+// trace-file reader's error reporting, and the twbg-trace CLI — which
+// must reconstruct Example 4.1's T8/T9 wait chain and the TDR-2
+// repositioning rationale from a streamed JSONL trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/script.h"
+#include "obs/event.h"
+#include "obs/trace_reader.h"
+#include "tools/twbg_trace.h"
+
+namespace twbg {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+
+// -- JSON round-trip -------------------------------------------------------
+
+Event SampleEvent() {
+  Event event;
+  event.seq = 42;
+  event.time = 17;
+  event.kind = EventKind::kCyclePostMortem;
+  event.tid = 8;
+  event.rid = 2;
+  event.mode = lock::LockMode::kSIX;
+  event.a = 4;
+  event.b = 1;
+  event.span = 99;
+  event.value = 12.5;
+  return event;
+}
+
+void ExpectRoundTrips(const Event& original) {
+  Result<Event> parsed = obs::ParseTraceLine(obs::ToJson(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->seq, original.seq);
+  EXPECT_EQ(parsed->time, original.time);
+  EXPECT_EQ(parsed->kind, original.kind);
+  EXPECT_EQ(parsed->tid, original.tid);
+  EXPECT_EQ(parsed->rid, original.rid);
+  EXPECT_EQ(parsed->mode, original.mode);
+  EXPECT_EQ(parsed->a, original.a);
+  EXPECT_EQ(parsed->b, original.b);
+  EXPECT_EQ(parsed->span, original.span);
+  EXPECT_DOUBLE_EQ(parsed->value, original.value);
+  EXPECT_EQ(parsed->detail, original.detail);
+}
+
+TEST(TraceRoundTripTest, PlainEventSurvives) { ExpectRoundTrips(SampleEvent()); }
+
+TEST(TraceRoundTripTest, AdversarialDetailStringsSurvive) {
+  const std::string cases[] = {
+      "quotes \" inside \"\" and 'single'",
+      "back\\slash \\\\ and \\n literal",
+      "real newline\nand\ttab\rand carriage",
+      std::string("embedded \x01 control \x1f chars"),
+      "trailing backslash \\",
+      "unicode caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x94\x92",  // é, →, UTF-8
+      "json-looking {\"kind\":\"fake\",\"detail\":\"nested\"}",
+      std::string("nul is escaped too: \\u0000 (literal text)"),
+  };
+  for (const std::string& detail : cases) {
+    Event event = SampleEvent();
+    event.detail = detail;
+    ExpectRoundTrips(event);
+  }
+}
+
+TEST(TraceRoundTripTest, EscapedLineIsSingleLineJson) {
+  Event event = SampleEvent();
+  event.detail = "line1\nline2\"quoted\"\\end";
+  const std::string json = obs::ToJson(event);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+}
+
+TEST(TraceRoundTripTest, UnicodeEscapesParse) {
+  Result<Event> parsed = obs::ParseTraceLine(
+      "{\"schema_version\":2,\"kind\":\"txn_begin\","
+      "\"detail\":\"caf\\u00e9 \\u0041\\t\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->detail, "caf\xc3\xa9 A\t");
+}
+
+TEST(TraceRoundTripTest, SchemaVersionIsEnforced) {
+  // Missing version: the pre-forensics v1 schema must be called out.
+  Result<Event> missing =
+      obs::ParseTraceLine("{\"seq\":1,\"kind\":\"txn_begin\"}");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("schema_version"),
+            std::string::npos);
+  // Mismatched version.
+  Result<Event> wrong = obs::ParseTraceLine(
+      "{\"schema_version\":1,\"kind\":\"txn_begin\"}");
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(TraceRoundTripTest, MalformedLinesAreRejected) {
+  const char* bad[] = {
+      "",                                          // empty
+      "not json",                                  // no object
+      "{\"schema_version\":2,\"kind\":\"nope\"}",  // unknown kind
+      "{\"schema_version\":2,\"kind\":\"txn_begin\"} trailing",
+      "{\"schema_version\":2,\"kind\":\"txn_begin\",\"mode\":\"ZZ\"}",
+      "{\"schema_version\":2,\"kind\":\"txn_begin\"",  // unterminated
+      "{\"schema_version\":2,\"detail\":\"unterminated",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(obs::ParseTraceLine(line).ok()) << line;
+  }
+}
+
+// -- trace file reader -----------------------------------------------------
+
+std::string TempPath(const char* name) { return ::testing::TempDir() + name; }
+
+TEST(TraceFileTest, BlankLinesSkippedAndBadLinesNumbered) {
+  const std::string path = TempPath("twbg_trace_reader.jsonl");
+  {
+    std::ofstream file(path);
+    file << obs::ToJson(SampleEvent()) << "\n";
+    file << "\n";  // blank: skipped
+    file << obs::ToJson(SampleEvent()) << "\n";
+  }
+  Result<std::vector<Event>> events = obs::ReadTraceFile(path);
+  ASSERT_TRUE(events.ok()) << events.status().message();
+  EXPECT_EQ(events->size(), 2u);
+
+  {
+    std::ofstream file(path);
+    file << obs::ToJson(SampleEvent()) << "\n";
+    file << "garbage line\n";
+  }
+  Result<std::vector<Event>> broken = obs::ReadTraceFile(path);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_NE(broken.status().message().find(":2"), std::string::npos)
+      << broken.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, MissingFileIsNotFound) {
+  Result<std::vector<Event>> events =
+      obs::ReadTraceFile("/nonexistent-dir/trace.jsonl");
+  EXPECT_FALSE(events.ok());
+}
+
+// -- twbg-trace CLI --------------------------------------------------------
+
+// Streams the Example 4.1 scenario through a ScriptRunner into a JSONL
+// trace and returns the path (written once, reused by every CLI test).
+const std::string& Example41Trace() {
+  static const std::string* path = [] {
+    auto* p = new std::string(TempPath("twbg_example41.jsonl"));
+    std::ifstream scenario(std::string(TWBG_SCENARIO_DIR) +
+                           "/example41.twbg");
+    std::stringstream script;
+    script << scenario.rdbuf();
+    core::ScriptRunner runner;
+    Status stream = runner.StreamEventsTo(*p);
+    if (!stream.ok()) ADD_FAILURE() << stream.message();
+    std::string out;
+    Status run = runner.ExecuteScript(script.str(), &out);
+    if (!run.ok()) ADD_FAILURE() << run.message() << "\n" << out;
+    std::string flush_out;
+    (void)runner.ExecuteLine("obs", &flush_out);  // flushes the sink
+    return p;
+  }();
+  return *path;
+}
+
+TEST(TraceToolTest, ChainsReconstructsExample41WaitChainAndTdr2Rationale) {
+  std::string out, err;
+  const int rc =
+      tools::RunTraceTool({"chains", Example41Trace()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  // The R2 queue of Example 4.1: T8 blocked in X, T9 blocked in IX.
+  EXPECT_NE(out.find("T8 blocked X on R2"), std::string::npos) << out;
+  EXPECT_NE(out.find("T9 blocked IX on R2"), std::string::npos) << out;
+  // Every cycle was resolved by TDR-2; the post-mortem replay carries the
+  // repositioning rationale and the wait chain with span ids.
+  EXPECT_NE(out.find("cycle 1 resolved"), std::string::npos) << out;
+  EXPECT_NE(out.find("repositioned R2"), std::string::npos) << out;
+  EXPECT_NE(out.find("TDR-2"), std::string::npos) << out;
+  EXPECT_NE(out.find("reposition {T8} on R2"), std::string::npos) << out;
+  EXPECT_NE(out.find("chain"), std::string::npos) << out;
+  EXPECT_EQ(out.find("no resolved cycles"), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, SummaryCountsSpansAndResolutions) {
+  std::string out, err;
+  const int rc =
+      tools::RunTraceTool({"summary", Example41Trace()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("wait spans:"), std::string::npos) << out;
+  EXPECT_NE(out.find("by TDR-2 repositioning, 0 by TDR-1 abort"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cycle_post_mortem"), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, HotRanksR1AndR2) {
+  std::string out, err;
+  const int rc = tools::RunTraceTool({"hot", Example41Trace(), "--top=2"},
+                                     &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("top 2 resource(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("R1"), std::string::npos) << out;
+  EXPECT_NE(out.find("R2"), std::string::npos) << out;
+  EXPECT_NE(out.find("tdr2="), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, LatencyPrintsPercentileRows) {
+  std::string out, err;
+  const int rc =
+      tools::RunTraceTool({"latency", Example41Trace()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("pass_duration"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99="), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, DiffComparesTwoTraces) {
+  std::string out, err;
+  const int rc = tools::RunTraceTool(
+      {"diff", Example41Trace(), Example41Trace()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("delta"), std::string::npos) << out;
+  EXPECT_NE(out.find("wait p50:"), std::string::npos) << out;
+  // Identical traces: every delta is zero.
+  EXPECT_EQ(out.find("+1"), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, UsageAndErrorExitCodes) {
+  std::string out, err;
+  EXPECT_EQ(tools::RunTraceTool({}, &out, &err), 1);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"frobnicate", "x.jsonl"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"summary"}, &out, &err), 1);
+
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"hot", Example41Trace(), "--bogus"}, &out,
+                                &err),
+            1);
+
+  err.clear();
+  EXPECT_EQ(
+      tools::RunTraceTool({"summary", "/nonexistent/trace.jsonl"}, &out, &err),
+      2);
+  EXPECT_FALSE(err.empty());
+
+  // A v1 (pre-forensics) trace is a parse failure, not a silent zero.
+  const std::string path = TempPath("twbg_v1_trace.jsonl");
+  {
+    std::ofstream file(path);
+    file << "{\"seq\":1,\"kind\":\"txn_begin\"}\n";
+  }
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"summary", path}, &out, &err), 2);
+  EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace twbg

@@ -1,0 +1,38 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// twbg-trace: offline analyzer for the JSONL event traces written by
+// `--trace-out` (obs::JsonlSink).  The CLI logic lives in this small
+// library so the integration tests can drive it in-process and assert on
+// its output; tools/twbg_trace_main.cc is the thin binary wrapper.
+//
+// Subcommands:
+//   summary <trace>           event counts, span totals, resolution totals
+//   chains <trace>            wait-chain reconstruction: every wait span
+//                             (block -> wakeup/abort) and, per resolved
+//                             cycle, the post-mortem replay (chain + rule
+//                             + rationale)
+//   hot <trace> [--top=K]     per-resource contention: blocked spans,
+//                             total/max queue time, top-K by blocked spans
+//   latency <trace>           percentile tables (p50/p90/p99/max) for
+//                             wait times and pass/step durations
+//   diff <a> <b>              side-by-side comparison of two traces
+//                             (event counts, wait latency, resolutions)
+
+#ifndef TWBG_TOOLS_TWBG_TRACE_H_
+#define TWBG_TOOLS_TWBG_TRACE_H_
+
+#include <string>
+#include <vector>
+
+namespace twbg::tools {
+
+/// Runs the twbg-trace CLI on `args` (argv[1..] — subcommand first),
+/// appending normal output to `*out` and diagnostics to `*err`.  Returns
+/// the process exit code: 0 on success, 1 on bad usage, 2 on a trace that
+/// cannot be read or parsed.
+int RunTraceTool(const std::vector<std::string>& args, std::string* out,
+                 std::string* err);
+
+}  // namespace twbg::tools
+
+#endif  // TWBG_TOOLS_TWBG_TRACE_H_

@@ -1,0 +1,19 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Binary entry point for the twbg-trace offline analyzer; the actual
+// logic lives in tools/twbg_trace.{h,cc} so tests can run it in-process.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/twbg_trace.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out, err;
+  const int rc = twbg::tools::RunTraceTool(args, &out, &err);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  if (!err.empty()) std::fputs(err.c_str(), stderr);
+  return rc;
+}
