@@ -1,0 +1,69 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "common/thread_pool.h"
+
+namespace twbg::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  batch_size_ = n;
+  next_index_ = 0;
+  completed_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  // The caller is a worker too: steal indices until the batch drains,
+  // then wait for stragglers still executing their last index.
+  RunBatch(lock);
+  done_cv_.wait(lock, [this] { return completed_ == batch_size_; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::RunBatch(std::unique_lock<std::mutex>& lock) {
+  while (fn_ != nullptr && next_index_ < batch_size_) {
+    const size_t index = next_index_++;
+    const auto* fn = fn_;
+    lock.unlock();
+    (*fn)(index);
+    lock.lock();
+    ++completed_;
+    if (completed_ == batch_size_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [this, seen] {
+      return stop_ || (fn_ != nullptr && generation_ != seen &&
+                       next_index_ < batch_size_);
+    });
+    if (stop_) return;
+    seen = generation_;
+    RunBatch(lock);
+  }
+}
+
+}  // namespace twbg::common

@@ -1,0 +1,64 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Minimal fork-join worker pool for the parallel detection pass.  The pool
+// runs one batch at a time (ParallelFor blocks until every index has been
+// processed); the calling thread participates, so a pool with zero workers
+// degrades to a plain sequential loop — results must therefore never depend
+// on which thread runs which index.
+
+#ifndef TWBG_COMMON_THREAD_POOL_H_
+#define TWBG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace twbg::common {
+
+/// Fixed-size fork-join pool.  Construction spawns the workers; the
+/// destructor joins them.  ParallelFor is not reentrant: `fn` must not
+/// call back into the same pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers.  Zero is valid and makes every
+  /// ParallelFor run inline on the calling thread.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding the caller).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Invokes `fn(i)` for every i in [0, n), distributing indices across
+  /// the workers and the calling thread, and returns once all n calls
+  /// have finished (the completion handoff gives the caller a
+  /// happens-before edge from every invocation).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  // Pulls indices of the current batch until exhausted.  `lock` must hold
+  // mu_; it is released around each fn invocation.
+  void RunBatch(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // caller waits for completion
+  const std::function<void(size_t)>* fn_ = nullptr;  // current batch body
+  size_t batch_size_ = 0;
+  size_t next_index_ = 0;
+  size_t completed_ = 0;
+  uint64_t generation_ = 0;  // bumped per batch so workers never re-enter
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_THREAD_POOL_H_

@@ -34,6 +34,13 @@ class CostTable {
 
   size_t size() const { return costs_.size(); }
 
+  /// Ordered view of every explicitly set entry.  The component-parallel
+  /// walk hands each component a private copy and merges the entries of
+  /// that component's members back through this view.
+  const std::map<lock::TransactionId, double>& entries() const {
+    return costs_;
+  }
+
  private:
   std::map<lock::TransactionId, double> costs_;
 };

@@ -18,9 +18,9 @@ namespace {
 // `tst`.  Implements the paper's victim-selection: backtrack from v to w
 // recovering the cycle, enumerate TDR candidates, apply the cheapest,
 // clear the backtracked ancestors (except w's).
-void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
-                 CostTable& costs, const DetectorOptions& options,
-                 WalkOutcome& outcome) {
+void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
+                 WalkHost& host, CostTable& costs,
+                 const DetectorOptions& options, WalkOutcome& outcome) {
   // Recover the cycle vertices in walk order w .. v.
   std::vector<size_t> reversed;
   size_t u = v;
@@ -50,7 +50,7 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
   }
 
   std::vector<VictimCandidate> candidates =
-      EnumerateCandidates(views, manager.table(), costs, options);
+      EnumerateCandidates(views, host, costs, options);
   TWBG_CHECK(!candidates.empty());  // Lemma 3: >= 2 junctions per cycle
   const size_t chosen = SelectVictim(candidates);
   const VictimCandidate& victim = candidates[chosen];
@@ -65,7 +65,7 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
     outcome.abortion_list.push_back(victim.junction);
   } else {
     // TDR-2: reposition the live queue now; grants happen at Step 3.
-    Status status = manager.ApplyTdr2(victim.resource, victim.junction);
+    Status status = host.ApplyTdr2(victim.resource, victim.junction);
     TWBG_CHECK(status.ok());
     for (lock::TransactionId tid : victim.st) {
       costs.Bump(tid, options.st_cost_multiplier, options.st_cost_increment);
@@ -99,7 +99,7 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
     const uint64_t now =
         options.event_bus != nullptr ? options.event_bus->time() : 0;
     CyclePostMortem pm =
-        BuildPostMortem(views, candidates, chosen, manager, now);
+        BuildPostMortem(views, candidates, chosen, host, host, now);
     if (observing) {
       obs::Event event;
       event.kind = obs::EventKind::kCyclePostMortem;
@@ -124,13 +124,14 @@ void HandleCycle(size_t v, size_t w, Tst& tst, lock::LockManager& manager,
   decision.candidates = std::move(candidates);
   decision.chosen = chosen;
   outcome.decisions.push_back(std::move(decision));
+  outcome.decision_roots.push_back(root);
   ++outcome.cycles;
 }
 
 }  // namespace
 
 WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
-                    lock::LockManager& manager, CostTable& costs,
+                    WalkHost& host, CostTable& costs,
                     const DetectorOptions& options) {
   WalkOutcome outcome;
   // The periodic pass passes Transactions() verbatim, so the cursor makes
@@ -172,8 +173,8 @@ WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
       }
       if (next.ancestor != 0) {
         // Closing edge: edge.to lies on the active path — a cycle.
-        HandleCycle(static_cast<size_t>(v), t, tst, manager, costs, options,
-                    outcome);
+        HandleCycle(static_cast<size_t>(v), t, root, tst, host, costs,
+                    options, outcome);
         v = static_cast<int64_t>(t);  // resume at the re-entered vertex
       } else {
         next.ancestor = v + 1;
@@ -184,7 +185,14 @@ WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
   return outcome;
 }
 
-ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
+WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
+                    lock::LockManager& manager, CostTable& costs,
+                    const DetectorOptions& options) {
+  LockManagerWalkHost host(manager);
+  return RunWalk(tst, roots, host, costs, options);
+}
+
+ResolutionReport ApplyResolution(WalkOutcome walk, ResolutionHost& host,
                                  CostTable& costs,
                                  const DetectorOptions& options) {
   ResolutionReport report;
@@ -222,7 +230,7 @@ ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
       report.spared.push_back(tid);
       continue;
     }
-    std::vector<lock::TransactionId> granted = manager.ReleaseAll(tid);
+    std::vector<lock::TransactionId> granted = host.ReleaseAll(tid);
     report.aborted.push_back(tid);
     costs.Erase(tid);
     for (lock::TransactionId g : granted) {
@@ -231,12 +239,19 @@ ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
     }
   }
   for (lock::ResourceId rid : walk.change_list) {
-    for (lock::TransactionId g : manager.Reschedule(rid)) {
+    for (lock::TransactionId g : host.Reschedule(rid)) {
       granted_set.insert(g);
       report.granted.push_back(g);
     }
   }
   return report;
+}
+
+ResolutionReport ApplyResolution(WalkOutcome walk, lock::LockManager& manager,
+                                 CostTable& costs,
+                                 const DetectorOptions& options) {
+  LockManagerResolutionHost host(manager);
+  return ApplyResolution(std::move(walk), host, costs, options);
 }
 
 std::string ResolutionReport::ToString() const {

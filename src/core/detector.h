@@ -15,7 +15,37 @@
 #include "lock/types.h"
 #include "obs/bus.h"
 
+namespace twbg::lock {
+class ResourceState;
+struct TxnLockInfo;
+}  // namespace twbg::lock
+
 namespace twbg::core {
+
+/// Read-only lookup of live per-resource lock state.  Implemented by
+/// whatever owns the state a detection pass runs against — a single
+/// lock table (lock::LockManager) or a sharded set of tables
+/// (txn::ConcurrentLockService) — so victim enumeration and post-mortem
+/// assembly need not know where resources live.
+class ResourceLookup {
+ public:
+  virtual ~ResourceLookup() = default;
+  /// State of `rid`, or nullptr when the resource is unknown/free.
+  virtual const lock::ResourceState* FindResource(lock::ResourceId rid)
+      const = 0;
+};
+
+/// Read-only lookup of per-transaction wait bookkeeping (blocked_on /
+/// blocked_mode / wait_span / wait_started), the post-mortem side of
+/// ResourceLookup.  For sharded owners this returns the info of the shard
+/// the transaction is blocked in (any shard's info when runnable).
+class WaitInfoLookup {
+ public:
+  virtual ~WaitInfoLookup() = default;
+  /// Wait info of `tid`, or nullptr when the transaction is unknown.
+  virtual const lock::TxnLockInfo* FindWaitInfo(lock::TransactionId tid)
+      const = 0;
+};
 
 /// How the resolver breaks a cycle (§4, Definition 4.1).
 enum class VictimKind {

@@ -114,6 +114,11 @@ void GraphBuilder::Sync(const lock::LockTable& table) {
   stats_.edges_reused = total_edges_ - stats_.edges_rebuilt;
 }
 
+void GraphBuilder::Refresh(const lock::LockTable& table) {
+  Sync(table);
+  RefreshTxns();
+}
+
 Tst& GraphBuilder::RefreshTst(const lock::LockTable& table) {
   Sync(table);
   RefreshTxns();

@@ -45,9 +45,21 @@ struct GraphCacheStats {
 };
 
 /// Incremental builder of the detection pass's graph structures.  Not
-/// thread-safe (single-threaded core).
+/// thread-safe itself; the sharded pass gives each shard its own builder
+/// (refreshed concurrently against disjoint tables) and merges the
+/// per-shard caches serially (core::ShardedTstBuilder).
 class GraphBuilder {
  public:
+  /// Cached ECR output for one resource.
+  struct ResourceCache {
+    /// lock::ResourceState::version() the entry was computed at.
+    uint64_t version = 0;
+    /// ECR 1-3 output for this resource, sentinels included.
+    std::vector<TwbgEdge> edges;
+    /// Transactions appearing on the resource (holders, then queue).
+    std::vector<lock::TransactionId> txns;
+  };
+
   /// Refreshes the cache against `table` and reassembles the persistent
   /// TST (W edges with sentinels + H edges, walk state reset).  The
   /// returned reference stays valid until the next Refresh/Build call and
@@ -58,18 +70,23 @@ class GraphBuilder {
   /// edges) — identical to HwTwbg::Build(table).
   HwTwbg BuildGraph(const lock::LockTable& table);
 
+  /// Brings the cache and vertex set up to date with `table` WITHOUT
+  /// assembling a TST — the per-shard half of the sharded Step 1, whose
+  /// assembly is a k-way merge across shards (core::ShardedTstBuilder).
+  void Refresh(const lock::LockTable& table);
+
+  /// Per-resource cache in ascending rid order, valid after Refresh.
+  const std::map<lock::ResourceId, ResourceCache>& cached_resources() const {
+    return cache_;
+  }
+
+  /// Vertex set (ascending) of the cached resources, valid after Refresh.
+  const std::vector<lock::TransactionId>& txns() const { return txns_; }
+
   /// Statistics of the most recent refresh.
   const GraphCacheStats& stats() const { return stats_; }
 
  private:
-  struct ResourceCache {
-    uint64_t version = 0;
-    /// ECR 1-3 output for this resource, sentinels included.
-    std::vector<TwbgEdge> edges;
-    /// Transactions appearing on the resource (holders, then queue).
-    std::vector<lock::TransactionId> txns;
-  };
-
   // Brings cache_ up to date with `table` (journal fast path or full
   // version-compare sweep) and resets stats_.
   void Sync(const lock::LockTable& table);

@@ -1,0 +1,199 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "core/parallel_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace twbg::core {
+
+namespace {
+
+// ParallelWalkHost over a single LockManager: reads hit the one table;
+// TDR-2 mutates the state directly (ResourceState self-stamps its
+// version) and journals via NoteMutation at merge time.
+class ManagerParallelHost final : public ParallelWalkHost {
+ public:
+  explicit ManagerParallelHost(lock::LockManager& manager)
+      : manager_(manager) {}
+
+  const lock::ResourceState* FindResource(
+      lock::ResourceId rid) const override {
+    return manager_.table().Find(rid);
+  }
+  const lock::TxnLockInfo* FindWaitInfo(
+      lock::TransactionId tid) const override {
+    return manager_.Info(tid);
+  }
+  Status ApplyTdr2Direct(lock::ResourceId rid,
+                         lock::TransactionId junction) override {
+    lock::ResourceState* state =
+        manager_.mutable_table().FindMutableDeferred(rid);
+    if (state == nullptr) {
+      return Status::NotFound(common::Format("R%u is not locked", rid));
+    }
+    return state->ApplyTdr2(junction);
+  }
+  void NoteTdr2Applied(lock::ResourceId rid) override {
+    manager_.mutable_table().NoteMutation(rid);
+  }
+
+ private:
+  lock::LockManager& manager_;
+};
+
+}  // namespace
+
+Tst& ShardedTstBuilder::RefreshTst(
+    const std::vector<const lock::LockTable*>& tables,
+    common::ThreadPool* pool) {
+  builders_.resize(tables.size());
+  auto refresh = [&](size_t shard) { builders_[shard].Refresh(*tables[shard]); };
+  if (pool != nullptr) {
+    pool->ParallelFor(tables.size(), refresh);
+  } else {
+    for (size_t shard = 0; shard < tables.size(); ++shard) refresh(shard);
+  }
+
+  stats_ = {};
+  for (const GraphBuilder& builder : builders_) {
+    const GraphCacheStats& s = builder.stats();
+    stats_.num_dirty_resources += s.num_dirty_resources;
+    stats_.num_cached_resources += s.num_cached_resources;
+    stats_.edges_rebuilt += s.edges_rebuilt;
+    stats_.edges_reused += s.edges_reused;
+    stats_.full_sweep = stats_.full_sweep || s.full_sweep;
+  }
+
+  // K-way merge of the per-shard caches by ascending rid (shards hold
+  // disjoint rid sets, so this is the global rid order — the same
+  // concatenation order a single-table build would use).
+  edge_scratch_.clear();
+  using CacheIter =
+      std::map<lock::ResourceId, GraphBuilder::ResourceCache>::const_iterator;
+  std::vector<std::pair<CacheIter, CacheIter>> fronts;
+  fronts.reserve(builders_.size());
+  for (const GraphBuilder& builder : builders_) {
+    fronts.emplace_back(builder.cached_resources().begin(),
+                        builder.cached_resources().end());
+  }
+  for (;;) {
+    size_t best = fronts.size();
+    for (size_t i = 0; i < fronts.size(); ++i) {
+      if (fronts[i].first == fronts[i].second) continue;
+      if (best == fronts.size() ||
+          fronts[i].first->first < fronts[best].first->first) {
+        best = i;
+      }
+    }
+    if (best == fronts.size()) break;
+    const GraphBuilder::ResourceCache& entry = fronts[best].first->second;
+    edge_scratch_.insert(edge_scratch_.end(), entry.edges.begin(),
+                         entry.edges.end());
+    ++fronts[best].first;
+  }
+
+  txn_scratch_.clear();
+  for (const GraphBuilder& builder : builders_) {
+    txn_scratch_.insert(txn_scratch_.end(), builder.txns().begin(),
+                        builder.txns().end());
+  }
+  std::sort(txn_scratch_.begin(), txn_scratch_.end());
+  txn_scratch_.erase(std::unique(txn_scratch_.begin(), txn_scratch_.end()),
+                     txn_scratch_.end());
+
+  tst_.Assemble(edge_scratch_, txn_scratch_);
+  return tst_;
+}
+
+ResolutionReport ParallelPeriodicDetector::RunPass(
+    lock::LockManager& manager, CostTable& costs) {
+  ManagerParallelHost walk_host(manager);
+  LockManagerResolutionHost resolution_host(manager);
+  return RunPassImpl({&manager.table()}, walk_host, resolution_host, costs);
+}
+
+ResolutionReport ParallelPeriodicDetector::RunPass(
+    ShardedDetectionHost& host, CostTable& costs) {
+  std::vector<const lock::LockTable*> tables;
+  tables.reserve(host.num_shards());
+  for (size_t shard = 0; shard < host.num_shards(); ++shard) {
+    tables.push_back(&host.shard_table(shard));
+  }
+  return RunPassImpl(tables, host, host, costs);
+}
+
+ResolutionReport ParallelPeriodicDetector::RunPassImpl(
+    const std::vector<const lock::LockTable*>& tables,
+    ParallelWalkHost& walk_host, ResolutionHost& resolution_host,
+    CostTable& costs) {
+  obs::EventBus* bus = options_.event_bus;
+  const bool observing = obs::Enabled(bus);
+  common::Stopwatch pass_clock;
+  if (observing) {
+    obs::Event start;
+    start.kind = obs::EventKind::kPassStart;
+    start.a = 1;  // periodic
+    bus->Emit(start);
+  }
+
+  // Step 1: per-shard cache refresh + k-way merge.  A non-incremental
+  // pass uses a throwaway builder (full rebuild every time) and reports
+  // no cache statistics, matching the sequential from-scratch build.
+  ShardedTstBuilder scratch_builder;
+  ShardedTstBuilder& builder =
+      options_.incremental_build ? builder_ : scratch_builder;
+  Tst& tst = builder.RefreshTst(tables, pool_);
+  const size_t num_transactions = tst.size();
+  const size_t num_edges = tst.NumEdges();
+  const int64_t step1_ns = observing ? pass_clock.ElapsedNanos() : 0;
+  if (observing) {
+    obs::Event step1;
+    step1.kind = obs::EventKind::kStep1;
+    if (options_.incremental_build) {
+      step1.a = builder.stats().num_dirty_resources;
+      step1.b = builder.stats().num_cached_resources;
+    }
+    step1.value = static_cast<double>(step1_ns);
+    bus->Emit(step1);
+  }
+
+  // Step 2: component-parallel walk.
+  WalkOutcome walk = RunWalkComponentParallel(
+      tst, walk_host, costs, options_, pool_, &last_num_components_);
+  if (observing) {
+    obs::Event step2;
+    step2.kind = obs::EventKind::kStep2;
+    step2.a = walk.cycles;
+    step2.b = walk.steps;
+    step2.value = static_cast<double>(pass_clock.ElapsedNanos() - step1_ns);
+    bus->Emit(step2);
+  }
+
+  // Step 3: confirm aborts and grants.
+  ResolutionReport report =
+      ApplyResolution(std::move(walk), resolution_host, costs, options_);
+  report.num_transactions = num_transactions;
+  report.num_edges = num_edges;
+  if (options_.incremental_build) {
+    const GraphCacheStats& stats = builder.stats();
+    report.num_dirty_resources = stats.num_dirty_resources;
+    report.num_cached_resources = stats.num_cached_resources;
+    report.edges_rebuilt = stats.edges_rebuilt;
+    report.edges_reused = stats.edges_reused;
+  }
+  if (observing) {
+    obs::Event end;
+    end.kind = obs::EventKind::kPassEnd;
+    end.a = report.cycles_detected;
+    end.b = report.aborted.size();
+    end.value = static_cast<double>(pass_clock.ElapsedNanos());
+    bus->Emit(end);
+  }
+  return report;
+}
+
+}  // namespace twbg::core

@@ -1,0 +1,104 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// The periodic pass (§5) over sharded lock state, with both halves
+// parallelized on an optional worker pool:
+//
+//   Step 1  every shard's incremental GraphBuilder refreshes its own ECR
+//           edge cache concurrently (shards own disjoint resources), then
+//           the per-shard caches are k-way merged by ascending rid into
+//           one flat TST — byte-identical to a single-table build of the
+//           union state, since cache concatenation order is rid order.
+//   Step 2  the component-parallel walk of core/parallel_engine.h.
+//   Step 3  the standard abortion-list / change-list reconciliation,
+//           routed through a ResolutionHost.
+//
+// The whole pass assumes the caller holds every shard lock (stop-the-
+// world snapshot; txn::ConcurrentLockService's detector thread does
+// this), which is what makes plain reads from worker threads safe.
+// Reports are byte-identical to PeriodicDetector::RunPass over the same
+// aggregate state — the differential suite proves it.
+
+#ifndef TWBG_CORE_PARALLEL_DETECTOR_H_
+#define TWBG_CORE_PARALLEL_DETECTOR_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/graph_builder.h"
+#include "core/parallel_engine.h"
+
+namespace twbg::core {
+
+/// Step 1 over N shard tables: one GraphBuilder per shard, refreshed in
+/// parallel, assembled serially by a k-way rid merge.  With one table
+/// this reduces to GraphBuilder::RefreshTst exactly.
+class ShardedTstBuilder {
+ public:
+  /// Refreshes every shard's cache (over `pool` when non-null; tables are
+  /// disjoint so the refreshes share nothing) and assembles the unified
+  /// TST.  The reference stays valid until the next call.
+  Tst& RefreshTst(const std::vector<const lock::LockTable*>& tables,
+                  common::ThreadPool* pool);
+
+  /// Refresh statistics aggregated (summed) across shards.
+  const GraphCacheStats& stats() const { return stats_; }
+
+ private:
+  std::vector<GraphBuilder> builders_;  // one per shard, index-stable
+  std::vector<TwbgEdge> edge_scratch_;
+  std::vector<lock::TransactionId> txn_scratch_;
+  Tst tst_;
+  GraphCacheStats stats_;
+};
+
+/// What the sharded pass needs from its owner (txn::ConcurrentLockService
+/// over its shard set): the shard tables for Step 1, the parallel-walk
+/// lock-state interface for Step 2, and release/reschedule for Step 3.
+/// All methods are called with every shard lock held by the pass.
+class ShardedDetectionHost : public ParallelWalkHost,
+                             public ResolutionHost {
+ public:
+  /// Number of shards; tables are indexed [0, num_shards()).
+  virtual size_t num_shards() const = 0;
+  /// Lock table of shard `shard`.
+  virtual const lock::LockTable& shard_table(size_t shard) const = 0;
+};
+
+/// Periodic detector whose Step 1 and Step 2 run on a worker pool.  Emits
+/// the same kPassStart/kStep1/kStep2/.../kPassEnd stream as
+/// PeriodicDetector and produces byte-identical reports.
+class ParallelPeriodicDetector {
+ public:
+  /// `pool` (not owned, may be null = run the pass on the calling thread)
+  /// sizes the parallelism of both steps.
+  explicit ParallelPeriodicDetector(DetectorOptions options = {},
+                                    common::ThreadPool* pool = nullptr)
+      : options_(options), pool_(pool) {}
+
+  /// One pass over a single lock manager — the differential-parity entry
+  /// point, drop-in comparable with PeriodicDetector::RunPass.
+  ResolutionReport RunPass(lock::LockManager& manager, CostTable& costs);
+
+  /// One pass over sharded state.  The caller must hold all shard locks.
+  ResolutionReport RunPass(ShardedDetectionHost& host, CostTable& costs);
+
+  const DetectorOptions& options() const { return options_; }
+
+  /// Weakly-connected components of the most recent pass's TST.
+  size_t last_num_components() const { return last_num_components_; }
+
+ private:
+  ResolutionReport RunPassImpl(
+      const std::vector<const lock::LockTable*>& tables,
+      ParallelWalkHost& walk_host, ResolutionHost& resolution_host,
+      CostTable& costs);
+
+  DetectorOptions options_;
+  common::ThreadPool* pool_;
+  ShardedTstBuilder builder_;
+  size_t last_num_components_ = 0;
+};
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_PARALLEL_DETECTOR_H_

@@ -1,0 +1,80 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Component-parallel Step 2: partition the flat TST into weakly-connected
+// components and run the directed walk per component on a worker pool.
+//
+// Why this is exact (byte-identical to the sequential walk): a walk
+// starting at root r only ever follows TST edges, so it never leaves r's
+// weak component — every vertex visited, every ancestor/current mutated,
+// every cycle found and every cost read or bumped (cycle members, TDR-2
+// ST/AV members — all appear on a cycle resource, hence in-component)
+// belongs to r's component.  Components therefore share no walk state,
+// and running them concurrently over one shared Tst is race-free.  The
+// sequential pass processes roots in ascending tid order, so its decision
+// stream is the per-component decision streams merged by ascending root
+// id — which is exactly how Merge() reassembles the outcome, making
+// decisions, abortion list, change list, costs and emitted events
+// byte-identical to RunWalk over the same state.
+//
+// In-walk mutations that would race are deferred: TDR-2 repositions the
+// ResourceState directly (its version self-stamps, keeping derived caches
+// correct) while the mutation journal append and the kUprReposition /
+// kCycleResolved / kCyclePostMortem events are recorded per component and
+// replayed — in merged decision order — during the serial merge.
+
+#ifndef TWBG_CORE_PARALLEL_ENGINE_H_
+#define TWBG_CORE_PARALLEL_ENGINE_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/detection_engine.h"
+
+namespace twbg::core {
+
+/// Weakly-connected-component partition of a TST's dense vertices.
+struct TstPartition {
+  /// Dense vertex indices per component, each ascending.  Components are
+  /// ordered by their smallest member (the "component root"), which makes
+  /// the partition — and everything derived from it — deterministic.
+  std::vector<std::vector<size_t>> components;
+  /// Component index of every dense vertex.
+  std::vector<size_t> component_of;
+};
+
+/// Partitions `tst` into weakly-connected components (union-find over the
+/// precomputed edge targets; sentinels and out-of-table targets ignored).
+TstPartition PartitionTst(const Tst& tst);
+
+/// Lock-state host for the component-parallel walk.  FindResource and
+/// FindWaitInfo must be safe for concurrent readers (the pass holds all
+/// shard locks, so plain lookups qualify).  ApplyTdr2Direct must mutate
+/// the resource WITHOUT journaling or event emission — both are deferred
+/// into the serial merge phase, which calls NoteTdr2Applied once per
+/// repositioning decision in merged order.
+class ParallelWalkHost : public ResourceLookup, public WaitInfoLookup {
+ public:
+  /// Applies the TDR-2 repositioning on `rid` at `junction`, mutating the
+  /// resource state only (no journal, no events).  Called from worker
+  /// threads, but only ever for resources of the calling component.
+  virtual Status ApplyTdr2Direct(lock::ResourceId rid,
+                                 lock::TransactionId junction) = 0;
+  /// Serial deferred journaling of one applied TDR-2 (merge phase).
+  virtual void NoteTdr2Applied(lock::ResourceId rid) = 0;
+};
+
+/// Runs the Step 2 walk component-parallel over `pool` (nullptr or a
+/// single-component TST degrade to a serial loop through the identical
+/// code path) and returns the merged outcome.  Equivalent to
+/// RunWalk(tst, tst.Transactions(), ...) — same decisions, same order,
+/// same events on `options.event_bus`, same cost-table mutations.
+/// `num_components`, when non-null, receives the partition size.
+WalkOutcome RunWalkComponentParallel(Tst& tst, ParallelWalkHost& host,
+                                     CostTable& costs,
+                                     const DetectorOptions& options,
+                                     common::ThreadPool* pool,
+                                     size_t* num_components = nullptr);
+
+}  // namespace twbg::core
+
+#endif  // TWBG_CORE_PARALLEL_ENGINE_H_

@@ -67,10 +67,41 @@ std::string CyclePostMortem::Summary() const {
   return out;
 }
 
+namespace {
+
+// Adapt a LockManager to the lookup pair the generalized overload takes.
+class ManagerLookup final : public ResourceLookup, public WaitInfoLookup {
+ public:
+  explicit ManagerLookup(const lock::LockManager& manager)
+      : manager_(manager) {}
+  const lock::ResourceState* FindResource(
+      lock::ResourceId rid) const override {
+    return manager_.table().Find(rid);
+  }
+  const lock::TxnLockInfo* FindWaitInfo(
+      lock::TransactionId tid) const override {
+    return manager_.Info(tid);
+  }
+
+ private:
+  const lock::LockManager& manager_;
+};
+
+}  // namespace
+
 CyclePostMortem BuildPostMortem(
     const std::vector<CycleEdgeView>& views,
     const std::vector<VictimCandidate>& candidates, size_t chosen,
     const lock::LockManager& manager, uint64_t now) {
+  ManagerLookup lookup(manager);
+  return BuildPostMortem(views, candidates, chosen, lookup, lookup, now);
+}
+
+CyclePostMortem BuildPostMortem(
+    const std::vector<CycleEdgeView>& views,
+    const std::vector<VictimCandidate>& candidates, size_t chosen,
+    const ResourceLookup& resources, const WaitInfoLookup& waits,
+    uint64_t now) {
   CyclePostMortem pm;
   pm.time = now;
   const VictimCandidate& victim = candidates[chosen];
@@ -93,7 +124,7 @@ CyclePostMortem BuildPostMortem(
     PostMortemMember member;
     member.tid = view.node;
     member.edge = view.out;
-    const lock::TxnLockInfo* info = manager.Info(view.node);
+    const lock::TxnLockInfo* info = waits.FindWaitInfo(view.node);
     if (info != nullptr && info->blocked_on.has_value()) {
       member.blocked_on = info->blocked_on;
       member.blocked_mode = info->blocked_mode;
@@ -113,7 +144,7 @@ CyclePostMortem BuildPostMortem(
       continue;
     }
     seen.push_back(rid);
-    const lock::ResourceState* state = manager.table().Find(rid);
+    const lock::ResourceState* state = resources.FindResource(rid);
     if (state != nullptr) pm.queue_snapshots.push_back(state->ToString());
   }
   return pm;

@@ -26,6 +26,15 @@ CyclePostMortem BuildPostMortem(
     const std::vector<VictimCandidate>& candidates, size_t chosen,
     const lock::LockManager& manager, uint64_t now);
 
+/// Generalized overload reading wait state and queue snapshots through
+/// the detection-host lookup interfaces (sharded or component-parallel
+/// passes, where no single LockManager owns the state).
+CyclePostMortem BuildPostMortem(
+    const std::vector<CycleEdgeView>& views,
+    const std::vector<VictimCandidate>& candidates, size_t chosen,
+    const ResourceLookup& resources, const WaitInfoLookup& waits,
+    uint64_t now);
+
 }  // namespace twbg::core
 
 #endif  // TWBG_CORE_POST_MORTEM_H_

@@ -36,8 +36,25 @@ std::string VictimDecision::ToString() const {
   return out;
 }
 
+namespace {
+
+// Adapts a single LockTable to the ResourceLookup interface.
+class TableLookup final : public ResourceLookup {
+ public:
+  explicit TableLookup(const lock::LockTable& table) : table_(table) {}
+  const lock::ResourceState* FindResource(
+      lock::ResourceId rid) const override {
+    return table_.Find(rid);
+  }
+
+ private:
+  const lock::LockTable& table_;
+};
+
+}  // namespace
+
 std::vector<VictimCandidate> EnumerateCandidates(
-    const std::vector<CycleEdgeView>& cycle, const lock::LockTable& table,
+    const std::vector<CycleEdgeView>& cycle, const ResourceLookup& resources,
     const CostTable& costs, const DetectorOptions& options) {
   std::vector<VictimCandidate> candidates;
   const size_t n = cycle.size();
@@ -55,7 +72,7 @@ std::vector<VictimCandidate> EnumerateCandidates(
     if (!options.enable_tdr2) continue;
     const TwbgEdge& in = cycle[(i + n - 1) % n].out;
     if (!in.IsW()) continue;  // TDR-2 needs a W-labeled incoming edge
-    const lock::ResourceState* state = table.Find(in.rid);
+    const lock::ResourceState* state = resources.FindResource(in.rid);
     if (state == nullptr) continue;
     Result<lock::ResourceState::AvSt> split = state->ComputeAvSt(junction);
     if (!split.ok() || split->st.empty()) continue;
@@ -74,6 +91,12 @@ std::vector<VictimCandidate> EnumerateCandidates(
     candidates.push_back(std::move(repos));
   }
   return candidates;
+}
+
+std::vector<VictimCandidate> EnumerateCandidates(
+    const std::vector<CycleEdgeView>& cycle, const lock::LockTable& table,
+    const CostTable& costs, const DetectorOptions& options) {
+  return EnumerateCandidates(cycle, TableLookup(table), costs, options);
 }
 
 Result<std::vector<VictimCandidate>> EnumerateCandidates(

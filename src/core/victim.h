@@ -37,7 +37,12 @@ struct CycleEdgeView {
 };
 
 /// Enumerates every victim candidate of the cycle, in junction order along
-/// the walk.  `table` is consulted live for the TDR-2 AV/ST split.
+/// the walk.  `resources` is consulted live for the TDR-2 AV/ST split.
+std::vector<VictimCandidate> EnumerateCandidates(
+    const std::vector<CycleEdgeView>& cycle, const ResourceLookup& resources,
+    const CostTable& costs, const DetectorOptions& options);
+
+/// Convenience overload looking resources up in a single lock table.
 std::vector<VictimCandidate> EnumerateCandidates(
     const std::vector<CycleEdgeView>& cycle, const lock::LockTable& table,
     const CostTable& costs, const DetectorOptions& options);

@@ -68,24 +68,10 @@ std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
   const size_t touched = it->second.touched.size();
   std::vector<TransactionId> granted;
   for (ResourceId rid : it->second.touched) {
-    ResourceState* state = table_.FindMutable(rid);
-    if (state == nullptr) continue;
-    std::vector<TransactionId> g = state->Remove(tid);
-    if (observing) {
-      for (TransactionId waiter : g) {
-        obs::Event wake;
-        wake.kind = obs::EventKind::kLockWakeup;
-        wake.tid = waiter;
-        wake.rid = rid;
-        wake.span = WaitSpan(waiter);
-        bus_->Emit(wake);
-      }
-    }
+    std::vector<TransactionId> g = ReleaseOn(tid, rid);
     granted.insert(granted.end(), g.begin(), g.end());
-    table_.EraseIfFree(rid);
   }
   txns_.erase(it);
-  NoteGranted(granted);
   if (observing) {
     obs::Event event;
     event.kind = obs::EventKind::kLockRelease;
@@ -96,6 +82,28 @@ std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
   }
   return granted;
 }
+
+std::vector<TransactionId> LockManager::ReleaseOn(TransactionId tid,
+                                                  ResourceId rid) {
+  ResourceState* state = table_.FindMutable(rid);
+  if (state == nullptr) return {};
+  std::vector<TransactionId> granted = state->Remove(tid);
+  if (obs::Enabled(bus_)) {
+    for (TransactionId waiter : granted) {
+      obs::Event wake;
+      wake.kind = obs::EventKind::kLockWakeup;
+      wake.tid = waiter;
+      wake.rid = rid;
+      wake.span = WaitSpan(waiter);
+      bus_->Emit(wake);
+    }
+  }
+  table_.EraseIfFree(rid);
+  NoteGranted(granted);
+  return granted;
+}
+
+void LockManager::Forget(TransactionId tid) { txns_.erase(tid); }
 
 std::vector<TransactionId> LockManager::Reschedule(ResourceId rid) {
   ResourceState* state = table_.FindMutable(rid);

@@ -61,6 +61,19 @@ class LockManager {
   /// blocked requests became granted, in grant order.
   std::vector<TransactionId> ReleaseAll(TransactionId tid);
 
+  /// Releases `tid`'s appearance on the single resource `rid`, emitting a
+  /// kLockWakeup per grant but NOT the final kLockRelease summary and NOT
+  /// forgetting the transaction.  Building block for cross-shard releases
+  /// (txn::ConcurrentLockService commits span several managers and must
+  /// release in global ascending-rid order); ReleaseAll is implemented on
+  /// top of it.  Returns transactions granted on `rid`, in grant order.
+  std::vector<TransactionId> ReleaseOn(TransactionId tid, ResourceId rid);
+
+  /// Drops all bookkeeping for `tid` without touching the table.  The
+  /// caller must already have released every resource in `tid`'s touched
+  /// set (via ReleaseOn); emits nothing.
+  void Forget(TransactionId tid);
+
   /// Re-runs the grant passes on `rid` (used by detector Step 3 for
   /// change-list resources) and updates blocked bookkeeping.
   std::vector<TransactionId> Reschedule(ResourceId rid);

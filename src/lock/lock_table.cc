@@ -3,13 +3,16 @@
 #include "lock/lock_table.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace twbg::lock {
 
 uint64_t LockTable::NextTableUid() {
-  // Single-threaded core; a plain counter suffices (see NextStateVersion).
-  static uint64_t counter = 0;
-  return ++counter;
+  // Tables are created from multiple threads once the service is sharded;
+  // uids only need to be unique, so relaxed ordering suffices (see
+  // NextStateVersion).
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 LockTable::LockTable(const LockTable& other)
@@ -77,6 +80,11 @@ ResourceState* LockTable::FindMutable(ResourceId rid) {
   if (it == resources_.end()) return nullptr;
   MarkDirty(rid);
   return &it->second;
+}
+
+ResourceState* LockTable::FindMutableDeferred(ResourceId rid) {
+  auto it = resources_.find(rid);
+  return it == resources_.end() ? nullptr : &it->second;
 }
 
 void LockTable::EraseIfFree(ResourceId rid) {

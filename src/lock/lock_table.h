@@ -52,6 +52,17 @@ class LockTable {
   const ResourceState* Find(ResourceId rid) const;
   ResourceState* FindMutable(ResourceId rid);
 
+  /// Like FindMutable but does NOT journal: the caller promises to call
+  /// NoteMutation(rid) (serially, before the next journal reader syncs)
+  /// for every resource it actually mutated.  Exists for the
+  /// component-parallel Step 2 walk, which mutates disjoint resources
+  /// from worker threads and defers journaling into its serial merge
+  /// phase — the journal deque itself is not thread-safe.
+  ResourceState* FindMutableDeferred(ResourceId rid);
+
+  /// Journals a mutation of `rid` performed through FindMutableDeferred.
+  void NoteMutation(ResourceId rid) { MarkDirty(rid); }
+
   /// Drops the entry for `rid` if it is free (no holders, no queue).
   void EraseIfFree(ResourceId rid);
 

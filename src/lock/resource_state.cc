@@ -3,16 +3,18 @@
 #include "lock/resource_state.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/string_util.h"
 
 namespace twbg::lock {
 
 uint64_t NextStateVersion() {
-  // Single-threaded core (sequential transaction processing); a plain
-  // counter suffices and keeps the mutation hot path branch-free.
-  static uint64_t counter = 0;
-  return ++counter;
+  // Version stamps must stay process-unique even when shards mutate their
+  // tables concurrently (txn::ConcurrentLockService); relaxed ordering is
+  // enough — uniqueness is the only property derived caches rely on.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::string HolderEntry::ToString() const {

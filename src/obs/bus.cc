@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
+
 namespace twbg::obs {
 
 void EventBus::Subscribe(EventSink* sink) {
@@ -28,6 +30,17 @@ void EventBus::Deliver(Event& event) {
 }
 
 void EventBus::Emit(Event event) {
+#ifndef NDEBUG
+  // Single-writer tripwire (see the header contract): claim the bus for
+  // this thread, tolerating same-thread re-entrancy (nested emission from
+  // a sink).  A different thread already inside Emit is a caller bug —
+  // its serialization is missing or lacks happens-before edges.
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  const bool claimed = writer_.compare_exchange_strong(
+      expected, self, std::memory_order_acq_rel, std::memory_order_acquire);
+  TWBG_DCHECK(claimed || expected == self);
+#endif
   if (emitting_) {
     // Nested emission from inside a sink: queue it so every sink sees the
     // outer event first and the stream stays identically ordered.
@@ -43,6 +56,10 @@ void EventBus::Emit(Event event) {
   }
   deferred_.clear();
   emitting_ = false;
+#ifndef NDEBUG
+  // Release the bus only at the outermost exit.
+  writer_.store(std::thread::id{}, std::memory_order_release);
+#endif
 }
 
 }  // namespace twbg::obs

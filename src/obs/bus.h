@@ -12,14 +12,24 @@
 //
 // Delivery is synchronous and in emission order: Emit stamps the event
 // with the next sequence number and the bus's logical time, then calls
-// every sink in subscription order before returning.  Single-threaded
-// like the rest of the core; concurrent use must be externally serialized
-// (txn::ConcurrentLockService emits under its own mutex).
+// every sink in subscription order before returning.
+//
+// Threading contract — SINGLE WRITER: the bus itself takes no locks, so
+// at any instant at most one thread may be inside Emit (and Subscribe/
+// Unsubscribe/set_time must not race with it).  Different threads may
+// emit at different times as long as their accesses are externally
+// serialized with proper happens-before edges — txn::ConcurrentLockService
+// does exactly that by emitting only under its observability mutex, which
+// is also why attaching a bus to the sharded service serializes it.
+// Debug builds enforce the contract: Emit traps (TWBG_DCHECK) when it
+// observes a second thread inside a delivery in progress.
 
 #ifndef TWBG_OBS_BUS_H_
 #define TWBG_OBS_BUS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "obs/event.h"
@@ -84,6 +94,11 @@ class EventBus {
   uint64_t next_seq_ = 1;
   uint64_t time_ = 0;
   bool emitting_ = false;
+  // Debug tripwire for the single-writer contract: the thread currently
+  // inside the outermost Emit, or the empty id when idle.  Checked only
+  // in debug builds (bus.cc), but kept unconditionally so the layout
+  // does not change between build types.
+  std::atomic<std::thread::id> writer_{std::thread::id{}};
 };
 
 /// Emission-site guard: true when `bus` is attached and has sinks.

@@ -70,6 +70,8 @@ std::string_view ToString(EventKind kind) {
       return "starvation";
     case EventKind::kConvoy:
       return "convoy";
+    case EventKind::kShardContention:
+      return "shard_contention";
   }
   return "?";
 }

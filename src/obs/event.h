@@ -108,11 +108,20 @@ enum class EventKind : uint8_t {
   /// blocked wait spans on the resource; `b` = 1-based rank among the
   /// flagged hot resources this check; `value` = `a` as a double.
   kConvoy,
+
+  // -- concurrency layer (txn::ConcurrentLockService) --
+  /// Per-shard contention counters, published once per detection pass by
+  /// the sharded service.  `rid` = the shard index (not a resource);
+  /// `a` = cumulative contended mutex acquisitions (lock attempts that
+  /// found the shard mutex held), `b` = cumulative operations routed to
+  /// the shard; `value` = cumulative shard-mutex hold time in
+  /// nanoseconds.
+  kShardContention,
 };
 
 /// Number of EventKind enumerators (array-sizing constant).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kConvoy) + 1;
+    static_cast<size_t>(EventKind::kShardContention) + 1;
 
 /// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
 std::string_view ToString(EventKind kind);

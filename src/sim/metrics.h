@@ -71,6 +71,18 @@ struct SimMetrics {
   size_t starvation_alerts = 0;
   /// Watchdog convoy alerts raised during the run (0 likewise).
   size_t convoy_alerts = 0;
+  /// Sharded-service counters, populated by concurrent drivers
+  /// (bench_concurrent, the stress suite) from
+  /// txn::ConcurrentLockService::shard_stats and pause_times_ns; the
+  /// single-threaded simulator leaves them zero and ToString omits them.
+  /// Shard-mutex acquisitions that found the mutex already held.
+  size_t shard_mutex_waits = 0;
+  /// Total shard-mutex hold time across shards, nanoseconds.
+  size_t shard_hold_ns = 0;
+  /// Stop-the-world detection passes completed.
+  size_t detector_passes = 0;
+  /// Total stop-the-world pause time across passes, nanoseconds.
+  size_t detector_pause_ns = 0;
 
   /// Committed transactions per 1000 ticks.
   double Throughput() const {

@@ -2,33 +2,229 @@
 
 #include "txn/concurrent_service.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
+#include "lock/resource_state.h"
 
 namespace twbg::txn {
 
 namespace {
+
+constexpr size_t kMaxShards = 64;  // shard_mask is a uint64_t bitmask
 
 TransactionManagerOptions ForceContinuous(TransactionManagerOptions options) {
   options.detection_mode = DetectionMode::kContinuous;
   return options;
 }
 
+ConcurrentServiceOptions NormalizeConcurrent(ConcurrentServiceOptions options) {
+  if (options.detector.event_bus == nullptr) {
+    options.detector.event_bus = options.event_bus;
+  }
+  return options;
+}
+
 }  // namespace
 
-ConcurrentLockService::ConcurrentLockService(
-    TransactionManagerOptions options)
-    : tm_(ForceContinuous(options)) {}
+// What the parallel pass sees of the shard set.  Every method runs with
+// all shard mutexes, txn_mu_ and (when observing) obs_mu_ held by the
+// pass, so plain cross-shard reads and serial mutations are safe.
+class ConcurrentLockService::PassHost final
+    : public core::ShardedDetectionHost {
+ public:
+  explicit PassHost(ConcurrentLockService& service) : service_(service) {}
+
+  size_t num_shards() const override { return service_.shards_.size(); }
+  const lock::LockTable& shard_table(size_t shard) const override {
+    return service_.shards_[shard]->lm.table();
+  }
+
+  const lock::ResourceState* FindResource(
+      lock::ResourceId rid) const override {
+    return shard(rid).lm.table().Find(rid);
+  }
+  // A transaction can be known to several shards; only the shard of the
+  // resource it is blocked on carries its wait info (blocked_on set).
+  const lock::TxnLockInfo* FindWaitInfo(
+      lock::TransactionId tid) const override {
+    const lock::TxnLockInfo* any = nullptr;
+    for (const auto& s : service_.shards_) {
+      const lock::TxnLockInfo* info = s->lm.Info(tid);
+      if (info == nullptr) continue;
+      if (info->blocked_on.has_value()) return info;
+      if (any == nullptr) any = info;
+    }
+    return any;
+  }
+  Status ApplyTdr2Direct(lock::ResourceId rid,
+                         lock::TransactionId junction) override {
+    lock::ResourceState* state =
+        shard(rid).lm.mutable_table().FindMutableDeferred(rid);
+    if (state == nullptr) {
+      return Status::NotFound(common::Format("R%u is not locked", rid));
+    }
+    return state->ApplyTdr2(junction);
+  }
+  void NoteTdr2Applied(lock::ResourceId rid) override {
+    shard(rid).lm.mutable_table().NoteMutation(rid);
+  }
+
+  std::vector<lock::TransactionId> ReleaseAll(
+      lock::TransactionId tid) override {
+    auto it = service_.txns_.find(tid);
+    const uint64_t mask =
+        it == service_.txns_.end() ? ~uint64_t{0} : it->second.shard_mask;
+    return service_.ReleaseAllShardsLocked(tid, mask);
+  }
+  std::vector<lock::TransactionId> Reschedule(lock::ResourceId rid) override {
+    return shard(rid).lm.Reschedule(rid);
+  }
+
+ private:
+  Shard& shard(lock::ResourceId rid) const {
+    return *service_.shards_[service_.ShardIndex(rid)];
+  }
+
+  ConcurrentLockService& service_;
+};
+
+Result<std::unique_ptr<ConcurrentLockService>> ConcurrentLockService::Create(
+    ConcurrentServiceOptions options) {
+  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument(common::Format(
+        "num_shards must be in [1, %zu], got %zu", kMaxShards,
+        options.num_shards));
+  }
+  if (options.detection_mode == DetectionMode::kContinuous) {
+    // Continuous detection runs inside every blocking acquire and needs
+    // the whole lock state under one mutex; reject — rather than silently
+    // ignore — options that only make sense for the sharded engine.
+    if (options.num_shards != 1) {
+      return Status::InvalidArgument(
+          "continuous detection requires num_shards == 1 "
+          "(use kPeriodic for a sharded service)");
+    }
+    if (options.detection_period.count() != 0) {
+      return Status::InvalidArgument(
+          "continuous detection has no detector thread; "
+          "detection_period must be 0");
+    }
+    if (options.detection_threads != 0) {
+      return Status::InvalidArgument(
+          "continuous detection runs inline; detection_threads must be 0");
+    }
+  }
+  return std::unique_ptr<ConcurrentLockService>(
+      new ConcurrentLockService(std::move(options)));
+}
+
+ConcurrentLockService::ConcurrentLockService(TransactionManagerOptions options)
+    : mode_(DetectionMode::kContinuous),
+      tm_(std::make_unique<TransactionManager>(ForceContinuous(options))) {
+  options_.detection_mode = DetectionMode::kContinuous;
+  options_.cost_policy = options.cost_policy;
+  options_.detector = options.detector;
+  options_.event_bus = options.event_bus;
+}
+
+ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
+    : options_(NormalizeConcurrent(std::move(options))),
+      mode_(options_.detection_mode) {
+  if (mode_ == DetectionMode::kContinuous) {
+    TransactionManagerOptions tm_options;
+    tm_options.detection_mode = DetectionMode::kContinuous;
+    tm_options.cost_policy = options_.cost_policy;
+    tm_options.detector = options_.detector;
+    tm_options.event_bus = options_.event_bus;
+    tm_ = std::make_unique<TransactionManager>(tm_options);
+    return;
+  }
+  bus_ = options_.event_bus;
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->lm.set_event_bus(bus_);
+  }
+  if (options_.detection_threads > 0) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.detection_threads);
+  }
+  detector_ = std::make_unique<core::ParallelPeriodicDetector>(
+      options_.detector, pool_.get());
+  pass_host_ = std::make_unique<PassHost>(*this);
+  if (options_.detection_period.count() > 0) {
+    detector_thread_ = std::thread(&ConcurrentLockService::DetectorLoop, this);
+  }
+}
+
+ConcurrentLockService::~ConcurrentLockService() {
+  if (detector_thread_.joinable()) {
+    {
+      std::scoped_lock lk(stop_mu_);
+      stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    detector_thread_.join();
+  }
+}
+
+size_t ConcurrentLockService::ShardIndex(lock::ResourceId rid) const {
+  // Fibonacci hashing spreads dense rid ranges across shards.
+  const uint64_t h = static_cast<uint64_t>(rid) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>((h >> 32) % shards_.size());
+}
+
+std::vector<std::unique_lock<std::mutex>> ConcurrentLockService::LockShards(
+    uint64_t mask, common::Stopwatch& hold) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
+    const bool contended = !sl.owns_lock();
+    if (contended) sl.lock();
+    shard.ops++;
+    if (contended) shard.acquire_waits++;
+    locks.push_back(std::move(sl));
+  }
+  hold.Reset();
+  return locks;
+}
 
 lock::TransactionId ConcurrentLockService::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return tm_.Begin();
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tm_->Begin();
+  }
+  return PeriodicBegin();
+}
+
+lock::TransactionId ConcurrentLockService::PeriodicBegin() {
+  std::scoped_lock tl(txn_mu_);
+  const lock::TransactionId tid = next_tid_++;
+  TxnRecord& rec = txns_[tid];
+  rec.begin_ts = next_ts_++;
+  RefreshCostLocked(tid, rec);
+  if (bus_ != nullptr) {
+    std::scoped_lock ol(obs_mu_);
+    if (bus_->active()) {
+      obs::Event event;
+      event.kind = obs::EventKind::kTxnBegin;
+      event.tid = tid;
+      bus_->Emit(event);
+    }
+  }
+  return tid;
 }
 
 Status ConcurrentLockService::AcquireBlocking(lock::TransactionId tid,
                                               lock::ResourceId rid,
                                               lock::LockMode mode) {
+  if (mode_ == DetectionMode::kPeriodic) {
+    return PeriodicAcquire(tid, rid, mode);
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  Result<AcquireStatus> outcome = tm_.Acquire(tid, rid, mode);
+  Result<AcquireStatus> outcome = tm_->Acquire(tid, rid, mode);
   if (!outcome.ok()) return outcome.status();
   // The continuous detector may have resolved a deadlock inside Acquire:
   // wake anyone it granted or aborted.
@@ -37,7 +233,7 @@ Status ConcurrentLockService::AcquireBlocking(lock::TransactionId tid,
     case AcquireStatus::kGranted:
       return Status::OK();
     case AcquireStatus::kAbortedAsVictim:
-      ++deadlock_victims_;
+      ++cont_deadlock_victims_;
       return Status::Aborted(
           common::Format("T%u aborted as deadlock victim", tid));
     case AcquireStatus::kBlocked:
@@ -48,39 +244,388 @@ Status ConcurrentLockService::AcquireBlocking(lock::TransactionId tid,
   // detection leaves no deadlock behind, so every wait ends with some
   // transaction's commit/abort.
   cv_.wait(lock, [&] {
-    Result<TxnState> state = tm_.State(tid);
+    Result<TxnState> state = tm_->State(tid);
     return state.ok() && *state != TxnState::kBlocked;
   });
-  Result<TxnState> state = tm_.State(tid);
+  Result<TxnState> state = tm_->State(tid);
   if (state.ok() && *state == TxnState::kActive) return Status::OK();
-  ++deadlock_victims_;
+  ++cont_deadlock_victims_;
+  return Status::Aborted(
+      common::Format("T%u aborted as deadlock victim while waiting", tid));
+}
+
+Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
+                                              lock::ResourceId rid,
+                                              lock::LockMode mode) {
+  const size_t shard_index = ShardIndex(rid);
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
+  const bool contended = !sl.owns_lock();
+  if (contended) sl.lock();
+  common::Stopwatch hold;
+  shard.ops++;
+  if (contended) shard.acquire_waits++;
+
+  TxnRecord* rec = nullptr;
+  lock::RequestOutcome outcome;
+  {
+    std::scoped_lock tl(txn_mu_);
+    auto it = txns_.find(tid);
+    if (it == txns_.end()) {
+      return Status::NotFound(common::Format("unknown transaction T%u", tid));
+    }
+    rec = &it->second;
+    const TxnState state = rec->state.load(std::memory_order_relaxed);
+    if (state != TxnState::kActive) {
+      return Status::FailedPrecondition(
+          common::Format("T%u is %s and cannot request locks", tid,
+                         std::string(ToString(state)).c_str()));
+    }
+    // Record the routing before the request: commits/aborts must lock
+    // this shard even if the request errors after registering the txn.
+    rec->shard_mask |= uint64_t{1} << shard_index;
+    std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+    if (bus_ != nullptr) ol.lock();
+    Result<lock::RequestOutcome> result = shard.lm.Acquire(tid, rid, mode);
+    if (!result.ok()) {
+      shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+      return result.status();
+    }
+    rec->ops_executed++;
+    RefreshCostLocked(tid, *rec);
+    outcome = *result;
+    switch (outcome) {
+      case lock::RequestOutcome::kGranted:
+        rec->locks_granted++;
+        RefreshCostLocked(tid, *rec);
+        break;
+      case lock::RequestOutcome::kAlreadyHeld:
+        break;
+      case lock::RequestOutcome::kBlocked:
+        rec->state.store(TxnState::kBlocked, std::memory_order_relaxed);
+        break;
+    }
+  }
+  shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+  if (outcome != lock::RequestOutcome::kBlocked) return Status::OK();
+
+  // Park on the shard of the resource we are blocked on.  We have held
+  // shard.mu continuously since the lock manager queued us, and anyone
+  // who grants or aborts us does so while holding this same mutex (the
+  // rid is in our shard_mask and in the granter's release set; the
+  // detector holds every shard) — so the state change cannot slip in
+  // between our predicate check and the park, and no wakeup is missed.
+  shard.cv.wait(sl, [rec] {
+    return rec->state.load(std::memory_order_relaxed) != TxnState::kBlocked;
+  });
+  if (rec->state.load(std::memory_order_relaxed) == TxnState::kActive) {
+    return Status::OK();
+  }
   return Status::Aborted(
       common::Format("T%u aborted as deadlock victim while waiting", tid));
 }
 
 Status ConcurrentLockService::Commit(lock::TransactionId tid) {
+  if (mode_ == DetectionMode::kPeriodic) {
+    return PeriodicTerminate(tid, /*commit=*/true);
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  Status status = tm_.Commit(tid);
+  Status status = tm_->Commit(tid);
   cv_.notify_all();
   return status;
 }
 
 Status ConcurrentLockService::Abort(lock::TransactionId tid) {
+  if (mode_ == DetectionMode::kPeriodic) {
+    return PeriodicTerminate(tid, /*commit=*/false);
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  Status status = tm_.Abort(tid);
+  Status status = tm_->Abort(tid);
   cv_.notify_all();
   return status;
 }
 
-Result<TxnState> ConcurrentLockService::State(
-    lock::TransactionId tid) const {
+Status ConcurrentLockService::PeriodicTerminate(lock::TransactionId tid,
+                                                bool commit) {
+  // Lock ordering requires the shard mutexes before txn_mu_, so peek at
+  // the mask first.  Only this transaction's own thread grows it, and
+  // the protocol forbids concurrent operations on one transaction, so
+  // the mask is stable; the state is re-validated under the full locks
+  // (a detection pass may abort the transaction in between).
+  uint64_t mask = 0;
+  {
+    std::scoped_lock tl(txn_mu_);
+    auto it = txns_.find(tid);
+    if (it == txns_.end()) {
+      return Status::NotFound(common::Format("unknown transaction T%u", tid));
+    }
+    mask = it->second.shard_mask;
+  }
+
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(mask, hold);
+  {
+    std::scoped_lock tl(txn_mu_);
+    auto it = txns_.find(tid);
+    if (it == txns_.end()) {
+      return Status::NotFound(common::Format("unknown transaction T%u", tid));
+    }
+    TxnRecord& rec = it->second;
+    const TxnState state = rec.state.load(std::memory_order_relaxed);
+    if (commit && state != TxnState::kActive) {
+      return Status::FailedPrecondition(
+          common::Format("T%u is %s and cannot commit", tid,
+                         std::string(ToString(state)).c_str()));
+    }
+    if (!commit &&
+        (state == TxnState::kCommitted || state == TxnState::kAborted)) {
+      return Status::FailedPrecondition(
+          common::Format("T%u is already %s", tid,
+                         std::string(ToString(state)).c_str()));
+    }
+    std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+    if (bus_ != nullptr) ol.lock();
+    rec.state.store(commit ? TxnState::kCommitted : TxnState::kAborted,
+                    std::memory_order_relaxed);
+    if (obs::Enabled(bus_)) {
+      obs::Event event;
+      event.kind =
+          commit ? obs::EventKind::kTxnCommit : obs::EventKind::kTxnAbort;
+      event.tid = tid;
+      event.a = 0;  // kTxnAbort: voluntary, not a deadlock victim
+      bus_->Emit(event);
+    }
+    costs_.Erase(tid);
+    const std::vector<lock::TransactionId> granted =
+        ReleaseAllShardsLocked(tid, mask);
+    for (lock::TransactionId g : granted) {
+      auto git = txns_.find(g);
+      if (git != txns_.end() &&
+          git->second.state.load(std::memory_order_relaxed) ==
+              TxnState::kBlocked) {
+        git->second.state.store(TxnState::kActive, std::memory_order_relaxed);
+        git->second.locks_granted++;
+        RefreshCostLocked(g, git->second);
+      }
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    shards_[s]->cv.notify_all();
+  }
+  // Attribute the critical section to every shard held through it (all
+  // were held for its whole duration; the locks are still owned here).
+  const uint64_t hold_ns = static_cast<uint64_t>(hold.ElapsedNanos());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    shards_[s]->hold_ns += hold_ns;
+  }
+  shard_locks.clear();
+  return Status::OK();
+}
+
+std::vector<lock::TransactionId> ConcurrentLockService::ReleaseAllShardsLocked(
+    lock::TransactionId tid, uint64_t mask) {
+  // Union of the transaction's touched resources across its shards,
+  // released in global ascending-rid order — the exact order a single
+  // lock manager's ReleaseAll would use, so the kLockWakeup stream (and
+  // hence the recorded linearization) matches the sequential engine.
+  std::vector<lock::ResourceId> rids;
+  bool known = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    const lock::TxnLockInfo* info = shards_[s]->lm.Info(tid);
+    if (info == nullptr) continue;
+    known = true;
+    rids.insert(rids.end(), info->touched.begin(), info->touched.end());
+  }
+  if (!known) return {};  // mirror ReleaseAll: unknown tid emits nothing
+  std::sort(rids.begin(), rids.end());
+
+  std::vector<lock::TransactionId> granted;
+  for (lock::ResourceId rid : rids) {
+    Shard& shard = *shards_[ShardIndex(rid)];
+    const std::vector<lock::TransactionId> g = shard.lm.ReleaseOn(tid, rid);
+    granted.insert(granted.end(), g.begin(), g.end());
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if ((mask & (uint64_t{1} << s)) == 0) continue;
+    shards_[s]->lm.Forget(tid);
+  }
+  if (obs::Enabled(bus_)) {
+    // The one release summary, same shape as LockManager::ReleaseAll.
+    obs::Event event;
+    event.kind = obs::EventKind::kLockRelease;
+    event.tid = tid;
+    event.a = rids.size();
+    event.b = granted.size();
+    bus_->Emit(event);
+  }
+  return granted;
+}
+
+core::ResolutionReport ConcurrentLockService::RunDetectionPass() {
+  if (mode_ == DetectionMode::kPeriodic) return RunPeriodicPass();
   std::lock_guard<std::mutex> lock(mu_);
-  return tm_.State(tid);
+  core::ResolutionReport report = tm_->RunDetection();
+  cv_.notify_all();
+  return report;
+}
+
+core::ResolutionReport ConcurrentLockService::RunPeriodicPass() {
+  // Stop the world: all shard locks (ascending), the transaction table,
+  // then the bus.  Everything the pass reads is a consistent cross-shard
+  // snapshot; everything it mutates and emits lands atomically between
+  // two application operations, which is what makes the recorded event
+  // stream replayable against the sequential engine.
+  common::Stopwatch pause;
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  core::ResolutionReport report;
+  {
+    std::scoped_lock tl(txn_mu_);
+    std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+    if (bus_ != nullptr) ol.lock();
+    report = detector_->RunPass(*pass_host_, costs_);
+    ApplyReportLocked(report);
+    if (obs::Enabled(bus_)) PublishShardStatsLocked();
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  const uint64_t pause_ns = static_cast<uint64_t>(pause.ElapsedNanos());
+  const uint64_t hold_ns = static_cast<uint64_t>(hold.ElapsedNanos());
+  for (auto& shard : shards_) {
+    shard->hold_ns += hold_ns;
+    shard->cv.notify_all();
+  }
+  shard_locks.clear();
+  {
+    std::scoped_lock stl(stats_mu_);
+    pause_times_ns_.push_back(pause_ns);
+  }
+  return report;
+}
+
+void ConcurrentLockService::ApplyReportLocked(
+    const core::ResolutionReport& report) {
+  for (lock::TransactionId victim : report.aborted) {
+    auto it = txns_.find(victim);
+    if (it == txns_.end()) continue;
+    it->second.state.store(TxnState::kAborted, std::memory_order_relaxed);
+    it->second.deadlock_victim = true;
+    ++deadlock_victims_;
+    costs_.Erase(victim);
+    if (obs::Enabled(bus_)) {
+      obs::Event event;
+      event.kind = obs::EventKind::kTxnAbort;
+      event.tid = victim;
+      event.a = 1;  // deadlock victim (TDR-1)
+      bus_->Emit(event);
+    }
+  }
+  for (lock::TransactionId g : report.granted) {
+    auto it = txns_.find(g);
+    if (it != txns_.end() &&
+        it->second.state.load(std::memory_order_relaxed) ==
+            TxnState::kBlocked) {
+      it->second.state.store(TxnState::kActive, std::memory_order_relaxed);
+      it->second.locks_granted++;
+      RefreshCostLocked(g, it->second);
+    }
+  }
+}
+
+void ConcurrentLockService::PublishShardStatsLocked() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    obs::Event event;
+    event.kind = obs::EventKind::kShardContention;
+    event.rid = static_cast<lock::ResourceId>(s);  // shard index
+    event.a = shard.acquire_waits;
+    event.b = shard.ops;
+    event.value = static_cast<double>(shard.hold_ns);
+    bus_->Emit(event);
+  }
+}
+
+void ConcurrentLockService::RefreshCostLocked(lock::TransactionId tid,
+                                              const TxnRecord& rec) {
+  const TxnState state = rec.state.load(std::memory_order_relaxed);
+  if (state == TxnState::kCommitted || state == TxnState::kAborted) return;
+  double cost = 1.0;
+  switch (options_.cost_policy) {
+    case CostPolicy::kUnit:
+      cost = 1.0;
+      break;
+    case CostPolicy::kLocksHeld:
+      cost = 1.0 + static_cast<double>(rec.locks_granted);
+      break;
+    case CostPolicy::kAge:
+      cost = 1.0 + static_cast<double>(next_ts_ - rec.begin_ts);
+      break;
+    case CostPolicy::kOpsDone:
+      cost = 1.0 + static_cast<double>(rec.ops_executed);
+      break;
+  }
+  costs_.Set(tid, cost);
+}
+
+void ConcurrentLockService::DetectorLoop() {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lk, options_.detection_period,
+                          [this] { return stopping_; })) {
+      break;
+    }
+    lk.unlock();
+    RunPeriodicPass();
+    lk.lock();
+  }
+}
+
+Result<TxnState> ConcurrentLockService::State(lock::TransactionId tid) const {
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tm_->State(tid);
+  }
+  std::scoped_lock tl(txn_mu_);
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  return it->second.state.load(std::memory_order_relaxed);
 }
 
 size_t ConcurrentLockService::deadlock_victims() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cont_deadlock_victims_;
+  }
+  std::scoped_lock tl(txn_mu_);
   return deadlock_victims_;
+}
+
+size_t ConcurrentLockService::num_shards() const {
+  return mode_ == DetectionMode::kContinuous ? 1 : shards_.size();
+}
+
+ShardStats ConcurrentLockService::shard_stats(size_t shard) const {
+  ShardStats stats;
+  if (mode_ == DetectionMode::kContinuous || shard >= shards_.size()) {
+    return stats;
+  }
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> sl(s.mu);
+  stats.acquire_waits = s.acquire_waits;
+  stats.ops = s.ops;
+  stats.hold_ns = s.hold_ns;
+  return stats;
+}
+
+std::vector<uint64_t> ConcurrentLockService::pause_times_ns() const {
+  std::scoped_lock stl(stats_mu_);
+  return pause_times_ns_;
 }
 
 }  // namespace twbg::txn

@@ -1,41 +1,113 @@
 // Copyright (c) the twbg authors. Licensed under the MIT license.
 //
-// Thread-safe facade over the transaction manager.  The paper's model —
-// and this library's core — is sequential transaction processing; this
-// wrapper serializes all operations under one mutex and turns "blocked"
-// into a real thread wait: AcquireBlocking parks the calling thread on a
-// condition variable until the lock is granted (some other transaction's
-// commit/abort, or a TDR-2 repositioning, unblocks it) or until a deadlock
-// resolution aborts it.
+// Thread-safe strict-2PL lock service.  Two engines behind one API:
 //
-// Detection runs in continuous mode, so every deadlock is resolved inside
-// the request that would have completed the cycle — no watcher thread is
-// needed and no wait can hang.
+//   * kContinuous (the default, and the only mode of the legacy
+//     constructor): one mutex around a sequential TransactionManager with
+//     the continuous companion algorithm — every deadlock is resolved
+//     inside the request that would have completed the cycle, so no
+//     watcher thread is needed and no wait can hang.
+//
+//   * kPeriodic: the lock table is striped into `num_shards` hash-sharded
+//     partitions, each with its own mutex, LockManager (own version-stamp
+//     domain and mutation journal) and contention counters.  Acquires
+//     touch exactly one shard; commits/aborts lock only the shards the
+//     transaction touched.  Deadlocks are resolved by the periodic pass
+//     (§5) — run by a dedicated detector thread every `detection_period`,
+//     or by explicit RunDetectionPass() calls — which briefly stops the
+//     world (all shard locks), drains the per-shard mutation journals
+//     into per-shard incremental graph caches, and runs the
+//     component-parallel Step 2 on an optional worker pool
+//     (core/parallel_detector.h).  Each pass stamps a new snapshot epoch.
+//
+// Lock ordering (deadlock-free by construction): shard mutexes in
+// ascending shard index, then the transaction-table mutex, then the
+// observability mutex.  Every bus emission happens under the
+// observability mutex, so attaching a bus serializes the service's
+// emission points — sinks see one totally ordered stream that is a true
+// linearization of the lock-state history (the replay-parity stress suite
+// depends on this).  Sink callbacks must not call back into the service.
+//
+// Wait-span caveat: in periodic mode wait-span ids are per-shard domains
+// (each shard's LockManager numbers its own spans), so span values are
+// not comparable with a single-manager run; kinds/tids/rids/counters are.
 
 #ifndef TWBG_TXN_CONCURRENT_SERVICE_H_
 #define TWBG_TXN_CONCURRENT_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <vector>
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/parallel_detector.h"
 #include "txn/transaction_manager.h"
 
 namespace twbg::txn {
 
-/// Thread-safe strict-2PL lock service with inline deadlock resolution.
-///
-/// Observability: `options.event_bus` is forwarded to the inner
-/// TransactionManager unchanged.  Every emission happens while `mu_` is
-/// held, so sinks see a serialized, totally ordered stream even with
-/// concurrent callers — but sink callbacks must not call back into this
-/// service (that would self-deadlock on `mu_`).
+/// Configuration of a ConcurrentLockService (see Create).
+struct ConcurrentServiceOptions {
+  /// Lock-table partitions, in [1, 64].  Resources are hash-assigned to
+  /// shards; more shards mean less mutex contention between independent
+  /// acquires.  Must be 1 in kContinuous mode.
+  size_t num_shards = 1;
+  /// kContinuous resolves deadlocks inline on every block (single-mutex
+  /// engine); kPeriodic resolves them in stop-the-world passes over the
+  /// sharded engine.
+  DetectionMode detection_mode = DetectionMode::kContinuous;
+  /// Period of the dedicated detector thread (kPeriodic only); zero means
+  /// no thread — the caller drives RunDetectionPass itself.
+  std::chrono::microseconds detection_period{0};
+  /// Worker threads for the parallel pass (kPeriodic only); zero runs the
+  /// pass entirely on the invoking thread.
+  size_t detection_threads = 0;
+  /// Victim-cost metric, as in TransactionManagerOptions.
+  CostPolicy cost_policy = CostPolicy::kLocksHeld;
+  /// Detector tuning; `detector.event_bus` defaults to `event_bus`.
+  core::DetectorOptions detector;
+  /// Structured-event bus (not owned; may be null).  Attaching a bus
+  /// serializes the service — see the file comment.
+  obs::EventBus* event_bus = nullptr;
+};
+
+/// Cumulative per-shard contention counters (kPeriodic mode).
+struct ShardStats {
+  /// Lock attempts that found the shard mutex already held.
+  uint64_t acquire_waits = 0;
+  /// Operations routed to the shard (acquires, releases, passes).
+  uint64_t ops = 0;
+  /// Total shard-mutex hold time, nanoseconds.
+  uint64_t hold_ns = 0;
+};
+
+/// Thread-safe strict-2PL lock service with deadlock resolution.  See the
+/// file comment for the two engines and the locking discipline.
 class ConcurrentLockService {
  public:
-  /// `options.detection_mode` is forced to kContinuous.
+  /// Validates `options` and builds the service.  Unsupported
+  /// combinations — num_shards outside [1, 64], or kContinuous combined
+  /// with sharding / a detection period / detection threads — are
+  /// rejected with InvalidArgument rather than silently coerced.
+  static Result<std::unique_ptr<ConcurrentLockService>> Create(
+      ConcurrentServiceOptions options);
+
+  /// Legacy constructor: the single-mutex continuous engine.
+  /// `options.detection_mode` is forced to kContinuous (the historical,
+  /// now documented, behavior; use Create for periodic mode).
   explicit ConcurrentLockService(TransactionManagerOptions options = {});
 
   ConcurrentLockService(const ConcurrentLockService&) = delete;
   ConcurrentLockService& operator=(const ConcurrentLockService&) = delete;
+
+  /// Stops and joins the detector thread, if any.  No other thread may be
+  /// inside a call when destruction begins.
+  ~ConcurrentLockService();
 
   /// Starts a transaction.
   lock::TransactionId Begin();
@@ -58,11 +130,140 @@ class ConcurrentLockService {
   /// Number of deadlock victims so far.
   size_t deadlock_victims() const;
 
+  /// Runs one detection-resolution pass now, on the calling thread, and
+  /// returns its report.  In kPeriodic mode this is the same pass the
+  /// detector thread runs (all shard locks held for its duration); in
+  /// kContinuous mode it is a safety-net periodic pass over the inner
+  /// manager.
+  core::ResolutionReport RunDetectionPass();
+
+  /// Number of completed periodic passes (the snapshot epoch).  Each pass
+  /// observes — and leaves behind — a consistent cross-shard snapshot;
+  /// the epoch stamps which one.  Always 0 in kContinuous mode.
+  uint64_t snapshot_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Number of lock-table shards (1 in kContinuous mode).
+  size_t num_shards() const;
+
+  /// Contention counters of shard `shard` (kPeriodic mode).
+  ShardStats shard_stats(size_t shard) const;
+
+  /// Stop-the-world duration of every completed pass, nanoseconds, in
+  /// pass order (kPeriodic mode; empty otherwise).
+  std::vector<uint64_t> pause_times_ns() const;
+
+  const ConcurrentServiceOptions& options() const { return options_; }
+
  private:
+  // One lock-table partition.  The mutex guards the LockManager and the
+  // contention counters; the condition variable parks waiters blocked on
+  // this shard's resources.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    lock::LockManager lm;
+    uint64_t acquire_waits = 0;
+    uint64_t ops = 0;
+    uint64_t hold_ns = 0;
+  };
+
+  // Per-transaction record of the sharded engine (guarded by txn_mu_;
+  // `state` is additionally atomic because waiter wake predicates read it
+  // under the shard mutex only).
+  struct TxnRecord {
+    std::atomic<TxnState> state{TxnState::kActive};
+    uint64_t begin_ts = 0;
+    uint64_t locks_granted = 0;
+    uint64_t ops_executed = 0;
+    bool deadlock_victim = false;
+    // Bit s set => an operation of this transaction was routed to shard
+    // s.  Never shrinks; commits/aborts lock exactly these shards (which
+    // is why num_shards is capped at 64).
+    uint64_t shard_mask = 0;
+  };
+
+  class PassHost;  // core::ShardedDetectionHost over the shard set
+
+  explicit ConcurrentLockService(ConcurrentServiceOptions options);
+
+  size_t ShardIndex(lock::ResourceId rid) const;
+
+  // Locks every shard whose mask bit is set, ascending, maintaining the
+  // contention counters.  `hold` starts timing once all are held.
+  std::vector<std::unique_lock<std::mutex>> LockShards(
+      uint64_t mask, common::Stopwatch& hold);
+
+  // Sharded-engine operation bodies (mode_ == kPeriodic).
+  lock::TransactionId PeriodicBegin();
+  Status PeriodicAcquire(lock::TransactionId tid, lock::ResourceId rid,
+                         lock::LockMode mode);
+  Status PeriodicTerminate(lock::TransactionId tid, bool commit);
+  core::ResolutionReport RunPeriodicPass();
+
+  // Releases every lock/queue position of `tid` across the shards in
+  // `mask` in global ascending-rid order, reactivating granted waiters'
+  // records, and emits the single kLockRelease summary (iff some shard
+  // knew the transaction — mirroring LockManager::ReleaseAll).  Requires
+  // the masked shard mutexes, txn_mu_ and (when a bus is attached)
+  // obs_mu_ to be held.  Returns the granted transactions in grant order.
+  std::vector<lock::TransactionId> ReleaseAllShardsLocked(
+      lock::TransactionId tid, uint64_t mask);
+
+  // Mirrors TransactionManager::ApplyReport under the pass's locks:
+  // victims to kAborted (flagged, costs erased, kTxnAbort a=1), granted
+  // waiters back to kActive.
+  void ApplyReportLocked(const core::ResolutionReport& report);
+
+  // Emits one kShardContention per shard (pass locks held, bus active).
+  void PublishShardStatsLocked();
+
+  // Recomputes `tid`'s abort cost per the policy (txn_mu_ held).
+  void RefreshCostLocked(lock::TransactionId tid, const TxnRecord& rec);
+
+  // Detector-thread body: run a pass every detection_period until told
+  // to stop.
+  void DetectorLoop();
+
+  ConcurrentServiceOptions options_;
+  DetectionMode mode_;
+
+  // -- continuous engine (mode_ == kContinuous) --
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  TransactionManager tm_;
+  std::unique_ptr<TransactionManager> tm_;
+  size_t cont_deadlock_victims_ = 0;
+
+  // -- sharded periodic engine (mode_ == kPeriodic) --
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Transaction table; guards txns_, costs_, next_tid_, next_ts_ and
+  // deadlock_victims_.  Acquired after any shard mutexes, before obs_mu_.
+  mutable std::mutex txn_mu_;
+  std::map<lock::TransactionId, TxnRecord> txns_;
+  core::CostTable costs_;
+  lock::TransactionId next_tid_ = 1;
+  uint64_t next_ts_ = 1;
   size_t deadlock_victims_ = 0;
+
+  // Serializes every emission on the shared bus (innermost lock; only
+  // taken when a bus is attached).
+  std::mutex obs_mu_;
+  obs::EventBus* bus_ = nullptr;
+
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<core::ParallelPeriodicDetector> detector_;
+  std::unique_ptr<PassHost> pass_host_;
+  std::atomic<uint64_t> epoch_{0};
+
+  mutable std::mutex stats_mu_;
+  std::vector<uint64_t> pause_times_ns_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread detector_thread_;
 };
 
 }  // namespace twbg::txn

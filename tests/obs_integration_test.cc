@@ -18,6 +18,7 @@
 #include "obs/bus.h"
 #include "obs/sinks.h"
 #include "sim/simulator.h"
+#include "txn/concurrent_service.h"
 #include "txn/transaction_manager.h"
 
 namespace twbg {
@@ -28,12 +29,13 @@ void InsertKinds(const obs::CollectorSink& sink,
   for (const obs::Event& event : sink.events()) kinds->insert(event.kind);
 }
 
-// Three scenarios together must exercise the whole taxonomy:
+// Four scenarios together must exercise the whole taxonomy:
 //  (a) a TransactionManager lifecycle with a periodic TDR-1 resolution,
 //  (b) Example 4.1 (conversions + a TDR-2 queue repositioning),
 //  (c) a simulator run with a deliberately blind strategy (restarts,
 //      wait-ends, detector misses) and a hair-trigger watchdog
-//      (starvation and convoy alerts).
+//      (starvation and convoy alerts),
+//  (d) a sharded ConcurrentLockService pass (shard-contention counters).
 TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
   std::set<obs::EventKind> kinds;
 
@@ -109,6 +111,26 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     EXPECT_EQ(metrics.starvation_alerts,
               sink.Count(obs::EventKind::kStarvation));
     EXPECT_EQ(metrics.convoy_alerts, sink.Count(obs::EventKind::kConvoy));
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (d) the sharded service publishes per-shard contention counters
+     //     on every detection pass.
+    obs::EventBus bus;
+    obs::CollectorSink sink;
+    bus.Subscribe(&sink);
+    txn::ConcurrentServiceOptions options;
+    options.num_shards = 4;
+    options.detection_mode = txn::DetectionMode::kPeriodic;
+    options.event_bus = &bus;
+    auto service = txn::ConcurrentLockService::Create(options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    const lock::TransactionId t = (*service)->Begin();
+    ASSERT_TRUE((*service)->AcquireBlocking(t, 1, lock::LockMode::kX).ok());
+    (void)(*service)->RunDetectionPass();
+    ASSERT_TRUE((*service)->Commit(t).ok());
+    EXPECT_EQ(sink.Count(obs::EventKind::kShardContention),
+              (*service)->num_shards());
     InsertKinds(sink, &kinds);
   }
 
