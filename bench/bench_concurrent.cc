@@ -63,7 +63,7 @@ void Worker(txn::ConcurrentLockService& service, uint64_t seed, size_t txns,
             size_t resources, std::atomic<size_t>* committed) {
   common::Rng rng(seed);
   for (size_t i = 0; i < txns; ++i) {
-    const lock::TransactionId t = service.Begin();
+    const lock::TransactionId t = *service.Begin();
     bool dead = false;
     const size_t ops = 1 + rng.NextBelow(4);
     for (size_t k = 0; k < ops && !dead; ++k) {
@@ -128,9 +128,11 @@ int main(int argc, char** argv) {
   // Continuous single-mutex baseline at each thread count.
   std::vector<CellResult> baseline;
   for (size_t threads : thread_counts) {
-    txn::ConcurrentLockService service;  // legacy engine
+    Result<std::unique_ptr<txn::ConcurrentLockService>> service =
+        txn::ConcurrentLockService::Create(txn::ConcurrentServiceOptions{});
+    TWBG_CHECK(service.ok());  // continuous single-mutex engine
     CellResult cell =
-        RunCell(service, threads, txns_per_thread, resources, 11 + threads);
+        RunCell(**service, threads, txns_per_thread, resources, 11 + threads);
     std::printf("  continuous  threads=%zu            %10.0f txn/s "
                 "(%zu committed, %zu victims)\n",
                 threads, cell.txns_per_sec, cell.committed, cell.victims);

@@ -17,7 +17,6 @@
 namespace {
 
 using namespace twbg;
-using txn::AcquireStatus;
 
 struct Bank {
   std::map<lock::ResourceId, long> balances;  // account id -> cents
@@ -28,24 +27,28 @@ struct Bank {
 // deadlock victim and must be retried.
 bool TryTransfer(txn::TransactionManager& tm, Bank& bank,
                  lock::ResourceId from, lock::ResourceId to, long cents) {
-  lock::TransactionId t = tm.Begin();
+  Result<lock::TransactionId> begin = tm.Begin();
+  if (!begin.ok()) {
+    std::printf("  Begin rejected: %s\n", begin.status().ToString().c_str());
+    return false;
+  }
+  const lock::TransactionId t = *begin;
   for (lock::ResourceId account : {from, to}) {
-    Result<AcquireStatus> outcome =
-        tm.Acquire(t, account, lock::LockMode::kX);
-    if (!outcome.ok()) {
-      std::printf("  T%u: %s\n", t, outcome.status().ToString().c_str());
-      return false;
-    }
-    if (*outcome == AcquireStatus::kAbortedAsVictim) {
+    Status outcome = tm.Acquire(t, account, lock::LockMode::kX);
+    if (outcome.IsDeadlockVictim()) {
       std::printf("  T%u chosen as deadlock victim while locking %u\n", t,
                   account);
       return false;
     }
-    if (*outcome == AcquireStatus::kBlocked) {
+    if (outcome.IsWouldBlock()) {
       // In this single-threaded demo a block that survives continuous
       // detection means we wait on a transaction that will never finish
       // here; the driver below never lets that happen.
       std::printf("  T%u blocked on account %u\n", t, account);
+      return false;
+    }
+    if (!outcome.ok()) {
+      std::printf("  T%u: %s\n", t, outcome.ToString().c_str());
       return false;
     }
   }
@@ -73,20 +76,20 @@ int main() {
 
   // Interleave two opposite transfers by hand to force the deadlock:
   // T_a locks A, T_b locks B, then each requests the other's account.
-  lock::TransactionId ta = tm.Begin();
-  lock::TransactionId tb = tm.Begin();
+  lock::TransactionId ta = *tm.Begin();
+  lock::TransactionId tb = *tm.Begin();
   std::printf("\nT%u transfers A->B, T%u transfers B->A, interleaved:\n", ta,
               tb);
   (void)tm.Acquire(ta, 101, lock::LockMode::kX);
   (void)tm.Acquire(tb, 102, lock::LockMode::kX);
-  Result<AcquireStatus> a_wait = tm.Acquire(ta, 102, lock::LockMode::kX);
+  Status a_wait = tm.Acquire(ta, 102, lock::LockMode::kX);
   std::printf("  T%u requests B: %s\n", ta,
-              *a_wait == AcquireStatus::kBlocked ? "blocked" : "granted");
-  Result<AcquireStatus> b_wait = tm.Acquire(tb, 101, lock::LockMode::kX);
+              a_wait.IsWouldBlock() ? "blocked" : "granted");
+  Status b_wait = tm.Acquire(tb, 101, lock::LockMode::kX);
   // tb's request closes the cycle; continuous detection fires here.
   const char* verdict = "granted";
-  if (*b_wait == AcquireStatus::kBlocked) verdict = "blocked";
-  if (*b_wait == AcquireStatus::kAbortedAsVictim) verdict = "ABORTED (victim)";
+  if (b_wait.IsWouldBlock()) verdict = "blocked";
+  if (b_wait.IsDeadlockVictim()) verdict = "ABORTED (victim)";
   std::printf("  T%u requests A: %s\n", tb, verdict);
 
   auto report_state = [&](lock::TransactionId t) {

@@ -26,7 +26,13 @@ int main(int argc, char** argv) {
   const int transfers = argc > 2 ? std::atoi(argv[2]) : 200;
   constexpr int kAccounts = 4;
 
-  txn::ConcurrentLockService service;
+  Result<std::unique_ptr<txn::ConcurrentLockService>> created =
+      txn::ConcurrentLockService::Create(txn::ConcurrentServiceOptions{});
+  if (!created.ok()) {
+    std::printf("service: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  txn::ConcurrentLockService& service = **created;
   std::vector<long> balances(kAccounts + 1, 10'000);
   std::mutex balances_mu;  // protects the application data only
 
@@ -47,7 +53,7 @@ int main(int argc, char** argv) {
           std::this_thread::sleep_for(std::chrono::microseconds(
               50 * std::min(attempt, 16)));
         }
-        lock::TransactionId t = service.Begin();
+        lock::TransactionId t = *service.Begin();
         Status s1 = service.AcquireBlocking(t, from, kX);
         if (s1.IsAborted()) continue;
         std::this_thread::yield();  // widen the deadlock window for demo

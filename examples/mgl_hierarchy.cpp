@@ -13,7 +13,6 @@
 
 int main() {
   using namespace twbg;
-  using txn::AcquireStatus;
   using enum lock::LockMode;
 
   // Hierarchy: db(1) -> area(10) -> file(100) -> records 1000..1004.
@@ -30,50 +29,47 @@ int main() {
   txn::MglAcquirer mgl(&hierarchy, &tm);
 
   // Record-level writers coexist thanks to intention locks.
-  lock::TransactionId t1 = tm.Begin();
-  lock::TransactionId t2 = tm.Begin();
+  lock::TransactionId t1 = *tm.Begin();
+  lock::TransactionId t2 = *tm.Begin();
   std::printf("T%u locks record 1000 X: %s\n", t1,
-              *mgl.Lock(t1, 1000, kX) == AcquireStatus::kGranted ? "granted"
-                                                                 : "blocked");
+              mgl.Lock(t1, 1000, kX).ok() ? "granted" : "blocked");
   std::printf("T%u locks record 1001 X: %s\n", t2,
-              *mgl.Lock(t2, 1001, kX) == AcquireStatus::kGranted ? "granted"
-                                                                 : "blocked");
+              mgl.Lock(t2, 1001, kX).ok() ? "granted" : "blocked");
   std::printf("\nLock table (note IX intentions up the path):\n%s\n",
               tm.lock_manager().table().ToString().c_str());
 
   // A file-level scan (S on the file) must wait for both writers: their
   // IX intentions on the file conflict with S.
-  lock::TransactionId scanner = tm.Begin();
-  Result<AcquireStatus> scan = mgl.Lock(scanner, 100, kS);
+  lock::TransactionId scanner = *tm.Begin();
+  Status scan = mgl.Lock(scanner, 100, kS);
   std::printf("T%u requests S on the whole file: %s\n", scanner,
-              *scan == AcquireStatus::kBlocked ? "blocked (writers active)"
-                                               : "granted");
+              scan.IsWouldBlock() ? "blocked (writers active)" : "granted");
 
   (void)tm.Commit(t1);
   (void)tm.Commit(t2);
   std::printf("Writers committed; scanner state: %s\n",
               std::string(txn::ToString(*tm.State(scanner))).c_str());
   if (mgl.HasPendingPlan(scanner)) {
-    Result<AcquireStatus> resumed = mgl.Advance(scanner);
+    Status resumed = mgl.Advance(scanner);
     std::printf("Scanner plan resumed: %s\n",
-                *resumed == AcquireStatus::kGranted ? "granted" : "blocked");
+                resumed.ok() ? "granted" : "blocked");
   }
   (void)tm.Commit(scanner);
 
   // Hierarchical deadlock: two writers cross-upgrade into each other's
   // records; the continuous detector picks a victim at block time.
   std::printf("\n--- hierarchical deadlock ---\n");
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
   (void)mgl.Lock(a, 1002, kX);
   (void)mgl.Lock(b, 1003, kX);
-  Result<AcquireStatus> first = mgl.Lock(a, 1003, kS);
+  Status first = mgl.Lock(a, 1003, kS);
   std::printf("T%u requests record 1003 S: %s\n", a,
-              *first == AcquireStatus::kBlocked ? "blocked" : "granted");
-  Result<AcquireStatus> closing = mgl.Lock(b, 1002, kS);
+              first.IsWouldBlock() ? "blocked" : "granted");
+  Status closing = mgl.Lock(b, 1002, kS);
   const char* verdict = "granted";
-  if (*closing == AcquireStatus::kBlocked) verdict = "blocked";
-  if (*closing == AcquireStatus::kAbortedAsVictim) {
+  if (closing.IsWouldBlock()) verdict = "blocked";
+  if (closing.IsDeadlockVictim()) {
     verdict = "ABORTED as deadlock victim";
   }
   std::printf("T%u requests record 1002 S: %s\n", b, verdict);

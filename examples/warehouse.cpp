@@ -17,7 +17,6 @@
 namespace {
 
 using namespace twbg;
-using txn::AcquireStatus;
 using enum lock::LockMode;
 
 // Resource ids: warehouse 1; zones 10+z; shelves 100+10z+s; items
@@ -31,15 +30,10 @@ lock::ResourceId Item(int z, int s, int i) {
   return 1000 + static_cast<uint32_t>(100 * z + 10 * s + i);
 }
 
-const char* Name(AcquireStatus status) {
-  switch (status) {
-    case AcquireStatus::kGranted:
-      return "granted";
-    case AcquireStatus::kBlocked:
-      return "blocked";
-    case AcquireStatus::kAbortedAsVictim:
-      return "ABORTED (victim)";
-  }
+const char* Name(const Status& status) {
+  if (status.ok()) return "granted";
+  if (status.IsWouldBlock()) return "blocked";
+  if (status.IsDeadlockVictim()) return "ABORTED (victim)";
   return "?";
 }
 
@@ -64,23 +58,23 @@ int main() {
   txn::MglAcquirer mgl(&hierarchy, &tm);
 
   // Two pickers work different items of the same shelf concurrently.
-  lock::TransactionId pick1 = tm.Begin();
-  lock::TransactionId pick2 = tm.Begin();
+  lock::TransactionId pick1 = *tm.Begin();
+  lock::TransactionId pick2 = *tm.Begin();
   std::printf("picker %u locks item(0,0,0) X: %s\n", pick1,
-              Name(*mgl.Lock(pick1, Item(0, 0, 0), kX)));
+              Name(mgl.Lock(pick1, Item(0, 0, 0), kX)));
   std::printf("picker %u locks item(0,0,1) X: %s\n", pick2,
-              Name(*mgl.Lock(pick2, Item(0, 0, 1), kX)));
+              Name(mgl.Lock(pick2, Item(0, 0, 1), kX)));
 
   // An auditor scans zone 1 (no pickers there): granted immediately.
-  lock::TransactionId audit1 = tm.Begin();
+  lock::TransactionId audit1 = *tm.Begin();
   std::printf("auditor %u scans zone 1 (S): %s\n", audit1,
-              Name(*mgl.Lock(audit1, Zone(1), kS)));
+              Name(mgl.Lock(audit1, Zone(1), kS)));
 
   // A zone-0 audit must wait for both pickers (their IX intentions on the
   // zone conflict with S).
-  lock::TransactionId audit0 = tm.Begin();
+  lock::TransactionId audit0 = *tm.Begin();
   std::printf("auditor %u scans zone 0 (S): %s\n", audit0,
-              Name(*mgl.Lock(audit0, Zone(0), kS)));
+              Name(mgl.Lock(audit0, Zone(0), kS)));
 
   std::printf("\nLock table:\n%s\n",
               tm.lock_manager().table().ToString().c_str());
@@ -97,16 +91,16 @@ int main() {
   // Stock transfer deadlock: two transfers move stock between the same
   // two items in opposite directions.
   std::printf("--- crossing stock transfers ---\n");
-  lock::TransactionId xfer_a = tm.Begin();
-  lock::TransactionId xfer_b = tm.Begin();
+  lock::TransactionId xfer_a = *tm.Begin();
+  lock::TransactionId xfer_b = *tm.Begin();
   std::printf("transfer %u locks item(1,0,0): %s\n", xfer_a,
-              Name(*mgl.Lock(xfer_a, Item(1, 0, 0), kX)));
+              Name(mgl.Lock(xfer_a, Item(1, 0, 0), kX)));
   std::printf("transfer %u locks item(1,1,0): %s\n", xfer_b,
-              Name(*mgl.Lock(xfer_b, Item(1, 1, 0), kX)));
+              Name(mgl.Lock(xfer_b, Item(1, 1, 0), kX)));
   std::printf("transfer %u wants item(1,1,0): %s\n", xfer_a,
-              Name(*mgl.Lock(xfer_a, Item(1, 1, 0), kX)));
-  Result<AcquireStatus> closing = mgl.Lock(xfer_b, Item(1, 0, 0), kX);
-  std::printf("transfer %u wants item(1,0,0): %s\n", xfer_b, Name(*closing));
+              Name(mgl.Lock(xfer_a, Item(1, 1, 0), kX)));
+  Status closing = mgl.Lock(xfer_b, Item(1, 0, 0), kX);
+  std::printf("transfer %u wants item(1,0,0): %s\n", xfer_b, Name(closing));
 
   const bool a_dead = *tm.State(xfer_a) == txn::TxnState::kAborted;
   std::printf("victim: transfer %u; survivor completes the move.\n",

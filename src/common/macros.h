@@ -36,6 +36,11 @@
 #define TWBG_DCHECK(condition) TWBG_CHECK(condition)
 #endif
 
+// Marks a declaration as deprecated with a migration hint.  Used for the
+// one-release compatibility shims of API redesigns (e.g. the legacy
+// ConcurrentLockService constructor superseded by Create()).
+#define TWBG_DEPRECATED(msg) [[deprecated(msg)]]
+
 // Marks a code path that must be unreachable.
 #define TWBG_UNREACHABLE()                                                   \
   do {                                                                       \

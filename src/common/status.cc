@@ -16,12 +16,16 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotFound";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
-    case StatusCode::kBlocked:
-      return "Blocked";
-    case StatusCode::kAborted:
-      return "Aborted";
+    case StatusCode::kWouldBlock:
+      return "WouldBlock";
+    case StatusCode::kDeadlockVictim:
+      return "DeadlockVictim";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -19,7 +19,11 @@
 
 namespace twbg {
 
-/// Category of a non-OK Status.
+/// Category of a non-OK Status.  These are the canonical outcome codes of
+/// the client surface (txn::TransactionManager, txn::ConcurrentLockService,
+/// sim::Simulator): every entry point reports its result as one of these
+/// instead of bespoke bools/enums/out-params.  See docs/ROBUSTNESS.md for
+/// the migration notes.
 enum class StatusCode : int {
   kOk = 0,
   /// The caller passed an argument outside the documented domain.
@@ -29,13 +33,25 @@ enum class StatusCode : int {
   /// The operation conflicts with current state (e.g. duplicate begin,
   /// request while already blocked — Axiom 1 violation).
   kFailedPrecondition = 3,
-  /// The request was not granted immediately; the requester is blocked.
-  /// Not an error: surfaced via LockManager::AcquireOutcome instead.
-  kBlocked = 4,
+  /// The request was not granted immediately; the requester is blocked
+  /// and will be woken by a grant, a detector resolution or a deadline.
+  kWouldBlock = 4,
+  /// Historical spelling of kWouldBlock (kept for source compatibility).
+  kBlocked = kWouldBlock,
   /// The transaction was chosen as a deadlock victim and aborted.
-  kAborted = 5,
+  kDeadlockVictim = 5,
+  /// Historical spelling of kDeadlockVictim (kept for source
+  /// compatibility; voluntary aborts are not errors and report kOk).
+  kAborted = kDeadlockVictim,
   /// An internal invariant failed in a recoverable context.
   kInternal = 6,
+  /// A lock-wait (or whole-transaction) deadline expired before the
+  /// request was granted; the wait was cancelled with the queue
+  /// invariants restored.  Retry, back off, or abort (robustness layer).
+  kDeadlineExceeded = 7,
+  /// Admission control shed the request (max in-flight transactions or a
+  /// queue-depth watermark was hit).  Retry after backing off.
+  kResourceExhausted = 8,
 };
 
 /// Returns the canonical spelling ("OK", "InvalidArgument", ...).
@@ -66,11 +82,24 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+  static Status DeadlockVictim(std::string msg) {
+    return Status(StatusCode::kDeadlockVictim, std::move(msg));
+  }
+  /// Historical spelling of DeadlockVictim (same code).
   static Status Aborted(std::string msg) {
-    return Status(StatusCode::kAborted, std::move(msg));
+    return Status(StatusCode::kDeadlockVictim, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }
@@ -87,8 +116,19 @@ class Status {
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
-  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsWouldBlock() const { return code() == StatusCode::kWouldBlock; }
+  bool IsDeadlockVictim() const {
+    return code() == StatusCode::kDeadlockVictim;
+  }
+  /// Historical spelling of IsDeadlockVictim (same code).
+  bool IsAborted() const { return code() == StatusCode::kDeadlockVictim; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -105,6 +105,40 @@ std::vector<TransactionId> LockManager::ReleaseOn(TransactionId tid,
 
 void LockManager::Forget(TransactionId tid) { txns_.erase(tid); }
 
+Result<std::vector<TransactionId>> LockManager::CancelWait(TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end() || !it->second.blocked_on.has_value()) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is not blocked; nothing to cancel", tid));
+  }
+  const ResourceId rid = *it->second.blocked_on;
+  ResourceState* state = table_.FindMutable(rid);
+  if (state == nullptr) {
+    return Status::Internal(common::Format(
+        "T%u bookkept as blocked on R%u but the resource is free", tid, rid));
+  }
+  Result<std::vector<TransactionId>> granted = state->CancelRequest(tid);
+  if (!granted.ok()) return granted.status();
+  // A cancelled queue member leaves the resource entirely; a cancelled
+  // converter keeps holding it.
+  if (!state->Involves(tid)) it->second.touched.erase(rid);
+  it->second.blocked_on.reset();
+  it->second.blocked_mode = LockMode::kNL;
+  NoteGranted(*granted);
+  if (obs::Enabled(bus_)) {
+    for (TransactionId waiter : *granted) {
+      obs::Event wake;
+      wake.kind = obs::EventKind::kLockWakeup;
+      wake.tid = waiter;
+      wake.rid = rid;
+      wake.span = WaitSpan(waiter);
+      bus_->Emit(wake);
+    }
+  }
+  table_.EraseIfFree(rid);
+  return granted;
+}
+
 std::vector<TransactionId> LockManager::Reschedule(ResourceId rid) {
   ResourceState* state = table_.FindMutable(rid);
   if (state == nullptr) return {};

@@ -74,6 +74,16 @@ class LockManager {
   /// set (via ReleaseOn); emits nothing.
   void Forget(TransactionId tid);
 
+  /// Cancels `tid`'s blocked wait (deadline expiry): the blocked request
+  /// is withdrawn from the resource with full invariant maintenance
+  /// (ResourceState::CancelRequest), anything `tid` already held there
+  /// stays held, and `tid` becomes runnable again.  Waiters unblocked by
+  /// the withdrawal are granted (kLockWakeup each) and returned in grant
+  /// order.  wait_span/wait_started are retained, as after a wakeup, so
+  /// the caller can stamp its kDeadlineExpired / kWaitEnd events.  Errors
+  /// with FailedPrecondition when `tid` is not blocked.
+  Result<std::vector<TransactionId>> CancelWait(TransactionId tid);
+
   /// Re-runs the grant passes on `rid` (used by detector Step 3 for
   /// change-list resources) and updates blocked bookkeeping.
   std::vector<TransactionId> Reschedule(ResourceId rid);

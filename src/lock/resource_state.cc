@@ -188,6 +188,41 @@ std::vector<TransactionId> ResourceState::Remove(TransactionId tid) {
   return Reschedule();
 }
 
+Result<std::vector<TransactionId>> ResourceState::CancelRequest(
+    TransactionId tid) {
+  // Blocked-converter path: drop the pending conversion, keep the grant.
+  for (size_t i = 0; i < holders_.size(); ++i) {
+    if (holders_[i].tid != tid) continue;
+    if (!holders_[i].IsBlocked()) {
+      return Status::FailedPrecondition(common::Format(
+          "T%u holds R%u but has no blocked request to cancel", tid, rid_));
+    }
+    HolderEntry entry = holders_[i];
+    entry.blocked = LockMode::kNL;
+    holders_.erase(holders_.begin() + static_cast<ptrdiff_t>(i));
+    // Re-insert as the first unblocked entry so I1 (blocked prefix) holds.
+    const size_t pos = BlockedPrefixLength();
+    holders_.insert(holders_.begin() + static_cast<ptrdiff_t>(pos), entry);
+    BumpVersion();
+    // Request() folded the blocked mode into tm when it blocked the
+    // conversion; shrink tm back to the surviving effective modes.
+    RecomputeTotalMode();
+    return Reschedule();
+  }
+
+  // Queue-member path.
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].tid != tid) continue;
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+    BumpVersion();
+    // Deleting a queue member can expose a grantable front (I4).
+    return Reschedule();
+  }
+
+  return Status::FailedPrecondition(
+      common::Format("T%u is not blocked on R%u", tid, rid_));
+}
+
 std::vector<TransactionId> ResourceState::Reschedule() {
   std::vector<TransactionId> granted;
 

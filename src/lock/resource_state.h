@@ -120,6 +120,18 @@ class ResourceState {
   /// blocked request became granted as a consequence, in grant order.
   std::vector<TransactionId> Remove(TransactionId tid);
 
+  /// Cancels the *blocked request* of `tid` without disturbing anything it
+  /// already holds (deadline expiry, robustness layer):
+  ///  * queue member — the entry is deleted;
+  ///  * blocked converter — the pending conversion is dropped, the entry
+  ///    keeps its granted mode and moves out of the blocked prefix (I1),
+  ///    and tm is recomputed (the blocked mode had been folded in).
+  /// Reschedules afterwards (the shrunken tm / vacated queue slot can make
+  /// other waiters grantable) and returns the newly granted transactions
+  /// in grant order.  Errors with FailedPrecondition if `tid` is not
+  /// blocked here.
+  Result<std::vector<TransactionId>> CancelRequest(TransactionId tid);
+
   /// Runs the grant passes of §3 until fixpoint and returns newly granted
   /// transactions in grant order:
   ///  1. holder pass — grant blocked conversions from the front of the

@@ -72,6 +72,14 @@ std::string_view ToString(EventKind kind) {
       return "convoy";
     case EventKind::kShardContention:
       return "shard_contention";
+    case EventKind::kDeadlineExpired:
+      return "deadline_expired";
+    case EventKind::kAdmissionReject:
+      return "admission_reject";
+    case EventKind::kDegraded:
+      return "degraded";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
   }
   return "?";
 }

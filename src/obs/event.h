@@ -117,11 +117,36 @@ enum class EventKind : uint8_t {
   /// the shard; `value` = cumulative shard-mutex hold time in
   /// nanoseconds.
   kShardContention,
+
+  // -- robustness layer (txn/robustness: deadlines, admission control,
+  //    graceful degradation, fault injection) --
+  /// A lock-wait deadline expired and the wait was cancelled (the waiter
+  /// left the resource queue with invariants restored).  `tid` = the
+  /// expired waiter, `rid` = the resource it waited on, `mode` = the
+  /// blocked mode, `span` = the cancelled wait span; `a` = the
+  /// transaction's cumulative deadline expiries, `b` = 1 when the expiry
+  /// escalated to an abort (abort-after-N or txn budget).
+  kDeadlineExpired,
+  /// Admission control shed a request with kResourceExhausted.  `tid`;
+  /// `rid` = the target resource (0 for a rejected Begin); `a` = observed
+  /// load (in-flight txns for Begin, queue depth for Acquire), `b` = the
+  /// configured limit.
+  kAdmissionReject,
+  /// The periodic engine entered (or extended) degraded operation because
+  /// a pass blew its pause budget.  `a` = remaining degraded passes,
+  /// `b` = the pass's pause in microseconds; `value` = the budget in
+  /// microseconds.
+  kDegraded,
+  /// A planned fault fired.  `tid` / `rid` = targets when applicable
+  /// (`rid` carries the shard index for stall faults); `a` = the
+  /// FaultKind as an integer, `b` = the schedule address (tick or op
+  /// index); `value` = the fault duration; `detail` = Fault::ToString().
+  kFaultInjected,
 };
 
 /// Number of EventKind enumerators (array-sizing constant).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kShardContention) + 1;
+    static_cast<size_t>(EventKind::kFaultInjected) + 1;
 
 /// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
 std::string_view ToString(EventKind kind);

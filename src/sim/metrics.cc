@@ -26,6 +26,14 @@ std::string SimMetrics::ToString() const {
     out += common::Format(" watchdog[starved=%zu convoys=%zu]",
                           starvation_alerts, convoy_alerts);
   }
+  if (deadline_expired_waits + deadline_aborts + admission_rejects +
+          faults_injected >
+      0) {
+    out += common::Format(
+        " robust[expired=%zu dl_aborts=%zu shed=%zu faults=%zu]",
+        deadline_expired_waits, deadline_aborts, admission_rejects,
+        faults_injected);
+  }
   if (graph_dirty_resources + graph_cached_resources > 0) {
     out += common::Format(
         " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",

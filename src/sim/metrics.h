@@ -71,6 +71,20 @@ struct SimMetrics {
   size_t starvation_alerts = 0;
   /// Watchdog convoy alerts raised during the run (0 likewise).
   size_t convoy_alerts = 0;
+  /// Lock waits ended by deadline expiry (the waiter was withdrawn from
+  /// the queue).  Disjoint from detector resolution: these waits are NOT
+  /// counted in wait_ticks (which measures block -> grant) and their
+  /// transactions are NOT deadlock_aborts.
+  size_t deadline_expired_waits = 0;
+  /// Executions killed by deadline policy — abort-after-N expiries,
+  /// exhausted retry budget, or transaction-budget overrun.  Disjoint
+  /// from deadlock_aborts (detector-chosen victims) and missed_deadlocks
+  /// (driver stall recovery).
+  size_t deadline_aborts = 0;
+  /// Begins/acquires shed by admission control (each later retried).
+  size_t admission_rejects = 0;
+  /// Planned faults that actually fired during the run.
+  size_t faults_injected = 0;
   /// Sharded-service counters, populated by concurrent drivers
   /// (bench_concurrent, the stress suite) from
   /// txn::ConcurrentLockService::shard_stats and pause_times_ns; the

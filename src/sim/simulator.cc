@@ -9,8 +9,49 @@
 #include "common/stopwatch.h"
 #include "core/oracle.h"
 #include "core/twbg.h"
+#include "lock/resource_state.h"
 
 namespace twbg::sim {
+
+namespace {
+
+obs::Event FaultEvent(const robustness::Fault& fault) {
+  obs::Event event;
+  event.kind = obs::EventKind::kFaultInjected;
+  event.tid = fault.txn;
+  if (fault.kind == robustness::FaultKind::kStallShard) {
+    event.rid = static_cast<lock::ResourceId>(fault.shard);  // shard index
+  }
+  event.a = static_cast<uint64_t>(fault.kind);
+  event.b = fault.at;
+  event.value = static_cast<double>(fault.duration);
+  event.detail = fault.ToString();
+  return event;
+}
+
+}  // namespace
+
+Status SimConfig::Validate() const {
+  if (workload.concurrency < 1) {
+    return Status::InvalidArgument(
+        "SimConfig: workload.concurrency must be >= 1");
+  }
+  if (record_trace && trace_capacity == 0) {
+    return Status::InvalidArgument(
+        "SimConfig: record_trace requires trace_capacity >= 1");
+  }
+  return robustness.Validate();
+}
+
+Result<std::unique_ptr<Simulator>> Simulator::Create(
+    const SimConfig& config,
+    std::unique_ptr<baselines::DetectionStrategy> strategy) {
+  if (strategy == nullptr) {
+    return Status::InvalidArgument("Simulator: strategy must not be null");
+  }
+  TWBG_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<Simulator>(config, std::move(strategy));
+}
 
 Simulator::Simulator(const SimConfig& config,
                      std::unique_ptr<baselines::DetectionStrategy> strategy)
@@ -20,12 +61,15 @@ Simulator::Simulator(const SimConfig& config,
       lock_manager_(config.admission),
       trace_(config.record_trace ? config.trace_capacity : 0) {
   TWBG_CHECK(strategy_ != nullptr);
-  TWBG_CHECK(config_.workload.concurrency >= 1);
+  TWBG_CHECK(config_.Validate().ok());
   lock_manager_.set_event_bus(&bus_);
   if (config_.record_trace) bus_.Subscribe(&trace_sink_);
   if (config_.enable_watchdog) {
     watchdog_ = std::make_unique<obs::Watchdog>(&bus_, config_.watchdog);
     bus_.Subscribe(watchdog_.get());
+  }
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_unique<robustness::FaultInjector>(config_.fault_plan);
   }
 }
 
@@ -46,6 +90,7 @@ void Simulator::Emit(obs::Event event) {
 }
 
 void Simulator::SpawnUpToConcurrency() {
+  const uint64_t max_inflight = config_.robustness.admission.max_inflight_txns;
   while (live_.size() < config_.workload.concurrency) {
     size_t logical;
     auto eligible = restart_queue_.end();
@@ -55,19 +100,32 @@ void Simulator::SpawnUpToConcurrency() {
         break;
       }
     }
+    const bool spawnable = eligible != restart_queue_.end() ||
+                           spawned_ < config_.workload.num_transactions;
+    if (!spawnable) return;
+    if (max_inflight != 0 && live_.size() >= max_inflight) {
+      // Admission control sheds the Begin; the spawn is retried on a
+      // later call (typically next tick).
+      ++metrics_.admission_rejects;
+      obs::Event event;
+      event.kind = obs::EventKind::kAdmissionReject;
+      event.a = live_.size();
+      event.b = max_inflight;
+      Emit(event);
+      return;
+    }
     if (eligible != restart_queue_.end()) {
       logical = eligible->logical;
       restart_queue_.erase(eligible);
-    } else if (spawned_ < config_.workload.num_transactions) {
+    } else {
       logical = spawned_++;
       scripts_[logical] = generator_.NextScript();
-    } else {
-      return;
     }
     Execution e;
     e.logical = logical;
     e.tid = next_tid_++;
     e.script = scripts_[logical];
+    e.began_at = metrics_.ticks;
     const lock::TransactionId tid = e.tid;
     live_[tid] = std::move(e);
     costs_.Set(tid, 1.0);
@@ -185,6 +243,124 @@ bool Simulator::RecoverFromStall() {
   return acted;
 }
 
+void Simulator::ApplyTickFaults() {
+  if (injector_ == nullptr) return;
+  for (const robustness::Fault& fault :
+       injector_->TakeTickFaults(metrics_.ticks)) {
+    switch (fault.kind) {
+      case robustness::FaultKind::kStallShard:
+        // The simulator is unsharded: a stalled partition freezes every
+        // execution (detection keeps running — the detector is not part
+        // of the stalled partition).
+        stall_until_ = std::max(stall_until_, metrics_.ticks + fault.duration);
+        ++metrics_.faults_injected;
+        Emit(FaultEvent(fault));
+        acted_this_tick_ = true;
+        break;
+      case robustness::FaultKind::kCrashTxn: {
+        auto it = live_.find(fault.txn);
+        if (it == live_.end()) break;  // target not live: fault is a no-op
+        ++metrics_.faults_injected;
+        Emit(FaultEvent(fault));
+        lock_manager_.ReleaseAll(fault.txn);
+        KillAndRestart(fault.txn);
+        acted_this_tick_ = true;
+        break;
+      }
+      case robustness::FaultKind::kDelayGrant: {
+        auto it = live_.find(fault.txn);
+        if (it == live_.end()) break;
+        ++metrics_.faults_injected;
+        Emit(FaultEvent(fault));
+        it->second.resume_after = std::max(
+            it->second.resume_after,
+            metrics_.ticks + static_cast<size_t>(fault.duration));
+        break;
+      }
+      case robustness::FaultKind::kDropWakeup:
+        break;  // excluded by TakeTickFaults; fires at wakeup observation
+    }
+  }
+}
+
+void Simulator::DeadlineKill(lock::TransactionId tid) {
+  ++metrics_.deadline_aborts;
+  lock_manager_.ReleaseAll(tid);
+  KillAndRestart(tid);
+  acted_this_tick_ = true;
+}
+
+bool Simulator::BackoffOrKill(Execution& e) {
+  if (!e.backoff.has_value()) {
+    e.backoff.emplace(config_.robustness.retry,
+                      config_.workload.seed ^
+                          (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(
+                                                       e.tid)));
+  }
+  if (e.backoff->Exhausted()) {
+    DeadlineKill(e.tid);  // invalidates e
+    return false;
+  }
+  e.resume_after =
+      metrics_.ticks + static_cast<size_t>(e.backoff->NextDelay());
+  return true;
+}
+
+void Simulator::ExpireDeadlines() {
+  const robustness::DeadlineOptions& dl = config_.robustness.deadline;
+  if (dl.lock_wait == 0 && dl.txn_budget == 0) return;
+  std::vector<lock::TransactionId> order;
+  order.reserve(live_.size());
+  for (const auto& [tid, e] : live_) order.push_back(tid);
+  for (lock::TransactionId tid : order) {
+    auto it = live_.find(tid);
+    if (it == live_.end()) continue;  // killed earlier in this sweep
+    Execution& e = it->second;
+    // Whole-transaction budget: out of time regardless of state.
+    if (dl.txn_budget != 0 && metrics_.ticks - e.began_at >= dl.txn_budget) {
+      DeadlineKill(tid);
+      continue;
+    }
+    if (dl.lock_wait == 0 || !e.blocked_at.has_value()) continue;
+    if (!lock_manager_.IsBlocked(tid)) continue;  // granted, not yet observed
+    if (metrics_.ticks - *e.blocked_at < dl.lock_wait) continue;
+    // The wait expired: withdraw the pending request (queue invariants
+    // restored, holdings intact) and re-issue it after a backoff.  This
+    // wait is counted as deadline-expired, NOT as a completed wait
+    // (wait_ticks) and NOT as a detector resolution.
+    const lock::TxnLockInfo* info = lock_manager_.Info(tid);
+    TWBG_CHECK(info != nullptr && info->blocked_on.has_value());
+    const lock::ResourceId rid = *info->blocked_on;
+    const lock::LockMode mode = info->blocked_mode;
+    const uint64_t span = info->wait_span;
+    Result<std::vector<lock::TransactionId>> granted =
+        lock_manager_.CancelWait(tid);
+    TWBG_CHECK(granted.ok());
+    ++metrics_.deadline_expired_waits;
+    ++e.deadline_expiries;
+    e.blocked_at.reset();
+    TWBG_CHECK(e.next_op > 0);
+    --e.next_op;  // the withdrawn request is re-issued on resume
+    acted_this_tick_ = true;
+    const bool escalate =
+        dl.abort_after != 0 && e.deadline_expiries >= dl.abort_after;
+    obs::Event event;
+    event.kind = obs::EventKind::kDeadlineExpired;
+    event.tid = tid;
+    event.rid = rid;
+    event.mode = mode;
+    event.span = span;
+    event.a = e.deadline_expiries;
+    event.b = escalate ? 1 : 0;
+    Emit(event);
+    if (escalate) {
+      DeadlineKill(tid);
+      continue;
+    }
+    BackoffOrKill(e);
+  }
+}
+
 SimMetrics Simulator::Run() {
   SpawnUpToConcurrency();
   size_t stall = 0;
@@ -193,62 +369,103 @@ SimMetrics Simulator::Run() {
     bus_.set_time(metrics_.ticks);
     acted_this_tick_ = false;
     bool progress = false;
+    ApplyTickFaults();
+    ExpireDeadlines();
 
-    std::vector<lock::TransactionId> order;
-    order.reserve(live_.size());
-    for (const auto& [tid, e] : live_) order.push_back(tid);
-    for (lock::TransactionId tid : order) {
-      auto it = live_.find(tid);
-      if (it == live_.end()) continue;  // killed by a strategy call
-      if (lock_manager_.IsBlocked(tid)) continue;
-      Execution& e = it->second;
-      if (e.blocked_at.has_value()) {
-        // The wait that began at *blocked_at ended with a grant.
-        const double waited =
-            static_cast<double>(metrics_.ticks - *e.blocked_at);
-        metrics_.wait_ticks.Add(waited);
-        e.blocked_at.reset();
-        obs::Event event;
-        event.kind = obs::EventKind::kWaitEnd;
-        event.tid = tid;
-        // wait_span outlives the wakeup, so this correlates with the
-        // kLockBlock/kLockWakeup pair of the wait that just ended.
-        event.span = lock_manager_.WaitSpan(tid);
-        event.value = waited;
-        Emit(event);
-      }
-      if (e.next_op >= e.script.ops.size()) {
-        // Strict 2PL commit: release everything at once.
-        costs_.Erase(tid);
-        lock_manager_.ReleaseAll(tid);
-        ++metrics_.committed;
-        obs::Event event;
-        event.kind = obs::EventKind::kTxnCommit;
-        event.tid = tid;
-        Emit(event);
-        live_.erase(it);
-        progress = true;
-        SpawnUpToConcurrency();
-        continue;
-      }
-      const auto& [rid, mode] = e.script.ops[e.next_op];
-      Result<lock::RequestOutcome> outcome =
-          lock_manager_.Acquire(tid, rid, mode);
-      TWBG_CHECK(outcome.ok());
-      ++e.ops_done;
-      costs_.Set(tid, 1.0 + static_cast<double>(e.ops_done));
-      // The blocked request is granted in place later, so the op is
-      // consumed either way.
-      ++e.next_op;
-      // Grant/block/convert events are emitted by the lock manager, which
-      // has this run's bus attached.
-      if (*outcome == lock::RequestOutcome::kBlocked) {
-        e.blocked_at = metrics_.ticks;
-        if (strategy_->is_continuous()) {
-          InvokeStrategy(/*periodic=*/false, tid);
+    if (metrics_.ticks >= stall_until_) {
+      std::vector<lock::TransactionId> order;
+      order.reserve(live_.size());
+      for (const auto& [tid, e] : live_) order.push_back(tid);
+      for (lock::TransactionId tid : order) {
+        auto it = live_.find(tid);
+        if (it == live_.end()) continue;  // killed by a strategy call
+        if (lock_manager_.IsBlocked(tid)) continue;
+        Execution& e = it->second;
+        if (metrics_.ticks < e.resume_after) continue;  // backing off
+        if (e.blocked_at.has_value()) {
+          if (injector_ != nullptr && injector_->TakeDropWakeup(tid)) {
+            // The wakeup is lost: the grant stands in the lock manager
+            // but this execution does not observe it until next tick.
+            ++metrics_.faults_injected;
+            robustness::Fault fault;
+            fault.kind = robustness::FaultKind::kDropWakeup;
+            fault.txn = tid;
+            Emit(FaultEvent(fault));
+            e.resume_after = metrics_.ticks + 1;
+            continue;
+          }
+          // The wait that began at *blocked_at ended with a grant.
+          const double waited =
+              static_cast<double>(metrics_.ticks - *e.blocked_at);
+          metrics_.wait_ticks.Add(waited);
+          e.blocked_at.reset();
+          obs::Event event;
+          event.kind = obs::EventKind::kWaitEnd;
+          event.tid = tid;
+          // wait_span outlives the wakeup, so this correlates with the
+          // kLockBlock/kLockWakeup pair of the wait that just ended.
+          event.span = lock_manager_.WaitSpan(tid);
+          event.value = waited;
+          Emit(event);
         }
-      } else {
-        progress = true;
+        if (e.next_op >= e.script.ops.size()) {
+          // Strict 2PL commit: release everything at once.
+          costs_.Erase(tid);
+          lock_manager_.ReleaseAll(tid);
+          ++metrics_.committed;
+          obs::Event event;
+          event.kind = obs::EventKind::kTxnCommit;
+          event.tid = tid;
+          Emit(event);
+          live_.erase(it);
+          progress = true;
+          SpawnUpToConcurrency();
+          continue;
+        }
+        const auto& [rid, mode] = e.script.ops[e.next_op];
+        const uint64_t watermark =
+            config_.robustness.admission.queue_depth_watermark;
+        if (watermark != 0) {
+          const lock::ResourceState* res = lock_manager_.table().Find(rid);
+          // Holders (conversions) bypass admission: shedding a conversion
+          // cannot shrink the queue it already heads.
+          if (res != nullptr && res->FindHolder(tid) == nullptr) {
+            robustness::AdmissionContext ctx;
+            ctx.queue_depth = res->queue().size();
+            robustness::WatermarkAdmission gate(config_.robustness.admission);
+            if (!gate.AdmitAcquire(ctx).ok()) {
+              ++metrics_.admission_rejects;
+              obs::Event event;
+              event.kind = obs::EventKind::kAdmissionReject;
+              event.tid = tid;
+              event.rid = rid;
+              event.a = ctx.queue_depth;
+              event.b = watermark;
+              Emit(event);
+              // The op is NOT consumed: it is retried after backoff.
+              BackoffOrKill(e);
+              continue;
+            }
+          }
+        }
+        Result<lock::RequestOutcome> outcome =
+            lock_manager_.Acquire(tid, rid, mode);
+        TWBG_CHECK(outcome.ok());
+        ++e.ops_done;
+        costs_.Set(tid, 1.0 + static_cast<double>(e.ops_done));
+        // The blocked request is granted in place later, so the op is
+        // consumed either way.
+        ++e.next_op;
+        // Grant/block/convert events are emitted by the lock manager, which
+        // has this run's bus attached.
+        if (*outcome == lock::RequestOutcome::kBlocked) {
+          e.blocked_at = metrics_.ticks;
+          if (strategy_->is_continuous()) {
+            InvokeStrategy(/*periodic=*/false, tid);
+          }
+        } else {
+          progress = true;
+        }
       }
     }
 

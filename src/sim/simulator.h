@@ -30,6 +30,7 @@
 #include "sim/metrics.h"
 #include "sim/trace.h"
 #include "sim/workload.h"
+#include "txn/robustness/robustness.h"
 
 namespace twbg::sim {
 
@@ -67,11 +68,36 @@ struct SimConfig {
   bool enable_watchdog = false;
   /// Thresholds for the watchdog (ignored unless enable_watchdog).
   obs::WatchdogOptions watchdog;
+  /// Robustness knobs (deadlines in ticks, admission watermarks, retry
+  /// backoff in ticks).  All disabled by default.  An expired wait
+  /// withdraws the pending request with full invariant maintenance and
+  /// re-issues it after a seeded decorrelated-jitter backoff; expiry
+  /// escalates to a kill-and-restart per the abort-after-N / retry-budget
+  /// / txn-budget policies.  Counted in SimMetrics::deadline_expired_waits
+  /// and deadline_aborts, disjoint from detector resolution.
+  robustness::RobustnessOptions robustness;
+  /// Deterministic faults, addressed by tick (empty = none).  kCrashTxn /
+  /// kDelayGrant target the execution with that transaction id; a
+  /// kStallShard freezes every execution for its duration (the simulator
+  /// is unsharded); kDropWakeup defers the target's wakeup observation by
+  /// one tick.
+  robustness::FaultPlan fault_plan;
+
+  /// Rejects out-of-domain combinations (zero concurrency, zero trace
+  /// capacity with tracing on, bad robustness knobs).
+  Status Validate() const;
 };
 
 /// One simulation run.  Not reusable.
 class Simulator {
  public:
+  /// Validated construction: rejects bad configs (SimConfig::Validate)
+  /// with kInvalidArgument instead of crashing.
+  static Result<std::unique_ptr<Simulator>> Create(
+      const SimConfig& config,
+      std::unique_ptr<baselines::DetectionStrategy> strategy);
+
+  /// Direct construction for valid configs (TWBG_CHECKs Validate()).
   Simulator(const SimConfig& config,
             std::unique_ptr<baselines::DetectionStrategy> strategy);
 
@@ -97,6 +123,12 @@ class Simulator {
   /// The run's watchdog, or nullptr when config.enable_watchdog is off.
   const obs::Watchdog* watchdog() const { return watchdog_.get(); }
 
+  /// The run's lock manager.  After a non-timed-out Run() every
+  /// transaction has committed and released, so the manager is empty —
+  /// the fault-injection differential suite asserts quiescence
+  /// (CheckInvariants clean, no leaked waiters) through this accessor.
+  const lock::LockManager& lock_manager() const { return lock_manager_; }
+
  private:
   struct Execution {
     size_t logical = 0;
@@ -106,6 +138,16 @@ class Simulator {
     size_t ops_done = 0;
     /// Tick at which the current wait began, if blocked.
     std::optional<size_t> blocked_at;
+    /// Tick at which this execution started (transaction-budget clock).
+    size_t began_at = 0;
+    /// Earliest tick at which the execution may act again (retry backoff
+    /// after a deadline expiry / admission rejection, delay-grant fault).
+    size_t resume_after = 0;
+    /// Lock waits of this execution ended by deadline expiry.
+    uint32_t deadline_expiries = 0;
+    /// Backoff sequence for this execution's retries (created on first
+    /// use, seeded from the workload seed and the execution tid).
+    std::optional<robustness::RetryBackoff> backoff;
   };
 
   // Starts executions until the MPL is reached or the workload is
@@ -126,6 +168,21 @@ class Simulator {
 
   // Stall recovery: oracle-driven forced abort; returns true if it acted.
   bool RecoverFromStall();
+
+  // Fires this tick's planned faults (crash / delay-grant / stall).
+  void ApplyTickFaults();
+
+  // Cancels expired lock waits and enforces the escalation policies
+  // (abort-after-N, retry exhaustion, transaction budget).
+  void ExpireDeadlines();
+
+  // Kills `tid` under a deadline policy: releases its locks, restarts it,
+  // and counts a deadline abort (NOT a deadlock abort).
+  void DeadlineKill(lock::TransactionId tid);
+
+  // Arms e.backoff lazily and schedules the next retry; returns false —
+  // and kills the execution — when the retry budget is exhausted.
+  bool BackoffOrKill(Execution& e);
 
   // Emits onto the bus when any sink is subscribed.
   void Emit(obs::Event event);
@@ -154,6 +211,8 @@ class Simulator {
   TraceEventSink trace_sink_{&trace_};  // subscribed iff record_trace
   std::unique_ptr<obs::JsonlSink> jsonl_;    // StreamEventsTo
   std::unique_ptr<obs::Watchdog> watchdog_;  // config.enable_watchdog
+  std::unique_ptr<robustness::FaultInjector> injector_;  // config.fault_plan
+  size_t stall_until_ = 0;  // kStallShard freeze horizon
 };
 
 }  // namespace twbg::sim

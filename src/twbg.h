@@ -5,14 +5,21 @@
 //   #include "twbg.h"
 //
 // Layers (see README.md and DESIGN.md):
-//   * lock      — MGL lock modes, per-resource scheduling (FIFO + UPR),
-//                 lock manager;
-//   * core      — the paper's contribution: H/W-TWBG, TST, TDR victim
-//                 selection, periodic & continuous detectors, oracle;
-//   * txn       — strict-2PL transactions, MGL hierarchies, thread-safe
-//                 service wrapper;
-//   * baselines — comparison schemes behind DetectionStrategy;
-//   * sim       — workload generator and simulator.
+//   * lock       — MGL lock modes, per-resource scheduling (FIFO + UPR),
+//                  lock manager;
+//   * core       — the paper's contribution: H/W-TWBG, TDR victim
+//                  selection, periodic & continuous detectors, oracle;
+//   * txn        — strict-2PL transactions, MGL hierarchies, thread-safe
+//                  service wrapper;
+//   * robustness — deadlines, admission control / backpressure, retry
+//                  backoff, deterministic fault injection;
+//   * baselines  — comparison schemes behind DetectionStrategy;
+//   * sim        — workload generator and simulator.
+//
+// Engine internals (the TST builder layers, scoped-TST experiments, the
+// incremental ECR edge cache, the parallel detection engine) are NOT part
+// of the public surface; include their headers directly if you are
+// extending the engine itself.
 
 #ifndef TWBG_TWBG_H_
 #define TWBG_TWBG_H_
@@ -28,19 +35,16 @@
 #include "core/continuous_detector.h"
 #include "core/cost_table.h"
 #include "core/detector.h"
-#include "core/ecr.h"
 #include "core/examples_catalog.h"
-#include "core/graph_builder.h"
 #include "core/oracle.h"
 #include "core/periodic_detector.h"
-#include "core/scoped_tst.h"
 #include "core/script.h"
-#include "core/tst.h"
 #include "core/twbg.h"
 #include "core/victim.h"
 
 #include "txn/concurrent_service.h"
 #include "txn/mgl.h"
+#include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
 
 #include "baselines/factory.h"

@@ -13,6 +13,11 @@ namespace {
 
 constexpr size_t kMaxShards = 64;  // shard_mask is a uint64_t bitmask
 
+// Deadline-armed and fault-exposed waits poll at this granularity instead
+// of relying on a wakeup, so they observe deadline expiry promptly and
+// survive dropped notifications.
+constexpr std::chrono::microseconds kWaitPoll{500};
+
 TransactionManagerOptions ForceContinuous(TransactionManagerOptions options) {
   options.detection_mode = DetectionMode::kContinuous;
   return options;
@@ -25,7 +30,48 @@ ConcurrentServiceOptions NormalizeConcurrent(ConcurrentServiceOptions options) {
   return options;
 }
 
+obs::Event FaultEvent(const robustness::Fault& fault) {
+  obs::Event event;
+  event.kind = obs::EventKind::kFaultInjected;
+  event.tid = fault.txn;
+  if (fault.kind == robustness::FaultKind::kStallShard) {
+    event.rid = static_cast<lock::ResourceId>(fault.shard);  // shard index
+  }
+  event.a = static_cast<uint64_t>(fault.kind);
+  event.b = fault.at;
+  event.value = static_cast<double>(fault.duration);
+  event.detail = fault.ToString();
+  return event;
+}
+
 }  // namespace
+
+Status ConcurrentServiceOptions::Validate() const {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(common::Format(
+        "num_shards must be in [1, %zu], got %zu", kMaxShards, num_shards));
+  }
+  if (detection_mode == DetectionMode::kContinuous) {
+    // Continuous detection runs inside every blocking acquire and needs
+    // the whole lock state under one mutex; reject — rather than silently
+    // ignore — options that only make sense for the sharded engine.
+    if (num_shards != 1) {
+      return Status::InvalidArgument(
+          "continuous detection requires num_shards == 1 "
+          "(use kPeriodic for a sharded service)");
+    }
+    if (detection_period.count() != 0) {
+      return Status::InvalidArgument(
+          "continuous detection has no detector thread; "
+          "detection_period must be 0");
+    }
+    if (detection_threads != 0) {
+      return Status::InvalidArgument(
+          "continuous detection runs inline; detection_threads must be 0");
+    }
+  }
+  return robustness.Validate();
+}
 
 // What the parallel pass sees of the shard set.  Every method runs with
 // all shard mutexes, txn_mu_ and (when observing) obs_mu_ held by the
@@ -91,30 +137,7 @@ class ConcurrentLockService::PassHost final
 
 Result<std::unique_ptr<ConcurrentLockService>> ConcurrentLockService::Create(
     ConcurrentServiceOptions options) {
-  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
-    return Status::InvalidArgument(common::Format(
-        "num_shards must be in [1, %zu], got %zu", kMaxShards,
-        options.num_shards));
-  }
-  if (options.detection_mode == DetectionMode::kContinuous) {
-    // Continuous detection runs inside every blocking acquire and needs
-    // the whole lock state under one mutex; reject — rather than silently
-    // ignore — options that only make sense for the sharded engine.
-    if (options.num_shards != 1) {
-      return Status::InvalidArgument(
-          "continuous detection requires num_shards == 1 "
-          "(use kPeriodic for a sharded service)");
-    }
-    if (options.detection_period.count() != 0) {
-      return Status::InvalidArgument(
-          "continuous detection has no detector thread; "
-          "detection_period must be 0");
-    }
-    if (options.detection_threads != 0) {
-      return Status::InvalidArgument(
-          "continuous detection runs inline; detection_threads must be 0");
-    }
-  }
+  TWBG_RETURN_IF_ERROR(options.Validate());
   return std::unique_ptr<ConcurrentLockService>(
       new ConcurrentLockService(std::move(options)));
 }
@@ -131,12 +154,19 @@ ConcurrentLockService::ConcurrentLockService(TransactionManagerOptions options)
 ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
     : options_(NormalizeConcurrent(std::move(options))),
       mode_(options_.detection_mode) {
+  if (!options_.fault_plan.empty()) {
+    injector_ = std::make_unique<robustness::FaultInjector>(options_.fault_plan);
+  }
   if (mode_ == DetectionMode::kContinuous) {
     TransactionManagerOptions tm_options;
     tm_options.detection_mode = DetectionMode::kContinuous;
     tm_options.cost_policy = options_.cost_policy;
     tm_options.detector = options_.detector;
     tm_options.event_bus = options_.event_bus;
+    // The inner manager runs the Begin-time admission check; deadlines
+    // stay with the service (the manager's clock is logical, ours is wall
+    // time) and are implemented in ContinuousAcquire.
+    tm_options.robustness.admission = options_.robustness.admission;
     tm_ = std::make_unique<TransactionManager>(tm_options);
     return;
   }
@@ -191,19 +221,50 @@ std::vector<std::unique_lock<std::mutex>> ConcurrentLockService::LockShards(
   return locks;
 }
 
-lock::TransactionId ConcurrentLockService::Begin() {
+void ConcurrentLockService::EmitStandalone(obs::Event event) {
+  if (bus_ == nullptr) return;
+  std::scoped_lock ol(obs_mu_);
+  if (bus_->active()) bus_->Emit(event);
+}
+
+Result<lock::TransactionId> ConcurrentLockService::Begin() {
   if (mode_ == DetectionMode::kContinuous) {
     std::lock_guard<std::mutex> lock(mu_);
-    return tm_->Begin();
+    Result<lock::TransactionId> tid = tm_->Begin();
+    if (!tid.ok() && tid.status().IsResourceExhausted()) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return tid;
   }
   return PeriodicBegin();
 }
 
-lock::TransactionId ConcurrentLockService::PeriodicBegin() {
+Result<lock::TransactionId> ConcurrentLockService::PeriodicBegin() {
   std::scoped_lock tl(txn_mu_);
+  const robustness::AdmissionOptions& adm = options_.robustness.admission;
+  if (adm.max_inflight_txns != 0) {
+    robustness::AdmissionContext ctx;
+    ctx.inflight_txns = live_txns_;
+    Status admitted = robustness::WatermarkAdmission(adm).AdmitBegin(ctx);
+    if (!admitted.ok()) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      if (bus_ != nullptr) {
+        std::scoped_lock ol(obs_mu_);
+        if (bus_->active()) {
+          obs::Event event;
+          event.kind = obs::EventKind::kAdmissionReject;
+          event.a = live_txns_;
+          event.b = adm.max_inflight_txns;
+          bus_->Emit(event);
+        }
+      }
+      return admitted;
+    }
+  }
   const lock::TransactionId tid = next_tid_++;
   TxnRecord& rec = txns_[tid];
   rec.begin_ts = next_ts_++;
+  ++live_txns_;
   RefreshCostLocked(tid, rec);
   if (bus_ != nullptr) {
     std::scoped_lock ol(obs_mu_);
@@ -223,34 +284,138 @@ Status ConcurrentLockService::AcquireBlocking(lock::TransactionId tid,
   if (mode_ == DetectionMode::kPeriodic) {
     return PeriodicAcquire(tid, rid, mode);
   }
+  return ContinuousAcquire(tid, rid, mode);
+}
+
+Status ConcurrentLockService::ContinuousAcquire(lock::TransactionId tid,
+                                                lock::ResourceId rid,
+                                                lock::LockMode mode) {
+  uint64_t grant_delay_us = 0;
+  if (injector_ != nullptr) {
+    // Read the transaction's operation index (the schedule address) and
+    // fire any fault planted there.
+    std::optional<robustness::Fault> fault;
+    std::optional<robustness::Fault> stall;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const Transaction* txn = tm_->Find(tid);
+      if (txn != nullptr && txn->state == TxnState::kActive) {
+        fault = injector_->TakeAcquireFault(tid, txn->ops_executed);
+      }
+      stall = injector_->TakeShardStall(0);  // the single "shard"
+      obs::EventBus* bus = options_.event_bus;
+      if (fault.has_value() && obs::Enabled(bus)) bus->Emit(FaultEvent(*fault));
+      if (stall.has_value() && obs::Enabled(bus)) bus->Emit(FaultEvent(*stall));
+      if (stall.has_value()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(stall->duration));
+      }
+      if (fault.has_value() &&
+          fault->kind == robustness::FaultKind::kCrashTxn) {
+        Status aborted = tm_->Abort(tid);
+        if (!aborted.ok()) return aborted;
+      }
+    }
+    if (fault.has_value()) {
+      if (fault->kind == robustness::FaultKind::kCrashTxn) {
+        cv_.notify_all();
+        return Status::Aborted(
+            common::Format("T%u crashed by injected fault", tid));
+      }
+      grant_delay_us = fault->duration;
+    }
+  }
+
   std::unique_lock<std::mutex> lock(mu_);
-  Result<AcquireStatus> outcome = tm_->Acquire(tid, rid, mode);
-  if (!outcome.ok()) return outcome.status();
+  Status outcome = tm_->Acquire(tid, rid, mode);
   // The continuous detector may have resolved a deadlock inside Acquire:
   // wake anyone it granted or aborted.
   cv_.notify_all();
-  switch (*outcome) {
-    case AcquireStatus::kGranted:
-      return Status::OK();
-    case AcquireStatus::kAbortedAsVictim:
-      ++cont_deadlock_victims_;
-      return Status::Aborted(
-          common::Format("T%u aborted as deadlock victim", tid));
-    case AcquireStatus::kBlocked:
-      break;
+  if (outcome.IsDeadlockVictim()) {
+    ++cont_deadlock_victims_;
+    return outcome;
   }
+  if (outcome.IsResourceExhausted()) {
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return outcome;
+  }
+  if (outcome.ok()) {
+    lock.unlock();
+    if (grant_delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(grant_delay_us));
+    }
+    return outcome;
+  }
+  if (!outcome.IsWouldBlock()) return outcome;
+
   // Park until the lock manager grants us (state back to Active) or a
   // later resolution kills us.  Progress is guaranteed: continuous
   // detection leaves no deadlock behind, so every wait ends with some
-  // transaction's commit/abort.
-  cv_.wait(lock, [&] {
+  // transaction's commit/abort — or with our deadline.
+  const uint64_t deadline_us = options_.robustness.deadline.lock_wait;
+  const auto blocked = [&] {
     Result<TxnState> state = tm_->State(tid);
-    return state.ok() && *state != TxnState::kBlocked;
-  });
+    return state.ok() && *state == TxnState::kBlocked;
+  };
+  if (deadline_us == 0 && injector_ == nullptr) {
+    cv_.wait(lock, [&] { return !blocked(); });
+  } else {
+    const auto expiry =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(deadline_us);
+    while (blocked()) {
+      if (deadline_us != 0 && std::chrono::steady_clock::now() >= expiry) {
+        // Still blocked under mu_, so nothing can race the cancellation:
+        // this is the single resolution of the wait.
+        const lock::LockManager& lm = tm_->lock_manager();
+        const lock::TxnLockInfo* info = lm.Info(tid);
+        TWBG_CHECK(info != nullptr && info->blocked_on.has_value());
+        const lock::ResourceId wait_rid = *info->blocked_on;
+        const lock::LockMode wait_mode = info->blocked_mode;
+        const uint64_t span = info->wait_span;
+        TWBG_CHECK(tm_->CancelWait(tid).ok());
+        const uint32_t expiries = ++cont_expiries_[tid];
+        deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
+        const uint32_t abort_after = options_.robustness.deadline.abort_after;
+        const bool escalate = abort_after != 0 && expiries >= abort_after;
+        obs::EventBus* bus = options_.event_bus;
+        if (obs::Enabled(bus)) {
+          obs::Event event;
+          event.kind = obs::EventKind::kDeadlineExpired;
+          event.tid = tid;
+          event.rid = wait_rid;
+          event.mode = wait_mode;
+          event.span = span;
+          event.a = expiries;
+          event.b = escalate ? 1 : 0;
+          bus->Emit(event);
+        }
+        if (escalate) {
+          deadline_aborts_.fetch_add(1, std::memory_order_relaxed);
+          TWBG_CHECK(tm_->Abort(tid).ok());
+          lock.unlock();
+          cv_.notify_all();
+          return Status::DeadlineExceeded(common::Format(
+              "T%u wait on R%u exceeded its deadline; aborted after %u "
+              "expired waits",
+              tid, wait_rid, expiries));
+        }
+        lock.unlock();
+        cv_.notify_all();  // waiters granted by the withdrawal
+        return Status::DeadlineExceeded(common::Format(
+            "T%u wait on R%u exceeded its deadline", tid, wait_rid));
+      }
+      cv_.wait_for(lock, kWaitPoll);
+    }
+  }
   Result<TxnState> state = tm_->State(tid);
-  if (state.ok() && *state == TxnState::kActive) return Status::OK();
+  if (state.ok() && *state == TxnState::kActive) {
+    lock.unlock();
+    if (grant_delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(grant_delay_us));
+    }
+    return Status::OK();
+  }
   ++cont_deadlock_victims_;
-  return Status::Aborted(
+  return Status::DeadlockVictim(
       common::Format("T%u aborted as deadlock victim while waiting", tid));
 }
 
@@ -259,6 +424,42 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
                                               lock::LockMode mode) {
   const size_t shard_index = ShardIndex(rid);
   Shard& shard = *shards_[shard_index];
+
+  uint64_t grant_delay_us = 0;
+  if (injector_ != nullptr) {
+    // Fire acquire-addressed faults before taking any shard mutex: the
+    // crash path re-enters PeriodicTerminate, which locks shards itself
+    // (lock order forbids doing that while one is held).
+    std::optional<robustness::Fault> fault;
+    {
+      std::scoped_lock tl(txn_mu_);
+      auto it = txns_.find(tid);
+      if (it != txns_.end() &&
+          it->second.state.load(std::memory_order_relaxed) ==
+              TxnState::kActive) {
+        fault = injector_->TakeAcquireFault(tid, it->second.ops_executed);
+      }
+    }
+    if (fault.has_value()) {
+      EmitStandalone(FaultEvent(*fault));
+      if (fault->kind == robustness::FaultKind::kCrashTxn) {
+        Status aborted = PeriodicTerminate(tid, /*commit=*/false);
+        if (!aborted.ok()) return aborted;
+        return Status::Aborted(
+            common::Format("T%u crashed by injected fault", tid));
+      }
+      grant_delay_us = fault->duration;
+    }
+    if (std::optional<robustness::Fault> stall =
+            injector_->TakeShardStall(static_cast<uint32_t>(shard_index))) {
+      EmitStandalone(FaultEvent(*stall));
+      // Hold the shard mutex through the stall: every operation routed
+      // here piles up behind it, exactly an unresponsive partition.
+      std::scoped_lock stall_lock(shard.mu);
+      std::this_thread::sleep_for(std::chrono::microseconds(stall->duration));
+    }
+  }
+
   std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
   const bool contended = !sl.owns_lock();
   if (contended) sl.lock();
@@ -284,6 +485,39 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
     // Record the routing before the request: commits/aborts must lock
     // this shard even if the request errors after registering the txn.
     rec->shard_mask |= uint64_t{1} << shard_index;
+    // Backpressure: shed requests that would deepen an already saturated
+    // shard.  Holders are exempt — a conversion must be allowed through
+    // or the holder could never finish and drain the queue.
+    const uint64_t watermark = options_.robustness.admission.queue_depth_watermark;
+    if (watermark != 0) {
+      const lock::ResourceState* res = shard.lm.table().Find(rid);
+      const bool holder = res != nullptr && res->FindHolder(tid) != nullptr;
+      if (!holder) {
+        robustness::AdmissionContext ctx;
+        ctx.inflight_txns = live_txns_;
+        ctx.queue_depth = shard.lm.BlockedTransactions().size();
+        Status admitted = robustness::WatermarkAdmission(
+                              options_.robustness.admission)
+                              .AdmitAcquire(ctx);
+        if (!admitted.ok()) {
+          admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+          if (bus_ != nullptr) {
+            std::scoped_lock ol(obs_mu_);
+            if (bus_->active()) {
+              obs::Event event;
+              event.kind = obs::EventKind::kAdmissionReject;
+              event.tid = tid;
+              event.rid = rid;
+              event.a = ctx.queue_depth;
+              event.b = watermark;
+              bus_->Emit(event);
+            }
+          }
+          shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+          return admitted;
+        }
+      }
+    }
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
     if (bus_ != nullptr) ol.lock();
     Result<lock::RequestOutcome> result = shard.lm.Acquire(tid, rid, mode);
@@ -307,7 +541,13 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
     }
   }
   shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
-  if (outcome != lock::RequestOutcome::kBlocked) return Status::OK();
+  if (outcome != lock::RequestOutcome::kBlocked) {
+    sl.unlock();
+    if (grant_delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(grant_delay_us));
+    }
+    return Status::OK();
+  }
 
   // Park on the shard of the resource we are blocked on.  We have held
   // shard.mu continuously since the lock manager queued us, and anyone
@@ -315,23 +555,124 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
   // rid is in our shard_mask and in the granter's release set; the
   // detector holds every shard) — so the state change cannot slip in
   // between our predicate check and the park, and no wakeup is missed.
-  shard.cv.wait(sl, [rec] {
+  const auto unblocked = [rec] {
     return rec->state.load(std::memory_order_relaxed) != TxnState::kBlocked;
-  });
+  };
+  const uint64_t deadline_us = options_.robustness.deadline.lock_wait;
+  if (deadline_us == 0 && injector_ == nullptr) {
+    shard.cv.wait(sl, unblocked);
+  } else {
+    // Deadline-armed / fault-exposed waits poll: a deadline must be
+    // noticed without anyone waking us, and a dropped wakeup must not
+    // strand us.
+    const auto expiry = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(deadline_us);
+    while (!unblocked()) {
+      if (deadline_us != 0 && std::chrono::steady_clock::now() >= expiry) {
+        bool escalate = false;
+        Status expired = CancelPeriodicWait(tid, shard, &escalate);
+        if (expired.ok()) break;  // a grant raced in: single resolution
+        sl.unlock();
+        shard.cv.notify_all();  // waiters granted by the withdrawal
+        if (escalate) {
+          Status aborted = PeriodicTerminate(tid, /*commit=*/false);
+          TWBG_CHECK(aborted.ok());
+        }
+        return expired;
+      }
+      shard.cv.wait_for(sl, kWaitPoll);
+    }
+  }
   if (rec->state.load(std::memory_order_relaxed) == TxnState::kActive) {
+    sl.unlock();
+    if (grant_delay_us != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(grant_delay_us));
+    }
     return Status::OK();
   }
-  return Status::Aborted(
+  return Status::DeadlockVictim(
       common::Format("T%u aborted as deadlock victim while waiting", tid));
+}
+
+Status ConcurrentLockService::CancelPeriodicWait(lock::TransactionId tid,
+                                                 Shard& shard,
+                                                 bool* escalate) {
+  *escalate = false;
+  std::scoped_lock tl(txn_mu_);
+  auto it = txns_.find(tid);
+  TWBG_CHECK(it != txns_.end());
+  TxnRecord& rec = it->second;
+  const TxnState state = rec.state.load(std::memory_order_relaxed);
+  // The shard mutex has been held since the deadline check, and both
+  // resolvers (terminating releasers and the stop-the-world pass) change
+  // waiter states only while holding it — whichever of {grant, abort,
+  // expiry} we observe first under txn_mu_ is the wait's single
+  // resolution.
+  if (state == TxnState::kActive) return Status::OK();
+  if (state != TxnState::kBlocked) {
+    return Status::DeadlockVictim(
+        common::Format("T%u aborted as deadlock victim while waiting", tid));
+  }
+  std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+  if (bus_ != nullptr) ol.lock();
+  const lock::TxnLockInfo* info = shard.lm.Info(tid);
+  TWBG_CHECK(info != nullptr && info->blocked_on.has_value());
+  const lock::ResourceId wait_rid = *info->blocked_on;
+  const lock::LockMode wait_mode = info->blocked_mode;
+  const uint64_t span = info->wait_span;
+  Result<std::vector<lock::TransactionId>> granted = shard.lm.CancelWait(tid);
+  TWBG_CHECK(granted.ok());
+  rec.state.store(TxnState::kActive, std::memory_order_relaxed);
+  rec.deadline_expiries++;
+  rec.blocked_sweeps = 0;
+  deadline_expiries_.fetch_add(1, std::memory_order_relaxed);
+  ReactivateLocked(*granted);
+  const uint32_t abort_after = options_.robustness.deadline.abort_after;
+  *escalate = abort_after != 0 && rec.deadline_expiries >= abort_after;
+  if (*escalate) deadline_aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled(bus_)) {
+    obs::Event event;
+    event.kind = obs::EventKind::kDeadlineExpired;
+    event.tid = tid;
+    event.rid = wait_rid;
+    event.mode = wait_mode;
+    event.span = span;
+    event.a = rec.deadline_expiries;
+    event.b = *escalate ? 1 : 0;
+    bus_->Emit(event);
+  }
+  if (*escalate) {
+    return Status::DeadlineExceeded(common::Format(
+        "T%u wait on R%u exceeded its deadline; aborted after %u expired "
+        "waits",
+        tid, wait_rid, rec.deadline_expiries));
+  }
+  return Status::DeadlineExceeded(common::Format(
+      "T%u wait on R%u exceeded its deadline", tid, wait_rid));
 }
 
 Status ConcurrentLockService::Commit(lock::TransactionId tid) {
   if (mode_ == DetectionMode::kPeriodic) {
     return PeriodicTerminate(tid, /*commit=*/true);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  Status status = tm_->Commit(tid);
-  cv_.notify_all();
+  Status status;
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = tm_->Commit(tid);
+    if (status.ok() && injector_ != nullptr) {
+      drop = injector_->TakeDropWakeup(tid);
+      if (drop && obs::Enabled(options_.event_bus)) {
+        robustness::Fault fault;
+        fault.kind = robustness::FaultKind::kDropWakeup;
+        fault.txn = tid;
+        options_.event_bus->Emit(FaultEvent(fault));
+      }
+    }
+  }
+  // A dropped wakeup swallows the notification; polling waiters (always
+  // the case when an injector is present) recover on their next poll.
+  if (!drop) cv_.notify_all();
   return status;
 }
 
@@ -388,6 +729,7 @@ Status ConcurrentLockService::PeriodicTerminate(lock::TransactionId tid,
     if (bus_ != nullptr) ol.lock();
     rec.state.store(commit ? TxnState::kCommitted : TxnState::kAborted,
                     std::memory_order_relaxed);
+    --live_txns_;
     if (obs::Enabled(bus_)) {
       obs::Event event;
       event.kind =
@@ -397,22 +739,21 @@ Status ConcurrentLockService::PeriodicTerminate(lock::TransactionId tid,
       bus_->Emit(event);
     }
     costs_.Erase(tid);
-    const std::vector<lock::TransactionId> granted =
-        ReleaseAllShardsLocked(tid, mask);
-    for (lock::TransactionId g : granted) {
-      auto git = txns_.find(g);
-      if (git != txns_.end() &&
-          git->second.state.load(std::memory_order_relaxed) ==
-              TxnState::kBlocked) {
-        git->second.state.store(TxnState::kActive, std::memory_order_relaxed);
-        git->second.locks_granted++;
-        RefreshCostLocked(g, git->second);
-      }
-    }
+    ReactivateLocked(ReleaseAllShardsLocked(tid, mask));
   }
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if ((mask & (uint64_t{1} << s)) == 0) continue;
-    shards_[s]->cv.notify_all();
+  // A planned drop-wakeup fault swallows this termination's broadcast;
+  // the waiters it would have woken recover via their polling waits.
+  const bool drop = injector_ != nullptr && injector_->TakeDropWakeup(tid);
+  if (drop) {
+    robustness::Fault fault;
+    fault.kind = robustness::FaultKind::kDropWakeup;
+    fault.txn = tid;
+    EmitStandalone(FaultEvent(fault));
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if ((mask & (uint64_t{1} << s)) == 0) continue;
+      shards_[s]->cv.notify_all();
+    }
   }
   // Attribute the critical section to every shard held through it (all
   // were held for its whole duration; the locks are still owned here).
@@ -474,6 +815,9 @@ core::ResolutionReport ConcurrentLockService::RunDetectionPass() {
 }
 
 core::ResolutionReport ConcurrentLockService::RunPeriodicPass() {
+  if (degraded_remaining_.load(std::memory_order_relaxed) > 0) {
+    return RunTimeoutSweep();
+  }
   // Stop the world: all shard locks (ascending), the transaction table,
   // then the bus.  Everything the pass reads is a consistent cross-shard
   // snapshot; everything it mutates and emits lands atomically between
@@ -504,6 +848,88 @@ core::ResolutionReport ConcurrentLockService::RunPeriodicPass() {
     std::scoped_lock stl(stats_mu_);
     pause_times_ns_.push_back(pause_ns);
   }
+  // Graceful degradation: a pass that blew its pause budget switches the
+  // next K scheduled passes to the cheap timeout-resolver sweep.
+  const uint64_t budget_ns = options_.robustness.degradation.pause_budget_ns;
+  if (budget_ns != 0 && pause_ns > budget_ns) {
+    const uint32_t passes = options_.robustness.degradation.degraded_passes;
+    degraded_remaining_.store(passes, std::memory_order_relaxed);
+    obs::Event event;
+    event.kind = obs::EventKind::kDegraded;
+    event.a = passes;
+    event.b = pause_ns / 1000;               // the offending pause, µs
+    event.value = static_cast<double>(budget_ns) / 1000.0;  // budget, µs
+    EmitStandalone(std::move(event));
+  }
+  return report;
+}
+
+core::ResolutionReport ConcurrentLockService::RunTimeoutSweep() {
+  common::Stopwatch pause;
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  core::ResolutionReport report;
+  {
+    std::scoped_lock tl(txn_mu_);
+    std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+    if (bus_ != nullptr) ol.lock();
+    // Timeout resolution (the fallback the paper's algorithm replaces):
+    // abort whoever has been observed blocked for `sweep_patience`
+    // consecutive sweeps.  Crude — it may abort transactions that are
+    // merely waiting, not deadlocked — but O(transactions) cheap, which
+    // is the point while degraded.
+    const uint32_t patience = options_.robustness.degradation.sweep_patience;
+    std::vector<lock::TransactionId> victims;
+    for (auto& [tid, rec] : txns_) {
+      if (rec.state.load(std::memory_order_relaxed) != TxnState::kBlocked) {
+        rec.blocked_sweeps = 0;
+        continue;
+      }
+      if (++rec.blocked_sweeps >= patience) victims.push_back(tid);
+    }
+    for (lock::TransactionId victim : victims) {
+      TxnRecord& rec = txns_.at(victim);
+      rec.state.store(TxnState::kAborted, std::memory_order_relaxed);
+      // Deliberately NOT flagged deadlock_victim: a timeout abort is a
+      // guess, not a detected cycle; it lands in sweep_aborts() instead.
+      --live_txns_;
+      sweep_aborts_.fetch_add(1, std::memory_order_relaxed);
+      costs_.Erase(victim);
+      if (obs::Enabled(bus_)) {
+        obs::Event event;
+        event.kind = obs::EventKind::kTxnAbort;
+        event.tid = victim;
+        event.a = 0;  // not a deadlock victim
+        bus_->Emit(event);
+      }
+      const std::vector<lock::TransactionId> granted =
+          ReleaseAllShardsLocked(victim, rec.shard_mask);
+      ReactivateLocked(granted);
+      report.aborted.push_back(victim);
+      report.granted.insert(report.granted.end(), granted.begin(),
+                            granted.end());
+    }
+    if (obs::Enabled(bus_)) PublishShardStatsLocked();
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    // Serialized by the shard locks, so no lost update; the guard keeps a
+    // racing second sweep (manual pass vs detector thread) from wrapping.
+    const uint32_t remaining = degraded_remaining_.load(std::memory_order_relaxed);
+    if (remaining > 0) {
+      degraded_remaining_.store(remaining - 1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t pause_ns = static_cast<uint64_t>(pause.ElapsedNanos());
+  const uint64_t hold_ns = static_cast<uint64_t>(hold.ElapsedNanos());
+  for (auto& shard : shards_) {
+    shard->hold_ns += hold_ns;
+    shard->cv.notify_all();
+  }
+  shard_locks.clear();
+  {
+    std::scoped_lock stl(stats_mu_);
+    pause_times_ns_.push_back(pause_ns);
+  }
   return report;
 }
 
@@ -514,6 +940,7 @@ void ConcurrentLockService::ApplyReportLocked(
     if (it == txns_.end()) continue;
     it->second.state.store(TxnState::kAborted, std::memory_order_relaxed);
     it->second.deadlock_victim = true;
+    --live_txns_;
     ++deadlock_victims_;
     costs_.Erase(victim);
     if (obs::Enabled(bus_)) {
@@ -524,15 +951,22 @@ void ConcurrentLockService::ApplyReportLocked(
       bus_->Emit(event);
     }
   }
-  for (lock::TransactionId g : report.granted) {
+  ReactivateLocked(report.granted);
+}
+
+void ConcurrentLockService::ReactivateLocked(
+    const std::vector<lock::TransactionId>& granted) {
+  for (lock::TransactionId g : granted) {
     auto it = txns_.find(g);
-    if (it != txns_.end() &&
-        it->second.state.load(std::memory_order_relaxed) ==
-            TxnState::kBlocked) {
-      it->second.state.store(TxnState::kActive, std::memory_order_relaxed);
-      it->second.locks_granted++;
-      RefreshCostLocked(g, it->second);
+    if (it == txns_.end()) continue;
+    TxnRecord& rec = it->second;
+    if (rec.state.load(std::memory_order_relaxed) != TxnState::kBlocked) {
+      continue;
     }
+    rec.state.store(TxnState::kActive, std::memory_order_relaxed);
+    rec.locks_granted++;
+    rec.blocked_sweeps = 0;
+    RefreshCostLocked(g, rec);
   }
 }
 
@@ -626,6 +1060,88 @@ ShardStats ConcurrentLockService::shard_stats(size_t shard) const {
 std::vector<uint64_t> ConcurrentLockService::pause_times_ns() const {
   std::scoped_lock stl(stats_mu_);
   return pause_times_ns_;
+}
+
+Status ConcurrentLockService::CheckInvariants(bool deep) {
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tm_->CheckInvariants();
+  }
+  // Stop the world so the cross-shard picture is consistent.
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  std::scoped_lock tl(txn_mu_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Status status = shards_[s]->lm.CheckInvariants(deep);
+    if (!status.ok()) {
+      return Status::Internal(common::Format(
+          "shard %zu: %s", s, std::string(status.message()).c_str()));
+    }
+  }
+  for (const auto& [tid, rec] : txns_) {
+    const TxnState state = rec.state.load(std::memory_order_relaxed);
+    size_t blocked_in = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const lock::TxnLockInfo* info = shards_[s]->lm.Info(tid);
+      if (info == nullptr) continue;
+      if (state == TxnState::kCommitted || state == TxnState::kAborted) {
+        return Status::Internal(common::Format(
+            "terminated T%u is still known to shard %zu (leaked locks)", tid,
+            s));
+      }
+      if (info->blocked_on.has_value()) ++blocked_in;
+    }
+    if (state == TxnState::kBlocked && blocked_in != 1) {
+      return Status::Internal(common::Format(
+          "T%u is kBlocked but blocked in %zu shards (expected exactly 1)",
+          tid, blocked_in));
+    }
+    if (state != TxnState::kBlocked && blocked_in != 0) {
+      return Status::Internal(common::Format(
+          "T%u is not kBlocked but waits in %zu shards", tid, blocked_in));
+    }
+  }
+  // No leaked waiters: every blocked lock-table entry must belong to a
+  // live transaction the service also believes is blocked.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (lock::TransactionId tid : shards_[s]->lm.BlockedTransactions()) {
+      auto it = txns_.find(tid);
+      if (it == txns_.end() ||
+          it->second.state.load(std::memory_order_relaxed) !=
+              TxnState::kBlocked) {
+        return Status::Internal(common::Format(
+            "shard %zu holds a blocked entry for T%u, which the service "
+            "does not consider blocked (leaked waiter)",
+            s, tid));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AcquireWithRetry(ConcurrentLockService& service,
+                        lock::TransactionId tid, lock::ResourceId rid,
+                        lock::LockMode mode,
+                        const robustness::RetryOptions& retry, uint64_t seed,
+                        uint32_t* attempts_out) {
+  robustness::RetryBackoff backoff(retry, seed);
+  uint32_t attempts = 0;
+  for (;;) {
+    Status status = service.AcquireBlocking(tid, rid, mode);
+    ++attempts;
+    if (attempts_out != nullptr) *attempts_out = attempts;
+    if (!status.IsDeadlineExceeded() && !status.IsResourceExhausted()) {
+      return status;
+    }
+    if (backoff.Exhausted()) {
+      // Client-side abort-after-N: give up on the whole transaction.  The
+      // abort may no-op if a server-side escalation already killed it.
+      (void)service.Abort(tid);
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff.NextDelay()));
+  }
 }
 
 }  // namespace twbg::txn

@@ -20,6 +20,31 @@
 //     component-parallel Step 2 on an optional worker pool
 //     (core/parallel_detector.h).  Each pass stamps a new snapshot epoch.
 //
+// Robustness layer (optional, all off by default; see docs/ROBUSTNESS.md):
+//
+//   * lock-wait deadlines (microseconds): an expired waiter withdraws its
+//     request with full queue-invariant maintenance and AcquireBlocking
+//     returns kDeadlineExceeded; after `deadline.abort_after` expiries the
+//     transaction is aborted server-side.  Deadline-armed (and
+//     fault-injected) waits park in a polling loop, so they also survive
+//     dropped wakeups.
+//   * admission control: Begin is shed at `admission.max_inflight_txns`
+//     live transactions, a blocking acquire at
+//     `admission.queue_depth_watermark` blocked transactions in the
+//     target shard — both with kResourceExhausted (kAdmissionReject
+//     event), to be retried after backoff (AcquireWithRetry).
+//   * graceful degradation: when a stop-the-world pass pauses the service
+//     longer than `degradation.pause_budget_ns`, the next
+//     `degraded_passes` scheduled passes run a cheap timeout-resolver
+//     sweep (abort transactions observed blocked for `sweep_patience`
+//     consecutive sweeps) instead of full detection, with a kDegraded
+//     event emitted when the engine degrades.
+//   * deterministic fault injection: a robustness::FaultPlan addressed by
+//     (txn, per-txn operation index) injects crash-txn and delay-grant
+//     faults at AcquireBlocking entry, drop-wakeup at the notifier's
+//     terminate broadcast, and stall-shard at the target shard's next
+//     acquire.
+//
 // Lock ordering (deadlock-free by construction): shard mutexes in
 // ascending shard index, then the transaction-table mutex, then the
 // observability mutex.  Every bus emission happens under the
@@ -44,9 +69,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/parallel_detector.h"
+#include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
 
 namespace twbg::txn {
@@ -74,6 +101,18 @@ struct ConcurrentServiceOptions {
   /// Structured-event bus (not owned; may be null).  Attaching a bus
   /// serializes the service — see the file comment.
   obs::EventBus* event_bus = nullptr;
+  /// Robustness knobs.  Deadline units are MICROSECONDS here (wall
+  /// clock); `deadline.txn_budget` is not enforced by the service (it
+  /// belongs to the discrete-time hosts).  All disabled by default.
+  robustness::RobustnessOptions robustness;
+  /// Deterministic faults to inject (empty = none).  See the file
+  /// comment for how each FaultKind maps onto the service.
+  robustness::FaultPlan fault_plan;
+
+  /// Rejects out-of-domain combinations — num_shards outside [1, 64],
+  /// kContinuous combined with sharding / a detection period / detection
+  /// threads, bad robustness knobs.
+  Status Validate() const;
 };
 
 /// Cumulative per-shard contention counters (kPeriodic mode).
@@ -90,16 +129,17 @@ struct ShardStats {
 /// file comment for the two engines and the locking discipline.
 class ConcurrentLockService {
  public:
-  /// Validates `options` and builds the service.  Unsupported
-  /// combinations — num_shards outside [1, 64], or kContinuous combined
-  /// with sharding / a detection period / detection threads — are
-  /// rejected with InvalidArgument rather than silently coerced.
+  /// Validates `options` (ConcurrentServiceOptions::Validate) and builds
+  /// the service; invalid combinations are rejected with InvalidArgument
+  /// rather than silently coerced.
   static Result<std::unique_ptr<ConcurrentLockService>> Create(
       ConcurrentServiceOptions options);
 
   /// Legacy constructor: the single-mutex continuous engine.
   /// `options.detection_mode` is forced to kContinuous (the historical,
-  /// now documented, behavior; use Create for periodic mode).
+  /// now documented, behavior).  Deprecated shim — use Create().
+  TWBG_DEPRECATED(
+      "use ConcurrentLockService::Create(ConcurrentServiceOptions) instead")
   explicit ConcurrentLockService(TransactionManagerOptions options = {});
 
   ConcurrentLockService(const ConcurrentLockService&) = delete;
@@ -109,12 +149,22 @@ class ConcurrentLockService {
   /// inside a call when destruction begins.
   ~ConcurrentLockService();
 
-  /// Starts a transaction.
-  lock::TransactionId Begin();
+  /// Starts a transaction.  kResourceExhausted when admission control
+  /// sheds the Begin (retry after backoff).
+  Result<lock::TransactionId> Begin();
 
   /// Acquires `mode` on `rid`, blocking the calling thread until granted.
-  /// Returns Aborted when this transaction was chosen as a deadlock
-  /// victim (its locks are gone; Begin a new transaction to retry).
+  /// Canonical outcomes:
+  ///   kOk                 granted;
+  ///   kDeadlockVictim     chosen as deadlock victim (locks gone; Begin a
+  ///                       new transaction to retry);
+  ///   kDeadlineExceeded   the configured lock-wait deadline expired; the
+  ///                       request was withdrawn (transaction still alive
+  ///                       and holding its other locks) — unless the
+  ///                       abort-after-N policy escalated, in which case
+  ///                       the message says so and the transaction is
+  ///                       aborted;
+  ///   kResourceExhausted  admission control shed the request.
   Status AcquireBlocking(lock::TransactionId tid, lock::ResourceId rid,
                          lock::LockMode mode);
 
@@ -127,14 +177,15 @@ class ConcurrentLockService {
   /// Snapshot of a transaction's state.
   Result<TxnState> State(lock::TransactionId tid) const;
 
-  /// Number of deadlock victims so far.
+  /// Number of deadlock victims so far (detector-chosen aborts only;
+  /// deadline and sweep aborts are counted separately).
   size_t deadlock_victims() const;
 
   /// Runs one detection-resolution pass now, on the calling thread, and
   /// returns its report.  In kPeriodic mode this is the same pass the
-  /// detector thread runs (all shard locks held for its duration); in
-  /// kContinuous mode it is a safety-net periodic pass over the inner
-  /// manager.
+  /// detector thread runs (all shard locks held for its duration) — or,
+  /// while degraded, the timeout-resolver sweep; in kContinuous mode it
+  /// is a safety-net periodic pass over the inner manager.
   core::ResolutionReport RunDetectionPass();
 
   /// Number of completed periodic passes (the snapshot epoch).  Each pass
@@ -153,6 +204,40 @@ class ConcurrentLockService {
   /// Stop-the-world duration of every completed pass, nanoseconds, in
   /// pass order (kPeriodic mode; empty otherwise).
   std::vector<uint64_t> pause_times_ns() const;
+
+  // -- robustness telemetry --
+
+  /// Lock waits cancelled by deadline so far.
+  uint64_t deadline_expiries() const {
+    return deadline_expiries_.load(std::memory_order_relaxed);
+  }
+  /// Transactions aborted by deadline escalation (abort-after-N).
+  uint64_t deadline_aborts() const {
+    return deadline_aborts_.load(std::memory_order_relaxed);
+  }
+  /// Begins/acquires shed by admission control.
+  uint64_t admission_rejects() const {
+    return admission_rejects_.load(std::memory_order_relaxed);
+  }
+  /// Transactions aborted by the degraded timeout-resolver sweep.
+  uint64_t sweep_aborts() const {
+    return sweep_aborts_.load(std::memory_order_relaxed);
+  }
+  /// Scheduled passes that still run the cheap sweep before full
+  /// detection resumes (0 = not degraded).
+  uint32_t degraded_passes_remaining() const {
+    return degraded_remaining_.load(std::memory_order_relaxed);
+  }
+  /// The fault injector (fault counts), or nullptr when no plan was set.
+  const robustness::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
+  /// Verifies lock-table invariants (per shard), transaction-state /
+  /// lock-manager agreement, and that no waiter leaked (every blocked
+  /// table entry belongs to a live kBlocked transaction).  Stops the
+  /// world for the duration.  `deep` as in LockManager::CheckInvariants.
+  Status CheckInvariants(bool deep = true);
 
   const ConcurrentServiceOptions& options() const { return options_; }
 
@@ -178,6 +263,11 @@ class ConcurrentLockService {
     uint64_t locks_granted = 0;
     uint64_t ops_executed = 0;
     bool deadlock_victim = false;
+    // Robustness bookkeeping: waits of this transaction cancelled by
+    // deadline (abort-after-N policy), and consecutive degraded sweeps
+    // that observed it blocked (timeout resolution).
+    uint32_t deadline_expiries = 0;
+    uint32_t blocked_sweeps = 0;
     // Bit s set => an operation of this transaction was routed to shard
     // s.  Never shrinks; commits/aborts lock exactly these shards (which
     // is why num_shards is capped at 64).
@@ -196,11 +286,25 @@ class ConcurrentLockService {
       uint64_t mask, common::Stopwatch& hold);
 
   // Sharded-engine operation bodies (mode_ == kPeriodic).
-  lock::TransactionId PeriodicBegin();
+  Result<lock::TransactionId> PeriodicBegin();
   Status PeriodicAcquire(lock::TransactionId tid, lock::ResourceId rid,
                          lock::LockMode mode);
   Status PeriodicTerminate(lock::TransactionId tid, bool commit);
   core::ResolutionReport RunPeriodicPass();
+  // The degraded pass body: aborts transactions blocked for
+  // `sweep_patience` consecutive sweeps.  Same locks as the full pass.
+  core::ResolutionReport RunTimeoutSweep();
+
+  // Continuous-engine bodies (mode_ == kContinuous).
+  Status ContinuousAcquire(lock::TransactionId tid, lock::ResourceId rid,
+                           lock::LockMode mode);
+
+  // Deadline-timeout body of PeriodicAcquire: cancels tid's wait (or
+  // reports the grant/abort that raced in).  Runs with the shard mutex
+  // held; takes txn_mu_/obs_mu_ internally.  Sets `escalate` when the
+  // abort-after-N policy fires (caller aborts after unlocking).
+  Status CancelPeriodicWait(lock::TransactionId tid, Shard& shard,
+                            bool* escalate);
 
   // Releases every lock/queue position of `tid` across the shards in
   // `mask` in global ascending-rid order, reactivating granted waiters'
@@ -216,11 +320,18 @@ class ConcurrentLockService {
   // waiters back to kActive.
   void ApplyReportLocked(const core::ResolutionReport& report);
 
+  // Transitions granted waiters' records kBlocked -> kActive (txn_mu_
+  // held).
+  void ReactivateLocked(const std::vector<lock::TransactionId>& granted);
+
   // Emits one kShardContention per shard (pass locks held, bus active).
   void PublishShardStatsLocked();
 
   // Recomputes `tid`'s abort cost per the policy (txn_mu_ held).
   void RefreshCostLocked(lock::TransactionId tid, const TxnRecord& rec);
+
+  // Emits `event` under obs_mu_ alone (no other service lock held).
+  void EmitStandalone(obs::Event event);
 
   // Detector-thread body: run a pass every detection_period until told
   // to stop.
@@ -234,17 +345,22 @@ class ConcurrentLockService {
   std::condition_variable cv_;
   std::unique_ptr<TransactionManager> tm_;
   size_t cont_deadlock_victims_ = 0;
+  // Per-transaction deadline-expiry counts (the inner manager's clock is
+  // unused; the service implements wall-clock deadlines itself).
+  std::map<lock::TransactionId, uint32_t> cont_expiries_;
 
   // -- sharded periodic engine (mode_ == kPeriodic) --
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Transaction table; guards txns_, costs_, next_tid_, next_ts_ and
-  // deadlock_victims_.  Acquired after any shard mutexes, before obs_mu_.
+  // Transaction table; guards txns_, costs_, next_tid_, next_ts_,
+  // live_txns_ and deadlock_victims_.  Acquired after any shard mutexes,
+  // before obs_mu_.
   mutable std::mutex txn_mu_;
   std::map<lock::TransactionId, TxnRecord> txns_;
   core::CostTable costs_;
   lock::TransactionId next_tid_ = 1;
   uint64_t next_ts_ = 1;
+  size_t live_txns_ = 0;
   size_t deadlock_victims_ = 0;
 
   // Serializes every emission on the shared bus (innermost lock; only
@@ -257,6 +373,14 @@ class ConcurrentLockService {
   std::unique_ptr<PassHost> pass_host_;
   std::atomic<uint64_t> epoch_{0};
 
+  // -- robustness state --
+  std::unique_ptr<robustness::FaultInjector> injector_;
+  std::atomic<uint64_t> deadline_expiries_{0};
+  std::atomic<uint64_t> deadline_aborts_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> sweep_aborts_{0};
+  std::atomic<uint32_t> degraded_remaining_{0};
+
   mutable std::mutex stats_mu_;
   std::vector<uint64_t> pause_times_ns_;
 
@@ -265,6 +389,20 @@ class ConcurrentLockService {
   bool stopping_ = false;
   std::thread detector_thread_;
 };
+
+/// Client-side retry helper: calls AcquireBlocking, and on
+/// kDeadlineExceeded / kResourceExhausted sleeps a decorrelated-jitter
+/// backoff (robustness::RetryBackoff over `seed` — deterministic delays)
+/// and retries.  When `retry.max_attempts` is exhausted the transaction
+/// is aborted (the client-side abort-after-N policy) and the last error
+/// is returned.  Other codes (kOk, kDeadlockVictim, misuse) return
+/// immediately.  `attempts_out`, when non-null, receives the number of
+/// AcquireBlocking calls made.
+Status AcquireWithRetry(ConcurrentLockService& service,
+                        lock::TransactionId tid, lock::ResourceId rid,
+                        lock::LockMode mode,
+                        const robustness::RetryOptions& retry, uint64_t seed,
+                        uint32_t* attempts_out = nullptr);
 
 }  // namespace twbg::txn
 

@@ -65,9 +65,8 @@ lock::LockMode IntentionFor(lock::LockMode mode) {
   return lock::LockMode::kNL;
 }
 
-Result<AcquireStatus> MglAcquirer::Lock(lock::TransactionId tid,
-                                        lock::ResourceId target,
-                                        lock::LockMode mode) {
+Status MglAcquirer::Lock(lock::TransactionId tid, lock::ResourceId target,
+                         lock::LockMode mode) {
   if (HasPendingPlan(tid)) {
     return Status::FailedPrecondition(common::Format(
         "T%u has a suspended MGL plan; call Advance first", tid));
@@ -85,7 +84,7 @@ Result<AcquireStatus> MglAcquirer::Lock(lock::TransactionId tid,
   return Drive(tid, std::move(plan));
 }
 
-Result<AcquireStatus> MglAcquirer::Advance(lock::TransactionId tid) {
+Status MglAcquirer::Advance(lock::TransactionId tid) {
   auto it = plans_.find(tid);
   if (it == plans_.end()) {
     return Status::NotFound(common::Format("no suspended plan for T%u", tid));
@@ -101,25 +100,24 @@ bool MglAcquirer::HasPendingPlan(lock::TransactionId tid) const {
 
 void MglAcquirer::CancelPlan(lock::TransactionId tid) { plans_.erase(tid); }
 
-Result<AcquireStatus> MglAcquirer::Drive(lock::TransactionId tid, Plan plan) {
+Status MglAcquirer::Drive(lock::TransactionId tid, Plan plan) {
   while (plan.next < plan.steps.size()) {
     const auto& [rid, mode] = plan.steps[plan.next];
-    Result<AcquireStatus> outcome = tm_->Acquire(tid, rid, mode);
-    if (!outcome.ok()) return outcome.status();
-    switch (*outcome) {
-      case AcquireStatus::kGranted:
-        ++plan.next;
-        continue;
-      case AcquireStatus::kBlocked:
-        // The blocked request will be granted in place; resume after it.
-        ++plan.next;
-        plans_[tid] = std::move(plan);
-        return AcquireStatus::kBlocked;
-      case AcquireStatus::kAbortedAsVictim:
-        return AcquireStatus::kAbortedAsVictim;
+    Status outcome = tm_->Acquire(tid, rid, mode);
+    if (outcome.ok()) {
+      ++plan.next;
+      continue;
     }
+    if (outcome.IsWouldBlock()) {
+      // The blocked request will be granted in place; resume after it.
+      ++plan.next;
+      plans_[tid] = std::move(plan);
+    }
+    // kDeadlockVictim and misuse codes propagate; the plan is dropped
+    // (the transaction is dead or the call was invalid).
+    return outcome;
   }
-  return AcquireStatus::kGranted;
+  return Status::OK();
 }
 
 }  // namespace twbg::txn

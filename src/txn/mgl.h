@@ -53,13 +53,15 @@ class MglAcquirer {
       : hierarchy_(hierarchy), tm_(tm) {}
 
   /// Starts acquiring `mode` on `target`, taking intention locks on every
-  /// ancestor first.  kBlocked means the plan is suspended; call
-  /// Advance(tid) after the transaction manager reports it active again.
-  Result<AcquireStatus> Lock(lock::TransactionId tid, lock::ResourceId target,
-                             lock::LockMode mode);
+  /// ancestor first.  kOk means the full path is held; kWouldBlock means
+  /// the plan is suspended — call Advance(tid) after the transaction
+  /// manager reports it active again.  kDeadlockVictim / other codes pass
+  /// through from the manager.
+  Status Lock(lock::TransactionId tid, lock::ResourceId target,
+              lock::LockMode mode);
 
-  /// Resumes a suspended plan.  kGranted when the full path is now held.
-  Result<AcquireStatus> Advance(lock::TransactionId tid);
+  /// Resumes a suspended plan.  kOk when the full path is now held.
+  Status Advance(lock::TransactionId tid);
 
   /// True when `tid` has a suspended plan.
   bool HasPendingPlan(lock::TransactionId tid) const;
@@ -73,7 +75,7 @@ class MglAcquirer {
     size_t next = 0;
   };
 
-  Result<AcquireStatus> Drive(lock::TransactionId tid, Plan plan);
+  Status Drive(lock::TransactionId tid, Plan plan);
 
   const ResourceHierarchy* hierarchy_;
   TransactionManager* tm_;

@@ -1,0 +1,43 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/robustness/admission.h"
+
+#include <string>
+
+namespace twbg::robustness {
+
+Status AdmissionOptions::Validate() const {
+  // All-zero (admit everything) is valid; there is no rejectable range for
+  // either knob individually, but a watermark of 1 would reject every
+  // blocking request including the first waiter, which is almost certainly
+  // a configuration error — require at least 2 when enabled.
+  if (queue_depth_watermark == 1) {
+    return Status::InvalidArgument(
+        "AdmissionOptions: queue_depth_watermark must be 0 (disabled) or "
+        ">= 2; a watermark of 1 rejects every first waiter");
+  }
+  return Status::OK();
+}
+
+Status WatermarkAdmission::AdmitBegin(const AdmissionContext& ctx) const {
+  if (options_.max_inflight_txns != 0 &&
+      ctx.inflight_txns >= options_.max_inflight_txns) {
+    return Status::ResourceExhausted(
+        "admission: " + std::to_string(ctx.inflight_txns) +
+        " transactions in flight (max " +
+        std::to_string(options_.max_inflight_txns) + ")");
+  }
+  return Status::OK();
+}
+
+Status WatermarkAdmission::AdmitAcquire(const AdmissionContext& ctx) const {
+  if (options_.queue_depth_watermark != 0 &&
+      ctx.queue_depth >= options_.queue_depth_watermark) {
+    return Status::ResourceExhausted(
+        "admission: queue depth " + std::to_string(ctx.queue_depth) +
+        " at watermark " + std::to_string(options_.queue_depth_watermark));
+  }
+  return Status::OK();
+}
+
+}  // namespace twbg::robustness

@@ -1,0 +1,76 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Admission control (load shedding) for the robustness layer.
+//
+// A robustness::AdmissionPolicy decides, per Begin and per Acquire,
+// whether the system should take on more work; rejections surface to the
+// client as Status(kResourceExhausted) and are expected to be retried
+// after backoff (see retry.h).  The built-in WatermarkAdmission bounds the
+// number of in-flight transactions and the waiter-queue depth at the
+// target resource/shard (fed from PR-4 ShardStats in the sharded service).
+//
+// Note this is distinct from lock::AdmissionPolicy, which selects the
+// paper's §2 lock-compatibility admission rule (total-mode vs group-mode)
+// and has nothing to do with load shedding.
+
+#ifndef TWBG_TXN_ROBUSTNESS_ADMISSION_H_
+#define TWBG_TXN_ROBUSTNESS_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace twbg::robustness {
+
+/// Tuning for WatermarkAdmission.  A zero value disables that check, so
+/// the default-constructed options admit everything.
+struct AdmissionOptions {
+  /// Begin() is rejected while this many transactions are live.
+  uint64_t max_inflight_txns = 0;
+  /// Acquire() is rejected (for non-holders) while the waiter queue at the
+  /// target resource — or the whole shard, in the sharded service — is at
+  /// least this deep.
+  uint64_t queue_depth_watermark = 0;
+
+  Status Validate() const;
+};
+
+/// Snapshot of the load signals a policy may consult.  Callers fill in
+/// whatever they can measure cheaply; unknown fields stay zero.
+struct AdmissionContext {
+  uint64_t inflight_txns = 0;
+  uint64_t queue_depth = 0;
+};
+
+/// Pluggable load-shedding decision.  Implementations must be cheap (these
+/// run on every Begin/Acquire) and, in the concurrent service, thread-safe
+/// for concurrent calls.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// OK to start a new transaction, or kResourceExhausted.
+  virtual Status AdmitBegin(const AdmissionContext& ctx) const = 0;
+
+  /// OK to enqueue a new lock request, or kResourceExhausted.
+  virtual Status AdmitAcquire(const AdmissionContext& ctx) const = 0;
+};
+
+/// Static high-watermark policy over the two AdmissionOptions knobs.
+class WatermarkAdmission final : public AdmissionPolicy {
+ public:
+  /// `options` must already be validated.
+  explicit WatermarkAdmission(AdmissionOptions options) : options_(options) {}
+
+  Status AdmitBegin(const AdmissionContext& ctx) const override;
+  Status AdmitAcquire(const AdmissionContext& ctx) const override;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace twbg::robustness
+
+#endif  // TWBG_TXN_ROBUSTNESS_ADMISSION_H_

@@ -1,0 +1,161 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/robustness/fault.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace twbg::robustness {
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropWakeup:
+      return "DropWakeup";
+    case FaultKind::kDelayGrant:
+      return "DelayGrant";
+    case FaultKind::kCrashTxn:
+      return "CrashTxn";
+    case FaultKind::kStallShard:
+      return "StallShard";
+  }
+  return "Unknown";
+}
+
+std::string Fault::ToString() const {
+  std::string out(FaultKindToString(kind));
+  out += "@" + std::to_string(at);
+  switch (kind) {
+    case FaultKind::kStallShard:
+      out += " shard=" + std::to_string(shard);
+      out += " duration=" + std::to_string(duration);
+      break;
+    case FaultKind::kDelayGrant:
+      out += " txn=" + std::to_string(txn);
+      out += " duration=" + std::to_string(duration);
+      break;
+    case FaultKind::kDropWakeup:
+    case FaultKind::kCrashTxn:
+      out += " txn=" + std::to_string(txn);
+      break;
+  }
+  return out;
+}
+
+Status FaultPlanOptions::Validate() const {
+  if (max_at == 0) {
+    return Status::InvalidArgument("FaultPlanOptions: max_at must be >= 1");
+  }
+  if (max_txn == 0) {
+    return Status::InvalidArgument("FaultPlanOptions: max_txn must be >= 1");
+  }
+  if (max_shard == 0) {
+    return Status::InvalidArgument(
+        "FaultPlanOptions: max_shard must be >= 1");
+  }
+  if (max_duration == 0) {
+    return Status::InvalidArgument(
+        "FaultPlanOptions: max_duration must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> FaultPlan::Random(uint64_t seed,
+                                    const FaultPlanOptions& options) {
+  TWBG_RETURN_IF_ERROR(options.Validate());
+  common::Rng rng(seed);
+  FaultPlan plan;
+  plan.faults.reserve(options.num_faults);
+  for (uint32_t i = 0; i < options.num_faults; ++i) {
+    Fault f;
+    f.kind = static_cast<FaultKind>(rng.NextBelow(kNumFaultKinds));
+    f.at = rng.NextBelow(options.max_at);
+    f.txn = static_cast<uint32_t>(
+        1 + rng.NextBelow(options.max_txn));
+    f.shard = static_cast<uint32_t>(rng.NextBelow(options.max_shard));
+    f.duration = 1 + rng.NextBelow(options.max_duration);
+    plan.faults.push_back(f);
+  }
+  // Address order makes plans readable and lets hosts scan a prefix.
+  std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                   [](const Fault& a, const Fault& b) { return a.at < b.at; });
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "FaultPlan{";
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += faults[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<Fault> FaultInjector::TakeAcquireFault(uint32_t txn,
+                                                     uint64_t op_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if ((it->kind == FaultKind::kCrashTxn ||
+         it->kind == FaultKind::kDelayGrant) &&
+        it->txn == txn && it->at == op_index) {
+      Fault f = *it;
+      pending_.erase(it);
+      ++injected_;
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::TakeDropWakeup(uint32_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->kind == FaultKind::kDropWakeup && it->txn == txn) {
+      pending_.erase(it);
+      ++injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Fault> FaultInjector::TakeShardStall(uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->kind == FaultKind::kStallShard && it->shard == shard) {
+      Fault f = *it;
+      pending_.erase(it);
+      ++injected_;
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Fault> FaultInjector::TakeTickFaults(uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Fault> fired;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->at == tick && it->kind != FaultKind::kDropWakeup) {
+      fired.push_back(*it);
+      it = pending_.erase(it);
+      ++injected_;
+    } else {
+      ++it;
+    }
+  }
+  return fired;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+uint64_t FaultInjector::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace twbg::robustness

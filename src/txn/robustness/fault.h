@@ -1,0 +1,129 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Deterministic fault injection for the robustness layer.
+//
+// A FaultPlan is a seeded, schedule-addressable list of faults.  The same
+// plan can be injected into the discrete-time simulator (where `at` is a
+// tick) and the threaded concurrent service (where `at` is the target
+// transaction's operation index), which is what makes the differential
+// suite possible: both hosts face the same adversity and must converge to
+// a quiescent, invariant-clean state.
+//
+// Fault catalogue:
+//   kDropWakeup  — a grant notification to `txn` is swallowed once; the
+//                  waiter must survive via its polling wait / deadline.
+//   kDelayGrant  — the grant to `txn` at `at` is delivered `duration`
+//                  units late.
+//   kCrashTxn    — `txn` dies at operation/tick `at`: its locks are
+//                  released and it restarts (simulator) or aborts
+//                  (service).
+//   kStallShard  — shard `shard` is unresponsive for `duration` units.
+
+#ifndef TWBG_TXN_ROBUSTNESS_FAULT_H_
+#define TWBG_TXN_ROBUSTNESS_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace twbg::robustness {
+
+enum class FaultKind : uint8_t {
+  kDropWakeup = 0,
+  kDelayGrant = 1,
+  kCrashTxn = 2,
+  kStallShard = 3,
+};
+inline constexpr int kNumFaultKinds = 4;
+
+std::string_view FaultKindToString(FaultKind kind);
+
+/// One injected fault.  Which fields matter depends on `kind`; see the
+/// catalogue above.
+struct Fault {
+  FaultKind kind = FaultKind::kDropWakeup;
+  /// Schedule address: simulator tick, or per-txn operation index in the
+  /// concurrent service.
+  uint64_t at = 0;
+  /// Target transaction (kDropWakeup / kDelayGrant / kCrashTxn).
+  uint32_t txn = 0;
+  /// Target shard (kStallShard).
+  uint32_t shard = 0;
+  /// Length of delay/stall faults, in the host's time unit.
+  uint64_t duration = 1;
+
+  std::string ToString() const;
+};
+
+/// Bounds for FaultPlan::Random.
+struct FaultPlanOptions {
+  uint32_t num_faults = 4;
+  /// Faults are addressed uniformly in [0, max_at).
+  uint64_t max_at = 64;
+  /// Target txns are drawn uniformly in [1, max_txn].
+  uint32_t max_txn = 8;
+  /// Target shards are drawn uniformly in [0, max_shard).
+  uint32_t max_shard = 4;
+  /// Durations are drawn uniformly in [1, max_duration].
+  uint64_t max_duration = 4;
+
+  Status Validate() const;
+};
+
+/// A deterministic list of faults.
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  /// Draws `options.num_faults` faults from the seeded generator.  The
+  /// same (seed, options) pair always yields the same plan.
+  static Result<FaultPlan> Random(uint64_t seed,
+                                  const FaultPlanOptions& options);
+
+  bool empty() const { return faults.empty(); }
+  std::string ToString() const;
+};
+
+/// Hands faults out to the host at their scheduled addresses.  Thread-safe:
+/// the concurrent service consults it from many session threads at once.
+/// Each fault fires at most once.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : pending_(std::move(plan.faults)) {}
+
+  /// Removes and returns the first pending kCrashTxn or kDelayGrant fault
+  /// addressed to (txn, op_index), if any.
+  std::optional<Fault> TakeAcquireFault(uint32_t txn, uint64_t op_index);
+
+  /// Removes the first pending kDropWakeup fault for `txn`, if any.  The
+  /// address is ignored: wakeup timing is nondeterministic under threads,
+  /// so the fault fires at the first notification opportunity.
+  bool TakeDropWakeup(uint32_t txn);
+
+  /// Removes and returns the first pending kStallShard fault for `shard`.
+  std::optional<Fault> TakeShardStall(uint32_t shard);
+
+  /// Removes and returns every pending fault scheduled at exactly `tick`,
+  /// except kDropWakeup (those fire at wakeup opportunities, not by
+  /// address).  The discrete-time hosts drain this once per tick.
+  std::vector<Fault> TakeTickFaults(uint64_t tick);
+
+  /// Faults handed out so far.
+  uint64_t injected() const;
+  /// Faults still pending (addresses that were never reached stay here).
+  uint64_t remaining() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Fault> pending_;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace twbg::robustness
+
+#endif  // TWBG_TXN_ROBUSTNESS_FAULT_H_

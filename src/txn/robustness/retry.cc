@@ -1,0 +1,44 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/robustness/retry.h"
+
+#include <algorithm>
+#include <string>
+
+namespace twbg::robustness {
+
+Status RetryOptions::Validate() const {
+  if (backoff_base == 0) {
+    return Status::InvalidArgument("RetryOptions: backoff_base must be >= 1");
+  }
+  if (backoff_cap < backoff_base) {
+    return Status::InvalidArgument(
+        "RetryOptions: backoff_cap (" + std::to_string(backoff_cap) +
+        ") must be >= backoff_base (" + std::to_string(backoff_base) + ")");
+  }
+  return Status::OK();
+}
+
+RetryBackoff::RetryBackoff(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed), prev_(options.backoff_base) {
+  TWBG_DCHECK(options.Validate().ok());
+}
+
+uint64_t RetryBackoff::NextDelay() {
+  ++attempts_;
+  // Decorrelated jitter: uniform in [base, prev * 3], capped.  prev_ is
+  // already <= cap so prev_ * 3 cannot overflow for any sane cap.
+  uint64_t hi = std::min(options_.backoff_cap, prev_ * 3);
+  uint64_t lo = options_.backoff_base;
+  uint64_t sleep =
+      hi <= lo ? lo : lo + rng_.NextBelow(hi - lo + 1);
+  prev_ = sleep;
+  return sleep;
+}
+
+void RetryBackoff::Reset() {
+  prev_ = options_.backoff_base;
+  attempts_ = 0;
+}
+
+}  // namespace twbg::robustness

@@ -1,0 +1,70 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Client-side retry/backoff policy for the robustness layer.
+//
+// When an acquire is rejected with kDeadlineExceeded or kResourceExhausted
+// the client is expected to back off before retrying.  RetryBackoff
+// implements decorrelated jitter (Brooker, "Exponential Backoff And
+// Jitter"): each sleep is drawn uniformly from [base, prev * 3] and capped,
+// which decorrelates competing clients faster than plain exponential
+// backoff while keeping the expected sleep bounded.  All draws flow through
+// the seeded common::Rng, so a run is reproducible from its seed.
+//
+// Units are deliberately unspecified here: the simulator interprets sleeps
+// as ticks, the concurrent service as microseconds.
+
+#ifndef TWBG_TXN_ROBUSTNESS_RETRY_H_
+#define TWBG_TXN_ROBUSTNESS_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace twbg::robustness {
+
+/// Tuning for RetryBackoff and the abort-after-N policy.
+struct RetryOptions {
+  /// Minimum sleep between attempts.  Must be >= 1.
+  uint64_t backoff_base = 1;
+  /// Upper bound on any single sleep.  Must be >= backoff_base.
+  uint64_t backoff_cap = 64;
+  /// Give up (abort the transaction) after this many failed attempts of
+  /// the same request.  0 means retry forever.
+  uint32_t max_attempts = 0;
+
+  /// Rejects out-of-domain combinations (base == 0, cap < base).
+  Status Validate() const;
+};
+
+/// Decorrelated-jitter backoff sequence.  Not thread-safe; each waiter
+/// owns its own instance (they are 48 bytes).
+class RetryBackoff {
+ public:
+  /// `options` must already be validated.
+  RetryBackoff(const RetryOptions& options, uint64_t seed);
+
+  /// Returns the next sleep duration and records one attempt.
+  uint64_t NextDelay();
+
+  /// Forgets the sleep history (call after a successful attempt).
+  void Reset();
+
+  /// Attempts recorded since construction / the last Reset().
+  uint32_t attempts() const { return attempts_; }
+
+  /// True once max_attempts is exhausted (never true when unlimited).
+  bool Exhausted() const {
+    return options_.max_attempts != 0 && attempts_ >= options_.max_attempts;
+  }
+
+ private:
+  RetryOptions options_;
+  common::Rng rng_;
+  uint64_t prev_;
+  uint32_t attempts_ = 0;
+};
+
+}  // namespace twbg::robustness
+
+#endif  // TWBG_TXN_ROBUSTNESS_RETRY_H_

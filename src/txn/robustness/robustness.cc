@@ -1,0 +1,38 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/robustness/robustness.h"
+
+namespace twbg::robustness {
+
+Status DeadlineOptions::Validate() const {
+  if (abort_after != 0 && lock_wait == 0) {
+    return Status::InvalidArgument(
+        "DeadlineOptions: abort_after requires lock_wait deadlines to be "
+        "enabled");
+  }
+  return Status::OK();
+}
+
+Status DegradationOptions::Validate() const {
+  if (pause_budget_ns != 0 && degraded_passes == 0) {
+    return Status::InvalidArgument(
+        "DegradationOptions: degraded_passes must be >= 1 when a pause "
+        "budget is set");
+  }
+  if (pause_budget_ns != 0 && sweep_patience == 0) {
+    return Status::InvalidArgument(
+        "DegradationOptions: sweep_patience must be >= 1 (a patience of 0 "
+        "would abort every blocked transaction on the first sweep)");
+  }
+  return Status::OK();
+}
+
+Status RobustnessOptions::Validate() const {
+  TWBG_RETURN_IF_ERROR(deadline.Validate());
+  TWBG_RETURN_IF_ERROR(retry.Validate());
+  TWBG_RETURN_IF_ERROR(admission.Validate());
+  TWBG_RETURN_IF_ERROR(degradation.Validate());
+  return Status::OK();
+}
+
+}  // namespace twbg::robustness

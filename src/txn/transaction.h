@@ -44,6 +44,15 @@ struct Transaction {
   uint32_t restarts = 0;
   /// True when the abort was decided by a deadlock detector.
   bool deadlock_victim = false;
+  /// Robustness layer: absolute logical deadline of the current lock wait
+  /// (0 = none).  Set on every block, consumed by ExpireDeadlines.
+  uint64_t wait_deadline = 0;
+  /// Absolute logical deadline of the whole transaction (0 = none),
+  /// stamped at Begin from DeadlineOptions::txn_budget.
+  uint64_t budget_deadline = 0;
+  /// How many of this transaction's lock waits expired (feeds the
+  /// abort-after-N policy).
+  uint32_t deadline_expiries = 0;
 
   bool terminated() const {
     return state == TxnState::kCommitted || state == TxnState::kAborted;

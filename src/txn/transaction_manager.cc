@@ -2,6 +2,8 @@
 
 #include "txn/transaction_manager.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace twbg::txn {
@@ -18,19 +20,61 @@ TransactionManagerOptions Normalize(TransactionManagerOptions options) {
 
 }  // namespace
 
+Status TransactionManagerOptions::Validate() const {
+  if (!(detector.tdr2_cost_divisor > 0.0) ||
+      !std::isfinite(detector.tdr2_cost_divisor)) {
+    return Status::InvalidArgument(
+        "DetectorOptions: tdr2_cost_divisor must be positive and finite");
+  }
+  if (detector.st_cost_multiplier < 0.0 || detector.st_cost_increment < 0.0) {
+    return Status::InvalidArgument(
+        "DetectorOptions: ST cost adjustments must be non-negative");
+  }
+  return robustness.Validate();
+}
+
+Result<std::unique_ptr<TransactionManager>> TransactionManager::Create(
+    TransactionManagerOptions options) {
+  TWBG_RETURN_IF_ERROR(options.Validate());
+  return std::make_unique<TransactionManager>(std::move(options));
+}
+
 TransactionManager::TransactionManager(TransactionManagerOptions options)
-    : options_(Normalize(options)),
+    : options_(Normalize(std::move(options))),
+      default_admission_(options_.robustness.admission),
       periodic_(options_.detector),
       continuous_(options_.detector) {
+  TWBG_CHECK(options_.Validate().ok());
   lock_manager_.set_event_bus(options_.event_bus);
 }
 
-lock::TransactionId TransactionManager::Begin() {
+const robustness::AdmissionPolicy& TransactionManager::admission() const {
+  if (options_.admission_policy != nullptr) return *options_.admission_policy;
+  return default_admission_;
+}
+
+Result<lock::TransactionId> TransactionManager::Begin() {
+  robustness::AdmissionContext ctx;
+  ctx.inflight_txns = NumLive();
+  Status admitted = admission().AdmitBegin(ctx);
+  if (!admitted.ok()) {
+    if (obs::Enabled(options_.event_bus)) {
+      obs::Event event;
+      event.kind = obs::EventKind::kAdmissionReject;
+      event.a = ctx.inflight_txns;
+      event.b = options_.robustness.admission.max_inflight_txns;
+      options_.event_bus->Emit(event);
+    }
+    return admitted;
+  }
   const lock::TransactionId tid = next_tid_++;
   Transaction txn;
   txn.tid = tid;
   txn.state = TxnState::kActive;
   txn.begin_ts = next_ts_++;
+  if (options_.robustness.deadline.txn_budget != 0) {
+    txn.budget_deadline = now_ + options_.robustness.deadline.txn_budget;
+  }
   txns_[tid] = txn;
   RefreshCost(tid);
   if (obs::Enabled(options_.event_bus)) {
@@ -42,9 +86,9 @@ lock::TransactionId TransactionManager::Begin() {
   return tid;
 }
 
-Result<AcquireStatus> TransactionManager::Acquire(lock::TransactionId tid,
-                                                  lock::ResourceId rid,
-                                                  lock::LockMode mode) {
+Status TransactionManager::Acquire(lock::TransactionId tid,
+                                   lock::ResourceId rid, lock::LockMode mode,
+                                   const AcquireOptions& acquire_options) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) {
     return Status::NotFound(common::Format("unknown transaction T%u", tid));
@@ -55,6 +99,30 @@ Result<AcquireStatus> TransactionManager::Acquire(lock::TransactionId tid,
         common::Format("T%u is %s and cannot request locks", tid,
                        std::string(ToString(txn.state)).c_str()));
   }
+  // Admission (backpressure): shed requests that would join an already
+  // deep waiter queue.  Holders are exempt — a conversion waits in the
+  // holder list, and stalling an existing holder sheds no queue load.
+  {
+    const lock::ResourceState* state = lock_manager_.table().Find(rid);
+    if (state != nullptr && state->FindHolder(tid) == nullptr) {
+      robustness::AdmissionContext ctx;
+      ctx.inflight_txns = NumLive();
+      ctx.queue_depth = state->queue().size();
+      Status admitted = admission().AdmitAcquire(ctx);
+      if (!admitted.ok()) {
+        if (obs::Enabled(options_.event_bus)) {
+          obs::Event event;
+          event.kind = obs::EventKind::kAdmissionReject;
+          event.tid = tid;
+          event.rid = rid;
+          event.a = ctx.queue_depth;
+          event.b = options_.robustness.admission.queue_depth_watermark;
+          options_.event_bus->Emit(event);
+        }
+        return admitted;
+      }
+    }
+  }
   Result<lock::RequestOutcome> outcome = lock_manager_.Acquire(tid, rid, mode);
   if (!outcome.ok()) return outcome.status();
   txn.ops_executed++;
@@ -63,26 +131,37 @@ Result<AcquireStatus> TransactionManager::Acquire(lock::TransactionId tid,
     case lock::RequestOutcome::kGranted:
       txn.locks_granted++;
       RefreshCost(tid);
-      return AcquireStatus::kGranted;
+      return Status::OK();
     case lock::RequestOutcome::kAlreadyHeld:
-      return AcquireStatus::kGranted;
+      return Status::OK();
     case lock::RequestOutcome::kBlocked:
       break;
   }
   txn.state = TxnState::kBlocked;
+  // Register the wait deadline: per-call override, else the configured
+  // default; 0 means this wait never expires.
+  if (acquire_options.deadline_at.has_value()) {
+    txn.wait_deadline = *acquire_options.deadline_at;
+  } else if (options_.robustness.deadline.lock_wait != 0) {
+    txn.wait_deadline = now_ + options_.robustness.deadline.lock_wait;
+  } else {
+    txn.wait_deadline = 0;
+  }
   if (options_.detection_mode == DetectionMode::kContinuous) {
     core::ResolutionReport report =
         continuous_.OnBlock(lock_manager_, costs_, tid);
     ApplyReport(report);
     if (txn.state == TxnState::kAborted) {
-      return AcquireStatus::kAbortedAsVictim;
+      return Status::DeadlockVictim(common::Format(
+          "T%u closed a deadlock cycle and was aborted", tid));
     }
     if (txn.state == TxnState::kActive) {
       // The resolution unblocked us and the lock is now held.
-      return AcquireStatus::kGranted;
+      return Status::OK();
     }
   }
-  return AcquireStatus::kBlocked;
+  return Status::WouldBlock(
+      common::Format("T%u must wait for R%u", tid, rid));
 }
 
 Status TransactionManager::Commit(lock::TransactionId tid) {
@@ -104,15 +183,7 @@ Status TransactionManager::Commit(lock::TransactionId tid) {
     options_.event_bus->Emit(event);
   }
   costs_.Erase(tid);
-  std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
-  for (lock::TransactionId g : granted) {
-    auto git = txns_.find(g);
-    if (git != txns_.end() && git->second.state == TxnState::kBlocked) {
-      git->second.state = TxnState::kActive;
-      git->second.locks_granted++;
-      RefreshCost(g);
-    }
-  }
+  Reactivate(lock_manager_.ReleaseAll(tid));
   return Status::OK();
 }
 
@@ -136,21 +207,100 @@ Status TransactionManager::Abort(lock::TransactionId tid) {
     options_.event_bus->Emit(event);
   }
   costs_.Erase(tid);
-  std::vector<lock::TransactionId> granted = lock_manager_.ReleaseAll(tid);
-  for (lock::TransactionId g : granted) {
-    auto git = txns_.find(g);
-    if (git != txns_.end() && git->second.state == TxnState::kBlocked) {
-      git->second.state = TxnState::kActive;
-      git->second.locks_granted++;
-      RefreshCost(g);
-    }
-  }
+  Reactivate(lock_manager_.ReleaseAll(tid));
   return Status::OK();
 }
 
 core::ResolutionReport TransactionManager::RunDetection() {
   core::ResolutionReport report = periodic_.RunPass(lock_manager_, costs_);
   ApplyReport(report);
+  return report;
+}
+
+void TransactionManager::AdvanceTime(uint64_t now) {
+  TWBG_CHECK(now >= now_);
+  now_ = now;
+}
+
+Status TransactionManager::CancelWait(lock::TransactionId tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  if (it->second.state != TxnState::kBlocked) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is not blocked; nothing to cancel", tid));
+  }
+  Result<std::vector<lock::TransactionId>> granted =
+      lock_manager_.CancelWait(tid);
+  if (!granted.ok()) return granted.status();
+  it->second.state = TxnState::kActive;
+  it->second.wait_deadline = 0;
+  Reactivate(*granted);
+  return Status::OK();
+}
+
+ExpiryReport TransactionManager::ExpireDeadlines() {
+  ExpiryReport report;
+  // Snapshot candidates first: each cancellation can unblock others, and
+  // aborts mutate txns_ state.
+  std::vector<lock::TransactionId> candidates;
+  for (const auto& [tid, txn] : txns_) {
+    if (txn.terminated()) continue;
+    const bool wait_hit = txn.state == TxnState::kBlocked &&
+                          txn.wait_deadline != 0 && txn.wait_deadline <= now_;
+    const bool budget_hit =
+        txn.budget_deadline != 0 && txn.budget_deadline <= now_;
+    if (wait_hit || budget_hit) candidates.push_back(tid);
+  }
+  for (lock::TransactionId tid : candidates) {
+    auto it = txns_.find(tid);
+    if (it == txns_.end() || it->second.terminated()) continue;
+    Transaction& txn = it->second;
+    const bool budget_hit =
+        txn.budget_deadline != 0 && txn.budget_deadline <= now_;
+    if (txn.state == TxnState::kBlocked && txn.wait_deadline != 0 &&
+        txn.wait_deadline <= now_) {
+      // Capture wait context before the cancellation clears it.
+      const lock::ResourceId rid =
+          lock_manager_.BlockedOn(tid).value_or(0);
+      const lock::TxnLockInfo* info = lock_manager_.Info(tid);
+      const lock::LockMode mode =
+          info != nullptr ? info->blocked_mode : lock::LockMode::kNL;
+      const uint64_t span = lock_manager_.WaitSpan(tid);
+      Result<std::vector<lock::TransactionId>> granted =
+          lock_manager_.CancelWait(tid);
+      TWBG_CHECK(granted.ok());
+      txn.state = TxnState::kActive;
+      txn.wait_deadline = 0;
+      txn.deadline_expiries++;
+      const bool escalate =
+          budget_hit ||
+          (options_.robustness.deadline.abort_after != 0 &&
+           txn.deadline_expiries >= options_.robustness.deadline.abort_after);
+      if (obs::Enabled(options_.event_bus)) {
+        obs::Event event;
+        event.kind = obs::EventKind::kDeadlineExpired;
+        event.tid = tid;
+        event.rid = rid;
+        event.mode = mode;
+        event.span = span;
+        event.a = txn.deadline_expiries;
+        event.b = escalate ? 1 : 0;
+        options_.event_bus->Emit(event);
+      }
+      report.expired.push_back(tid);
+      Reactivate(*granted, &report.granted);
+      if (escalate) {
+        TWBG_CHECK(Abort(tid).ok());
+        report.aborted.push_back(tid);
+      }
+    } else if (budget_hit && txn.state == TxnState::kActive) {
+      // Budget ran out while runnable: abort at the sweep.
+      TWBG_CHECK(Abort(tid).ok());
+      report.aborted.push_back(tid);
+    }
+  }
   return report;
 }
 
@@ -169,12 +319,20 @@ void TransactionManager::ApplyReport(const core::ResolutionReport& report) {
       options_.event_bus->Emit(event);
     }
   }
-  for (lock::TransactionId g : report.granted) {
+  Reactivate(report.granted);
+}
+
+void TransactionManager::Reactivate(
+    const std::vector<lock::TransactionId>& granted,
+    std::vector<lock::TransactionId>* out) {
+  for (lock::TransactionId g : granted) {
     auto it = txns_.find(g);
     if (it != txns_.end() && it->second.state == TxnState::kBlocked) {
       it->second.state = TxnState::kActive;
+      it->second.wait_deadline = 0;
       it->second.locks_granted++;
       RefreshCost(g);
+      if (out != nullptr) out->push_back(g);
     }
   }
 }

@@ -10,19 +10,31 @@
 //     (caller invokes RunDetection on its schedule);
 //   * deadlock victims are transitioned to kAborted and flagged, and every
 //     transaction unblocked by a resolution is transitioned back to
-//     kActive.
+//     kActive;
+//   * robustness layer (optional, all off by default): lock-wait and
+//     whole-transaction deadlines against a caller-driven logical clock
+//     (AdvanceTime / ExpireDeadlines), admission control on Begin/Acquire,
+//     and the abort-after-N escalation policy.
+//
+// Every client entry point reports its outcome as a canonical
+// twbg::Status: kOk (granted / done), kWouldBlock (wait for a grant),
+// kDeadlockVictim (aborted by the continuous detector), kDeadlineExceeded
+// (wait cancelled by deadline), kResourceExhausted (admission rejection),
+// plus kNotFound / kFailedPrecondition / kInvalidArgument for misuse.
 
 #ifndef TWBG_TXN_TRANSACTION_MANAGER_H_
 #define TWBG_TXN_TRANSACTION_MANAGER_H_
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/continuous_detector.h"
 #include "core/cost_table.h"
 #include "core/periodic_detector.h"
 #include "lock/lock_manager.h"
+#include "txn/robustness/robustness.h"
 #include "txn/transaction.h"
 
 namespace twbg::txn {
@@ -56,32 +68,76 @@ struct TransactionManagerOptions {
   /// and attaches the bus to its lock manager; it also becomes the
   /// detectors' bus unless `detector.event_bus` was set explicitly.
   obs::EventBus* event_bus = nullptr;
+  /// Deadlines / admission / retry knobs.  Deadline units are logical
+  /// ticks of the caller-driven clock (AdvanceTime).  All disabled by
+  /// default.
+  robustness::RobustnessOptions robustness;
+  /// Optional admission-policy override (not owned via raw use — shared).
+  /// When null, a robustness::WatermarkAdmission over
+  /// `robustness.admission` is used.
+  std::shared_ptr<const robustness::AdmissionPolicy> admission_policy;
+
+  /// Rejects out-of-domain option combinations; Create() and the
+  /// constructor enforce it.
+  Status Validate() const;
 };
 
-/// Outcome of an Acquire call at the transaction level.
-enum class AcquireStatus {
-  kGranted,
-  /// The caller must wait; it will transition back to kActive when
-  /// granted (possibly by a detector resolution).
-  kBlocked,
-  /// The request closed a deadlock cycle and this transaction was chosen
-  /// as the victim (continuous mode only); it is already aborted.
-  kAbortedAsVictim,
+/// Per-call knobs for TransactionManager::Acquire.
+struct AcquireOptions {
+  /// Absolute logical deadline for this wait; overrides the configured
+  /// `robustness.deadline.lock_wait` default.  nullopt = use the default;
+  /// a contained 0 = explicitly no deadline for this wait.
+  std::optional<uint64_t> deadline_at;
+};
+
+/// What one ExpireDeadlines() sweep did.
+struct ExpiryReport {
+  /// Transactions whose lock wait was cancelled with kDeadlineExceeded.
+  std::vector<lock::TransactionId> expired;
+  /// Subset of the sweep's casualties that escalated to a full abort
+  /// (abort-after-N or transaction budget), plus budget-expired active
+  /// transactions.
+  std::vector<lock::TransactionId> aborted;
+  /// Waiters granted as a consequence of cancelled waits, in grant order.
+  std::vector<lock::TransactionId> granted;
+
+  bool empty() const {
+    return expired.empty() && aborted.empty() && granted.empty();
+  }
 };
 
 /// Single-threaded transaction service for sequential transaction
 /// processing.
 class TransactionManager {
  public:
+  /// Validated construction; rejects bad options with kInvalidArgument.
+  static Result<std::unique_ptr<TransactionManager>> Create(
+      TransactionManagerOptions options = {});
+
+  /// Direct construction for valid options (TWBG_CHECKs Validate()).
   explicit TransactionManager(TransactionManagerOptions options = {});
 
   /// Starts a new transaction and returns its id (ids are never reused).
-  lock::TransactionId Begin();
+  /// kResourceExhausted when admission control rejects the Begin.
+  Result<lock::TransactionId> Begin();
 
   /// Requests `mode` on `rid`.  In continuous mode a block triggers
-  /// detection immediately.
-  Result<AcquireStatus> Acquire(lock::TransactionId tid, lock::ResourceId rid,
-                                lock::LockMode mode);
+  /// detection immediately.  Returns:
+  ///   kOk                 granted (or already covered);
+  ///   kWouldBlock         the caller must wait; it transitions back to
+  ///                       kActive when granted (possibly by a detector
+  ///                       resolution) — or reports kDeadlineExceeded via
+  ///                       ExpireDeadlines;
+  ///   kDeadlockVictim     the request closed a cycle and this transaction
+  ///                       was chosen as victim (continuous mode only); it
+  ///                       is already aborted;
+  ///   kResourceExhausted  admission control shed the request.
+  Status Acquire(lock::TransactionId tid, lock::ResourceId rid,
+                 lock::LockMode mode, const AcquireOptions& options);
+  Status Acquire(lock::TransactionId tid, lock::ResourceId rid,
+                 lock::LockMode mode) {
+    return Acquire(tid, rid, mode, AcquireOptions{});
+  }
 
   /// Commits `tid` (must be active, not blocked) and releases its locks.
   Status Commit(lock::TransactionId tid);
@@ -93,8 +149,25 @@ class TransactionManager {
   /// continuous mode too, e.g. as a safety net).
   core::ResolutionReport RunDetection();
 
-  /// Current state of `tid`; kAborted for unknown ids that were never
-  /// begun is reported as an error.
+  /// Advances the logical clock deadlines are measured against.  `now`
+  /// must be monotone non-decreasing.
+  void AdvanceTime(uint64_t now);
+
+  /// Current logical time.
+  uint64_t now() const { return now_; }
+
+  /// Cancels every expired lock wait (kDeadlineExpired event each, queue
+  /// invariants restored), escalating to abort per the abort-after-N and
+  /// transaction-budget policies, and aborts active transactions whose
+  /// budget ran out.  Caller decides the cadence (e.g. once per tick).
+  ExpiryReport ExpireDeadlines();
+
+  /// Cancels `tid`'s blocked wait right now (the transaction becomes
+  /// active again, holdings intact).  Building block for ExpireDeadlines,
+  /// public for driver-initiated cancellation.
+  Status CancelWait(lock::TransactionId tid);
+
+  /// Current state of `tid`; unknown ids report kNotFound.
   Result<TxnState> State(lock::TransactionId tid) const;
 
   /// Full record (nullptr when unknown).
@@ -109,6 +182,7 @@ class TransactionManager {
   const lock::LockManager& lock_manager() const { return lock_manager_; }
   lock::LockManager& mutable_lock_manager() { return lock_manager_; }
   const core::CostTable& costs() const { return costs_; }
+  const TransactionManagerOptions& options() const { return options_; }
 
   /// Consistency between transaction states and the lock manager.
   Status CheckInvariants() const;
@@ -118,10 +192,20 @@ class TransactionManager {
   // granted transactions.
   void ApplyReport(const core::ResolutionReport& report);
 
+  // Reactivates blocked transactions that were just granted; appends the
+  // ones transitioned to `out` when non-null.
+  void Reactivate(const std::vector<lock::TransactionId>& granted,
+                  std::vector<lock::TransactionId>* out = nullptr);
+
   // Recomputes the cost of `tid` per the policy.
   void RefreshCost(lock::TransactionId tid);
 
+  // The admission policy in effect (configured override or the built-in
+  // watermark policy).
+  const robustness::AdmissionPolicy& admission() const;
+
   TransactionManagerOptions options_;
+  robustness::WatermarkAdmission default_admission_;
   lock::LockManager lock_manager_;
   core::CostTable costs_;
   core::PeriodicDetector periodic_;
@@ -129,6 +213,7 @@ class TransactionManager {
   std::map<lock::TransactionId, Transaction> txns_;
   lock::TransactionId next_tid_ = 1;
   uint64_t next_ts_ = 1;
+  uint64_t now_ = 0;  // logical clock for deadlines
 };
 
 }  // namespace twbg::txn

@@ -18,8 +18,10 @@ namespace {
 using enum lock::LockMode;
 
 TEST(ConcurrentServiceTest, SingleThreadedBasics) {
-  ConcurrentLockService service;
-  lock::TransactionId t = service.Begin();
+  auto owned = ConcurrentLockService::Create(ConcurrentServiceOptions{});
+  ASSERT_TRUE(owned.ok());
+  ConcurrentLockService& service = **owned;
+  lock::TransactionId t = *service.Begin();
   EXPECT_TRUE(service.AcquireBlocking(t, 1, kX).ok());
   EXPECT_TRUE(service.AcquireBlocking(t, 1, kX).ok());  // covered: no-op
   EXPECT_TRUE(service.Commit(t).ok());
@@ -28,12 +30,14 @@ TEST(ConcurrentServiceTest, SingleThreadedBasics) {
 }
 
 TEST(ConcurrentServiceTest, WaiterIsWokenByCommit) {
-  ConcurrentLockService service;
-  lock::TransactionId holder = service.Begin();
+  auto owned = ConcurrentLockService::Create(ConcurrentServiceOptions{});
+  ASSERT_TRUE(owned.ok());
+  ConcurrentLockService& service = **owned;
+  lock::TransactionId holder = *service.Begin();
   ASSERT_TRUE(service.AcquireBlocking(holder, 1, kX).ok());
   std::atomic<bool> granted{false};
   std::thread waiter([&] {
-    lock::TransactionId t = service.Begin();
+    lock::TransactionId t = *service.Begin();
     Status status = service.AcquireBlocking(t, 1, kS);
     EXPECT_TRUE(status.ok()) << status.ToString();
     granted = true;
@@ -50,12 +54,14 @@ TEST(ConcurrentServiceTest, WaiterIsWokenByCommit) {
 TEST(ConcurrentServiceTest, DeterministicCrossDeadlockResolvedInline) {
   // Both threads take their first lock, rendezvous, then cross: a certain
   // deadlock.  Exactly one becomes the victim; the other completes.
-  ConcurrentLockService service;
+  auto owned = ConcurrentLockService::Create(ConcurrentServiceOptions{});
+  ASSERT_TRUE(owned.ok());
+  ConcurrentLockService& service = **owned;
   std::barrier rendezvous(2);
   std::atomic<int> victims{0};
   std::atomic<int> commits{0};
   auto runner = [&](lock::ResourceId first, lock::ResourceId second) {
-    lock::TransactionId t = service.Begin();
+    lock::TransactionId t = *service.Begin();
     ASSERT_TRUE(service.AcquireBlocking(t, first, kX).ok());
     rendezvous.arrive_and_wait();
     Status status = service.AcquireBlocking(t, second, kX);
@@ -77,7 +83,9 @@ TEST(ConcurrentServiceTest, DeterministicCrossDeadlockResolvedInline) {
 }
 
 TEST(ConcurrentServiceTest, CrossingTransfersResolveWithoutHanging) {
-  ConcurrentLockService service;
+  auto owned = ConcurrentLockService::Create(ConcurrentServiceOptions{});
+  ASSERT_TRUE(owned.ok());
+  ConcurrentLockService& service = **owned;
   constexpr int kThreads = 4;
   constexpr int kTransfersPerThread = 50;
   std::atomic<int> committed{0};
@@ -93,7 +101,7 @@ TEST(ConcurrentServiceTest, CrossingTransfersResolveWithoutHanging) {
       const lock::ResourceId b = (worker % 2 == 0) ? 2 : 1;
       for (int i = 0; i < kTransfersPerThread; ++i) {
         for (;;) {
-          lock::TransactionId t = service.Begin();
+          lock::TransactionId t = *service.Begin();
           Status first = service.AcquireBlocking(t, a, kX);
           if (first.IsAborted()) {
             ++victim_retries;
@@ -125,7 +133,9 @@ TEST(ConcurrentServiceTest, CrossingTransfersResolveWithoutHanging) {
 }
 
 TEST(ConcurrentServiceTest, ManyThreadsManyResources) {
-  ConcurrentLockService service;
+  auto owned = ConcurrentLockService::Create(ConcurrentServiceOptions{});
+  ASSERT_TRUE(owned.ok());
+  ConcurrentLockService& service = **owned;
   constexpr int kThreads = 8;
   std::atomic<int> committed{0};
   std::vector<std::thread> threads;
@@ -133,7 +143,7 @@ TEST(ConcurrentServiceTest, ManyThreadsManyResources) {
     threads.emplace_back([&, worker] {
       for (int i = 0; i < 30; ++i) {
         for (;;) {
-          lock::TransactionId t = service.Begin();
+          lock::TransactionId t = *service.Begin();
           bool dead = false;
           // Lock three resources in a worker-dependent rotation.
           for (int k = 0; k < 3; ++k) {
@@ -212,8 +222,8 @@ TEST(ConcurrentServiceCreateTest, PeriodicShardedBasics) {
   EXPECT_EQ(s.num_shards(), 4u);
   EXPECT_EQ(s.snapshot_epoch(), 0u);
 
-  lock::TransactionId t1 = s.Begin();
-  lock::TransactionId t2 = s.Begin();
+  lock::TransactionId t1 = *s.Begin();
+  lock::TransactionId t2 = *s.Begin();
   EXPECT_TRUE(s.AcquireBlocking(t1, 1, kX).ok());
   EXPECT_TRUE(s.AcquireBlocking(t1, 2, kS).ok());
   EXPECT_TRUE(s.AcquireBlocking(t2, 3, kX).ok());
@@ -258,7 +268,7 @@ TEST(ConcurrentServiceCreateTest, PeriodicCrossDeadlockResolvedByThread) {
   std::atomic<int> victims{0};
   std::atomic<int> commits{0};
   auto runner = [&](lock::ResourceId first, lock::ResourceId second) {
-    lock::TransactionId t = s.Begin();
+    lock::TransactionId t = *s.Begin();
     ASSERT_TRUE(s.AcquireBlocking(t, first, kX).ok());
     rendezvous.arrive_and_wait();
     Status status = s.AcquireBlocking(t, second, kX);

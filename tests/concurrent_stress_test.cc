@@ -57,7 +57,7 @@ void RunWorker(ConcurrentLockService& service, const WorkloadConfig& config,
                int worker, std::atomic<size_t>& committed) {
   common::Rng rng(config.seed * 7919 + static_cast<uint64_t>(worker));
   for (int i = 0; i < config.txns_per_worker; ++i) {
-    const lock::TransactionId t = service.Begin();
+    const lock::TransactionId t = *service.Begin();
     bool dead = false;
     const int ops = 1 + static_cast<int>(rng.NextBelow(config.max_ops));
     for (int k = 0; k < ops && !dead; ++k) {
@@ -133,19 +133,17 @@ void ReplayAndCompare(const std::deque<obs::Event>& recorded,
     const obs::Event& e = recorded[i];
     switch (e.kind) {
       case obs::EventKind::kTxnBegin:
-        ASSERT_EQ(tm.Begin(), e.tid) << "event " << i;
+        ASSERT_EQ(*tm.Begin(), e.tid) << "event " << i;
         break;
       case obs::EventKind::kLockGrant:
       case obs::EventKind::kLockBlock:
       case obs::EventKind::kLockConvert: {
-        Result<AcquireStatus> r = tm.Acquire(e.tid, e.rid, e.mode);
-        ASSERT_TRUE(r.ok()) << "event " << i << ": " << r.status().ToString();
+        Status r = tm.Acquire(e.tid, e.rid, e.mode);
         const bool granted = e.kind == obs::EventKind::kLockGrant ||
                              (e.kind == obs::EventKind::kLockConvert &&
                               e.a == 1);
-        ASSERT_EQ(*r, granted ? AcquireStatus::kGranted
-                              : AcquireStatus::kBlocked)
-            << "event " << i;
+        ASSERT_TRUE(granted ? r.ok() : r.IsWouldBlock())
+            << "event " << i << ": " << r.ToString();
         break;
       }
       case obs::EventKind::kTxnCommit: {
@@ -298,7 +296,7 @@ TEST(ConcurrentStressTest, CrossingDeadlocksReplayWithVictims) {
   std::atomic<size_t> commits{0};
   auto runner = [&](lock::ResourceId first, lock::ResourceId second) {
     for (int round = 0; round < kRounds; ++round) {
-      const lock::TransactionId t = s.Begin();
+      const lock::TransactionId t = *s.Begin();
       Status held = s.AcquireBlocking(t, first, kX);
       bool alive = held.ok();
       ASSERT_TRUE(held.ok() || held.IsAborted()) << held.ToString();

@@ -46,13 +46,14 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     txn::TransactionManagerOptions options;
     options.event_bus = &bus;
     txn::TransactionManager tm(options);
-    const lock::TransactionId t1 = tm.Begin();
-    const lock::TransactionId t2 = tm.Begin();
-    const lock::TransactionId t3 = tm.Begin();
+    const lock::TransactionId t1 = *tm.Begin();
+    const lock::TransactionId t2 = *tm.Begin();
+    const lock::TransactionId t3 = *tm.Begin();
     ASSERT_TRUE(tm.Acquire(t1, 1, lock::LockMode::kX).ok());
     ASSERT_TRUE(tm.Acquire(t2, 2, lock::LockMode::kX).ok());
-    ASSERT_TRUE(tm.Acquire(t1, 2, lock::LockMode::kX).ok());  // blocks
-    ASSERT_TRUE(tm.Acquire(t2, 1, lock::LockMode::kX).ok());  // deadlock
+    ASSERT_TRUE(tm.Acquire(t1, 2, lock::LockMode::kX).IsWouldBlock());
+    ASSERT_TRUE(
+        tm.Acquire(t2, 1, lock::LockMode::kX).IsWouldBlock());  // deadlock
     core::ResolutionReport report = tm.RunDetection();
     EXPECT_GT(report.cycles_detected, 0u);
     EXPECT_FALSE(report.aborted.empty());
@@ -125,12 +126,69 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     options.event_bus = &bus;
     auto service = txn::ConcurrentLockService::Create(options);
     ASSERT_TRUE(service.ok()) << service.status().ToString();
-    const lock::TransactionId t = (*service)->Begin();
+    const lock::TransactionId t = *(*service)->Begin();
     ASSERT_TRUE((*service)->AcquireBlocking(t, 1, lock::LockMode::kX).ok());
     (void)(*service)->RunDetectionPass();
     ASSERT_TRUE((*service)->Commit(t).ok());
     EXPECT_EQ(sink.Count(obs::EventKind::kShardContention),
               (*service)->num_shards());
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (e) the robustness layer in the simulator: deadline expiries,
+     //     admission rejections and injected faults.
+    sim::SimConfig config;
+    config.workload.seed = 11;
+    config.workload.num_transactions = 40;
+    config.workload.concurrency = 6;
+    config.workload.num_resources = 3;
+    config.workload.mode_weights = {0, 0, 0.2, 0, 0.8};
+    config.detection_period = 0;  // the deadline layer is the resolver
+    config.robustness.deadline.lock_wait = 3;
+    config.robustness.deadline.abort_after = 2;
+    config.robustness.deadline.txn_budget = 400;
+    config.robustness.admission.max_inflight_txns = 4;
+    robustness::Fault stall;
+    stall.kind = robustness::FaultKind::kStallShard;
+    stall.at = 2;
+    stall.duration = 3;
+    config.fault_plan.faults.push_back(stall);
+    sim::Simulator sim(config, baselines::MakeStrategy("none"));
+    obs::CollectorSink sink;
+    sim.event_bus().Subscribe(&sink);
+    sim::SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 40u);
+    EXPECT_GT(sink.Count(obs::EventKind::kDeadlineExpired), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kAdmissionReject), 0u);
+    EXPECT_GT(sink.Count(obs::EventKind::kFaultInjected), 0u);
+    EXPECT_EQ(metrics.deadline_expired_waits,
+              sink.Count(obs::EventKind::kDeadlineExpired));
+    EXPECT_EQ(metrics.admission_rejects,
+              sink.Count(obs::EventKind::kAdmissionReject));
+    EXPECT_EQ(metrics.faults_injected,
+              sink.Count(obs::EventKind::kFaultInjected));
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (f) graceful degradation: a one-nanosecond pause budget degrades
+     //     the sharded engine on its first full pass.
+    obs::EventBus bus;
+    obs::CollectorSink sink;
+    bus.Subscribe(&sink);
+    txn::ConcurrentServiceOptions options;
+    options.num_shards = 2;
+    options.detection_mode = txn::DetectionMode::kPeriodic;
+    options.event_bus = &bus;
+    options.robustness.degradation.pause_budget_ns = 1;
+    options.robustness.degradation.degraded_passes = 2;
+    auto service = txn::ConcurrentLockService::Create(options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    const lock::TransactionId t = *(*service)->Begin();
+    ASSERT_TRUE((*service)->AcquireBlocking(t, 1, lock::LockMode::kX).ok());
+    (void)(*service)->RunDetectionPass();  // full pass: busts the budget
+    EXPECT_EQ(sink.Count(obs::EventKind::kDegraded), 1u);
+    EXPECT_EQ((*service)->degraded_passes_remaining(), 2u);
+    ASSERT_TRUE((*service)->Commit(t).ok());
     InsertKinds(sink, &kinds);
   }
 

@@ -147,6 +147,66 @@ TEST(SimulatorTest, StressThousandTransactions) {
   }
 }
 
+// Wait-end accounting: deadline-expired waiters and detector-resolved
+// waits land in disjoint SimMetrics counters.
+TEST(SimulatorTest, DeadlineAndDetectorAccountingIsDisjoint) {
+  // Hot two-resource X workload: plenty of deadlocks.
+  SimConfig hot;
+  hot.workload.seed = 11;
+  hot.workload.num_transactions = 40;
+  hot.workload.concurrency = 6;
+  hot.workload.num_resources = 3;
+  hot.workload.mode_weights = {0.0, 0.0, 0.2, 0.0, 0.8};
+  hot.workload.min_ops = 2;
+  hot.workload.max_ops = 4;
+
+  // Detector only: deadline counters must stay zero.
+  {
+    SimConfig config = hot;
+    config.detection_period = 5;
+    Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+    SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 40u);
+    EXPECT_GT(metrics.deadlock_aborts + metrics.no_abort_resolutions, 0u);
+    EXPECT_EQ(metrics.deadline_expired_waits, 0u);
+    EXPECT_EQ(metrics.deadline_aborts, 0u);
+  }
+
+  // Deadline layer only (no detector): deadlock counters must stay zero
+  // even though every deadlock is resolved — by expiry, not detection.
+  {
+    SimConfig config = hot;
+    config.detection_period = 0;
+    config.robustness.deadline.lock_wait = 3;
+    config.robustness.deadline.abort_after = 2;
+    Simulator sim(config, baselines::MakeStrategy("none"));
+    SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 40u);
+    EXPECT_GT(metrics.deadline_expired_waits, 0u);
+    EXPECT_GT(metrics.deadline_aborts, 0u);
+    EXPECT_EQ(metrics.deadlock_aborts, 0u);
+    EXPECT_EQ(metrics.cycles_found, 0u);
+  }
+
+  // Both mechanisms active: each keeps its own ledger.  Every deadline
+  // abort here stems from expiry escalation, so it cannot exceed the
+  // expired-wait count; detector resolutions are counted separately.
+  {
+    SimConfig config = hot;
+    config.detection_period = 5;
+    config.robustness.deadline.lock_wait = 8;
+    config.robustness.deadline.abort_after = 3;
+    Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+    SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 40u);
+    EXPECT_LE(metrics.deadline_aborts, metrics.deadline_expired_waits);
+    // Restarts account for every kill exactly once, whichever mechanism
+    // performed it (committed runs end without a pending restart).
+    EXPECT_GE(metrics.restarts,
+              metrics.deadlock_aborts + metrics.deadline_aborts);
+  }
+}
+
 TEST(SimulatorTest, LowContentionRunsAreCheap) {
   SimConfig config = SmallConfig(9);
   config.workload.num_resources = 4000;  // almost no conflicts

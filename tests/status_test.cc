@@ -26,8 +26,21 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 TEST(StatusTest, AllConstructorsSetTheirCode) {
   EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::WouldBlock("x").IsWouldBlock());
+  EXPECT_TRUE(Status::DeadlockVictim("x").IsDeadlockVictim());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, HistoricalAliasesShareCodes) {
+  // kBlocked/kAborted are aliases kept for source compatibility with the
+  // pre-robustness surface; both spellings must agree in both directions.
+  EXPECT_EQ(StatusCode::kBlocked, StatusCode::kWouldBlock);
+  EXPECT_EQ(StatusCode::kAborted, StatusCode::kDeadlockVictim);
+  EXPECT_TRUE(Status::Aborted("x").IsDeadlockVictim());
+  EXPECT_TRUE(Status::DeadlockVictim("x").IsAborted());
 }
 
 TEST(StatusTest, CopyAndMove) {
@@ -44,8 +57,16 @@ TEST(StatusTest, CopyAndMove) {
 
 TEST(StatusTest, CodeToString) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
-  EXPECT_EQ(StatusCodeToString(StatusCode::kBlocked), "Blocked");
-  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kWouldBlock), "WouldBlock");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlockVictim),
+            "DeadlockVictim");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  // Aliases render under the canonical spelling.
+  EXPECT_EQ(StatusCodeToString(StatusCode::kBlocked), "WouldBlock");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "DeadlockVictim");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -12,17 +12,19 @@ namespace {
 
 using enum lock::LockMode;
 
-AcquireStatus MustAcquire(TransactionManager& tm, lock::TransactionId tid,
-                          lock::ResourceId rid, lock::LockMode mode) {
-  Result<AcquireStatus> outcome = tm.Acquire(tid, rid, mode);
-  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
-  return *outcome;
+Status MustAcquire(TransactionManager& tm, lock::TransactionId tid,
+                   lock::ResourceId rid, lock::LockMode mode) {
+  Status outcome = tm.Acquire(tid, rid, mode);
+  EXPECT_TRUE(outcome.ok() || outcome.IsWouldBlock() ||
+              outcome.IsDeadlockVictim())
+      << outcome.ToString();
+  return outcome;
 }
 
 TEST(TransactionManagerTest, BeginAssignsFreshIds) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
   EXPECT_NE(a, b);
   EXPECT_EQ(*tm.State(a), TxnState::kActive);
   EXPECT_EQ(*tm.State(b), TxnState::kActive);
@@ -31,10 +33,10 @@ TEST(TransactionManagerTest, BeginAssignsFreshIds) {
 
 TEST(TransactionManagerTest, CommitReleasesAndUnblocks) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
-  EXPECT_EQ(MustAcquire(tm, a, 1, kX), AcquireStatus::kGranted);
-  EXPECT_EQ(MustAcquire(tm, b, 1, kS), AcquireStatus::kBlocked);
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
+  EXPECT_TRUE(MustAcquire(tm, a, 1, kX).ok());
+  EXPECT_TRUE(MustAcquire(tm, b, 1, kS).IsWouldBlock());
   EXPECT_EQ(*tm.State(b), TxnState::kBlocked);
   ASSERT_TRUE(tm.Commit(a).ok());
   EXPECT_EQ(*tm.State(a), TxnState::kCommitted);
@@ -44,19 +46,19 @@ TEST(TransactionManagerTest, CommitReleasesAndUnblocks) {
 
 TEST(TransactionManagerTest, BlockedTransactionCannotCommitOrRequest) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
   MustAcquire(tm, a, 1, kX);
   MustAcquire(tm, b, 1, kX);
   EXPECT_TRUE(tm.Commit(b).IsFailedPrecondition());
-  EXPECT_TRUE(tm.Acquire(b, 2, kS).status().IsFailedPrecondition());
+  EXPECT_TRUE(tm.Acquire(b, 2, kS).IsFailedPrecondition());
 }
 
 TEST(TransactionManagerTest, AbortReleasesQueuePosition) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
-  lock::TransactionId c = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
+  lock::TransactionId c = *tm.Begin();
   MustAcquire(tm, a, 1, kX);
   MustAcquire(tm, b, 1, kX);
   MustAcquire(tm, c, 1, kS);
@@ -69,18 +71,18 @@ TEST(TransactionManagerTest, AbortReleasesQueuePosition) {
 
 TEST(TransactionManagerTest, TerminatedTransactionsRejectOperations) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
   ASSERT_TRUE(tm.Commit(a).ok());
   EXPECT_TRUE(tm.Commit(a).IsFailedPrecondition());
   EXPECT_TRUE(tm.Abort(a).IsFailedPrecondition());
-  EXPECT_TRUE(tm.Acquire(a, 1, kS).status().IsFailedPrecondition());
+  EXPECT_TRUE(tm.Acquire(a, 1, kS).IsFailedPrecondition());
   EXPECT_TRUE(tm.State(99).status().IsNotFound());
 }
 
 TEST(TransactionManagerTest, PeriodicDetectionResolvesDeadlock) {
   TransactionManager tm;
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
   MustAcquire(tm, a, 1, kX);
   MustAcquire(tm, b, 2, kX);
   MustAcquire(tm, a, 2, kX);
@@ -101,19 +103,19 @@ TEST(TransactionManagerTest, ContinuousModeAbortsVictimInline) {
   options.detection_mode = DetectionMode::kContinuous;
   options.cost_policy = CostPolicy::kUnit;
   TransactionManager tm(options);
-  lock::TransactionId a = tm.Begin();
-  lock::TransactionId b = tm.Begin();
+  lock::TransactionId a = *tm.Begin();
+  lock::TransactionId b = *tm.Begin();
   MustAcquire(tm, a, 1, kX);
   MustAcquire(tm, b, 2, kX);
   MustAcquire(tm, a, 2, kX);
   // b's request closes the cycle; with unit costs the junction tie-break
   // picks the lower id (a) as victim, so b gets granted instead.
-  AcquireStatus outcome = MustAcquire(tm, b, 1, kX);
-  if (outcome == AcquireStatus::kAbortedAsVictim) {
+  Status outcome = MustAcquire(tm, b, 1, kX);
+  if (outcome.IsDeadlockVictim()) {
     EXPECT_EQ(*tm.State(b), TxnState::kAborted);
     EXPECT_EQ(*tm.State(a), TxnState::kActive);
   } else {
-    EXPECT_EQ(outcome, AcquireStatus::kGranted);
+    EXPECT_TRUE(outcome.ok());
     EXPECT_EQ(*tm.State(a), TxnState::kAborted);
     EXPECT_EQ(*tm.State(b), TxnState::kActive);
   }
@@ -126,8 +128,8 @@ TEST(TransactionManagerTest, CostPolicies) {
     TransactionManagerOptions options;
     options.cost_policy = policy;
     TransactionManager tm(options);
-    lock::TransactionId a = tm.Begin();
-    lock::TransactionId b = tm.Begin();
+    lock::TransactionId a = *tm.Begin();
+    lock::TransactionId b = *tm.Begin();
     MustAcquire(tm, a, 1, kS);
     MustAcquire(tm, a, 2, kS);
     MustAcquire(tm, a, 3, kS);
@@ -151,8 +153,8 @@ TEST(TransactionManagerTest, LocksHeldPolicyDrivesVictimChoice) {
   TransactionManagerOptions options;
   options.cost_policy = CostPolicy::kLocksHeld;
   TransactionManager tm(options);
-  lock::TransactionId rich = tm.Begin();
-  lock::TransactionId poor = tm.Begin();
+  lock::TransactionId rich = *tm.Begin();
+  lock::TransactionId poor = *tm.Begin();
   // `rich` accumulates locks; `poor` holds one.
   for (lock::ResourceId rid = 10; rid < 20; ++rid) {
     MustAcquire(tm, rich, rid, kS);
@@ -175,7 +177,7 @@ TEST(TransactionManagerTest, RandomizedLifecycleInvariants) {
                                  : DetectionMode::kPeriodic;
     TransactionManager tm(options);
     std::vector<lock::TransactionId> pool;
-    for (int i = 0; i < 6; ++i) pool.push_back(tm.Begin());
+    for (int i = 0; i < 6; ++i) pool.push_back(*tm.Begin());
     for (int op = 0; op < 150; ++op) {
       lock::TransactionId tid = rng.Pick(pool);
       Result<TxnState> state = tm.State(tid);
@@ -195,7 +197,7 @@ TEST(TransactionManagerTest, RandomizedLifecycleInvariants) {
       }
       // Replace terminated transactions to keep the pool live.
       for (auto& t : pool) {
-        if (tm.Find(t)->terminated()) t = tm.Begin();
+        if (tm.Find(t)->terminated()) t = *tm.Begin();
       }
       Status invariants = tm.CheckInvariants();
       ASSERT_TRUE(invariants.ok()) << invariants.ToString();
