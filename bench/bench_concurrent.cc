@@ -15,10 +15,13 @@
 //
 // Results land in BENCH_concurrent.json: throughput per cell, the
 // speedup of each sharded cell over the continuous baseline at the same
-// thread count, stop-the-world pause percentiles of the largest cell,
-// and its per-shard contention counters folded into the SimMetrics
-// fields (shard_mutex_waits / shard_hold_ns / detector_passes /
-// detector_pause_ns).  Speedups are informational on small hosts —
+// thread count, client-visible pause percentiles of the largest cell
+// (the periodic grid runs the default pauseless kEpochDelta strategy,
+// so a pause is max(shard publish, validated apply) — bench_pauseless
+// measures the pauseless-vs-stop-the-world grid itself), and its
+// per-shard contention counters folded into the SimMetrics fields
+// (shard_mutex_waits / shard_hold_ns / detector_passes /
+// detector_pause_ns / snapshot_*).  Speedups are informational on small hosts —
 // `host_cores` is recorded so CI trend lines can be read honestly.
 //
 // Usage: bench_concurrent [txns_per_thread] [resources] [out.json]
@@ -170,6 +173,14 @@ int main(int argc, char** argv) {
         largest.deadlock_aborts = cell.victims;
         largest.detector_passes = (*service)->snapshot_epoch();
         for (uint64_t pause : pauses) largest.detector_pause_ns += pause;
+        const std::vector<uint64_t> publishes =
+            (*service)->publish_pause_times_ns();
+        largest.snapshot_publishes = publishes.size();
+        for (uint64_t ns : publishes) largest.snapshot_publish_ns += ns;
+        for (uint64_t ns : (*service)->detection_lag_ns()) {
+          largest.snapshot_lag_ns += ns;
+        }
+        largest.resolutions_rejected = (*service)->resolutions_rejected();
         for (size_t s = 0; s < shards; ++s) {
           const txn::ShardStats stats = (*service)->shard_stats(s);
           largest.shard_mutex_waits += stats.acquire_waits;
@@ -244,6 +255,10 @@ int main(int argc, char** argv) {
                "  \"shard_hold_ns\": %zu,\n"
                "  \"detector_passes\": %zu,\n"
                "  \"detector_pause_ns\": %zu,\n"
+               "  \"snapshot_publishes\": %zu,\n"
+               "  \"snapshot_publish_ns\": %zu,\n"
+               "  \"snapshot_lag_ns\": %zu,\n"
+               "  \"resolutions_rejected\": %zu,\n"
                "  \"speedup_8x16\": %.3f\n"
                "}\n",
                static_cast<unsigned long long>(pause_p50),
@@ -251,7 +266,10 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(pause_p99),
                static_cast<unsigned long long>(pause_max), pauses.size(),
                largest.shard_mutex_waits, largest.shard_hold_ns,
-               largest.detector_passes, largest.detector_pause_ns, speedup);
+               largest.detector_passes, largest.detector_pause_ns,
+               largest.snapshot_publishes, largest.snapshot_publish_ns,
+               largest.snapshot_lag_ns, largest.resolutions_rejected,
+               speedup);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

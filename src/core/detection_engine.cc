@@ -55,6 +55,26 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
   const size_t chosen = SelectVictim(candidates);
   const VictimCandidate& victim = candidates[chosen];
 
+  // Stamp the evidence before the resolution mutates any of it: every
+  // distinct resource the cycle's edges traverse, with its current
+  // version.  A pauseless apply phase re-checks these against the live
+  // shards — any mismatch means the cycle was derived from state that has
+  // since moved, and the decision is dropped as stale.
+  std::vector<std::pair<lock::ResourceId, uint64_t>> evidence;
+  if (options.capture_evidence) {
+    for (const CycleEdgeView& view : views) {
+      const lock::ResourceId rid = view.out.rid;
+      if (rid == 0) continue;
+      bool seen = false;
+      for (const auto& entry : evidence) seen = seen || entry.first == rid;
+      if (seen) continue;
+      const lock::ResourceState* state = host.FindResource(rid);
+      TWBG_CHECK(state != nullptr);  // the edge was built from this state
+      evidence.emplace_back(rid, state->version());
+    }
+  }
+  uint64_t applied_version = 0;
+
   if (victim.kind == VictimKind::kAbort) {
     tst.At(victim.junction).SetCurrentNil();
     // A victim's nil current shields it from every later cycle, so it can
@@ -67,6 +87,11 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
     // TDR-2: reposition the live queue now; grants happen at Step 3.
     Status status = host.ApplyTdr2(victim.resource, victim.junction);
     TWBG_CHECK(status.ok());
+    if (options.capture_evidence) {
+      const lock::ResourceState* state = host.FindResource(victim.resource);
+      TWBG_CHECK(state != nullptr);
+      applied_version = state->version();
+    }
     for (lock::TransactionId tid : victim.st) {
       costs.Bump(tid, options.st_cost_multiplier, options.st_cost_increment);
     }
@@ -123,6 +148,8 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
   decision.cycle = std::move(cycle);
   decision.candidates = std::move(candidates);
   decision.chosen = chosen;
+  decision.evidence = std::move(evidence);
+  decision.applied_version = applied_version;
   outcome.decisions.push_back(std::move(decision));
   outcome.decision_roots.push_back(root);
   ++outcome.cycles;
@@ -266,6 +293,12 @@ std::string ResolutionReport::ToString() const {
         "edges-reused=%zu\n",
         num_dirty_resources, num_cached_resources, edges_rebuilt,
         edges_reused);
+  }
+  // Only pauseless passes ever reject; omitting the line when 0 keeps
+  // quiesced reports byte-identical across engines.
+  if (rejected > 0) {
+    out += common::Format("  rejected: %zu stale (retried next pass)\n",
+                          rejected);
   }
   for (const VictimDecision& d : decisions) {
     out += "  ";

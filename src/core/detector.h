@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ecr.h"
@@ -82,6 +83,18 @@ struct VictimDecision {
   std::vector<VictimCandidate> candidates;
   /// Index into `candidates` of the chosen victim.
   size_t chosen = 0;
+  /// Version stamps of the evidence this decision was derived from —
+  /// every distinct resource on the cycle with its pre-resolution
+  /// ResourceState::version().  Populated only under
+  /// DetectorOptions::capture_evidence; the pauseless apply phase
+  /// re-checks these stamps against the live shards and drops the
+  /// decision as stale on any mismatch (kResolutionRejected).
+  std::vector<std::pair<lock::ResourceId, uint64_t>> evidence;
+  /// capture_evidence + TDR-2 only: the repositioned resource's version
+  /// *after* ApplyTdr2 ran against the snapshot, so a validated live
+  /// replay can record what the mirror will look like (version stamps are
+  /// process-wide, so replaying the same mutation yields a fresh stamp).
+  uint64_t applied_version = 0;
 
   const VictimCandidate& victim() const { return candidates[chosen]; }
   std::string ToString() const;
@@ -188,6 +201,12 @@ struct DetectorOptions {
   /// also assembled — and emitted as kCyclePostMortem events — whenever
   /// an active event_bus is attached, regardless of this flag.
   bool collect_post_mortems = false;
+  /// Record each decision's evidence stamps (VictimDecision::evidence /
+  /// applied_version) so a pass run against a sealed snapshot can be
+  /// validated against the live shards before its resolutions apply.  Off
+  /// by default: stop-the-world and sequential passes mutate live state
+  /// in-walk and need no validation.
+  bool capture_evidence = false;
 };
 
 /// Outcome of one detection-resolution pass.
@@ -223,6 +242,12 @@ struct ResolutionReport {
   size_t num_cached_resources = 0;
   size_t edges_rebuilt = 0;
   size_t edges_reused = 0;
+  /// Pauseless passes only: decisions dropped at apply time because their
+  /// evidence stamps no longer matched the live shards (each re-derived
+  /// by a later pass if the cycle persists).  Always 0 for stop-the-world
+  /// and sequential passes, and omitted from ToString() when 0 so
+  /// differential byte-for-byte comparisons stay stable.
+  size_t rejected = 0;
 
   /// True when the pass found any deadlock.
   bool found_deadlock() const { return cycles_detected > 0; }

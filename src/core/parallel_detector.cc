@@ -126,13 +126,15 @@ ResolutionReport ParallelPeriodicDetector::RunPass(
   return RunPassImpl(tables, host, host, costs);
 }
 
-ResolutionReport ParallelPeriodicDetector::RunPassImpl(
+ParallelPeriodicDetector::DetectOutcome ParallelPeriodicDetector::RunDetect(
     const std::vector<const lock::LockTable*>& tables,
-    ParallelWalkHost& walk_host, ResolutionHost& resolution_host,
-    CostTable& costs) {
-  obs::EventBus* bus = options_.event_bus;
+    ParallelWalkHost& walk_host, CostTable& costs, obs::EventBus* bus,
+    common::Stopwatch& clock) {
   const bool observing = obs::Enabled(bus);
-  common::Stopwatch pass_clock;
+  // The walk emits through whatever bus the caller hands us, which may be
+  // a local recording bus rather than options_.event_bus.
+  DetectorOptions walk_options = options_;
+  walk_options.event_bus = bus;
   if (observing) {
     obs::Event start;
     start.kind = obs::EventKind::kPassStart;
@@ -147,9 +149,12 @@ ResolutionReport ParallelPeriodicDetector::RunPassImpl(
   ShardedTstBuilder& builder =
       options_.incremental_build ? builder_ : scratch_builder;
   Tst& tst = builder.RefreshTst(tables, pool_);
-  const size_t num_transactions = tst.size();
-  const size_t num_edges = tst.NumEdges();
-  const int64_t step1_ns = observing ? pass_clock.ElapsedNanos() : 0;
+  DetectOutcome outcome;
+  outcome.num_transactions = tst.size();
+  outcome.num_edges = tst.NumEdges();
+  outcome.incremental = options_.incremental_build;
+  outcome.cache = builder.stats();
+  outcome.step1_ns = observing ? clock.ElapsedNanos() : 0;
   if (observing) {
     obs::Event step1;
     step1.kind = obs::EventKind::kStep1;
@@ -157,33 +162,45 @@ ResolutionReport ParallelPeriodicDetector::RunPassImpl(
       step1.a = builder.stats().num_dirty_resources;
       step1.b = builder.stats().num_cached_resources;
     }
-    step1.value = static_cast<double>(step1_ns);
+    step1.value = static_cast<double>(outcome.step1_ns);
     bus->Emit(step1);
   }
 
   // Step 2: component-parallel walk.
-  WalkOutcome walk = RunWalkComponentParallel(
-      tst, walk_host, costs, options_, pool_, &last_num_components_);
+  outcome.walk = RunWalkComponentParallel(
+      tst, walk_host, costs, walk_options, pool_, &last_num_components_);
   if (observing) {
     obs::Event step2;
     step2.kind = obs::EventKind::kStep2;
-    step2.a = walk.cycles;
-    step2.b = walk.steps;
-    step2.value = static_cast<double>(pass_clock.ElapsedNanos() - step1_ns);
+    step2.a = outcome.walk.cycles;
+    step2.b = outcome.walk.steps;
+    step2.value =
+        static_cast<double>(clock.ElapsedNanos() - outcome.step1_ns);
     bus->Emit(step2);
   }
+  return outcome;
+}
+
+ResolutionReport ParallelPeriodicDetector::RunPassImpl(
+    const std::vector<const lock::LockTable*>& tables,
+    ParallelWalkHost& walk_host, ResolutionHost& resolution_host,
+    CostTable& costs) {
+  obs::EventBus* bus = options_.event_bus;
+  const bool observing = obs::Enabled(bus);
+  common::Stopwatch pass_clock;
+  DetectOutcome detect =
+      RunDetect(tables, walk_host, costs, bus, pass_clock);
 
   // Step 3: confirm aborts and grants.
-  ResolutionReport report =
-      ApplyResolution(std::move(walk), resolution_host, costs, options_);
-  report.num_transactions = num_transactions;
-  report.num_edges = num_edges;
-  if (options_.incremental_build) {
-    const GraphCacheStats& stats = builder.stats();
-    report.num_dirty_resources = stats.num_dirty_resources;
-    report.num_cached_resources = stats.num_cached_resources;
-    report.edges_rebuilt = stats.edges_rebuilt;
-    report.edges_reused = stats.edges_reused;
+  ResolutionReport report = ApplyResolution(std::move(detect.walk),
+                                            resolution_host, costs, options_);
+  report.num_transactions = detect.num_transactions;
+  report.num_edges = detect.num_edges;
+  if (detect.incremental) {
+    report.num_dirty_resources = detect.cache.num_dirty_resources;
+    report.num_cached_resources = detect.cache.num_cached_resources;
+    report.edges_rebuilt = detect.cache.edges_rebuilt;
+    report.edges_reused = detect.cache.edges_reused;
   }
   if (observing) {
     obs::Event end;

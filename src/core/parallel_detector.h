@@ -12,17 +12,20 @@
 //   Step 3  the standard abortion-list / change-list reconciliation,
 //           routed through a ResolutionHost.
 //
-// The whole pass assumes the caller holds every shard lock (stop-the-
-// world snapshot; txn::ConcurrentLockService's detector thread does
-// this), which is what makes plain reads from worker threads safe.
-// Reports are byte-identical to PeriodicDetector::RunPass over the same
-// aggregate state — the differential suite proves it.
+// The pass assumes the tables it is handed are frozen for its duration —
+// either because the caller holds every shard lock (the stop-the-world
+// strategy) or because the tables are a detector-owned sealed epoch
+// snapshot nobody else writes (the pauseless strategy; see
+// txn/epoch_snapshot.h).  Either way plain reads from worker threads are
+// safe.  Reports are byte-identical to PeriodicDetector::RunPass over
+// the same aggregate state — the differential suite proves it.
 
 #ifndef TWBG_CORE_PARALLEL_DETECTOR_H_
 #define TWBG_CORE_PARALLEL_DETECTOR_H_
 
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/graph_builder.h"
 #include "core/parallel_engine.h"
@@ -81,6 +84,31 @@ class ParallelPeriodicDetector {
 
   /// One pass over sharded state.  The caller must hold all shard locks.
   ResolutionReport RunPass(ShardedDetectionHost& host, CostTable& costs);
+
+  /// Steps 1 + 2 only, decoupled from resolution: everything the caller
+  /// needs to run Step 3 itself.  The pauseless engine detects against a
+  /// sealed epoch snapshot (this call), then validates and applies the
+  /// resulting change-list against the live shards on its own terms.
+  struct DetectOutcome {
+    WalkOutcome walk;
+    size_t num_transactions = 0;
+    size_t num_edges = 0;
+    /// Step 1 cache statistics; meaningful when `incremental` is set.
+    GraphCacheStats cache;
+    bool incremental = false;
+    int64_t step1_ns = 0;
+  };
+
+  /// Runs Step 1 (TST build) and Step 2 (walk) over `tables`, emitting
+  /// kPassStart / kStep1 / kStep2 — and, via the walk, kCycleResolved /
+  /// kUprReposition / kCyclePostMortem — on `bus` (which may differ from
+  /// options().event_bus: the pauseless engine records onto a local bus
+  /// and replays at apply time).  `clock` times the steps and should keep
+  /// running for the caller's kPassEnd.  TDR-2 mutations go through
+  /// `walk_host`; nothing here touches a ResolutionHost.
+  DetectOutcome RunDetect(const std::vector<const lock::LockTable*>& tables,
+                          ParallelWalkHost& walk_host, CostTable& costs,
+                          obs::EventBus* bus, common::Stopwatch& clock);
 
   const DetectorOptions& options() const { return options_; }
 

@@ -113,6 +113,14 @@ class LockManager {
   /// All transactions known to the lock manager, ascending by id.
   std::vector<TransactionId> KnownTransactions() const;
 
+  /// Read-only view of the whole per-transaction bookkeeping map,
+  /// ascending by id.  Exists for snapshot captures that mirror every
+  /// transaction's wait state in one ordered sweep instead of one lookup
+  /// per transaction (txn::ShardSnapshot::Capture).
+  const std::map<TransactionId, TxnLockInfo>& txn_infos() const {
+    return txns_;
+  }
+
   /// All currently blocked transactions, ascending by id.
   std::vector<TransactionId> BlockedTransactions() const;
 

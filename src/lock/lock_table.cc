@@ -2,7 +2,6 @@
 
 #include "lock/lock_table.h"
 
-#include <algorithm>
 #include <atomic>
 
 namespace twbg::lock {
@@ -34,14 +33,19 @@ LockTable& LockTable::operator=(const LockTable& other) {
 
 void LockTable::MarkDirty(ResourceId rid) {
   ++seq_;
-  // Coalesce: if the resource already sits in the journal, just lift its
-  // entry to the new sequence number.  Lifting (rather than leaving the
-  // old stamp) is what keeps readers correct — a reader synced between
-  // the old and new stamps must still see this resource as dirty.
-  auto it = std::find_if(journal_.rbegin(), journal_.rend(),
-                         [rid](const auto& e) { return e.second == rid; });
-  if (it != journal_.rend()) {
-    journal_.erase(std::next(it).base());
+  // Append-only, with one O(1) coalescing step: mutation paths often
+  // mark the same resource several times back to back (GetOrCreate
+  // followed by FindMutable on the granting path), and lifting the back
+  // entry to the new sequence number folds those into one.  A resource
+  // re-touched later simply gets a fresh entry — DirtySince explicitly
+  // allows repeated ids, and the version stamp makes the duplicate a
+  // cheap no-op for every cache reader.  Deduplicating deeper would
+  // mean an O(journal) reverse scan per mutation, which made every
+  // mutation of a table with a long journal (e.g. after a full-table
+  // pin) pay for the journal's length.
+  if (!journal_.empty() && journal_.back().second == rid) {
+    journal_.back().first = seq_;
+    return;
   }
   journal_.emplace_back(seq_, rid);
   while (journal_.size() > kJournalCapacity) {

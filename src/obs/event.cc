@@ -80,6 +80,10 @@ std::string_view ToString(EventKind kind) {
       return "degraded";
     case EventKind::kFaultInjected:
       return "fault_injected";
+    case EventKind::kSnapshotPublish:
+      return "snapshot_publish";
+    case EventKind::kResolutionRejected:
+      return "resolution_rejected";
   }
   return "?";
 }

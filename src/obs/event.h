@@ -142,11 +142,30 @@ enum class EventKind : uint8_t {
   /// FaultKind as an integer, `b` = the schedule address (tick or op
   /// index); `value` = the fault duration; `detail` = Fault::ToString().
   kFaultInjected,
+
+  // -- pauseless periodic detection (txn::ConcurrentLockService epoch
+  //    snapshots; see docs/DESIGN.md "Epoch snapshots") --
+  /// One shard published its incremental delta into the detector's epoch
+  /// snapshot (the only moment the pauseless pass holds that shard's
+  /// mutex).  `rid` = the shard index (not a resource); `a` = dirty
+  /// resources captured, `b` = 1 when the mutation journal could not
+  /// answer and the capture fell back to a full version-compare sweep;
+  /// `span` = the snapshot epoch being built; `value` = the shard's
+  /// publish pause in nanoseconds.
+  kSnapshotPublish,
+  /// A resolution command derived from the sealed epoch failed its
+  /// version-stamp validation at apply time (the lock state moved between
+  /// seal and apply) and was dropped, to be re-derived next pass.  Same
+  /// payload shape as the kCycleResolved it replaces: `tid` = the chosen
+  /// junction, `rid` = the repositioned resource (TDR-2 only, else 0);
+  /// `a` = cycle length, `b` = 1 TDR-2 / 0 TDR-1; `value` = the chosen
+  /// candidate's cost.
+  kResolutionRejected,
 };
 
 /// Number of EventKind enumerators (array-sizing constant).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kFaultInjected) + 1;
+    static_cast<size_t>(EventKind::kResolutionRejected) + 1;
 
 /// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
 std::string_view ToString(EventKind kind);

@@ -17,6 +17,12 @@ void LatencyObserver::OnEvent(const Event& event) {
       break;
     case EventKind::kPassEnd:
       pass_ns_.AddDouble(event.value);
+      // Pauseless passes stamp the seal-to-apply lag on span; the
+      // stop-the-world engine leaves it zero.
+      if (event.span != 0) snapshot_lag_ns_.Add(event.span);
+      break;
+    case EventKind::kSnapshotPublish:
+      publish_ns_.AddDouble(event.value);
       break;
     case EventKind::kStep1:
       step1_ns_.AddDouble(event.value);
@@ -55,6 +61,8 @@ std::string LatencyObserver::Report() const {
       {"wait_time (ticks)", &wait_time_}, {"pass (ns)", &pass_ns_},
       {"step1 (ns)", &step1_ns_},         {"step2 (ns)", &step2_ns_},
       {"queue_depth", &queue_depth_},     {"cycle_len", &cycle_len_},
+      {"publish (ns)", &publish_ns_},
+      {"snapshot_lag (ns)", &snapshot_lag_ns_},
   };
   for (const Row& row : rows) {
     if (row.hist->count() == 0) continue;
@@ -125,6 +133,13 @@ std::string ToPrometheusText(const LatencyObserver& observer,
   AppendHistogram(&out, prefix, "cycle_length",
                   "Resolved deadlock cycle length, in transactions.",
                   observer.cycle_len());
+  AppendHistogram(&out, prefix, "snapshot_publish_ns",
+                  "Per-shard epoch-snapshot publish pause, nanoseconds.",
+                  observer.publish_ns());
+  AppendHistogram(&out, prefix, "snapshot_lag_ns",
+                  "Seal-to-apply detection lag per pauseless pass, "
+                  "nanoseconds.",
+                  observer.snapshot_lag_ns());
   return out;
 }
 

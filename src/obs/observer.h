@@ -26,6 +26,10 @@ namespace twbg::obs {
 ///  - step2_ns:    kStep2.value   (cycle walk, wall ns)
 ///  - queue_depth: kLockBlock.a   (waiters queued on the resource)
 ///  - cycle_len:   kCycleResolved.a (transactions in the resolved cycle)
+///  - publish_ns:  kSnapshotPublish.value (per-shard epoch-delta publish
+///                 pause, wall ns — the only pause a pauseless pass costs)
+///  - snapshot_lag_ns: kPassEnd.span when non-zero (seal-to-apply lag of
+///                 a pauseless pass; stop-the-world passes leave span 0)
 class LatencyObserver : public EventSink {
  public:
   /// Counts `event` and records its measurement (if any) — see the class
@@ -58,6 +62,13 @@ class LatencyObserver : public EventSink {
   /// Length of each resolved cycle, in transactions.
   const LogHistogram& cycle_len() const { return cycle_len_; }
 
+  /// Wall nanoseconds per per-shard snapshot publish (the pauseless
+  /// engine's only shard pause).
+  const LogHistogram& publish_ns() const { return publish_ns_; }
+
+  /// Wall nanoseconds of seal-to-apply detection lag per pauseless pass.
+  const LogHistogram& snapshot_lag_ns() const { return snapshot_lag_ns_; }
+
   /// Forgets everything seen so far.
   void Reset();
 
@@ -74,6 +85,8 @@ class LatencyObserver : public EventSink {
   LogHistogram step2_ns_;
   LogHistogram queue_depth_;
   LogHistogram cycle_len_;
+  LogHistogram publish_ns_;
+  LogHistogram snapshot_lag_ns_;
 };
 
 /// Renders the observer's aggregates in Prometheus text exposition

@@ -34,6 +34,12 @@ std::string SimMetrics::ToString() const {
         deadline_expired_waits, deadline_aborts, admission_rejects,
         faults_injected);
   }
+  if (snapshot_publishes + resolutions_rejected > 0) {
+    out += common::Format(
+        " pauseless[publishes=%zu publish_ns=%zu lag_ns=%zu rejected=%zu]",
+        snapshot_publishes, snapshot_publish_ns, snapshot_lag_ns,
+        resolutions_rejected);
+  }
   if (graph_dirty_resources + graph_cached_resources > 0) {
     out += common::Format(
         " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",

@@ -93,10 +93,23 @@ struct SimMetrics {
   size_t shard_mutex_waits = 0;
   /// Total shard-mutex hold time across shards, nanoseconds.
   size_t shard_hold_ns = 0;
-  /// Stop-the-world detection passes completed.
+  /// Detection passes completed (stop-the-world or pauseless).
   size_t detector_passes = 0;
-  /// Total stop-the-world pause time across passes, nanoseconds.
+  /// Total client-visible pause time across passes, nanoseconds (whole
+  /// pass under kStopTheWorld; max(publish, apply) under kEpochDelta).
   size_t detector_pause_ns = 0;
+  /// Pauseless (kEpochDelta) counters, likewise populated by concurrent
+  /// drivers and zero elsewhere.
+  /// Per-shard snapshot publishes (num_shards per pauseless pass).
+  size_t snapshot_publishes = 0;
+  /// Total shard-publish pause time, nanoseconds.
+  size_t snapshot_publish_ns = 0;
+  /// Total seal-to-apply detection lag across pauseless passes,
+  /// nanoseconds.
+  size_t snapshot_lag_ns = 0;
+  /// Resolution commands dropped by stamp validation (each retried by a
+  /// later pass).
+  size_t resolutions_rejected = 0;
 
   /// Committed transactions per 1000 ticks.
   double Throughput() const {

@@ -3,15 +3,24 @@
 #include "txn/concurrent_service.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/string_util.h"
 #include "lock/resource_state.h"
+#include "obs/sinks.h"
 
 namespace twbg::txn {
 
 namespace {
 
 constexpr size_t kMaxShards = 64;  // shard_mask is a uint64_t bitmask
+
+// Debug tripwire for the pauseless pass: nonzero while this thread runs
+// the detached detect phase over the sealed mirrors, during which it must
+// never touch live shard state (checked at the shard-locking entry
+// points).  The publish handshake and the validated apply run outside the
+// guard.
+thread_local int t_in_sealed_detect = 0;
 
 // Deadline-armed and fault-exposed waits poll at this granularity instead
 // of relying on a wakeup, so they observe deadline expiry promptly and
@@ -179,8 +188,20 @@ ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
   if (options_.detection_threads > 0) {
     pool_ = std::make_unique<common::ThreadPool>(options_.detection_threads);
   }
+  core::DetectorOptions detector_options = options_.detector;
+  if (options_.snapshot_strategy == SnapshotStrategy::kEpochDelta) {
+    // Pauseless resolutions are validated against the live shards before
+    // they apply, so every decision must carry its evidence stamps.
+    detector_options.capture_evidence = true;
+    snapshots_.reserve(options_.num_shards);
+    for (size_t s = 0; s < options_.num_shards; ++s) {
+      snapshots_.emplace_back(shards_[s]->lm.table().policy());
+    }
+    snapshot_host_ = std::make_unique<SnapshotWalkHost>(
+        snapshots_, [this](lock::ResourceId rid) { return ShardIndex(rid); });
+  }
   detector_ = std::make_unique<core::ParallelPeriodicDetector>(
-      options_.detector, pool_.get());
+      detector_options, pool_.get());
   pass_host_ = std::make_unique<PassHost>(*this);
   if (options_.detection_period.count() > 0) {
     detector_thread_ = std::thread(&ConcurrentLockService::DetectorLoop, this);
@@ -206,6 +227,7 @@ size_t ConcurrentLockService::ShardIndex(lock::ResourceId rid) const {
 
 std::vector<std::unique_lock<std::mutex>> ConcurrentLockService::LockShards(
     uint64_t mask, common::Stopwatch& hold) {
+  TWBG_DCHECK(t_in_sealed_detect == 0);
   std::vector<std::unique_lock<std::mutex>> locks;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if ((mask & (uint64_t{1} << s)) == 0) continue;
@@ -422,6 +444,7 @@ Status ConcurrentLockService::ContinuousAcquire(lock::TransactionId tid,
 Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
                                               lock::ResourceId rid,
                                               lock::LockMode mode) {
+  TWBG_DCHECK(t_in_sealed_detect == 0);
   const size_t shard_index = ShardIndex(rid);
   Shard& shard = *shards_[shard_index];
 
@@ -818,6 +841,13 @@ core::ResolutionReport ConcurrentLockService::RunPeriodicPass() {
   if (degraded_remaining_.load(std::memory_order_relaxed) > 0) {
     return RunTimeoutSweep();
   }
+  if (options_.snapshot_strategy == SnapshotStrategy::kStopTheWorld) {
+    return RunStopTheWorldPass();
+  }
+  return RunPauselessPass();
+}
+
+core::ResolutionReport ConcurrentLockService::RunStopTheWorldPass() {
   // Stop the world: all shard locks (ascending), the transaction table,
   // then the bus.  Everything the pass reads is a consistent cross-shard
   // snapshot; everything it mutates and emits lands atomically between
@@ -850,6 +880,328 @@ core::ResolutionReport ConcurrentLockService::RunPeriodicPass() {
   }
   // Graceful degradation: a pass that blew its pause budget switches the
   // next K scheduled passes to the cheap timeout-resolver sweep.
+  const uint64_t budget_ns = options_.robustness.degradation.pause_budget_ns;
+  if (budget_ns != 0 && pause_ns > budget_ns) {
+    const uint32_t passes = options_.robustness.degradation.degraded_passes;
+    degraded_remaining_.store(passes, std::memory_order_relaxed);
+    obs::Event event;
+    event.kind = obs::EventKind::kDegraded;
+    event.a = passes;
+    event.b = pause_ns / 1000;               // the offending pause, µs
+    event.value = static_cast<double>(budget_ns) / 1000.0;  // budget, µs
+    EmitStandalone(std::move(event));
+  }
+  return report;
+}
+
+core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
+  // The epoch mirrors are shared detector state: one pauseless pass at a
+  // time.  pass_mu_ is outermost — nothing below takes it, and it is
+  // never acquired while any other service lock is held.
+  std::scoped_lock pass_lock(pass_mu_);
+  common::Stopwatch pass_clock;
+  const uint64_t sealing_epoch = epoch_.load(std::memory_order_acquire) + 1;
+
+  // Phase 1 — publish: capture each shard's journal delta under its own
+  // mutex (the only pause a client ever observes, O(delta)), then fold it
+  // into the mirror outside the lock.
+  uint64_t max_publish_ns = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    ShardCaptureStats capture;
+    uint64_t publish_ns = 0;
+    {
+      std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
+      const bool contended = !sl.owns_lock();
+      if (contended) sl.lock();
+      shard.ops++;
+      if (contended) shard.acquire_waits++;
+      common::Stopwatch publish;
+      capture = snapshots_[s].Capture(shard.lm);
+      publish_ns = static_cast<uint64_t>(publish.ElapsedNanos());
+      shard.hold_ns += publish_ns;
+    }
+    snapshots_[s].Fold();
+    max_publish_ns = std::max(max_publish_ns, publish_ns);
+    {
+      std::scoped_lock stl(stats_mu_);
+      publish_pause_times_ns_.push_back(publish_ns);
+    }
+    obs::Event event;
+    event.kind = obs::EventKind::kSnapshotPublish;
+    event.rid = static_cast<lock::ResourceId>(s);  // shard index
+    event.a = capture.dirty;
+    event.b = capture.full_sweep ? 1 : 0;
+    event.span = sealing_epoch;
+    event.value = static_cast<double>(publish_ns);
+    EmitStandalone(std::move(event));
+  }
+  common::Stopwatch seal_clock;  // measures the seal-to-apply lag
+
+  // The walk decides victims on a cost snapshot; the validated apply
+  // replays the TDR-2 ST bumps onto the live table.
+  core::CostTable costs_copy;
+  {
+    std::scoped_lock tl(txn_mu_);
+    costs_copy = costs_;
+  }
+
+  // Phase 2 — detect, lock-free over the sealed mirrors while client
+  // traffic proceeds on the live shards.  Events are recorded on a local
+  // bus; the apply phase replays the validated subset into the shared
+  // stream so sinks never see resolutions that were later rejected.
+  std::vector<const lock::LockTable*> tables;
+  tables.reserve(snapshots_.size());
+  for (const ShardSnapshot& snapshot : snapshots_) {
+    tables.push_back(&snapshot.table());
+  }
+  obs::EventBus local_bus;
+  obs::CollectorSink recorder;
+  bool observing = false;
+  if (bus_ != nullptr) {
+    std::scoped_lock ol(obs_mu_);
+    observing = bus_->active();
+    local_bus.set_time(bus_->time());
+  }
+  if (observing) local_bus.Subscribe(&recorder);
+  common::Stopwatch detect_clock;
+  core::ParallelPeriodicDetector::DetectOutcome detect;
+  {
+    ++t_in_sealed_detect;
+    detect = detector_->RunDetect(tables, *snapshot_host_, costs_copy,
+                                  observing ? &local_bus : nullptr,
+                                  detect_clock);
+    --t_in_sealed_detect;
+  }
+  if (options_.post_seal_hook) options_.post_seal_hook();
+
+  // Segment the recorded stream — [kPassStart, kStep1, one segment per
+  // decision ([kUprReposition?] kCycleResolved [kCyclePostMortem?]),
+  // kStep2] — so each decision's events replay exactly when the decision
+  // validates.
+  std::vector<core::VictimDecision>& decisions = detect.walk.decisions;
+  const std::deque<obs::Event>& recorded = recorder.events();
+  std::vector<std::pair<size_t, size_t>> segments;
+  if (observing) {
+    segments.reserve(decisions.size());
+    size_t pos = 2;  // past kPassStart, kStep1
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      const size_t begin = pos;
+      while (recorded[pos].kind != obs::EventKind::kCycleResolved) ++pos;
+      ++pos;
+      if (pos < recorded.size() &&
+          recorded[pos].kind == obs::EventKind::kCyclePostMortem) {
+        ++pos;
+      }
+      segments.emplace_back(begin, pos);
+    }
+  }
+
+  core::ResolutionReport report;
+  report.cycles_detected = detect.walk.cycles;
+  report.steps = detect.walk.steps;
+  report.num_transactions = detect.num_transactions;
+  report.num_edges = detect.num_edges;
+  if (detect.incremental) {
+    report.num_dirty_resources = detect.cache.num_dirty_resources;
+    report.num_cached_resources = detect.cache.num_cached_resources;
+    report.edges_rebuilt = detect.cache.edges_rebuilt;
+    report.edges_reused = detect.cache.edges_reused;
+  }
+
+  // Phase 3 — validated apply: under the full pass locks, re-check every
+  // decision's evidence stamps against the live shards.  A match means
+  // the sealed state it was derived from IS the live state now (equal
+  // versions guarantee identical content), so the cycle exists at this
+  // instant and the resolution is sound; a mismatch means the evidence
+  // moved between seal and apply, and the decision is dropped — the
+  // cycle, if it persists, cannot mutate further (every member is
+  // blocked) and re-derives cleanly next pass.
+  common::Stopwatch apply_pause;
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  const uint64_t lag_ns = static_cast<uint64_t>(seal_clock.ElapsedNanos());
+  {
+    std::scoped_lock tl(txn_mu_);
+    std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+    if (bus_ != nullptr) ol.lock();
+    const bool live_obs = observing && obs::Enabled(bus_);
+    const auto replay = [&](size_t index) { bus_->Emit(recorded[index]); };
+    if (live_obs) {
+      replay(0);  // kPassStart
+      replay(1);  // kStep1
+    }
+
+    // A TDR-2 replay gives the live resource a fresh version stamp (the
+    // stamp domain is process-wide), while later decisions in the same
+    // component derived their evidence from the mirror's post-apply
+    // stamp.  The overlay maps each repositioned resource to (the mirror
+    // stamp later evidence should cite, the live stamp our replay
+    // produced) so chained decisions validate.
+    std::map<lock::ResourceId, std::pair<uint64_t, uint64_t>> overlay;
+    std::vector<char> valid(decisions.size(), 0);
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      const core::VictimDecision& decision = decisions[i];
+      const core::VictimCandidate& victim = decision.victim();
+      bool stamps_hold = true;
+      for (const auto& [rid, stamp] : decision.evidence) {
+        const lock::ResourceState* live =
+            shards_[ShardIndex(rid)]->lm.table().Find(rid);
+        if (live == nullptr) {
+          stamps_hold = false;
+          break;
+        }
+        const auto it = overlay.find(rid);
+        if (it != overlay.end()) {
+          if (stamp != it->second.first ||
+              live->version() != it->second.second) {
+            stamps_hold = false;
+            break;
+          }
+        } else if (live->version() != stamp) {
+          stamps_hold = false;
+          break;
+        }
+      }
+      if (!stamps_hold) {
+        ++report.rejected;
+        resolutions_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (live_obs) {
+          obs::Event event;
+          event.kind = obs::EventKind::kResolutionRejected;
+          event.tid = victim.junction;
+          event.rid = victim.kind == core::VictimKind::kReposition
+                          ? victim.resource
+                          : 0;
+          event.a = decision.cycle.size();
+          event.b = victim.kind == core::VictimKind::kReposition;
+          event.value = victim.cost;
+          bus_->Emit(std::move(event));
+        }
+        continue;
+      }
+      valid[i] = 1;
+      if (victim.kind == core::VictimKind::kReposition) {
+        Shard& shard = *shards_[ShardIndex(victim.resource)];
+        lock::ResourceState* state =
+            shard.lm.mutable_table().FindMutableDeferred(victim.resource);
+        TWBG_CHECK(state != nullptr);  // stamps hold: same state as sealed
+        const Status applied = state->ApplyTdr2(victim.junction);
+        TWBG_CHECK(applied.ok());  // identical queue => same outcome
+        shard.lm.mutable_table().NoteMutation(victim.resource);
+        overlay[victim.resource] = {decision.applied_version,
+                                    state->version()};
+        for (lock::TransactionId st : victim.st) {
+          costs_.Bump(st, options_.detector.st_cost_multiplier,
+                      options_.detector.st_cost_increment);
+        }
+      }
+      if (live_obs) {
+        for (size_t e = segments[i].first; e < segments[i].second; ++e) {
+          replay(e);
+        }
+      }
+    }
+    if (live_obs) replay(recorded.size() - 1);  // kStep2
+
+    // Step 3 over the validated subset, mirroring core::ApplyResolution:
+    // rebuild the abortion and change lists from the surviving decisions
+    // (same order, same dedup the walk applied).
+    std::vector<lock::TransactionId> order;
+    std::vector<lock::ResourceId> change_list;
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      if (valid[i] == 0) continue;
+      const core::VictimCandidate& victim = decisions[i].victim();
+      if (victim.kind == core::VictimKind::kAbort) {
+        order.push_back(victim.junction);
+      } else if (std::find(change_list.begin(), change_list.end(),
+                           victim.resource) == change_list.end()) {
+        change_list.push_back(victim.resource);
+      }
+    }
+    switch (options_.detector.abort_order) {
+      case core::AbortOrder::kInsertion:
+        break;
+      case core::AbortOrder::kReverseInsertion:
+        std::reverse(order.begin(), order.end());
+        break;
+      case core::AbortOrder::kCostDescending:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](lock::TransactionId a, lock::TransactionId b) {
+                           return costs_.Get(a) > costs_.Get(b);
+                         });
+        break;
+      case core::AbortOrder::kCostAscending:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](lock::TransactionId a, lock::TransactionId b) {
+                           return costs_.Get(a) < costs_.Get(b);
+                         });
+        break;
+    }
+    std::set<lock::TransactionId> granted_set;
+    for (lock::TransactionId tid : order) {
+      if (granted_set.count(tid) != 0) {
+        report.spared.push_back(tid);
+        continue;
+      }
+      const auto it = txns_.find(tid);
+      const uint64_t mask =
+          it == txns_.end() ? ~uint64_t{0} : it->second.shard_mask;
+      const std::vector<lock::TransactionId> granted =
+          ReleaseAllShardsLocked(tid, mask);
+      report.aborted.push_back(tid);
+      costs_.Erase(tid);
+      for (lock::TransactionId g : granted) {
+        granted_set.insert(g);
+        report.granted.push_back(g);
+      }
+    }
+    for (lock::ResourceId rid : change_list) {
+      for (lock::TransactionId g :
+           shards_[ShardIndex(rid)]->lm.Reschedule(rid)) {
+        granted_set.insert(g);
+        report.granted.push_back(g);
+      }
+    }
+    report.repositioned = std::move(change_list);
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      if (valid[i] == 0) continue;
+      if (i < detect.walk.post_mortems.size()) {
+        report.post_mortems.push_back(
+            std::move(detect.walk.post_mortems[i]));
+      }
+      report.decisions.push_back(std::move(decisions[i]));
+    }
+
+    if (live_obs) {
+      obs::Event end;
+      end.kind = obs::EventKind::kPassEnd;
+      end.a = report.cycles_detected;
+      end.b = report.aborted.size();
+      end.span = lag_ns;  // seal-to-apply lag (zero in STW streams)
+      end.value = static_cast<double>(pass_clock.ElapsedNanos());
+      bus_->Emit(std::move(end));
+    }
+    ApplyReportLocked(report);
+    if (obs::Enabled(bus_)) PublishShardStatsLocked();
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  const uint64_t apply_ns = static_cast<uint64_t>(apply_pause.ElapsedNanos());
+  const uint64_t hold_ns = static_cast<uint64_t>(hold.ElapsedNanos());
+  for (auto& shard : shards_) {
+    shard->hold_ns += hold_ns;
+    shard->cv.notify_all();
+  }
+  shard_locks.clear();
+  // The client-visible pause of a pauseless pass is whichever critical
+  // section was longest: a single shard publish or the validated apply.
+  const uint64_t pause_ns = std::max(max_publish_ns, apply_ns);
+  {
+    std::scoped_lock stl(stats_mu_);
+    pause_times_ns_.push_back(pause_ns);
+    detection_lag_ns_.push_back(lag_ns);
+  }
   const uint64_t budget_ns = options_.robustness.degradation.pause_budget_ns;
   if (budget_ns != 0 && pause_ns > budget_ns) {
     const uint32_t passes = options_.robustness.degradation.degraded_passes;
@@ -927,8 +1279,10 @@ core::ResolutionReport ConcurrentLockService::RunTimeoutSweep() {
   }
   shard_locks.clear();
   {
+    // A degraded sweep is not a detection pass: its pause lands in its
+    // own series so pause percentiles of full passes stay uncontaminated.
     std::scoped_lock stl(stats_mu_);
-    pause_times_ns_.push_back(pause_ns);
+    sweep_pause_times_ns_.push_back(pause_ns);
   }
   return report;
 }
@@ -1062,6 +1416,21 @@ std::vector<uint64_t> ConcurrentLockService::pause_times_ns() const {
   return pause_times_ns_;
 }
 
+std::vector<uint64_t> ConcurrentLockService::publish_pause_times_ns() const {
+  std::scoped_lock stl(stats_mu_);
+  return publish_pause_times_ns_;
+}
+
+std::vector<uint64_t> ConcurrentLockService::sweep_pause_times_ns() const {
+  std::scoped_lock stl(stats_mu_);
+  return sweep_pause_times_ns_;
+}
+
+std::vector<uint64_t> ConcurrentLockService::detection_lag_ns() const {
+  std::scoped_lock stl(stats_mu_);
+  return detection_lag_ns_;
+}
+
 Status ConcurrentLockService::CheckInvariants(bool deep) {
   if (mode_ == DetectionMode::kContinuous) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -1133,6 +1502,13 @@ Status AcquireWithRetry(ConcurrentLockService& service,
     if (attempts_out != nullptr) *attempts_out = attempts;
     if (!status.IsDeadlineExceeded() && !status.IsResourceExhausted()) {
       return status;
+    }
+    // A deadline expiry may have escalated into a server-side abort
+    // (abort-after-N): the transaction is gone and a retry could only
+    // return FailedPrecondition, so surface the deadline status as final.
+    if (status.IsDeadlineExceeded()) {
+      Result<TxnState> state = service.State(tid);
+      if (state.ok() && *state == TxnState::kAborted) return status;
     }
     if (backoff.Exhausted()) {
       // Client-side abort-after-N: give up on the whole transaction.  The

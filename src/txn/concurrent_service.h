@@ -14,11 +14,31 @@
 //     touch exactly one shard; commits/aborts lock only the shards the
 //     transaction touched.  Deadlocks are resolved by the periodic pass
 //     (§5) — run by a dedicated detector thread every `detection_period`,
-//     or by explicit RunDetectionPass() calls — which briefly stops the
-//     world (all shard locks), drains the per-shard mutation journals
-//     into per-shard incremental graph caches, and runs the
-//     component-parallel Step 2 on an optional worker pool
-//     (core/parallel_detector.h).  Each pass stamps a new snapshot epoch.
+//     or by explicit RunDetectionPass() calls.  Each pass stamps a new
+//     snapshot epoch.  Two pass strategies (SnapshotStrategy):
+//
+//       - kEpochDelta (the default, "pauseless"): each shard publishes
+//         its mutation-journal delta plus a slim mirror of its wait map
+//         into a detector-owned epoch mirror (txn/epoch_snapshot.h) under
+//         its own mutex — an O(delta + active transactions) pause,
+//         independent of table size — and the component-parallel Step 1/2
+//         walk runs over the sealed mirrors while client traffic proceeds
+//         on the live shards.  Resolution applies as a *validated
+//         change-list*: every decision carries the version stamps of the
+//         evidence it was derived from (core::VictimDecision::evidence);
+//         the apply phase re-checks the stamps under the shard locks and
+//         drops — as kResolutionRejected, retried next pass — any
+//         decision whose evidence moved between seal and apply.  A
+//         validated decision's evidence is byte-identical live and
+//         sealed, so the cycle it resolves exists at apply time: no
+//         phantom victim is possible, and a persistent deadlock (which
+//         cannot mutate: every member is blocked) validates on the next
+//         pass at the latest.
+//       - kStopTheWorld: the pass briefly stops the world (all shard
+//         locks), drains the journals into the per-shard incremental
+//         graph caches and detects in place.  The event stream recorded
+//         under a pass is a true linearization suitable for replay
+//         oracles, at the cost of pauses that grow with table size.
 //
 // Robustness layer (optional, all off by default; see docs/ROBUSTNESS.md):
 //
@@ -33,8 +53,10 @@
 //     `admission.queue_depth_watermark` blocked transactions in the
 //     target shard — both with kResourceExhausted (kAdmissionReject
 //     event), to be retried after backoff (AcquireWithRetry).
-//   * graceful degradation: when a stop-the-world pass pauses the service
-//     longer than `degradation.pause_budget_ns`, the next
+//   * graceful degradation: when a detection pass pauses the service
+//     longer than `degradation.pause_budget_ns` — for kEpochDelta the
+//     recorded pause is max(longest shard publish, apply critical
+//     section); for kStopTheWorld it is the whole pass — the next
 //     `degraded_passes` scheduled passes run a cheap timeout-resolver
 //     sweep (abort transactions observed blocked for `sweep_patience`
 //     consecutive sweeps) instead of full detection, with a kDegraded
@@ -63,6 +85,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,10 +96,23 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/parallel_detector.h"
+#include "txn/epoch_snapshot.h"
 #include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
 
 namespace twbg::txn {
+
+/// How a periodic pass observes the sharded lock state (see the file
+/// comment for the full protocol descriptions).
+enum class SnapshotStrategy {
+  /// Pauseless: per-shard O(delta) journal publish into a sealed epoch
+  /// mirror, detection off to the side, stamp-validated change-list
+  /// apply.  The default.
+  kEpochDelta,
+  /// Hold every shard mutex for the whole pass.  Larger pauses, but the
+  /// recorded event stream is a true linearization (replay oracles).
+  kStopTheWorld,
+};
 
 /// Configuration of a ConcurrentLockService (see Create).
 struct ConcurrentServiceOptions {
@@ -85,9 +121,12 @@ struct ConcurrentServiceOptions {
   /// acquires.  Must be 1 in kContinuous mode.
   size_t num_shards = 1;
   /// kContinuous resolves deadlocks inline on every block (single-mutex
-  /// engine); kPeriodic resolves them in stop-the-world passes over the
-  /// sharded engine.
+  /// engine); kPeriodic resolves them in periodic passes over the sharded
+  /// engine (see snapshot_strategy for how a pass observes the shards).
   DetectionMode detection_mode = DetectionMode::kContinuous;
+  /// How the periodic pass snapshots the shards (kPeriodic only; ignored
+  /// in kContinuous mode).
+  SnapshotStrategy snapshot_strategy = SnapshotStrategy::kEpochDelta;
   /// Period of the dedicated detector thread (kPeriodic only); zero means
   /// no thread — the caller drives RunDetectionPass itself.
   std::chrono::microseconds detection_period{0};
@@ -108,6 +147,11 @@ struct ConcurrentServiceOptions {
   /// Deterministic faults to inject (empty = none).  See the file
   /// comment for how each FaultKind maps onto the service.
   robustness::FaultPlan fault_plan;
+  /// Test hook (kEpochDelta only; may be null): runs on the pass thread
+  /// after the epoch is sealed and detected but before the validated
+  /// apply, with NO service lock held — so a test can race commits/aborts
+  /// into the seal-to-apply window deterministically.
+  std::function<void()> post_seal_hook;
 
   /// Rejects out-of-domain combinations — num_shards outside [1, 64],
   /// kContinuous combined with sharding / a detection period / detection
@@ -201,9 +245,32 @@ class ConcurrentLockService {
   /// Contention counters of shard `shard` (kPeriodic mode).
   ShardStats shard_stats(size_t shard) const;
 
-  /// Stop-the-world duration of every completed pass, nanoseconds, in
-  /// pass order (kPeriodic mode; empty otherwise).
+  /// Client-visible pause of every completed *full* detection pass,
+  /// nanoseconds, in pass order (kPeriodic mode; empty otherwise).  For
+  /// kEpochDelta this is max(longest shard publish, apply critical
+  /// section); for kStopTheWorld it is the whole pass.  Degraded
+  /// timeout-sweep passes are recorded separately in
+  /// sweep_pause_times_ns().
   std::vector<uint64_t> pause_times_ns() const;
+
+  /// Every individual shard publish pause, nanoseconds, in capture order
+  /// (kEpochDelta passes only; num_shards entries per pass).
+  std::vector<uint64_t> publish_pause_times_ns() const;
+
+  /// Pause of every degraded timeout-sweep pass, nanoseconds, in pass
+  /// order.
+  std::vector<uint64_t> sweep_pause_times_ns() const;
+
+  /// Seal-to-apply detection lag of every completed kEpochDelta pass,
+  /// nanoseconds, in pass order: how stale the sealed epoch was when the
+  /// validated change-list reached the live shards.
+  std::vector<uint64_t> detection_lag_ns() const;
+
+  /// Resolution commands dropped by stamp validation so far (kEpochDelta
+  /// passes; each is retried by a later pass).
+  uint64_t resolutions_rejected() const {
+    return resolutions_rejected_.load(std::memory_order_relaxed);
+  }
 
   // -- robustness telemetry --
 
@@ -291,6 +358,11 @@ class ConcurrentLockService {
                          lock::LockMode mode);
   Status PeriodicTerminate(lock::TransactionId tid, bool commit);
   core::ResolutionReport RunPeriodicPass();
+  // The kStopTheWorld pass body: all shard locks for the whole pass.
+  core::ResolutionReport RunStopTheWorldPass();
+  // The kEpochDelta pass body: publish -> seal -> detect -> validated
+  // apply.  Serialized by pass_mu_ (the shared epoch mirrors).
+  core::ResolutionReport RunPauselessPass();
   // The degraded pass body: aborts transactions blocked for
   // `sweep_patience` consecutive sweeps.  Same locks as the full pass.
   core::ResolutionReport RunTimeoutSweep();
@@ -373,6 +445,14 @@ class ConcurrentLockService {
   std::unique_ptr<PassHost> pass_host_;
   std::atomic<uint64_t> epoch_{0};
 
+  // -- pauseless pass state (snapshot_strategy == kEpochDelta) --
+  // Serializes pauseless passes: the epoch mirrors are shared detector
+  // state.  Outermost — never acquired while holding any other service
+  // lock.
+  std::mutex pass_mu_;
+  std::vector<ShardSnapshot> snapshots_;
+  std::unique_ptr<SnapshotWalkHost> snapshot_host_;
+
   // -- robustness state --
   std::unique_ptr<robustness::FaultInjector> injector_;
   std::atomic<uint64_t> deadline_expiries_{0};
@@ -380,9 +460,13 @@ class ConcurrentLockService {
   std::atomic<uint64_t> admission_rejects_{0};
   std::atomic<uint64_t> sweep_aborts_{0};
   std::atomic<uint32_t> degraded_remaining_{0};
+  std::atomic<uint64_t> resolutions_rejected_{0};
 
   mutable std::mutex stats_mu_;
   std::vector<uint64_t> pause_times_ns_;
+  std::vector<uint64_t> publish_pause_times_ns_;
+  std::vector<uint64_t> sweep_pause_times_ns_;
+  std::vector<uint64_t> detection_lag_ns_;
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

@@ -1,0 +1,124 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "txn/epoch_snapshot.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace twbg::txn {
+
+ShardCaptureStats ShardSnapshot::Capture(const lock::LockManager& live) {
+  const lock::LockTable& lt = live.table();
+  dirty_scratch_.clear();
+  // staged_states_ elements are reused by assignment (not cleared): a
+  // ResourceState owns holder/queue vectors, and keeping the elements
+  // alive keeps their capacity, so a steady-state capture allocates
+  // nothing under the shard lock.
+  staged_states_used_ = 0;
+  staged_erased_.clear();
+  staged_waits_.clear();
+
+  ShardCaptureStats stats;
+  if (!lt.DirtySince(synced_seq_, &dirty_scratch_)) {
+    // The journal fell behind (or this is the first capture of a table
+    // that already trimmed): sweep both sides, keyed on version stamps —
+    // equal versions guarantee identical content (lock/resource_state.h).
+    stats.full_sweep = true;
+    dirty_scratch_.clear();
+    for (const auto& [rid, state] : lt) {
+      const lock::ResourceState* mine = table_.Find(rid);
+      if (mine == nullptr || mine->version() != state.version()) {
+        dirty_scratch_.push_back(rid);
+      }
+    }
+    for (const auto& [rid, state] : table_) {
+      if (lt.Find(rid) == nullptr) dirty_scratch_.push_back(rid);
+    }
+  }
+  synced_seq_ = lt.mutation_seq();
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  dirty_scratch_.erase(
+      std::unique(dirty_scratch_.begin(), dirty_scratch_.end()),
+      dirty_scratch_.end());
+  stats.dirty = dirty_scratch_.size();
+
+  for (const lock::ResourceId rid : dirty_scratch_) {
+    if (const lock::ResourceState* theirs = lt.Find(rid)) {
+      // Copy-assignment keeps the live version stamp (resource_state.h).
+      if (staged_states_used_ < staged_states_.size()) {
+        staged_states_[staged_states_used_] = *theirs;
+      } else {
+        staged_states_.push_back(*theirs);
+      }
+      ++staged_states_used_;
+    } else {
+      staged_erased_.push_back(rid);
+    }
+  }
+
+  // Stage the live per-transaction wait map wholesale — one ordered sweep
+  // over O(active transactions), which is workload-bound, never
+  // table-bound.  Only the wait fields are copied: `touched` is as large
+  // as a transaction's lock footprint (a long-lived reader can hold the
+  // whole shard), and nothing downstream of the sealed mirror reads it —
+  // the walk wants blocked_on/blocked_mode, post-mortems want the wait
+  // clocks.
+  for (const auto& [tid, info] : live.txn_infos()) {
+    lock::TxnLockInfo slim;
+    slim.blocked_on = info.blocked_on;
+    slim.blocked_mode = info.blocked_mode;
+    slim.wait_span = info.wait_span;
+    slim.wait_started = info.wait_started;
+    staged_waits_.emplace_back(tid, std::move(slim));
+  }
+  return stats;
+}
+
+void ShardSnapshot::Fold() {
+  for (const lock::ResourceId rid : staged_erased_) {
+    if (table_.Find(rid) == nullptr) continue;
+    // Reset to a free state (journaling the mutation for the detector's
+    // incremental graph cache), then let the table reclaim the entry —
+    // the same end state a live release leaves behind.
+    table_.GetOrCreate(rid) = lock::ResourceState(rid, table_.policy());
+    table_.EraseIfFree(rid);
+  }
+  for (size_t i = 0; i < staged_states_used_; ++i) {
+    // GetOrCreate journals the mutation; copy-assignment preserves the
+    // live version stamp (resource_state.h: equal versions <=> identical
+    // content), so the mirror is stamp-for-stamp the live shard as of
+    // the capture point.
+    const lock::ResourceState& state = staged_states_[i];
+    table_.GetOrCreate(state.rid()) = state;
+  }
+  // The staged wait map is the whole live map at the capture point, so
+  // the mirror is rebuilt rather than patched — a departed transaction
+  // simply no longer appears.  Staging is in ascending id order, so the
+  // end-hint makes the rebuild linear.
+  waits_.clear();
+  for (auto& [tid, info] : staged_waits_) {
+    waits_.emplace_hint(waits_.end(), tid, std::move(info));
+  }
+  staged_states_used_ = 0;  // elements stay alive for capacity reuse
+  staged_erased_.clear();
+  staged_waits_.clear();
+}
+
+const lock::TxnLockInfo* ShardSnapshot::FindWaitInfo(
+    lock::TransactionId tid) const {
+  auto it = waits_.find(tid);
+  return it == waits_.end() ? nullptr : &it->second;
+}
+
+Status SnapshotWalkHost::ApplyTdr2Direct(lock::ResourceId rid,
+                                         lock::TransactionId junction) {
+  lock::ResourceState* state =
+      snapshots_[shard_of_(rid)].mutable_table().FindMutableDeferred(rid);
+  if (state == nullptr) {
+    return Status::NotFound(common::Format("R%u is not locked", rid));
+  }
+  return state->ApplyTdr2(junction);
+}
+
+}  // namespace twbg::txn

@@ -212,6 +212,12 @@ void RunStressAndReplay(const WorkloadConfig& config) {
   ConcurrentServiceOptions options;
   options.num_shards = config.num_shards;
   options.detection_mode = DetectionMode::kPeriodic;
+  // The replay oracle depends on the stop-the-world linearization: a
+  // pass's events must describe the live state at their stream position.
+  // A pauseless pass detects over a sealed epoch that may trail the live
+  // shards, so its stream is validated differently
+  // (pauseless_service_test.cc).
+  options.snapshot_strategy = SnapshotStrategy::kStopTheWorld;
   options.detection_period = std::chrono::microseconds(500);
   options.detection_threads = 2;
   options.cost_policy = CostPolicy::kLocksHeld;
@@ -282,6 +288,8 @@ TEST(ConcurrentStressTest, CrossingDeadlocksReplayWithVictims) {
   ConcurrentServiceOptions options;
   options.num_shards = 4;
   options.detection_mode = DetectionMode::kPeriodic;
+  // Replay oracle: see RunStressAndReplay.
+  options.snapshot_strategy = SnapshotStrategy::kStopTheWorld;
   options.detection_period = std::chrono::microseconds(300);
   options.detection_threads = 2;
   options.event_bus = &bus;

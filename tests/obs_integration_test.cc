@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "baselines/factory.h"
 #include "core/cost_table.h"
@@ -29,13 +32,18 @@ void InsertKinds(const obs::CollectorSink& sink,
   for (const obs::Event& event : sink.events()) kinds->insert(event.kind);
 }
 
-// Four scenarios together must exercise the whole taxonomy:
+// The scenarios together must exercise the whole taxonomy:
 //  (a) a TransactionManager lifecycle with a periodic TDR-1 resolution,
 //  (b) Example 4.1 (conversions + a TDR-2 queue repositioning),
 //  (c) a simulator run with a deliberately blind strategy (restarts,
 //      wait-ends, detector misses) and a hair-trigger watchdog
 //      (starvation and convoy alerts),
-//  (d) a sharded ConcurrentLockService pass (shard-contention counters).
+//  (d) a sharded ConcurrentLockService pass (shard-contention counters
+//      and, pauselessly, snapshot publishes),
+//  (e) the robustness layer (deadlines, admission, injected faults),
+//  (f) graceful degradation (pause budget busted),
+//  (g) a pauseless pass whose change-list goes stale in the
+//      seal-to-apply window (resolution rejections).
 TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
   std::set<obs::EventKind> kinds;
 
@@ -189,6 +197,76 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     EXPECT_EQ(sink.Count(obs::EventKind::kDegraded), 1u);
     EXPECT_EQ((*service)->degraded_passes_remaining(), 2u);
     ASSERT_TRUE((*service)->Commit(t).ok());
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (g) a pauseless (kEpochDelta) pass whose resolution command goes
+     //     stale in the seal-to-apply window: a bystander queued on a
+     //     cycle resource aborts between seal and apply, bumping the
+     //     resource's version stamp, so validation drops the command
+     //     (kResolutionRejected) and the next pass re-resolves it.
+    obs::EventBus bus;
+    obs::CollectorSink sink;
+    bus.Subscribe(&sink);
+    txn::ConcurrentServiceOptions options;
+    options.num_shards = 2;
+    options.detection_mode = txn::DetectionMode::kPeriodic;
+    options.event_bus = &bus;
+    txn::ConcurrentLockService* raw = nullptr;
+    lock::TransactionId bystander = 0;
+    std::atomic<int> hook_fires{0};
+    options.post_seal_hook = [&] {
+      if (hook_fires.fetch_add(1) == 0) {
+        EXPECT_TRUE(raw->Abort(bystander).ok());
+      }
+    };
+    auto service = txn::ConcurrentLockService::Create(options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    raw = service->get();
+
+    const lock::TransactionId t1 = *raw->Begin();
+    const lock::TransactionId t2 = *raw->Begin();
+    bystander = *raw->Begin();
+    ASSERT_TRUE(raw->AcquireBlocking(t1, 1, lock::LockMode::kX).ok());
+    ASSERT_TRUE(raw->AcquireBlocking(t2, 2, lock::LockMode::kX).ok());
+
+    std::atomic<int> aborted_waits{0};
+    auto block = [&](lock::TransactionId t, lock::ResourceId rid) {
+      Status status = raw->AcquireBlocking(t, rid, lock::LockMode::kX);
+      if (status.IsAborted()) {
+        ++aborted_waits;
+        return;
+      }
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      ASSERT_TRUE(raw->Commit(t).ok());
+    };
+    auto wait_blocked = [&](lock::TransactionId t) {
+      while (*raw->State(t) != txn::TxnState::kBlocked) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    std::thread a(block, t1, 2);
+    wait_blocked(t1);
+    std::thread b(block, t2, 1);
+    wait_blocked(t2);
+    std::thread c(block, bystander, 1);  // queued behind T1 on R1
+    wait_blocked(bystander);
+
+    core::ResolutionReport first = raw->RunDetectionPass();
+    EXPECT_EQ(first.rejected, 1u);
+    EXPECT_TRUE(first.aborted.empty());
+    core::ResolutionReport second = raw->RunDetectionPass();
+    EXPECT_EQ(second.rejected, 0u);
+    EXPECT_EQ(second.aborted.size(), 1u);
+    a.join();
+    b.join();
+    c.join();
+    EXPECT_EQ(aborted_waits.load(), 2);  // the bystander + the victim
+    EXPECT_EQ(raw->deadlock_victims(), 1u);
+    EXPECT_EQ(raw->resolutions_rejected(), 1u);
+    EXPECT_EQ(sink.Count(obs::EventKind::kSnapshotPublish),
+              2 * options.num_shards);
+    EXPECT_EQ(sink.Count(obs::EventKind::kResolutionRejected), 1u);
     InsertKinds(sink, &kinds);
   }
 

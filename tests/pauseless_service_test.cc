@@ -1,0 +1,359 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Pauseless (kEpochDelta) periodic detection: report parity against the
+// stop-the-world strategy and the sequential manager on a quiesced
+// table, deterministic stale-command injection through the seal-to-apply
+// window (post_seal_hook), and fault-injected chaos with a live detector
+// thread.  The stale-command tests pin the paper's safety story: a
+// rejected command is re-resolved within one extra pass, a command whose
+// cycle dissolved in the window never produces a phantom victim, and no
+// transaction is ever double-victimized.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "txn/concurrent_service.h"
+#include "txn/robustness/robustness.h"
+#include "txn/transaction_manager.h"
+
+namespace twbg::txn {
+namespace {
+
+using enum lock::LockMode;
+
+// Graph-cache hit counts depend on how a table was populated (live
+// journals vs. folded mirrors), so cross-engine report comparisons strip
+// the cache line; everything else must match byte-for-byte.
+std::string StripCacheLines(const std::string& s) {
+  std::istringstream in(s);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("graph-cache:") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void WaitUntilBlocked(ConcurrentLockService& service,
+                      lock::TransactionId tid) {
+  while (*service.State(tid) != TxnState::kBlocked) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Builds two disjoint deadlocks with deterministic tids and block order —
+// a 2-cycle (T1 <-> T2 over R1/R2) and a 3-cycle (T3 -> T4 -> T5 -> T3
+// over R3/R4/R5) — runs one pass, lets every thread finish, and returns
+// the report.  Exactly two victims (one per cycle); the survivors cascade
+// to commit once their grants arrive.
+void BuildCyclesAndRunPass(ConcurrentLockService& s,
+                           core::ResolutionReport* report,
+                           int* victims_out) {
+  const lock::TransactionId t1 = *s.Begin();
+  const lock::TransactionId t2 = *s.Begin();
+  const lock::TransactionId t3 = *s.Begin();
+  const lock::TransactionId t4 = *s.Begin();
+  const lock::TransactionId t5 = *s.Begin();
+  ASSERT_TRUE(s.AcquireBlocking(t1, 1, kX).ok());
+  ASSERT_TRUE(s.AcquireBlocking(t2, 2, kX).ok());
+  ASSERT_TRUE(s.AcquireBlocking(t3, 3, kX).ok());
+  ASSERT_TRUE(s.AcquireBlocking(t4, 4, kX).ok());
+  ASSERT_TRUE(s.AcquireBlocking(t5, 5, kX).ok());
+
+  std::atomic<int> victims{0};
+  auto block = [&s, &victims](lock::TransactionId t, lock::ResourceId rid) {
+    Status status = s.AcquireBlocking(t, rid, kX);
+    if (status.IsAborted()) {
+      ++victims;
+      return;
+    }
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(s.Commit(t).ok());
+  };
+  std::vector<std::thread> threads;
+  auto spawn = [&](lock::TransactionId t, lock::ResourceId rid) {
+    threads.emplace_back(block, t, rid);
+    WaitUntilBlocked(s, t);
+  };
+  spawn(t1, 2);
+  spawn(t2, 1);
+  spawn(t3, 4);
+  spawn(t4, 5);
+  spawn(t5, 3);
+
+  *report = s.RunDetectionPass();
+  for (std::thread& thread : threads) thread.join();
+  *victims_out = victims.load();
+}
+
+ConcurrentServiceOptions QuiescedOptions(SnapshotStrategy strategy) {
+  ConcurrentServiceOptions options;
+  options.num_shards = 4;
+  options.detection_mode = DetectionMode::kPeriodic;
+  options.snapshot_strategy = strategy;
+  options.cost_policy = CostPolicy::kLocksHeld;
+  return options;
+}
+
+// The acceptance bar for the pauseless rewrite: on a quiesced table the
+// epoch-snapshot pass and the stop-the-world pass produce byte-identical
+// resolution reports, and both match the sequential manager running the
+// same schedule.
+TEST(PauselessServiceTest, QuiescedReportParityAcrossEngines) {
+  core::ResolutionReport pauseless_report;
+  int pauseless_victims = 0;
+  {
+    auto service =
+        ConcurrentLockService::Create(QuiescedOptions(SnapshotStrategy::kEpochDelta));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    BuildCyclesAndRunPass(**service, &pauseless_report, &pauseless_victims);
+    EXPECT_EQ((*service)->publish_pause_times_ns().size(),
+              (*service)->num_shards());
+    EXPECT_EQ((*service)->detection_lag_ns().size(), 1u);
+    EXPECT_TRUE((*service)->sweep_pause_times_ns().empty());
+    EXPECT_EQ((*service)->pause_times_ns().size(), 1u);
+    EXPECT_EQ((*service)->resolutions_rejected(), 0u);
+  }
+
+  core::ResolutionReport stw_report;
+  int stw_victims = 0;
+  {
+    auto service = ConcurrentLockService::Create(
+        QuiescedOptions(SnapshotStrategy::kStopTheWorld));
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    BuildCyclesAndRunPass(**service, &stw_report, &stw_victims);
+    EXPECT_TRUE((*service)->publish_pause_times_ns().empty());
+    EXPECT_TRUE((*service)->detection_lag_ns().empty());
+  }
+
+  // The same schedule on the sequential manager (blocked acquires return
+  // kWouldBlock instead of parking a thread).
+  TransactionManagerOptions seq_options;
+  seq_options.detection_mode = DetectionMode::kPeriodic;
+  seq_options.cost_policy = CostPolicy::kLocksHeld;
+  TransactionManager tm(seq_options);
+  std::vector<lock::TransactionId> tids;
+  for (int i = 0; i < 5; ++i) tids.push_back(*tm.Begin());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        tm.Acquire(tids[i], static_cast<lock::ResourceId>(i + 1), kX).ok());
+  }
+  ASSERT_TRUE(tm.Acquire(tids[0], 2, kX).IsWouldBlock());
+  ASSERT_TRUE(tm.Acquire(tids[1], 1, kX).IsWouldBlock());
+  ASSERT_TRUE(tm.Acquire(tids[2], 4, kX).IsWouldBlock());
+  ASSERT_TRUE(tm.Acquire(tids[3], 5, kX).IsWouldBlock());
+  ASSERT_TRUE(tm.Acquire(tids[4], 3, kX).IsWouldBlock());
+  core::ResolutionReport seq_report = tm.RunDetection();
+
+  EXPECT_EQ(pauseless_victims, 2);
+  EXPECT_EQ(stw_victims, 2);
+  EXPECT_EQ(pauseless_report.rejected, 0u);
+  EXPECT_EQ(pauseless_report.ToString(), stw_report.ToString());
+  EXPECT_EQ(StripCacheLines(pauseless_report.ToString()),
+            StripCacheLines(seq_report.ToString()));
+}
+
+// A bystander queued on a cycle resource aborts inside the seal-to-apply
+// window.  The cycle itself survives, but the evidence stamp on the
+// shared resource moved, so the pass must drop its command (no victim,
+// no partial apply) and the very next pass must resolve the same cycle —
+// with exactly one victim in total across both passes.
+TEST(PauselessServiceTest, StaleCommandIsRetriedByTheNextPass) {
+  ConcurrentServiceOptions options;
+  options.num_shards = 2;
+  options.detection_mode = DetectionMode::kPeriodic;
+  ConcurrentLockService* raw = nullptr;
+  lock::TransactionId bystander = 0;
+  std::atomic<int> hook_fires{0};
+  options.post_seal_hook = [&] {
+    if (hook_fires.fetch_add(1) == 0) {
+      EXPECT_TRUE(raw->Abort(bystander).ok());
+    }
+  };
+  auto service = ConcurrentLockService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  raw = service->get();
+
+  const lock::TransactionId t1 = *raw->Begin();
+  const lock::TransactionId t2 = *raw->Begin();
+  bystander = *raw->Begin();
+  ASSERT_TRUE(raw->AcquireBlocking(t1, 1, kX).ok());
+  ASSERT_TRUE(raw->AcquireBlocking(t2, 2, kX).ok());
+
+  std::atomic<int> cycle_aborts{0};
+  std::atomic<int> bystander_aborts{0};
+  auto block = [&](lock::TransactionId t, lock::ResourceId rid,
+                   std::atomic<int>* aborts) {
+    Status status = raw->AcquireBlocking(t, rid, kX);
+    if (status.IsAborted()) {
+      ++*aborts;
+      return;
+    }
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(raw->Commit(t).ok());
+  };
+  std::thread a(block, t1, 2, &cycle_aborts);
+  WaitUntilBlocked(*raw, t1);
+  std::thread b(block, t2, 1, &cycle_aborts);
+  WaitUntilBlocked(*raw, t2);
+  std::thread c(block, bystander, 1, &bystander_aborts);
+  WaitUntilBlocked(*raw, bystander);
+
+  core::ResolutionReport first = raw->RunDetectionPass();
+  EXPECT_EQ(first.cycles_detected, 1u);
+  EXPECT_EQ(first.rejected, 1u);
+  EXPECT_TRUE(first.aborted.empty());
+  EXPECT_TRUE(first.decisions.empty());
+  EXPECT_NE(first.ToString().find("rejected: 1 stale"), std::string::npos);
+  EXPECT_EQ(raw->deadlock_victims(), 0u);  // no phantom victim
+
+  core::ResolutionReport second = raw->RunDetectionPass();
+  EXPECT_EQ(second.rejected, 0u);
+  EXPECT_EQ(second.aborted.size(), 1u);
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_EQ(cycle_aborts.load(), 1);  // no double victim
+  EXPECT_EQ(bystander_aborts.load(), 1);
+  EXPECT_EQ(raw->deadlock_victims(), 1u);
+  EXPECT_EQ(raw->resolutions_rejected(), 1u);
+  EXPECT_EQ(raw->pause_times_ns().size(), 2u);
+  EXPECT_EQ(raw->publish_pause_times_ns().size(), 2 * raw->num_shards());
+  EXPECT_EQ(raw->detection_lag_ns().size(), 2u);
+}
+
+// A cycle *member* aborts inside the window: the deadlock dissolves
+// before the command lands, so the stale command must be dropped and no
+// later pass may ever produce a victim for it.
+TEST(PauselessServiceTest, DissolvedCycleNeverYieldsAVictim) {
+  ConcurrentServiceOptions options;
+  options.num_shards = 2;
+  options.detection_mode = DetectionMode::kPeriodic;
+  ConcurrentLockService* raw = nullptr;
+  lock::TransactionId member = 0;
+  std::atomic<int> hook_fires{0};
+  options.post_seal_hook = [&] {
+    if (hook_fires.fetch_add(1) == 0) {
+      EXPECT_TRUE(raw->Abort(member).ok());
+    }
+  };
+  auto service = ConcurrentLockService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  raw = service->get();
+
+  const lock::TransactionId t1 = *raw->Begin();
+  member = *raw->Begin();
+  ASSERT_TRUE(raw->AcquireBlocking(t1, 1, kX).ok());
+  ASSERT_TRUE(raw->AcquireBlocking(member, 2, kX).ok());
+
+  std::atomic<int> survivor_commits{0};
+  std::thread a([&] {
+    // T1's wait outlives the cycle: the member's abort grants R2.
+    Status status = raw->AcquireBlocking(t1, 2, kX);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(raw->Commit(t1).ok());
+    ++survivor_commits;
+  });
+  WaitUntilBlocked(*raw, t1);
+  std::thread b([&] {
+    Status status = raw->AcquireBlocking(member, 1, kX);
+    EXPECT_TRUE(status.IsAborted()) << status.ToString();
+  });
+  WaitUntilBlocked(*raw, member);
+
+  core::ResolutionReport first = raw->RunDetectionPass();
+  EXPECT_EQ(first.cycles_detected, 1u);
+  EXPECT_EQ(first.rejected, 1u);
+  EXPECT_TRUE(first.aborted.empty());
+  a.join();
+  b.join();
+  core::ResolutionReport second = raw->RunDetectionPass();
+  EXPECT_EQ(second.cycles_detected, 0u);
+  EXPECT_TRUE(second.aborted.empty());
+  EXPECT_EQ(raw->deadlock_victims(), 0u);
+  EXPECT_EQ(raw->resolutions_rejected(), 1u);
+  EXPECT_EQ(survivor_commits.load(), 1);
+}
+
+// Chaos: a fault-injected workload (delayed grants, dropped wakeups,
+// crashes, shard stalls) races a continuously re-running pauseless
+// detector.  Liveness (every thread finishes, no lost wakeup), a clean
+// invariant sweep, and exact per-pass accounting of the new series.
+TEST(PauselessServiceTest, FaultInjectedChurnStaysInvariantClean) {
+  ConcurrentServiceOptions options;
+  options.num_shards = 8;
+  options.detection_mode = DetectionMode::kPeriodic;
+  options.cost_policy = CostPolicy::kLocksHeld;
+  robustness::FaultPlanOptions fault_options;
+  fault_options.num_faults = 12;
+  fault_options.max_at = 60;
+  fault_options.max_txn = 60;
+  fault_options.max_shard = 8;
+  fault_options.max_duration = 100;  // microseconds in the threaded host
+  Result<robustness::FaultPlan> plan =
+      robustness::FaultPlan::Random(20260807, fault_options);
+  ASSERT_TRUE(plan.ok());
+  options.fault_plan = *plan;
+  auto service = ConcurrentLockService::Create(options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ConcurrentLockService& s = **service;
+
+  std::atomic<bool> stop{false};
+  std::thread detector([&] {
+    while (!stop.load()) {
+      (void)s.RunDetectionPass();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kWorkers = 4;
+  std::atomic<int> committed{0};
+  {
+    std::vector<std::thread> workers;
+    for (int worker = 0; worker < kWorkers; ++worker) {
+      workers.emplace_back([&, worker] {
+        for (int i = 0; i < 20; ++i) {
+          for (;;) {
+            const lock::TransactionId t = *s.Begin();
+            bool dead = false;
+            for (int k = 0; k < 3 && !dead; ++k) {
+              const lock::ResourceId rid =
+                  static_cast<lock::ResourceId>(1 + (worker + k * i) % 7);
+              Status status =
+                  s.AcquireBlocking(t, rid, k == 2 ? kX : kS);
+              if (status.IsAborted()) dead = true;
+            }
+            if (dead) continue;  // victim or crash fault: retry fresh
+            ASSERT_TRUE(s.Commit(t).ok());
+            ++committed;
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : workers) thread.join();
+  }
+  stop.store(true);
+  detector.join();
+
+  EXPECT_EQ(committed.load(), kWorkers * 20);
+  EXPECT_TRUE(s.CheckInvariants(/*deep=*/true).ok());
+  const uint64_t epochs = s.snapshot_epoch();
+  EXPECT_GE(epochs, 1u);
+  // Every pass was pauseless: one client-visible pause and one lag per
+  // pass, one publish pause per shard per pass, and no degraded sweeps.
+  EXPECT_EQ(s.pause_times_ns().size(), epochs);
+  EXPECT_EQ(s.publish_pause_times_ns().size(), epochs * s.num_shards());
+  EXPECT_EQ(s.detection_lag_ns().size(), epochs);
+  EXPECT_TRUE(s.sweep_pause_times_ns().empty());
+}
+
+}  // namespace
+}  // namespace twbg::txn

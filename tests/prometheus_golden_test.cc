@@ -110,6 +110,7 @@ TEST(PrometheusGoldenTest, EveryMetricIsWellFormed) {
       "twbg_wait_time_ticks", "twbg_pass_duration_ns",
       "twbg_step1_duration_ns", "twbg_step2_duration_ns",
       "twbg_queue_depth", "twbg_cycle_length",
+      "twbg_snapshot_publish_ns", "twbg_snapshot_lag_ns",
   };
   for (const char* metric : kHistograms) {
     const std::string help = std::string("# HELP ") + metric + " ";
