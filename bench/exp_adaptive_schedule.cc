@@ -1,0 +1,297 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Experiment P2: closed-loop detection scheduling.  The workload shifts
+// through three phases with very different deadlock profiles — a
+// contention storm (hot Zipf skew over few resources, X-heavy), a quiet
+// spell (many resources, S-heavy, deadlocks near zero) and a mixed
+// drift phase between the extremes.  One sched::EwmaRateController is
+// carried across the phases (SimConfig::period_controller), retuning the
+// detection period from each pass's own cost and cycle counts.
+//
+// Scoring uses the §5 trade-off directly: per phase,
+//
+//   cost = blocked_ticks                    (deadlock persistence, w side)
+//        + detector_work                    (per-pass graph work, C side)
+//        + kCallOverhead * detector_calls   (fixed cost of stopping the
+//                                            world for a pass at all)
+//
+// The claim the CI perf-smoke job gates (BENCH_adaptive.json):
+//
+//   * the adaptive controller stays within 20% of the best fixed period
+//     in EVERY phase, while
+//   * every fixed period loses at least one phase by more than 20% —
+//     no single setting wins the shifting workload.
+//
+// Usage: exp_adaptive_schedule [out.json] [-v]
+// (default BENCH_adaptive.json; -v prints per-seed adaptive metrics)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "sched/period_controller.h"
+#include "sim/simulator.h"
+
+using namespace twbg;
+
+namespace {
+
+// Fixed per-invocation overhead charged on top of the graph work: a
+// periodic pass stops the world (locks every shard) even when the graph
+// is empty, so invocations are not free.
+constexpr double kCallOverhead = 25.0;
+
+constexpr size_t kFixedPeriods[] = {2, 8, 32, 128};
+constexpr uint64_t kSeeds[] = {11, 12, 13};
+constexpr size_t kMinPeriod = 2;
+constexpr size_t kMaxPeriod = 128;
+constexpr size_t kInitialPeriod = 16;
+
+// The controller's w: what one blocked transaction-tick of deadlock
+// staleness costs in the cost model's work units.  Tuned against the
+// fixed grid: the EWMA rate estimate systematically undercounts the
+// formation rate at long periods (deadlocks that pile up between passes
+// merge into fewer, larger cycles), so w must overweight persistence for
+// T* to track the empirically best fixed period.  docs/TUNING.md walks
+// through this calibration.
+constexpr double kPersistenceWeight = 25.0;
+
+struct Phase {
+  const char* name;
+  sim::WorkloadConfig workload;
+};
+
+std::vector<Phase> MakePhases() {
+  std::vector<Phase> phases;
+  {
+    // Contention storm: everyone hammers four hot resources in exclusive
+    // mode — deadlocks form constantly and persist until detected.
+    Phase storm;
+    storm.name = "storm";
+    storm.workload.num_transactions = 250;
+    storm.workload.concurrency = 10;
+    storm.workload.num_resources = 4;
+    storm.workload.zipf_theta = 0.9;
+    storm.workload.min_ops = 4;
+    storm.workload.max_ops = 8;
+    storm.workload.mode_weights = {0, 0, 0.2, 0, 0.8};
+    phases.push_back(storm);
+  }
+  {
+    // Quiet spell: shared-mode reads spread over many resources —
+    // blocking is rare and deadlocks essentially never form, so every
+    // detection pass is pure overhead.
+    Phase quiet;
+    quiet.name = "quiet";
+    quiet.workload.num_transactions = 1200;
+    quiet.workload.concurrency = 8;
+    quiet.workload.num_resources = 64;
+    quiet.workload.zipf_theta = 0.2;
+    quiet.workload.min_ops = 3;
+    quiet.workload.max_ops = 7;
+    quiet.workload.mode_weights = {0.7, 0.1, 0.1, 0.05, 0.05};
+    phases.push_back(quiet);
+  }
+  {
+    // Drift: moderate skew and a mixed mode profile — occasional
+    // deadlocks, neither extreme wins outright.
+    Phase drift;
+    drift.name = "drift";
+    drift.workload.num_transactions = 250;
+    drift.workload.concurrency = 10;
+    drift.workload.num_resources = 12;
+    drift.workload.zipf_theta = 0.7;
+    drift.workload.min_ops = 4;
+    drift.workload.max_ops = 8;
+    drift.workload.mode_weights = {0.25, 0.15, 0.3, 0.05, 0.25};
+    phases.push_back(drift);
+  }
+  return phases;
+}
+
+sim::SimConfig MakeConfig(const Phase& phase, uint64_t seed, size_t period) {
+  sim::SimConfig config;
+  config.workload = phase.workload;
+  config.workload.seed = seed;
+  config.detection_period = period;
+  config.max_ticks = 500'000;
+  // Measure the detector's latency, not the driver's safety net.
+  config.stall_patience = 4 * kMaxPeriod + 100;
+  return config;
+}
+
+double Cost(const sim::SimMetrics& metrics) {
+  return static_cast<double>(metrics.blocked_ticks) +
+         static_cast<double>(metrics.detector_work) +
+         kCallOverhead * static_cast<double>(metrics.detector_invocations);
+}
+
+struct PhaseResult {
+  std::string name;
+  std::vector<double> fixed_costs;  // parallel to kFixedPeriods
+  double adaptive_cost = 0.0;
+  size_t adaptive_retunes = 0;
+  size_t adaptive_min_period = 0;
+  size_t adaptive_max_period = 0;
+  size_t adaptive_final_period = 0;
+
+  double best_fixed() const {
+    return *std::min_element(fixed_costs.begin(), fixed_costs.end());
+  }
+  double adaptive_ratio() const { return adaptive_cost / best_fixed(); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_adaptive.json";
+  const std::vector<Phase> phases = MakePhases();
+  const size_t num_fixed = std::size(kFixedPeriods);
+
+  std::vector<PhaseResult> results;
+  for (const Phase& phase : phases) {
+    PhaseResult result;
+    result.name = phase.name;
+    result.fixed_costs.assign(num_fixed, 0.0);
+    result.adaptive_min_period = kMaxPeriod;
+    results.push_back(result);
+  }
+
+  // Fixed grid: every period runs every phase (summed over seeds).
+  for (size_t p = 0; p < num_fixed; ++p) {
+    for (size_t ph = 0; ph < phases.size(); ++ph) {
+      for (uint64_t seed : kSeeds) {
+        sim::SimConfig config =
+            MakeConfig(phases[ph], seed, kFixedPeriods[p]);
+        sim::Simulator simulator(config,
+                                 baselines::MakeStrategy("hwtwbg-periodic"));
+        results[ph].fixed_costs[p] += Cost(simulator.Run());
+      }
+    }
+  }
+
+  // Adaptive: ONE controller per seed, carried across the phase sequence
+  // — it has to retune its way out of each regime change.
+  for (uint64_t seed : kSeeds) {
+    sched::SchedulerOptions options;
+    options.policy = sched::SchedulerPolicy::kEwmaRate;
+    options.min_period = kMinPeriod;
+    options.max_period = kMaxPeriod;
+    options.persistence_weight = kPersistenceWeight;
+    auto controller = sched::MakePeriodController(options, kInitialPeriod);
+    for (size_t ph = 0; ph < phases.size(); ++ph) {
+      sim::SimConfig config = MakeConfig(phases[ph], seed, kInitialPeriod);
+      config.period_controller = controller.get();
+      sim::Simulator simulator(config,
+                               baselines::MakeStrategy("hwtwbg-periodic"));
+      sim::SimMetrics metrics = simulator.Run();
+      if (argc > 2) {
+        std::printf("[seed %llu %s] %s\n",
+                    static_cast<unsigned long long>(seed),
+                    phases[ph].name, metrics.ToString().c_str());
+      }
+      PhaseResult& result = results[ph];
+      result.adaptive_cost += Cost(metrics);
+      result.adaptive_retunes += metrics.period_retunes;
+      result.adaptive_min_period =
+          std::min(result.adaptive_min_period, metrics.min_detection_period);
+      result.adaptive_max_period =
+          std::max(result.adaptive_max_period, metrics.max_detection_period);
+      result.adaptive_final_period = metrics.final_detection_period;
+    }
+  }
+
+  // Report + acceptance bookkeeping.
+  std::printf("Adaptive detection scheduling (%zu seeds per cell; cost = "
+              "blocked_ticks + det_work + %.0f*det_calls)\n\n",
+              std::size(kSeeds), kCallOverhead);
+  std::printf("%8s", "phase");
+  for (size_t p = 0; p < num_fixed; ++p) {
+    std::printf("   fixed=%-3zu", kFixedPeriods[p]);
+  }
+  std::printf("   %10s %8s %14s\n", "adaptive", "ratio", "period[min,max]");
+
+  std::vector<bool> fixed_loses(num_fixed, false);
+  for (const PhaseResult& result : results) {
+    const double best = result.best_fixed();
+    std::printf("%8s", result.name.c_str());
+    for (size_t p = 0; p < num_fixed; ++p) {
+      std::printf(" %10.0f%c", result.fixed_costs[p],
+                  result.fixed_costs[p] > 1.2 * best ? '*' : ' ');
+      if (result.fixed_costs[p] > 1.2 * best) fixed_loses[p] = true;
+    }
+    const double ratio = result.adaptive_ratio();
+    std::printf("   %10.0f %7.2fx   [%zu, %zu]->%zu\n", result.adaptive_cost,
+                ratio, result.adaptive_min_period, result.adaptive_max_period,
+                result.adaptive_final_period);
+  }
+  const bool all_fixed_lose =
+      std::all_of(fixed_loses.begin(), fixed_loses.end(),
+                  [](bool lost) { return lost; });
+  double max_ratio = 0.0;
+  size_t retunes = 0;
+  for (const PhaseResult& result : results) {
+    max_ratio = std::max(max_ratio, result.adaptive_ratio());
+    retunes += result.adaptive_retunes;
+  }
+  std::printf("\n(* = loses the phase by >20%%.)  adaptive max ratio %.2fx; "
+              "every fixed period loses a phase: %s\n",
+              max_ratio, all_fixed_lose ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"adaptive_schedule\",\n"
+               "  \"seeds\": %zu,\n"
+               "  \"call_overhead\": %.1f,\n"
+               "  \"min_period\": %zu,\n"
+               "  \"max_period\": %zu,\n"
+               "  \"initial_period\": %zu,\n"
+               "  \"phases\": [\n",
+               std::size(kSeeds), kCallOverhead, kMinPeriod, kMaxPeriod,
+               kInitialPeriod);
+  for (size_t ph = 0; ph < results.size(); ++ph) {
+    const PhaseResult& result = results[ph];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"fixed\": [",
+                 result.name.c_str());
+    for (size_t p = 0; p < num_fixed; ++p) {
+      std::fprintf(out, "%s{\"period\": %zu, \"cost\": %.1f}",
+                   p == 0 ? "" : ", ", kFixedPeriods[p],
+                   result.fixed_costs[p]);
+    }
+    std::fprintf(out,
+                 "],\n"
+                 "      \"best_fixed_cost\": %.1f,\n"
+                 "      \"adaptive_cost\": %.1f,\n"
+                 "      \"adaptive_ratio\": %.4f,\n"
+                 "      \"adaptive_retunes\": %zu,\n"
+                 "      \"adaptive_min_period\": %zu,\n"
+                 "      \"adaptive_max_period\": %zu,\n"
+                 "      \"adaptive_final_period\": %zu\n"
+                 "    }%s\n",
+                 result.best_fixed(), result.adaptive_cost,
+                 result.adaptive_ratio(), result.adaptive_retunes,
+                 result.adaptive_min_period, result.adaptive_max_period,
+                 result.adaptive_final_period,
+                 ph + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"total_retunes\": %zu,\n"
+               "  \"max_adaptive_ratio\": %.4f,\n"
+               "  \"every_fixed_period_loses_a_phase\": %s\n"
+               "}\n",
+               retunes, max_ratio, all_fixed_lose ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -84,6 +84,8 @@ std::string_view ToString(EventKind kind) {
       return "snapshot_publish";
     case EventKind::kResolutionRejected:
       return "resolution_rejected";
+    case EventKind::kPeriodRetuned:
+      return "period_retuned";
   }
   return "?";
 }

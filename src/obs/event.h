@@ -161,11 +161,19 @@ enum class EventKind : uint8_t {
   /// `a` = cycle length, `b` = 1 TDR-2 / 0 TDR-1; `value` = the chosen
   /// candidate's cost.
   kResolutionRejected,
+
+  // -- scheduling layer (sched::PeriodController; see docs/TUNING.md) --
+  /// The closed-loop period controller retuned the detection period.
+  /// `a` = the previous period, `b` = the new period (host time units —
+  /// simulator ticks or service microseconds); `value` = the EWMA
+  /// deadlock-formation-rate estimate behind the move, in deadlocks per
+  /// host time unit.
+  kPeriodRetuned,
 };
 
 /// Number of EventKind enumerators (array-sizing constant).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kResolutionRejected) + 1;
+    static_cast<size_t>(EventKind::kPeriodRetuned) + 1;
 
 /// Canonical snake_case name of `kind` ("lock_grant", "pass_end", ...).
 std::string_view ToString(EventKind kind);

@@ -36,6 +36,10 @@ void LatencyObserver::OnEvent(const Event& event) {
     case EventKind::kCycleResolved:
       cycle_len_.Add(event.a);
       break;
+    case EventKind::kPeriodRetuned:
+      detection_period_.Add(event.b);
+      current_period_ = event.b;
+      break;
     default:
       break;
   }
@@ -63,6 +67,7 @@ std::string LatencyObserver::Report() const {
       {"queue_depth", &queue_depth_},     {"cycle_len", &cycle_len_},
       {"publish (ns)", &publish_ns_},
       {"snapshot_lag (ns)", &snapshot_lag_ns_},
+      {"detection_period", &detection_period_},
   };
   for (const Row& row : rows) {
     if (row.hist->count() == 0) continue;
@@ -140,6 +145,23 @@ std::string ToPrometheusText(const LatencyObserver& observer,
                   "Seal-to-apply detection lag per pauseless pass, "
                   "nanoseconds.",
                   observer.snapshot_lag_ns());
+  AppendHistogram(&out, prefix, "detection_period",
+                  "Detection period applied by each controller retune, "
+                  "host time units.",
+                  observer.detection_period());
+  // Point-in-time gauge for dashboards: the period currently in effect,
+  // 0 until the first retune is observed.
+  if (observer.current_period() != 0) {
+    const std::string metric = prefix + "_detection_period_current";
+    out += common::Format(
+        "# HELP %s The detection period currently in effect, host time "
+        "units.\n",
+        metric.c_str());
+    out += common::Format("# TYPE %s gauge\n", metric.c_str());
+    out += common::Format(
+        "%s %llu\n", metric.c_str(),
+        static_cast<unsigned long long>(observer.current_period()));
+  }
   return out;
 }
 

@@ -30,6 +30,9 @@ namespace twbg::obs {
 ///                 pause, wall ns — the only pause a pauseless pass costs)
 ///  - snapshot_lag_ns: kPassEnd.span when non-zero (seal-to-apply lag of
 ///                 a pauseless pass; stop-the-world passes leave span 0)
+///  - detection_period: kPeriodRetuned.b (the period each controller
+///                 retune applied, host time units; the latest value is
+///                 also kept as the current_period() gauge)
 class LatencyObserver : public EventSink {
  public:
   /// Counts `event` and records its measurement (if any) — see the class
@@ -69,6 +72,15 @@ class LatencyObserver : public EventSink {
   /// Wall nanoseconds of seal-to-apply detection lag per pauseless pass.
   const LogHistogram& snapshot_lag_ns() const { return snapshot_lag_ns_; }
 
+  /// Detection period applied by each controller retune (kPeriodRetuned),
+  /// host time units.
+  const LogHistogram& detection_period() const { return detection_period_; }
+
+  /// The detection period currently in effect per the latest
+  /// kPeriodRetuned seen (a point-in-time gauge; 0 until the first
+  /// retune — fixed-period systems never move it).
+  uint64_t current_period() const { return current_period_; }
+
   /// Forgets everything seen so far.
   void Reset();
 
@@ -87,6 +99,8 @@ class LatencyObserver : public EventSink {
   LogHistogram cycle_len_;
   LogHistogram publish_ns_;
   LogHistogram snapshot_lag_ns_;
+  LogHistogram detection_period_;
+  uint64_t current_period_ = 0;
 };
 
 /// Renders the observer's aggregates in Prometheus text exposition

@@ -1,0 +1,214 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "sched/period_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace twbg::sched {
+
+namespace {
+
+// Below this EWMA rate (deadlocks per time unit) the system is treated
+// as deadlock-free and the target period is the ceiling outright,
+// instead of letting sqrt(2C/lambda) produce astronomically large
+// intermediate targets.
+constexpr double kQuietRate = 1e-9;
+
+uint64_t Clamp(uint64_t period, uint64_t lo, uint64_t hi) {
+  return std::min(std::max(period, lo), hi);
+}
+
+// The zero-diff default: period() is a constant, OnPassComplete is a
+// no-op.  Kept as a real controller (not a null pointer) so hosts have
+// exactly one scheduling code path to test.
+class FixedPeriodController final : public PeriodController {
+ public:
+  explicit FixedPeriodController(uint64_t period) : period_(period) {}
+
+  uint64_t period() const override { return period_; }
+
+  std::optional<PeriodRetune> OnPassComplete(const PassSample&) override {
+    return std::nullopt;
+  }
+
+  std::string_view name() const override {
+    return ToString(SchedulerPolicy::kFixedPeriod);
+  }
+
+ private:
+  uint64_t period_;
+};
+
+// The square-root rule T* = sqrt(2C / (lambda * w * B)) over EWMA
+// estimates of the formation rate lambda, per-pass cost C and blocked
+// population B, with three guards:
+//
+//   * clamps: T* is clamped into [min_period, max_period] before use.
+//   * burst snap-down: after a pass that resolved >= 1 cycle, the rate
+//     estimate is floored at the pass's own instantaneous rate and a
+//     downward move applies immediately (no deadband, no slew), so a
+//     deadlock burst pulls the period down on the very next retune —
+//     within two passes of the burst starting, counting the pass that
+//     first sees it.
+//   * hysteresis + slew on the way up: upward moves need the target to
+//     clear the deadband and may grow by at most max_raise_factor per
+//     pass, so a quiet spell lengthens the period geometrically and an
+//     oscillating load cannot thrash it.
+class EwmaRateController final : public PeriodController {
+ public:
+  EwmaRateController(const SchedulerOptions& options, uint64_t initial,
+                     uint64_t max_period)
+      : options_(options),
+        max_period_(max_period),
+        period_(Clamp(initial, options.min_period, max_period)) {}
+
+  uint64_t period() const override { return period_; }
+
+  std::optional<PeriodRetune> OnPassComplete(
+      const PassSample& sample) override {
+    const double elapsed =
+        static_cast<double>(std::max<uint64_t>(sample.elapsed, 1));
+    const double inst_rate =
+        static_cast<double>(sample.cycles_resolved) / elapsed;
+    const double inst_blocked = static_cast<double>(sample.blocked_txns);
+    const double alpha = options_.ewma_alpha;
+    rate_ = seen_pass_ ? (1.0 - alpha) * rate_ + alpha * inst_rate : inst_rate;
+    const double scaled_cost =
+        options_.detection_cost_weight * sample.detection_cost;
+    cost_ = seen_pass_ ? (1.0 - alpha) * cost_ + alpha * scaled_cost
+                       : scaled_cost;
+    blocked_ = seen_pass_ ? (1.0 - alpha) * blocked_ + alpha * inst_blocked
+                          : inst_blocked;
+    seen_pass_ = true;
+
+    // A burst must not wait for the EWMA to catch up: price this pass's
+    // own rate (and blocked population) if it is the higher estimate.
+    const double eff_rate =
+        sample.cycles_resolved > 0 ? std::max(rate_, inst_rate) : rate_;
+    // A lingering deadlock costs one unit of persistence per blocked
+    // transaction per time unit, so the staleness side of the trade-off
+    // scales with the blocked population (floored at one transaction).
+    const double eff_blocked = std::max(
+        1.0, sample.cycles_resolved > 0 ? std::max(blocked_, inst_blocked)
+                                        : blocked_);
+    uint64_t target = max_period_;
+    if (eff_rate > kQuietRate && cost_ > 0.0) {
+      const double t_star = std::sqrt(
+          2.0 * cost_ /
+          (eff_rate * options_.persistence_weight * eff_blocked));
+      target = Clamp(t_star >= static_cast<double>(max_period_)
+                         ? max_period_
+                         : static_cast<uint64_t>(std::llround(t_star)),
+                     options_.min_period, max_period_);
+    }
+
+    uint64_t next = period_;
+    if (target < period_) {
+      // Downward: immediate when this pass proved deadlocks are forming;
+      // otherwise subject to the deadband like any other move.
+      if (sample.cycles_resolved > 0 ||
+          static_cast<double>(period_ - target) >
+              options_.hysteresis * static_cast<double>(period_)) {
+        next = target;
+      }
+    } else if (target > period_) {
+      if (static_cast<double>(target - period_) >
+          options_.hysteresis * static_cast<double>(period_)) {
+        const double raised = std::max(
+            static_cast<double>(period_) * options_.max_raise_factor,
+            static_cast<double>(period_) + 1.0);
+        const double capped = std::min(static_cast<double>(target), raised);
+        next = Clamp(static_cast<uint64_t>(std::llround(capped)),
+                     options_.min_period, max_period_);
+      }
+    }
+    if (next == period_) return std::nullopt;
+    PeriodRetune retune;
+    retune.old_period = period_;
+    retune.new_period = next;
+    retune.deadlock_rate = eff_rate;
+    retune.detection_cost = cost_;
+    period_ = next;
+    return retune;
+  }
+
+  std::string_view name() const override {
+    return ToString(SchedulerPolicy::kEwmaRate);
+  }
+
+ private:
+  SchedulerOptions options_;
+  uint64_t max_period_;
+  uint64_t period_;
+  double rate_ = 0.0;
+  double cost_ = 0.0;
+  double blocked_ = 0.0;
+  bool seen_pass_ = false;
+};
+
+}  // namespace
+
+std::string_view ToString(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFixedPeriod:
+      return "fixed";
+    case SchedulerPolicy::kEwmaRate:
+      return "ewma-rate";
+  }
+  return "?";
+}
+
+Status SchedulerOptions::Validate() const {
+  if (min_period == 0) {
+    return Status::InvalidArgument("SchedulerOptions: min_period must be >= 1");
+  }
+  if (max_period != 0 && max_period < min_period) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: max_period must be 0 (auto) or >= min_period");
+  }
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: ewma_alpha must be in (0, 1]");
+  }
+  if (!(detection_cost_weight > 0.0)) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: detection_cost_weight must be > 0");
+  }
+  if (!(persistence_weight > 0.0)) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: persistence_weight must be > 0");
+  }
+  if (hysteresis < 0.0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: hysteresis must be >= 0");
+  }
+  if (max_raise_factor < 1.0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: max_raise_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<PeriodController> MakePeriodController(
+    const SchedulerOptions& options, uint64_t initial_period) {
+  TWBG_CHECK(options.Validate().ok());
+  TWBG_CHECK(initial_period >= 1);
+  const uint64_t max_period =
+      options.max_period != 0
+          ? options.max_period
+          : std::max(options.min_period, 16 * initial_period);
+  switch (options.policy) {
+    case SchedulerPolicy::kFixedPeriod:
+      return std::make_unique<FixedPeriodController>(initial_period);
+    case SchedulerPolicy::kEwmaRate:
+      return std::make_unique<EwmaRateController>(options, initial_period,
+                                                  max_period);
+  }
+  TWBG_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace twbg::sched

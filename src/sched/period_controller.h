@@ -1,0 +1,169 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Closed-loop scheduling of the periodic detection pass.  The paper
+// leaves the detection period as an operator knob ("by increasing the
+// periodic interval, the cost of deadlock detection decreases but it
+// will detect deadlocks late", §5); this layer closes the loop: a
+// PeriodController observes every completed pass — its cost and the
+// deadlocks it resolved — and retunes the period online toward the
+// cost-optimal operating point.
+//
+// The model follows the optimal-detection-scheduling literature ("On
+// Optimal Deadlock Detection Scheduling", PAPERS.md): with a per-pass
+// detection cost C and deadlocks forming at rate lambda, each deadlock
+// lingers T/2 on average under period T, so the expected cost rate is
+//
+//     cost(T) = C / T  +  lambda * w * B * T / 2
+//
+// where w prices one blocked transaction per time unit and B is the
+// blocked population a lingering deadlock holds up (estimated from
+// PassSample::blocked_txns, floored at 1).  Minimizing over T gives the
+// square-root rule the EWMA policy implements:
+//
+//     T* = sqrt(2 * C / (lambda * w * B))
+//
+// Units are the host's: the discrete-tick Simulator feeds tick elapsed
+// times and work-unit costs, the threaded ConcurrentLockService feeds
+// microseconds and nanosecond pause costs; the weights in
+// SchedulerOptions reconcile them (docs/TUNING.md walks through both).
+//
+// Controllers are deterministic: the next period is a pure function of
+// the sample sequence, so scripted scenarios retune identically on
+// every run (tests/sched_test.cc pins exact sequences).
+
+#ifndef TWBG_SCHED_PERIOD_CONTROLLER_H_
+#define TWBG_SCHED_PERIOD_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace twbg::sched {
+
+/// Retuning policy of a PeriodController (see MakePeriodController).
+enum class SchedulerPolicy : uint8_t {
+  /// Never retune: the period stays at its initial value.  The default —
+  /// byte-identical to a system with no scheduler at all, so adaptive
+  /// scheduling is strictly opt-in.
+  kFixedPeriod = 0,
+  /// EWMA estimates of the deadlock-formation rate and the per-pass
+  /// detection cost drive the square-root rule T* = sqrt(2C/(lambda*w)),
+  /// guarded by hysteresis and min/max clamps.
+  kEwmaRate,
+};
+
+/// Canonical lower-case name of `policy` ("fixed", "ewma-rate").
+std::string_view ToString(SchedulerPolicy policy);
+
+/// Tuning of the closed-loop period controller.  All durations are in
+/// the host's time unit (simulator ticks, service microseconds); the
+/// zero-diff default is the fixed-period policy.
+struct SchedulerOptions {
+  /// Which controller MakePeriodController builds.
+  SchedulerPolicy policy = SchedulerPolicy::kFixedPeriod;
+  /// Hard floor of the retuned period (>= 1).  A deadlock storm can
+  /// never drive the period below this.
+  uint64_t min_period = 1;
+  /// Hard ceiling of the retuned period.  A quiet system converges here
+  /// (the rate estimate decays to zero and T* diverges).  0 means
+  /// "16 x the initial period" at controller construction.
+  uint64_t max_period = 0;
+  /// Smoothing factor of the rate / cost EWMAs, in (0, 1]: higher reacts
+  /// faster, lower remembers longer.
+  double ewma_alpha = 0.3;
+  /// Scales PassSample::detection_cost into the cost model's C — the
+  /// knob that reconciles cost units (work units, nanoseconds) with the
+  /// host time unit.
+  double detection_cost_weight = 1.0;
+  /// The cost model's w: what one blocked transaction costs per host
+  /// time unit while a deadlock lingers, in the same units as the scaled
+  /// detection cost (multiplied by the observed blocked population).
+  /// Raising it shortens T*; lowering it tolerates staler deadlocks.
+  double persistence_weight = 1.0;
+  /// Retune deadband: an upward move is applied only when the target
+  /// differs from the current period by more than this fraction, so an
+  /// oscillating load does not thrash the period.  Downward moves after
+  /// a pass that resolved a cycle bypass the deadband — a deadlock burst
+  /// must snap the period down immediately (see EwmaRate docs).
+  double hysteresis = 0.25;
+  /// Per-retune cap on upward moves: the period may grow by at most this
+  /// factor per pass, so one quiet interval cannot overshoot past the
+  /// next burst.  Downward moves are uncapped (snapping down is safe —
+  /// it only costs detection work).
+  double max_raise_factor = 2.0;
+
+  /// Rejects out-of-domain values: min_period == 0, max_period nonzero
+  /// but below min_period, ewma_alpha outside (0, 1], non-positive
+  /// weights, negative hysteresis, max_raise_factor < 1.
+  Status Validate() const;
+};
+
+/// What one completed detection pass looked like — the controller's
+/// entire view of the world.  Hosts fill it from telemetry they already
+/// collect (pass walk duration, publish pauses, cycles resolved).
+struct PassSample {
+  /// Host time units since the previous pass (the realized period).
+  /// Zero is treated as one unit.
+  uint64_t elapsed = 0;
+  /// Cost of this pass in the host's cost unit (simulator work units,
+  /// service pass nanoseconds) before detection_cost_weight scaling.
+  double detection_cost = 0.0;
+  /// Deadlock cycles this pass detected and resolved — the numerator of
+  /// the formation-rate estimate.
+  uint64_t cycles_resolved = 0;
+  /// Transactions observed blocked when the pass ran — the cost model's
+  /// B: a deadlock that lingers in a deep wait population stalls more
+  /// work, so the EWMA policy scales the persistence side of the
+  /// trade-off by this estimate (floored at 1).
+  uint64_t blocked_txns = 0;
+};
+
+/// One applied period change, returned by OnPassComplete for the host to
+/// log (the service and simulator emit it as the kPeriodRetuned event).
+struct PeriodRetune {
+  /// The period that was in effect, host time units.
+  uint64_t old_period = 0;
+  /// The period now in effect, host time units.
+  uint64_t new_period = 0;
+  /// The EWMA deadlock-formation-rate estimate behind the move, in
+  /// deadlocks per host time unit.
+  double deadlock_rate = 0.0;
+  /// The EWMA per-pass detection-cost estimate behind the move, after
+  /// detection_cost_weight scaling.
+  double detection_cost = 0.0;
+};
+
+/// Closed-loop detection-period controller.  Hosts call period() to
+/// schedule the next pass and OnPassComplete after every full pass;
+/// implementations are deterministic and not thread-safe (hosts
+/// serialize calls — the service holds its scheduler mutex, the
+/// simulator is single-threaded).
+class PeriodController {
+ public:
+  virtual ~PeriodController() = default;
+
+  /// The period currently in effect, host time units (>= 1).
+  virtual uint64_t period() const = 0;
+
+  /// Feeds one completed pass into the control loop.  Returns the
+  /// applied retune when the period changed, nullopt otherwise (the
+  /// fixed policy always returns nullopt).
+  virtual std::optional<PeriodRetune> OnPassComplete(
+      const PassSample& sample) = 0;
+
+  /// The policy's canonical name (ToString of its SchedulerPolicy).
+  virtual std::string_view name() const = 0;
+};
+
+/// Builds the controller `options` describes, starting at
+/// `initial_period` (clamped into [min_period, effective max_period];
+/// must be >= 1).  Validate() must have passed.
+std::unique_ptr<PeriodController> MakePeriodController(
+    const SchedulerOptions& options, uint64_t initial_period);
+
+}  // namespace twbg::sched
+
+#endif  // TWBG_SCHED_PERIOD_CONTROLLER_H_

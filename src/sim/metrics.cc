@@ -40,6 +40,11 @@ std::string SimMetrics::ToString() const {
         snapshot_publishes, snapshot_publish_ns, snapshot_lag_ns,
         resolutions_rejected);
   }
+  if (period_retunes > 0) {
+    out += common::Format(
+        " sched[retunes=%zu period=%zu min=%zu max=%zu]", period_retunes,
+        final_detection_period, min_detection_period, max_detection_period);
+  }
   if (graph_dirty_resources + graph_cached_resources > 0) {
     out += common::Format(
         " gcache[dirty=%zu cached=%zu rebuilt=%zu reused=%zu]",

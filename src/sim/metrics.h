@@ -110,6 +110,18 @@ struct SimMetrics {
   /// Resolution commands dropped by stamp validation (each retried by a
   /// later pass).
   size_t resolutions_rejected = 0;
+  /// Closed-loop scheduling counters (sched::PeriodController; zero when
+  /// the run used a fixed detection period).
+  /// Period retunes the controller applied during the run.
+  size_t period_retunes = 0;
+  /// The detection period in effect when the run ended, ticks (equals
+  /// the configured detection_period when no controller moved it; 0 when
+  /// periodic detection was disabled).
+  size_t final_detection_period = 0;
+  /// Smallest and largest periods in effect at any point of the run
+  /// (both equal final_detection_period when nothing retuned).
+  size_t min_detection_period = 0;
+  size_t max_detection_period = 0;
 
   /// Committed transactions per 1000 ticks.
   double Throughput() const {

@@ -40,6 +40,14 @@ Status SimConfig::Validate() const {
     return Status::InvalidArgument(
         "SimConfig: record_trace requires trace_capacity >= 1");
   }
+  TWBG_RETURN_IF_ERROR(scheduler.Validate());
+  const bool adaptive =
+      period_controller != nullptr ||
+      scheduler.policy != sched::SchedulerPolicy::kFixedPeriod;
+  if (adaptive && detection_period == 0) {
+    return Status::InvalidArgument(
+        "SimConfig: closed-loop scheduling requires detection_period > 0");
+  }
   return robustness.Validate();
 }
 
@@ -70,6 +78,21 @@ Simulator::Simulator(const SimConfig& config,
   }
   if (!config_.fault_plan.empty()) {
     injector_ = std::make_unique<robustness::FaultInjector>(config_.fault_plan);
+  }
+  if (config_.period_controller != nullptr) {
+    controller_ = config_.period_controller;
+  } else if (config_.scheduler.policy !=
+             sched::SchedulerPolicy::kFixedPeriod) {
+    owned_controller_ = sched::MakePeriodController(
+        config_.scheduler, config_.detection_period);
+    controller_ = owned_controller_.get();
+  }
+  if (config_.detection_period > 0) {
+    const size_t period =
+        controller_ != nullptr ? controller_->period() : config_.detection_period;
+    metrics_.final_detection_period = period;
+    metrics_.min_detection_period = period;
+    metrics_.max_detection_period = period;
   }
 }
 
@@ -203,6 +226,10 @@ void Simulator::InvokeStrategy(bool periodic, lock::TransactionId blocked) {
   const int64_t elapsed_ns = watch.ElapsedNanos();
   metrics_.detector_seconds += static_cast<double>(elapsed_ns) / 1e9;
   ++metrics_.detector_invocations;
+  // Deterministic cost signal for the period controller: the strategy's
+  // own work units, never wall time.
+  last_pass_cycles_ = outcome.cycles_found;
+  last_pass_work_ = outcome.work;
   if (bus_.active()) {
     obs::Event end;
     end.kind = obs::EventKind::kPassEnd;
@@ -281,6 +308,43 @@ void Simulator::ApplyTickFaults() {
         break;  // excluded by TakeTickFaults; fires at wakeup observation
     }
   }
+}
+
+void Simulator::MaybeRunPeriodicPass() {
+  if (config_.detection_period == 0) return;
+  if (controller_ == nullptr) {
+    // Historical fixed-period schedule, byte-identical to before the
+    // scheduling layer existed.
+    if (metrics_.ticks % config_.detection_period == 0) {
+      InvokeStrategy(/*periodic=*/true, lock::kInvalidTransaction);
+    }
+    return;
+  }
+  if (metrics_.ticks < next_pass_tick_) return;
+  InvokeStrategy(/*periodic=*/true, lock::kInvalidTransaction);
+  sched::PassSample sample;
+  sample.elapsed = metrics_.ticks - last_pass_tick_;
+  sample.detection_cost = static_cast<double>(last_pass_work_);
+  sample.cycles_resolved = last_pass_cycles_;
+  sample.blocked_txns = lock_manager_.BlockedTransactions().size();
+  if (const std::optional<sched::PeriodRetune> retune =
+          controller_->OnPassComplete(sample)) {
+    ++metrics_.period_retunes;
+    obs::Event event;
+    event.kind = obs::EventKind::kPeriodRetuned;
+    event.a = retune->old_period;
+    event.b = retune->new_period;
+    event.value = retune->deadlock_rate;
+    Emit(event);
+  }
+  const size_t period = std::max<size_t>(controller_->period(), 1);
+  metrics_.final_detection_period = period;
+  metrics_.min_detection_period =
+      std::min(metrics_.min_detection_period, period);
+  metrics_.max_detection_period =
+      std::max(metrics_.max_detection_period, period);
+  last_pass_tick_ = metrics_.ticks;
+  next_pass_tick_ = metrics_.ticks + period;
 }
 
 void Simulator::DeadlineKill(lock::TransactionId tid) {
@@ -469,10 +533,7 @@ SimMetrics Simulator::Run() {
       }
     }
 
-    if (config_.detection_period > 0 &&
-        metrics_.ticks % config_.detection_period == 0) {
-      InvokeStrategy(/*periodic=*/true, lock::kInvalidTransaction);
-    }
+    MaybeRunPeriodicPass();
 
     metrics_.blocked_ticks += lock_manager_.BlockedTransactions().size();
     if (progress || acted_this_tick_) {

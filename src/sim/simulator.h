@@ -27,6 +27,7 @@
 #include "lock/lock_manager.h"
 #include "obs/sinks.h"
 #include "obs/watchdog.h"
+#include "sched/period_controller.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
 #include "sim/workload.h"
@@ -38,7 +39,21 @@ namespace twbg::sim {
 struct SimConfig {
   WorkloadConfig workload;
   /// OnPeriodic every this many ticks (0 disables periodic detection).
+  /// With a period controller attached (see `scheduler` and
+  /// `period_controller`) this is only the *initial* period; the
+  /// controller retunes it after every periodic pass.
   size_t detection_period = 10;
+  /// Closed-loop period scheduling (docs/TUNING.md).  The default
+  /// kFixedPeriod policy keeps the historical fixed-period behavior; any
+  /// other policy requires detection_period > 0 and drives the pass
+  /// schedule from a sched::PeriodController fed with each pass's work
+  /// and cycles-resolved counts (all in ticks — deterministic).
+  sched::SchedulerOptions scheduler;
+  /// Externally owned controller carried across runs (closed-loop
+  /// experiments retune through workload phase changes this way).  When
+  /// set it overrides `scheduler`; detection_period must still be > 0.
+  /// Not owned; must outlive the simulator.
+  sched::PeriodController* period_controller = nullptr;
   /// Hard tick budget; exceeded runs report timed_out.
   size_t max_ticks = 2'000'000;
   /// Ticks without progress or strategy action before stall recovery.
@@ -172,6 +187,11 @@ class Simulator {
   // Fires this tick's planned faults (crash / delay-grant / stall).
   void ApplyTickFaults();
 
+  // Runs the scheduled periodic pass when one is due this tick, and
+  // feeds the closed-loop controller (if any) with the pass's sample —
+  // retunes land as kPeriodRetuned events and SimMetrics counters.
+  void MaybeRunPeriodicPass();
+
   // Cancels expired lock waits and enforces the escalation policies
   // (abort-after-N, retry exhaustion, transaction budget).
   void ExpireDeadlines();
@@ -213,6 +233,18 @@ class Simulator {
   std::unique_ptr<obs::Watchdog> watchdog_;  // config.enable_watchdog
   std::unique_ptr<robustness::FaultInjector> injector_;  // config.fault_plan
   size_t stall_until_ = 0;  // kStallShard freeze horizon
+
+  // Closed-loop scheduling state.  controller_ is null for the
+  // historical fixed-period modulo schedule; otherwise it points at
+  // either owned_controller_ or config.period_controller.
+  std::unique_ptr<sched::PeriodController> owned_controller_;
+  sched::PeriodController* controller_ = nullptr;
+  size_t next_pass_tick_ = 0;  // controller_ schedule only
+  size_t last_pass_tick_ = 0;
+  // Stats of the most recent strategy invocation (InvokeStrategy),
+  // consumed by the controller sample.
+  size_t last_pass_cycles_ = 0;
+  size_t last_pass_work_ = 0;
 };
 
 }  // namespace twbg::sim

@@ -79,6 +79,18 @@ Status ConcurrentServiceOptions::Validate() const {
           "continuous detection runs inline; detection_threads must be 0");
     }
   }
+  Status sched_status = scheduler.Validate();
+  if (!sched_status.ok()) return sched_status;
+  if (scheduler.policy != sched::SchedulerPolicy::kFixedPeriod) {
+    // Closed-loop scheduling retunes the detector thread's wait; it is
+    // meaningless without a detector thread to drive.
+    if (detection_mode != DetectionMode::kPeriodic ||
+        detection_period.count() <= 0) {
+      return Status::InvalidArgument(
+          "adaptive scheduling (scheduler.policy != kFixedPeriod) requires "
+          "kPeriodic mode with detection_period > 0");
+    }
+  }
   return robustness.Validate();
 }
 
@@ -204,6 +216,11 @@ ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
       detector_options, pool_.get());
   pass_host_ = std::make_unique<PassHost>(*this);
   if (options_.detection_period.count() > 0) {
+    const uint64_t initial_us =
+        static_cast<uint64_t>(options_.detection_period.count());
+    controller_ = sched::MakePeriodController(options_.scheduler, initial_us);
+    base_period_us_ = initial_us;
+    current_period_us_.store(initial_us, std::memory_order_release);
     detector_thread_ = std::thread(&ConcurrentLockService::DetectorLoop, this);
   }
 }
@@ -879,8 +896,10 @@ core::ResolutionReport ConcurrentLockService::RunStopTheWorldPass() {
     pause_times_ns_.push_back(pause_ns);
   }
   // Graceful degradation: a pass that blew its pause budget switches the
-  // next K scheduled passes to the cheap timeout-resolver sweep.
-  const uint64_t budget_ns = options_.robustness.degradation.pause_budget_ns;
+  // next K scheduled passes to the cheap timeout-resolver sweep.  The
+  // budget is judged against the period in effect during THIS pass, so
+  // the retune below cannot excuse the pause that motivated it.
+  const uint64_t budget_ns = EffectivePauseBudgetNs();
   if (budget_ns != 0 && pause_ns > budget_ns) {
     const uint32_t passes = options_.robustness.degradation.degraded_passes;
     degraded_remaining_.store(passes, std::memory_order_relaxed);
@@ -891,6 +910,7 @@ core::ResolutionReport ConcurrentLockService::RunStopTheWorldPass() {
     event.value = static_cast<double>(budget_ns) / 1000.0;  // budget, µs
     EmitStandalone(std::move(event));
   }
+  UpdateSchedulerAfterPass(pause_ns, report);
   return report;
 }
 
@@ -1202,7 +1222,7 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
     pause_times_ns_.push_back(pause_ns);
     detection_lag_ns_.push_back(lag_ns);
   }
-  const uint64_t budget_ns = options_.robustness.degradation.pause_budget_ns;
+  const uint64_t budget_ns = EffectivePauseBudgetNs();
   if (budget_ns != 0 && pause_ns > budget_ns) {
     const uint32_t passes = options_.robustness.degradation.degraded_passes;
     degraded_remaining_.store(passes, std::memory_order_relaxed);
@@ -1213,6 +1233,10 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
     event.value = static_cast<double>(budget_ns) / 1000.0;  // budget, µs
     EmitStandalone(std::move(event));
   }
+  // Full pass cost (publish + detect + validated apply), not just the
+  // client-visible pause: the controller trades detector CPU for staleness.
+  UpdateSchedulerAfterPass(static_cast<uint64_t>(pass_clock.ElapsedNanos()),
+                           report);
   return report;
 }
 
@@ -1362,14 +1386,83 @@ void ConcurrentLockService::RefreshCostLocked(lock::TransactionId tid,
 void ConcurrentLockService::DetectorLoop() {
   std::unique_lock<std::mutex> lk(stop_mu_);
   while (!stopping_) {
-    if (stop_cv_.wait_for(lk, options_.detection_period,
-                          [this] { return stopping_; })) {
+    // Re-read every iteration: a retune applied after the previous pass
+    // takes effect on the very next wait.
+    const std::chrono::microseconds wait(
+        current_period_us_.load(std::memory_order_acquire));
+    if (stop_cv_.wait_for(lk, wait, [this] { return stopping_; })) {
       break;
     }
     lk.unlock();
     RunPeriodicPass();
     lk.lock();
   }
+}
+
+uint64_t ConcurrentLockService::EffectivePauseBudgetNs() const {
+  const uint64_t base_ns = options_.robustness.degradation.pause_budget_ns;
+  if (base_ns == 0 || controller_ == nullptr || base_period_us_ == 0) {
+    return base_ns;
+  }
+  const uint64_t period_us = current_period_us_.load(std::memory_order_acquire);
+  if (period_us == 0 || period_us == base_period_us_) return base_ns;
+  // Longer periods amortize a pass over more work, so a proportionally
+  // longer pause keeps the same duty cycle; shorter periods tighten it.
+  const double scaled = static_cast<double>(base_ns) *
+                        static_cast<double>(period_us) /
+                        static_cast<double>(base_period_us_);
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+void ConcurrentLockService::UpdateSchedulerAfterPass(
+    uint64_t pass_ns, const core::ResolutionReport& report) {
+  if (controller_ == nullptr) return;
+  // Snapshot the blocked population under txn_mu_ alone before touching
+  // any scheduling state (sched_mu_ is a leaf lock: nothing else is ever
+  // taken under it).
+  uint64_t blocked = 0;
+  {
+    std::scoped_lock tl(txn_mu_);
+    for (const auto& [tid, rec] : txns_) {
+      if (rec.state.load(std::memory_order_relaxed) == TxnState::kBlocked) {
+        ++blocked;
+      }
+    }
+  }
+  std::optional<sched::PeriodRetune> retune;
+  {
+    std::scoped_lock sl(sched_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    // First pass has no predecessor; charge it one nominal period.
+    uint64_t elapsed_us = current_period_us_.load(std::memory_order_relaxed);
+    if (sched_seen_pass_) {
+      elapsed_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - last_pass_time_)
+              .count());
+      if (elapsed_us == 0) elapsed_us = 1;
+    }
+    last_pass_time_ = now;
+    sched_seen_pass_ = true;
+    sched::PassSample sample;
+    sample.elapsed = elapsed_us;
+    // Cost in the controller's time unit (µs), same as the period.
+    sample.detection_cost = static_cast<double>(pass_ns) / 1000.0;
+    sample.cycles_resolved = report.cycles_detected;
+    sample.blocked_txns = blocked;
+    retune = controller_->OnPassComplete(sample);
+    if (retune.has_value()) {
+      current_period_us_.store(retune->new_period, std::memory_order_release);
+    }
+  }
+  if (!retune.has_value()) return;
+  period_retunes_.fetch_add(1, std::memory_order_relaxed);
+  obs::Event event;
+  event.kind = obs::EventKind::kPeriodRetuned;
+  event.a = retune->old_period;
+  event.b = retune->new_period;
+  event.value = retune->deadlock_rate;
+  EmitStandalone(std::move(event));
 }
 
 Result<TxnState> ConcurrentLockService::State(lock::TransactionId tid) const {

@@ -96,6 +96,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/parallel_detector.h"
+#include "sched/period_controller.h"
 #include "txn/epoch_snapshot.h"
 #include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
@@ -128,8 +129,18 @@ struct ConcurrentServiceOptions {
   /// in kContinuous mode).
   SnapshotStrategy snapshot_strategy = SnapshotStrategy::kEpochDelta;
   /// Period of the dedicated detector thread (kPeriodic only); zero means
-  /// no thread — the caller drives RunDetectionPass itself.
+  /// no thread — the caller drives RunDetectionPass itself.  With a
+  /// non-fixed `scheduler` policy this is only the *initial* period; the
+  /// controller retunes it after every full pass (see
+  /// current_detection_period()).
   std::chrono::microseconds detection_period{0};
+  /// Closed-loop scheduling of the detector thread (docs/TUNING.md).
+  /// Units are MICROSECONDS (min_period/max_period bound the retuned
+  /// period; pass costs are fed to the controller in µs too).  The default
+  /// kFixedPeriod policy never moves the period — byte-identical to the
+  /// pre-scheduler service, so adaptive scheduling is strictly opt-in.
+  /// A non-fixed policy requires kPeriodic mode and detection_period > 0.
+  sched::SchedulerOptions scheduler;
   /// Worker threads for the parallel pass (kPeriodic only); zero runs the
   /// pass entirely on the invoking thread.
   size_t detection_threads = 0;
@@ -272,6 +283,22 @@ class ConcurrentLockService {
     return resolutions_rejected_.load(std::memory_order_relaxed);
   }
 
+  // -- closed-loop scheduling telemetry --
+
+  /// The detection period currently in effect, microseconds — the
+  /// configured detection_period until the controller retunes it (always
+  /// so under the default kFixedPeriod policy).  0 when no detector
+  /// thread was configured.
+  uint64_t current_detection_period_us() const {
+    return current_period_us_.load(std::memory_order_acquire);
+  }
+
+  /// Period retunes the controller has applied so far (each also emitted
+  /// as a kPeriodRetuned event when a bus is attached).
+  uint64_t period_retunes() const {
+    return period_retunes_.load(std::memory_order_relaxed);
+  }
+
   // -- robustness telemetry --
 
   /// Lock waits cancelled by deadline so far.
@@ -405,6 +432,19 @@ class ConcurrentLockService {
   // Emits `event` under obs_mu_ alone (no other service lock held).
   void EmitStandalone(obs::Event event);
 
+  // Feeds the period controller (if any) with a completed full pass and
+  // applies/announces the retune it decides.  Called with no service
+  // lock held.  `pass_ns` is the pass's detection cost (whole pass for
+  // kStopTheWorld, publish+detect+apply for kEpochDelta).
+  void UpdateSchedulerAfterPass(uint64_t pass_ns,
+                                const core::ResolutionReport& report);
+
+  // The degradation ladder's pause budget rescaled to the period
+  // currently in effect: a retuned period moves the budget
+  // proportionally, keeping the allowed pause *fraction* constant.
+  // Identity when no controller is attached or the period never moved.
+  uint64_t EffectivePauseBudgetNs() const;
+
   // Detector-thread body: run a pass every detection_period until told
   // to stop.
   void DetectorLoop();
@@ -467,6 +507,18 @@ class ConcurrentLockService {
   std::vector<uint64_t> publish_pause_times_ns_;
   std::vector<uint64_t> sweep_pause_times_ns_;
   std::vector<uint64_t> detection_lag_ns_;
+
+  // -- closed-loop scheduling state --
+  // Controller calls are serialized by sched_mu_ (taken with no other
+  // service lock held); the current period is mirrored into an atomic so
+  // the detector thread reads it lock-free.
+  std::mutex sched_mu_;
+  std::unique_ptr<sched::PeriodController> controller_;
+  std::chrono::steady_clock::time_point last_pass_time_;
+  bool sched_seen_pass_ = false;
+  uint64_t base_period_us_ = 0;
+  std::atomic<uint64_t> current_period_us_{0};
+  std::atomic<uint64_t> period_retunes_{0};
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

@@ -43,7 +43,9 @@ void InsertKinds(const obs::CollectorSink& sink,
 //  (e) the robustness layer (deadlines, admission, injected faults),
 //  (f) graceful degradation (pause budget busted),
 //  (g) a pauseless pass whose change-list goes stale in the
-//      seal-to-apply window (resolution rejections).
+//      seal-to-apply window (resolution rejections),
+//  (h) the closed-loop period controller retuning the simulator's
+//      detection schedule (period retunes).
 TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
   std::set<obs::EventKind> kinds;
 
@@ -267,6 +269,30 @@ TEST(ObsIntegrationTest, EveryEventKindIsEmittedSomewhere) {
     EXPECT_EQ(sink.Count(obs::EventKind::kSnapshotPublish),
               2 * options.num_shards);
     EXPECT_EQ(sink.Count(obs::EventKind::kResolutionRejected), 1u);
+    InsertKinds(sink, &kinds);
+  }
+
+  {  // (h) the closed-loop scheduler: an EWMA policy over a
+     //     deadlock-prone workload moves the period, and every retune is
+     //     mirrored between the bus and the SimMetrics counters.
+    sim::SimConfig config;
+    config.workload.seed = 5;
+    config.workload.num_transactions = 60;
+    config.workload.concurrency = 6;
+    config.workload.num_resources = 4;
+    config.workload.mode_weights = {0, 0, 0.2, 0, 0.8};
+    config.detection_period = 4;
+    config.scheduler.policy = sched::SchedulerPolicy::kEwmaRate;
+    config.scheduler.min_period = 2;
+    config.scheduler.max_period = 64;
+    sim::Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+    obs::CollectorSink sink;
+    sim.event_bus().Subscribe(&sink);
+    sim::SimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.committed, 60u);
+    EXPECT_GT(metrics.period_retunes, 0u);
+    EXPECT_EQ(metrics.period_retunes,
+              sink.Count(obs::EventKind::kPeriodRetuned));
     InsertKinds(sink, &kinds);
   }
 

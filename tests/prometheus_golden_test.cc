@@ -111,6 +111,7 @@ TEST(PrometheusGoldenTest, EveryMetricIsWellFormed) {
       "twbg_step1_duration_ns", "twbg_step2_duration_ns",
       "twbg_queue_depth", "twbg_cycle_length",
       "twbg_snapshot_publish_ns", "twbg_snapshot_lag_ns",
+      "twbg_detection_period",
   };
   for (const char* metric : kHistograms) {
     const std::string help = std::string("# HELP ") + metric + " ";
@@ -161,6 +162,38 @@ TEST(PrometheusGoldenTest, EveryMetricIsWellFormed) {
     EXPECT_EQ(inf_value, count_value)
         << metric << ": +Inf bucket must equal _count";
   }
+}
+
+TEST(PrometheusGoldenTest, RetunesExposePeriodHistogramAndGauge) {
+  obs::LatencyObserver observer = MakeObserver();
+  // No retune observed yet: histogram is present (empty), gauge is not.
+  const std::string before = obs::ToPrometheusText(observer);
+  EXPECT_NE(before.find("twbg_detection_period_bucket{le=\"+Inf\"} 0"),
+            std::string::npos)
+      << before;
+  EXPECT_EQ(before.find("twbg_detection_period_current"), std::string::npos);
+
+  Event retune;
+  retune.kind = EventKind::kPeriodRetuned;
+  retune.a = 100;  // old period
+  retune.b = 200;  // new period
+  observer.OnEvent(retune);
+  retune.a = 200;
+  retune.b = 50;
+  observer.OnEvent(retune);
+
+  const std::string text = obs::ToPrometheusText(observer);
+  // Both retuned periods land in the histogram; the gauge tracks the
+  // latest one.
+  EXPECT_NE(text.find("twbg_detection_period_sum 250"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("twbg_detection_period_count 2"), std::string::npos);
+  const char kGaugeBlock[] =
+      "# HELP twbg_detection_period_current The detection period currently "
+      "in effect, host time units.\n"
+      "# TYPE twbg_detection_period_current gauge\n"
+      "twbg_detection_period_current 50\n";
+  EXPECT_NE(text.find(kGaugeBlock), std::string::npos) << text;
 }
 
 TEST(PrometheusGoldenTest, EmptyObserverStillExposesEveryHistogram) {

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links and heading anchors resolve.
+
+Run by the `docs` CI job over README.md and docs/ (see
+.github/workflows/ci.yml); usable locally from the repository root:
+
+    $ python3 tools/check_doc_links.py README.md docs
+
+For every inline link `[text](target)` in the given markdown files (and,
+for directory arguments, every *.md below them):
+
+  * http(s)/mailto links are skipped (no network in CI);
+  * a relative path must exist on disk, resolved against the linking
+    file's directory;
+  * a `#fragment` must match a heading anchor in the target file
+    (GitHub-style slugs: lowercase, punctuation stripped, spaces to
+    hyphens), or in the linking file itself for bare `#fragment` links.
+
+Exits non-zero listing every unresolved link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: strip markup, lowercase, drop
+    punctuation, spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[*_]", "", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_lines(path: Path):
+    """Lines of `path` with fenced code blocks blanked out, so links and
+    headings inside examples are not checked."""
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            yield ""
+            continue
+        yield "" if in_fence else line
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    for line in markdown_lines(path):
+        match = HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(1))
+            # Repeated headings get -1, -2, ... suffixes on GitHub; accept
+            # the base slug for every occurrence (collisions are rare and
+            # a wrong suffix still lands on a real heading).
+            anchors.add(slug)
+    return anchors
+
+
+def check_file(path: Path, repo_root: Path, anchor_cache: dict) -> list:
+    problems = []
+    for lineno, line in enumerate(markdown_lines(path), start=1):
+        # Inline code spans may contain `[x](y)`-shaped text; blank them.
+        line = re.sub(r"`[^`]*`", "", line)
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if EXTERNAL_RE.match(target):
+                continue  # http(s), mailto, etc.
+            target, _, fragment = target.partition("#")
+            if target:
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(repo_root)}:{lineno}: "
+                        f"broken link: {target}")
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment:
+                if resolved.suffix.lower() != ".md" or resolved.is_dir():
+                    continue  # anchors into non-markdown are not checked
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    problems.append(
+                        f"{path.relative_to(repo_root)}:{lineno}: "
+                        f"no heading for anchor "
+                        f"#{fragment} in {resolved.name}")
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = Path.cwd().resolve()
+    files = []
+    for arg in argv[1:]:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    problems = []
+    anchor_cache = {}
+    for path in files:
+        problems.extend(check_file(path.resolve(), repo_root, anchor_cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
