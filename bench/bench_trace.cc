@@ -1,0 +1,151 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Causal-span tracer overhead — the acceptance run for src/obs/span.h.
+// Reuses the steady-state table from bench_steady_state (large, mostly
+// idle, a small churn fraction between passes) and times the incremental
+// detection pass three ways:
+//
+//   baseline    no tracer attached at all
+//   tracer-off  a SpanTracer wired into the lock manager and detector but
+//               with no sinks subscribed — every emission call must
+//               short-circuit on the active() check, so this overhead is
+//               the "zero overhead with no sink" claim and must be ~0
+//   tracer-on   the same tracer with a SpanCollectorSink subscribed, i.e.
+//               every pass/step1/step2 span is materialised and delivered
+//
+// Overheads are reported relative to the baseline and written to
+// BENCH_trace.json; the CI perf-smoke job gates tracer-on at 3% and
+// tracer-off at the noise floor (see .github/workflows/ci.yml).
+//
+// Usage: bench_trace [resources] [mutations] [passes] [out.json]
+//   resources  table size (default 10000)
+//   mutations  resources mutated before each pass (default 100, i.e. 1%)
+//   passes     timed passes per mode (default 30)
+//   out.json   output path (default BENCH_trace.json in the cwd)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/scenarios.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "core/periodic_detector.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
+
+using namespace twbg;
+
+namespace {
+
+// Times `passes` incremental detection passes, each preceded by
+// `mutations` churn mutations (excluded from the timing).  Returns mean
+// ns/pass.  When `tracer` is non-null it is wired into both the lock
+// manager and the detector, exactly as a host would.
+double MeasureMode(size_t resources, size_t mutations, size_t passes,
+                   core::ResolutionReport* last,
+                   obs::SpanTracer* tracer = nullptr) {
+  lock::LockManager manager;
+  bench::SteadyState steady =
+      bench::BuildSteadyState(manager, resources, /*bulk=*/16);
+  TWBG_CHECK(manager.CheckInvariants(/*deep=*/false).ok());
+  core::DetectorOptions options;
+  options.incremental_build = true;
+  options.span_tracer = tracer;
+  core::PeriodicDetector detector(options);
+  // Attach after the bulk build so setup-phase grants stay untraced; the
+  // table never deadlocks, so the timed RunPass window sees exactly the
+  // pass/step1/step2 spans (wait spans fire in the untimed churn).
+  manager.set_span_tracer(tracer);
+  core::CostTable costs;
+  detector.RunPass(manager, costs);  // warm the cache / allocations
+  size_t cursor = 0;
+  int64_t total_ns = 0;
+  for (size_t p = 0; p < passes; ++p) {
+    for (size_t i = 0; i < mutations; ++i) {
+      bench::MutateSteadyState(
+          manager, steady,
+          static_cast<lock::ResourceId>(cursor % resources + 1));
+      ++cursor;
+    }
+    common::Stopwatch watch;
+    *last = detector.RunPass(manager, costs);
+    total_ns += watch.ElapsedNanos();
+  }
+  return static_cast<double>(total_ns) / static_cast<double>(passes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t resources = 10000;
+  size_t mutations = 100;
+  size_t passes = 30;
+  std::string out_path = "BENCH_trace.json";
+  if (argc > 1) resources = static_cast<size_t>(std::atoll(argv[1]));
+  if (argc > 2) mutations = static_cast<size_t>(std::atoll(argv[2]));
+  if (argc > 3) passes = static_cast<size_t>(std::atoll(argv[3]));
+  if (argc > 4) out_path = argv[4];
+  TWBG_CHECK(resources >= 1 && mutations >= 1 && passes >= 1);
+  TWBG_CHECK(mutations <= resources);
+
+  std::printf("span-tracer overhead: %zu resources, %zu mutated between "
+              "passes (%.2f%%), %zu passes per mode\n",
+              resources, mutations,
+              100.0 * static_cast<double>(mutations) /
+                  static_cast<double>(resources),
+              passes);
+
+  core::ResolutionReport report;
+  const double baseline_ns =
+      MeasureMode(resources, mutations, passes, &report);
+  TWBG_CHECK(report.cycles_detected == 0);
+
+  // Tracer attached, no sinks: active() is false, every Open/Close call
+  // short-circuits before allocating a span.
+  obs::SpanTracer idle_tracer;
+  const double off_ns =
+      MeasureMode(resources, mutations, passes, &report, &idle_tracer);
+  const double off_overhead = off_ns / baseline_ns - 1.0;
+
+  // Tracer with a collector sink: every span is materialised, delivered
+  // and retained (passes * {pass, step1, step2} plus churn wait spans).
+  obs::SpanTracer tracer;
+  obs::SpanCollectorSink collector;
+  tracer.Subscribe(&collector);
+  const double on_ns =
+      MeasureMode(resources, mutations, passes, &report, &tracer);
+  const double on_overhead = on_ns / baseline_ns - 1.0;
+  TWBG_CHECK(collector.Count(obs::SpanKind::kPass) >= passes);
+  TWBG_CHECK(tracer.dropped_closes() == 0);
+
+  std::printf("  baseline:   %12.0f ns/pass\n", baseline_ns);
+  std::printf("  tracer-off: %12.0f ns/pass (overhead=%+.2f%%)\n", off_ns,
+              off_overhead * 100.0);
+  std::printf("  tracer-on:  %12.0f ns/pass (overhead=%+.2f%%, %zu spans)\n",
+              on_ns, on_overhead * 100.0, collector.spans().size());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"span_tracer_overhead\",\n"
+               "  \"resources\": %zu,\n"
+               "  \"mutations_per_pass\": %zu,\n"
+               "  \"passes\": %zu,\n"
+               "  \"baseline_ns_per_pass\": %.1f,\n"
+               "  \"tracer_off_ns_per_pass\": %.1f,\n"
+               "  \"tracer_off_overhead\": %.4f,\n"
+               "  \"tracer_on_ns_per_pass\": %.1f,\n"
+               "  \"tracer_on_overhead\": %.4f,\n"
+               "  \"spans_recorded\": %zu\n"
+               "}\n",
+               resources, mutations, passes, baseline_ns, off_ns,
+               off_overhead, on_ns, on_overhead, collector.spans().size());
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -7,8 +7,11 @@
 //   $ ./quickstart
 //   $ ./quickstart --trace-out=events.jsonl   # also stream structured
 //                                             # events as JSON lines
+//   $ ./quickstart --spans-out=spans.jsonl    # also record causal spans
+//                                             # (twbg-trace export-perfetto /
+//                                             #  profile read this stream)
 //
-// See docs/OBSERVABILITY.md for the event schema.
+// See docs/OBSERVABILITY.md for the event and span schemas.
 
 #include <cstdio>
 #include <cstring>
@@ -20,6 +23,8 @@
 #include "lock/lock_manager.h"
 #include "obs/bus.h"
 #include "obs/sinks.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 
 int main(int argc, char** argv) {
   using namespace twbg;
@@ -28,6 +33,8 @@ int main(int argc, char** argv) {
   //    sink to an event bus shared by the lock manager and the detector.
   obs::EventBus bus;
   std::unique_ptr<obs::JsonlSink> jsonl;
+  obs::SpanTracer tracer;
+  std::unique_ptr<obs::SpanJsonlSink> span_jsonl;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       Result<std::unique_ptr<obs::JsonlSink>> sink =
@@ -38,6 +45,15 @@ int main(int argc, char** argv) {
       }
       jsonl = std::move(*sink);
       bus.Subscribe(jsonl.get());
+    } else if (std::strncmp(argv[i], "--spans-out=", 12) == 0) {
+      Result<std::unique_ptr<obs::SpanJsonlSink>> sink =
+          obs::SpanJsonlSink::Open(argv[i] + 12);
+      if (!sink.ok()) {
+        std::fprintf(stderr, "error: %s\n", sink.status().ToString().c_str());
+        return 1;
+      }
+      span_jsonl = std::move(*sink);
+      tracer.Subscribe(span_jsonl.get());
     }
   }
 
@@ -45,6 +61,10 @@ int main(int argc, char** argv) {
   //    deadlock across two resources (two overlapping cycles).
   lock::LockManager manager;
   manager.set_event_bus(&bus);
+  manager.set_span_tracer(&tracer);
+  if (tracer.active()) {
+    for (lock::TransactionId tid : {1, 2, 3}) tracer.OpenTxn(tid, "quickstart");
+  }
   core::BuildExample51(manager);
 
   std::printf("Lock table before detection:\n%s\n",
@@ -65,6 +85,7 @@ int main(int argc, char** argv) {
   // 4. One periodic pass detects both cycles, aborts T2 and spares T3.
   core::DetectorOptions options;
   options.event_bus = &bus;
+  options.span_tracer = &tracer;
   core::PeriodicDetector detector(options);
   core::ResolutionReport report = detector.RunPass(manager, costs);
   std::printf("Resolution report:\n%s\n", report.ToString().c_str());
@@ -78,6 +99,23 @@ int main(int argc, char** argv) {
     std::printf("wrote %llu event(s) to %s\n",
                 static_cast<unsigned long long>(jsonl->lines_written()),
                 jsonl->path().c_str());
+  }
+  if (span_jsonl != nullptr) {
+    // Survivors commit; resolution victims close aborted.
+    for (lock::TransactionId tid : {1, 2, 3}) {
+      bool aborted = false;
+      for (const core::VictimDecision& d : report.decisions) {
+        if (d.victim().kind == core::VictimKind::kAbort &&
+            d.victim().junction == tid) {
+          aborted = true;
+        }
+      }
+      tracer.CloseTxn(tid, aborted);
+    }
+    span_jsonl->Flush();
+    std::printf("wrote %llu span(s) to %s\n",
+                static_cast<unsigned long long>(span_jsonl->lines_written()),
+                span_jsonl->path().c_str());
   }
   return 0;
 }

@@ -13,6 +13,8 @@ ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
                                              lock::TransactionId blocked) {
   obs::EventBus* bus = options_.event_bus;
   const bool observing = obs::Enabled(bus);
+  obs::SpanTracer* tracer = options_.span_tracer;
+  const bool tracing = obs::Tracing(tracer);
   common::Stopwatch pass_clock;
   if (observing) {
     obs::Event start;
@@ -21,6 +23,10 @@ ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
     start.a = 0;  // continuous
     bus->Emit(start);
   }
+  const uint64_t pass_span = tracing ? tracer->Open(obs::SpanKind::kPass) : 0;
+  if (tracing) tracer->SetContext(pass_span, blocked, 0);
+  uint64_t step_span =
+      tracing ? tracer->Open(obs::SpanKind::kStep1, 0, pass_span) : 0;
 
   // A scoped build is already proportional to the blocked transaction's
   // wait neighbourhood; the incremental cache serves the full-table path.
@@ -39,6 +45,11 @@ ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
   const size_t num_edges = tst->NumEdges();
   const bool from_cache =
       !options_.scoped_continuous_build && options_.incremental_build;
+  if (tracing) {
+    tracer->Close(step_span, builder_.stats().edges_reused,
+                  builder_.stats().edges_rebuilt);
+    step_span = tracer->Open(obs::SpanKind::kStep2, 0, pass_span);
+  }
   const int64_t step1_ns = observing ? pass_clock.ElapsedNanos() : 0;
   if (observing) {
     obs::Event step1;
@@ -54,6 +65,7 @@ ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
   // Every new edge created by this block is incident to `blocked`, so any
   // newly formed cycle passes through it; a walk rooted there finds it.
   WalkOutcome walk = RunWalk(*tst, {blocked}, manager, costs, options_);
+  if (tracing) tracer->Close(step_span, walk.steps);
   if (observing) {
     obs::Event step2;
     step2.kind = obs::EventKind::kStep2;
@@ -82,6 +94,12 @@ ResolutionReport ContinuousDetector::OnBlock(lock::LockManager& manager,
     end.b = report.aborted.size();
     end.value = static_cast<double>(pass_clock.ElapsedNanos());
     bus->Emit(end);
+  }
+  if (tracing) {
+    // Pass-span close contract (SpanEstimator): a = cycles resolved,
+    // b = the pass's cost in nanoseconds.
+    tracer->Close(pass_span, report.cycles_detected,
+                  static_cast<uint64_t>(pass_clock.ElapsedNanos()));
   }
   return report;
 }

@@ -49,6 +49,15 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
     TWBG_CHECK(views.back().out.to == cycle[(i + 1) % cycle.size()]);
   }
 
+  // A kResolution span brackets everything from candidate enumeration to
+  // the forensic post-mortem, parented under the open pass span.
+  obs::SpanTracer* tracer = options.span_tracer;
+  const bool tracing = obs::Tracing(tracer);
+  const uint64_t res_span =
+      tracing ? tracer->Open(obs::SpanKind::kResolution, 0,
+                             tracer->current_pass())
+              : 0;
+
   std::vector<VictimCandidate> candidates =
       EnumerateCandidates(views, host, costs, options);
   TWBG_CHECK(!candidates.empty());  // Lemma 3: >= 2 junctions per cycle
@@ -105,6 +114,11 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
     }
   }
 
+  if (tracing) {
+    tracer->SetContext(
+        res_span, victim.junction,
+        victim.kind == VictimKind::kReposition ? victim.resource : 0);
+  }
   const bool observing = obs::Enabled(options.event_bus);
   if (observing) {
     obs::Event event;
@@ -133,10 +147,18 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
       event.a = pm.members.size();
       event.b = pm.rule == VictimKind::kReposition;
       event.value = pm.cost;
+      // The resolution span's id: the join key from this event's forensic
+      // wait chain to the timeline slice that resolved the cycle.
+      event.span = res_span;
       event.detail = pm.Summary();
       options.event_bus->Emit(std::move(event));
     }
     outcome.post_mortems.push_back(std::move(pm));
+  }
+  if (tracing) {
+    tracer->Close(res_span, cycle.size(),
+                  victim.kind == VictimKind::kReposition,
+                  victim.kind == VictimKind::kReposition ? "TDR-2" : "TDR-1");
   }
 
   // Clear the backtracked ancestors; w stays marked (walk resumes there).

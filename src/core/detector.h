@@ -15,6 +15,7 @@
 #include "core/ecr.h"
 #include "lock/types.h"
 #include "obs/bus.h"
+#include "obs/span.h"
 
 namespace twbg::lock {
 class ResourceState;
@@ -196,6 +197,14 @@ struct DetectorOptions {
   /// default) disables emission and the per-pass timing that feeds it;
   /// the only residual cost is one pointer test per pass.  Not owned.
   obs::EventBus* event_bus = nullptr;
+  /// Span tracer the sequential detectors open kPass / kStep1 / kStep2
+  /// spans on, with one kResolution child span per resolved cycle (its
+  /// id stamped into the matching kCyclePostMortem event's `span` field).
+  /// Null disables span emission at one pointer test per pass.  The
+  /// tracer must share the bus's writer serialization; the parallel
+  /// sharded pass leaves this null and lets the concurrent service emit
+  /// its own pass/publish/apply spans instead (obs/span.h).  Not owned.
+  obs::SpanTracer* span_tracer = nullptr;
   /// Assemble a forensic core::CyclePostMortem for every resolved cycle
   /// and store it in ResolutionReport::post_mortems.  Post-mortems are
   /// also assembled — and emitted as kCyclePostMortem events — whenever

@@ -11,6 +11,8 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
                                            CostTable& costs) {
   obs::EventBus* bus = options_.event_bus;
   const bool observing = obs::Enabled(bus);
+  obs::SpanTracer* tracer = options_.span_tracer;
+  const bool tracing = obs::Tracing(tracer);
   common::Stopwatch pass_clock;
   if (observing) {
     obs::Event start;
@@ -18,6 +20,9 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
     start.a = 1;  // periodic
     bus->Emit(start);
   }
+  const uint64_t pass_span = tracing ? tracer->Open(obs::SpanKind::kPass) : 0;
+  uint64_t step_span =
+      tracing ? tracer->Open(obs::SpanKind::kStep1, 0, pass_span) : 0;
 
   // Step 1: construct the TST (W + H edges) and initialize the walk state
   // — incrementally from the per-resource edge cache, or from scratch.
@@ -31,6 +36,11 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
   }
   const size_t num_transactions = tst->size();
   const size_t num_edges = tst->NumEdges();
+  if (tracing) {
+    tracer->Close(step_span, builder_.stats().edges_reused,
+                  builder_.stats().edges_rebuilt);
+    step_span = tracer->Open(obs::SpanKind::kStep2, 0, pass_span);
+  }
   const int64_t step1_ns = observing ? pass_clock.ElapsedNanos() : 0;
   if (observing) {
     obs::Event step1;
@@ -46,6 +56,7 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
   // Step 2: directed walk from every vertex in id order.
   WalkOutcome walk =
       RunWalk(*tst, tst->Transactions(), manager, costs, options_);
+  if (tracing) tracer->Close(step_span, walk.steps);
   if (observing) {
     obs::Event step2;
     step2.kind = obs::EventKind::kStep2;
@@ -74,6 +85,12 @@ ResolutionReport PeriodicDetector::RunPass(lock::LockManager& manager,
     end.b = report.aborted.size();
     end.value = static_cast<double>(pass_clock.ElapsedNanos());
     bus->Emit(end);
+  }
+  if (tracing) {
+    // Pass-span close contract (SpanEstimator): a = cycles resolved,
+    // b = the pass's cost in nanoseconds.
+    tracer->Close(pass_span, report.cycles_detected,
+                  static_cast<uint64_t>(pass_clock.ElapsedNanos()));
   }
   return report;
 }

@@ -36,6 +36,9 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
     // ids stay comparable across runs that toggle observability.
     info.wait_span = next_wait_span_++;
     info.wait_started = bus_ != nullptr ? bus_->time() : 0;
+    if (obs::Tracing(tracer_)) {
+      tracer_->OpenWait(tid, info.wait_span, rid, info.blocked_mode);
+    }
   }
   if (observing) {
     obs::Event event;
@@ -64,6 +67,11 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
 std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return {};
+  // A blocked transaction being fully released is an abort (commit is
+  // impossible mid-wait under strict 2PL): its wait ends unsatisfied.
+  if (obs::Tracing(tracer_) && it->second.blocked_on.has_value()) {
+    tracer_->CloseWait(tid, obs::WaitOutcome::kAborted);
+  }
   const bool observing = obs::Enabled(bus_);
   const size_t touched = it->second.touched.size();
   std::vector<TransactionId> granted;
@@ -119,6 +127,9 @@ Result<std::vector<TransactionId>> LockManager::CancelWait(TransactionId tid) {
   }
   Result<std::vector<TransactionId>> granted = state->CancelRequest(tid);
   if (!granted.ok()) return granted.status();
+  if (obs::Tracing(tracer_)) {
+    tracer_->CloseWait(tid, obs::WaitOutcome::kCancelled);
+  }
   // A cancelled queue member leaves the resource entirely; a cancelled
   // converter keeps holding it.
   if (!state->Involves(tid)) it->second.touched.erase(rid);
@@ -216,7 +227,11 @@ std::vector<TransactionId> LockManager::BlockedTransactions() const {
 }
 
 void LockManager::NoteGranted(const std::vector<TransactionId>& granted) {
+  // The single choke point every grant path (ReleaseOn, CancelWait,
+  // Reschedule) funnels through — wait spans close as granted here.
+  const bool tracing = obs::Tracing(tracer_);
   for (TransactionId tid : granted) {
+    if (tracing) tracer_->CloseWait(tid, obs::WaitOutcome::kGranted);
     auto it = txns_.find(tid);
     if (it != txns_.end()) {
       it->second.blocked_on.reset();

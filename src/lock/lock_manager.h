@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "lock/lock_table.h"
 #include "obs/bus.h"
+#include "obs/span.h"
 
 namespace twbg::lock {
 
@@ -136,6 +137,18 @@ class LockManager {
   /// Currently attached event bus, or nullptr.
   obs::EventBus* event_bus() const { return bus_; }
 
+  /// Attaches a span tracer (may be null to detach).  When attached and
+  /// active, every block opens a kWait span carrying the PR-3 wait-span
+  /// correlation id, closed by the matching wakeup (granted), abort
+  /// (ReleaseAll of a blocked transaction) or deadline cancel; when
+  /// detached the only cost is one pointer test per block/wakeup.  The
+  /// tracer shares the bus's single-writer contract — hosts that
+  /// serialize bus emission already serialize span emission.
+  void set_span_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
+  /// Currently attached span tracer, or nullptr.
+  obs::SpanTracer* span_tracer() const { return tracer_; }
+
   /// Checks lock-table invariants plus bookkeeping consistency (blocked_on
   /// matches the table; touched sets match appearances).  The cross-checks
   /// that sweep every transaction against every resource are O(T×R); pass
@@ -150,6 +163,7 @@ class LockManager {
   LockTable table_;
   std::map<TransactionId, TxnLockInfo> txns_;
   obs::EventBus* bus_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
   uint64_t next_wait_span_ = 1;  // wait-span ids are manager-wide monotonic
 };
 

@@ -1,0 +1,123 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Internal JSON-parsing primitives shared by the offline trace readers
+// (obs/trace_reader.cc for event JSONL, obs/span_sinks.cc for span
+// JSONL).  The grammar is exactly what the writers emit: one flat JSON
+// object per line, string or number values, JsonEscape() escapes.  Not
+// part of the public surface — include from obs/*.cc only.
+
+#ifndef TWBG_OBS_JSON_UTIL_H_
+#define TWBG_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace twbg::obs::jsonutil {
+
+// Minimal cursor over one flat JSON object.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+};
+
+// Appends `codepoint` to `out` as UTF-8 (BMP only — what \uXXXX covers).
+inline void AppendUtf8(uint32_t codepoint, std::string* out) {
+  if (codepoint < 0x80) {
+    out->push_back(static_cast<char>(codepoint));
+  } else if (codepoint < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  }
+}
+
+// Parses a JSON string literal (cursor positioned at the opening quote)
+// and unescapes it into `out`.
+inline Status ParseString(Cursor* cur, std::string* out) {
+  if (!cur->Consume('"')) return Status::InvalidArgument("expected '\"'");
+  out->clear();
+  while (!cur->AtEnd()) {
+    const char c = cur->text[cur->pos++];
+    if (c == '"') return Status::OK();
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur->AtEnd()) break;
+    const char esc = cur->text[cur->pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (cur->pos + 4 > cur->text.size()) {
+          return Status::InvalidArgument("truncated \\u escape");
+        }
+        uint32_t codepoint = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cur->text[cur->pos++];
+          codepoint <<= 4;
+          if (h >= '0' && h <= '9') {
+            codepoint |= static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            codepoint |= static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            codepoint |= static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            return Status::InvalidArgument("bad hex digit in \\u escape");
+          }
+        }
+        AppendUtf8(codepoint, out);
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            common::Format("unknown escape \\%c", esc));
+    }
+  }
+  return Status::InvalidArgument("unterminated string");
+}
+
+// Parses a JSON number into `out` (its raw text; the caller converts).
+inline Status ParseNumber(Cursor* cur, std::string* out) {
+  out->clear();
+  while (!cur->AtEnd()) {
+    const char c = cur->Peek();
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+        c == 'e' || c == 'E') {
+      out->push_back(c);
+      ++cur->pos;
+    } else {
+      break;
+    }
+  }
+  if (out->empty()) return Status::InvalidArgument("expected a number");
+  return Status::OK();
+}
+
+}  // namespace twbg::obs::jsonutil
+
+#endif  // TWBG_OBS_JSON_UTIL_H_

@@ -33,13 +33,14 @@ void CollectorSink::Clear() {
   dropped_ = 0;
 }
 
-Result<std::unique_ptr<JsonlSink>> JsonlSink::Open(const std::string& path) {
+Result<std::unique_ptr<JsonlSink>> JsonlSink::Open(const std::string& path,
+                                                   uint64_t max_bytes) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     return Status::NotFound(
         common::Format("cannot open %s for writing", path.c_str()));
   }
-  return std::unique_ptr<JsonlSink>(new JsonlSink(file, path));
+  return std::unique_ptr<JsonlSink>(new JsonlSink(file, path, max_bytes));
 }
 
 JsonlSink::~JsonlSink() {
@@ -47,13 +48,34 @@ JsonlSink::~JsonlSink() {
 }
 
 void JsonlSink::OnEvent(const Event& event) {
+  const std::string line = ToJson(event);
+  // bytes = line + newline, the same accounting the write below performs.
+  const uint64_t bytes = static_cast<uint64_t>(line.size()) + 1;
+  if (max_bytes_ != 0 && lines_in_file_ > 0 &&
+      bytes_in_file_ + bytes > max_bytes_) {
+    // Rotate: truncate in place, drop everything written so far, keep
+    // streaming.  A reopen failure degrades to counted write errors.
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "w");
+    ++rotations_;
+    dropped_on_rotate_ += lines_in_file_;
+    bytes_in_file_ = 0;
+    lines_in_file_ = 0;
+  }
+  if (file_ == nullptr) {
+    ++write_errors_;
+    ++lines_;
+    return;
+  }
   // Clear a sticky error from an earlier failed line so this line gets
   // its own chance (and its own error count) instead of failing forever.
   std::clearerr(file_);
-  const bool failed = std::fputs(ToJson(event).c_str(), file_) == EOF ||
+  const bool failed = std::fputs(line.c_str(), file_) == EOF ||
                       std::fputc('\n', file_) == EOF;
   if (failed) ++write_errors_;
   ++lines_;
+  ++lines_in_file_;
+  bytes_in_file_ += bytes;
 }
 
 void JsonlSink::Flush() {

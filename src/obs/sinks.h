@@ -53,12 +53,24 @@ class CollectorSink : public EventSink {
 
 /// Streams every event as one JSON line to an owned file.  Writes are
 /// line-buffered by the C runtime; Flush() or destruction finishes the
-/// file.  Never drops events.
+/// file.  Never drops events while the file is unbounded; with a
+/// `max_bytes` cap the file rotates (see Open) so long soak runs cannot
+/// fill the disk.
 class JsonlSink : public EventSink {
  public:
   /// Opens `path` for writing (truncates).  Fails with kNotFound when the
   /// file cannot be created.
-  static Result<std::unique_ptr<JsonlSink>> Open(const std::string& path);
+  ///
+  /// `max_bytes` (0 = unbounded, the default) caps the file: a line that
+  /// would push the file past the cap first truncates it in place — the
+  /// tail of the stream survives, everything older is dropped.  Each
+  /// truncation increments rotations() and adds the discarded line count
+  /// to dropped_on_rotate(), so a capped trace always shows how much is
+  /// missing — the same visibility contract as write_errors().  A line
+  /// larger than the cap still gets written (the cap bounds the file
+  /// between lines, it never splits one).
+  static Result<std::unique_ptr<JsonlSink>> Open(const std::string& path,
+                                                 uint64_t max_bytes = 0);
 
   /// Flushes and closes the file.
   ~JsonlSink() override;
@@ -82,6 +94,14 @@ class JsonlSink : public EventSink {
   /// mid-line; `sim::SimMetrics::trace_write_errors` mirrors this.
   uint64_t write_errors() const { return write_errors_; }
 
+  /// Times the file was truncated because it reached the max_bytes cap
+  /// (always 0 for an unbounded sink).
+  uint64_t rotations() const { return rotations_; }
+
+  /// Lines discarded by those truncations — the gap between
+  /// lines_written() and what the file holds.
+  uint64_t dropped_on_rotate() const { return dropped_on_rotate_; }
+
   /// Path the sink writes to.
   const std::string& path() const { return path_; }
 
@@ -90,13 +110,18 @@ class JsonlSink : public EventSink {
   void Flush();
 
  private:
-  JsonlSink(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  JsonlSink(std::FILE* file, std::string path, uint64_t max_bytes)
+      : file_(file), path_(std::move(path)), max_bytes_(max_bytes) {}
 
   std::FILE* file_;
   std::string path_;
+  uint64_t max_bytes_;
+  uint64_t bytes_in_file_ = 0;
+  uint64_t lines_in_file_ = 0;
   uint64_t lines_ = 0;
   uint64_t write_errors_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t dropped_on_rotate_ = 0;
 };
 
 }  // namespace twbg::obs

@@ -1,0 +1,188 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace twbg::obs {
+
+std::string_view ToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTxn: return "txn";
+    case SpanKind::kWait: return "wait";
+    case SpanKind::kPass: return "pass";
+    case SpanKind::kPublish: return "publish";
+    case SpanKind::kStep1: return "step1";
+    case SpanKind::kStep2: return "step2";
+    case SpanKind::kResolution: return "resolution";
+    case SpanKind::kApply: return "apply";
+  }
+  return "unknown";
+}
+
+std::optional<SpanKind> SpanKindFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumSpanKinds; ++i) {
+    const SpanKind kind = static_cast<SpanKind>(i);
+    if (ToString(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+void SpanTracer::Subscribe(SpanSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void SpanTracer::Unsubscribe(SpanSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+uint64_t SpanTracer::now() const {
+  if (manual_clock_) return manual_now_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SpanTracer::CheckWriter() {
+#ifndef NDEBUG
+  // Single-writer tripwire, same contract as EventBus::Emit: claim the
+  // tracer for this thread, tolerating same-thread nesting.  A second
+  // thread here means the host's emission serialization is missing.
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  const bool claimed = writer_.compare_exchange_strong(
+      expected, self, std::memory_order_acq_rel, std::memory_order_acquire);
+  TWBG_DCHECK(claimed || expected == self);
+  writer_.store(std::thread::id{}, std::memory_order_release);
+#endif
+}
+
+Span& SpanTracer::OpenInternal(SpanKind kind, uint64_t parent,
+                               uint32_t track) {
+  const uint64_t id = next_id_++;
+  Span& span = open_[id];
+  span.id = id;
+  span.parent = parent;
+  span.kind = kind;
+  span.track = track;
+  span.open_ns = now();
+  return span;
+}
+
+void SpanTracer::Deliver(Span span) {
+  span.close_ns = now();
+  if (span.close_ns < span.open_ns) span.close_ns = span.open_ns;
+  ++emitted_;
+  // Index-based like EventBus::Deliver: a nested Subscribe must not
+  // invalidate the sweep.
+  const size_t n = sinks_.size();
+  for (size_t i = 0; i < n && i < sinks_.size(); ++i) {
+    sinks_[i]->OnSpan(span);
+  }
+}
+
+void SpanTracer::OpenTxn(lock::TransactionId tid, std::string_view txn_class) {
+  if (!active()) return;
+  CheckWriter();
+  // A forgotten open span for this tid (host restarted the id) is
+  // abandoned — it would otherwise parent the wrong incarnation.
+  auto stale = txn_spans_.find(tid);
+  if (stale != txn_spans_.end()) open_.erase(stale->second);
+  Span& span = OpenInternal(SpanKind::kTxn, 0, 0);
+  span.tid = tid;
+  span.label.assign(txn_class);
+  txn_spans_[tid] = span.id;
+}
+
+void SpanTracer::CloseTxn(lock::TransactionId tid, bool aborted) {
+  if (!active()) return;
+  CheckWriter();
+  auto it = txn_spans_.find(tid);
+  if (it == txn_spans_.end()) return;
+  auto open = open_.find(it->second);
+  txn_spans_.erase(it);
+  if (open == open_.end()) return;
+  Span span = std::move(open->second);
+  open_.erase(open);
+  span.aborted = aborted;
+  Deliver(std::move(span));
+}
+
+uint64_t SpanTracer::TxnSpan(lock::TransactionId tid) const {
+  auto it = txn_spans_.find(tid);
+  return it == txn_spans_.end() ? 0 : it->second;
+}
+
+void SpanTracer::OpenWait(lock::TransactionId tid, uint64_t corr,
+                          lock::ResourceId rid, lock::LockMode mode) {
+  if (!active()) return;
+  CheckWriter();
+  auto stale = wait_spans_.find(tid);
+  if (stale != wait_spans_.end()) open_.erase(stale->second);
+  Span& span = OpenInternal(SpanKind::kWait, TxnSpan(tid), 0);
+  span.tid = tid;
+  span.rid = rid;
+  span.mode = mode;
+  span.corr = corr;
+  wait_spans_[tid] = span.id;
+}
+
+void SpanTracer::CloseWait(lock::TransactionId tid, WaitOutcome outcome) {
+  if (!active()) return;
+  CheckWriter();
+  auto it = wait_spans_.find(tid);
+  if (it == wait_spans_.end()) return;
+  auto open = open_.find(it->second);
+  wait_spans_.erase(it);
+  if (open == open_.end()) return;
+  Span span = std::move(open->second);
+  open_.erase(open);
+  span.aborted = outcome != WaitOutcome::kGranted;
+  Deliver(std::move(span));
+}
+
+uint64_t SpanTracer::Open(SpanKind kind, uint32_t track, uint64_t parent) {
+  if (!active()) return 0;
+  CheckWriter();
+  Span& span = OpenInternal(kind, parent, track);
+  if (kind == SpanKind::kPass) current_pass_ = span.id;
+  return span.id;
+}
+
+void SpanTracer::SetContext(uint64_t id, lock::TransactionId tid,
+                            lock::ResourceId rid, lock::LockMode mode) {
+  if (id == 0 || !active()) return;
+  CheckWriter();
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.tid = tid;
+  it->second.rid = rid;
+  it->second.mode = mode;
+}
+
+void SpanTracer::Close(uint64_t id, uint64_t a, uint64_t b,
+                       std::string label) {
+  if (!active()) return;
+  CheckWriter();
+  if (id == current_pass_) current_pass_ = 0;
+  auto it = open_.find(id);
+  if (it == open_.end()) {
+    if (id != 0) ++dropped_closes_;
+    return;
+  }
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.a = a;
+  span.b = b;
+  if (!label.empty()) span.label = std::move(label);
+  Deliver(std::move(span));
+}
+
+}  // namespace twbg::obs

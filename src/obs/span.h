@@ -1,0 +1,279 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Causal span tracing on top of the event bus: where the bus answers
+// "what happened, in order", spans answer "where did the time go, and on
+// whose behalf".  A span is a monotonic-clock [open_ns, close_ns)
+// interval with a parent id, forming per-run trees:
+//
+//   txn T7 ──────────────────────────────────────────────┐
+//     └─ wait R3/X (corr = PR-3 wait-span id) ───┐       │
+//   pass #12 ─────────────────────────────────┐  │       │
+//     ├─ publish shard 0..n                   │  │       │
+//     ├─ step1 / step2                        │  │       │
+//     ├─ resolution (victim, rule)            │  │       │
+//     └─ apply                                │  │       │
+//
+// Wait spans reuse the PR-3 wait-span correlation ids (`Span::corr`), so
+// a span file joins against an event JSONL file on that id.  Exporters
+// (Perfetto timeline, blocked-time profile) and the scheduler-input
+// estimator live in obs/span_sinks.h.
+//
+// Cost contract — identical to the event bus: a SpanTracer with no
+// subscribed sink is inert (`Tracing()` is false, every method returns
+// immediately), so instrumented hot paths pay one pointer test and
+// nothing else.  Like the bus, the tracer is single-writer: concurrent
+// hosts serialize emission behind their observability mutex (the
+// concurrent service uses the same obs mutex that serializes bus
+// emission); a debug tripwire enforces the contract.  Sinks receive each
+// span exactly once, at close time, as a finished record — spans still
+// open when the process exits are never delivered.
+
+#ifndef TWBG_OBS_SPAN_H_
+#define TWBG_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lock/lock_mode.h"
+#include "lock/types.h"
+
+namespace twbg::obs {
+
+/// What a span measures.  The taxonomy mirrors the causal structure of a
+/// run: transaction lifetimes parent their lock waits; detection passes
+/// parent per-shard publishes, the Step 1/2 walk, per-cycle resolutions
+/// and the validated apply.
+enum class SpanKind : uint8_t {
+  /// A transaction's lifetime, begin to commit/abort.  `tid` = the
+  /// transaction; `label` = its class ("fresh", "restart", ...) for the
+  /// blocked-time profiler; `aborted` set on abort.
+  kTxn = 0,
+  /// One lock wait, block to wakeup.  `tid` = the waiter, `rid`/`mode` =
+  /// what it waits for, `corr` = the PR-3 wait-span correlation id the
+  /// matching kLockBlock/kLockWakeup/kWaitEnd events carry, parent = the
+  /// open kTxn span of `tid` when there is one; `aborted` set when the
+  /// wait ended by abort or deadline cancel instead of a grant.
+  kWait,
+  /// One detection-resolution pass, Step 1 through Step 3.  Closed with
+  /// `a` = cycles resolved and `b` = the pass's cost in host cost units
+  /// (work units, nanoseconds) — the contract SpanEstimator reads its
+  /// formation-rate numerator from.
+  kPass,
+  /// Pauseless mode: one shard's epoch-snapshot publish, under that
+  /// shard's mutex.  `track` = the shard index, parent = the pass span.
+  kPublish,
+  /// Step 1 (TST build) of the parent pass.  `a` = edges reused from the
+  /// PR-1 cache, `b` = edges recomputed.
+  kStep1,
+  /// Step 2 (directed walk) of the parent pass.  `a` = walk steps.
+  kStep2,
+  /// One resolved cycle inside the parent pass.  `tid` = the victim (or
+  /// TDR-2 junction), `rid` = the repositioned resource (0 for TDR-1),
+  /// `a` = cycle length, `b` = 1 for TDR-2 / 0 for TDR-1.  The matching
+  /// kCyclePostMortem event carries this span's id in its `span` field —
+  /// the join key between a timeline and the forensic wait chain.
+  kResolution,
+  /// Pauseless mode: the stamp-validated apply phase under all locks.
+  /// `a` = decisions applied, `b` = decisions rejected as stale.
+  kApply,
+};
+
+/// Number of span kinds (array sizing; keep in sync with SpanKind).
+inline constexpr size_t kNumSpanKinds = 8;
+
+/// Canonical lower-case name of `kind` ("txn", "wait", "pass", ...).
+std::string_view ToString(SpanKind kind);
+
+/// Inverse of ToString, or nullopt for an unknown name.  Used by the
+/// span-file reader.
+std::optional<SpanKind> SpanKindFromName(std::string_view name);
+
+/// How a lock wait ended — folded into Span::aborted at close.
+enum class WaitOutcome : uint8_t {
+  kGranted = 0,   ///< the blocked request was granted
+  kAborted,       ///< the waiter was aborted (deadlock victim, crash)
+  kCancelled,     ///< the wait was cancelled (lock-wait deadline)
+};
+
+/// One closed span — what every SpanSink receives.  Fixed-size except for
+/// `label` (empty on the hot paths).
+struct Span {
+  /// Tracer-unique id (> 0), assigned at open.
+  uint64_t id = 0;
+  /// Id of the enclosing span, 0 for a root.
+  uint64_t parent = 0;
+  /// What the interval measures (see SpanKind field conventions).
+  SpanKind kind = SpanKind::kTxn;
+  /// Transaction the span belongs to (0 when not transaction-scoped).
+  lock::TransactionId tid = 0;
+  /// Resource involved (kWait, kResolution; 0 otherwise).
+  lock::ResourceId rid = 0;
+  /// Requested mode of a kWait span (kNL otherwise).
+  lock::LockMode mode = lock::LockMode::kNL;
+  /// Timeline lane: the shard index for kPublish, 0 elsewhere (the
+  /// Perfetto exporter derives lanes from kind/tid/track).
+  uint32_t track = 0;
+  /// Cross-stream correlation id: the PR-3 wait-span id for kWait spans
+  /// (joins against the event stream), 0 otherwise.
+  uint64_t corr = 0;
+  /// Clock reading at open (nanoseconds under the default monotonic
+  /// clock; host units under a manual clock — the simulator feeds ticks).
+  uint64_t open_ns = 0;
+  /// Clock reading at close (>= open_ns).
+  uint64_t close_ns = 0;
+  /// Kind-specific counter (see SpanKind).
+  uint64_t a = 0;
+  /// Kind-specific counter (see SpanKind).
+  uint64_t b = 0;
+  /// kTxn: closed by abort.  kWait: ended by abort or cancel, not grant.
+  bool aborted = false;
+  /// Free-form annotation: the txn class of a kTxn span, the victim
+  /// rationale rule of a kResolution span.  Empty on hot paths.
+  std::string label;
+
+  /// Closed duration in clock units (0 for a malformed record).
+  uint64_t duration() const {
+    return close_ns >= open_ns ? close_ns - open_ns : 0;
+  }
+};
+
+/// Receives every span once, at close, as a finished record.  Sinks run
+/// synchronously inside the tracer's writer; they must not call back
+/// into the tracer.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  /// Called once per span, at close time.
+  virtual void OnSpan(const Span& span) = 0;
+};
+
+/// The span emission hub: owns the open-span table, assigns ids and
+/// clock stamps, and fans closed spans out to subscribed sinks.
+///
+/// Thread contract (same as EventBus): single writer — hosts serialize
+/// all Open*/Close*/set_time calls; a debug tripwire trips when two
+/// threads race.  With no sinks subscribed every method is an immediate
+/// no-op, so tracers may be wired unconditionally.
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// True when at least one sink is subscribed — the cheap test emission
+  /// sites guard on (via Tracing()).
+  bool active() const { return !sinks_.empty(); }
+
+  /// Adds `sink` (idempotent; null ignored).  Not owned.
+  void Subscribe(SpanSink* sink);
+  /// Removes `sink` if present.
+  void Unsubscribe(SpanSink* sink);
+
+  /// Switches the tracer to a manual clock and sets its reading — the
+  /// discrete-tick simulator calls this once per tick so span intervals
+  /// are deterministic tick counts; tests pin exact timelines with it.
+  /// Never called = wall monotonic nanoseconds.
+  void set_time(uint64_t now) {
+    manual_clock_ = true;
+    manual_now_ = now;
+  }
+
+  /// Current clock reading: the manual time when set_time was ever
+  /// called, otherwise the monotonic wall clock in nanoseconds.
+  uint64_t now() const;
+
+  // -- Transaction lifetime spans -----------------------------------------
+
+  /// Opens the kTxn span of `tid` (replacing any forgotten open one).
+  /// `txn_class` becomes the span's label — the profiler's third frame.
+  void OpenTxn(lock::TransactionId tid, std::string_view txn_class = {});
+
+  /// Closes the open kTxn span of `tid`, if any (no-op otherwise).
+  void CloseTxn(lock::TransactionId tid, bool aborted = false);
+
+  /// Id of the open kTxn span of `tid`, 0 when none.
+  uint64_t TxnSpan(lock::TransactionId tid) const;
+
+  // -- Lock-wait spans ----------------------------------------------------
+
+  /// Opens the kWait span of `tid` (a transaction waits on at most one
+  /// request, so tid keys it), parented under its open kTxn span.
+  /// `corr` is the PR-3 wait-span correlation id from the lock manager.
+  void OpenWait(lock::TransactionId tid, uint64_t corr, lock::ResourceId rid,
+                lock::LockMode mode);
+
+  /// Closes the open kWait span of `tid` with `outcome`; no-op when no
+  /// wait is open (e.g. the tracer attached mid-wait).
+  void CloseWait(lock::TransactionId tid, WaitOutcome outcome);
+
+  // -- Generic scoped spans (pass / publish / step / resolution / apply) --
+
+  /// Opens a span and returns its id (0 when the tracer is inactive —
+  /// Close() ignores id 0, so callers need not re-test).  An opened
+  /// kPass span becomes current_pass() until closed.
+  uint64_t Open(SpanKind kind, uint32_t track = 0, uint64_t parent = 0);
+
+  /// Attaches transaction/resource context to an open span (kResolution
+  /// spans name their victim this way).  No-op for id 0 / unknown ids.
+  void SetContext(uint64_t id, lock::TransactionId tid, lock::ResourceId rid,
+                  lock::LockMode mode = lock::LockMode::kNL);
+
+  /// Closes span `id` with its kind-specific counters and delivers it to
+  /// every sink.  No-op for id 0 / unknown ids (counted in
+  /// dropped_closes()).
+  void Close(uint64_t id, uint64_t a = 0, uint64_t b = 0,
+             std::string label = {});
+
+  /// Id of the most recently opened, still-open kPass span (0 when no
+  /// pass is running) — in-walk emitters parent resolution spans here
+  /// without plumbing the id through the engine.
+  uint64_t current_pass() const { return current_pass_; }
+
+  // -- Introspection ------------------------------------------------------
+
+  /// Closed spans delivered to sinks so far.
+  uint64_t emitted() const { return emitted_; }
+  /// Spans currently open.
+  size_t open_count() const { return open_.size(); }
+  /// Close() calls that named an unknown (or 0) span id.
+  uint64_t dropped_closes() const { return dropped_closes_; }
+
+ private:
+  // Stamps, registers and returns a new open span (tracer must be
+  // active; id/open_ns filled in).
+  Span& OpenInternal(SpanKind kind, uint64_t parent, uint32_t track);
+  // Closes `span` (already removed from open_) and fans it out.
+  void Deliver(Span span);
+  // Debug single-writer tripwire (see EventBus::Emit).
+  void CheckWriter();
+
+  std::vector<SpanSink*> sinks_;
+  std::unordered_map<uint64_t, Span> open_;
+  std::unordered_map<lock::TransactionId, uint64_t> txn_spans_;
+  std::unordered_map<lock::TransactionId, uint64_t> wait_spans_;
+  uint64_t next_id_ = 1;
+  uint64_t current_pass_ = 0;
+  uint64_t emitted_ = 0;
+  uint64_t dropped_closes_ = 0;
+  bool manual_clock_ = false;
+  uint64_t manual_now_ = 0;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> writer_{};
+#endif
+};
+
+/// The one-pointer-test guard instrumented code uses:
+///   if (obs::Tracing(tracer_)) tracer_->OpenWait(...);
+inline bool Tracing(const SpanTracer* tracer) {
+  return tracer != nullptr && tracer->active();
+}
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_SPAN_H_

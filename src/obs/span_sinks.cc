@@ -1,0 +1,429 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "obs/span_sinks.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "obs/event.h"
+#include "obs/json_util.h"
+
+namespace twbg::obs {
+
+std::vector<Span> SpanCollectorSink::Filter(SpanKind kind) const {
+  std::vector<Span> out;
+  for (const Span& span : spans_) {
+    if (span.kind == kind) out.push_back(span);
+  }
+  return out;
+}
+
+size_t SpanCollectorSink::Count(SpanKind kind) const {
+  size_t n = 0;
+  for (const Span& span : spans_) n += span.kind == kind;
+  return n;
+}
+
+std::string SpanToJson(const Span& span) {
+  std::string out = common::Format(
+      "{\"schema_version\":%d,\"id\":%llu,\"parent\":%llu,\"kind\":\"%s\","
+      "\"tid\":%llu,\"rid\":%llu,\"mode\":\"%s\",\"track\":%u,"
+      "\"corr\":%llu,\"open_ns\":%llu,\"close_ns\":%llu,\"a\":%llu,"
+      "\"b\":%llu,\"aborted\":%d",
+      kJsonSpanSchemaVersion, static_cast<unsigned long long>(span.id),
+      static_cast<unsigned long long>(span.parent),
+      std::string(ToString(span.kind)).c_str(),
+      static_cast<unsigned long long>(span.tid),
+      static_cast<unsigned long long>(span.rid),
+      std::string(LockModeName(span.mode)).c_str(), span.track,
+      static_cast<unsigned long long>(span.corr),
+      static_cast<unsigned long long>(span.open_ns),
+      static_cast<unsigned long long>(span.close_ns),
+      static_cast<unsigned long long>(span.a),
+      static_cast<unsigned long long>(span.b), span.aborted ? 1 : 0);
+  if (!span.label.empty()) {
+    out += common::Format(",\"label\":\"%s\"", JsonEscape(span.label).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+Result<Span> ParseSpanLine(std::string_view line) {
+  jsonutil::Cursor cur{line};
+  cur.SkipSpace();
+  if (!cur.Consume('{')) {
+    return Status::InvalidArgument("line is not a JSON object");
+  }
+  Span span;
+  bool saw_version = false;
+  std::string key, text;
+  bool first = true;
+  while (true) {
+    cur.SkipSpace();
+    if (cur.Consume('}')) break;
+    if (!first && !cur.Consume(',')) {
+      return Status::InvalidArgument("expected ',' between members");
+    }
+    first = false;
+    cur.SkipSpace();
+    TWBG_RETURN_IF_ERROR(jsonutil::ParseString(&cur, &key));
+    cur.SkipSpace();
+    if (!cur.Consume(':')) {
+      return Status::InvalidArgument("expected ':' after member name");
+    }
+    cur.SkipSpace();
+    if (!cur.AtEnd() && cur.Peek() == '"') {
+      TWBG_RETURN_IF_ERROR(jsonutil::ParseString(&cur, &text));
+      if (key == "kind") {
+        const std::optional<SpanKind> kind = SpanKindFromName(text);
+        if (!kind) {
+          return Status::InvalidArgument(
+              common::Format("unknown span kind \"%s\"", text.c_str()));
+        }
+        span.kind = *kind;
+      } else if (key == "mode") {
+        const std::optional<lock::LockMode> mode = LockModeFromName(text);
+        if (!mode) {
+          return Status::InvalidArgument(
+              common::Format("unknown lock mode \"%s\"", text.c_str()));
+        }
+        span.mode = *mode;
+      } else if (key == "label") {
+        span.label = text;
+      }
+      // Unknown string members are ignored (same-version additions).
+    } else {
+      TWBG_RETURN_IF_ERROR(jsonutil::ParseNumber(&cur, &text));
+      const uint64_t n = std::strtoull(text.c_str(), nullptr, 10);
+      if (key == "schema_version") {
+        saw_version = true;
+        if (n != static_cast<uint64_t>(kJsonSpanSchemaVersion)) {
+          return Status::InvalidArgument(common::Format(
+              "span schema_version %llu, this reader understands %d",
+              static_cast<unsigned long long>(n), kJsonSpanSchemaVersion));
+        }
+      } else if (key == "id") {
+        span.id = n;
+      } else if (key == "parent") {
+        span.parent = n;
+      } else if (key == "tid") {
+        span.tid = static_cast<lock::TransactionId>(n);
+      } else if (key == "rid") {
+        span.rid = static_cast<lock::ResourceId>(n);
+      } else if (key == "track") {
+        span.track = static_cast<uint32_t>(n);
+      } else if (key == "corr") {
+        span.corr = n;
+      } else if (key == "open_ns") {
+        span.open_ns = n;
+      } else if (key == "close_ns") {
+        span.close_ns = n;
+      } else if (key == "a") {
+        span.a = n;
+      } else if (key == "b") {
+        span.b = n;
+      } else if (key == "aborted") {
+        span.aborted = n != 0;
+      }
+      // Unknown numeric members are ignored.
+    }
+  }
+  cur.SkipSpace();
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  if (!saw_version) {
+    return Status::InvalidArgument("missing schema_version (not a span file?)");
+  }
+  return span;
+}
+
+Result<std::vector<Span>> ReadSpanFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(common::Format("cannot open %s", path.c_str()));
+  }
+  std::vector<Span> spans;
+  std::string line;
+  size_t line_no = 0;
+  int c;
+  while (true) {
+    line.clear();
+    while ((c = std::fgetc(file)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (line.empty() && c == EOF) break;
+    ++line_no;
+    if (!line.empty()) {
+      Result<Span> span = ParseSpanLine(line);
+      if (!span.ok()) {
+        std::fclose(file);
+        return Status::InvalidArgument(
+            common::Format("%s:%zu: %s", path.c_str(), line_no,
+                           std::string(span.status().message()).c_str()));
+      }
+      spans.push_back(std::move(span).value());
+    }
+    if (c == EOF) break;
+  }
+  std::fclose(file);
+  return spans;
+}
+
+Result<std::unique_ptr<SpanJsonlSink>> SpanJsonlSink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound(
+        common::Format("cannot open %s for writing", path.c_str()));
+  }
+  return std::unique_ptr<SpanJsonlSink>(new SpanJsonlSink(file, path));
+}
+
+SpanJsonlSink::~SpanJsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SpanJsonlSink::OnSpan(const Span& span) {
+  std::clearerr(file_);
+  const bool failed = std::fputs(SpanToJson(span).c_str(), file_) == EOF ||
+                      std::fputc('\n', file_) == EOF;
+  if (failed) ++write_errors_;
+  ++lines_;
+}
+
+void SpanJsonlSink::Flush() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) {
+    ++write_errors_;
+    std::clearerr(file_);
+  }
+}
+
+namespace {
+
+// Perfetto lane (the trace-event "tid") of a span.  Lane 1 is the
+// detector thread; shards get 100 + index; transactions 1000 + tid.
+uint64_t PerfettoLane(const Span& span) {
+  switch (span.kind) {
+    case SpanKind::kTxn:
+    case SpanKind::kWait:
+      return 1000 + static_cast<uint64_t>(span.tid);
+    case SpanKind::kPublish:
+      return 100 + static_cast<uint64_t>(span.track);
+    default:
+      return 1;
+  }
+}
+
+// Human name of a lane, for the thread_name metadata event.
+std::string LaneName(uint64_t lane) {
+  if (lane == 1) return "detector";
+  if (lane >= 1000) {
+    return common::Format("T%llu",
+                          static_cast<unsigned long long>(lane - 1000));
+  }
+  return common::Format("shard %llu",
+                        static_cast<unsigned long long>(lane - 100));
+}
+
+// Display name of one span's slice.
+std::string SliceName(const Span& span) {
+  switch (span.kind) {
+    case SpanKind::kTxn:
+      return span.label.empty()
+                 ? common::Format(
+                       "txn T%llu", static_cast<unsigned long long>(span.tid))
+                 : common::Format("txn T%llu [%s]",
+                                  static_cast<unsigned long long>(span.tid),
+                                  span.label.c_str());
+    case SpanKind::kWait:
+      return common::Format("wait R%llu/%s",
+                            static_cast<unsigned long long>(span.rid),
+                            std::string(LockModeName(span.mode)).c_str());
+    case SpanKind::kPublish:
+      return common::Format("publish shard %u", span.track);
+    case SpanKind::kResolution:
+      return span.rid == 0
+                 ? common::Format("resolve T%llu",
+                                  static_cast<unsigned long long>(span.tid))
+                 : common::Format("resolve T%llu R%llu",
+                                  static_cast<unsigned long long>(span.tid),
+                                  static_cast<unsigned long long>(span.rid));
+    default:
+      return std::string(ToString(span.kind));
+  }
+}
+
+}  // namespace
+
+std::string ExportPerfettoJson(const std::vector<Span>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"twbg\"}}";
+  // One thread_name metadata event per lane, in lane order so the
+  // timeline lists the detector first, then shards, then transactions.
+  std::map<uint64_t, std::string> lanes;
+  for (const Span& span : spans) {
+    const uint64_t lane = PerfettoLane(span);
+    lanes.emplace(lane, LaneName(lane));
+  }
+  for (const auto& [lane, name] : lanes) {
+    out += common::Format(
+        ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%llu,"
+        "\"args\":{\"name\":\"%s\"}}",
+        static_cast<unsigned long long>(lane), JsonEscape(name).c_str());
+  }
+  for (const Span& span : spans) {
+    std::string args = common::Format(
+        "{\"id\":%llu,\"parent\":%llu,\"corr\":%llu,\"a\":%llu,\"b\":%llu,"
+        "\"aborted\":%d",
+        static_cast<unsigned long long>(span.id),
+        static_cast<unsigned long long>(span.parent),
+        static_cast<unsigned long long>(span.corr),
+        static_cast<unsigned long long>(span.a),
+        static_cast<unsigned long long>(span.b), span.aborted ? 1 : 0);
+    if (!span.label.empty()) {
+      args +=
+          common::Format(",\"label\":\"%s\"", JsonEscape(span.label).c_str());
+    }
+    args += "}";
+    out += common::Format(
+        ",\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":1,\"tid\":%llu,\"args\":%s}",
+        JsonEscape(SliceName(span)).c_str(),
+        static_cast<double>(span.open_ns) / 1000.0,
+        static_cast<double>(span.duration()) / 1000.0,
+        static_cast<unsigned long long>(PerfettoLane(span)), args.c_str());
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+BlockedProfile BuildBlockedProfile(const std::vector<Span>& spans) {
+  // Pass 1: txn-span id -> class label, so waits resolve their third
+  // profile frame regardless of close order.
+  std::unordered_map<uint64_t, std::string> txn_class;
+  for (const Span& span : spans) {
+    if (span.kind == SpanKind::kTxn && !span.label.empty()) {
+      txn_class[span.id] = span.label;
+    }
+  }
+  // Pass 2: fold closed waits into (resource, mode, class) buckets.
+  std::map<std::tuple<lock::ResourceId, lock::LockMode, std::string>,
+           BlockedProfile::Row>
+      buckets;
+  BlockedProfile profile;
+  for (const Span& span : spans) {
+    if (span.kind != SpanKind::kWait) continue;
+    auto labelled = txn_class.find(span.parent);
+    std::string cls = labelled == txn_class.end() ? std::string("unclassified")
+                                                  : labelled->second;
+    BlockedProfile::Row& row =
+        buckets[std::make_tuple(span.rid, span.mode, cls)];
+    if (row.waits == 0) {
+      row.rid = span.rid;
+      row.mode = span.mode;
+      row.txn_class = std::move(cls);
+    }
+    const uint64_t duration = span.duration();
+    ++row.waits;
+    row.total_ns += duration;
+    row.max_ns = std::max(row.max_ns, duration);
+    row.aborted += span.aborted ? 1 : 0;
+    profile.total_blocked_ns += duration;
+    ++profile.total_waits;
+  }
+  profile.rows.reserve(buckets.size());
+  for (auto& [key, row] : buckets) profile.rows.push_back(std::move(row));
+  std::sort(profile.rows.begin(), profile.rows.end(),
+            [](const BlockedProfile::Row& a, const BlockedProfile::Row& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              if (a.rid != b.rid) return a.rid < b.rid;
+              if (a.mode != b.mode) return a.mode < b.mode;
+              return a.txn_class < b.txn_class;
+            });
+  return profile;
+}
+
+std::string FoldedStacks(const BlockedProfile& profile) {
+  std::string out;
+  for (const BlockedProfile::Row& row : profile.rows) {
+    out += common::Format("R%llu;%s;%s %llu\n",
+                          static_cast<unsigned long long>(row.rid),
+                          std::string(LockModeName(row.mode)).c_str(),
+                          row.txn_class.c_str(),
+                          static_cast<unsigned long long>(row.total_ns));
+  }
+  return out;
+}
+
+std::string ProfileTable(const BlockedProfile& profile) {
+  std::string out = common::Format(
+      "%-10s %-5s %-14s %8s %14s %14s %8s\n", "resource", "mode", "class",
+      "waits", "total_ns", "max_ns", "aborted");
+  for (const BlockedProfile::Row& row : profile.rows) {
+    out += common::Format(
+        "R%-9llu %-5s %-14s %8llu %14llu %14llu %8llu\n",
+        static_cast<unsigned long long>(row.rid),
+        std::string(LockModeName(row.mode)).c_str(), row.txn_class.c_str(),
+        static_cast<unsigned long long>(row.waits),
+        static_cast<unsigned long long>(row.total_ns),
+        static_cast<unsigned long long>(row.max_ns),
+        static_cast<unsigned long long>(row.aborted));
+  }
+  out += common::Format(
+      "total: %llu wait(s), %llu ns blocked\n",
+      static_cast<unsigned long long>(profile.total_waits),
+      static_cast<unsigned long long>(profile.total_blocked_ns));
+  return out;
+}
+
+void SpanEstimator::OnSpan(const Span& span) {
+  if (!started_) {
+    // No Reset(): anchor the first window at the first span's open so
+    // avg_blocked() has a meaningful denominator.
+    started_ = true;
+    window_start_ = span.open_ns;
+  }
+  switch (span.kind) {
+    case SpanKind::kPass:
+      ++pending_.passes;
+      pending_.pass_ns += span.duration();
+      pending_.cycles += span.a;
+      pending_.pass_cost += span.b;
+      break;
+    case SpanKind::kResolution:
+      ++pending_.resolutions;
+      break;
+    case SpanKind::kWait:
+      ++pending_.waits_closed;
+      pending_.blocked_ns += span.duration();
+      break;
+    default:
+      break;
+  }
+}
+
+SpanSampleStats SpanEstimator::Take(uint64_t now_ns) {
+  SpanSampleStats stats = pending_;
+  stats.window_ns = now_ns > window_start_ ? now_ns - window_start_ : 0;
+  pending_ = SpanSampleStats{};
+  window_start_ = now_ns;
+  started_ = true;
+  return stats;
+}
+
+void SpanEstimator::Reset(uint64_t now_ns) {
+  pending_ = SpanSampleStats{};
+  window_start_ = now_ns;
+  started_ = true;
+}
+
+}  // namespace twbg::obs

@@ -1,0 +1,227 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Span sinks and offline span tooling: an in-memory collector, a JSONL
+// stream writer + reader (the span analogue of obs/sinks.h +
+// obs/trace_reader.h), the Chrome/Perfetto trace-event exporter and the
+// blocked-time profiler behind `twbg-trace export-perfetto` / `profile`,
+// and the SpanEstimator that turns closed spans into measured
+// scheduler inputs (lambda / C / blocked population) for
+// sched::PeriodController hosts.  See docs/OBSERVABILITY.md ("Causal
+// spans") for the span taxonomy and a jq walkthrough.
+
+#ifndef TWBG_OBS_SPAN_SINKS_H_
+#define TWBG_OBS_SPAN_SINKS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace twbg::obs {
+
+/// Span JSONL schema version, written into every line; the reader
+/// rejects other versions loudly (the event stream's schema_version is
+/// independent — span files are a separate stream).
+inline constexpr int kJsonSpanSchemaVersion = 1;
+
+/// One closed span as a self-contained JSON line (no trailing newline).
+std::string SpanToJson(const Span& span);
+
+/// Parses one SpanToJson line back into a Span.  Unknown members are
+/// ignored (same-version additions); a missing or wrong schema_version
+/// fails loudly.
+Result<Span> ParseSpanLine(std::string_view line);
+
+/// Reads a whole span JSONL file (empty lines skipped); fails on the
+/// first malformed line with its line number.
+Result<std::vector<Span>> ReadSpanFile(const std::string& path);
+
+/// Unbounded in-memory span buffer for tests and in-process analysis.
+class SpanCollectorSink : public SpanSink {
+ public:
+  /// Appends the closed span.
+  void OnSpan(const Span& span) override { spans_.push_back(span); }
+
+  /// Closed spans, in close order.
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Closed spans of one kind, in close order.
+  std::vector<Span> Filter(SpanKind kind) const;
+
+  /// Closed spans of one kind (count only).
+  size_t Count(SpanKind kind) const;
+
+  /// Drops all collected spans.
+  void Clear() { spans_.clear(); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+/// Streams every closed span as one JSON line to an owned file — same
+/// durability contract as JsonlSink (failed writes are counted, never
+/// wedge the run).
+class SpanJsonlSink : public SpanSink {
+ public:
+  /// Opens `path` for writing (truncates).
+  static Result<std::unique_ptr<SpanJsonlSink>> Open(const std::string& path);
+
+  /// Flushes and closes the file.
+  ~SpanJsonlSink() override;
+
+  /// Non-copyable: the sink owns its FILE handle.
+  SpanJsonlSink(const SpanJsonlSink&) = delete;
+  /// Non-copyable: the sink owns its FILE handle.
+  SpanJsonlSink& operator=(const SpanJsonlSink&) = delete;
+
+  /// Writes the closed span as one JSON line.
+  void OnSpan(const Span& span) override;
+
+  /// Lines written so far (attempted).
+  uint64_t lines_written() const { return lines_; }
+  /// Lines that could not be (fully) written.
+  uint64_t write_errors() const { return write_errors_; }
+  /// Path the sink writes to.
+  const std::string& path() const { return path_; }
+
+  /// Flushes buffered output; a failed flush counts as one write error.
+  void Flush();
+
+ private:
+  SpanJsonlSink(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t lines_ = 0;
+  uint64_t write_errors_ = 0;
+};
+
+// -- Perfetto timeline export ---------------------------------------------
+
+/// Renders closed spans as a Chrome trace-event JSON document (the
+/// format ui.perfetto.dev and chrome://tracing load): one "X" complete
+/// event per span with microsecond ts/dur, plus "M" thread_name metadata
+/// naming each lane.  Lanes: the detector thread (pass/step/resolution/
+/// apply spans), one lane per shard (publish spans) and one lane per
+/// transaction (txn/wait spans).  Clock units are taken as nanoseconds;
+/// under a manual tick clock the timeline is in "nano-tick" units —
+/// relative durations stay truthful.
+std::string ExportPerfettoJson(const std::vector<Span>& spans);
+
+// -- Blocked-time profiling -----------------------------------------------
+
+/// Where blocked time went, folded from closed kWait spans.
+struct BlockedProfile {
+  /// One aggregate row: a (resource, mode, txn class) bucket.
+  struct Row {
+    /// Resource waited on.
+    lock::ResourceId rid = 0;
+    /// Requested mode.
+    lock::LockMode mode = lock::LockMode::kNL;
+    /// Class label of the waiter's parent kTxn span ("fresh", ...);
+    /// "unclassified" when the wait had no labelled parent.
+    std::string txn_class;
+    /// Wait spans folded into the bucket.
+    uint64_t waits = 0;
+    /// Total blocked clock units in the bucket.
+    uint64_t total_ns = 0;
+    /// Longest single wait in the bucket.
+    uint64_t max_ns = 0;
+    /// Waits that ended by abort/cancel instead of a grant.
+    uint64_t aborted = 0;
+  };
+  /// Buckets, descending total_ns (ties: ascending rid, mode, class).
+  std::vector<Row> rows;
+  /// Sum of all closed wait durations.
+  uint64_t total_blocked_ns = 0;
+  /// Closed wait spans folded.
+  uint64_t total_waits = 0;
+};
+
+/// Folds the closed kWait spans of `spans` into per-(resource, mode,
+/// txn-class) buckets.  Open waits are invisible (spans are delivered at
+/// close) — a profile taken mid-run undercounts by the still-open tail.
+BlockedProfile BuildBlockedProfile(const std::vector<Span>& spans);
+
+/// Renders the profile as collapsed-stack lines — one
+/// "R<rid>;<mode>;<txn_class> <total_ns>" per bucket — the input format
+/// of flamegraph.pl and speedscope.
+std::string FoldedStacks(const BlockedProfile& profile);
+
+/// Renders the profile as an aligned aggregate table (twbg-trace
+/// `profile` default output).
+std::string ProfileTable(const BlockedProfile& profile);
+
+// -- Scheduler-input estimation -------------------------------------------
+
+/// Measured scheduler inputs accumulated over one sampling window —
+/// everything a sched::PassSample needs, taken from closed spans instead
+/// of flat event counters (obs must not depend on sched, so hosts do the
+/// one-line conversion).  Units are the tracer's clock units.
+struct SpanSampleStats {
+  /// Window length in clock units (close of window to close of window).
+  uint64_t window_ns = 0;
+  /// Total kPass span duration closed in the window — the measured
+  /// detection cost C.
+  uint64_t pass_ns = 0;
+  /// kPass spans closed in the window.
+  uint64_t passes = 0;
+  /// Sum of closed kPass spans' `b` counters — the pass's cost in host
+  /// cost units (work units for the simulator, nanoseconds for the
+  /// service), per the pass-span close contract.  The canonical C input;
+  /// pass_ns is its wall-clock cross-check.
+  uint64_t pass_cost = 0;
+  /// Deadlock cycles resolved: the sum of closed kPass spans' `a`
+  /// counters (the pass-span close contract) — the measured lambda
+  /// numerator.
+  uint64_t cycles = 0;
+  /// kResolution spans closed in the window (cross-check for `cycles`;
+  /// differs under pauseless detection where later-rejected decisions
+  /// never apply).
+  uint64_t resolutions = 0;
+  /// Total blocked time from kWait spans closed in the window.
+  uint64_t blocked_ns = 0;
+  /// kWait spans closed in the window.
+  uint64_t waits_closed = 0;
+
+  /// Time-averaged blocked population over the window — the measured B
+  /// (blocked integral / window), 0 when the window is empty.
+  double avg_blocked() const {
+    return window_ns == 0
+               ? 0.0
+               : static_cast<double>(blocked_ns) /
+                     static_cast<double>(window_ns);
+  }
+};
+
+/// SpanSink that integrates closed spans into SpanSampleStats windows.
+/// Hosts subscribe it to their tracer, then call Take() after each pass
+/// to fill a sched::PassSample with measured values
+/// (SchedulerOptions::use_span_estimates).  Single-threaded like every
+/// sink: Take() must be called from the tracer's writer.
+class SpanEstimator : public SpanSink {
+ public:
+  /// Accumulates `span` into the current window.
+  void OnSpan(const Span& span) override;
+
+  /// Returns the window ending now (`now_ns` from the tracer's clock)
+  /// and starts the next one.  The first Take() measures from the first
+  /// observed span's open when Reset() was never called.
+  SpanSampleStats Take(uint64_t now_ns);
+
+  /// Starts the first window at `now_ns`, discarding anything pending.
+  void Reset(uint64_t now_ns);
+
+ private:
+  SpanSampleStats pending_;
+  uint64_t window_start_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace twbg::obs
+
+#endif  // TWBG_OBS_SPAN_SINKS_H_

@@ -94,6 +94,17 @@ struct SchedulerOptions {
   /// next burst.  Downward moves are uncapped (snapping down is safe —
   /// it only costs detection work).
   double max_raise_factor = 2.0;
+  /// Fill PassSample from causal-span measurements (obs::SpanEstimator)
+  /// instead of flat host counters: lambda's numerator from pass-span
+  /// cycle counts, C from pass-span cost counters, and B as the
+  /// time-averaged blocked population integrated from closed wait spans
+  /// (instead of an instantaneous blocked count at pass end — the
+  /// docs/TUNING.md §8 lambda-undercount remedy's measured companion).
+  /// The controller itself is unchanged — only what the host feeds it.
+  /// Hosts require a span tracer when set (their Validate rejects the
+  /// combination otherwise); off (the default) is byte-identical to the
+  /// pre-span behaviour.
+  bool use_span_estimates = false;
 
   /// Rejects out-of-domain values: min_period == 0, max_period nonzero
   /// but below min_period, ewma_alpha outside (0, 1], non-positive

@@ -41,6 +41,10 @@ Status SimConfig::Validate() const {
         "SimConfig: record_trace requires trace_capacity >= 1");
   }
   TWBG_RETURN_IF_ERROR(scheduler.Validate());
+  if (scheduler.use_span_estimates && span_tracer == nullptr) {
+    return Status::InvalidArgument(
+        "SimConfig: scheduler.use_span_estimates requires span_tracer");
+  }
   const bool adaptive =
       period_controller != nullptr ||
       scheduler.policy != sched::SchedulerPolicy::kFixedPeriod;
@@ -71,6 +75,7 @@ Simulator::Simulator(const SimConfig& config,
   TWBG_CHECK(strategy_ != nullptr);
   TWBG_CHECK(config_.Validate().ok());
   lock_manager_.set_event_bus(&bus_);
+  lock_manager_.set_span_tracer(config_.span_tracer);
   if (config_.record_trace) bus_.Subscribe(&trace_sink_);
   if (config_.enable_watchdog) {
     watchdog_ = std::make_unique<obs::Watchdog>(&bus_, config_.watchdog);
@@ -93,6 +98,17 @@ Simulator::Simulator(const SimConfig& config,
     metrics_.final_detection_period = period;
     metrics_.min_detection_period = period;
     metrics_.max_detection_period = period;
+  }
+  if (controller_ != nullptr && config_.scheduler.use_span_estimates) {
+    // Validate() guarantees span_tracer is set with the flag on.
+    estimator_ = std::make_unique<obs::SpanEstimator>();
+    config_.span_tracer->Subscribe(estimator_.get());
+  }
+}
+
+Simulator::~Simulator() {
+  if (estimator_ != nullptr) {
+    config_.span_tracer->Unsubscribe(estimator_.get());
   }
 }
 
@@ -162,6 +178,9 @@ void Simulator::SpawnUpToConcurrency() {
     event.tid = tid;
     event.a = restarts;
     Emit(event);
+    if (obs::Tracing(config_.span_tracer)) {
+      config_.span_tracer->OpenTxn(tid, restarts > 0 ? "restart" : "fresh");
+    }
   }
 }
 
@@ -175,6 +194,9 @@ void Simulator::KillAndRestart(lock::TransactionId tid) {
   event.tid = tid;
   event.a = 1;  // killed, not a voluntary abort
   Emit(event);
+  if (obs::Tracing(config_.span_tracer)) {
+    config_.span_tracer->CloseTxn(tid, /*aborted=*/true);
+  }
   const size_t logical = it->second.logical;
   const size_t count = ++restart_counts_[logical];
   const size_t backoff =
@@ -219,11 +241,21 @@ void Simulator::InvokeStrategy(bool periodic, lock::TransactionId blocked) {
     start.a = periodic ? 1 : 0;
     bus_.Emit(start);
   }
+  obs::SpanTracer* tracer = config_.span_tracer;
+  const uint64_t pass_span =
+      obs::Tracing(tracer) ? tracer->Open(obs::SpanKind::kPass) : 0;
+  if (pass_span != 0 && !periodic) tracer->SetContext(pass_span, blocked, 0);
   common::Stopwatch watch;
   baselines::StrategyOutcome outcome =
       periodic ? strategy_->OnPeriodic(lock_manager_, costs_)
                : strategy_->OnBlock(lock_manager_, costs_, blocked);
   const int64_t elapsed_ns = watch.ElapsedNanos();
+  if (pass_span != 0) {
+    // Pass-span close contract: a = cycles resolved, b = the pass's cost
+    // in the host's cost unit — the strategy's deterministic work units,
+    // never wall time (passes take zero ticks on the manual clock).
+    tracer->Close(pass_span, outcome.cycles_found, outcome.work);
+  }
   metrics_.detector_seconds += static_cast<double>(elapsed_ns) / 1e9;
   ++metrics_.detector_invocations;
   // Deterministic cost signal for the period controller: the strategy's
@@ -323,10 +355,26 @@ void Simulator::MaybeRunPeriodicPass() {
   if (metrics_.ticks < next_pass_tick_) return;
   InvokeStrategy(/*periodic=*/true, lock::kInvalidTransaction);
   sched::PassSample sample;
-  sample.elapsed = metrics_.ticks - last_pass_tick_;
-  sample.detection_cost = static_cast<double>(last_pass_work_);
-  sample.cycles_resolved = last_pass_cycles_;
-  sample.blocked_txns = lock_manager_.BlockedTransactions().size();
+  if (estimator_ != nullptr) {
+    // Span-measured inputs (SchedulerOptions::use_span_estimates): the
+    // lambda numerator is every cycle a pass span resolved in the window
+    // (continuous passes included — the flat path only sees the periodic
+    // pass's own count), and B is the time-averaged blocked population
+    // integrated from closed wait spans instead of an instantaneous
+    // blocked count at pass end.  C stays the just-closed pass's work
+    // units — identical to that pass span's `b` counter.
+    const obs::SpanSampleStats stats =
+        estimator_->Take(config_.span_tracer->now());
+    sample.elapsed = stats.window_ns;
+    sample.detection_cost = static_cast<double>(last_pass_work_);
+    sample.cycles_resolved = stats.cycles;
+    sample.blocked_txns = static_cast<uint64_t>(stats.avg_blocked() + 0.5);
+  } else {
+    sample.elapsed = metrics_.ticks - last_pass_tick_;
+    sample.detection_cost = static_cast<double>(last_pass_work_);
+    sample.cycles_resolved = last_pass_cycles_;
+    sample.blocked_txns = lock_manager_.BlockedTransactions().size();
+  }
   if (const std::optional<sched::PeriodRetune> retune =
           controller_->OnPassComplete(sample)) {
     ++metrics_.period_retunes;
@@ -426,11 +474,21 @@ void Simulator::ExpireDeadlines() {
 }
 
 SimMetrics Simulator::Run() {
+  if (config_.span_tracer != nullptr) {
+    // Spans share the bus's logical clock: the simulator tick.  Pinning
+    // the manual clock before the first spawn keeps the initial txn
+    // spans (and the estimator's first window) off the wall clock.
+    config_.span_tracer->set_time(metrics_.ticks);
+    if (estimator_ != nullptr) estimator_->Reset(config_.span_tracer->now());
+  }
   SpawnUpToConcurrency();
   size_t stall = 0;
   while (metrics_.committed < config_.workload.num_transactions &&
          metrics_.ticks < config_.max_ticks) {
     bus_.set_time(metrics_.ticks);
+    if (config_.span_tracer != nullptr) {
+      config_.span_tracer->set_time(metrics_.ticks);
+    }
     acted_this_tick_ = false;
     bool progress = false;
     ApplyTickFaults();
@@ -481,6 +539,9 @@ SimMetrics Simulator::Run() {
           event.kind = obs::EventKind::kTxnCommit;
           event.tid = tid;
           Emit(event);
+          if (obs::Tracing(config_.span_tracer)) {
+            config_.span_tracer->CloseTxn(tid, /*aborted=*/false);
+          }
           live_.erase(it);
           progress = true;
           SpawnUpToConcurrency();

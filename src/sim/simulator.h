@@ -26,6 +26,8 @@
 #include "core/cost_table.h"
 #include "lock/lock_manager.h"
 #include "obs/sinks.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 #include "obs/watchdog.h"
 #include "sched/period_controller.h"
 #include "sim/metrics.h"
@@ -83,6 +85,16 @@ struct SimConfig {
   bool enable_watchdog = false;
   /// Thresholds for the watchdog (ignored unless enable_watchdog).
   obs::WatchdogOptions watchdog;
+  /// Causal span tracer shared with the lock manager (null = no span
+  /// tracing).  The simulator drives the tracer's manual clock with the
+  /// tick counter, opens/closes txn spans around each execution, brackets
+  /// every strategy invocation with a kPass span (closed with the
+  /// strategy's cycles-found and work counters), and the lock manager
+  /// opens/closes the wait spans — so do not also attach the same tracer
+  /// to the strategy's own DetectorOptions, or passes are double-counted.
+  /// Not owned; must outlive the simulator.  Required when
+  /// scheduler.use_span_estimates is set.
+  obs::SpanTracer* span_tracer = nullptr;
   /// Robustness knobs (deadlines in ticks, admission watermarks, retry
   /// backoff in ticks).  All disabled by default.  An expired wait
   /// withdraws the pending request with full invariant maintenance and
@@ -99,7 +111,8 @@ struct SimConfig {
   robustness::FaultPlan fault_plan;
 
   /// Rejects out-of-domain combinations (zero concurrency, zero trace
-  /// capacity with tracing on, bad robustness knobs).
+  /// capacity with tracing on, span-estimate scheduling without a span
+  /// tracer, bad robustness knobs).
   Status Validate() const;
 };
 
@@ -115,6 +128,9 @@ class Simulator {
   /// Direct construction for valid configs (TWBG_CHECKs Validate()).
   Simulator(const SimConfig& config,
             std::unique_ptr<baselines::DetectionStrategy> strategy);
+
+  /// Detaches the owned span estimator from the config's tracer.
+  ~Simulator();
 
   /// Runs to completion (or tick budget) and returns the metrics.
   SimMetrics Run();
@@ -231,6 +247,9 @@ class Simulator {
   TraceEventSink trace_sink_{&trace_};  // subscribed iff record_trace
   std::unique_ptr<obs::JsonlSink> jsonl_;    // StreamEventsTo
   std::unique_ptr<obs::Watchdog> watchdog_;  // config.enable_watchdog
+  // Measured scheduler inputs, subscribed to config.span_tracer iff
+  // scheduler.use_span_estimates and a controller is in play.
+  std::unique_ptr<obs::SpanEstimator> estimator_;
   std::unique_ptr<robustness::FaultInjector> injector_;  // config.fault_plan
   size_t stall_until_ = 0;  // kStallShard freeze horizon
 

@@ -81,6 +81,10 @@ Status ConcurrentServiceOptions::Validate() const {
   }
   Status sched_status = scheduler.Validate();
   if (!sched_status.ok()) return sched_status;
+  if (scheduler.use_span_estimates && span_tracer == nullptr) {
+    return Status::InvalidArgument(
+        "scheduler.use_span_estimates requires span_tracer");
+  }
   if (scheduler.policy != sched::SchedulerPolicy::kFixedPeriod) {
     // Closed-loop scheduling retunes the detector thread's wait; it is
     // meaningless without a detector thread to drive.
@@ -183,6 +187,12 @@ ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
     tm_options.detection_mode = DetectionMode::kContinuous;
     tm_options.cost_policy = options_.cost_policy;
     tm_options.detector = options_.detector;
+    // The inner manager's continuous detector runs under mu_, so the
+    // tracer's single-writer contract holds; it emits the pass / step /
+    // resolution spans for this mode.
+    if (tm_options.detector.span_tracer == nullptr) {
+      tm_options.detector.span_tracer = options_.span_tracer;
+    }
     tm_options.event_bus = options_.event_bus;
     // The inner manager runs the Begin-time admission check; deadlines
     // stay with the service (the manager's clock is logical, ours is wall
@@ -192,15 +202,22 @@ ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
     return;
   }
   bus_ = options_.event_bus;
+  tracer_ = options_.span_tracer;
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->lm.set_event_bus(bus_);
+    shards_.back()->lm.set_span_tracer(tracer_);
   }
   if (options_.detection_threads > 0) {
     pool_ = std::make_unique<common::ThreadPool>(options_.detection_threads);
   }
   core::DetectorOptions detector_options = options_.detector;
+  // The component-parallel walk runs on pool workers; span emission there
+  // would break the tracer's single-writer contract, so the sharded
+  // engine's detector never carries the tracer — the service emits the
+  // pass / publish / apply / resolution spans itself, under obs_mu_.
+  detector_options.span_tracer = nullptr;
   if (options_.snapshot_strategy == SnapshotStrategy::kEpochDelta) {
     // Pauseless resolutions are validated against the live shards before
     // they apply, so every decision must carry its evidence stamps.
@@ -215,6 +232,13 @@ ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
   detector_ = std::make_unique<core::ParallelPeriodicDetector>(
       detector_options, pool_.get());
   pass_host_ = std::make_unique<PassHost>(*this);
+  if (options_.scheduler.use_span_estimates) {
+    // Validate() guarantees tracer_ is set with the flag on.
+    estimator_ = std::make_unique<obs::SpanEstimator>();
+    tracer_->Subscribe(estimator_.get());
+    std::scoped_lock ol(obs_mu_);
+    estimator_->Reset(tracer_->now());
+  }
   if (options_.detection_period.count() > 0) {
     const uint64_t initial_us =
         static_cast<uint64_t>(options_.detection_period.count());
@@ -234,6 +258,7 @@ ConcurrentLockService::~ConcurrentLockService() {
     stop_cv_.notify_all();
     detector_thread_.join();
   }
+  if (estimator_ != nullptr) tracer_->Unsubscribe(estimator_.get());
 }
 
 size_t ConcurrentLockService::ShardIndex(lock::ResourceId rid) const {
@@ -264,6 +289,23 @@ void ConcurrentLockService::EmitStandalone(obs::Event event) {
   if (bus_ == nullptr) return;
   std::scoped_lock ol(obs_mu_);
   if (bus_->active()) bus_->Emit(event);
+}
+
+uint64_t ConcurrentLockService::OpenSpanStandalone(obs::SpanKind kind,
+                                                   uint32_t track,
+                                                   uint64_t parent) {
+  if (tracer_ == nullptr) return 0;
+  std::scoped_lock ol(obs_mu_);
+  if (!tracer_->active()) return 0;
+  return tracer_->Open(kind, track, parent);
+}
+
+void ConcurrentLockService::CloseSpanStandalone(uint64_t id, uint64_t a,
+                                                uint64_t b,
+                                                std::string label) {
+  if (id == 0 || tracer_ == nullptr) return;
+  std::scoped_lock ol(obs_mu_);
+  tracer_->Close(id, a, b, std::move(label));
 }
 
 Result<lock::TransactionId> ConcurrentLockService::Begin() {
@@ -305,14 +347,15 @@ Result<lock::TransactionId> ConcurrentLockService::PeriodicBegin() {
   rec.begin_ts = next_ts_++;
   ++live_txns_;
   RefreshCostLocked(tid, rec);
-  if (bus_ != nullptr) {
+  if (observed()) {
     std::scoped_lock ol(obs_mu_);
-    if (bus_->active()) {
+    if (obs::Enabled(bus_)) {
       obs::Event event;
       event.kind = obs::EventKind::kTxnBegin;
       event.tid = tid;
       bus_->Emit(event);
     }
+    if (obs::Tracing(tracer_)) tracer_->OpenTxn(tid, "client");
   }
   return tid;
 }
@@ -559,7 +602,7 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
       }
     }
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-    if (bus_ != nullptr) ol.lock();
+    if (observed()) ol.lock();
     Result<lock::RequestOutcome> result = shard.lm.Acquire(tid, rid, mode);
     if (!result.ok()) {
       shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
@@ -654,7 +697,7 @@ Status ConcurrentLockService::CancelPeriodicWait(lock::TransactionId tid,
         common::Format("T%u aborted as deadlock victim while waiting", tid));
   }
   std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-  if (bus_ != nullptr) ol.lock();
+  if (observed()) ol.lock();
   const lock::TxnLockInfo* info = shard.lm.Info(tid);
   TWBG_CHECK(info != nullptr && info->blocked_on.has_value());
   const lock::ResourceId wait_rid = *info->blocked_on;
@@ -766,7 +809,7 @@ Status ConcurrentLockService::PeriodicTerminate(lock::TransactionId tid,
                          std::string(ToString(state)).c_str()));
     }
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-    if (bus_ != nullptr) ol.lock();
+    if (observed()) ol.lock();
     rec.state.store(commit ? TxnState::kCommitted : TxnState::kAborted,
                     std::memory_order_relaxed);
     --live_txns_;
@@ -778,6 +821,7 @@ Status ConcurrentLockService::PeriodicTerminate(lock::TransactionId tid,
       event.a = 0;  // kTxnAbort: voluntary, not a deadlock victim
       bus_->Emit(event);
     }
+    if (obs::Tracing(tracer_)) tracer_->CloseTxn(tid, /*aborted=*/!commit);
     costs_.Erase(tid);
     ReactivateLocked(ReleaseAllShardsLocked(tid, mask));
   }
@@ -814,14 +858,22 @@ std::vector<lock::TransactionId> ConcurrentLockService::ReleaseAllShardsLocked(
   // hence the recorded linearization) matches the sequential engine.
   std::vector<lock::ResourceId> rids;
   bool known = false;
+  bool was_blocked = false;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if ((mask & (uint64_t{1} << s)) == 0) continue;
     const lock::TxnLockInfo* info = shards_[s]->lm.Info(tid);
     if (info == nullptr) continue;
     known = true;
+    was_blocked |= info->blocked_on.has_value();
     rids.insert(rids.end(), info->touched.begin(), info->touched.end());
   }
   if (!known) return {};  // mirror ReleaseAll: unknown tid emits nothing
+  // The per-rid ReleaseOn path closes only the *granted* waiters' spans
+  // (NoteGranted); the released transaction's own pending wait ends here,
+  // the way LockManager::ReleaseAll would end it.
+  if (was_blocked && obs::Tracing(tracer_)) {
+    tracer_->CloseWait(tid, obs::WaitOutcome::kAborted);
+  }
   std::sort(rids.begin(), rids.end());
 
   std::vector<lock::TransactionId> granted;
@@ -878,10 +930,17 @@ core::ResolutionReport ConcurrentLockService::RunStopTheWorldPass() {
   {
     std::scoped_lock tl(txn_mu_);
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-    if (bus_ != nullptr) ol.lock();
+    if (observed()) ol.lock();
+    const uint64_t pass_span =
+        obs::Tracing(tracer_) ? tracer_->Open(obs::SpanKind::kPass) : 0;
     report = detector_->RunPass(*pass_host_, costs_);
     ApplyReportLocked(report);
     if (obs::Enabled(bus_)) PublishShardStatsLocked();
+    if (pass_span != 0) {
+      // Pass-span close contract: a = cycles resolved, b = cost ns.
+      tracer_->Close(pass_span, report.cycles_detected,
+                     static_cast<uint64_t>(pause.ElapsedNanos()));
+    }
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   const uint64_t pause_ns = static_cast<uint64_t>(pause.ElapsedNanos());
@@ -921,6 +980,7 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
   std::scoped_lock pass_lock(pass_mu_);
   common::Stopwatch pass_clock;
   const uint64_t sealing_epoch = epoch_.load(std::memory_order_acquire) + 1;
+  const uint64_t pass_span = OpenSpanStandalone(obs::SpanKind::kPass, 0, 0);
 
   // Phase 1 — publish: capture each shard's journal delta under its own
   // mutex (the only pause a client ever observes, O(delta)), then fold it
@@ -930,6 +990,8 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
     Shard& shard = *shards_[s];
     ShardCaptureStats capture;
     uint64_t publish_ns = 0;
+    const uint64_t publish_span = OpenSpanStandalone(
+        obs::SpanKind::kPublish, static_cast<uint32_t>(s), pass_span);
     {
       std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
       const bool contended = !sl.owns_lock();
@@ -942,6 +1004,10 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
       shard.hold_ns += publish_ns;
     }
     snapshots_[s].Fold();
+    // Publish-span counters: a = dirty resources captured, b = the
+    // client-visible publish pause in nanoseconds (the span's duration
+    // also covers the fold, which runs off the shard lock).
+    CloseSpanStandalone(publish_span, capture.dirty, publish_ns);
     max_publish_ns = std::max(max_publish_ns, publish_ns);
     {
       std::scoped_lock stl(stats_mu_);
@@ -1045,8 +1111,12 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
   {
     std::scoped_lock tl(txn_mu_);
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-    if (bus_ != nullptr) ol.lock();
+    if (observed()) ol.lock();
     const bool live_obs = observing && obs::Enabled(bus_);
+    const uint64_t apply_span =
+        obs::Tracing(tracer_)
+            ? tracer_->Open(obs::SpanKind::kApply, 0, pass_span)
+            : 0;
     const auto replay = [&](size_t index) { bus_->Emit(recorded[index]); };
     if (live_obs) {
       replay(0);  // kPassStart
@@ -1102,6 +1172,17 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
         continue;
       }
       valid[i] = 1;
+      // The sealed detect ran tracer-less (worker threads), so the
+      // resolution span of a validated decision is minted here, at the
+      // moment the resolution actually lands on the live shards.
+      uint64_t res_span = 0;
+      if (obs::Tracing(tracer_)) {
+        res_span = tracer_->Open(obs::SpanKind::kResolution, 0, pass_span);
+        tracer_->SetContext(res_span, victim.junction,
+                            victim.kind == core::VictimKind::kReposition
+                                ? victim.resource
+                                : 0);
+      }
       if (victim.kind == core::VictimKind::kReposition) {
         Shard& shard = *shards_[ShardIndex(victim.resource)];
         lock::ResourceState* state =
@@ -1119,8 +1200,21 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
       }
       if (live_obs) {
         for (size_t e = segments[i].first; e < segments[i].second; ++e) {
-          replay(e);
+          obs::Event event = recorded[e];
+          if (event.kind == obs::EventKind::kCyclePostMortem) {
+            // Forensic <-> timeline join: the recorded post-mortem was
+            // captured span-less on the local bus; stamp it with the
+            // resolution span minted above before it reaches the sinks.
+            event.span = res_span;
+          }
+          bus_->Emit(std::move(event));
         }
+      }
+      if (res_span != 0) {
+        const bool reposition =
+            victim.kind == core::VictimKind::kReposition;
+        tracer_->Close(res_span, decision.cycle.size(), reposition ? 1 : 0,
+                       reposition ? "TDR-2" : "TDR-1");
       }
     }
     if (live_obs) replay(recorded.size() - 1);  // kStep2
@@ -1205,6 +1299,10 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
     }
     ApplyReportLocked(report);
     if (obs::Enabled(bus_)) PublishShardStatsLocked();
+    if (apply_span != 0) {
+      // Apply-span counters: a = decisions applied, b = rejected.
+      tracer_->Close(apply_span, report.decisions.size(), report.rejected);
+    }
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   const uint64_t apply_ns = static_cast<uint64_t>(apply_pause.ElapsedNanos());
@@ -1233,10 +1331,18 @@ core::ResolutionReport ConcurrentLockService::RunPauselessPass() {
     event.value = static_cast<double>(budget_ns) / 1000.0;  // budget, µs
     EmitStandalone(std::move(event));
   }
+  // Pass-span close contract: a = cycles actually resolved (detected
+  // minus stamp-rejected — a rejected decision resolves nothing and is
+  // re-derived next pass), b = the full pass cost in nanoseconds.
+  const uint64_t pass_ns = static_cast<uint64_t>(pass_clock.ElapsedNanos());
+  const uint64_t resolved =
+      report.cycles_detected >= report.rejected
+          ? report.cycles_detected - report.rejected
+          : 0;
+  CloseSpanStandalone(pass_span, resolved, pass_ns);
   // Full pass cost (publish + detect + validated apply), not just the
   // client-visible pause: the controller trades detector CPU for staleness.
-  UpdateSchedulerAfterPass(static_cast<uint64_t>(pass_clock.ElapsedNanos()),
-                           report);
+  UpdateSchedulerAfterPass(pass_ns, report);
   return report;
 }
 
@@ -1249,7 +1355,7 @@ core::ResolutionReport ConcurrentLockService::RunTimeoutSweep() {
   {
     std::scoped_lock tl(txn_mu_);
     std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
-    if (bus_ != nullptr) ol.lock();
+    if (observed()) ol.lock();
     // Timeout resolution (the fallback the paper's algorithm replaces):
     // abort whoever has been observed blocked for `sweep_patience`
     // consecutive sweeps.  Crude — it may abort transactions that are
@@ -1279,6 +1385,7 @@ core::ResolutionReport ConcurrentLockService::RunTimeoutSweep() {
         event.a = 0;  // not a deadlock victim
         bus_->Emit(event);
       }
+      if (obs::Tracing(tracer_)) tracer_->CloseTxn(victim, /*aborted=*/true);
       const std::vector<lock::TransactionId> granted =
           ReleaseAllShardsLocked(victim, rec.shard_mask);
       ReactivateLocked(granted);
@@ -1328,6 +1435,7 @@ void ConcurrentLockService::ApplyReportLocked(
       event.a = 1;  // deadlock victim (TDR-1)
       bus_->Emit(event);
     }
+    if (obs::Tracing(tracer_)) tracer_->CloseTxn(victim, /*aborted=*/true);
   }
   ReactivateLocked(report.granted);
 }
@@ -1429,6 +1537,13 @@ void ConcurrentLockService::UpdateSchedulerAfterPass(
       }
     }
   }
+  // Drain the estimator window (if any) before sched_mu_ — like the
+  // blocked snapshot above, so sched_mu_ stays a leaf lock.
+  obs::SpanSampleStats stats;
+  if (estimator_ != nullptr) {
+    std::scoped_lock ol(obs_mu_);
+    stats = estimator_->Take(tracer_->now());
+  }
   std::optional<sched::PeriodRetune> retune;
   {
     std::scoped_lock sl(sched_mu_);
@@ -1445,11 +1560,27 @@ void ConcurrentLockService::UpdateSchedulerAfterPass(
     last_pass_time_ = now;
     sched_seen_pass_ = true;
     sched::PassSample sample;
-    sample.elapsed = elapsed_us;
-    // Cost in the controller's time unit (µs), same as the period.
-    sample.detection_cost = static_cast<double>(pass_ns) / 1000.0;
-    sample.cycles_resolved = report.cycles_detected;
-    sample.blocked_txns = blocked;
+    if (estimator_ != nullptr) {
+      // Span-measured inputs (SchedulerOptions::use_span_estimates): the
+      // window is delimited by the tracer's clock, cycles come from the
+      // closed pass spans' resolved counts (stamp-rejected decisions
+      // excluded, unlike report.cycles_detected), C from the pass spans'
+      // cost counters, and B is time-averaged over the window's closed
+      // wait spans instead of sampled at pass end.
+      sample.elapsed = std::max<uint64_t>(stats.window_ns / 1000, 1);
+      const uint64_t passes = std::max<uint64_t>(stats.passes, 1);
+      sample.detection_cost =
+          static_cast<double>(stats.pass_cost) / 1000.0 /
+          static_cast<double>(passes);
+      sample.cycles_resolved = stats.cycles;
+      sample.blocked_txns = static_cast<uint64_t>(stats.avg_blocked() + 0.5);
+    } else {
+      sample.elapsed = elapsed_us;
+      // Cost in the controller's time unit (µs), same as the period.
+      sample.detection_cost = static_cast<double>(pass_ns) / 1000.0;
+      sample.cycles_resolved = report.cycles_detected;
+      sample.blocked_txns = blocked;
+    }
     retune = controller_->OnPassComplete(sample);
     if (retune.has_value()) {
       current_period_us_.store(retune->new_period, std::memory_order_release);

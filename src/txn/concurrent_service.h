@@ -96,6 +96,8 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/parallel_detector.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 #include "sched/period_controller.h"
 #include "txn/epoch_snapshot.h"
 #include "txn/robustness/robustness.h"
@@ -151,6 +153,18 @@ struct ConcurrentServiceOptions {
   /// Structured-event bus (not owned; may be null).  Attaching a bus
   /// serializes the service — see the file comment.
   obs::EventBus* event_bus = nullptr;
+  /// Causal span tracer (not owned; may be null).  Attaching one
+  /// serializes the service exactly like a bus: every span call happens
+  /// under the observability mutex, satisfying the tracer's single-writer
+  /// contract.  In kPeriodic mode the service opens txn spans at Begin /
+  /// Terminate, the shard lock managers open/close the wait spans, and
+  /// each pass emits a kPass span with kPublish / kApply / kResolution
+  /// children (pauseless) — the engine's own detector tracer stays unset
+  /// because the component-parallel walk runs on worker threads.  In
+  /// kContinuous mode the tracer is forwarded to the inner manager's
+  /// sequential detector (pass / step / resolution spans).  Required when
+  /// scheduler.use_span_estimates is set.
+  obs::SpanTracer* span_tracer = nullptr;
   /// Robustness knobs.  Deadline units are MICROSECONDS here (wall
   /// clock); `deadline.txn_budget` is not enforced by the service (it
   /// belongs to the discrete-time hosts).  All disabled by default.
@@ -166,7 +180,8 @@ struct ConcurrentServiceOptions {
 
   /// Rejects out-of-domain combinations — num_shards outside [1, 64],
   /// kContinuous combined with sharding / a detection period / detection
-  /// threads, bad robustness knobs.
+  /// threads, scheduler.use_span_estimates without a span tracer, bad
+  /// robustness knobs.
   Status Validate() const;
 };
 
@@ -432,6 +447,18 @@ class ConcurrentLockService {
   // Emits `event` under obs_mu_ alone (no other service lock held).
   void EmitStandalone(obs::Event event);
 
+  // True when a bus or a span tracer is attached: obs_mu_ must be held
+  // around the shard lock managers' mutating calls (they emit on both).
+  bool observed() const { return bus_ != nullptr || tracer_ != nullptr; }
+
+  // Span-tracer twins of EmitStandalone: open/close a span under obs_mu_
+  // alone (no other service lock held).  Return 0 / no-op when the tracer
+  // is absent or inactive.
+  uint64_t OpenSpanStandalone(obs::SpanKind kind, uint32_t track,
+                              uint64_t parent);
+  void CloseSpanStandalone(uint64_t id, uint64_t a, uint64_t b,
+                           std::string label = {});
+
   // Feeds the period controller (if any) with a completed full pass and
   // applies/announces the retune it decides.  Called with no service
   // lock held.  `pass_ns` is the pass's detection cost (whole pass for
@@ -475,10 +502,14 @@ class ConcurrentLockService {
   size_t live_txns_ = 0;
   size_t deadlock_victims_ = 0;
 
-  // Serializes every emission on the shared bus (innermost lock; only
-  // taken when a bus is attached).
+  // Serializes every emission on the shared bus and span tracer
+  // (innermost lock; only taken when one of them is attached).
   std::mutex obs_mu_;
   obs::EventBus* bus_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
+  // Measured scheduler inputs (scheduler.use_span_estimates): subscribed
+  // to tracer_, drained by UpdateSchedulerAfterPass under obs_mu_.
+  std::unique_ptr<obs::SpanEstimator> estimator_;
 
   std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<core::ParallelPeriodicDetector> detector_;

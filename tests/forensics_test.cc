@@ -170,6 +170,57 @@ TEST(FlightRecorderTest, PerTxnAndPerResourceTails) {
   EXPECT_TRUE(recorder.Tail(10).empty());
 }
 
+TEST(FlightRecorderTest, PerResourceTailEvictsAtExactCapacityBoundary) {
+  obs::FlightRecorder recorder(16);
+  // Fill the ring to exactly capacity with one resource's events.
+  for (uint32_t i = 1; i <= 16; ++i) {
+    recorder.OnEvent(MakeEvent(EventKind::kLockGrant, i, 10));
+  }
+  ASSERT_EQ(recorder.recorded(), recorder.capacity());
+  // At the boundary nothing has been evicted yet: the per-resource tail
+  // still sees every event, oldest first.
+  std::vector<Event> r10 = recorder.TailForResource(10, 100);
+  ASSERT_EQ(r10.size(), 16u);
+  EXPECT_EQ(r10.front().tid, 1u);
+  EXPECT_EQ(r10.back().tid, 16u);
+  // One more event (a different resource) overwrites the oldest slot —
+  // the resource tail must lose exactly its oldest entry, nothing else.
+  recorder.OnEvent(MakeEvent(EventKind::kLockGrant, 99, 20));
+  r10 = recorder.TailForResource(10, 100);
+  ASSERT_EQ(r10.size(), 15u);
+  EXPECT_EQ(r10.front().tid, 2u);
+  EXPECT_EQ(r10.back().tid, 16u);
+  const std::vector<Event> r20 = recorder.TailForResource(20, 100);
+  ASSERT_EQ(r20.size(), 1u);
+  EXPECT_EQ(r20[0].tid, 99u);
+}
+
+TEST(FlightRecorderTest, InterleavedTxnAndResourceTailsShareSlots) {
+  obs::FlightRecorder recorder(16);
+  // One event is the subject of both views: T5 blocking on R10.
+  recorder.OnEvent(MakeEvent(EventKind::kLockGrant, 1, 10));
+  recorder.OnEvent(MakeEvent(EventKind::kLockBlock, 5, 10));  // shared slot
+  recorder.OnEvent(MakeEvent(EventKind::kLockGrant, 5, 11));
+  recorder.OnEvent(MakeEvent(EventKind::kLockGrant, 2, 10));
+  const std::vector<Event> t5 = recorder.TailForTxn(5, 10);
+  const std::vector<Event> r10 = recorder.TailForResource(10, 10);
+  ASSERT_EQ(t5.size(), 2u);
+  ASSERT_EQ(r10.size(), 3u);
+  // Both tails surface the same underlying slot, field for field.
+  EXPECT_EQ(t5[0].kind, EventKind::kLockBlock);
+  EXPECT_EQ(r10[1].kind, EventKind::kLockBlock);
+  EXPECT_EQ(t5[0].tid, r10[1].tid);
+  EXPECT_EQ(t5[0].rid, r10[1].rid);
+  // Overwrite the ring until that shared slot is recycled: both views
+  // must drop it together (no stale copy lingers in either index).
+  for (uint32_t i = 0; i < 16; ++i) {
+    recorder.OnEvent(MakeEvent(EventKind::kLockGrant, 7, 30));
+  }
+  EXPECT_TRUE(recorder.TailForTxn(5, 10).empty());
+  EXPECT_TRUE(recorder.TailForResource(10, 10).empty());
+  EXPECT_EQ(recorder.TailForTxn(7, 100).size(), 16u);
+}
+
 TEST(FlightRecorderTest, HotPathDoesNotAllocateAfterWarmUp) {
   obs::FlightRecorder recorder(32);
   Event event = MakeEvent(EventKind::kLockGrant, 1, 2);

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
 #include "core/cost_table.h"
 #include "core/examples_catalog.h"
 #include "core/periodic_detector.h"
@@ -162,6 +167,82 @@ TEST(EventTest, EveryKindHasAName) {
 // One periodic pass over Example 5.1: the pass brackets its events with
 // kPassStart/kPassEnd, Step 1 precedes Step 2, at least one cycle is
 // resolved, and sequence numbers are strictly increasing.
+TEST(JsonlSinkRotationTest, CapTruncatesKeepingTheTail) {
+  const std::string path = ::testing::TempDir() + "twbg_rotate_test.jsonl";
+  constexpr uint64_t kCap = 512;
+  uint64_t written = 0;
+  uint64_t rotations = 0;
+  uint64_t dropped = 0;
+  {
+    Result<std::unique_ptr<JsonlSink>> sink = JsonlSink::Open(path, kCap);
+    ASSERT_TRUE(sink.ok());
+    for (lock::TransactionId tid = 1; tid <= 60; ++tid) {
+      (*sink)->OnEvent(MakeEvent(EventKind::kLockGrant, tid));
+    }
+    (*sink)->Flush();
+    written = (*sink)->lines_written();
+    rotations = (*sink)->rotations();
+    dropped = (*sink)->dropped_on_rotate();
+    EXPECT_EQ(written, 60u);
+    EXPECT_GT(rotations, 0u);
+    EXPECT_EQ((*sink)->write_errors(), 0u);
+  }
+  // The surviving file is the tail of the stream: bounded by the cap,
+  // ending with the newest event, holding exactly written - dropped lines.
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  for (int c; (c = std::fgetc(file)) != EOF;) {
+    content.push_back(static_cast<char>(c));
+  }
+  std::fclose(file);
+  EXPECT_LE(content.size(), kCap);
+  EXPECT_NE(content.find("\"tid\":60"), std::string::npos);
+  EXPECT_EQ(content.find("\"tid\":1,"), std::string::npos);  // rotated away
+  const size_t lines =
+      static_cast<size_t>(std::count(content.begin(), content.end(), '\n'));
+  EXPECT_EQ(lines, written - dropped);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSinkRotationTest, OversizedLineStillWrites) {
+  const std::string path = ::testing::TempDir() + "twbg_rotate_tiny.jsonl";
+  // A cap smaller than any single line: the cap bounds the file between
+  // lines, never splits one, so each line lands whole and evicts its
+  // predecessor.
+  Result<std::unique_ptr<JsonlSink>> sink = JsonlSink::Open(path, 16);
+  ASSERT_TRUE(sink.ok());
+  for (lock::TransactionId tid = 1; tid <= 5; ++tid) {
+    (*sink)->OnEvent(MakeEvent(EventKind::kLockGrant, tid));
+  }
+  (*sink)->Flush();
+  EXPECT_EQ((*sink)->lines_written(), 5u);
+  EXPECT_EQ((*sink)->rotations(), 4u);
+  EXPECT_EQ((*sink)->dropped_on_rotate(), 4u);
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  for (int c; (c = std::fgetc(file)) != EOF;) {
+    content.push_back(static_cast<char>(c));
+  }
+  std::fclose(file);
+  EXPECT_NE(content.find("\"tid\":5"), std::string::npos);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 1);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSinkRotationTest, UnboundedSinkNeverRotates) {
+  const std::string path = ::testing::TempDir() + "twbg_rotate_off.jsonl";
+  Result<std::unique_ptr<JsonlSink>> sink = JsonlSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+  for (lock::TransactionId tid = 1; tid <= 100; ++tid) {
+    (*sink)->OnEvent(MakeEvent(EventKind::kLockGrant, tid));
+  }
+  EXPECT_EQ((*sink)->rotations(), 0u);
+  EXPECT_EQ((*sink)->dropped_on_rotate(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(PassOrderingTest, EventsOfOnePassArriveInEmissionOrder) {
   EventBus bus;
   CollectorSink sink;

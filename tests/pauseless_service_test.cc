@@ -13,11 +13,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/bus.h"
+#include "obs/sinks.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 #include "txn/concurrent_service.h"
 #include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
@@ -353,6 +358,120 @@ TEST(PauselessServiceTest, FaultInjectedChurnStaysInvariantClean) {
   EXPECT_EQ(s.publish_pause_times_ns().size(), epochs * s.num_shards());
   EXPECT_EQ(s.detection_lag_ns().size(), epochs);
   EXPECT_TRUE(s.sweep_pause_times_ns().empty());
+}
+
+// The causal span tree of one pauseless pass: the pass span parents one
+// publish span per shard, the stamp-validated apply, and one resolution
+// span per validated decision — and every replayed kCyclePostMortem
+// event carries its resolution span's id (the forensic <-> timeline
+// join).  Client-side, all five transactions get txn + wait spans with
+// exactly the two victims marked aborted.
+TEST(PauselessServiceTest, SpanTreeCoversTheWholePauselessPass) {
+  obs::SpanTracer tracer;
+  obs::SpanCollectorSink spans;
+  tracer.Subscribe(&spans);
+  obs::EventBus bus;
+  obs::CollectorSink events;
+  bus.Subscribe(&events);
+  ConcurrentServiceOptions options =
+      QuiescedOptions(SnapshotStrategy::kEpochDelta);
+  options.event_bus = &bus;
+  options.span_tracer = &tracer;
+  core::ResolutionReport report;
+  int victims = 0;
+  {
+    auto service = ConcurrentLockService::Create(options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    BuildCyclesAndRunPass(**service, &report, &victims);
+  }
+  EXPECT_EQ(victims, 2);
+
+  const std::vector<obs::Span> passes = spans.Filter(obs::SpanKind::kPass);
+  ASSERT_EQ(passes.size(), 1u);
+  EXPECT_EQ(passes[0].a, 2u);  // cycles resolved (none rejected)
+  EXPECT_GT(passes[0].b, 0u);  // pass cost in nanoseconds
+  const uint64_t pass_id = passes[0].id;
+
+  const std::vector<obs::Span> publishes =
+      spans.Filter(obs::SpanKind::kPublish);
+  ASSERT_EQ(publishes.size(), 4u);  // one per shard
+  std::set<uint32_t> tracks;
+  for (const obs::Span& publish : publishes) {
+    EXPECT_EQ(publish.parent, pass_id);
+    tracks.insert(publish.track);
+  }
+  EXPECT_EQ(tracks.size(), 4u);  // distinct shard lanes
+
+  const std::vector<obs::Span> applies = spans.Filter(obs::SpanKind::kApply);
+  ASSERT_EQ(applies.size(), 1u);
+  EXPECT_EQ(applies[0].parent, pass_id);
+  EXPECT_EQ(applies[0].a, 2u);  // decisions applied
+  EXPECT_EQ(applies[0].b, 0u);  // none rejected as stale
+
+  const std::vector<obs::Span> resolutions =
+      spans.Filter(obs::SpanKind::kResolution);
+  ASSERT_EQ(resolutions.size(), 2u);
+  std::set<uint64_t> res_ids;
+  for (const obs::Span& res : resolutions) {
+    EXPECT_EQ(res.parent, pass_id);
+    EXPECT_TRUE(res.label == "TDR-1" || res.label == "TDR-2") << res.label;
+    EXPECT_GE(res.a, 2u);  // cycle length (the 2-cycle and the 3-cycle)
+    EXPECT_NE(res.tid, 0u);
+    res_ids.insert(res.id);
+  }
+
+  const std::vector<obs::Event> post_mortems =
+      events.Filter(obs::EventKind::kCyclePostMortem);
+  ASSERT_EQ(post_mortems.size(), 2u);
+  for (const obs::Event& pm : post_mortems) {
+    EXPECT_EQ(res_ids.count(pm.span), 1u) << pm.span;
+  }
+
+  const std::vector<obs::Span> txns = spans.Filter(obs::SpanKind::kTxn);
+  ASSERT_EQ(txns.size(), 5u);
+  size_t txn_aborts = 0;
+  for (const obs::Span& txn : txns) {
+    EXPECT_EQ(txn.label, "client");
+    txn_aborts += txn.aborted ? 1 : 0;
+  }
+  EXPECT_EQ(txn_aborts, 2u);
+
+  const std::vector<obs::Span> waits = spans.Filter(obs::SpanKind::kWait);
+  ASSERT_EQ(waits.size(), 5u);  // every transaction blocked exactly once
+  size_t wait_aborts = 0;
+  for (const obs::Span& wait : waits) {
+    EXPECT_GT(wait.corr, 0u);  // joins against the event stream
+    wait_aborts += wait.aborted ? 1 : 0;
+  }
+  EXPECT_EQ(wait_aborts, 2u);  // the victims; survivors were granted
+  EXPECT_EQ(tracer.open_count(), 0u);  // nothing leaked
+}
+
+// The stop-the-world engine emits the pass span itself (its pool workers
+// run tracer-less), with the same client-side txn/wait coverage.
+TEST(PauselessServiceTest, StopTheWorldPassEmitsPassSpan) {
+  obs::SpanTracer tracer;
+  obs::SpanCollectorSink spans;
+  tracer.Subscribe(&spans);
+  ConcurrentServiceOptions options =
+      QuiescedOptions(SnapshotStrategy::kStopTheWorld);
+  options.span_tracer = &tracer;
+  core::ResolutionReport report;
+  int victims = 0;
+  {
+    auto service = ConcurrentLockService::Create(options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    BuildCyclesAndRunPass(**service, &report, &victims);
+  }
+  EXPECT_EQ(victims, 2);
+  const std::vector<obs::Span> passes = spans.Filter(obs::SpanKind::kPass);
+  ASSERT_EQ(passes.size(), 1u);
+  EXPECT_EQ(passes[0].a, 2u);
+  EXPECT_GT(passes[0].b, 0u);  // the client-visible pause in nanoseconds
+  EXPECT_TRUE(spans.Filter(obs::SpanKind::kPublish).empty());
+  EXPECT_EQ(spans.Count(obs::SpanKind::kTxn), 5u);
+  EXPECT_EQ(spans.Count(obs::SpanKind::kWait), 5u);
+  EXPECT_EQ(tracer.open_count(), 0u);
 }
 
 }  // namespace

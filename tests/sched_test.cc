@@ -15,6 +15,8 @@
 
 #include "baselines/factory.h"
 #include "obs/sinks.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 #include "sched/period_controller.h"
 #include "sim/simulator.h"
 #include "txn/concurrent_service.h"
@@ -267,6 +269,85 @@ TEST(SchedSimulatorTest, AdaptivePolicyRequiresAPeriod) {
   auto sim = sim::Simulator::Create(config,
                                     baselines::MakeStrategy("hwtwbg-periodic"));
   EXPECT_TRUE(sim.status().IsInvalidArgument());
+}
+
+TEST(SchedSimulatorTest, SpanEstimatesRequireATracer) {
+  sim::SimConfig config = DeadlockProneConfig();
+  config.scheduler.policy = sched::SchedulerPolicy::kEwmaRate;
+  config.scheduler.use_span_estimates = true;  // but no span_tracer
+  auto sim = sim::Simulator::Create(config,
+                                    baselines::MakeStrategy("hwtwbg-periodic"));
+  EXPECT_TRUE(sim.status().IsInvalidArgument());
+}
+
+TEST(SchedSimulatorTest, TracerWithEstimatesOffIsByteIdentical) {
+  // Differential parity: a span tracer recording the run, with
+  // use_span_estimates left off, must not perturb the scheduler — the
+  // flag, not the tracer, selects the measured input path.
+  sim::SimConfig plain = DeadlockProneConfig();
+  plain.scheduler.policy = sched::SchedulerPolicy::kEwmaRate;
+  plain.scheduler.min_period = 2;
+  plain.scheduler.max_period = 64;
+  sim::Simulator sim_plain(plain, baselines::MakeStrategy("hwtwbg-periodic"));
+  sim::SimMetrics m_plain = sim_plain.Run();
+
+  obs::SpanTracer tracer;
+  obs::SpanCollectorSink spans;
+  tracer.Subscribe(&spans);
+  sim::SimConfig traced = DeadlockProneConfig();
+  traced.scheduler.policy = sched::SchedulerPolicy::kEwmaRate;
+  traced.scheduler.min_period = 2;
+  traced.scheduler.max_period = 64;
+  traced.span_tracer = &tracer;
+  sim::Simulator sim_traced(traced, baselines::MakeStrategy("hwtwbg-periodic"));
+  sim::SimMetrics m_traced = sim_traced.Run();
+
+  EXPECT_EQ(DeterministicMetrics(m_plain), DeterministicMetrics(m_traced));
+  EXPECT_EQ(sim_plain.trace().ToString(), sim_traced.trace().ToString());
+  // The tracer did record the run: pass spans for every strategy
+  // invocation, wait spans under the tick clock.
+  EXPECT_GT(spans.Count(obs::SpanKind::kPass), 0u);
+  EXPECT_GT(spans.Count(obs::SpanKind::kTxn), 0u);
+}
+
+TEST(SchedSimulatorTest, SpanEstimatesFeedMeasuredSchedulerInputs) {
+  // With use_span_estimates on, lambda comes from closed pass-span cycle
+  // counters and B from the blocked-time integral.  The run must stay
+  // deterministic (the tick clock drives the spans) and the controller
+  // must still retune inside its clamps.
+  auto run = [](sim::SimMetrics* metrics, std::string* trace,
+                size_t* passes) {
+    obs::SpanTracer tracer;
+    obs::SpanCollectorSink spans;
+    tracer.Subscribe(&spans);
+    sim::SimConfig config = DeadlockProneConfig();
+    config.scheduler.policy = sched::SchedulerPolicy::kEwmaRate;
+    config.scheduler.min_period = 2;
+    config.scheduler.max_period = 64;
+    config.scheduler.use_span_estimates = true;
+    config.span_tracer = &tracer;
+    sim::Simulator sim(config, baselines::MakeStrategy("hwtwbg-periodic"));
+    *metrics = sim.Run();
+    *trace = sim.trace().ToString();
+    *passes = spans.Count(obs::SpanKind::kPass);
+    // Span timestamps are tick counts: every pass span is instantaneous
+    // (the simulator charges pass cost in work units, not ticks).
+    for (const obs::Span& span : spans.Filter(obs::SpanKind::kPass)) {
+      EXPECT_EQ(span.duration(), 0u);
+    }
+  };
+  sim::SimMetrics m1, m2;
+  std::string t1, t2;
+  size_t p1 = 0, p2 = 0;
+  run(&m1, &t1, &p1);
+  run(&m2, &t2, &p2);
+  EXPECT_GT(m1.period_retunes, 0u);
+  EXPECT_GE(m1.min_detection_period, 2u);
+  EXPECT_LE(m1.max_detection_period, 64u);
+  EXPECT_GT(p1, 0u);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(DeterministicMetrics(m1), DeterministicMetrics(m2));
+  EXPECT_EQ(t1, t2);
 }
 
 // -- concurrent service integration --

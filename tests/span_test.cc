@@ -1,0 +1,477 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Causal span tracing: tracer semantics (obs/span.h), the JSONL
+// round-trip, the Perfetto exporter, the blocked-time profiler and the
+// scheduler-input estimator (obs/span_sinks.h), plus the LockManager
+// wait-span integration.
+
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "lock/lock_manager.h"
+#include "obs/span_sinks.h"
+
+namespace twbg::obs {
+namespace {
+
+using enum lock::LockMode;
+
+// Temp-file path helper (mirrors obs_test.cc's idiom).
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// -- Tracer semantics -----------------------------------------------------
+
+TEST(SpanTracerTest, InactiveTracerIsInert) {
+  SpanTracer tracer;
+  EXPECT_FALSE(tracer.active());
+  EXPECT_FALSE(Tracing(&tracer));
+  EXPECT_FALSE(Tracing(nullptr));
+  // Every operation is a no-op: nothing opens, nothing is emitted.
+  tracer.OpenTxn(1, "fresh");
+  tracer.OpenWait(1, 7, 10, kX);
+  EXPECT_EQ(tracer.Open(SpanKind::kPass), 0u);
+  tracer.CloseWait(1, WaitOutcome::kGranted);
+  tracer.CloseTxn(1);
+  tracer.Close(0);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_EQ(tracer.dropped_closes(), 0u);
+}
+
+TEST(SpanTracerTest, SinksSeeSpansOnlyAtClose) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  EXPECT_TRUE(Tracing(&tracer));
+  tracer.set_time(100);
+  const uint64_t pass = tracer.Open(SpanKind::kPass);
+  ASSERT_NE(pass, 0u);
+  EXPECT_TRUE(sink.spans().empty());  // still open: not delivered
+  EXPECT_EQ(tracer.open_count(), 1u);
+  tracer.set_time(250);
+  tracer.Close(pass, /*a=*/3, /*b=*/42);
+  ASSERT_EQ(sink.spans().size(), 1u);
+  const Span& span = sink.spans()[0];
+  EXPECT_EQ(span.id, pass);
+  EXPECT_EQ(span.kind, SpanKind::kPass);
+  EXPECT_EQ(span.open_ns, 100u);
+  EXPECT_EQ(span.close_ns, 250u);
+  EXPECT_EQ(span.duration(), 150u);
+  EXPECT_EQ(span.a, 3u);
+  EXPECT_EQ(span.b, 42u);
+  EXPECT_EQ(tracer.open_count(), 0u);
+  EXPECT_EQ(tracer.emitted(), 1u);
+}
+
+TEST(SpanTracerTest, CurrentPassTracksOpenPassSpan) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  EXPECT_EQ(tracer.current_pass(), 0u);
+  const uint64_t pass = tracer.Open(SpanKind::kPass);
+  EXPECT_EQ(tracer.current_pass(), pass);
+  // Children opened during the pass can parent on it.
+  const uint64_t step = tracer.Open(SpanKind::kStep1, 0, tracer.current_pass());
+  tracer.Close(step);
+  EXPECT_EQ(sink.spans()[0].parent, pass);
+  tracer.Close(pass);
+  EXPECT_EQ(tracer.current_pass(), 0u);
+}
+
+TEST(SpanTracerTest, UnknownCloseCountsAsDropped) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  tracer.Close(0);  // id 0: the inactive-open idiom, never counted
+  EXPECT_EQ(tracer.dropped_closes(), 0u);
+  tracer.Close(9999);
+  EXPECT_EQ(tracer.dropped_closes(), 1u);
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(SpanTracerTest, TxnSpanParentingAndStaleReplacement) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  tracer.set_time(10);
+  tracer.OpenTxn(7, "fresh");
+  const uint64_t txn = tracer.TxnSpan(7);
+  ASSERT_NE(txn, 0u);
+  tracer.OpenWait(7, /*corr=*/55, /*rid=*/3, kS);
+  tracer.set_time(20);
+  tracer.CloseWait(7, WaitOutcome::kGranted);
+  ASSERT_EQ(sink.spans().size(), 1u);
+  const Span& wait = sink.spans()[0];
+  EXPECT_EQ(wait.kind, SpanKind::kWait);
+  EXPECT_EQ(wait.parent, txn);  // wait parented under the open txn span
+  EXPECT_EQ(wait.corr, 55u);
+  EXPECT_EQ(wait.rid, 3u);
+  EXPECT_EQ(wait.mode, kS);
+  EXPECT_FALSE(wait.aborted);
+  // Re-opening the same tid replaces the stale span rather than leaking.
+  tracer.OpenTxn(7, "restart");
+  EXPECT_NE(tracer.TxnSpan(7), txn);
+  EXPECT_EQ(tracer.open_count(), 1u);
+  tracer.CloseTxn(7, /*aborted=*/true);
+  EXPECT_EQ(sink.spans().back().label, "restart");
+  EXPECT_TRUE(sink.spans().back().aborted);
+  // Closing a tid with no open span is a silent no-op.
+  tracer.CloseTxn(7);
+  EXPECT_EQ(sink.spans().size(), 2u);
+}
+
+TEST(SpanTracerTest, WaitOutcomesFoldIntoAborted) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  tracer.OpenWait(1, 1, 10, kX);
+  tracer.CloseWait(1, WaitOutcome::kGranted);
+  tracer.OpenWait(2, 2, 10, kX);
+  tracer.CloseWait(2, WaitOutcome::kAborted);
+  tracer.OpenWait(3, 3, 10, kX);
+  tracer.CloseWait(3, WaitOutcome::kCancelled);
+  // A close with no open wait (tracer attached mid-wait) is a no-op.
+  tracer.CloseWait(4, WaitOutcome::kGranted);
+  ASSERT_EQ(sink.spans().size(), 3u);
+  EXPECT_FALSE(sink.spans()[0].aborted);
+  EXPECT_TRUE(sink.spans()[1].aborted);
+  EXPECT_TRUE(sink.spans()[2].aborted);
+}
+
+TEST(SpanTracerTest, SetContextAnnotatesOpenSpan) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  const uint64_t res = tracer.Open(SpanKind::kResolution);
+  tracer.SetContext(res, /*tid=*/9, /*rid=*/4, kX);
+  tracer.SetContext(0, 1, 1);     // id 0: no-op
+  tracer.SetContext(9999, 1, 1);  // unknown: no-op
+  tracer.Close(res, /*a=*/3, /*b=*/1, "TDR-2");
+  ASSERT_EQ(sink.spans().size(), 1u);
+  EXPECT_EQ(sink.spans()[0].tid, 9u);
+  EXPECT_EQ(sink.spans()[0].rid, 4u);
+  EXPECT_EQ(sink.spans()[0].mode, kX);
+  EXPECT_EQ(sink.spans()[0].label, "TDR-2");
+}
+
+TEST(SpanTracerTest, KindNamesRoundTrip) {
+  for (size_t k = 0; k < kNumSpanKinds; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    const std::optional<SpanKind> parsed = SpanKindFromName(ToString(kind));
+    ASSERT_TRUE(parsed.has_value()) << ToString(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(SpanKindFromName("no-such-kind").has_value());
+}
+
+// -- LockManager integration ----------------------------------------------
+
+TEST(SpanLockManagerTest, BlockedAcquireOpensWaitSpan) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  lock::LockManager lm;
+  lm.set_span_tracer(&tracer);
+  tracer.OpenTxn(1, "a");
+  tracer.OpenTxn(2, "b");
+  ASSERT_TRUE(lm.Acquire(1, 10, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 10, kS).ok());  // blocks
+  EXPECT_EQ(sink.Count(SpanKind::kWait), 0u);  // still open
+  lm.ReleaseAll(1);  // grants T2
+  ASSERT_EQ(sink.Count(SpanKind::kWait), 1u);
+  const Span wait = sink.Filter(SpanKind::kWait)[0];
+  EXPECT_EQ(wait.tid, 2u);
+  EXPECT_EQ(wait.rid, 10u);
+  EXPECT_EQ(wait.mode, kS);
+  EXPECT_FALSE(wait.aborted);
+  // The span's corr is the PR-3 wait-span id the lock manager assigned.
+  EXPECT_EQ(wait.corr, lm.Info(2)->wait_span);
+  EXPECT_EQ(wait.parent, tracer.TxnSpan(2));
+}
+
+TEST(SpanLockManagerTest, AbortAndCancelCloseWaitsAborted) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  lock::LockManager lm;
+  lm.set_span_tracer(&tracer);
+  ASSERT_TRUE(lm.Acquire(1, 10, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 10, kS).ok());  // blocks
+  ASSERT_TRUE(lm.Acquire(3, 10, kS).ok());  // blocks
+  lm.ReleaseAll(2);  // aborting the waiter closes its own wait span
+  ASSERT_TRUE(lm.CancelWait(3).ok());
+  ASSERT_EQ(sink.Count(SpanKind::kWait), 2u);
+  for (const Span& wait : sink.Filter(SpanKind::kWait)) {
+    EXPECT_TRUE(wait.aborted) << "tid " << wait.tid;
+  }
+}
+
+// -- JSONL round-trip -----------------------------------------------------
+
+Span MakeSpan() {
+  Span span;
+  span.id = 12;
+  span.parent = 4;
+  span.kind = SpanKind::kWait;
+  span.tid = 7;
+  span.rid = 3;
+  span.mode = kIX;
+  span.track = 2;
+  span.corr = 99;
+  span.open_ns = 1000;
+  span.close_ns = 1750;
+  span.a = 5;
+  span.b = 6;
+  span.aborted = true;
+  span.label = "needs \"escaping\"";
+  return span;
+}
+
+void ExpectSpanEq(const Span& got, const Span& want) {
+  EXPECT_EQ(got.id, want.id);
+  EXPECT_EQ(got.parent, want.parent);
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.tid, want.tid);
+  EXPECT_EQ(got.rid, want.rid);
+  EXPECT_EQ(got.mode, want.mode);
+  EXPECT_EQ(got.track, want.track);
+  EXPECT_EQ(got.corr, want.corr);
+  EXPECT_EQ(got.open_ns, want.open_ns);
+  EXPECT_EQ(got.close_ns, want.close_ns);
+  EXPECT_EQ(got.a, want.a);
+  EXPECT_EQ(got.b, want.b);
+  EXPECT_EQ(got.aborted, want.aborted);
+  EXPECT_EQ(got.label, want.label);
+}
+
+TEST(SpanJsonTest, RoundTripsAllFields) {
+  const Span span = MakeSpan();
+  Result<Span> parsed = ParseSpanLine(SpanToJson(span));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSpanEq(*parsed, span);
+}
+
+TEST(SpanJsonTest, RejectsWrongSchemaVersionAndGarbage) {
+  EXPECT_FALSE(ParseSpanLine("not json").ok());
+  EXPECT_FALSE(ParseSpanLine("{\"id\":1}").ok());  // missing schema_version
+  std::string line = SpanToJson(MakeSpan());
+  const std::string needle = "\"schema_version\":1";
+  line.replace(line.find(needle), needle.size(), "\"schema_version\":99");
+  EXPECT_FALSE(ParseSpanLine(line).ok());
+}
+
+TEST(SpanJsonTest, IgnoresUnknownMembers) {
+  std::string line = SpanToJson(MakeSpan());
+  line.insert(1, "\"future_member\":17,\"future_text\":\"x\",");
+  Result<Span> parsed = ParseSpanLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectSpanEq(*parsed, MakeSpan());
+}
+
+TEST(SpanJsonlSinkTest, WritesFileReadSpanFileLoads) {
+  const std::string path = TempPath("span_sink_roundtrip.jsonl");
+  {
+    Result<std::unique_ptr<SpanJsonlSink>> sink = SpanJsonlSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    SpanTracer tracer;
+    tracer.Subscribe(sink->get());
+    tracer.set_time(1);
+    tracer.OpenTxn(1, "fresh");
+    const uint64_t pass = tracer.Open(SpanKind::kPass);
+    tracer.set_time(5);
+    tracer.Close(pass, 2, 100);
+    tracer.CloseTxn(1);
+    (*sink)->Flush();
+    EXPECT_EQ((*sink)->lines_written(), 2u);
+    EXPECT_EQ((*sink)->write_errors(), 0u);
+  }
+  Result<std::vector<Span>> spans = ReadSpanFile(path);
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  ASSERT_EQ(spans->size(), 2u);
+  EXPECT_EQ((*spans)[0].kind, SpanKind::kPass);
+  EXPECT_EQ((*spans)[1].kind, SpanKind::kTxn);
+  EXPECT_EQ((*spans)[1].label, "fresh");
+  std::remove(path.c_str());
+}
+
+TEST(SpanJsonlSinkTest, ReadSpanFileNamesBadLine) {
+  const std::string path = TempPath("span_sink_badline.jsonl");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(SpanToJson(MakeSpan()).c_str(), f);
+  std::fputs("\n\ngarbage\n", f);  // empty lines are skipped, garbage is not
+  std::fclose(f);
+  Result<std::vector<Span>> spans = ReadSpanFile(path);
+  ASSERT_FALSE(spans.ok());
+  EXPECT_NE(spans.status().ToString().find(":3:"), std::string::npos)
+      << spans.status().ToString();
+  std::remove(path.c_str());
+}
+
+// -- Perfetto exporter ----------------------------------------------------
+
+TEST(PerfettoExportTest, EmitsLaneMetadataAndCompleteEvents) {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  tracer.set_time(2000);
+  tracer.OpenTxn(7, "fresh");
+  const uint64_t pass = tracer.Open(SpanKind::kPass);
+  const uint64_t pub = tracer.Open(SpanKind::kPublish, /*track=*/3, pass);
+  tracer.set_time(4000);
+  tracer.Close(pub, 1, 0);
+  tracer.Close(pass, 0, 0);
+  tracer.CloseTxn(7);
+  const std::string json = ExportPerfettoJson(sink.spans());
+  // Lane metadata: detector (tid 1), shard 3 (tid 103), txn 7 (tid 1007).
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":1,\"args\":{\"name\":\"detector\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":103,\"args\":{\"name\":\"shard 3\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1007,\"args\":{\"name\":\"T7\"}"),
+            std::string::npos);
+  // Complete events with microsecond ts/dur: 2000 ns -> 2.000 us.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":2.000,\"dur\":2.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"publish shard 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"txn T7 [fresh]\""), std::string::npos);
+  // The document parses as the Chrome trace-event shape.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+}
+
+// -- Blocked-time profiler ------------------------------------------------
+
+// Builds the profiler's input: two classes waiting on two resources.
+std::vector<Span> ProfileFixture() {
+  SpanTracer tracer;
+  SpanCollectorSink sink;
+  tracer.Subscribe(&sink);
+  tracer.set_time(0);
+  tracer.OpenTxn(1, "oltp");
+  tracer.OpenTxn(2, "oltp");
+  tracer.OpenTxn(3, "batch");
+  tracer.OpenWait(1, 1, 10, kX);
+  tracer.OpenWait(2, 2, 10, kX);
+  tracer.OpenWait(3, 3, 20, kS);
+  tracer.OpenWait(4, 4, 20, kS);  // no open txn span: "unclassified"
+  tracer.set_time(100);
+  tracer.CloseWait(1, WaitOutcome::kGranted);   // oltp R10/X: 100
+  tracer.set_time(400);
+  tracer.CloseWait(2, WaitOutcome::kAborted);   // oltp R10/X: 400
+  tracer.set_time(150);  // manual clock: profile uses recorded stamps
+  tracer.CloseWait(3, WaitOutcome::kGranted);   // batch R20/S: 150
+  tracer.set_time(50);
+  tracer.CloseWait(4, WaitOutcome::kGranted);   // unclassified R20/S: 50
+  tracer.CloseTxn(1);
+  tracer.CloseTxn(2);
+  tracer.CloseTxn(3);
+  return sink.spans();
+}
+
+TEST(BlockedProfileTest, FoldsWaitsByResourceModeClass) {
+  const BlockedProfile profile = BuildBlockedProfile(ProfileFixture());
+  EXPECT_EQ(profile.total_waits, 4u);
+  EXPECT_EQ(profile.total_blocked_ns, 100u + 400u + 150u + 50u);
+  ASSERT_EQ(profile.rows.size(), 3u);
+  // Descending total_ns: oltp 500, batch 150, unclassified 50.
+  EXPECT_EQ(profile.rows[0].txn_class, "oltp");
+  EXPECT_EQ(profile.rows[0].rid, 10u);
+  EXPECT_EQ(profile.rows[0].mode, kX);
+  EXPECT_EQ(profile.rows[0].waits, 2u);
+  EXPECT_EQ(profile.rows[0].total_ns, 500u);
+  EXPECT_EQ(profile.rows[0].max_ns, 400u);
+  EXPECT_EQ(profile.rows[0].aborted, 1u);
+  EXPECT_EQ(profile.rows[1].txn_class, "batch");
+  EXPECT_EQ(profile.rows[1].total_ns, 150u);
+  EXPECT_EQ(profile.rows[2].txn_class, "unclassified");
+  EXPECT_EQ(profile.rows[2].total_ns, 50u);
+}
+
+TEST(BlockedProfileTest, RendersFoldedStacksAndTable) {
+  const BlockedProfile profile = BuildBlockedProfile(ProfileFixture());
+  const std::string folded = FoldedStacks(profile);
+  EXPECT_EQ(folded,
+            "R10;X;oltp 500\n"
+            "R20;S;batch 150\n"
+            "R20;S;unclassified 50\n");
+  const std::string table = ProfileTable(profile);
+  EXPECT_NE(table.find("total: 4 wait(s), 700 ns blocked"),
+            std::string::npos);
+  EXPECT_NE(table.find("oltp"), std::string::npos);
+}
+
+TEST(BlockedProfileTest, EmptyInputIsEmptyProfile) {
+  const BlockedProfile profile = BuildBlockedProfile({});
+  EXPECT_TRUE(profile.rows.empty());
+  EXPECT_EQ(profile.total_waits, 0u);
+  EXPECT_EQ(FoldedStacks(profile), "");
+}
+
+// -- Scheduler-input estimator --------------------------------------------
+
+TEST(SpanEstimatorTest, WindowsAccumulatePassAndWaitCounters) {
+  SpanTracer tracer;
+  SpanEstimator estimator;
+  tracer.Subscribe(&estimator);
+  tracer.set_time(0);
+  estimator.Reset(tracer.now());
+
+  // Window 1 [0, 1000): one pass resolving 2 cycles at cost 70, one wait
+  // of 300 clock units, two resolution spans.
+  tracer.OpenWait(1, 1, 10, kX);
+  const uint64_t pass = tracer.Open(SpanKind::kPass);
+  const uint64_t r1 = tracer.Open(SpanKind::kResolution, 0, pass);
+  const uint64_t r2 = tracer.Open(SpanKind::kResolution, 0, pass);
+  tracer.set_time(200);
+  tracer.Close(r1, 2, 0);
+  tracer.Close(r2, 3, 1);
+  tracer.set_time(250);
+  tracer.Close(pass, /*cycles=*/2, /*cost=*/70);
+  tracer.set_time(300);
+  tracer.CloseWait(1, WaitOutcome::kGranted);
+  tracer.set_time(1000);
+  SpanSampleStats stats = estimator.Take(tracer.now());
+  EXPECT_EQ(stats.window_ns, 1000u);
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.pass_ns, 250u);
+  EXPECT_EQ(stats.pass_cost, 70u);
+  EXPECT_EQ(stats.cycles, 2u);
+  EXPECT_EQ(stats.resolutions, 2u);
+  EXPECT_EQ(stats.waits_closed, 1u);
+  EXPECT_EQ(stats.blocked_ns, 300u);
+  EXPECT_DOUBLE_EQ(stats.avg_blocked(), 0.3);
+
+  // Window 2 [1000, 2000): empty — Take() rolled the window over.
+  tracer.set_time(2000);
+  stats = estimator.Take(tracer.now());
+  EXPECT_EQ(stats.window_ns, 1000u);
+  EXPECT_EQ(stats.passes, 0u);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_blocked(), 0.0);
+}
+
+TEST(SpanEstimatorTest, FirstWindowAnchorsAtFirstSpanWithoutReset) {
+  SpanTracer tracer;
+  SpanEstimator estimator;
+  tracer.Subscribe(&estimator);
+  tracer.set_time(500);
+  tracer.OpenWait(1, 1, 10, kX);
+  tracer.set_time(700);
+  tracer.CloseWait(1, WaitOutcome::kGranted);
+  tracer.set_time(900);
+  const SpanSampleStats stats = estimator.Take(tracer.now());
+  // Anchored at the first span's open (500), not at 0.
+  EXPECT_EQ(stats.window_ns, 400u);
+  EXPECT_EQ(stats.blocked_ns, 200u);
+  EXPECT_DOUBLE_EQ(stats.avg_blocked(), 0.5);
+}
+
+}  // namespace
+}  // namespace twbg::obs

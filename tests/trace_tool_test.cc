@@ -17,6 +17,8 @@
 #include "common/status.h"
 #include "core/script.h"
 #include "obs/event.h"
+#include "obs/span.h"
+#include "obs/span_sinks.h"
 #include "obs/trace_reader.h"
 #include "tools/twbg_trace.h"
 
@@ -241,6 +243,138 @@ TEST(TraceToolTest, DiffComparesTwoTraces) {
   EXPECT_NE(out.find("wait p50:"), std::string::npos) << out;
   // Identical traces: every delta is zero.
   EXPECT_EQ(out.find("+1"), std::string::npos) << out;
+}
+
+// Writes a small span JSONL file (the --spans-out stream) once for the
+// span-subcommand tests: one labelled txn, one granted + one aborted
+// wait, one pass.
+const std::string& SpanFixture() {
+  static const std::string* path = [] {
+    auto* p = new std::string(TempPath("twbg_span_fixture.jsonl"));
+    Result<std::unique_ptr<obs::SpanJsonlSink>> sink =
+        obs::SpanJsonlSink::Open(*p);
+    if (!sink.ok()) ADD_FAILURE() << sink.status().ToString();
+    obs::SpanTracer tracer;
+    tracer.Subscribe(sink->get());
+    tracer.set_time(0);
+    tracer.OpenTxn(1, "fixture");
+    tracer.OpenWait(1, 1, 10, lock::LockMode::kX);
+    tracer.OpenWait(2, 2, 10, lock::LockMode::kS);
+    const uint64_t pass = tracer.Open(obs::SpanKind::kPass);
+    tracer.set_time(500);
+    tracer.Close(pass, 1, 400);
+    tracer.CloseWait(1, obs::WaitOutcome::kGranted);
+    tracer.CloseWait(2, obs::WaitOutcome::kAborted);
+    tracer.CloseTxn(1);
+    (*sink)->Flush();
+    return p;
+  }();
+  return *path;
+}
+
+TEST(TraceToolTest, ExportPerfettoRendersSpanFile) {
+  std::string out, err;
+  const int rc =
+      tools::RunTraceTool({"export-perfetto", SpanFixture()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"detector\""), std::string::npos) << out;
+  EXPECT_NE(out.find("wait R10/X"), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, ProfileRendersTableAndFoldedStacks) {
+  std::string out, err;
+  int rc = tools::RunTraceTool({"profile", SpanFixture()}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("resource"), std::string::npos) << out;
+  EXPECT_NE(out.find("fixture"), std::string::npos) << out;
+  EXPECT_NE(out.find("unclassified"), std::string::npos) << out;
+
+  out.clear();
+  rc = tools::RunTraceTool({"profile", SpanFixture(), "--folded"}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("R10;X;fixture 500\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("R10;S;unclassified 500\n"), std::string::npos) << out;
+}
+
+TEST(TraceToolTest, ExitCodesArePinnedForEverySubcommand) {
+  // Exit-code contract (also in tools/twbg_trace.h): 0 success, 1 bad
+  // usage, 2 unreadable input.  Pinned per subcommand so a regression in
+  // any dispatch branch is caught here, not by a CI script.
+  struct Case {
+    const char* cmd;
+    bool span_input;  // reads the span fixture instead of an event trace
+  };
+  const Case cases[] = {
+      {"summary", false},        {"chains", false},
+      {"hot", false},            {"latency", false},
+      {"export-perfetto", true}, {"profile", true},
+  };
+  for (const Case& c : cases) {
+    std::string out, err;
+    EXPECT_EQ(tools::RunTraceTool(
+                  {c.cmd, c.span_input ? SpanFixture() : Example41Trace()},
+                  &out, &err),
+              0)
+        << c.cmd << ": " << err;
+    // Missing the input argument is usage (1), not a read error.
+    out.clear();
+    err.clear();
+    EXPECT_EQ(tools::RunTraceTool({c.cmd}, &out, &err), 1) << c.cmd;
+    EXPECT_NE(err.find("usage:"), std::string::npos) << c.cmd;
+    // An unreadable input is 2.
+    out.clear();
+    err.clear();
+    EXPECT_EQ(tools::RunTraceTool({c.cmd, "/nonexistent/in.jsonl"}, &out,
+                                  &err),
+              2)
+        << c.cmd;
+  }
+  // diff: 0 on two readable traces, 1 on wrong arity, 2 on a bad file.
+  std::string out, err;
+  EXPECT_EQ(tools::RunTraceTool({"diff", Example41Trace(), Example41Trace()},
+                                &out, &err),
+            0)
+      << err;
+  EXPECT_EQ(tools::RunTraceTool({"diff", Example41Trace()}, &out, &err), 1);
+  EXPECT_EQ(tools::RunTraceTool(
+                {"diff", Example41Trace(), "/nonexistent/in.jsonl"}, &out,
+                &err),
+            2);
+}
+
+TEST(TraceToolTest, SpanSubcommandErrorsAreConsistent) {
+  // Feeding an event trace to a span subcommand is a read error (2) with
+  // the schema named — the two streams are deliberately incompatible.
+  std::string out, err;
+  EXPECT_EQ(tools::RunTraceTool({"profile", Example41Trace()}, &out, &err),
+            2);
+  EXPECT_NE(err.find("schema_version"), std::string::npos) << err;
+  // Unknown option: usage error naming the option.
+  out.clear();
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"profile", SpanFixture(), "--bogus"}, &out,
+                                &err),
+            1);
+  EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+  // --folded belongs to profile alone.
+  out.clear();
+  err.clear();
+  EXPECT_EQ(tools::RunTraceTool({"export-perfetto", SpanFixture(), "--folded"},
+                                &out, &err),
+            1);
+}
+
+TEST(TraceToolTest, UnknownSubcommandNamesItself) {
+  for (const char* bogus : {"frobnicate", "exportperfetto", "Profile"}) {
+    std::string out, err;
+    EXPECT_EQ(tools::RunTraceTool({bogus, Example41Trace()}, &out, &err), 1);
+    EXPECT_NE(err.find(std::string("unknown command '") + bogus + "'"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+  }
 }
 
 TEST(TraceToolTest, UsageAndErrorExitCodes) {

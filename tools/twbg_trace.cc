@@ -9,6 +9,7 @@
 
 #include "common/string_util.h"
 #include "obs/event.h"
+#include "obs/span_sinks.h"
 #include "obs/trace_reader.h"
 
 namespace twbg::tools {
@@ -337,13 +338,42 @@ int Load(const std::string& path, std::vector<Event>* events,
   return 0;
 }
 
+// Loads a span JSONL file (the --spans-out stream), exit code 2 on error.
+int LoadSpans(const std::string& path, std::vector<obs::Span>* spans,
+              std::string* err) {
+  Result<std::vector<obs::Span>> file = obs::ReadSpanFile(path);
+  if (!file.ok()) {
+    *err += std::string(file.status().message());
+    *err += "\n";
+    return 2;
+  }
+  *spans = std::move(file).value();
+  return 0;
+}
+
+int CmdExportPerfetto(const std::vector<obs::Span>& spans, std::string* out) {
+  *out += obs::ExportPerfettoJson(spans);
+  return 0;
+}
+
+int CmdProfile(const std::vector<obs::Span>& spans, bool folded,
+               std::string* out) {
+  const obs::BlockedProfile profile = obs::BuildBlockedProfile(spans);
+  *out += folded ? obs::FoldedStacks(profile) : obs::ProfileTable(profile);
+  return 0;
+}
+
 constexpr char kUsage[] =
     "usage: twbg-trace <command> <trace.jsonl> [...]\n"
     "  summary <trace>        event counts, span and resolution totals\n"
     "  chains <trace>         wait-chain + cycle post-mortem reconstruction\n"
     "  hot <trace> [--top=K]  per-resource contention top-K\n"
     "  latency <trace>        wait/pass duration percentile tables\n"
-    "  diff <a> <b>           compare two traces\n";
+    "  diff <a> <b>           compare two traces\n"
+    "span commands (causal span JSONL, e.g. quickstart --spans-out):\n"
+    "  export-perfetto <spans>    Chrome/Perfetto trace-event JSON\n"
+    "  profile <spans> [--folded] blocked-time profile (table or\n"
+    "                             collapsed stacks)\n";
 
 }  // namespace
 
@@ -363,6 +393,25 @@ int RunTraceTool(const std::vector<std::string>& args, std::string* out,
     if (int rc = Load(args[1], &a, err); rc != 0) return rc;
     if (int rc = Load(args[2], &b, err); rc != 0) return rc;
     return CmdDiff(a, b, out);
+  }
+  if (cmd == "export-perfetto" || cmd == "profile") {
+    if (args.size() < 2) {
+      *err += kUsage;
+      return 1;
+    }
+    bool folded = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (cmd == "profile" && args[i] == "--folded") {
+        folded = true;
+      } else {
+        *err += common::Format("unknown option '%s'\n", args[i].c_str());
+        return 1;
+      }
+    }
+    std::vector<obs::Span> spans;
+    if (int rc = LoadSpans(args[1], &spans, err); rc != 0) return rc;
+    if (cmd == "export-perfetto") return CmdExportPerfetto(spans, out);
+    return CmdProfile(spans, folded, out);
   }
   if (cmd != "summary" && cmd != "chains" && cmd != "hot" &&
       cmd != "latency") {

@@ -17,6 +17,21 @@
 //                             wait times and pass/step durations
 //   diff <a> <b>              side-by-side comparison of two traces
 //                             (event counts, wait latency, resolutions)
+//
+// Span subcommands (causal span JSONL from obs::SpanJsonlSink, e.g. the
+// quickstart's --spans-out flag — a separate stream from the event
+// trace):
+//   export-perfetto <spans>   Chrome/Perfetto trace-event JSON on stdout
+//                             (load in ui.perfetto.dev or chrome://tracing)
+//   profile <spans> [--folded]
+//                             blocked-time profile folded from closed wait
+//                             spans; --folded emits collapsed-stack lines
+//                             for flamegraph.pl / speedscope instead of
+//                             the aggregate table
+//
+// Exit codes (pinned by tests/trace_tool_test.cc): 0 success, 1 bad usage
+// (unknown subcommand — named in the diagnostic — or bad arguments), 2 a
+// trace/span file that cannot be read or parsed.
 
 #ifndef TWBG_TOOLS_TWBG_TRACE_H_
 #define TWBG_TOOLS_TWBG_TRACE_H_
