@@ -1,0 +1,198 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Open-addressing hash map for the lock-table hot path.
+//
+// std::map's node-per-entry layout made every Acquire/Release walk a
+// pointer chase and every insert an allocation.  FlatMap keeps entries in
+// one dense vector and resolves keys through a power-of-two bucket array
+// of dense indices with linear probing — two contiguous arrays, zero
+// allocations per operation in steady state.
+//
+// Deletion is tombstone-free: the dense slot is filled by swapping the
+// last entry in (O(1)), and the bucket hole is closed by backward-shift
+// deletion, so probe chains never accumulate dead buckets and lookup cost
+// stays bounded by load factor alone.
+//
+// Iteration contract: begin()/end() walk the dense array — insertion
+// order, except that Erase moves the last-inserted entry into the erased
+// slot.  The order is deterministic for a given operation sequence but is
+// NOT sorted; callers that need key order sort at the boundary (see
+// lock::LockTable's ordered-iteration seam).  Erasing during iteration
+// follows the swap-with-last contract: Erase(k) repositions the last
+// entry and pops the tail, so the only safe in-loop erase is over indices
+// descending, or collect-then-erase.  Pointers and iterators into the
+// dense array invalidate on insert (growth) and on erase (swap).
+
+#ifndef TWBG_COMMON_FLAT_MAP_H_
+#define TWBG_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace twbg::common {
+
+/// SplitMix64 finalizer — full-avalanche mix of an integral key.  The ids
+/// this library hashes (ResourceId, TransactionId) are small and often
+/// sequential; mixing spreads them across the bucket array.
+struct FlatHash {
+  size_t operator()(uint64_t key) const {
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatHash>
+class FlatMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  FlatMap() = default;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  /// The dense entry array itself (insertion-then-swap order; see the
+  /// iteration contract above).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void clear() {
+    entries_.clear();
+    std::fill(buckets_.begin(), buckets_.end(), kEmpty);
+  }
+
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    if (n * 8 >= buckets_.size() * 7) Rehash(NextPow2(n + n / 4 + 8));
+  }
+
+  V* Find(const K& key) {
+    const size_t b = FindBucket(key);
+    return b == kNoBucket ? nullptr : &entries_[buckets_[b] - 1].value;
+  }
+
+  const V* Find(const K& key) const {
+    const size_t b = FindBucket(key);
+    return b == kNoBucket ? nullptr : &entries_[buckets_[b] - 1].value;
+  }
+
+  bool Contains(const K& key) const { return FindBucket(key) != kNoBucket; }
+
+  /// Finds `key`, default-constructing its value if absent.  Returns
+  /// {value pointer, inserted?}.
+  std::pair<V*, bool> TryEmplace(const K& key) {
+    MaybeGrow();
+    size_t idx = Hash{}(key)&mask_;
+    for (;;) {
+      const uint32_t slot = buckets_[idx];
+      if (slot == kEmpty) {
+        entries_.push_back(Entry{key, V{}});
+        buckets_[idx] = static_cast<uint32_t>(entries_.size());
+        return {&entries_.back().value, true};
+      }
+      if (entries_[slot - 1].key == key) {
+        return {&entries_[slot - 1].value, false};
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  V& operator[](const K& key) { return *TryEmplace(key).first; }
+
+  /// Erases `key`.  O(1): the last dense entry is swapped into the hole
+  /// and the bucket chain is repaired by backward shift.  Returns true if
+  /// the key was present.
+  bool Erase(const K& key) {
+    const size_t b = FindBucket(key);
+    if (b == kNoBucket) return false;
+    const size_t dense = buckets_[b] - 1;
+    const size_t last = entries_.size() - 1;
+    if (dense != last) {
+      entries_[dense] = std::move(entries_[last]);
+      // Repoint the moved entry's bucket.  Its probe chain may pass
+      // through `b`, but `b` still holds the erased entry's (different)
+      // index, so matching on the dense index is unambiguous.
+      size_t idx = Hash{}(entries_[dense].key) & mask_;
+      while (buckets_[idx] != last + 1) idx = (idx + 1) & mask_;
+      buckets_[idx] = static_cast<uint32_t>(dense + 1);
+    }
+    entries_.pop_back();
+    // Backward-shift deletion: close the hole at `b` by sliding down any
+    // entry whose home bucket lies outside (hole, probe] — keeps every
+    // probe chain gap-free without tombstones.
+    size_t hole = b;
+    size_t idx = (hole + 1) & mask_;
+    while (buckets_[idx] != kEmpty) {
+      const size_t home = Hash{}(entries_[buckets_[idx] - 1].key) & mask_;
+      if (((idx - home) & mask_) >= ((idx - hole) & mask_)) {
+        buckets_[hole] = buckets_[idx];
+        hole = idx;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    buckets_[hole] = kEmpty;
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0;
+  static constexpr size_t kNoBucket = static_cast<size_t>(-1);
+
+  static size_t NextPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  size_t FindBucket(const K& key) const {
+    if (entries_.empty()) return kNoBucket;
+    size_t idx = Hash{}(key)&mask_;
+    for (;;) {
+      const uint32_t slot = buckets_[idx];
+      if (slot == kEmpty) return kNoBucket;
+      if (entries_[slot - 1].key == key) return idx;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  void MaybeGrow() {
+    if (buckets_.empty()) {
+      Rehash(16);
+    } else if ((entries_.size() + 1) * 8 >= buckets_.size() * 7) {
+      Rehash(buckets_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_buckets) {
+    buckets_.assign(new_buckets, kEmpty);
+    mask_ = new_buckets - 1;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      size_t idx = Hash{}(entries_[i].key) & mask_;
+      while (buckets_[idx] != kEmpty) idx = (idx + 1) & mask_;
+      buckets_[idx] = static_cast<uint32_t>(i + 1);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> buckets_;
+  size_t mask_ = 0;
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_FLAT_MAP_H_

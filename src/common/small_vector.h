@@ -1,0 +1,267 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Inline-capacity vectors for the lock-table hot path.
+//
+// A resource's holder list and wait queue are almost always tiny — one or
+// two holders, an empty queue — yet the substrate used to pay a node
+// allocation per entry (std::deque chunks, std::set nodes).  SmallVector
+// keeps the first N elements in the object itself and only touches the
+// heap beyond that; its copy-assign reuses whatever capacity the
+// destination already owns, which is what keeps the epoch-snapshot
+// staging path (txn/epoch_snapshot.cc) allocation-free in steady state.
+//
+// SortedSmallSet layers std::set semantics (sorted, unique, ordered
+// iteration) over a SmallVector — the replacement for per-transaction
+// `touched` rid sets, whose ascending iteration order the release path
+// and scoped-TST construction depend on.
+
+#ifndef TWBG_COMMON_SMALL_VECTOR_H_
+#define TWBG_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace twbg::common {
+
+/// Contiguous vector with inline storage for the first `N` elements.
+/// Grows onto the heap past N and never shrinks back; copy-assign reuses
+/// the destination's existing capacity (inline or heap) instead of
+/// reallocating.  API mirrors the std::vector subset the lock substrate
+/// uses; iterators are raw pointers and invalidate on growth.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() : data_(InlineData()), size_(0), capacity_(N) {}
+
+  SmallVector(const SmallVector& other) : SmallVector() { *this = other; }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    *this = std::move(other);
+  }
+
+  ~SmallVector() {
+    DestroyAll();
+    ReleaseHeap();
+  }
+
+  /// Capacity-reusing copy: clears and re-fills in place, allocating only
+  /// if `other` outgrows our current capacity.
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    DestroyAll();
+    Reserve(other.size_);
+    std::uninitialized_copy(other.data_, other.data_ + other.size_, data_);
+    size_ = other.size_;
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    if (other.OnHeap()) {
+      // Steal the heap buffer wholesale.
+      DestroyAll();
+      ReleaseHeap();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      // Inline contents must be moved element-wise.
+      DestroyAll();
+      Reserve(other.size_);
+      std::uninitialized_move(other.data_, other.data_ + other.size_, data_);
+      size_ = other.size_;
+      other.clear();
+    }
+    return *this;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  void Reserve(size_t want) {
+    if (want <= capacity_) return;
+    Grow(want);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  /// Inserts `value` before `pos`; returns an iterator to the inserted
+  /// element.  Shifts the tail right by one.
+  iterator insert(const_iterator pos, const T& value) {
+    const size_t index = static_cast<size_t>(pos - data_);
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* p = data_ + index;
+    if (index == size_) {
+      ::new (static_cast<void*>(p)) T(value);
+    } else {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      std::move_backward(p, data_ + size_ - 1, data_ + size_);
+      *p = value;
+    }
+    ++size_;
+    return p;
+  }
+
+  /// Erases the element at `pos`, shifting the tail left (order-stable).
+  iterator erase(const_iterator pos) {
+    T* p = const_cast<T*>(pos);
+    std::move(p + 1, data_ + size_, p);
+    pop_back();
+    return p;
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    T* f = const_cast<T*>(first);
+    T* l = const_cast<T*>(last);
+    T* new_end = std::move(l, data_ + size_, f);
+    while (data_ + size_ != new_end) pop_back();
+    return f;
+  }
+
+  void resize(size_t new_size) {
+    if (new_size < size_) {
+      while (size_ > new_size) pop_back();
+      return;
+    }
+    Reserve(new_size);
+    while (size_ < new_size) emplace_back();
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  bool OnHeap() const { return capacity_ > N; }
+
+  void DestroyAll() {
+    std::destroy(data_, data_ + size_);
+    size_ = 0;
+  }
+
+  void ReleaseHeap() {
+    if (OnHeap()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  void Grow(size_t want) {
+    size_t next = std::max<size_t>(capacity_ * 2, 4);
+    while (next < want) next *= 2;
+    T* fresh = static_cast<T*>(::operator new(next * sizeof(T)));
+    std::uninitialized_move(data_, data_ + size_, fresh);
+    const size_t keep = size_;
+    DestroyAll();
+    ReleaseHeap();
+    data_ = fresh;
+    size_ = keep;
+    capacity_ = next;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_;
+  size_t size_;
+  size_t capacity_;
+};
+
+/// Sorted, duplicate-free set over a SmallVector.  Iteration is ascending
+/// — the same order std::set gave the call sites this replaces (release
+/// in global rid order, scoped-TST successor construction).
+template <typename T, size_t N>
+class SortedSmallSet {
+ public:
+  using const_iterator = const T*;
+
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  /// Inserts `value`; returns true if it was not already present.
+  bool Insert(const T& value) {
+    const T* pos = std::lower_bound(items_.begin(), items_.end(), value);
+    if (pos != items_.end() && *pos == value) return false;
+    items_.insert(pos, value);
+    return true;
+  }
+
+  /// Removes `value`; returns true if it was present.
+  bool Erase(const T& value) {
+    const T* pos = std::lower_bound(items_.begin(), items_.end(), value);
+    if (pos == items_.end() || *pos != value) return false;
+    items_.erase(pos);
+    return true;
+  }
+
+  bool Contains(const T& value) const {
+    const T* pos = std::lower_bound(items_.begin(), items_.end(), value);
+    return pos != items_.end() && *pos == value;
+  }
+
+  friend bool operator==(const SortedSmallSet& a, const SortedSmallSet& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  SmallVector<T, N> items_;
+};
+
+}  // namespace twbg::common
+
+#endif  // TWBG_COMMON_SMALL_VECTOR_H_

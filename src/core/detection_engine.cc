@@ -18,7 +18,16 @@ namespace {
 // `tst`.  Implements the paper's victim-selection: backtrack from v to w
 // recovering the cycle, enumerate TDR candidates, apply the cheapest,
 // clear the backtracked ancestors (except w's).
-void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
+//
+// Returns false without mutating anything when the recovered cycle is not
+// a cycle of any consistent TWBG.  On a consistent table that cannot
+// happen (Lemmata 3 and 4.1); it happens only when the walk runs over an
+// epoch snapshot whose shards were captured at slightly different times
+// (see ShardedTstBuilder::RefreshTst).  The caller skips the closing edge
+// — whatever real deadlock hides behind the skew is re-derived from a
+// fresh capture next pass, mirroring how the pauseless apply phase drops
+// stale decisions.
+bool HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
                  WalkHost& host, CostTable& costs,
                  const DetectorOptions& options, WalkOutcome& outcome) {
   // Recover the cycle vertices in walk order w .. v.
@@ -44,7 +53,11 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
   views.reserve(cycle.size());
   for (size_t i = 0; i < cycle.size(); ++i) {
     const TstEntry& entry = tst.EntryAt(cycle_index[i]);
-    TWBG_CHECK(!entry.CurrentIsNil());
+    if (entry.CurrentIsNil()) {
+      // A vertex cleared by an earlier resolution (the Lemma 4.1 shield)
+      // reappeared on a cycle — capture skew; drop the cycle.
+      return false;
+    }
     views.push_back(CycleEdgeView{cycle[i], entry.CurrentEdge()});
     TWBG_CHECK(views.back().out.to == cycle[(i + 1) % cycle.size()]);
   }
@@ -60,7 +73,12 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
 
   std::vector<VictimCandidate> candidates =
       EnumerateCandidates(views, host, costs, options);
-  TWBG_CHECK(!candidates.empty());  // Lemma 3: >= 2 junctions per cycle
+  if (candidates.empty()) {
+    // Lemma 3 guarantees >= 2 junctions on any cycle of a consistent
+    // TWBG; an empty enumeration means capture skew — drop the cycle.
+    if (tracing) tracer->Close(res_span, cycle.size(), false, "skew-drop");
+    return false;
+  }
   const size_t chosen = SelectVictim(candidates);
   const VictimCandidate& victim = candidates[chosen];
 
@@ -175,6 +193,7 @@ void HandleCycle(size_t v, size_t w, lock::TransactionId root, Tst& tst,
   outcome.decisions.push_back(std::move(decision));
   outcome.decision_roots.push_back(root);
   ++outcome.cycles;
+  return true;
 }
 
 }  // namespace
@@ -222,9 +241,12 @@ WalkOutcome RunWalk(Tst& tst, const std::vector<lock::TransactionId>& roots,
       }
       if (next.ancestor != 0) {
         // Closing edge: edge.to lies on the active path — a cycle.
-        HandleCycle(static_cast<size_t>(v), t, root, tst, host, costs,
-                    options, outcome);
-        v = static_cast<int64_t>(t);  // resume at the re-entered vertex
+        if (HandleCycle(static_cast<size_t>(v), t, root, tst, host, costs,
+                        options, outcome)) {
+          v = static_cast<int64_t>(t);  // resume at the re-entered vertex
+        } else {
+          ++entry.current;  // skew-inconsistent cycle dropped: skip edge
+        }
       } else {
         next.ancestor = v + 1;
         v = static_cast<int64_t>(t);

@@ -96,6 +96,25 @@ Tst& ShardedTstBuilder::RefreshTst(
     ++fronts[best].first;
   }
 
+  // Per-shard mirrors are captured one shard at a time, so a transaction
+  // granted on one shard and re-blocked on another between captures can
+  // appear waiting in two mirrors at once — two W edges for one vertex,
+  // which a consistent table can never produce (Axiom 1) and which
+  // Tst::Assemble rejects.  Keep the first W edge in global rid order
+  // (deterministic) and drop the rest: the walk runs on a self-consistent
+  // TST, and any resolution decided on the stale wait is rejected by the
+  // version-validated apply and retried next pass.
+  if (builders_.size() > 1) {
+    w_seen_.clear();
+    size_t kept = 0;
+    for (size_t j = 0; j < edge_scratch_.size(); ++j) {
+      const TwbgEdge& e = edge_scratch_[j];
+      if (e.IsW() && !w_seen_.insert(e.from).second) continue;
+      edge_scratch_[kept++] = e;
+    }
+    edge_scratch_.resize(kept);
+  }
+
   txn_scratch_.clear();
   for (const GraphBuilder& builder : builders_) {
     txn_scratch_.insert(txn_scratch_.end(), builder.txns().begin(),

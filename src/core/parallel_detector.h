@@ -23,6 +23,7 @@
 #ifndef TWBG_CORE_PARALLEL_DETECTOR_H_
 #define TWBG_CORE_PARALLEL_DETECTOR_H_
 
+#include <set>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -50,6 +51,8 @@ class ShardedTstBuilder {
   std::vector<GraphBuilder> builders_;  // one per shard, index-stable
   std::vector<TwbgEdge> edge_scratch_;
   std::vector<lock::TransactionId> txn_scratch_;
+  // Scratch for the cross-shard capture-skew W-edge dedup (see RefreshTst).
+  std::set<lock::TransactionId> w_seen_;
   Tst tst_;
   GraphCacheStats stats_;
 };

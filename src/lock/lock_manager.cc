@@ -2,6 +2,8 @@
 
 #include "lock/lock_manager.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace twbg::lock {
@@ -11,23 +13,42 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
   if (tid == kInvalidTransaction) {
     return Status::InvalidArgument("invalid transaction id 0");
   }
-  TxnLockInfo& info = txns_[tid];
+  auto [info_slot, new_txn] = txns_.TryEmplace(tid);
+  if (new_txn) tids_dirty_ = true;
+  TxnLockInfo& info = *info_slot;
   if (info.blocked_on.has_value()) {
     return Status::FailedPrecondition(common::Format(
         "T%u is blocked on R%u and cannot request R%u", tid,
         *info.blocked_on, rid));
   }
   ResourceState& state = table_.GetOrCreate(rid);
+  const bool observing = obs::Enabled(bus_);
+  // Uncontended fast path: a free resource grants any first request, with
+  // no conversion to classify and no queue to inspect.  Outcome and event
+  // are byte-identical to the general path below (kGranted; kLockGrant
+  // with a = 0 — the resource had no holder, so this is neither a
+  // conversion nor an already-held no-op).
+  if (state.TryFastGrant(tid, mode)) {
+    info.touched.Insert(rid);
+    if (observing) {
+      obs::Event event;
+      event.kind = obs::EventKind::kLockGrant;
+      event.tid = tid;
+      event.rid = rid;
+      event.mode = mode;
+      bus_->Emit(event);
+    }
+    return RequestOutcome::kGranted;
+  }
   // Conversion must be checked before Request: afterwards a blocked
   // requester may sit in the queue rather than the holder list.
-  const bool observing = obs::Enabled(bus_);
   const bool conversion = observing && state.FindHolder(tid) != nullptr;
   Result<RequestOutcome> outcome = state.Request(tid, mode);
   if (!outcome.ok()) {
     table_.EraseIfFree(rid);
     return outcome;
   }
-  info.touched.insert(rid);
+  info.touched.Insert(rid);
   if (*outcome == RequestOutcome::kBlocked) {
     info.blocked_on = rid;
     const HolderEntry* h = state.FindHolder(tid);
@@ -65,21 +86,22 @@ Result<RequestOutcome> LockManager::Acquire(TransactionId tid, ResourceId rid,
 }
 
 std::vector<TransactionId> LockManager::ReleaseAll(TransactionId tid) {
-  auto it = txns_.find(tid);
-  if (it == txns_.end()) return {};
+  TxnLockInfo* info = txns_.Find(tid);
+  if (info == nullptr) return {};
   // A blocked transaction being fully released is an abort (commit is
   // impossible mid-wait under strict 2PL): its wait ends unsatisfied.
-  if (obs::Tracing(tracer_) && it->second.blocked_on.has_value()) {
+  if (obs::Tracing(tracer_) && info->blocked_on.has_value()) {
     tracer_->CloseWait(tid, obs::WaitOutcome::kAborted);
   }
   const bool observing = obs::Enabled(bus_);
-  const size_t touched = it->second.touched.size();
+  const size_t touched = info->touched.size();
   std::vector<TransactionId> granted;
-  for (ResourceId rid : it->second.touched) {
+  for (ResourceId rid : info->touched) {
     std::vector<TransactionId> g = ReleaseOn(tid, rid);
     granted.insert(granted.end(), g.begin(), g.end());
   }
-  txns_.erase(it);
+  txns_.Erase(tid);
+  tids_dirty_ = true;
   if (observing) {
     obs::Event event;
     event.kind = obs::EventKind::kLockRelease;
@@ -111,15 +133,17 @@ std::vector<TransactionId> LockManager::ReleaseOn(TransactionId tid,
   return granted;
 }
 
-void LockManager::Forget(TransactionId tid) { txns_.erase(tid); }
+void LockManager::Forget(TransactionId tid) {
+  if (txns_.Erase(tid)) tids_dirty_ = true;
+}
 
 Result<std::vector<TransactionId>> LockManager::CancelWait(TransactionId tid) {
-  auto it = txns_.find(tid);
-  if (it == txns_.end() || !it->second.blocked_on.has_value()) {
+  TxnLockInfo* info = txns_.Find(tid);
+  if (info == nullptr || !info->blocked_on.has_value()) {
     return Status::FailedPrecondition(
         common::Format("T%u is not blocked; nothing to cancel", tid));
   }
-  const ResourceId rid = *it->second.blocked_on;
+  const ResourceId rid = *info->blocked_on;
   ResourceState* state = table_.FindMutable(rid);
   if (state == nullptr) {
     return Status::Internal(common::Format(
@@ -132,9 +156,9 @@ Result<std::vector<TransactionId>> LockManager::CancelWait(TransactionId tid) {
   }
   // A cancelled queue member leaves the resource entirely; a cancelled
   // converter keeps holding it.
-  if (!state->Involves(tid)) it->second.touched.erase(rid);
-  it->second.blocked_on.reset();
-  it->second.blocked_mode = LockMode::kNL;
+  if (!state->Involves(tid)) info->touched.Erase(rid);
+  info->blocked_on.reset();
+  info->blocked_mode = LockMode::kNL;
   NoteGranted(*granted);
   if (obs::Enabled(bus_)) {
     for (TransactionId waiter : *granted) {
@@ -197,8 +221,7 @@ std::optional<ResourceId> LockManager::BlockedOn(TransactionId tid) const {
 }
 
 const TxnLockInfo* LockManager::Info(TransactionId tid) const {
-  auto it = txns_.find(tid);
-  return it == txns_.end() ? nullptr : &it->second;
+  return txns_.Find(tid);
 }
 
 uint64_t LockManager::WaitSpan(TransactionId tid) const {
@@ -211,17 +234,27 @@ uint64_t LockManager::WaitStarted(TransactionId tid) const {
   return info != nullptr ? info->wait_started : 0;
 }
 
+void LockManager::RefreshTidOrder() const {
+  if (!tids_dirty_ && ordered_tids_.size() == txns_.size()) return;
+  ordered_tids_.clear();
+  ordered_tids_.reserve(txns_.size());
+  for (const auto& entry : txns_.entries()) {
+    ordered_tids_.push_back(entry.key);
+  }
+  std::sort(ordered_tids_.begin(), ordered_tids_.end());
+  tids_dirty_ = false;
+}
+
 std::vector<TransactionId> LockManager::KnownTransactions() const {
-  std::vector<TransactionId> out;
-  out.reserve(txns_.size());
-  for (const auto& [tid, info] : txns_) out.push_back(tid);
-  return out;
+  RefreshTidOrder();
+  return ordered_tids_;
 }
 
 std::vector<TransactionId> LockManager::BlockedTransactions() const {
+  RefreshTidOrder();
   std::vector<TransactionId> out;
-  for (const auto& [tid, info] : txns_) {
-    if (info.blocked_on.has_value()) out.push_back(tid);
+  for (TransactionId tid : ordered_tids_) {
+    if (txns_.Find(tid)->blocked_on.has_value()) out.push_back(tid);
   }
   return out;
 }
@@ -232,17 +265,17 @@ void LockManager::NoteGranted(const std::vector<TransactionId>& granted) {
   const bool tracing = obs::Tracing(tracer_);
   for (TransactionId tid : granted) {
     if (tracing) tracer_->CloseWait(tid, obs::WaitOutcome::kGranted);
-    auto it = txns_.find(tid);
-    if (it != txns_.end()) {
-      it->second.blocked_on.reset();
-      it->second.blocked_mode = LockMode::kNL;
+    TxnLockInfo* info = txns_.Find(tid);
+    if (info != nullptr) {
+      info->blocked_on.reset();
+      info->blocked_mode = LockMode::kNL;
     }
   }
 }
 
 Status LockManager::CheckInvariants(bool deep) const {
   TWBG_RETURN_IF_ERROR(table_.CheckInvariants());
-  for (const auto& [tid, info] : txns_) {
+  for (const auto& [tid, info] : txn_infos()) {
     // blocked_on matches the table.
     if (info.blocked_on.has_value()) {
       const ResourceState* state = table_.Find(*info.blocked_on);
@@ -257,7 +290,7 @@ Status LockManager::CheckInvariants(bool deep) const {
     // O(R) per transaction — gated behind `deep`.
     for (const auto& [rid, state] : table_) {
       const bool involved = state.Involves(tid);
-      if (involved && info.touched.count(rid) == 0) {
+      if (involved && !info.touched.Contains(rid)) {
         return Status::Internal(common::Format(
             "T%u appears on R%u but it is not in its touched set", tid, rid));
       }
@@ -273,13 +306,13 @@ Status LockManager::CheckInvariants(bool deep) const {
   // a transaction waits on at most one resource).
   for (const auto& [rid, state] : table_) {
     for (const HolderEntry& h : state.holders()) {
-      if (txns_.find(h.tid) == txns_.end()) {
+      if (txns_.Find(h.tid) == nullptr) {
         return Status::Internal(
             common::Format("unknown holder T%u on R%u", h.tid, rid));
       }
     }
     for (const QueueEntry& q : state.queue()) {
-      if (txns_.find(q.tid) == txns_.end()) {
+      if (txns_.Find(q.tid) == nullptr) {
         return Status::Internal(
             common::Format("unknown waiter T%u on R%u", q.tid, rid));
       }

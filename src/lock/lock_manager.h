@@ -7,15 +7,24 @@
 //
 // The lock manager does not detect deadlocks itself; detectors (core/ and
 // baselines/) read and, for resolution, mutate it through this interface.
+//
+// Bookkeeping storage mirrors the lock table's layout: a flat hash table
+// of TxnLockInfo keyed by transaction id (common/flat_map.h) with a lazily
+// sorted tid index for the ordered sweeps (KnownTransactions,
+// BlockedTransactions, txn_infos), and an inline-capacity sorted set for
+// each transaction's touched-resource list — under strict 2PL a
+// transaction rarely touches more than a handful of resources, so the
+// Acquire/Release hot path stays allocation-free.
 
 #ifndef TWBG_LOCK_LOCK_MANAGER_H_
 #define TWBG_LOCK_LOCK_MANAGER_H_
 
-#include <map>
 #include <optional>
-#include <set>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "lock/lock_table.h"
 #include "obs/bus.h"
@@ -40,8 +49,8 @@ struct TxnLockInfo {
   /// bus was attached).  Retained like wait_span; post-mortems use it to
   /// compute each cycle member's time in queue.
   uint64_t wait_started = 0;
-  /// Every resource where the transaction currently appears.
-  std::set<ResourceId> touched;
+  /// Every resource where the transaction currently appears, ascending.
+  common::SortedSmallSet<ResourceId, 8> touched;
 };
 
 /// Single-threaded lock manager for sequential transaction processing.
@@ -114,13 +123,58 @@ class LockManager {
   /// All transactions known to the lock manager, ascending by id.
   std::vector<TransactionId> KnownTransactions() const;
 
-  /// Read-only view of the whole per-transaction bookkeeping map,
-  /// ascending by id.  Exists for snapshot captures that mirror every
-  /// transaction's wait state in one ordered sweep instead of one lookup
-  /// per transaction (txn::ShardSnapshot::Capture).
-  const std::map<TransactionId, TxnLockInfo>& txn_infos() const {
-    return txns_;
-  }
+  /// Read-only iteration view over the per-transaction bookkeeping,
+  /// ascending by transaction id.  Dereferences to (tid, info) proxy
+  /// pairs — `for (const auto& [tid, info] : manager.txn_infos())` — so
+  /// the underlying container never leaks into the public header.  Exists
+  /// for snapshot captures that mirror every transaction's wait state in
+  /// one ordered sweep instead of one lookup per transaction
+  /// (txn::ShardSnapshot::Capture).  Invalidated by any mutation of the
+  /// manager.
+  class TxnInfoView {
+   public:
+    class iterator {
+     public:
+      using value_type = std::pair<TransactionId, const TxnLockInfo&>;
+
+      iterator(const LockManager* manager, size_t pos)
+          : manager_(manager), pos_(pos) {}
+      value_type operator*() const {
+        const TransactionId tid = manager_->ordered_tids_[pos_];
+        return {tid, *manager_->txns_.Find(tid)};
+      }
+      iterator& operator++() {
+        ++pos_;
+        return *this;
+      }
+      bool operator==(const iterator& other) const {
+        return pos_ == other.pos_;
+      }
+      bool operator!=(const iterator& other) const {
+        return pos_ != other.pos_;
+      }
+
+     private:
+      const LockManager* manager_;
+      size_t pos_;
+    };
+
+    explicit TxnInfoView(const LockManager* manager) : manager_(manager) {}
+    iterator begin() const {
+      manager_->RefreshTidOrder();
+      return iterator(manager_, 0);
+    }
+    iterator end() const {
+      return iterator(manager_, manager_->txns_.size());
+    }
+    size_t size() const { return manager_->txns_.size(); }
+    bool empty() const { return manager_->txns_.empty(); }
+
+   private:
+    const LockManager* manager_;
+  };
+
+  TxnInfoView txn_infos() const { return TxnInfoView(this); }
 
   /// All currently blocked transactions, ascending by id.
   std::vector<TransactionId> BlockedTransactions() const;
@@ -160,8 +214,15 @@ class LockManager {
   // Clears blocked state for every granted transaction.
   void NoteGranted(const std::vector<TransactionId>& granted);
 
+  // Re-sorts the tid index if an insert/erase invalidated it (lazy,
+  // `mutable`: the ordered views stay const).
+  void RefreshTidOrder() const;
+
   LockTable table_;
-  std::map<TransactionId, TxnLockInfo> txns_;
+  common::FlatMap<TransactionId, TxnLockInfo> txns_;
+  // Ordered-iteration seam over txns_, mirroring LockTable's.
+  mutable std::vector<TransactionId> ordered_tids_;
+  mutable bool tids_dirty_ = false;
   obs::EventBus* bus_ = nullptr;
   obs::SpanTracer* tracer_ = nullptr;
   uint64_t next_wait_span_ = 1;  // wait-span ids are manager-wide monotonic

@@ -2,6 +2,7 @@
 
 #include "lock/lock_table.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace twbg::lock {
@@ -18,16 +19,19 @@ LockTable::LockTable(const LockTable& other)
     : policy_(other.policy_), resources_(other.resources_) {
   // Fresh uid_, empty journal: caches synced against `other` observe a
   // different identity here and resynchronize with a full version sweep.
+  order_dirty_ = true;
 }
 
 LockTable& LockTable::operator=(const LockTable& other) {
   if (this == &other) return *this;
   policy_ = other.policy_;
   resources_ = other.resources_;
+  order_dirty_ = true;
   uid_ = NextTableUid();
   seq_ = 0;
   trimmed_through_ = 0;
   journal_.clear();
+  journal_head_ = 0;
   return *this;
 }
 
@@ -43,64 +47,92 @@ void LockTable::MarkDirty(ResourceId rid) {
   // mean an O(journal) reverse scan per mutation, which made every
   // mutation of a table with a long journal (e.g. after a full-table
   // pin) pay for the journal's length.
-  if (!journal_.empty() && journal_.back().second == rid) {
+  if (journal_.size() > journal_head_ && journal_.back().second == rid) {
     journal_.back().first = seq_;
     return;
   }
   journal_.emplace_back(seq_, rid);
-  while (journal_.size() > kJournalCapacity) {
-    trimmed_through_ = journal_.front().first;
-    journal_.pop_front();
+  while (journal_.size() - journal_head_ > kJournalCapacity) {
+    trimmed_through_ = journal_[journal_head_].first;
+    ++journal_head_;
+  }
+  // Compact the consumed prefix once it dominates the buffer, so the
+  // vector's footprint stays O(live entries) amortized O(1) per mark.
+  if (journal_head_ > kJournalCapacity) {
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<ptrdiff_t>(journal_head_));
+    journal_head_ = 0;
   }
 }
 
 bool LockTable::DirtySince(uint64_t since, std::vector<ResourceId>* out) const {
-  if (since > seq_) return false;          // reader synced elsewhere
+  if (since > seq_) return false;              // reader synced elsewhere
   if (since < trimmed_through_) return false;  // journal trimmed past it
   // Journal is ordered by sequence number; walk back until `since`.
-  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
-    if (it->first <= since) break;
-    out->push_back(it->second);
+  for (size_t i = journal_.size(); i > journal_head_; --i) {
+    const auto& [entry_seq, rid] = journal_[i - 1];
+    if (entry_seq <= since) break;
+    out->push_back(rid);
   }
   return true;
 }
 
+void LockTable::RefreshOrder() const {
+  if (!order_dirty_) return;
+  ordered_.clear();
+  ordered_.reserve(resources_.size());
+  for (const auto& entry : resources_.entries()) {
+    ordered_.push_back(entry.key);
+  }
+  std::sort(ordered_.begin(), ordered_.end());
+  order_dirty_ = false;
+}
+
 ResourceState& LockTable::GetOrCreate(ResourceId rid) {
   MarkDirty(rid);
-  auto it = resources_.find(rid);
-  if (it == resources_.end()) {
-    it = resources_.emplace(rid, ResourceState(rid, policy_)).first;
+  auto [slot, inserted] = resources_.TryEmplace(rid);
+  if (inserted) {
+    order_dirty_ = true;
+    if (!pool_.empty()) {
+      // Recycle a pooled state: its holder/queue heap capacity survives
+      // the move-assign, so steady-state create/erase churn is alloc-free
+      // (beyond the hash table's own amortized growth).
+      *slot = std::move(pool_.back());
+      pool_.pop_back();
+    }
+    slot->Reset(rid, policy_);
   }
-  return it->second;
+  return *slot;
 }
 
 const ResourceState* LockTable::Find(ResourceId rid) const {
-  auto it = resources_.find(rid);
-  return it == resources_.end() ? nullptr : &it->second;
+  return resources_.Find(rid);
 }
 
 ResourceState* LockTable::FindMutable(ResourceId rid) {
-  auto it = resources_.find(rid);
-  if (it == resources_.end()) return nullptr;
+  ResourceState* state = resources_.Find(rid);
+  if (state == nullptr) return nullptr;
   MarkDirty(rid);
-  return &it->second;
+  return state;
 }
 
 ResourceState* LockTable::FindMutableDeferred(ResourceId rid) {
-  auto it = resources_.find(rid);
-  return it == resources_.end() ? nullptr : &it->second;
+  return resources_.Find(rid);
 }
 
 void LockTable::EraseIfFree(ResourceId rid) {
-  auto it = resources_.find(rid);
-  if (it != resources_.end() && it->second.IsFree()) {
-    MarkDirty(rid);
-    resources_.erase(it);
+  ResourceState* state = resources_.Find(rid);
+  if (state == nullptr || !state->IsFree()) return;
+  MarkDirty(rid);
+  if (pool_.size() < kPoolCapacity) {
+    pool_.push_back(std::move(*state));
   }
+  resources_.Erase(rid);
+  order_dirty_ = true;
 }
 
 Status LockTable::CheckInvariants() const {
-  for (const auto& [rid, state] : resources_) {
+  for (const auto& [rid, state] : *this) {
     TWBG_RETURN_IF_ERROR(state.CheckInvariants());
   }
   return Status::OK();
@@ -108,7 +140,7 @@ Status LockTable::CheckInvariants() const {
 
 std::string LockTable::ToString() const {
   std::string out;
-  for (const auto& [rid, state] : resources_) {
+  for (const auto& [rid, state] : *this) {
     out += state.ToString();
     out += "\n";
   }

@@ -4,6 +4,18 @@
 // currently locked resource.  Iteration order is deterministic (ordered by
 // ResourceId) so that detection passes and experiments are reproducible.
 //
+// Storage is an open-addressing flat hash table (common/flat_map.h): two
+// contiguous arrays instead of one rb-tree node per resource, so the
+// Acquire/Release hot path does no pointer chasing and, in steady state,
+// no allocation — erased ResourceStates are recycled through a free pool
+// that keeps their holder/queue capacity alive.  Because the hash table
+// itself iterates in insertion order, the deterministic rid order the
+// detectors and reports rely on lives in an *ordered-iteration seam*: a
+// lazily sorted rid index rebuilt only after an insert or erase changed
+// the membership.  begin()/end() iterate through that seam, so
+// `for (const auto& [rid, state] : table)` sees ascending rids exactly as
+// the std::map layout did.
+//
 // The table also keeps a *mutation journal* for derived caches (the
 // incremental ECR edge cache of core::GraphBuilder): every path that can
 // mutate a resource — GetOrCreate, FindMutable, EraseIfFree — appends the
@@ -18,12 +30,11 @@
 #define TWBG_LOCK_LOCK_TABLE_H_
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "lock/resource_state.h"
 
@@ -57,23 +68,63 @@ class LockTable {
   /// for every resource it actually mutated.  Exists for the
   /// component-parallel Step 2 walk, which mutates disjoint resources
   /// from worker threads and defers journaling into its serial merge
-  /// phase — the journal deque itself is not thread-safe.
+  /// phase — the journal itself is not thread-safe.
   ResourceState* FindMutableDeferred(ResourceId rid);
 
   /// Journals a mutation of `rid` performed through FindMutableDeferred.
   void NoteMutation(ResourceId rid) { MarkDirty(rid); }
 
-  /// Drops the entry for `rid` if it is free (no holders, no queue).
+  /// Drops the entry for `rid` if it is free (no holders, no queue).  The
+  /// state object is recycled into the free pool with its capacity.
   void EraseIfFree(ResourceId rid);
 
   size_t size() const { return resources_.size(); }
   bool empty() const { return resources_.empty(); }
 
-  /// Ordered iteration over (rid, state).
-  auto begin() const { return resources_.begin(); }
-  auto end() const { return resources_.end(); }
-  auto begin() { return resources_.begin(); }
-  auto end() { return resources_.end(); }
+  /// Ordered-iteration seam: a forward iterator over (rid, state) pairs
+  /// in ascending rid order, backed by the lazily sorted rid index.
+  /// Dereferences to a proxy pair, so the structured-binding idiom
+  /// `for (const auto& [rid, state] : table)` works unchanged; `state`
+  /// binds const — mutate through FindMutable, never mid-iteration.
+  class const_iterator {
+   public:
+    using value_type = std::pair<ResourceId, const ResourceState&>;
+
+    const_iterator(const LockTable* table, size_t pos)
+        : table_(table), pos_(pos) {}
+
+    value_type operator*() const {
+      const ResourceId rid = table_->ordered_[pos_];
+      return {rid, *table_->resources_.Find(rid)};
+    }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return pos_ == other.pos_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return pos_ != other.pos_;
+    }
+
+   private:
+    const LockTable* table_;
+    size_t pos_;
+  };
+
+  /// Ordered iteration over (rid, state), ascending by rid.
+  const_iterator begin() const {
+    RefreshOrder();
+    return const_iterator(this, 0);
+  }
+  const_iterator end() const { return const_iterator(this, ordered_.size()); }
+
+  /// The sorted rid index itself (same seam begin()/end() walk).
+  const std::vector<ResourceId>& OrderedRids() const {
+    RefreshOrder();
+    return ordered_;
+  }
 
   /// Process-unique table identity (refreshed on copy).  A cache that
   /// observes a different uid than last time must resynchronize from
@@ -102,17 +153,33 @@ class LockTable {
   // drops the oldest entries past the capacity (readers that fell that
   // far behind resynchronize with a full sweep).
   static constexpr size_t kJournalCapacity = 1u << 16;
+  // Free ResourceStates retained for recycling (capacity preservation);
+  // beyond this they are simply destroyed.
+  static constexpr size_t kPoolCapacity = 256;
 
   void MarkDirty(ResourceId rid);
+  // Re-sorts the rid index if an insert/erase invalidated it.  Lazy and
+  // `mutable` so ordered reads stay const; single-writer like the rest of
+  // the table (the parallel pass hands each shard table to one worker).
+  void RefreshOrder() const;
   static uint64_t NextTableUid();
 
   AdmissionPolicy policy_ = AdmissionPolicy::kTotalMode;
-  std::map<ResourceId, ResourceState> resources_;
+  common::FlatMap<ResourceId, ResourceState> resources_;
+  // Ordered-iteration seam: ascending rids, rebuilt lazily when dirty.
+  mutable std::vector<ResourceId> ordered_;
+  mutable bool order_dirty_ = false;
+  // Free pool: erased states parked here keep their holder/queue capacity
+  // for the next GetOrCreate.
+  std::vector<ResourceState> pool_;
   uint64_t uid_ = NextTableUid();
   uint64_t seq_ = 0;
   // Sequence numbers at or below this were dropped from the journal.
   uint64_t trimmed_through_ = 0;
-  std::deque<std::pair<uint64_t, ResourceId>> journal_;
+  // Contiguous journal ring: live entries are [journal_head_, size());
+  // the consumed prefix is compacted away once it dominates the buffer.
+  std::vector<std::pair<uint64_t, ResourceId>> journal_;
+  size_t journal_head_ = 0;
 };
 
 }  // namespace twbg::lock

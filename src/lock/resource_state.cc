@@ -242,14 +242,18 @@ std::vector<TransactionId> ResourceState::Reschedule() {
 
   // Queue pass: admit FIFO while the front is compatible with the
   // admission mode (tm; group mode under the ablation policy).
-  while (!queue_.empty() &&
-         Compatible(queue_.front().blocked, AdmissionMode())) {
-    QueueEntry q = queue_.front();
-    queue_.pop_front();
+  // Admitted members form a prefix; count it first and shift the queue
+  // once, instead of paying one front-erase shift per grant.
+  size_t admitted = 0;
+  while (admitted < queue_.size() &&
+         Compatible(queue_[admitted].blocked, AdmissionMode())) {
+    const QueueEntry& q = queue_[admitted];
     holders_.push_back(HolderEntry{q.tid, q.blocked, LockMode::kNL});
     total_mode_ = Convert(total_mode_, q.blocked);
     granted.push_back(q.tid);
+    ++admitted;
   }
+  if (admitted > 0) queue_.erase(queue_.begin(), queue_.begin() + admitted);
 
   if (!granted.empty()) BumpVersion();
   return granted;
@@ -285,22 +289,35 @@ Result<ResourceState::AvSt> ResourceState::ComputeAvSt(
 }
 
 Status ResourceState::ApplyTdr2(TransactionId junction) {
-  Result<AvSt> split = ComputeAvSt(junction);
-  if (!split.ok()) return split.status();
-
-  size_t end = 0;
+  // Inline validation (the same preconditions ComputeAvSt checks) so the
+  // apply path allocates nothing.
+  size_t end = queue_.size();
   for (size_t i = 0; i < queue_.size(); ++i) {
     if (queue_[i].tid == junction) {
       end = i;
       break;
     }
   }
-  // Rebuild the prefix [0, end] as AV then ST, keeping the suffix intact.
-  std::deque<QueueEntry> rebuilt;
-  for (const QueueEntry& q : split->av) rebuilt.push_back(q);
-  for (const QueueEntry& q : split->st) rebuilt.push_back(q);
-  for (size_t i = end + 1; i < queue_.size(); ++i) rebuilt.push_back(queue_[i]);
-  queue_ = std::move(rebuilt);
+  if (end == queue_.size()) {
+    return Status::NotFound(common::Format(
+        "T%u is not in the queue of R%u", junction, rid_));
+  }
+  if (!Compatible(queue_[end].blocked, AdmissionMode())) {
+    return Status::FailedPrecondition(common::Format(
+        "TDR-2 inapplicable: blocked mode of T%u conflicts with tm of R%u",
+        junction, rid_));
+  }
+  // Reorder the prefix [0, end] to AV then ST in place (the suffix is
+  // untouched): a stable insertion pass that rotates each AV member left
+  // past the ST members ahead of it.  No allocation; quadratic only in
+  // the prefix length, which Lemma 4.1 keeps short in practice.
+  size_t insert_at = 0;
+  for (size_t i = 0; i <= end; ++i) {
+    if (!Compatible(queue_[i].blocked, AdmissionMode())) continue;
+    const QueueEntry q = queue_[i];
+    for (size_t j = i; j > insert_at; --j) queue_[j] = queue_[j - 1];
+    queue_[insert_at++] = q;
+  }
   BumpVersion();
   return Status::OK();
 }

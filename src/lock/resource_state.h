@@ -23,14 +23,21 @@
 #ifndef TWBG_LOCK_RESOURCE_STATE_H_
 #define TWBG_LOCK_RESOURCE_STATE_H_
 
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "lock/types.h"
 
 namespace twbg::lock {
+
+/// Holder-list / wait-queue storage: inline capacity covers the common
+/// case (a holder or two, a short queue), so steady-state lock traffic
+/// never allocates; hot resources spill to the heap and the LockTable's
+/// free pool keeps that capacity alive across erase/create cycles.
+using HolderList = common::SmallVector<HolderEntry, 4>;
+using WaitQueue = common::SmallVector<QueueEntry, 4>;
 
 /// What a new lock request is admission-checked against (§2 of the
 /// paper).  The paper's *total mode* folds pending conversion modes into
@@ -68,6 +75,23 @@ class ResourceState {
                          AdmissionPolicy policy = AdmissionPolicy::kTotalMode)
       : rid_(rid), policy_(policy), version_(NextStateVersion()) {}
 
+  /// Placeholder for container emplacement (lock::LockTable creates the
+  /// slot first, then Reset()s it); not a valid resource until Reset.
+  ResourceState() : ResourceState(0) {}
+
+  /// Re-initializes a recycled state as a fresh, free resource with a new
+  /// version stamp.  Holder/queue capacity is retained — this is how the
+  /// table's free pool keeps heap capacity alive across erase/create
+  /// cycles.
+  void Reset(ResourceId rid, AdmissionPolicy policy) {
+    rid_ = rid;
+    policy_ = policy;
+    total_mode_ = LockMode::kNL;
+    version_ = NextStateVersion();
+    holders_.clear();
+    queue_.clear();
+  }
+
   ResourceId rid() const { return rid_; }
   AdmissionPolicy policy() const { return policy_; }
   LockMode total_mode() const { return total_mode_; }
@@ -85,8 +109,8 @@ class ResourceState {
   /// The mode new requests are admission-checked against under the
   /// configured policy (total mode, or group mode for the ablation).
   LockMode AdmissionMode() const;
-  const std::vector<HolderEntry>& holders() const { return holders_; }
-  const std::deque<QueueEntry>& queue() const { return queue_; }
+  const HolderList& holders() const { return holders_; }
+  const WaitQueue& queue() const { return queue_; }
 
   /// True when neither held nor waited on; the lock table reclaims such
   /// entries.
@@ -114,6 +138,25 @@ class ResourceState {
   /// Returns FailedPrecondition if `tid` is already blocked here (a
   /// blocked transaction cannot issue requests — Axiom 1).
   Result<RequestOutcome> Request(TransactionId tid, LockMode mode);
+
+  /// Uncontended fast path: grants `mode` to `tid` as the first holder of
+  /// a free resource and returns true, or returns false without touching
+  /// anything when the resource is not free (or the request is malformed)
+  /// and the full Request path must run.  Byte-identical to Request on a
+  /// free state — Compatible(m, kNL) holds for every m and Convert(kNL, m)
+  /// is m, so a free resource admits any first request under either
+  /// policy — but skips the conversion scan, queue checks, and Result
+  /// plumbing.
+  bool TryFastGrant(TransactionId tid, LockMode mode) {
+    if (!holders_.empty() || !queue_.empty() || tid == kInvalidTransaction ||
+        mode == LockMode::kNL) {
+      return false;
+    }
+    BumpVersion();
+    holders_.push_back(HolderEntry{tid, mode, LockMode::kNL});
+    total_mode_ = mode;  // Convert(kNL, mode) == mode; I2 holds
+    return true;
+  }
 
   /// Removes every trace of `tid` (commit or abort releases all locks
   /// under strict 2PL) and reschedules.  Returns transactions whose
@@ -186,8 +229,8 @@ class ResourceState {
   AdmissionPolicy policy_ = AdmissionPolicy::kTotalMode;
   LockMode total_mode_ = LockMode::kNL;
   uint64_t version_ = 0;
-  std::vector<HolderEntry> holders_;
-  std::deque<QueueEntry> queue_;
+  HolderList holders_;
+  WaitQueue queue_;
 };
 
 }  // namespace twbg::lock

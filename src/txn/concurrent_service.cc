@@ -1713,6 +1713,35 @@ Status ConcurrentLockService::CheckInvariants(bool deep) {
   return Status::OK();
 }
 
+std::string ConcurrentLockService::DebugDump() {
+  std::string out;
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tm_->lock_manager().table().ToString();
+  }
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  std::scoped_lock tl(txn_mu_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    out += common::Format("shard %zu:\n", s);
+    out += shards_[s]->lm.table().ToString();
+    for (lock::TransactionId tid : shards_[s]->lm.KnownTransactions()) {
+      const lock::TxnLockInfo* info = shards_[s]->lm.Info(tid);
+      if (info == nullptr || !info->blocked_on.has_value()) continue;
+      out += common::Format("  T%u waits on R%u\n", tid, *info->blocked_on);
+    }
+  }
+  for (const auto& [tid, rec] : txns_) {
+    out += common::Format(
+        "T%u state=%d victim=%d granted=%llu\n", tid,
+        static_cast<int>(rec.state.load(std::memory_order_relaxed)),
+        rec.deadlock_victim ? 1 : 0,
+        static_cast<unsigned long long>(rec.locks_granted));
+  }
+  return out;
+}
+
 Status AcquireWithRetry(ConcurrentLockService& service,
                         lock::TransactionId tid, lock::ResourceId rid,
                         lock::LockMode mode,

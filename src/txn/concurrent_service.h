@@ -348,6 +348,11 @@ class ConcurrentLockService {
   /// world for the duration.  `deep` as in LockManager::CheckInvariants.
   Status CheckInvariants(bool deep = true);
 
+  /// Stop-the-world forensic dump: every shard's lock table plus every
+  /// live transaction's state and wait target.  For diagnosing stalled
+  /// workloads (e.g. a stuck benchmark cell); never on a hot path.
+  std::string DebugDump();
+
   const ConcurrentServiceOptions& options() const { return options_; }
 
  private:

@@ -20,7 +20,15 @@ ShardCaptureStats ShardSnapshot::Capture(const lock::LockManager& live) {
   staged_waits_.clear();
 
   ShardCaptureStats stats;
-  if (!lt.DirtySince(synced_seq_, &dirty_scratch_)) {
+  // Two dirty sources: the live journal (client mutations since the last
+  // capture) and the mirror's own journal since the last fold (walk
+  // TDR-2s whose validated apply may have been rejected — live will
+  // never re-dirty those, so the mirror must re-stage them from live or
+  // it diverges permanently; see folded_seq_).
+  const bool journals_answered =
+      lt.DirtySince(synced_seq_, &dirty_scratch_) &&
+      table_.DirtySince(folded_seq_, &dirty_scratch_);
+  if (!journals_answered) {
     // The journal fell behind (or this is the first capture of a table
     // that already trimmed): sweep both sides, keyed on version stamps —
     // equal versions guarantee identical content (lock/resource_state.h).
@@ -81,7 +89,7 @@ void ShardSnapshot::Fold() {
     // Reset to a free state (journaling the mutation for the detector's
     // incremental graph cache), then let the table reclaim the entry —
     // the same end state a live release leaves behind.
-    table_.GetOrCreate(rid) = lock::ResourceState(rid, table_.policy());
+    table_.GetOrCreate(rid).Reset(rid, table_.policy());
     table_.EraseIfFree(rid);
   }
   for (size_t i = 0; i < staged_states_used_; ++i) {
@@ -94,21 +102,24 @@ void ShardSnapshot::Fold() {
   }
   // The staged wait map is the whole live map at the capture point, so
   // the mirror is rebuilt rather than patched — a departed transaction
-  // simply no longer appears.  Staging is in ascending id order, so the
-  // end-hint makes the rebuild linear.
-  waits_.clear();
-  for (auto& [tid, info] : staged_waits_) {
-    waits_.emplace_hint(waits_.end(), tid, std::move(info));
-  }
+  // simply no longer appears.  Staging is in ascending id order (the
+  // txn_infos view), so one swap adopts it sorted; the retired buffer
+  // becomes next pass's staging capacity.
+  waits_.swap(staged_waits_);
   staged_states_used_ = 0;  // elements stay alive for capacity reuse
   staged_erased_.clear();
   staged_waits_.clear();
+  // Everything journaled in the mirror past this point is a detect-phase
+  // mutation that the next Capture must re-stage from live.
+  folded_seq_ = table_.mutation_seq();
 }
 
 const lock::TxnLockInfo* ShardSnapshot::FindWaitInfo(
     lock::TransactionId tid) const {
-  auto it = waits_.find(tid);
-  return it == waits_.end() ? nullptr : &it->second;
+  auto it = std::lower_bound(
+      waits_.begin(), waits_.end(), tid,
+      [](const auto& entry, lock::TransactionId t) { return entry.first < t; });
+  return it == waits_.end() || it->first != tid ? nullptr : &it->second;
 }
 
 Status SnapshotWalkHost::ApplyTdr2Direct(lock::ResourceId rid,

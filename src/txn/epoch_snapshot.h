@@ -30,7 +30,6 @@
 #define TWBG_TXN_EPOCH_SNAPSHOT_H_
 
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -90,9 +89,23 @@ class ShardSnapshot {
 
  private:
   lock::LockTable table_;
-  std::map<lock::TransactionId, lock::TxnLockInfo> waits_;
+  // Wait map mirror: (tid, info) ascending by tid.  A sorted vector
+  // rather than a tree — Fold() adopts the staged sweep with one swap
+  // (the retired buffer becomes next pass's staging capacity, so the
+  // rebuild allocates nothing in steady state) and lookups binary-search.
+  std::vector<std::pair<lock::TransactionId, lock::TxnLockInfo>> waits_;
   // Journal cursor into the live table (lock::LockTable::mutation_seq).
   uint64_t synced_seq_ = 0;
+  // Journal cursor into the MIRROR's own table, taken at the end of
+  // Fold().  Anything the mirror journals after that point is a
+  // detect-phase mutation (a walk-applied TDR-2 repositioning).  If the
+  // validated apply rejects that decision, the live shard never changes
+  // — so the live journal will never re-dirty the resource — yet the
+  // mirror now disagrees with it.  Capture() re-stages these resources
+  // from live unconditionally; without this the mirror diverges forever
+  // on a quiesced shard and every subsequent pass re-derives (and
+  // re-rejects) resolutions from the corrupt mirror.
+  uint64_t folded_seq_ = 0;
 
   // Staging area filled by Capture, consumed by Fold.
   std::vector<lock::ResourceId> dirty_scratch_;

@@ -24,6 +24,7 @@
 #include "obs/span.h"
 #include "obs/span_sinks.h"
 #include "txn/concurrent_service.h"
+#include "txn/epoch_snapshot.h"
 #include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
 
@@ -170,6 +171,39 @@ TEST(PauselessServiceTest, QuiescedReportParityAcrossEngines) {
 // shared resource moved, so the pass must drop its command (no victim,
 // no partial apply) and the very next pass must resolve the same cycle —
 // with exactly one victim in total across both passes.
+// A walk-phase TDR-2 mutates the MIRROR before its validated apply runs;
+// if the apply then rejects the decision, the live shard never changes,
+// so the live journal will never re-dirty that resource.  Capture must
+// re-stage everything the mirror's own journal recorded since the last
+// fold, or the mirror diverges from a quiesced live shard forever and
+// every later pass re-derives (and re-rejects) resolutions from corrupt
+// state — the exact wedge bench_throughput's stall watchdog caught on
+// the shards=8 high-contention cell.
+TEST(ShardSnapshotTest, DetectPhaseMirrorMutationsAreRestagedFromLive) {
+  lock::LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 7, kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, 7, kX).ok());  // queues behind T1
+  ShardSnapshot snapshot;
+  (void)snapshot.Capture(lm);
+  snapshot.Fold();
+  const uint64_t live_version = lm.table().Find(7)->version();
+  ASSERT_EQ(snapshot.table().Find(7)->version(), live_version);
+
+  // Simulate the walk mutating the mirror (journaled, as NoteTdr2Applied
+  // does) for a decision the validated apply will reject: the mirror
+  // moves, the live table does not.
+  snapshot.mutable_table().FindMutable(7)->Remove(2);
+  ASSERT_NE(snapshot.table().Find(7)->version(), live_version);
+
+  ShardCaptureStats stats = snapshot.Capture(lm);
+  EXPECT_EQ(stats.dirty, 1u);
+  EXPECT_FALSE(stats.full_sweep);
+  snapshot.Fold();
+  EXPECT_EQ(snapshot.table().Find(7)->version(), live_version);
+  EXPECT_EQ(snapshot.table().Find(7)->ToString(),
+            lm.table().Find(7)->ToString());
+}
+
 TEST(PauselessServiceTest, StaleCommandIsRetriedByTheNextPass) {
   ConcurrentServiceOptions options;
   options.num_shards = 2;

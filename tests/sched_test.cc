@@ -357,9 +357,12 @@ TEST(SchedSimulatorTest, SpanEstimatesFeedMeasuredSchedulerInputs) {
 std::string DeadlockReportFor(txn::ConcurrentLockService& service) {
   std::barrier rendezvous(2);
   std::atomic<int> victims{0};
+  std::atomic<lock::TransactionId> tids[2] = {};
   std::string report_text;
-  auto runner = [&](lock::ResourceId first, lock::ResourceId second) {
+  auto runner = [&](size_t index, lock::ResourceId first,
+                    lock::ResourceId second) {
     lock::TransactionId t = *service.Begin();
+    tids[index].store(t, std::memory_order_relaxed);
     ASSERT_TRUE(service.AcquireBlocking(t, first, kX).ok());
     rendezvous.arrive_and_wait();
     Status status = service.AcquireBlocking(t, second, kX);
@@ -370,8 +373,21 @@ std::string DeadlockReportFor(txn::ConcurrentLockService& service) {
     ASSERT_TRUE(status.ok()) << status.ToString();
     ASSERT_TRUE(service.Commit(t).ok());
   };
-  std::thread a(runner, 1, 2);
-  std::thread b(runner, 2, 1);
+  std::thread a(runner, 0, 1, 2);
+  std::thread b(runner, 1, 2, 1);
+  // Wait until both sides are actually parked (kBlocked is stored in the
+  // same shard critical section that enqueues the wait) before running
+  // any pass: a pass that sneaks between the two blocking acquires would
+  // warm the graph cache and perturb the report's cache-counter line.
+  auto blocked = [&](size_t index) {
+    const lock::TransactionId t = tids[index].load(std::memory_order_relaxed);
+    if (t == 0) return false;
+    Result<txn::TxnState> state = service.State(t);
+    return state.ok() && *state == txn::TxnState::kBlocked;
+  };
+  while (!(blocked(0) && blocked(1))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   // Both sides blocked on each other: run one pass and read the report.
   while (service.deadlock_victims() == 0) {
     core::ResolutionReport report = service.RunDetectionPass();

@@ -1,0 +1,152 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// SmallVector / SortedSmallSet unit suite: inline-to-heap transition,
+// order-stable insert/erase, the capacity-reusing copy-assign contract,
+// and SortedSmallSet's std::set-equivalent ordered iteration.
+
+#include "common/small_vector.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace twbg::common {
+namespace {
+
+TEST(SmallVectorTest, StartsInlineGrowsToHeap) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);               // spills to heap
+  EXPECT_GT(v.capacity(), 4u);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InsertAndEraseAreOrderStable) {
+  SmallVector<int, 2> v;
+  for (int i : {1, 2, 4, 5}) v.push_back(i);
+  v.insert(v.begin() + 2, 3);  // 1 2 3 4 5
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i + 1);
+  v.erase(v.begin() + 1);  // 1 3 4 5
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[3], 5);
+  v.erase(v.begin(), v.begin() + 2);  // 4 5
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 4);
+  EXPECT_EQ(v[1], 5);
+}
+
+TEST(SmallVectorTest, CopyAssignReusesCapacity) {
+  SmallVector<int, 2> dst;
+  for (int i = 0; i < 64; ++i) dst.push_back(i);  // heap capacity >= 64
+  const size_t cap = dst.capacity();
+  const int* data = dst.data();
+
+  SmallVector<int, 2> src;
+  for (int i = 0; i < 10; ++i) src.push_back(100 + i);
+  dst = src;
+  // Same buffer, same capacity: the copy refilled in place.
+  EXPECT_EQ(dst.capacity(), cap);
+  EXPECT_EQ(dst.data(), data);
+  ASSERT_EQ(dst.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dst[i], 100 + i);
+}
+
+TEST(SmallVectorTest, CopyAssignGrowsWhenNeeded) {
+  SmallVector<int, 2> dst;
+  SmallVector<int, 2> src;
+  for (int i = 0; i < 100; ++i) src.push_back(i);
+  dst = src;
+  ASSERT_EQ(dst.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dst[i], i);
+  EXPECT_EQ(src.size(), 100u);  // source untouched
+}
+
+TEST(SmallVectorTest, MoveAssignStealsHeapBuffer) {
+  SmallVector<int, 2> src;
+  for (int i = 0; i < 50; ++i) src.push_back(i);
+  const int* buffer = src.data();
+  SmallVector<int, 2> dst;
+  dst = std::move(src);
+  EXPECT_EQ(dst.data(), buffer);  // stolen, not copied
+  ASSERT_EQ(dst.size(), 50u);
+  EXPECT_TRUE(src.empty());
+  src.push_back(7);  // moved-from vector remains usable
+  EXPECT_EQ(src[0], 7);
+}
+
+TEST(SmallVectorTest, NonTrivialElementLifetimes) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back(std::string(64, 'x'));  // heap string, spills the vector too
+  v.insert(v.begin() + 1, "inserted");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], "inserted");
+  EXPECT_EQ(v[2], "beta");
+  v.erase(v.begin());
+  EXPECT_EQ(v[0], "inserted");
+  SmallVector<std::string, 2> copy;
+  copy = v;
+  EXPECT_EQ(copy, v);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(copy.size(), 3u);
+}
+
+TEST(SmallVectorTest, ResizeUpAndDown) {
+  SmallVector<int, 4> v;
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[5], 0);
+  v[5] = 42;
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.resize(8);
+  EXPECT_EQ(v[7], 0);
+}
+
+TEST(SortedSmallSetTest, MatchesStdSetOrder) {
+  SortedSmallSet<uint32_t, 8> set;
+  std::set<uint32_t> oracle;
+  Rng rng(0x5e7);
+  for (int step = 0; step < 20000; ++step) {
+    const uint32_t value = static_cast<uint32_t>(rng.NextBelow(64));
+    if (rng.NextBelow(3) == 0) {
+      EXPECT_EQ(set.Erase(value), oracle.erase(value) > 0);
+    } else {
+      EXPECT_EQ(set.Insert(value), oracle.insert(value).second);
+    }
+    ASSERT_EQ(set.size(), oracle.size());
+  }
+  // Iteration order must be ascending — exactly std::set's.
+  std::vector<uint32_t> flat(set.begin(), set.end());
+  std::vector<uint32_t> expected(oracle.begin(), oracle.end());
+  EXPECT_EQ(flat, expected);
+}
+
+TEST(SortedSmallSetTest, InsertEraseContains) {
+  SortedSmallSet<int, 4> set;
+  EXPECT_TRUE(set.Insert(3));
+  EXPECT_TRUE(set.Insert(1));
+  EXPECT_FALSE(set.Insert(3));  // duplicate
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_TRUE(set.Erase(1));
+  EXPECT_FALSE(set.Erase(1));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(*set.begin(), 3);
+}
+
+}  // namespace
+}  // namespace twbg::common

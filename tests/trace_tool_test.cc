@@ -225,6 +225,53 @@ TEST(TraceToolTest, HotRanksR1AndR2) {
   EXPECT_NE(out.find("tdr2="), std::string::npos) << out;
 }
 
+// Regression: the hot and chains reports accumulate per-rid rows in a
+// hash table whose iteration order tracks insertion, so the ascending-rid
+// output contract has to come from an explicit sort at the output
+// boundary — feed rids in descending order and require ascending output.
+TEST(TraceToolTest, HotAndChainsSortRidsAtOutputBoundary) {
+  const std::string path = TempPath("twbg_rid_order.jsonl");
+  {
+    std::ofstream file(path);
+    uint64_t span = 0;
+    for (lock::ResourceId rid : {30u, 7u, 19u}) {
+      Event block;
+      block.kind = EventKind::kLockBlock;
+      block.time = ++span;  // distinct, monotone
+      block.tid = 100 + rid;
+      block.rid = rid;
+      block.mode = lock::LockMode::kX;
+      block.span = span;
+      file << obs::ToJson(block) << "\n";  // never closed: stays open
+    }
+  }
+  // Equal blocked-span counts everywhere, so `hot` ranks purely by rid.
+  std::string out, err;
+  ASSERT_EQ(tools::RunTraceTool({"hot", path}, &out, &err), 0) << err;
+  const size_t hot7 = out.find("R7 ");
+  const size_t hot19 = out.find("R19 ");
+  const size_t hot30 = out.find("R30 ");
+  ASSERT_NE(hot7, std::string::npos) << out;
+  ASSERT_NE(hot19, std::string::npos) << out;
+  ASSERT_NE(hot30, std::string::npos) << out;
+  EXPECT_LT(hot7, hot19) << out;
+  EXPECT_LT(hot19, hot30) << out;
+
+  out.clear();
+  ASSERT_EQ(tools::RunTraceTool({"chains", path}, &out, &err), 0) << err;
+  const size_t open_section = out.find("open waits by resource:");
+  ASSERT_NE(open_section, std::string::npos) << out;
+  const size_t chain7 = out.find("R7 <-", open_section);
+  const size_t chain19 = out.find("R19 <-", open_section);
+  const size_t chain30 = out.find("R30 <-", open_section);
+  ASSERT_NE(chain7, std::string::npos) << out;
+  ASSERT_NE(chain19, std::string::npos) << out;
+  ASSERT_NE(chain30, std::string::npos) << out;
+  EXPECT_LT(chain7, chain19) << out;
+  EXPECT_LT(chain19, chain30) << out;
+  std::remove(path.c_str());
+}
+
 TEST(TraceToolTest, LatencyPrintsPercentileRows) {
   std::string out, err;
   const int rc =

@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 
+#include "common/flat_map.h"
 #include "common/string_util.h"
 #include "obs/event.h"
 #include "obs/span_sinks.h"
@@ -194,15 +195,21 @@ int CmdChains(const std::vector<Event>& events, std::string* out) {
     *out += "\n";
   }
   // Active chains at end of trace: open spans grouped per resource.
-  std::map<lock::ResourceId, std::vector<const SpanRecord*>> waiting;
+  common::FlatMap<lock::ResourceId, std::vector<const SpanRecord*>> waiting;
   for (const SpanRecord& s : spans) {
     if (!s.end.has_value()) waiting[s.rid].push_back(&s);
   }
   if (!waiting.empty()) {
     *out += "open waits by resource:\n";
-    for (const auto& [rid, list] : waiting) {
+    // The accumulator iterates in hash-table order; the report contract
+    // is ascending rid, so sort explicitly at the output boundary.
+    std::vector<lock::ResourceId> rids;
+    rids.reserve(waiting.size());
+    for (const auto& entry : waiting.entries()) rids.push_back(entry.key);
+    std::sort(rids.begin(), rids.end());
+    for (lock::ResourceId rid : rids) {
       std::vector<std::string> names;
-      for (const SpanRecord* s : list) {
+      for (const SpanRecord* s : *waiting.Find(rid)) {
         names.push_back(common::Format("T%u(span=%llu)", s->tid,
                                        static_cast<unsigned long long>(
                                            s->span)));
@@ -234,7 +241,7 @@ int CmdHot(const std::vector<Event>& events, size_t top_k, std::string* out) {
     uint64_t max_queued = 0;
     size_t repositions = 0;
   };
-  std::map<lock::ResourceId, Contention> per_rid;
+  common::FlatMap<lock::ResourceId, Contention> per_rid;
   const uint64_t horizon = events.empty() ? 0 : events.back().time;
   for (const SpanRecord& s : ReconstructSpans(events)) {
     Contention& c = per_rid[s.rid];
@@ -249,8 +256,14 @@ int CmdHot(const std::vector<Event>& events, size_t top_k, std::string* out) {
       ++per_rid[event.rid].repositions;
     }
   }
-  std::vector<std::pair<lock::ResourceId, Contention>> rows(per_rid.begin(),
-                                                            per_rid.end());
+  std::vector<std::pair<lock::ResourceId, Contention>> rows;
+  rows.reserve(per_rid.size());
+  for (const auto& entry : per_rid.entries()) {
+    rows.emplace_back(entry.key, entry.value);
+  }
+  // The accumulator iterates in hash-table order; the ranking below ties
+  // every comparison off to ascending rid, so the output is deterministic
+  // regardless of accumulation order.
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
     if (a.second.blocked_spans != b.second.blocked_spans) {
       return a.second.blocked_spans > b.second.blocked_spans;
