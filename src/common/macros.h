@@ -37,8 +37,8 @@
 #endif
 
 // Marks a declaration as deprecated with a migration hint.  Used for the
-// one-release compatibility shims of API redesigns (e.g. the legacy
-// ConcurrentLockService constructor superseded by Create()).
+// one-release compatibility shims of API redesigns; a shim is deleted in
+// the release after it is marked.
 #define TWBG_DEPRECATED(msg) [[deprecated(msg)]]
 
 // Marks a code path that must be unreachable.

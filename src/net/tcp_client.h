@@ -1,0 +1,87 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// net::TcpClient — the LockClient that speaks the wire protocol
+// (docs/SERVICE.md) to a twbg-serverd daemon.  One instance == one
+// session on the daemon; calls are synchronous request/response over a
+// blocking socket.  Await is server-side: the daemon parks the session
+// until the transaction leaves its wait, so a blocked client burns no
+// request budget polling.
+//
+// Like every LockClient, an instance serves one logical client and is
+// not thread-safe; open one connection per concurrent actor.
+
+#ifndef TWBG_NET_TCP_CLIENT_H_
+#define TWBG_NET_TCP_CLIENT_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+
+namespace twbg::net {
+
+/// Configuration of a TcpClient (see Create).  Mirrors the option-struct
+/// convention of ServerOptions/ConcurrentServiceOptions.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Socket-level timeout applied to connect().  Zero disables.
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Socket-level receive timeout per response.  Zero disables — the
+  /// right choice when Await may legitimately outwait long detection
+  /// periods.
+  std::chrono::milliseconds request_timeout{0};
+
+  /// Rejects an empty host, port 0, negative timeouts.
+  Status Validate() const;
+};
+
+/// LockClient over a TCP connection to the daemon.
+class TcpClient final : public LockClient {
+ public:
+  /// Validates `options`, connects, and returns the ready client.
+  /// Connection failures surface as kInternal with the errno text.
+  static Result<std::unique_ptr<TcpClient>> Create(ClientOptions options);
+
+  ~TcpClient() override;
+
+  Result<lock::TransactionId> Begin() override;
+  Result<lock::RequestOutcome> Acquire(lock::TransactionId tid,
+                                       lock::ResourceId rid,
+                                       lock::LockMode mode) override;
+  Status Await(lock::TransactionId tid) override;
+  Status Commit(lock::TransactionId tid) override;
+  Status Abort(lock::TransactionId tid) override;
+  Result<txn::TxnState> State(lock::TransactionId tid) override;
+  Status SetCost(lock::TransactionId tid, double cost) override;
+  Result<DetectResult> Detect() override;
+  Result<bool> HasDeadlock() override;
+  Result<std::string> View(ServiceView view) override;
+  Result<ClientStats> Stats() override;
+
+  /// Round-trips a kPing (liveness / latency probe).
+  Status Ping();
+
+  /// The retry-after hint of the last kResourceExhausted response,
+  /// microseconds (0 when none was received) — the wire-level
+  /// backpressure signal to feed into a client-side backoff.
+  uint32_t last_retry_after_us() const { return last_retry_after_us_; }
+
+ private:
+  explicit TcpClient(ClientOptions options) : options_(std::move(options)) {}
+
+  Status Connect();
+  /// Sends `request` and decodes the matching response into `*response`.
+  Status RoundTrip(const Request& request, Response* response);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_req_id_ = 1;
+  uint32_t last_retry_after_us_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace twbg::net
+
+#endif  // TWBG_NET_TCP_CLIENT_H_

@@ -1,0 +1,483 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace twbg::net {
+
+namespace {
+
+// -- primitive writers (little-endian, append-to-string) --
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->append(v.data(), v.size());
+}
+
+// -- primitive readers (bounds-checked cursor) --
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* out) {
+    if (data_.size() - pos_ < 1) return Truncated();
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+  Status U32(uint32_t* out) {
+    if (data_.size() - pos_ < 4) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+  Status U64(uint64_t* out) {
+    if (data_.size() - pos_ < 8) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+  Status F64(double* out) {
+    uint64_t bits = 0;
+    TWBG_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(out, &bits, sizeof(bits));
+    return Status::OK();
+  }
+  Status String(std::string* out) {
+    uint32_t size = 0;
+    TWBG_RETURN_IF_ERROR(U32(&size));
+    if (size > kMaxFrameBytes || data_.size() - pos_ < size) {
+      return Truncated();
+    }
+    out->assign(data_.data() + pos_, size);
+    pos_ += size;
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated frame payload");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// -- enum validation --
+
+Status CheckType(uint8_t raw, MsgType* out) {
+  if (raw < static_cast<uint8_t>(MsgType::kBegin) ||
+      raw > static_cast<uint8_t>(MsgType::kPing)) {
+    return Status::InvalidArgument(
+        common::Format("unknown message type %u", raw));
+  }
+  *out = static_cast<MsgType>(raw);
+  return Status::OK();
+}
+
+Status CheckMode(uint8_t raw, lock::LockMode* out) {
+  if (raw >= lock::kNumLockModes) {
+    return Status::InvalidArgument(common::Format("bad lock mode %u", raw));
+  }
+  *out = static_cast<lock::LockMode>(raw);
+  return Status::OK();
+}
+
+Status CheckView(uint8_t raw, ServiceView* out) {
+  if (raw > static_cast<uint8_t>(ServiceView::kCosts)) {
+    return Status::InvalidArgument(common::Format("bad view %u", raw));
+  }
+  *out = static_cast<ServiceView>(raw);
+  return Status::OK();
+}
+
+Status CheckOutcome(uint8_t raw, lock::RequestOutcome* out) {
+  if (raw > static_cast<uint8_t>(lock::RequestOutcome::kBlocked)) {
+    return Status::InvalidArgument(common::Format("bad outcome %u", raw));
+  }
+  *out = static_cast<lock::RequestOutcome>(raw);
+  return Status::OK();
+}
+
+Status CheckTxnState(uint8_t raw, txn::TxnState* out) {
+  if (raw > static_cast<uint8_t>(txn::TxnState::kAborted)) {
+    return Status::InvalidArgument(common::Format("bad txn state %u", raw));
+  }
+  *out = static_cast<txn::TxnState>(raw);
+  return Status::OK();
+}
+
+Status CheckStatusCode(uint8_t raw, StatusCode* out) {
+  if (raw > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument(
+        common::Format("bad status code %u", raw));
+  }
+  *out = static_cast<StatusCode>(raw);
+  return Status::OK();
+}
+
+// Prepends the length once the payload is complete.
+std::string Frame(std::string payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+std::string_view MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kBegin: return "begin";
+    case MsgType::kAcquire: return "acquire";
+    case MsgType::kAwait: return "await";
+    case MsgType::kCommit: return "commit";
+    case MsgType::kAbort: return "abort";
+    case MsgType::kState: return "state";
+    case MsgType::kSetCost: return "setcost";
+    case MsgType::kDetect: return "detect";
+    case MsgType::kProbeDeadlock: return "probe-deadlock";
+    case MsgType::kView: return "view";
+    case MsgType::kStats: return "stats";
+    case MsgType::kPing: return "ping";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<uint8_t>(request.type));
+  PutU64(&payload, request.req_id);
+  switch (request.type) {
+    case MsgType::kAcquire:
+      PutU32(&payload, request.tid);
+      PutU32(&payload, request.rid);
+      PutU8(&payload, static_cast<uint8_t>(request.mode));
+      break;
+    case MsgType::kAwait:
+    case MsgType::kCommit:
+    case MsgType::kAbort:
+    case MsgType::kState:
+      PutU32(&payload, request.tid);
+      break;
+    case MsgType::kSetCost:
+      PutU32(&payload, request.tid);
+      PutF64(&payload, request.cost);
+      break;
+    case MsgType::kView:
+      PutU8(&payload, static_cast<uint8_t>(request.view));
+      break;
+    case MsgType::kBegin:
+    case MsgType::kDetect:
+    case MsgType::kProbeDeadlock:
+    case MsgType::kStats:
+    case MsgType::kPing:
+      break;  // no body
+  }
+  return Frame(std::move(payload));
+}
+
+Status DecodeRequest(std::string_view payload, Request* out) {
+  Cursor cursor(payload);
+  uint8_t version = 0;
+  TWBG_RETURN_IF_ERROR(cursor.U8(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(common::Format(
+        "unsupported protocol version %u (this build speaks %u)", version,
+        kWireVersion));
+  }
+  uint8_t raw_type = 0;
+  TWBG_RETURN_IF_ERROR(cursor.U8(&raw_type));
+  *out = Request{};
+  TWBG_RETURN_IF_ERROR(CheckType(raw_type, &out->type));
+  TWBG_RETURN_IF_ERROR(cursor.U64(&out->req_id));
+  switch (out->type) {
+    case MsgType::kAcquire: {
+      TWBG_RETURN_IF_ERROR(cursor.U32(&out->tid));
+      TWBG_RETURN_IF_ERROR(cursor.U32(&out->rid));
+      uint8_t mode = 0;
+      TWBG_RETURN_IF_ERROR(cursor.U8(&mode));
+      TWBG_RETURN_IF_ERROR(CheckMode(mode, &out->mode));
+      break;
+    }
+    case MsgType::kAwait:
+    case MsgType::kCommit:
+    case MsgType::kAbort:
+    case MsgType::kState:
+      TWBG_RETURN_IF_ERROR(cursor.U32(&out->tid));
+      break;
+    case MsgType::kSetCost:
+      TWBG_RETURN_IF_ERROR(cursor.U32(&out->tid));
+      TWBG_RETURN_IF_ERROR(cursor.F64(&out->cost));
+      break;
+    case MsgType::kView: {
+      uint8_t view = 0;
+      TWBG_RETURN_IF_ERROR(cursor.U8(&view));
+      TWBG_RETURN_IF_ERROR(CheckView(view, &out->view));
+      break;
+    }
+    case MsgType::kBegin:
+    case MsgType::kDetect:
+    case MsgType::kProbeDeadlock:
+    case MsgType::kStats:
+    case MsgType::kPing:
+      break;
+  }
+  if (!cursor.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after request body");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<uint8_t>(response.type));
+  PutU64(&payload, response.req_id);
+  PutU8(&payload, static_cast<uint8_t>(response.code));
+  PutU32(&payload, response.retry_after_us);
+  PutString(&payload, response.message);
+  if (response.code == StatusCode::kOk) {
+    switch (response.type) {
+      case MsgType::kBegin:
+        PutU32(&payload, response.tid);
+        break;
+      case MsgType::kAcquire:
+        PutU8(&payload, static_cast<uint8_t>(response.outcome));
+        break;
+      case MsgType::kState:
+        PutU8(&payload, static_cast<uint8_t>(response.txn_state));
+        break;
+      case MsgType::kProbeDeadlock:
+        PutU8(&payload, response.truth ? 1 : 0);
+        break;
+      case MsgType::kView:
+        PutString(&payload, response.text);
+        break;
+      case MsgType::kDetect: {
+        PutString(&payload, response.detect.report);
+        PutU32(&payload,
+               static_cast<uint32_t>(response.detect.aborted.size()));
+        for (lock::TransactionId tid : response.detect.aborted) {
+          PutU32(&payload, tid);
+        }
+        PutU64(&payload, response.detect.cycles_detected);
+        PutString(&payload, response.detect.post_mortems);
+        break;
+      }
+      case MsgType::kStats:
+        PutU64(&payload, response.stats.live_txns);
+        PutU64(&payload, response.stats.deadlock_victims);
+        PutU64(&payload, response.stats.snapshot_epoch);
+        PutU64(&payload, response.stats.num_shards);
+        PutU64(&payload, response.stats.admission_rejects);
+        PutU64(&payload, response.stats.resolutions_rejected);
+        PutU64(&payload, response.stats.sessions_active);
+        PutU64(&payload, response.stats.sessions_total);
+        PutU64(&payload, response.stats.orphan_aborts);
+        break;
+      case MsgType::kAwait:
+      case MsgType::kCommit:
+      case MsgType::kAbort:
+      case MsgType::kSetCost:
+      case MsgType::kPing:
+        break;  // status-only responses
+    }
+  }
+  return Frame(std::move(payload));
+}
+
+Status DecodeResponse(std::string_view payload, Response* out) {
+  Cursor cursor(payload);
+  uint8_t version = 0;
+  TWBG_RETURN_IF_ERROR(cursor.U8(&version));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(common::Format(
+        "unsupported protocol version %u (this build speaks %u)", version,
+        kWireVersion));
+  }
+  uint8_t raw_type = 0;
+  TWBG_RETURN_IF_ERROR(cursor.U8(&raw_type));
+  *out = Response{};
+  TWBG_RETURN_IF_ERROR(CheckType(raw_type, &out->type));
+  TWBG_RETURN_IF_ERROR(cursor.U64(&out->req_id));
+  uint8_t raw_code = 0;
+  TWBG_RETURN_IF_ERROR(cursor.U8(&raw_code));
+  TWBG_RETURN_IF_ERROR(CheckStatusCode(raw_code, &out->code));
+  TWBG_RETURN_IF_ERROR(cursor.U32(&out->retry_after_us));
+  TWBG_RETURN_IF_ERROR(cursor.String(&out->message));
+  if (out->code == StatusCode::kOk) {
+    switch (out->type) {
+      case MsgType::kBegin:
+        TWBG_RETURN_IF_ERROR(cursor.U32(&out->tid));
+        break;
+      case MsgType::kAcquire: {
+        uint8_t outcome = 0;
+        TWBG_RETURN_IF_ERROR(cursor.U8(&outcome));
+        TWBG_RETURN_IF_ERROR(CheckOutcome(outcome, &out->outcome));
+        break;
+      }
+      case MsgType::kState: {
+        uint8_t state = 0;
+        TWBG_RETURN_IF_ERROR(cursor.U8(&state));
+        TWBG_RETURN_IF_ERROR(CheckTxnState(state, &out->txn_state));
+        break;
+      }
+      case MsgType::kProbeDeadlock: {
+        uint8_t truth = 0;
+        TWBG_RETURN_IF_ERROR(cursor.U8(&truth));
+        out->truth = truth != 0;
+        break;
+      }
+      case MsgType::kView:
+        TWBG_RETURN_IF_ERROR(cursor.String(&out->text));
+        break;
+      case MsgType::kDetect: {
+        TWBG_RETURN_IF_ERROR(cursor.String(&out->detect.report));
+        uint32_t count = 0;
+        TWBG_RETURN_IF_ERROR(cursor.U32(&count));
+        if (count > kMaxFrameBytes / sizeof(uint32_t)) {
+          return Status::InvalidArgument("aborted-victim list too long");
+        }
+        out->detect.aborted.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          uint32_t tid = 0;
+          TWBG_RETURN_IF_ERROR(cursor.U32(&tid));
+          out->detect.aborted.push_back(tid);
+        }
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->detect.cycles_detected));
+        TWBG_RETURN_IF_ERROR(cursor.String(&out->detect.post_mortems));
+        break;
+      }
+      case MsgType::kStats:
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.live_txns));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.deadlock_victims));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.snapshot_epoch));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.num_shards));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.admission_rejects));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.resolutions_rejected));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.sessions_active));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.sessions_total));
+        TWBG_RETURN_IF_ERROR(cursor.U64(&out->stats.orphan_aborts));
+        break;
+      case MsgType::kAwait:
+      case MsgType::kCommit:
+      case MsgType::kAbort:
+      case MsgType::kSetCost:
+      case MsgType::kPing:
+        break;
+    }
+  }
+  if (!cursor.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after response body");
+  }
+  return Status::OK();
+}
+
+Status ResponseStatus(const Response& response) {
+  std::string message = response.message;
+  switch (response.code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kWouldBlock:
+      return Status::WouldBlock(std::move(message));
+    case StatusCode::kDeadlockVictim:
+      return Status::DeadlockVictim(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal("unrepresentable status code");
+}
+
+void SetResponseStatus(const Status& status, uint32_t retry_after_us,
+                       Response* response) {
+  response->code = status.code();
+  response->message = std::string(status.message());
+  response->retry_after_us =
+      status.IsResourceExhausted() ? retry_after_us : 0;
+}
+
+void FrameReader::Append(const char* data, size_t size) {
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its buffer without bound.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+Status FrameReader::Next(std::string* payload) {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) {
+    return Status::WouldBlock("incomplete frame header");
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(buffer_[consumed_ + i]))
+              << (8 * i);
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument(common::Format(
+        "frame length %u exceeds the %u-byte cap", length, kMaxFrameBytes));
+  }
+  if (available < 4 + static_cast<size_t>(length)) {
+    return Status::WouldBlock("incomplete frame payload");
+  }
+  payload->assign(buffer_.data() + consumed_ + 4, length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  return Status::OK();
+}
+
+}  // namespace twbg::net

@@ -1,0 +1,130 @@
+// Copyright (c) the twbg authors. Licensed under the MIT license.
+//
+// Wire protocol of the network lock service (docs/SERVICE.md).
+//
+// Frame:    [u32 length][payload], length = byte count of the payload,
+//           little-endian, capped at kMaxFrameBytes (a peer announcing
+//           more is a protocol error, not an allocation request).
+// Payload:  [u8 version][u8 type][u64 req_id][type-specific body]
+// Response: the body starts with [u8 status][u32 retry_after_us]
+//           [string message]; result fields follow only when status is
+//           kOk.  retry_after_us is the backpressure hint carried by
+//           kResourceExhausted (admission sheds and draining daemons).
+// Scalars are little-endian fixed width; a string is [u32 length][bytes];
+// a double is its IEEE-754 bit pattern as u64.
+//
+// Every decode path is bounds-checked and returns a Status — truncated
+// frames, oversized lengths, unknown message types and out-of-domain
+// enum values are clean errors, never UB (the codec fuzz test feeds the
+// decoder random bytes).
+
+#ifndef TWBG_NET_WIRE_H_
+#define TWBG_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "txn/lock_client.h"
+
+namespace twbg::net {
+
+/// Protocol version this build speaks.  A frame with any other version
+/// is rejected (versioned codec: bump on incompatible change).
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Upper bound on a frame payload.  Responses carrying rendered views of
+/// pathological tables dominate sizing; requests are tens of bytes.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Request/response kinds.  Values are wire format — append only.
+enum class MsgType : uint8_t {
+  kBegin = 1,
+  kAcquire = 2,
+  kAwait = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kState = 6,
+  kSetCost = 7,
+  kDetect = 8,
+  kProbeDeadlock = 9,
+  kView = 10,
+  kStats = 11,
+  kPing = 12,
+};
+
+/// Returns the canonical name ("begin", "acquire", ...) for logs.
+std::string_view MsgTypeName(MsgType type);
+
+/// A decoded client request.  Fields beyond `type`/`req_id` are only
+/// meaningful for the types that carry them (see the encoding in
+/// wire.cc); unused fields decode to zero values.
+struct Request {
+  MsgType type = MsgType::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t req_id = 0;
+  lock::TransactionId tid = 0;
+  lock::ResourceId rid = 0;
+  lock::LockMode mode = lock::LockMode::kS;
+  double cost = 0.0;
+  ServiceView view = ServiceView::kTable;
+};
+
+/// A decoded server response.  `code`/`retry_after_us`/`message` mirror
+/// the Status of the operation; result fields are populated only when
+/// `code` is kOk (and only those of the response's type).
+struct Response {
+  MsgType type = MsgType::kPing;
+  uint64_t req_id = 0;
+  StatusCode code = StatusCode::kOk;
+  /// Backpressure hint, microseconds (kResourceExhausted only).
+  uint32_t retry_after_us = 0;
+  std::string message;
+
+  lock::TransactionId tid = 0;              // kBegin
+  lock::RequestOutcome outcome =            // kAcquire
+      lock::RequestOutcome::kGranted;
+  txn::TxnState txn_state = txn::TxnState::kActive;  // kState
+  bool truth = false;                       // kProbeDeadlock
+  std::string text;                         // kView
+  DetectResult detect;                      // kDetect
+  ClientStats stats;                        // kStats
+};
+
+/// Serializes a complete frame (length prefix included).
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Decodes a frame *payload* (length prefix already stripped by
+/// FrameReader).  InvalidArgument on any malformed input.
+Status DecodeRequest(std::string_view payload, Request* out);
+Status DecodeResponse(std::string_view payload, Response* out);
+
+/// Rebuilds the operation's Status from a response header.
+Status ResponseStatus(const Response& response);
+
+/// Maps a Status back onto the wire header fields of `response`.
+void SetResponseStatus(const Status& status, uint32_t retry_after_us,
+                       Response* response);
+
+/// Incremental frame splitter: feed raw bytes as they arrive, pull
+/// complete payloads out.  Next() returns
+///   kOk               a complete payload was extracted into *payload;
+///   kWouldBlock       more bytes are needed (not an error);
+///   kInvalidArgument  the stream is corrupt (oversized length) — the
+///                     connection must be dropped, no resync exists.
+class FrameReader {
+ public:
+  void Append(const char* data, size_t size);
+  Status Next(std::string* payload);
+  /// Bytes buffered but not yet returned as payloads.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace twbg::net
+
+#endif  // TWBG_NET_WIRE_H_

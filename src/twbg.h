@@ -10,7 +10,9 @@
 //   * core       — the paper's contribution: H/W-TWBG, TDR victim
 //                  selection, periodic & continuous detectors, oracle;
 //   * txn        — strict-2PL transactions, MGL hierarchies, thread-safe
-//                  service wrapper;
+//                  service wrapper, the LockClient abstraction;
+//   * net        — the wire protocol, twbg-serverd's server core, and the
+//                  TCP LockClient;
 //   * robustness — deadlines, admission control / backpressure, retry
 //                  backoff, deterministic fault injection;
 //   * baselines  — comparison schemes behind DetectionStrategy;
@@ -42,10 +44,16 @@
 #include "core/twbg.h"
 #include "core/victim.h"
 
+#include "txn/client_script.h"
 #include "txn/concurrent_service.h"
+#include "txn/lock_client.h"
 #include "txn/mgl.h"
 #include "txn/robustness/robustness.h"
 #include "txn/transaction_manager.h"
+
+#include "net/server.h"
+#include "net/tcp_client.h"
+#include "net/wire.h"
 
 #include "baselines/factory.h"
 #include "baselines/strategy.h"

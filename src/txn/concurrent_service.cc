@@ -6,6 +6,9 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "core/oracle.h"
+#include "core/tst.h"
+#include "core/twbg.h"
 #include "lock/resource_state.h"
 #include "obs/sinks.h"
 
@@ -26,11 +29,6 @@ thread_local int t_in_sealed_detect = 0;
 // of relying on a wakeup, so they observe deadline expiry promptly and
 // survive dropped notifications.
 constexpr std::chrono::microseconds kWaitPoll{500};
-
-TransactionManagerOptions ForceContinuous(TransactionManagerOptions options) {
-  options.detection_mode = DetectionMode::kContinuous;
-  return options;
-}
 
 ConcurrentServiceOptions NormalizeConcurrent(ConcurrentServiceOptions options) {
   if (options.detector.event_bus == nullptr) {
@@ -165,15 +163,6 @@ Result<std::unique_ptr<ConcurrentLockService>> ConcurrentLockService::Create(
   TWBG_RETURN_IF_ERROR(options.Validate());
   return std::unique_ptr<ConcurrentLockService>(
       new ConcurrentLockService(std::move(options)));
-}
-
-ConcurrentLockService::ConcurrentLockService(TransactionManagerOptions options)
-    : mode_(DetectionMode::kContinuous),
-      tm_(std::make_unique<TransactionManager>(ForceContinuous(options))) {
-  options_.detection_mode = DetectionMode::kContinuous;
-  options_.cost_policy = options.cost_policy;
-  options_.detector = options.detector;
-  options_.event_bus = options.event_bus;
 }
 
 ConcurrentLockService::ConcurrentLockService(ConcurrentServiceOptions options)
@@ -675,6 +664,119 @@ Status ConcurrentLockService::PeriodicAcquire(lock::TransactionId tid,
   }
   return Status::DeadlockVictim(
       common::Format("T%u aborted as deadlock victim while waiting", tid));
+}
+
+Result<lock::RequestOutcome> ConcurrentLockService::AcquireAsync(
+    lock::TransactionId tid, lock::ResourceId rid, lock::LockMode mode) {
+  if (mode_ != DetectionMode::kPeriodic) {
+    return Status::FailedPrecondition(
+        "AcquireAsync requires kPeriodic mode (the continuous engine "
+        "resolves deadlocks inside blocking acquires; use AcquireBlocking)");
+  }
+  TWBG_DCHECK(t_in_sealed_detect == 0);
+  const size_t shard_index = ShardIndex(rid);
+  Shard& shard = *shards_[shard_index];
+
+  std::unique_lock<std::mutex> sl(shard.mu, std::try_to_lock);
+  const bool contended = !sl.owns_lock();
+  if (contended) sl.lock();
+  common::Stopwatch hold;
+  shard.ops++;
+  if (contended) shard.acquire_waits++;
+
+  // Mirrors the registration half of PeriodicAcquire exactly — routing
+  // mask, admission watermark, lock-manager request, state/cost updates —
+  // but returns the outcome instead of parking on the shard cv.  A later
+  // grant flips the record's atomic state via ReactivateLocked whether or
+  // not a thread is parked, so callers observe it through State(tid).
+  std::scoped_lock tl(txn_mu_);
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  TxnRecord& rec = it->second;
+  const TxnState state = rec.state.load(std::memory_order_relaxed);
+  if (state != TxnState::kActive) {
+    return Status::FailedPrecondition(
+        common::Format("T%u is %s and cannot request locks", tid,
+                       std::string(ToString(state)).c_str()));
+  }
+  rec.shard_mask |= uint64_t{1} << shard_index;
+  const uint64_t watermark = options_.robustness.admission.queue_depth_watermark;
+  if (watermark != 0) {
+    const lock::ResourceState* res = shard.lm.table().Find(rid);
+    const bool holder = res != nullptr && res->FindHolder(tid) != nullptr;
+    if (!holder) {
+      robustness::AdmissionContext ctx;
+      ctx.inflight_txns = live_txns_;
+      ctx.queue_depth = shard.lm.BlockedTransactions().size();
+      Status admitted =
+          robustness::WatermarkAdmission(options_.robustness.admission)
+              .AdmitAcquire(ctx);
+      if (!admitted.ok()) {
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        if (bus_ != nullptr) {
+          std::scoped_lock ol(obs_mu_);
+          if (bus_->active()) {
+            obs::Event event;
+            event.kind = obs::EventKind::kAdmissionReject;
+            event.tid = tid;
+            event.rid = rid;
+            event.a = ctx.queue_depth;
+            event.b = watermark;
+            bus_->Emit(event);
+          }
+        }
+        shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+        return admitted;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> ol(obs_mu_, std::defer_lock);
+  if (observed()) ol.lock();
+  Result<lock::RequestOutcome> result = shard.lm.Acquire(tid, rid, mode);
+  if (!result.ok()) {
+    shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+    return result.status();
+  }
+  rec.ops_executed++;
+  RefreshCostLocked(tid, rec);
+  switch (*result) {
+    case lock::RequestOutcome::kGranted:
+      rec.locks_granted++;
+      RefreshCostLocked(tid, rec);
+      break;
+    case lock::RequestOutcome::kAlreadyHeld:
+      break;
+    case lock::RequestOutcome::kBlocked:
+      rec.state.store(TxnState::kBlocked, std::memory_order_relaxed);
+      break;
+  }
+  shard.hold_ns += static_cast<uint64_t>(hold.ElapsedNanos());
+  return *result;
+}
+
+Status ConcurrentLockService::SetCost(lock::TransactionId tid, double cost) {
+  if (mode_ != DetectionMode::kPeriodic) {
+    return Status::FailedPrecondition(
+        "SetCost requires kPeriodic mode (the continuous engine's costs "
+        "are policy-managed by its inner TransactionManager)");
+  }
+  std::scoped_lock tl(txn_mu_);
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    return Status::NotFound(common::Format("unknown transaction T%u", tid));
+  }
+  TxnRecord& rec = it->second;
+  const TxnState state = rec.state.load(std::memory_order_relaxed);
+  if (state == TxnState::kCommitted || state == TxnState::kAborted) {
+    return Status::FailedPrecondition(common::Format(
+        "T%u is %s; cannot set the cost of a terminated transaction", tid,
+        std::string(ToString(state)).c_str()));
+  }
+  rec.cost_pinned = true;
+  costs_.Set(tid, cost);
+  return Status::OK();
 }
 
 Status ConcurrentLockService::CancelPeriodicWait(lock::TransactionId tid,
@@ -1471,6 +1573,7 @@ void ConcurrentLockService::PublishShardStatsLocked() {
 
 void ConcurrentLockService::RefreshCostLocked(lock::TransactionId tid,
                                               const TxnRecord& rec) {
+  if (rec.cost_pinned) return;  // SetCost owns this transaction's cost
   const TxnState state = rec.state.load(std::memory_order_relaxed);
   if (state == TxnState::kCommitted || state == TxnState::kAborted) return;
   double cost = 1.0;
@@ -1607,6 +1710,122 @@ Result<TxnState> ConcurrentLockService::State(lock::TransactionId tid) const {
     return Status::NotFound(common::Format("unknown transaction T%u", tid));
   }
   return it->second.state.load(std::memory_order_relaxed);
+}
+
+size_t ConcurrentLockService::live_transactions() const {
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tm_->NumLive();
+  }
+  std::scoped_lock tl(txn_mu_);
+  return live_txns_;
+}
+
+Result<bool> ConcurrentLockService::HasDeadlock() {
+  if (mode_ == DetectionMode::kContinuous) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return core::HwTwbg::Build(tm_->lock_manager().table()).HasCycle();
+  }
+  if (shards_.size() != 1) {
+    return Status::FailedPrecondition(
+        "HasDeadlock requires num_shards == 1 (merged multi-shard graph "
+        "construction is not implemented)");
+  }
+  common::Stopwatch hold;
+  std::vector<std::unique_lock<std::mutex>> shard_locks =
+      LockShards(~uint64_t{0}, hold);
+  return core::HwTwbg::Build(shards_[0]->lm.table()).HasCycle();
+}
+
+Result<std::string> ConcurrentLockService::RenderView(ServiceView view) {
+  // Stop the world so the rendering is a consistent snapshot, then build
+  // the view off the (single) live table.  The formats deliberately match
+  // core::ScriptRunner's commands — see ServiceView.
+  std::unique_lock<std::mutex> cont_lock(mu_, std::defer_lock);
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  common::Stopwatch hold;
+  if (mode_ == DetectionMode::kContinuous) {
+    cont_lock.lock();
+  } else {
+    shard_locks = LockShards(~uint64_t{0}, hold);
+  }
+
+  if (view == ServiceView::kTable) {
+    if (mode_ == DetectionMode::kContinuous) {
+      return tm_->lock_manager().table().ToString();
+    }
+    if (shards_.size() == 1) return shards_[0]->lm.table().ToString();
+    std::string out;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      out += common::Format("-- shard %zu --\n", s);
+      out += shards_[s]->lm.table().ToString();
+    }
+    return out;
+  }
+  if (view == ServiceView::kCosts) {
+    std::string out;
+    if (mode_ == DetectionMode::kContinuous) {
+      for (lock::TransactionId tid :
+           tm_->lock_manager().KnownTransactions()) {
+        out += common::Format("T%u: %.2f\n", tid, tm_->costs().Get(tid));
+      }
+      return out;
+    }
+    std::scoped_lock tl(txn_mu_);
+    // Known to the lock table (shard order), as ScriptRunner prints.
+    for (const auto& shard : shards_) {
+      for (lock::TransactionId tid : shard->lm.KnownTransactions()) {
+        out += common::Format("T%u: %.2f\n", tid, costs_.Get(tid));
+      }
+    }
+    return out;
+  }
+
+  // The graph-derived views need the whole wait-for state in one table.
+  const lock::LockTable* table = nullptr;
+  if (mode_ == DetectionMode::kContinuous) {
+    table = &tm_->lock_manager().table();
+  } else if (shards_.size() == 1) {
+    table = &shards_[0]->lm.table();
+  } else {
+    return Status::FailedPrecondition(
+        "graph views require num_shards == 1 (merged multi-shard graph "
+        "construction is not implemented)");
+  }
+  switch (view) {
+    case ServiceView::kGraph:
+      return core::HwTwbg::Build(*table).ToString();
+    case ServiceView::kDot:
+      return core::HwTwbg::Build(*table).ToDot();
+    case ServiceView::kTst:
+      return core::Tst::Build(*table).ToString();
+    case ServiceView::kCycles: {
+      std::string out;
+      for (const auto& cycle :
+           core::HwTwbg::Build(*table).ElementaryCycles()) {
+        std::vector<std::string> names;
+        for (lock::TransactionId tid : cycle) {
+          names.push_back(common::Format("T%u", tid));
+        }
+        out += common::Format("cycle {%s}\n", common::Join(names, ", ").c_str());
+      }
+      return out;
+    }
+    case ServiceView::kOracle: {
+      core::OracleResult oracle = core::AnalyzeByReduction(*table);
+      std::vector<std::string> names;
+      for (lock::TransactionId tid : oracle.stuck) {
+        names.push_back(common::Format("T%u", tid));
+      }
+      return common::Format("deadlocked=%s stuck={%s}\n",
+                            oracle.deadlocked ? "yes" : "no",
+                            common::Join(names, ", ").c_str());
+    }
+    case ServiceView::kTable:
+    case ServiceView::kCosts:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled view");
 }
 
 size_t ConcurrentLockService::deadlock_victims() const {

@@ -185,6 +185,29 @@ struct ConcurrentServiceOptions {
   Status Validate() const;
 };
 
+/// A read-only rendering of service state, served by RenderView.  The
+/// text formats match core::ScriptRunner's corresponding commands, so a
+/// script driven through a LockClient prints the same views as one driven
+/// against a raw LockManager.
+enum class ServiceView {
+  /// The lock table (every shard; multi-shard tables are concatenated
+  /// with `-- shard N --` headers).
+  kTable,
+  /// H/W-TWBG adjacency-list rendering (requires num_shards == 1).
+  kGraph,
+  /// H/W-TWBG in Graphviz dot syntax (requires num_shards == 1).
+  kDot,
+  /// Transaction Steps Table (requires num_shards == 1).
+  kTst,
+  /// Elementary cycles, one `cycle {...}` line each (num_shards == 1).
+  kCycles,
+  /// Reduction-oracle verdict: `deadlocked=... stuck={...}`
+  /// (num_shards == 1).
+  kOracle,
+  /// Per-transaction abort costs, one `T<id>: <cost>` line each.
+  kCosts,
+};
+
 /// Cumulative per-shard contention counters (kPeriodic mode).
 struct ShardStats {
   /// Lock attempts that found the shard mutex already held.
@@ -201,16 +224,10 @@ class ConcurrentLockService {
  public:
   /// Validates `options` (ConcurrentServiceOptions::Validate) and builds
   /// the service; invalid combinations are rejected with InvalidArgument
-  /// rather than silently coerced.
+  /// rather than silently coerced.  The only way to construct a service —
+  /// the legacy TransactionManagerOptions constructor shim was removed.
   static Result<std::unique_ptr<ConcurrentLockService>> Create(
       ConcurrentServiceOptions options);
-
-  /// Legacy constructor: the single-mutex continuous engine.
-  /// `options.detection_mode` is forced to kContinuous (the historical,
-  /// now documented, behavior).  Deprecated shim — use Create().
-  TWBG_DEPRECATED(
-      "use ConcurrentLockService::Create(ConcurrentServiceOptions) instead")
-  explicit ConcurrentLockService(TransactionManagerOptions options = {});
 
   ConcurrentLockService(const ConcurrentLockService&) = delete;
   ConcurrentLockService& operator=(const ConcurrentLockService&) = delete;
@@ -237,6 +254,46 @@ class ConcurrentLockService {
   ///   kResourceExhausted  admission control shed the request.
   Status AcquireBlocking(lock::TransactionId tid, lock::ResourceId rid,
                          lock::LockMode mode);
+
+  /// Non-blocking acquire (kPeriodic mode only): starts the request and
+  /// returns its immediate outcome instead of parking the calling thread.
+  ///   kGranted      lock held;
+  ///   kAlreadyHeld  `tid` already holds `mode` (or stronger) on `rid`;
+  ///   kBlocked      queued; the transaction is kBlocked until a release
+  ///                 or a detection pass reactivates (or aborts) it —
+  ///                 poll State(tid) for the transition (kActive: granted;
+  ///                 kAborted: deadlock victim).
+  /// Admission watermarks apply exactly as in AcquireBlocking
+  /// (kResourceExhausted); lock-wait deadlines and fault injection do
+  /// not (they are parked-waiter machinery).  This is the seam the
+  /// network daemon serves requests through: one reactor thread can
+  /// multiplex hundreds of blocked clients without one parked thread
+  /// per waiter.
+  Result<lock::RequestOutcome> AcquireAsync(lock::TransactionId tid,
+                                            lock::ResourceId rid,
+                                            lock::LockMode mode);
+
+  /// Pins `tid`'s abort cost to `cost` (kPeriodic mode only): the value
+  /// replaces the policy-computed cost and is no longer refreshed on
+  /// subsequent operations, mirroring ScriptRunner's `cost` command.
+  /// kFailedPrecondition for a terminated transaction or the continuous
+  /// engine; kNotFound for an unknown one.
+  Status SetCost(lock::TransactionId tid, double cost);
+
+  /// True when the current wait-for state contains a cycle (H/W-TWBG
+  /// HasCycle over the live table).  Requires num_shards == 1 (the
+  /// continuous engine qualifies); kFailedPrecondition otherwise —
+  /// merged multi-shard graph construction is ROADMAP item 2.
+  Result<bool> HasDeadlock();
+
+  /// Renders `view` of the current state (formats documented on
+  /// ServiceView).  Graph-derived views require num_shards == 1;
+  /// kTable / kCosts work for any configuration.  Stops the world for
+  /// the duration — a diagnostics surface, never a hot path.
+  Result<std::string> RenderView(ServiceView view);
+
+  /// Live (kActive or kBlocked) transactions right now.
+  size_t live_transactions() const;
 
   /// Commits and releases; wakes any waiter this unblocks.
   Status Commit(lock::TransactionId tid);
@@ -377,6 +434,9 @@ class ConcurrentLockService {
     uint64_t locks_granted = 0;
     uint64_t ops_executed = 0;
     bool deadlock_victim = false;
+    // SetCost pinned this transaction's cost: RefreshCostLocked must not
+    // overwrite it.
+    bool cost_pinned = false;
     // Robustness bookkeeping: waits of this transaction cancelled by
     // deadline (abort-after-N policy), and consecutive degraded sweeps
     // that observed it blocked (timeout resolution).

@@ -266,16 +266,16 @@ TEST(ValidateContractTest, SimulatorCreate) {
   EXPECT_EQ((*sim)->Run().committed, 5u);
 }
 
-// The deprecated legacy constructor still works (it is the documented
-// migration shim), modulo the deprecation warning.
-TEST(ValidateContractTest, LegacyServiceConstructorStillWorks) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  txn::ConcurrentLockService service;
-#pragma GCC diagnostic pop
-  const lock::TransactionId t = *service.Begin();
-  EXPECT_TRUE(service.AcquireBlocking(t, 1, lock::LockMode::kX).ok());
-  EXPECT_TRUE(service.Commit(t).ok());
+// The legacy TransactionManagerOptions constructor shim was removed:
+// Create() with default options is the continuous-engine spelling.
+TEST(ValidateContractTest, DefaultCreateIsContinuousEngine) {
+  Result<std::unique_ptr<txn::ConcurrentLockService>> service =
+      txn::ConcurrentLockService::Create({});
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->num_shards(), 1u);
+  const lock::TransactionId t = *(*service)->Begin();
+  EXPECT_TRUE((*service)->AcquireBlocking(t, 1, lock::LockMode::kX).ok());
+  EXPECT_TRUE((*service)->Commit(t).ok());
 }
 
 }  // namespace
